@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_bench_*`` file regenerates one of the paper's tables or
+figures: it prints the regenerated rows (run with ``-s`` to see them
+live), writes them under ``benchmarks/results/`` and asserts the shape
+properties the paper reports.  ``pytest benchmarks/ --benchmark-only``
+additionally times the underlying pipeline stages via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import evaluate_corpus, paper_machine
+from repro.workloads import perfect_suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+PAPER_CASES = [(2, 1), (2, 2), (4, 1), (4, 2)]
+CASE_NAMES = ["2-issue(#FU=1)", "2-issue(#FU=2)", "4-issue(#FU=1)", "4-issue(#FU=2)"]
+BENCHMARKS = ("FLQ52", "QCD", "MDG", "TRACK", "ADM")
+
+# Paper Table 3 (improvement %), for side-by-side reporting.
+PAPER_TABLE3 = {
+    "FLQ52": (87.6, 87.36, 89.74, 88.86),
+    "QCD": (34.95, 0.32, 55.37, 47.88),
+    "MDG": (88.89, 86.63, 89.67, 88.8),
+    "TRACK": (90.14, 86.48, 91.03, 89.89),
+    "ADM": (81.97, 79.0, 82.6, 81.85),
+}
+PAPER_TOTALS = {2: 83.37, 4: 85.1}
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")
+
+
+@pytest.fixture(scope="session")
+def table2_results():
+    """The full Table 2 sweep: {(benchmark, case): (t_list, t_new)}.
+
+    Session-scoped because Table 2, Table 3 and two ablation benches all
+    consume it.
+    """
+    suite = perfect_suite()
+    table = {}
+    for name in BENCHMARKS:
+        for case in PAPER_CASES:
+            ev = evaluate_corpus(name, suite[name], paper_machine(*case), n=100)
+            table[(name, case)] = (ev.t_list, ev.t_new)
+    return table

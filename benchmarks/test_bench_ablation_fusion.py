@@ -1,0 +1,43 @@
+"""Ablation: compute-into-store fusion before a send (the Fig. 2
+instruction-26 behaviour).
+
+Fusing shortens the dependence-source chain feeding the send by one
+instruction; on recurrence-bound loops that is one cycle off the SP span —
+multiplied by n/d at run time.
+"""
+
+from conftest import emit
+
+from repro import paper_machine
+from repro.codegen import FuseStore, lower_loop
+from repro.dfg import build_dfg
+from repro.pipeline import compile_loop
+from repro.sched import sync_schedule
+from repro.sim import simulate_doacross
+from repro.workloads import perfect_benchmark
+
+
+def _time(loop, machine, fuse):
+    compiled = compile_loop(loop, fuse=fuse)
+    schedule = sync_schedule(compiled.lowered, compiled.graph, machine)
+    return simulate_doacross(schedule, 100).parallel_time
+
+
+def test_bench_ablation_store_fusion(benchmark):
+    machine = paper_machine(4, 1)
+    lines = [f"{'bench':8s}{'fused':>10s}{'unfused':>10s}{'penalty':>10s}"]
+    summary = {}
+    for name in ("QCD", "TRACK"):
+        loops = perfect_benchmark(name)
+        fused = sum(_time(loop, machine, FuseStore.BEFORE_SEND) for loop in loops)
+        unfused = sum(_time(loop, machine, FuseStore.NEVER) for loop in loops)
+        summary[name] = (fused, unfused)
+        lines.append(
+            f"{name:8s}{fused:>10d}{unfused:>10d}{(unfused / fused - 1) * 100:>9.1f}%"
+        )
+    emit("ablation_store_fusion", "\n".join(lines))
+
+    benchmark(lambda: _time(perfect_benchmark("QCD")[0], machine, FuseStore.BEFORE_SEND))
+
+    # Fusion shortens the chain on the recurrence corpus.
+    assert summary["QCD"][0] < summary["QCD"][1]

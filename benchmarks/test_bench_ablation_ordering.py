@@ -1,0 +1,59 @@
+"""Ablation: the LBD→LFD conversion rules (Section 3.2 step 3).
+
+``sends_before_waits``/``waits_after_sends`` order each convertible pair's
+send cone before its wait.  With both off, the scheduler still produces
+legal schedules, but convertible pairs stay run-time LBD and pay the
+``(n/d)·span`` chain — this is where most of the headline improvement
+comes from on the convertible-heavy corpora.
+"""
+
+from conftest import emit
+
+from repro import compile_loop, paper_machine
+from repro.sched import SyncSchedulerOptions, sync_schedule
+from repro.sim import simulate_doacross
+from repro.workloads import perfect_benchmark
+
+ON = SyncSchedulerOptions()
+OFF = SyncSchedulerOptions(sends_before_waits=False, waits_after_sends=False)
+
+
+def _eval(loops, machine, options):
+    total_time = 0
+    converted = 0
+    pairs = 0
+    for loop in loops:
+        compiled = compile_loop(loop)
+        schedule = sync_schedule(compiled.lowered, compiled.graph, machine, options)
+        total_time += simulate_doacross(schedule, 100).parallel_time
+        pairs += len(compiled.synced.pairs)
+        converted += sum(
+            1 for p in compiled.synced.pairs if schedule.span(p.pair_id) <= 0
+        )
+    return total_time, converted, pairs
+
+
+def test_bench_ablation_lfd_conversion(benchmark):
+    machine = paper_machine(4, 1)
+    lines = [
+        f"{'bench':8s}{'T (rules on)':>14s}{'T (rules off)':>15s}"
+        f"{'LFD on':>9s}{'LFD off':>9s}{'pairs':>7s}"
+    ]
+    summary = {}
+    for name in ("FLQ52", "TRACK", "ADM"):
+        loops = perfect_benchmark(name)
+        t_on, conv_on, pairs = _eval(loops, machine, ON)
+        t_off, conv_off, _ = _eval(loops, machine, OFF)
+        summary[name] = (t_on, t_off, conv_on, conv_off)
+        lines.append(
+            f"{name:8s}{t_on:>14d}{t_off:>15d}{conv_on:>9d}{conv_off:>9d}{pairs:>7d}"
+        )
+    emit("ablation_lfd_conversion", "\n".join(lines))
+
+    benchmark(lambda: _eval(perfect_benchmark("TRACK"), machine, ON))
+
+    for t_on, t_off, conv_on, conv_off in summary.values():
+        assert t_on <= t_off
+        assert conv_on >= conv_off
+    # On the convertible-heavy corpora the rules are worth multiples.
+    assert summary["TRACK"][1] > 3 * summary["TRACK"][0]

@@ -1,0 +1,48 @@
+"""Ablation: contiguous synchronization-path packing (Section 3.2 step 4).
+
+Turning off SP packing leaves SP nodes to ordinary ASAP placement; the
+wait→send span stretches and every extra cycle multiplies by n/d.  Run on
+the recurrence-heavy corpora where genuine SPs exist.
+"""
+
+from conftest import emit
+
+from repro import compile_loop, paper_machine
+from repro.sched import SyncSchedulerOptions, sync_schedule
+from repro.sim import simulate_doacross
+from repro.workloads import perfect_benchmark
+
+
+def _sum_times(loops, machine, options):
+    total = 0
+    for loop in loops:
+        compiled = compile_loop(loop)
+        schedule = sync_schedule(compiled.lowered, compiled.graph, machine, options)
+        total += simulate_doacross(schedule, 100).parallel_time
+    return total
+
+
+def test_bench_ablation_contiguous_sp(benchmark):
+    machine = paper_machine(4, 1)
+    lines = [f"{'bench':8s}{'SP packed':>12s}{'SP unpacked':>13s}{'penalty':>10s}"]
+    summary = {}
+    for name in ("QCD", "FLQ52", "ADM"):
+        loops = perfect_benchmark(name)
+        packed = _sum_times(loops, machine, SyncSchedulerOptions(contiguous_sp=True))
+        unpacked = _sum_times(loops, machine, SyncSchedulerOptions(contiguous_sp=False))
+        summary[name] = (packed, unpacked)
+        lines.append(
+            f"{name:8s}{packed:>12d}{unpacked:>13d}{(unpacked / packed - 1) * 100:>9.1f}%"
+        )
+    emit("ablation_syncpath_packing", "\n".join(lines))
+
+    benchmark(
+        lambda: _sum_times(
+            perfect_benchmark("QCD"), machine, SyncSchedulerOptions(contiguous_sp=True)
+        )
+    )
+
+    # Packing never loses and wins on the recurrence-bound corpus.
+    for packed, unpacked in summary.values():
+        assert packed <= unpacked
+    assert summary["QCD"][1] > summary["QCD"][0]

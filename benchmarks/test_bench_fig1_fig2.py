@@ -1,0 +1,42 @@
+"""Figures 1 and 2: synchronization insertion and the DLX listing.
+
+Regenerates Fig. 1(b) (the synchronized DOACROSS loop) and Fig. 2 (the 27
+three-address instructions) from the Fig. 1(a) source, and times the
+frontend stages.
+"""
+
+from conftest import emit
+
+from repro.codegen import format_listing, lower_loop
+from repro.ir import format_loop, parse_loop
+from repro.sync import insert_synchronization
+
+FIG1A = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+def test_bench_fig1_sync_insertion(benchmark):
+    loop = parse_loop(FIG1A)
+    synced = benchmark(lambda: insert_synchronization(parse_loop(FIG1A)))
+    text = format_loop(synced.loop)
+    emit("fig1b_synchronized_loop", text)
+    assert "WAIT_SIGNAL(S3, I - 2)" in text
+    assert "WAIT_SIGNAL(S3, I - 1)" in text
+    assert text.count("SEND_SIGNAL") == 1
+    assert len(synced.pairs) == 2
+    del loop
+
+
+def test_bench_fig2_lowering(benchmark):
+    synced = insert_synchronization(parse_loop(FIG1A))
+    lowered = benchmark(lambda: lower_loop(synced))
+    listing = format_listing(lowered)
+    emit("fig2_three_address_code", listing)
+    assert len(lowered) == 27
+    assert listing.splitlines()[0] == "1: Wait_Signal(S3, I-2)"
+    assert listing.splitlines()[-1] == "27: Send_Signal(S3)"

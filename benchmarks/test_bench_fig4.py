@@ -1,0 +1,59 @@
+"""Figure 4: list scheduling vs the new scheduling on the Fig. 3 graph.
+
+Regenerates both bundle tables on the Section 3 walkthrough machine
+(4-issue, one unit each, shared adder, unit latencies) and checks the
+paper's numbers: 13-cycle iterations, list spans 13/12, new spans 7/LFD,
+T_a = (12N)+13 vs T_b = (N/2)*7+13.
+"""
+
+from conftest import emit
+
+from repro.codegen import lower_loop
+from repro.dfg import build_dfg
+from repro.ir import parse_loop
+from repro.sched import figure4_machine, list_schedule, sync_schedule
+from repro.sim import simulate_doacross
+from repro.sync import insert_synchronization
+from test_bench_fig1_fig2 import FIG1A
+
+
+def _compiled():
+    lowered = lower_loop(insert_synchronization(parse_loop(FIG1A)))
+    return lowered, build_dfg(lowered)
+
+
+def test_bench_fig4a_list_scheduling(benchmark):
+    lowered, graph = _compiled()
+    machine = figure4_machine()
+    schedule = benchmark(lambda: list_schedule(lowered, graph, machine))
+    sim = simulate_doacross(schedule, 100)
+    emit(
+        "fig4a_list_schedule",
+        schedule.format()
+        + f"\nlength l = {schedule.length}"
+        + f"\nspans: Wat1->Sig = {schedule.span(0)}, Wat2->Sig = {schedule.span(1)}"
+        + f"\nT_a = floor(99/1)*12 + 13 = {sim.parallel_time}"
+        + "   [paper: (12N)+13]",
+    )
+    assert schedule.length == 13
+    assert schedule.span(1) == 12
+    assert sim.parallel_time == 99 * 12 + 13
+
+
+def test_bench_fig4b_new_scheduling(benchmark):
+    lowered, graph = _compiled()
+    machine = figure4_machine()
+    schedule = benchmark(lambda: sync_schedule(lowered, graph, machine))
+    sim = simulate_doacross(schedule, 100)
+    emit(
+        "fig4b_new_schedule",
+        schedule.format()
+        + f"\nlength l = {schedule.length}"
+        + f"\nspans: Wat1->Sig = {schedule.span(0)}, Wat2->Sig = {schedule.span(1)}"
+        + f"\nT_b = floor(99/2)*7 + 13 = {sim.parallel_time}"
+        + "   [paper: (N/2)*7+13]",
+    )
+    assert schedule.length == 13
+    assert schedule.span(0) == 7  # the SP packed to its minimum
+    assert schedule.span(1) <= 0  # converted to run-time LFD
+    assert sim.parallel_time == 49 * 7 + 13

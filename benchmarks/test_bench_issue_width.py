@@ -1,0 +1,43 @@
+"""Issue-width sweep: the paper's observation that wider issue can make
+*list scheduling slower* (hoisted waits stretch the LBD span) while the
+new scheduling barely moves.
+"""
+
+from conftest import emit
+
+from repro import compile_loop, evaluate_loop, paper_machine
+from repro.workloads import perfect_benchmark
+
+WIDTHS = (1, 2, 4, 8)
+
+
+def test_bench_issue_width_sweep(table2_results, benchmark):
+    loops = perfect_benchmark("FLQ52")
+    compiled = [compile_loop(loop) for loop in loops]
+
+    def sweep():
+        rows = {}
+        for width in WIDTHS:
+            machine = paper_machine(width, 1)
+            t_list = t_new = 0
+            for c in compiled:
+                ev = evaluate_loop(c, machine, n=100, verify=False)
+                t_list += ev.t_list
+                t_new += ev.t_new
+            rows[width] = (t_list, t_new)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'issue width':>12s}{'T list':>10s}{'T new':>10s}"]
+    for width in WIDTHS:
+        t_list, t_new = rows[width]
+        lines.append(f"{width:>12d}{t_list:>10d}{t_new:>10d}")
+    emit("issue_width_sweep", "\n".join(lines))
+
+    # New scheduling is nearly flat across the whole sweep (the SP length,
+    # not the machine, dominates).
+    new_times = [rows[w][1] for w in WIDTHS]
+    assert max(new_times) / min(new_times) < 1.2
+    # List scheduling fails to improve (or worsens) somewhere in the sweep.
+    assert any(rows[b][0] >= rows[a][0] for a, b in zip(WIDTHS, WIDTHS[1:]))

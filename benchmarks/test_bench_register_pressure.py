@@ -1,0 +1,54 @@
+"""Register pressure of the three schedulers (extension experiment).
+
+The sync-aware scheduler pulls dependence cones around the schedule; does
+it pay for its stall wins with live-range pressure?  (Relevant because the
+paper's codegen world is register-starved — its delayed loads exist for
+exactly that reason.)
+"""
+
+from conftest import BENCHMARKS, emit
+
+from repro import compile_loop, paper_machine
+from repro.sched import list_schedule, marker_schedule, register_pressure, sync_schedule
+from repro.workloads import perfect_benchmark
+
+SCHEDULERS = (("list", list_schedule), ("marker", marker_schedule), ("sync", sync_schedule))
+
+
+def test_bench_register_pressure(benchmark):
+    machine = paper_machine(4, 1)
+
+    def measure():
+        rows = {}
+        for name in BENCHMARKS:
+            peaks = {s: 0 for s, _ in SCHEDULERS}
+            sums = {s: 0 for s, _ in SCHEDULERS}
+            count = 0
+            for loop in perfect_benchmark(name):
+                compiled = compile_loop(loop)
+                count += 1
+                for sched_name, fn in SCHEDULERS:
+                    schedule = fn(compiled.lowered, compiled.graph, machine)
+                    pressure = register_pressure(schedule).max_pressure
+                    peaks[sched_name] = max(peaks[sched_name], pressure)
+                    sums[sched_name] += pressure
+            rows[name] = (peaks, {s: sums[s] / count for s in sums})
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        f"{'bench':8s}{'peak list':>11s}{'peak marker':>13s}{'peak sync':>11s}"
+        f"{'avg list':>10s}{'avg marker':>12s}{'avg sync':>10s}"
+    ]
+    for name, (peaks, avgs) in rows.items():
+        lines.append(
+            f"{name:8s}{peaks['list']:>11d}{peaks['marker']:>13d}{peaks['sync']:>11d}"
+            f"{avgs['list']:>10.1f}{avgs['marker']:>12.1f}{avgs['sync']:>10.1f}"
+        )
+    emit("register_pressure", "\n".join(lines))
+
+    # Pressure stays within a practical register file for every scheduler.
+    for peaks, _ in rows.values():
+        for value in peaks.values():
+            assert value <= 32

@@ -1,0 +1,58 @@
+"""Three-way scheduler comparison: list vs marker (the paper's predecessor,
+ref [18]) vs the paper's sync-aware technique.
+
+Separates how much of the headline gain comes from simply *not hoisting
+waits* (the marker method) and how much needs the Sigwat analysis (LBD→LFD
+conversion + SP packing).
+"""
+
+from conftest import BENCHMARKS, emit
+
+from repro import compile_loop, paper_machine
+from repro.sched import list_schedule, marker_schedule, sync_schedule
+from repro.sim import simulate_doacross
+from repro.sim.metrics import improvement_percent
+from repro.workloads import perfect_benchmark
+
+SCHEDULERS = (
+    ("list", list_schedule),
+    ("marker", marker_schedule),
+    ("sync", sync_schedule),
+)
+
+
+def _corpus_times(name, machine):
+    totals = dict.fromkeys([s for s, _ in SCHEDULERS], 0)
+    for loop in perfect_benchmark(name):
+        compiled = compile_loop(loop)
+        for sched_name, fn in SCHEDULERS:
+            schedule = fn(compiled.lowered, compiled.graph, machine)
+            totals[sched_name] += simulate_doacross(schedule, 100).parallel_time
+    return totals
+
+
+def test_bench_scheduler_comparison(benchmark):
+    machine = paper_machine(4, 1)
+    lines = [
+        f"{'bench':8s}{'T list':>10s}{'T marker':>10s}{'T sync':>10s}"
+        f"{'marker vs list':>16s}{'sync vs list':>14s}"
+    ]
+    rows = {}
+    for name in BENCHMARKS:
+        totals = _corpus_times(name, machine)
+        rows[name] = totals
+        lines.append(
+            f"{name:8s}{totals['list']:>10d}{totals['marker']:>10d}{totals['sync']:>10d}"
+            f"{improvement_percent(totals['list'], totals['marker']):>15.1f}%"
+            f"{improvement_percent(totals['list'], totals['sync']):>13.1f}%"
+        )
+    emit("scheduler_comparison", "\n".join(lines))
+
+    compiled = compile_loop(perfect_benchmark("QCD")[0])
+    benchmark(lambda: marker_schedule(compiled.lowered, compiled.graph, machine))
+
+    for name, totals in rows.items():
+        # Monotone: the paper's technique subsumes the marker method's idea.
+        assert totals["sync"] <= totals["marker"] <= totals["list"], name
+    # The structural ideas matter: sync beats marker clearly somewhere.
+    assert any(t["marker"] > 1.5 * t["sync"] for t in rows.values())

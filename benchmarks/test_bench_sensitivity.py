@@ -1,0 +1,86 @@
+"""Sensitivity sweeps: improvement vs dependence distance and body size.
+
+Two curves the paper's analysis implies but never plots:
+
+* **distance**: the LBD penalty multiplier is ``n/d``, so the technique's
+  absolute win shrinks as the distance grows — at ``d ≥ n`` a DOACROSS
+  loop is effectively DOALL and both schedulers tie.
+* **body size**: list scheduling's span grows with the body (the wait is
+  hoisted to cycle ~1, the send sits at the end) while the packed SP stays
+  the same few nodes, so relative improvement *rises* with independent
+  work per iteration.
+"""
+
+from conftest import emit
+
+from repro import compile_loop, evaluate_loop, paper_machine
+from repro.sim.metrics import improvement_percent
+from repro.workloads import GeneratorConfig, PlantedDep, generate_loop
+
+DISTANCES = (1, 2, 4, 10, 25, 50)
+SIZES = (1, 2, 4, 6, 8)
+
+
+def test_bench_distance_sweep(benchmark):
+    machine = paper_machine(4, 1)
+
+    def sweep():
+        rows = {}
+        for d in DISTANCES:
+            config = GeneratorConfig(
+                statements=3,
+                deps=(PlantedDep(2, 2, d),),  # self recurrence at distance d
+                noise_reads=(2, 3),
+                seed=42,
+            )
+            compiled = compile_loop(generate_loop(config))
+            ev = evaluate_loop(compiled, machine, n=100, verify=False)
+            rows[d] = (ev.t_list, ev.t_new)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'d':>4s}{'T list':>9s}{'T sync':>9s}{'improvement':>13s}"]
+    for d in DISTANCES:
+        t_list, t_new = rows[d]
+        lines.append(
+            f"{d:>4d}{t_list:>9d}{t_new:>9d}{improvement_percent(t_list, t_new):>12.1f}%"
+        )
+    emit("distance_sweep", "\n".join(lines))
+
+    # Absolute times fall with distance for both schedulers (fewer hops).
+    for name, idx in (("list", 0), ("sync", 1)):
+        times = [rows[d][idx] for d in DISTANCES]
+        assert times == sorted(times, reverse=True), name
+    # At d=50 (= n/2) a single hop remains: both land near l.
+    assert rows[50][0] < rows[1][0] / 10
+
+
+def test_bench_body_size_sweep(benchmark):
+    machine = paper_machine(4, 1)
+
+    def sweep():
+        rows = {}
+        for size in SIZES:
+            config = GeneratorConfig(
+                statements=size,
+                deps=(PlantedDep(size - 1, size - 1, 1),),  # one d=1 recurrence
+                noise_reads=(2, 3),
+                seed=7,
+            )
+            compiled = compile_loop(generate_loop(config))
+            ev = evaluate_loop(compiled, machine, n=100, verify=False)
+            rows[size] = (ev.t_list, ev.t_new, ev.improvement)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'stmts':>6s}{'T list':>9s}{'T sync':>9s}{'improvement':>13s}"]
+    for size in SIZES:
+        t_list, t_new, imp = rows[size]
+        lines.append(f"{size:>6d}{t_list:>9d}{t_new:>9d}{imp:>12.1f}%")
+    emit("body_size_sweep", "\n".join(lines))
+
+    # Relative improvement grows with independent work per iteration.
+    assert rows[SIZES[-1]][2] > rows[SIZES[0]][2]
+    # And the sync schedule's absolute time barely moves (SP unchanged).
+    news = [rows[s][1] for s in SIZES]
+    assert max(news) < 2 * min(news)

@@ -1,0 +1,57 @@
+"""Signal-latency sweep: how interconnect delay scales each schedule's
+stall chains.
+
+The paper's machine makes a signal visible the next cycle; real
+shared-memory synchronization costs more.  Every extra latency cycle is
+paid once per hop of every runtime-LBD chain, so schedules with more
+surviving LBD pairs degrade faster — quantifying the extra robustness the
+LBD→LFD conversion buys.
+"""
+
+from conftest import emit
+
+from repro import compile_loop, paper_machine
+from repro.sched import list_schedule, sync_schedule
+from repro.sim import simulate_doacross
+from repro.workloads import perfect_benchmark
+
+LATENCIES = (1, 2, 4, 8, 16)
+
+
+def test_bench_signal_latency_sweep(benchmark):
+    machine = paper_machine(4, 1)
+    compiled = [compile_loop(loop) for loop in perfect_benchmark("ADM")]
+    schedules = {
+        "list": [list_schedule(c.lowered, c.graph, machine) for c in compiled],
+        "sync": [sync_schedule(c.lowered, c.graph, machine) for c in compiled],
+    }
+
+    def sweep():
+        return {
+            lat: {
+                name: sum(
+                    simulate_doacross(s, 100, signal_latency=lat).parallel_time
+                    for s in scheds
+                )
+                for name, scheds in schedules.items()
+            }
+            for lat in LATENCIES
+        }
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'latency':>8s}{'T list':>10s}{'T sync':>10s}{'ratio':>8s}"]
+    for lat in LATENCIES:
+        tl, tn = rows[lat]["list"], rows[lat]["sync"]
+        lines.append(f"{lat:>8d}{tl:>10d}{tn:>10d}{tl / tn:>8.1f}")
+    emit("signal_latency_sweep", "\n".join(lines))
+
+    # Both degrade monotonically with latency...
+    for name in ("list", "sync"):
+        times = [rows[lat][name] for lat in LATENCIES]
+        assert times == sorted(times)
+    # ...but list scheduling pays on every pair (all its pairs are runtime
+    # LBD), so its absolute degradation is steeper.
+    list_slope = rows[16]["list"] - rows[1]["list"]
+    sync_slope = rows[16]["sync"] - rows[1]["sync"]
+    assert list_slope > sync_slope

@@ -1,0 +1,52 @@
+"""DOACROSS taxonomy distribution (paper Section 4.1).
+
+The paper evaluates on types 3 (induction variable), 4 (reduction),
+5 (simple subscript) and part of 6 (others); this table shows where our
+corpora and a generated population fall.
+"""
+
+from conftest import BENCHMARKS, emit
+
+from repro.deps import DoacrossType, taxonomy_table
+from repro.workloads import GeneratorConfig, PlantedDep, generate_loop, perfect_suite
+
+
+def test_bench_taxonomy_distribution(benchmark):
+    suite = perfect_suite()
+    tables = benchmark(
+        lambda: {name: taxonomy_table(suite[name]) for name in BENCHMARKS}
+    )
+
+    # A generated population with transform material mixed in.
+    population = []
+    for seed in range(40):
+        population.append(
+            generate_loop(
+                GeneratorConfig(
+                    statements=3,
+                    deps=(PlantedDep(2, 0, 1),),
+                    reductions=seed % 3 == 0,
+                    inductions=seed % 5 == 0,
+                    seed=seed,
+                )
+            )
+        )
+    tables["generated"] = taxonomy_table(population)
+
+    names = list(tables)
+    lines = [f"{'type':24s}" + "".join(f"{n:>11s}" for n in names)]
+    for t in DoacrossType:
+        lines.append(
+            f"{t.name.lower():24s}"
+            + "".join(f"{tables[n][t]:>11d}" for n in names)
+        )
+    emit("taxonomy_distribution", "\n".join(lines))
+
+    # The corpora follow the paper's evaluated types: no control deps,
+    # simple subscripts dominate.
+    for name in BENCHMARKS:
+        table = tables[name]
+        assert table[DoacrossType.CONTROL_DEPENDENCE] == 0
+        assert table[DoacrossType.SIMPLE_SUBSCRIPT] > 0
+    assert tables["generated"][DoacrossType.REDUCTION] > 0
+    assert tables["generated"][DoacrossType.INDUCTION_VARIABLE] > 0

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Tables 2 and 3 over the Perfect corpora.
+
+Sweeps the five benchmark corpora across the four machine cases
+(2/4-issue x 1/2 function units), printing parallel execution times for
+both schedulers and the improvement percentages.
+
+Run:  python examples/perfect_sweep.py [--n ITERATIONS]
+"""
+
+import argparse
+
+from repro import evaluate_corpus, paper_machine
+from repro.sim.metrics import improvement_percent
+from repro.workloads import PERFECT_BENCHMARKS, perfect_suite
+
+CASES = [(2, 1), (2, 2), (4, 1), (4, 2)]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=100, help="iterations per loop")
+    args = parser.parse_args()
+
+    suite = perfect_suite()
+    results: dict[tuple[str, tuple[int, int]], tuple[int, int]] = {}
+    for name in PERFECT_BENCHMARKS:
+        for case in CASES:
+            ev = evaluate_corpus(name, suite[name], paper_machine(*case), n=args.n)
+            results[(name, case)] = (ev.t_list, ev.t_new)
+
+    header = f"{'bench':8s}" + "".join(
+        f"{f'{w}-issue(#FU={f})':>24s}" for w, f in CASES
+    )
+    print("== Table 2: parallel execution times (Ta = list, Tb = new) ==")
+    print(header)
+    for name in PERFECT_BENCHMARKS:
+        cells = "".join(
+            f"{results[(name, c)][0]:>12d}{results[(name, c)][1]:>12d}" for c in CASES
+        )
+        print(f"{name:8s}{cells}")
+    totals = [
+        (
+            sum(results[(n, c)][0] for n in PERFECT_BENCHMARKS),
+            sum(results[(n, c)][1] for n in PERFECT_BENCHMARKS),
+        )
+        for c in CASES
+    ]
+    print(f"{'Total':8s}" + "".join(f"{a:>12d}{b:>12d}" for a, b in totals))
+
+    print("\n== Table 3: improvement percentages ==")
+    print(header)
+    for name in PERFECT_BENCHMARKS:
+        cells = "".join(
+            f"{improvement_percent(*results[(name, c)]):>23.2f}%" for c in CASES
+        )
+        print(f"{name:8s}{cells}")
+    for width in (2, 4):
+        tl = sum(results[(n, (width, f))][0] for n in PERFECT_BENCHMARKS for f in (1, 2))
+        tn = sum(results[(n, (width, f))][1] for n in PERFECT_BENCHMARKS for f in (1, 2))
+        print(f"Total {width}-issue improvement: {improvement_percent(tl, tn):.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Takes the Fig. 1(a) DO loop through the whole pipeline — dependence
+analysis, synchronization insertion, DLX lowering, both schedulers, and
+the DOACROSS timing simulation — and prints each artifact.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_loop, evaluate_loop, figure4_machine
+from repro.codegen import format_listing
+from repro.deps import classify_dependence
+from repro.ir import format_loop
+
+SOURCE = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+def main() -> None:
+    compiled = compile_loop(SOURCE)
+
+    print("== dependences ==")
+    for dep in compiled.restructured.graph.loop_carried():
+        print(f"  {dep}  [{classify_dependence(dep)}]")
+
+    print("\n== synchronized DOACROSS loop (paper Fig. 1b) ==")
+    print(format_loop(compiled.synced.loop))
+
+    print("\n== DLX three-address code (paper Fig. 2) ==")
+    print(format_listing(compiled.lowered))
+
+    machine = figure4_machine()
+    result = evaluate_loop(compiled, machine, check_semantics=True)
+
+    print(f"\n== schedules on {machine.name} (paper Fig. 4) ==")
+    print("-- list scheduling --")
+    print(result.schedule_list.format())
+    print("-- synchronization-aware scheduling --")
+    print(result.schedule_new.format())
+
+    print("\n== parallel execution, 100 iterations, one per processor ==")
+    print(f"  T (list scheduling) = {result.t_list}")
+    print(f"  T (new scheduling)  = {result.t_new}")
+    print(f"  improvement         = {result.improvement:.1f}%")
+    print("  (semantic check against serial execution: passed)")
+
+
+if __name__ == "__main__":
+    main()

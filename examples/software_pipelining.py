@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Software pipelining vs DOACROSS on the paper's example (extension).
+
+One processor running a modulo-scheduled kernel vs 100 processors running
+the synchronized DOACROSS loop, both on the same 4-issue machine model.
+
+Run:  python examples/software_pipelining.py
+"""
+
+from repro import compile_loop, paper_machine
+from repro.ir import parse_loop
+from repro.sched import list_schedule, modulo_schedule, sync_schedule, verify_modulo
+from repro.sim import simulate_doacross
+
+SOURCE = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+def main() -> None:
+    machine = paper_machine(4, 1)
+
+    kernel = modulo_schedule(parse_loop(SOURCE), machine)
+    assert verify_modulo(kernel) == []
+    print(f"modulo kernel: II = {kernel.ii} "
+          f"(ResMII {kernel.mii_resource}, RecMII {kernel.mii_recurrence}), "
+          f"makespan {kernel.makespan}")
+    print("kernel slots (iid @ cycle, issue slot folds at II):")
+    for iid, cycle in sorted(kernel.cycle_of.items(), key=lambda kv: kv[1]):
+        instr = kernel.lowered.instruction(iid)
+        print(f"  cycle {cycle:>3} (slot {cycle % kernel.ii}): {iid:>2}: {instr}")
+
+    compiled = compile_loop(SOURCE)
+    t_list = simulate_doacross(
+        list_schedule(compiled.lowered, compiled.graph, machine), 100
+    ).parallel_time
+    t_sync = simulate_doacross(
+        sync_schedule(compiled.lowered, compiled.graph, machine), 100
+    ).parallel_time
+
+    print("\nn = 100 iterations:")
+    print(f"  serial (1 processor, no overlap)       = {100 * kernel.makespan}")
+    print(f"  software pipeline (1 processor)        = {kernel.parallel_time(100)}")
+    print(f"  DOACROSS, list scheduling (100 procs)  = {t_list}")
+    print(f"  DOACROSS, paper's technique (100 procs)= {t_sync}")
+    print("\nOne pipelined processor beats 100 list-scheduled ones; the")
+    print("paper's scheduler is what makes the multiprocessor worth having.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro: reproduction of Hwang (IPPS 1997), "An Efficient Technique of
+Instruction Scheduling on a Superscalar-Based Multiprocessor".
+
+The package implements the paper's full pipeline from Fortran-style DO
+loops to DOACROSS parallel execution times on a simulated superscalar
+multiprocessor, with both the baseline list scheduler and the paper's
+synchronization-aware scheduler.
+
+Quick start::
+
+    from repro import compile_loop, evaluate_loop, paper_machine
+
+    compiled = compile_loop('''
+    DO I = 1, 100
+      S1: B(I) = A(I-2) + E(I+1)
+      S2: G(I-3) = A(I-1) * E(I+2)
+      S3: A(I) = B(I) + C(I+3)
+    ENDDO
+    ''')
+    result = evaluate_loop(compiled, paper_machine(4, 1))
+    print(result.t_list, result.t_new, f"{result.improvement:.1f}%")
+
+Subpackages: :mod:`repro.ir` (frontend), :mod:`repro.deps` (dependence
+analysis), :mod:`repro.transforms` (restructuring), :mod:`repro.sync`
+(synchronization insertion), :mod:`repro.codegen` (DLX lowering),
+:mod:`repro.dfg` (data-flow graph + Sigwat partition), :mod:`repro.sched`
+(schedulers), :mod:`repro.sim` (simulators), :mod:`repro.workloads`
+(benchmark corpora).
+"""
+
+from repro.pipeline import (
+    CompiledLoop,
+    CorpusEvaluation,
+    LoopEvaluation,
+    ProgramEvaluation,
+    compile_loop,
+    evaluate_corpus,
+    evaluate_loop,
+    evaluate_program,
+)
+from repro.report import corpus_record, evaluation_record, schedule_record, to_json
+from repro.sched.machine import figure4_machine, paper_cases, paper_machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledLoop",
+    "CorpusEvaluation",
+    "LoopEvaluation",
+    "ProgramEvaluation",
+    "__version__",
+    "compile_loop",
+    "corpus_record",
+    "evaluate_corpus",
+    "evaluate_loop",
+    "evaluate_program",
+    "evaluation_record",
+    "figure4_machine",
+    "paper_cases",
+    "paper_machine",
+    "schedule_record",
+    "to_json",
+]

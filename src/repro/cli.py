@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>`` (or the ``repro``
+console script).
+
+Commands
+--------
+
+``compile``   parse + analyze + synchronize + lower a loop; print the
+              artifacts (Fig. 1b / Fig. 2 style).
+``schedule``  run one or all schedulers on a machine; print bundle tables,
+              spans, utilization, optional Gantt/pressure views and the
+              simulated parallel time.
+``modulo``    software-pipeline the loop (extension): kernel, II, times.
+``sweep``     regenerate Tables 2/3 over the Perfect corpora.
+``dot``       emit the DFG as Graphviz DOT.
+
+Each command reads the loop from a file argument or stdin (``-``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.codegen import format_listing
+from repro.dfg import find_sync_paths, partition, to_dot
+from repro.ir import format_loop
+from repro.pipeline import compile_loop
+from repro.sched import (
+    Schedule,
+    assert_valid,
+    list_schedule,
+    marker_schedule,
+    paper_machine,
+    schedule_stats,
+    sync_schedule,
+)
+from repro.sim import simulate_doacross
+from repro.sim.metrics import improvement_percent
+from repro.workloads import PERFECT_BENCHMARKS, perfect_suite
+
+SCHEDULERS = {
+    "list": list_schedule,
+    "marker": marker_schedule,
+    "sync": sync_schedule,
+}
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _machine(args: argparse.Namespace):
+    return paper_machine(args.issue, args.fu)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    compiled = compile_loop(_read_source(args.loop))
+    print("== synchronized loop ==")
+    print(format_loop(compiled.synced.loop))
+    print("\n== three-address code ==")
+    print(format_listing(compiled.lowered))
+    print("\n== synchronization pairs ==")
+    for pair in compiled.synced.pairs:
+        print(f"  {pair}")
+    components = partition(compiled.graph, compiled.lowered)
+    print("\n== DFG partition ==")
+    for component in components:
+        print(f"  {component.kind.value:7s}: {sorted(component.nodes)}")
+    for path in find_sync_paths(compiled.graph, compiled.lowered, components):
+        print(f"  SP(pair {path.pair_id}) = {list(path.nodes)}")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    compiled = compile_loop(_read_source(args.loop))
+    machine = _machine(args)
+    names = list(SCHEDULERS) if args.scheduler == "all" else [args.scheduler]
+    results: list[tuple[str, Schedule, int]] = []
+    for name in names:
+        schedule = SCHEDULERS[name](compiled.lowered, compiled.graph, machine)
+        assert_valid(schedule, compiled.graph)
+        sim = simulate_doacross(schedule, args.n)
+        results.append((name, schedule, sim.parallel_time))
+        print(f"== {name} scheduling on {machine.name} ==")
+        print(schedule.format())
+        spans = {p.pair_id: schedule.span(p.pair_id) for p in compiled.synced.pairs}
+        print(f"length = {schedule.length}  spans = {spans}")
+        print(schedule_stats(schedule).format())
+        if args.gantt:
+            from repro.sched.gantt import gantt
+
+            print(gantt(schedule))
+        if args.pressure:
+            from repro.sched import register_pressure
+
+            profile = register_pressure(schedule)
+            print(
+                f"register pressure: peak {profile.max_pressure} at cycle "
+                f"{profile.cycle_of_peak()} ({profile.temporaries} temporaries)"
+            )
+        print(f"parallel time (n={args.n}) = {sim.parallel_time}\n")
+    if len(results) > 1:
+        base = results[0][2]
+        for name, _, t in results[1:]:
+            print(
+                f"{name} vs {results[0][0]}: {improvement_percent(base, t):+.1f}% improvement"
+            )
+    return 0
+
+
+def cmd_modulo(args: argparse.Namespace) -> int:
+    from repro.ir.parser import parse_loop
+    from repro.sched.modulo import modulo_schedule, verify_modulo
+
+    loop = parse_loop(_read_source(args.loop))
+    machine = _machine(args)
+    kernel = modulo_schedule(loop, machine)
+    violations = verify_modulo(kernel)
+    print(
+        f"II = {kernel.ii} (ResMII {kernel.mii_resource}, RecMII "
+        f"{kernel.mii_recurrence}), makespan {kernel.makespan}"
+    )
+    for iid, cycle in sorted(kernel.cycle_of.items(), key=lambda kv: (kv[1], kv[0])):
+        instr = kernel.lowered.instruction(iid)
+        print(f"  cycle {cycle:>3} (slot {cycle % kernel.ii}): {iid:>3}: {instr}")
+    print(f"pipelined time (1 processor, n={args.n}) = {kernel.parallel_time(args.n)}")
+    if violations:
+        print("VIOLATIONS:", *violations, sep="\n  ")
+        return 1
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    suite = perfect_suite()
+    names = args.benchmarks or list(PERFECT_BENCHMARKS)
+    cases = [(2, 1), (2, 2), (4, 1), (4, 2)]
+    from repro.pipeline import evaluate_corpus
+
+    print(f"{'bench':8s}" + "".join(f"{f'{w}i/{f}fu':>16s}" for w, f in cases))
+    for name in names:
+        cells = []
+        for case in cases:
+            ev = evaluate_corpus(name, suite[name], paper_machine(*case), n=args.n)
+            cells.append(f"{ev.t_list}/{ev.t_new} {ev.improvement:4.0f}%")
+        print(f"{name:8s}" + "".join(f"{c:>16s}" for c in cells))
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    compiled = compile_loop(_read_source(args.loop))
+    print(to_dot(compiled.graph, compiled.lowered, title=args.title))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hwang (IPPS 1997) instruction-scheduling reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a loop and print artifacts")
+    p_compile.add_argument("loop", help="loop source file, or - for stdin")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_sched = sub.add_parser("schedule", help="schedule a loop and simulate")
+    p_sched.add_argument("loop", help="loop source file, or - for stdin")
+    p_sched.add_argument(
+        "--scheduler", choices=[*SCHEDULERS, "all"], default="all"
+    )
+    p_sched.add_argument("--issue", type=int, default=4, help="issue width")
+    p_sched.add_argument("--fu", type=int, default=1, help="units per class")
+    p_sched.add_argument("--n", type=int, default=100, help="iterations")
+    p_sched.add_argument("--gantt", action="store_true", help="occupancy chart")
+    p_sched.add_argument("--pressure", action="store_true", help="register pressure")
+    p_sched.set_defaults(func=cmd_schedule)
+
+    p_mod = sub.add_parser("modulo", help="software-pipeline a loop (extension)")
+    p_mod.add_argument("loop", help="loop source file, or - for stdin")
+    p_mod.add_argument("--issue", type=int, default=4)
+    p_mod.add_argument("--fu", type=int, default=1)
+    p_mod.add_argument("--n", type=int, default=100)
+    p_mod.set_defaults(func=cmd_modulo)
+
+    p_sweep = sub.add_parser("sweep", help="Tables 2/3 over the Perfect corpora")
+    p_sweep.add_argument("benchmarks", nargs="*", help="subset of corpora")
+    p_sweep.add_argument("--n", type=int, default=100)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_dot = sub.add_parser("dot", help="emit the DFG as Graphviz DOT")
+    p_dot.add_argument("loop", help="loop source file, or - for stdin")
+    p_dot.add_argument("--title", default=None)
+    p_dot.set_defaults(func=cmd_dot)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `head`) went away; not an error
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""DLX-style three-address code generation.
+
+Lowers a synchronized loop body (:class:`repro.sync.SyncedLoop`) into the
+instruction stream the schedulers and the simulator operate on — the format
+of the paper's Fig. 2.  See :mod:`repro.codegen.isa` for the instruction
+set and function-unit classes and :mod:`repro.codegen.lower` for the
+lowering rules (LHS address first, operands left-to-right, value-numbered
+address arithmetic, optional compute-into-store fusion before a send).
+"""
+
+from repro.codegen.isa import (
+    FuClass,
+    Instruction,
+    MemAccess,
+    Opcode,
+    Operand,
+    SyncInfo,
+    render_instruction,
+)
+from repro.codegen.lower import FuseStore, LoweredLoop, lower_loop
+from repro.codegen.listing import format_listing
+from repro.codegen.regalloc import AllocationResult, allocate_registers
+
+__all__ = [
+    "AllocationResult",
+    "FuClass",
+    "FuseStore",
+    "allocate_registers",
+    "Instruction",
+    "LoweredLoop",
+    "MemAccess",
+    "Opcode",
+    "Operand",
+    "SyncInfo",
+    "format_listing",
+    "lower_loop",
+    "render_instruction",
+]

@@ -1,0 +1,15 @@
+"""Listing printer: renders a lowered loop the way the paper prints Fig. 2."""
+
+from __future__ import annotations
+
+from repro.codegen.isa import render_instruction
+from repro.codegen.lower import LoweredLoop
+
+
+def format_listing(lowered: LoweredLoop, numbered: bool = True) -> str:
+    """One instruction per line, optionally with the 1-based Fig. 2 numbers."""
+    lines = []
+    for instr in lowered.instructions:
+        text = render_instruction(instr)
+        lines.append(f"{instr.iid}: {text}" if numbered else text)
+    return "\n".join(lines)

@@ -1,0 +1,290 @@
+"""Register allocation with spilling (linear scan over the listing).
+
+The paper's code generator lives in a register-starved world — its delayed
+loads exist "to effectively use the limited registers".  This module makes
+that constraint explicit: the lowerer's unbounded virtual temporaries
+(``t1``, ``t2``, ...) are mapped onto ``K`` physical integer registers
+(``r1..rK``) and ``K`` floating-point registers (``f1..fK``) by
+Poletto/Sarkar linear scan over the listing order; when pressure exceeds
+``K``, the live range with the furthest end is *spilled everywhere*: its
+definition is followed by a store to a private spill slot and every use is
+preceded by a reload into one of two reserved scratch registers per class.
+
+Allocation happens *before* scheduling — the classic DLX-era phase order —
+so register reuse constrains the scheduler through WAR/WAW edges that
+:func:`repro.dfg.build_dfg` now emits.  The register sweep benchmark
+measures what that costs the paper's technique.
+
+Loop-invariant symbolic registers (the index ``I``, bounds, read-only
+scalars) are considered pre-allocated outside the pool, as era compilers
+reserved globals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codegen.isa import Instruction, MemAccess, Opcode, Operand
+from repro.codegen.lower import LoweredLoop
+from repro.ir.symbols import VarType
+
+SCRATCH_PER_CLASS = 2
+
+
+@dataclass
+class AllocationResult:
+    """Rewritten code plus what the allocator did."""
+
+    lowered: LoweredLoop
+    assignment: dict[str, str]  # virtual temp -> physical register
+    spilled: frozenset[str]
+    spill_stores: int
+    spill_loads: int
+    int_registers: int
+    fp_registers: int
+
+    @property
+    def spill_instructions(self) -> int:
+        return self.spill_stores + self.spill_loads
+
+
+@dataclass(frozen=True)
+class _Interval:
+    temp: str
+    var_type: VarType
+    start: int  # defining iid
+    end: int  # last-use iid (== start when unused)
+
+
+def _temp_types(lowered: LoweredLoop) -> dict[str, VarType]:
+    """Value class of every temporary, from its defining instruction."""
+    real_producers = {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FNEG}
+    types: dict[str, VarType] = {}
+    for instr in lowered.instructions:
+        if instr.dest is None:
+            continue
+        if instr.opcode in real_producers:
+            types[instr.dest] = VarType.REAL
+        elif instr.opcode is Opcode.LOAD:
+            assert instr.mem is not None
+            name = instr.mem.variable
+            var_type = (
+                lowered.symbols[name].var_type if name in lowered.symbols else VarType.REAL
+            )
+            types[instr.dest] = var_type
+        else:
+            types[instr.dest] = VarType.INT
+    return types
+
+
+def _live_intervals(lowered: LoweredLoop, types: dict[str, VarType]) -> list[_Interval]:
+    start: dict[str, int] = {}
+    end: dict[str, int] = {}
+    for instr in lowered.instructions:
+        for reg in instr.uses():
+            if reg in start:
+                end[reg] = instr.iid
+        if instr.dest is not None:
+            start[instr.dest] = instr.iid
+            end.setdefault(instr.dest, instr.iid)
+    return [
+        _Interval(temp=t, var_type=types[t], start=s, end=end[t])
+        for t, s in sorted(start.items(), key=lambda kv: kv[1])
+    ]
+
+
+def _linear_scan(
+    intervals: list[_Interval], pool_size: int, prefix: str
+) -> tuple[dict[str, str], set[str]]:
+    """Classic linear scan for one register class; returns (assignment,
+    spilled temps)."""
+    assignment: dict[str, str] = {}
+    spilled: set[str] = set()
+    # FIFO (round-robin) free list: freshly-expired registers go to the
+    # back, so reuse is spread across the file.  LIFO reuse would chain
+    # every statement through r1's WAR edges and serialize the schedule —
+    # disastrous for the sync scheduler's LBD→LFD conversions.
+    free = [f"{prefix}{i}" for i in range(1, pool_size + 1)]
+    active: list[_Interval] = []  # sorted by end
+
+    for interval in intervals:
+        # expire
+        still_active = []
+        for a in active:
+            if a.end < interval.start:
+                free.append(assignment[a.temp])
+            else:
+                still_active.append(a)
+        active = still_active
+        if free:
+            assignment[interval.temp] = free.pop(0)
+            active.append(interval)
+            active.sort(key=lambda a: a.end)
+            continue
+        # spill the furthest-ending interval (current or active)
+        victim = active[-1] if active and active[-1].end > interval.end else None
+        if victim is not None:
+            spilled.add(victim.temp)
+            assignment[interval.temp] = assignment.pop(victim.temp)
+            active.remove(victim)
+            active.append(interval)
+            active.sort(key=lambda a: a.end)
+        else:
+            spilled.add(interval.temp)
+    return assignment, spilled
+
+
+def allocate_registers(
+    lowered: LoweredLoop, int_registers: int = 8, fp_registers: int = 8
+) -> AllocationResult:
+    """Allocate ``lowered``'s temporaries onto physical registers.
+
+    Each class reserves :data:`SCRATCH_PER_CLASS` registers for spill
+    reloads, so the allocatable pool is ``K - 2`` (``K >= 3`` required).
+    Returns a fresh :class:`LoweredLoop` with physical register names and
+    spill code; the input is untouched.
+    """
+    if int_registers < SCRATCH_PER_CLASS + 1 or fp_registers < SCRATCH_PER_CLASS + 1:
+        raise ValueError(f"need at least {SCRATCH_PER_CLASS + 1} registers per class")
+
+    types = _temp_types(lowered)
+    intervals = _live_intervals(lowered, types)
+    int_assign, int_spilled = _linear_scan(
+        [iv for iv in intervals if iv.var_type is VarType.INT],
+        int_registers - SCRATCH_PER_CLASS,
+        "r",
+    )
+    fp_assign, fp_spilled = _linear_scan(
+        [iv for iv in intervals if iv.var_type is VarType.REAL],
+        fp_registers - SCRATCH_PER_CLASS,
+        "f",
+    )
+    assignment = {**int_assign, **fp_assign}
+    spilled = frozenset(int_spilled | fp_spilled)
+
+    scratch = {VarType.INT: ("r_s1", "r_s2"), VarType.REAL: ("f_s1", "f_s2")}
+
+    new = LoweredLoop(synced=lowered.synced, symbols=lowered.symbols)
+    old_to_new: dict[int, int] = {}
+    spill_stores = spill_loads = 0
+
+    def emit(instr: Instruction) -> Instruction:
+        renumbered = Instruction(
+            iid=len(new.instructions) + 1,
+            opcode=instr.opcode,
+            dest=instr.dest,
+            srcs=instr.srcs,
+            mem=instr.mem,
+            sync=instr.sync,
+            stmt_pos=instr.stmt_pos,
+            fused=instr.fused,
+            cmp=instr.cmp,
+            pred=instr.pred,
+        )
+        new.instructions.append(renumbered)
+        return renumbered
+
+    def slot(temp: str) -> MemAccess:
+        return MemAccess(
+            variable=f"_spill_{temp}",
+            address=None,
+            is_store=False,
+            is_scalar=True,
+            private=True,
+        )
+
+    for instr in lowered.instructions:
+        # 1. reload spilled operands into scratch registers (per class)
+        reload_map: dict[str, str] = {}
+        scratch_used = {VarType.INT: 0, VarType.REAL: 0}
+        for reg in instr.uses():
+            if reg in spilled and reg not in reload_map:
+                var_type = types[reg]
+                index = scratch_used[var_type]
+                if index >= SCRATCH_PER_CLASS:  # pragma: no cover - ISA caps at 2
+                    raise RuntimeError("more spilled operands than scratch registers")
+                scratch_used[var_type] = index + 1
+                scratch_reg = scratch[var_type][index]
+                emit(
+                    Instruction(
+                        iid=0,
+                        opcode=Opcode.LOAD,
+                        dest=scratch_reg,
+                        mem=slot(reg),
+                        stmt_pos=instr.stmt_pos,
+                    )
+                )
+                spill_loads += 1
+                reload_map[reg] = scratch_reg
+
+        def rename(op: Operand) -> Operand:
+            if not isinstance(op, str):
+                return op
+            if op in reload_map:
+                return reload_map[op]
+            return assignment.get(op, op)
+
+        dest = instr.dest
+        dest_spilled = dest is not None and dest in spilled
+        if dest is not None:
+            dest = scratch[types[instr.dest]][0] if dest_spilled else assignment.get(dest, dest)
+        mem = instr.mem
+        if mem is not None and isinstance(mem.address, str):
+            mem = MemAccess(
+                variable=mem.variable,
+                address=rename(mem.address),
+                is_store=mem.is_store,
+                affine=mem.affine,
+                is_scalar=mem.is_scalar,
+                private=mem.private,
+            )
+        core = emit(
+            Instruction(
+                iid=0,
+                opcode=instr.opcode,
+                dest=dest,
+                srcs=tuple(rename(s) for s in instr.srcs),
+                mem=mem,
+                sync=instr.sync,
+                stmt_pos=instr.stmt_pos,
+                fused=instr.fused,
+                cmp=instr.cmp,
+                pred=rename(instr.pred) if instr.pred is not None else None,
+            )
+        )
+        old_to_new[instr.iid] = core.iid
+        # 2. spill a spilled destination right after its definition
+        if dest_spilled:
+            assert instr.dest is not None and dest is not None
+            store_mem = MemAccess(
+                variable=f"_spill_{instr.dest}",
+                address=None,
+                is_store=True,
+                is_scalar=True,
+                private=True,
+            )
+            emit(
+                Instruction(
+                    iid=0,
+                    opcode=Opcode.STORE,
+                    srcs=(dest,),
+                    mem=store_mem,
+                    stmt_pos=instr.stmt_pos,
+                )
+            )
+            spill_stores += 1
+
+    new.wait_iids = {p: old_to_new[i] for p, i in lowered.wait_iids.items()}
+    new.send_iids = {p: old_to_new[i] for p, i in lowered.send_iids.items()}
+    new.ref_iids = {
+        ref: (old_to_new[i] if i in old_to_new else i) for ref, i in lowered.ref_iids.items()
+    }
+    return AllocationResult(
+        lowered=new,
+        assignment=assignment,
+        spilled=spilled,
+        spill_stores=spill_stores,
+        spill_loads=spill_loads,
+        int_registers=int_registers,
+        fp_registers=fp_registers,
+    )

@@ -1,0 +1,48 @@
+"""Data dependence analysis for single-index loops.
+
+This package implements the dependence machinery the paper's pipeline needs:
+
+* :mod:`repro.deps.subscripts` — affine subscript extraction (``a*I + b``).
+* :mod:`repro.deps.tests` — ZIV/SIV dependence tests with exact constant
+  distances for the strong-SIV case and a GCD existence test otherwise.
+* :mod:`repro.deps.analysis` — statement-level dependence graph over a loop
+  body (flow/anti/output, loop-carried and loop-independent, array and
+  scalar).
+* :mod:`repro.deps.classify` — LFD/LBD classification of loop-carried
+  dependences and DOALL/DOACROSS/SERIAL loop classification.
+"""
+
+from repro.deps.analysis import Dependence, DependenceGraph, DepKind, analyze_loop
+from repro.deps.classify import (
+    LoopClass,
+    classify_dependence,
+    classify_loop,
+    count_lfd_lbd,
+    is_lexically_backward,
+)
+from repro.deps.subscripts import Affine, affine_of, normalize
+from repro.deps.tests import DependenceSolution, solve_siv
+
+# Imported last: the taxonomy reaches into repro.transforms, which imports
+# back into this package; by this point every name it needs is bound.
+from repro.deps.taxonomy import DoacrossType, classify_doacross, taxonomy_table
+
+__all__ = [
+    "DoacrossType",
+    "classify_doacross",
+    "taxonomy_table",
+    "Affine",
+    "DepKind",
+    "Dependence",
+    "DependenceGraph",
+    "DependenceSolution",
+    "LoopClass",
+    "affine_of",
+    "analyze_loop",
+    "classify_dependence",
+    "classify_loop",
+    "count_lfd_lbd",
+    "is_lexically_backward",
+    "normalize",
+    "solve_siv",
+]

@@ -1,0 +1,86 @@
+"""LFD/LBD dependence classification and loop classification.
+
+Following the paper's definitions (Section 2):
+
+* ``Si bef Sj`` iff ``Si`` occurs textually before ``Sj``.
+* A dependence ``Si δ Sj`` is **forward** (LFD) iff ``Si bef Sj``; *any*
+  dependence that is not forward — including a statement depending on
+  itself — is **backward** (LBD).
+
+Only loop-carried dependences matter for the LFD/LBD distinction (a
+loop-independent dependence never crosses processors in the DOACROSS
+execution), so the helpers below restrict themselves to those.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.deps.analysis import Dependence, DependenceGraph, analyze_loop
+from repro.ir.ast_nodes import Loop
+
+
+class LoopClass(enum.Enum):
+    """Parallelizability of a loop.
+
+    ``DOALL``     — no loop-carried dependence; iterations are independent.
+    ``DOACROSS``  — loop-carried dependences, all with constant distances;
+                    parallelizable with Send/Wait synchronization.
+    ``SERIAL``    — some loop-carried dependence has no constant distance
+                    (irregular/non-affine); cannot be synchronized with
+                    constant-distance signals.
+    """
+
+    DOALL = "doall"
+    DOACROSS = "doacross"
+    SERIAL = "serial"
+
+
+def is_lexically_backward(dep: Dependence) -> bool:
+    """Paper definition: backward iff the source is *not* textually before
+    the sink (``source >= sink`` covers the self-dependence case)."""
+    return dep.source >= dep.sink
+
+
+def classify_dependence(dep: Dependence) -> str:
+    """``"LBD"`` or ``"LFD"`` for a loop-carried dependence."""
+    if not dep.loop_carried:
+        raise ValueError("LFD/LBD classification applies to loop-carried dependences")
+    return "LBD" if is_lexically_backward(dep) else "LFD"
+
+
+@dataclass(frozen=True)
+class LfdLbdCount:
+    lfd: int = 0
+    lbd: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.lfd + self.lbd
+
+
+def count_lfd_lbd(graph: DependenceGraph) -> LfdLbdCount:
+    """Count loop-carried dependences by direction (Table 1 columns)."""
+    lfd = lbd = 0
+    for dep in graph.loop_carried():
+        if is_lexically_backward(dep):
+            lbd += 1
+        else:
+            lfd += 1
+    return LfdLbdCount(lfd=lfd, lbd=lbd)
+
+
+def classify_loop(loop_or_graph: Loop | DependenceGraph) -> LoopClass:
+    """Classify a loop as DOALL / DOACROSS / SERIAL (see :class:`LoopClass`)."""
+    graph = (
+        loop_or_graph
+        if isinstance(loop_or_graph, DependenceGraph)
+        else analyze_loop(loop_or_graph)
+    )
+    carried = graph.loop_carried()
+    if not carried:
+        return LoopClass.DOALL
+    if any(d.irregular for d in carried):
+        return LoopClass.SERIAL
+    return LoopClass.DOACROSS

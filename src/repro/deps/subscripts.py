@@ -1,0 +1,87 @@
+"""Affine subscript analysis.
+
+Every subscript the paper's kernels use is affine in the loop index:
+``I``, ``I-2``, ``I+3``, ``2*I+1``...  :func:`affine_of` extracts the
+``(coefficient, offset)`` pair or returns ``None`` when the subscript is not
+an integer-affine function of the index (a different scalar, a nested array
+reference, a product of the index with itself, ...).  Non-affine subscripts
+make the enclosing dependence unanalyzable and the loop SERIAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.ast_nodes import ArrayRef, BinOp, Const, Expr, UnaryOp, VarRef
+
+
+@dataclass(frozen=True)
+class Affine:
+    """The subscript ``coeff * index + offset`` (both integers)."""
+
+    coeff: int
+    offset: int
+
+    def at(self, iteration: int) -> int:
+        """Evaluate the subscript at a concrete iteration number."""
+        return self.coeff * iteration + self.offset
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics
+        if self.coeff == 0:
+            return str(self.offset)
+        head = "I" if self.coeff == 1 else f"{self.coeff}*I"
+        if self.offset == 0:
+            return head
+        sign = "+" if self.offset > 0 else "-"
+        return f"{head} {sign} {abs(self.offset)}"
+
+
+def affine_of(expr: Expr, index: str) -> Affine | None:
+    """Extract ``a*index + b`` from ``expr``; ``None`` if not affine.
+
+    Multiplication is affine only when one side is index-free; division is
+    affine only for an exact integer division of an index-free value (a
+    conservative rule — ``I/2`` is rejected because its distance behaviour
+    is not constant).
+    """
+    if isinstance(expr, Const):
+        if isinstance(expr.value, int):
+            return Affine(0, expr.value)
+        if float(expr.value).is_integer():
+            return Affine(0, int(expr.value))
+        return None
+    if isinstance(expr, VarRef):
+        return Affine(1, 0) if expr.name == index else None
+    if isinstance(expr, ArrayRef):
+        return None
+    if isinstance(expr, UnaryOp):
+        inner = affine_of(expr.operand, index)
+        if inner is None:
+            return None
+        return Affine(-inner.coeff, -inner.offset)
+    if isinstance(expr, BinOp):
+        left = affine_of(expr.left, index)
+        right = affine_of(expr.right, index)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return Affine(left.coeff + right.coeff, left.offset + right.offset)
+        if expr.op == "-":
+            return Affine(left.coeff - right.coeff, left.offset - right.offset)
+        if expr.op == "*":
+            if left.coeff == 0:
+                return Affine(left.offset * right.coeff, left.offset * right.offset)
+            if right.coeff == 0:
+                return Affine(left.coeff * right.offset, left.offset * right.offset)
+            return None
+        if expr.op == "/":
+            if right.coeff == 0 and right.offset != 0 and left.coeff == 0:
+                if left.offset % right.offset == 0:
+                    return Affine(0, left.offset // right.offset)
+            return None
+    return None
+
+
+def normalize(ref: ArrayRef, index: str) -> Affine | None:
+    """Affine form of an array reference's subscript (convenience)."""
+    return affine_of(ref.subscript, index)

@@ -1,0 +1,104 @@
+"""DOACROSS loop taxonomy (paper Section 4.1, after Eigenmann et al.).
+
+The paper sorts DOACROSS loops into six types and evaluates on types 3-5
+plus part of 6:
+
+1. **control dependence** — the recurrence runs through control flow,
+   expressed here as guarded (Fortran logical-IF) statements.
+2. **anti/output dependence** — every carried dependence is anti or
+   output (no carried flow); removable by renaming in principle.
+3. **induction variable** — an auxiliary induction variable carries the
+   recurrence (before substitution).
+4. **reduction operation** — an associative accumulator carries it.
+5. **simple subscript expression** — carried flow dependences through
+   plainly-subscripted arrays with constant distances.
+6. **others** — whatever remains (irregular distances, non-affine
+   subscripts, unrecognized scalar recurrences).
+
+Classification looks at the loop *before* restructuring, because types 3
+and 4 describe exactly what the restructuring removes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.deps.analysis import DepKind, analyze_loop
+from repro.ir.ast_nodes import Loop
+from repro.transforms.induction import find_induction_variables
+from repro.transforms.reduction import find_reductions
+
+
+class DoacrossType(enum.Enum):
+    """The paper's Section 4.1 DOACROSS loop types (see module docs)."""
+
+    CONTROL_DEPENDENCE = 1
+    ANTI_OUTPUT = 2
+    INDUCTION_VARIABLE = 3
+    REDUCTION = 4
+    SIMPLE_SUBSCRIPT = 5
+    OTHERS = 6
+
+
+def classify_doacross(loop: Loop) -> DoacrossType:
+    """Assign the paper's type to one loop (priority: 3, 4, 2, 5, 6).
+
+    Induction and reduction take precedence (they are *why* the loop is not
+    yet parallel and name the transform that fixes it); a loop whose only
+    remaining carried dependences are anti/output is type 2; carried flow
+    dependences through constant-distance array subscripts are type 5;
+    anything irregular falls into type 6.
+    """
+    graph = analyze_loop(loop)
+    carried = graph.loop_carried()
+    if not carried:
+        raise ValueError("not a DOACROSS candidate: no loop-carried dependence")
+
+    # Type 1: the recurrence runs through a guarded (control-dependent)
+    # statement.
+    from repro.ir.ast_nodes import Assign
+
+    def stmt_guarded(pos: int) -> bool:
+        stmt = loop.body[pos]
+        return isinstance(stmt, Assign) and stmt.guard is not None
+
+    if any(stmt_guarded(d.source) or stmt_guarded(d.sink) for d in carried):
+        return DoacrossType.CONTROL_DEPENDENCE
+
+    if find_induction_variables(loop):
+        return DoacrossType.INDUCTION_VARIABLE
+    if find_reductions(loop):
+        return DoacrossType.REDUCTION
+    if any(d.irregular for d in carried):
+        return DoacrossType.OTHERS
+
+    kinds = {d.kind for d in carried}
+    if DepKind.FLOW not in kinds:
+        return DoacrossType.ANTI_OUTPUT
+
+    # Carried flow dependences: simple subscripts iff none run through
+    # scalars (a scalar recurrence that is neither induction nor reduction
+    # belongs to "others").
+    scalar_flow = any(
+        d.kind is DepKind.FLOW and not _is_array_dep(loop, d) for d in carried
+    )
+    if scalar_flow:
+        return DoacrossType.OTHERS
+    return DoacrossType.SIMPLE_SUBSCRIPT
+
+
+def _is_array_dep(loop: Loop, dep) -> bool:
+    from repro.ir.ast_nodes import ArrayRef
+
+    return isinstance(dep.source_ref, ArrayRef)
+
+
+def taxonomy_table(loops: list[Loop]) -> dict[DoacrossType, int]:
+    """Type histogram of a corpus (DOALL loops are skipped)."""
+    table = {t: 0 for t in DoacrossType}
+    for loop in loops:
+        graph = analyze_loop(loop)
+        if not graph.loop_carried():
+            continue
+        table[classify_doacross(loop)] += 1
+    return table

@@ -1,0 +1,110 @@
+"""Single-index-variable (SIV) dependence tests.
+
+Given two affine references to the same array — a *first* access in
+iteration ``k`` and a *second* access in iteration ``k + d`` — decide whether
+they can touch the same element and, when possible, the constant dependence
+distance ``d``.
+
+Terminology follows the standard taxonomy (Allen & Kennedy):
+
+* **ZIV** (zero index variable): both coefficients zero.  Dependence iff the
+  offsets are equal; the distance is not constant (every later iteration
+  conflicts), reported as ``irregular``.
+* **strong SIV**: equal non-zero coefficients ``a``.  The accesses collide
+  exactly when ``a*d = b1 - b2``, a single constant distance.
+* **weak SIV / general**: different coefficients.  A GCD feasibility test
+  decides whether any collision exists inside iteration space; the distance
+  varies per iteration, reported as ``irregular`` when feasible.
+
+The paper's evaluation uses only "simple subscript expressions" (types 3-5
+of its DOACROSS taxonomy), which are all strong SIV; the other outcomes make
+a loop SERIAL in :mod:`repro.deps.classify`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.deps.subscripts import Affine
+
+
+@dataclass(frozen=True)
+class DependenceSolution:
+    """Outcome of a dependence test between two affine references.
+
+    ``exists``
+        whether the two references can ever touch the same element.
+    ``distance``
+        the constant iteration distance ``d`` (second access ``d``
+        iterations after the first), when one exists.  ``d`` may be
+        negative — the caller flips source and sink in that case.  ``None``
+        when no constant distance exists.
+    ``irregular``
+        dependence exists but without a constant distance (ZIV or weak
+        SIV); such loops cannot be DOACROSS-synchronized with
+        constant-distance signals and are classified SERIAL.
+    """
+
+    exists: bool
+    distance: int | None = None
+    irregular: bool = False
+
+    @classmethod
+    def none(cls) -> "DependenceSolution":
+        return cls(exists=False)
+
+
+def solve_siv(first: Affine, second: Affine, trip_count: int | None = None) -> DependenceSolution:
+    """Test ``first`` (iteration ``k``) against ``second`` (iteration ``k+d``).
+
+    ``trip_count``, when known, bounds the feasibility check for the weak
+    case: a collision whose iterations fall outside ``1..trip_count`` is no
+    dependence.  With a symbolic trip count the weak case is conservatively
+    reported feasible whenever the GCD test passes.
+    """
+    a1, b1 = first.coeff, first.offset
+    a2, b2 = second.coeff, second.offset
+
+    if a1 == 0 and a2 == 0:  # ZIV
+        if b1 == b2:
+            return DependenceSolution(exists=True, irregular=True)
+        return DependenceSolution.none()
+
+    if a1 == a2:  # strong SIV: a*k + b1 == a*(k+d) + b2  =>  a*d == b1 - b2
+        diff = b1 - b2
+        if diff % a1 != 0:
+            return DependenceSolution.none()
+        d = diff // a1
+        if trip_count is not None and abs(d) >= trip_count:
+            return DependenceSolution.none()
+        return DependenceSolution(exists=True, distance=d)
+
+    # Weak SIV / general: a1*i + b1 == a2*j + b2 for integers i, j.
+    # Feasible iff gcd(a1, a2) divides (b2 - b1).
+    g = math.gcd(a1, a2)
+    if g != 0 and (b2 - b1) % g != 0:
+        return DependenceSolution.none()
+    if trip_count is not None and not _weak_feasible(a1, b1, a2, b2, trip_count):
+        return DependenceSolution.none()
+    return DependenceSolution(exists=True, irregular=True)
+
+
+def _weak_feasible(a1: int, b1: int, a2: int, b2: int, trip_count: int) -> bool:
+    """Exact in-bounds check for the weak case with a known trip count.
+
+    Small trip counts (the generator uses hundreds) make direct enumeration
+    over one index affordable and exact, which the GCD test alone is not.
+    """
+    lo, hi = 1, trip_count
+    for i in range(lo, hi + 1):
+        value = a1 * i + b1
+        # a2 * j = value - b2  =>  j integral and in bounds?
+        if a2 == 0:
+            if value == b2:
+                return True
+            continue
+        num = value - b2
+        if num % a2 == 0 and lo <= num // a2 <= hi:
+            return True
+    return False

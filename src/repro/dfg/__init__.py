@@ -1,0 +1,35 @@
+"""Instruction-level data-flow graph with synchronization-condition arcs.
+
+* :mod:`repro.dfg.graph` — the graph structure (nodes = instruction ids,
+  typed edges) with reachability/topology helpers.
+* :mod:`repro.dfg.builder` — builds the DFG of a lowered loop: register
+  true dependences, within-iteration memory dependences (exact affine
+  disambiguation), and the paper's two extra arcs per synchronization pair
+  (``Src -> Sig`` and ``Wat -> Snk``).
+* :mod:`repro.dfg.partition` — weakly-connected-component partition into
+  Sig / Wat / Sigwat / plain graphs (paper Section 3.1).
+* :mod:`repro.dfg.syncpath` — synchronization paths ``SP(Wat, Sig)`` inside
+  Sigwat graphs, their ``(n/d)·|SP|`` weights and overlap grouping
+  (paper Section 3.2).
+"""
+
+from repro.dfg.builder import build_dfg
+from repro.dfg.dot import to_dot
+from repro.dfg.graph import DataFlowGraph, Edge, EdgeKind
+from repro.dfg.partition import Component, ComponentKind, partition
+from repro.dfg.syncpath import SyncPath, find_sync_paths, group_overlapping, order_paths
+
+__all__ = [
+    "Component",
+    "ComponentKind",
+    "DataFlowGraph",
+    "Edge",
+    "EdgeKind",
+    "SyncPath",
+    "build_dfg",
+    "find_sync_paths",
+    "group_overlapping",
+    "order_paths",
+    "partition",
+    "to_dot",
+]

@@ -1,0 +1,86 @@
+"""DFG construction from a lowered loop.
+
+Three edge families (paper Section 3.1):
+
+1. **Register dependences** — each read depends on its *reaching*
+   definition.  Straight from the lowerer, temporaries are in SSA form
+   (every ``emit`` creates a fresh ``tN``), so only true dependences
+   exist; after register allocation (:mod:`repro.codegen.regalloc`)
+   physical registers are reused, and the builder additionally emits
+   read→next-write (WAR) and write→next-write (WAW) edges.  Pre-loaded
+   registers (the index ``I``, loop invariants) have no producer.
+2. **Within-iteration memory dependences** — for two accesses to the same
+   variable, at least one a store, that may alias (exact affine
+   disambiguation: same-iteration accesses with different affine subscripts
+   never collide), an edge in listing order.  Cross-iteration ordering is
+   the synchronization pairs' job, not the DFG's.
+3. **Synchronization-condition arcs** — per pair, ``Src -> Sig`` (a send
+   may not precede its dependence source) and ``Wat -> Snk`` (a wait may
+   not follow its dependence sink).  These are what makes any legal
+   schedule of the DFG free of stale-data accesses.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.lower import LoweredLoop
+from repro.dfg.graph import DataFlowGraph, EdgeKind
+
+
+def build_dfg(lowered: LoweredLoop) -> DataFlowGraph:
+    """Build the data-flow graph of ``lowered`` (nodes are instruction ids)."""
+    graph = DataFlowGraph()
+
+    for instr in lowered.instructions:
+        graph.add_node(instr.iid)
+
+    # 1. register dependences (reaching definitions; WAR/WAW on reuse)
+    last_def: dict[str, int] = {}
+    uses_since_def: dict[str, list[int]] = {}
+    for instr in lowered.instructions:
+        seen: set[int] = set()
+        for reg in instr.uses():
+            producer = last_def.get(reg)
+            if producer is not None and producer != instr.iid and producer not in seen:
+                seen.add(producer)
+                graph.add_edge(producer, instr.iid, EdgeKind.REG)
+            uses_since_def.setdefault(reg, []).append(instr.iid)
+        if instr.dest is not None:
+            prev = last_def.get(instr.dest)
+            if prev is not None and prev != instr.iid:
+                graph.add_edge(prev, instr.iid, EdgeKind.REG_OUTPUT)
+            for reader in uses_since_def.get(instr.dest, ()):  # WAR
+                if reader != instr.iid and not graph.has_edge(reader, instr.iid):
+                    graph.add_edge(reader, instr.iid, EdgeKind.REG_ANTI)
+            last_def[instr.dest] = instr.iid
+            uses_since_def[instr.dest] = []
+
+    # 2. within-iteration memory dependences
+    mem_ops = [i for i in lowered.instructions if i.mem is not None]
+    for idx, first in enumerate(mem_ops):
+        for second in mem_ops[idx + 1 :]:
+            assert first.mem is not None and second.mem is not None
+            if not (first.mem.is_store or second.mem.is_store):
+                continue
+            if not first.mem.may_alias(second.mem):
+                continue
+            if first.mem.is_store and second.mem.is_store:
+                kind = EdgeKind.MEM_OUTPUT
+            elif first.mem.is_store:
+                kind = EdgeKind.MEM_FLOW
+            else:
+                kind = EdgeKind.MEM_ANTI
+            if not graph.has_edge(first.iid, second.iid):
+                graph.add_edge(first.iid, second.iid, kind)
+
+    # 3. synchronization-condition arcs
+    for pair in lowered.synced.pairs:
+        sig = lowered.send_iids[pair.pair_id]
+        wat = lowered.wait_iids[pair.pair_id]
+        for src in lowered.source_iids(pair.pair_id):
+            if not graph.has_edge(src, sig):
+                graph.add_edge(src, sig, EdgeKind.SYNC_SRC_SIG)
+        for snk in lowered.sink_iids(pair.pair_id):
+            if not graph.has_edge(wat, snk):
+                graph.add_edge(wat, snk, EdgeKind.SYNC_WAT_SNK)
+
+    return graph

@@ -1,0 +1,75 @@
+"""Sig / Wat / Sigwat partition of the DFG (paper Section 3.1).
+
+Definitions from the paper:
+
+* A **Sig graph** is a contiguous (weakly connected) subgraph containing
+  one or more ``Send_Signal`` instructions — and no waits.
+* A **Wat graph** likewise contains only ``Wait_Signal`` instructions.
+* A **Sigwat graph** contains both.
+
+Components with no synchronization instruction at all are *plain*; their
+nodes are scheduled last by the paper's algorithm.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.codegen.isa import Opcode
+from repro.codegen.lower import LoweredLoop
+from repro.dfg.graph import DataFlowGraph
+
+
+class ComponentKind(enum.Enum):
+    """Classification of a DFG component by the sync ops it contains."""
+
+    SIG = "sig"
+    WAT = "wat"
+    SIGWAT = "sigwat"
+    PLAIN = "plain"
+
+
+@dataclass
+class Component:
+    """One weakly-connected DFG component and its classification."""
+
+    kind: ComponentKind
+    nodes: frozenset[int]
+    waits: tuple[int, ...]  # wait instruction ids in this component
+    sends: tuple[int, ...]  # send instruction ids in this component
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def partition(graph: DataFlowGraph, lowered: LoweredLoop) -> list[Component]:
+    """Partition the DFG into classified components (smallest-id order)."""
+    opcode_of = {i.iid: i.opcode for i in lowered.instructions}
+    components: list[Component] = []
+    for nodes in graph.weakly_connected_components():
+        waits = tuple(sorted(n for n in nodes if opcode_of[n] is Opcode.WAIT))
+        sends = tuple(sorted(n for n in nodes if opcode_of[n] is Opcode.SEND))
+        if waits and sends:
+            kind = ComponentKind.SIGWAT
+        elif sends:
+            kind = ComponentKind.SIG
+        elif waits:
+            kind = ComponentKind.WAT
+        else:
+            kind = ComponentKind.PLAIN
+        components.append(
+            Component(kind=kind, nodes=frozenset(nodes), waits=waits, sends=sends)
+        )
+    return components
+
+
+def component_of(components: list[Component], node: int) -> Component:
+    """The component containing ``node``."""
+    for component in components:
+        if node in component:
+            return component
+    raise KeyError(f"node {node} is in no component")

@@ -1,0 +1,120 @@
+"""Synchronization paths (paper Section 3.2).
+
+A synchronization path ``SP(Wat, Sig)`` is a directed DFG path from a
+``Wait_Signal`` node to its paired ``Send_Signal`` node, which exists only
+when the two live in the same Sigwat graph.  Its existence means the LBD
+cannot be converted to LFD by reordering; the best a scheduler can do is
+make the Wat→Sig span as short as possible — the path length — by
+scheduling the path's nodes contiguously.
+
+Paths are prioritized by the damage their LBD does to parallel execution
+time, ``(n / d) * |SP|`` (trip count over dependence distance, times path
+length), in descending order.  Paths that share nodes must be scheduled
+together (separating them would stretch one of the spans), so we group
+overlapping paths before handing them to the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.lower import LoweredLoop
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.partition import Component, ComponentKind
+
+
+@dataclass(frozen=True)
+class SyncPath:
+    """One synchronization path.
+
+    ``nodes`` runs from the Wait (``nodes[0]``) to the Send (``nodes[-1]``);
+    ``distance`` is the pair's dependence distance ``d``.
+    """
+
+    pair_id: int
+    nodes: tuple[int, ...]
+    distance: int
+
+    @property
+    def wait(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def send(self) -> int:
+        return self.nodes[-1]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def weight(self, trip_count: int) -> float:
+        """The paper's priority value ``(n/d) * |SP|``."""
+        return (trip_count / self.distance) * len(self.nodes)
+
+
+def find_sync_paths(
+    graph: DataFlowGraph,
+    lowered: LoweredLoop,
+    components: list[Component] | None = None,
+) -> list[SyncPath]:
+    """Find the shortest ``SP(Wat, Sig)`` for every pair that has one.
+
+    A pair whose wait and send sit in different components (or in the same
+    Sigwat component but with no directed Wat→Sig path) has no SP: the
+    scheduler can convert it to LFD instead.
+    """
+    paths: list[SyncPath] = []
+    for pair in lowered.synced.pairs:
+        wat = lowered.wait_iids[pair.pair_id]
+        sig = lowered.send_iids[pair.pair_id]
+        if components is not None:
+            same_sigwat = any(
+                c.kind is ComponentKind.SIGWAT and wat in c and sig in c
+                for c in components
+            )
+            if not same_sigwat:
+                continue
+        path = graph.shortest_path(wat, sig)
+        if path is None:
+            continue
+        paths.append(
+            SyncPath(pair_id=pair.pair_id, nodes=tuple(path), distance=pair.distance)
+        )
+    return paths
+
+
+def order_paths(paths: list[SyncPath], trip_count: int) -> list[SyncPath]:
+    """Sort by descending ``(n/d)*|SP|`` (paper's scheduling priority);
+    ties broken by pair id for determinism."""
+    return sorted(paths, key=lambda p: (-p.weight(trip_count), p.pair_id))
+
+
+def group_overlapping(paths: list[SyncPath]) -> list[list[SyncPath]]:
+    """Union-find grouping of paths that share at least one node.
+
+    Input order is preserved inside groups and between groups (a group is
+    placed at its highest-priority member's position), so feeding this the
+    output of :func:`order_paths` yields groups in scheduling order.
+    """
+    parent = list(range(len(paths)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[max(ri, rj)] = min(ri, rj)
+
+    for i, a in enumerate(paths):
+        set_a = set(a.nodes)
+        for j in range(i + 1, len(paths)):
+            if set_a & set(paths[j].nodes):
+                union(i, j)
+
+    groups: dict[int, list[SyncPath]] = {}
+    for i, path in enumerate(paths):
+        groups.setdefault(find(i), []).append(path)
+    return [groups[root] for root in sorted(groups)]

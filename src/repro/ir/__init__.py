@@ -1,0 +1,61 @@
+"""Loop intermediate representation and mini-Fortran frontend.
+
+This package provides the source-level representation the rest of the
+reproduction operates on: a small expression/statement/loop AST
+(:mod:`repro.ir.ast_nodes`), a tokenizer and recursive-descent parser for a
+mini-Fortran surface syntax (:mod:`repro.ir.lexer`, :mod:`repro.ir.parser`),
+a pretty-printer that round-trips with the parser (:mod:`repro.ir.printer`),
+and a symbol table (:mod:`repro.ir.symbols`).
+
+The surface language is exactly rich enough to express the DOACROSS kernels
+the paper evaluates: ``DO``/``DOACROSS`` loops over a single index, labelled
+assignment statements whose operands are scalars and affinely-subscripted
+array references, the four arithmetic operators, and explicit
+``WAIT_SIGNAL``/``SEND_SIGNAL`` statements (so pre-synchronized loops such as
+the paper's Fig. 1(b) can be written down directly).
+"""
+
+from repro.ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Comparison,
+    Const,
+    Loop,
+    Program,
+    SendSignal,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WaitSignal,
+    walk_expr,
+)
+from repro.ir.parser import ParseError, parse_loop, parse_program
+from repro.ir.printer import format_expr, format_loop, format_program, format_stmt
+from repro.ir.symbols import SymbolKind, SymbolTable, VarType
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Comparison",
+    "Const",
+    "Loop",
+    "ParseError",
+    "Program",
+    "SendSignal",
+    "Stmt",
+    "SymbolKind",
+    "SymbolTable",
+    "UnaryOp",
+    "VarRef",
+    "VarType",
+    "WaitSignal",
+    "format_expr",
+    "format_loop",
+    "format_program",
+    "format_stmt",
+    "parse_loop",
+    "parse_program",
+    "walk_expr",
+]

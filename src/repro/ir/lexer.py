@@ -1,0 +1,159 @@
+"""Tokenizer for the mini-Fortran surface syntax.
+
+The lexer is case-insensitive for keywords (``DO``, ``ENDDO``, ...), keeps
+identifier case as written, and treats both ``( )`` and ``[ ]`` as subscript
+delimiters (the paper mixes C-style ``A[I-2]`` and Fortran-style ``A(I-2)``
+notation; we accept both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = frozenset(
+    {
+        "DO",
+        "DOACROSS",
+        "ENDDO",
+        "END_DOACROSS",
+        "PROGRAM",
+        "END",
+        "IF",
+        "INTEGER",
+        "REAL",
+        "WAIT_SIGNAL",
+        "SEND_SIGNAL",
+    }
+)
+
+# Single-character punctuation.  '=' is assignment; ':' ends a statement
+# label; ',' separates loop bounds and declaration items; '<'/'>' are
+# relational (guard) operators.
+PUNCT = frozenset({"=", ":", ",", "+", "-", "*", "/", "(", ")", "[", "]", "<", ">", "!"})
+
+# Two-character relational operators, matched before single characters.
+TWO_CHAR = ("<=", ">=", "==", "!=")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``"KEYWORD"``, ``"IDENT"``, ``"INT"``, ``"FLOAT"``,
+    ``"PUNCT"``, ``"NEWLINE"`` or ``"EOF"``.  ``text`` is the raw lexeme
+    (uppercased for keywords).  ``line``/``col`` are 1-based positions for
+    error messages.
+    """
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        if self.kind in ("NEWLINE", "EOF"):
+            return self.kind
+        return f"{self.text!r}"
+
+
+class LexError(ValueError):
+    """Raised on an unrecognized character."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"line {line}, col {col}: {message}")
+        self.line = line
+        self.col = col
+
+
+def _scan_number(text: str, i: int) -> int:
+    """Return the end index of the number starting at ``text[i]``."""
+    n = len(text)
+    j = i
+    while j < n and text[j].isdigit():
+        j += 1
+    if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+        j += 1
+        while j < n and text[j].isdigit():
+            j += 1
+    return j
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` into a list ending with an ``EOF`` token.
+
+    Newlines are significant (they terminate statements) and are emitted as
+    ``NEWLINE`` tokens; consecutive blank lines collapse to one.  ``!`` and
+    ``#`` start comments running to end of line.
+    """
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def emit(kind: str, text: str, start_col: int) -> None:
+        tokens.append(Token(kind, text, line, start_col))
+
+    while i < n:
+        ch = source[i]
+        if source[i : i + 2] in TWO_CHAR:
+            emit("PUNCT", source[i : i + 2], col)
+            i += 2
+            col += 2
+            continue
+        if ch in ("!", "#"):
+            # '!' not followed by '=' starts a comment (handled above).
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "\n":
+            if tokens and tokens[-1].kind != "NEWLINE":
+                emit("NEWLINE", "\n", col)
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in (" ", "\t", "\r", ";"):
+            # ';' also separates statements on one line, as a NEWLINE would.
+            if ch == ";" and tokens and tokens[-1].kind != "NEWLINE":
+                emit("NEWLINE", ";", col)
+            i += 1
+            col += 1
+            continue
+        if ch.isdigit():
+            j = _scan_number(source, i)
+            lexeme = source[i:j]
+            emit("FLOAT" if "." in lexeme else "INT", lexeme, col)
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            lexeme = source[i:j]
+            upper = lexeme.upper()
+            if upper in KEYWORDS:
+                emit("KEYWORD", upper, col)
+            else:
+                emit("IDENT", lexeme, col)
+            col += j - i
+            i = j
+            continue
+        if ch in PUNCT:
+            emit("PUNCT", ch, col)
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    if tokens and tokens[-1].kind != "NEWLINE":
+        tokens.append(Token("NEWLINE", "\n", line, col))
+    tokens.append(Token("EOF", "", line, col))
+    return tokens
+
+
+def token_stream(source: str) -> Iterator[Token]:
+    """Iterator form of :func:`tokenize` (used by the parser)."""
+    return iter(tokenize(source))

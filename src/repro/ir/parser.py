@@ -1,0 +1,281 @@
+"""Recursive-descent parser for the mini-Fortran loop language.
+
+Grammar (newline-terminated statements)::
+
+    program   ::= [ "PROGRAM" IDENT ] { declaration } { loop } [ "END" ]
+    declaration ::= ("REAL" | "INTEGER") decl_item { "," decl_item }
+    decl_item ::= IDENT [ "(" INT ")" ]
+    loop      ::= ("DO" | "DOACROSS") IDENT "=" expr "," expr NEWLINE
+                    { statement } ("ENDDO" | "END_DOACROSS")
+    statement ::= [ IDENT ":" ] assign | wait | send
+    assign    ::= lvalue "=" expr
+    lvalue    ::= IDENT [ "(" expr ")" ]
+    wait      ::= "WAIT_SIGNAL" "(" IDENT "," expr ")"
+    send      ::= "SEND_SIGNAL" "(" IDENT ")"
+    expr      ::= term { ("+"|"-") term }
+    term      ::= factor { ("*"|"/") factor }
+    factor    ::= [ "-" ] ( NUMBER | IDENT [ "(" expr ")" ] | "(" expr ")" )
+
+An ``IDENT (`` in expression position is an array reference; bare ``IDENT``
+is a scalar.  Square brackets are accepted wherever parentheses delimit a
+subscript.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast_nodes import (
+    COMPARISON_OPS,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Comparison,
+    Const,
+    Expr,
+    Loop,
+    Program,
+    SendSignal,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WaitSignal,
+)
+from repro.ir.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on a syntax error, with line/column context."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}, col {token.col}: {message} (got {token})")
+        self.token = token
+
+
+_OPEN = {"(": ")", "[": "]"}
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.at(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}", self.peek())
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.at("NEWLINE"):
+            self.advance()
+
+    def end_statement(self) -> None:
+        if self.at("EOF"):
+            return
+        self.expect("NEWLINE")
+        self.skip_newlines()
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while self.at("PUNCT", "+") or self.at("PUNCT", "-"):
+            op = self.advance().text
+            right = self.parse_term()
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while self.at("PUNCT", "*") or self.at("PUNCT", "/"):
+            op = self.advance().text
+            right = self.parse_factor()
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_factor(self) -> Expr:
+        if self.at("PUNCT", "-"):
+            self.advance()
+            return UnaryOp("-", self.parse_factor())
+        tok = self.peek()
+        if tok.kind == "INT":
+            self.advance()
+            return Const(int(tok.text))
+        if tok.kind == "FLOAT":
+            self.advance()
+            return Const(float(tok.text))
+        if tok.kind == "IDENT":
+            self.advance()
+            if self.peek().kind == "PUNCT" and self.peek().text in _OPEN:
+                close = _OPEN[self.advance().text]
+                subscript = self.parse_expr()
+                self.expect("PUNCT", close)
+                return ArrayRef(tok.text, subscript)
+            return VarRef(tok.text)
+        if tok.kind == "PUNCT" and tok.text in _OPEN:
+            close = _OPEN[self.advance().text]
+            inner = self.parse_expr()
+            self.expect("PUNCT", close)
+            return inner
+        raise ParseError("expected an expression", tok)
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statement(self) -> Stmt:
+        if self.at("KEYWORD", "WAIT_SIGNAL"):
+            return self.parse_wait()
+        if self.at("KEYWORD", "SEND_SIGNAL"):
+            return self.parse_send()
+        label: str | None = None
+        if (
+            self.peek().kind == "IDENT"
+            and self.tokens[self.pos + 1].kind == "PUNCT"
+            and self.tokens[self.pos + 1].text == ":"
+        ):
+            label = self.advance().text
+            self.advance()  # ':'
+        guard: Comparison | None = None
+        if self.at("KEYWORD", "IF"):
+            self.advance()
+            close = _OPEN[self._open()]
+            guard = self.parse_comparison()
+            self.expect("PUNCT", close)
+        name_tok = self.expect("IDENT")
+        target: VarRef | ArrayRef
+        if self.peek().kind == "PUNCT" and self.peek().text in _OPEN:
+            close = _OPEN[self.advance().text]
+            subscript = self.parse_expr()
+            self.expect("PUNCT", close)
+            target = ArrayRef(name_tok.text, subscript)
+        else:
+            target = VarRef(name_tok.text)
+        self.expect("PUNCT", "=")
+        expr = self.parse_expr()
+        return Assign(target=target, expr=expr, label=label, guard=guard)
+
+    def parse_comparison(self) -> Comparison:
+        left = self.parse_expr()
+        tok = self.peek()
+        if tok.kind != "PUNCT" or tok.text not in COMPARISON_OPS:
+            raise ParseError("expected a comparison operator", tok)
+        self.advance()
+        right = self.parse_expr()
+        return Comparison(tok.text, left, right)
+
+    def parse_wait(self) -> WaitSignal:
+        self.expect("KEYWORD", "WAIT_SIGNAL")
+        close = _OPEN[self._open()]
+        label = self.expect("IDENT").text
+        self.expect("PUNCT", ",")
+        iteration = self.parse_expr()
+        self.expect("PUNCT", close)
+        return WaitSignal(source_label=label, iteration=iteration)
+
+    def parse_send(self) -> SendSignal:
+        self.expect("KEYWORD", "SEND_SIGNAL")
+        close = _OPEN[self._open()]
+        label = self.expect("IDENT").text
+        self.expect("PUNCT", close)
+        return SendSignal(source_label=label)
+
+    def _open(self) -> str:
+        tok = self.peek()
+        if tok.kind == "PUNCT" and tok.text in _OPEN:
+            return self.advance().text
+        raise ParseError("expected '(' or '['", tok)
+
+    # -- loops and programs -------------------------------------------------
+
+    def parse_loop(self) -> Loop:
+        self.skip_newlines()
+        if self.at("KEYWORD", "DOACROSS"):
+            is_doacross = True
+            self.advance()
+        else:
+            self.expect("KEYWORD", "DO")
+            is_doacross = False
+        index = self.expect("IDENT").text
+        self.expect("PUNCT", "=")
+        lower = self.parse_expr()
+        self.expect("PUNCT", ",")
+        upper = self.parse_expr()
+        self.end_statement()
+        body: list[Stmt] = []
+        while not (self.at("KEYWORD", "ENDDO") or self.at("KEYWORD", "END_DOACROSS")):
+            if self.at("EOF"):
+                raise ParseError("unterminated loop", self.peek())
+            body.append(self.parse_statement())
+            self.end_statement()
+        end_tok = self.advance()
+        if is_doacross and end_tok.text == "ENDDO":
+            # tolerated: DOACROSS ... ENDDO
+            pass
+        if not is_doacross and end_tok.text == "END_DOACROSS":
+            raise ParseError("END_DOACROSS closing a DO loop", end_tok)
+        return Loop(index=index, lower=lower, upper=upper, body=body, is_doacross=is_doacross)
+
+    def parse_declaration(self, decls: dict[str, tuple[str, int | None]]) -> None:
+        type_tok = self.advance()  # REAL or INTEGER
+        while True:
+            name = self.expect("IDENT").text
+            extent: int | None = None
+            if self.peek().kind == "PUNCT" and self.peek().text in _OPEN:
+                close = _OPEN[self.advance().text]
+                extent = int(self.expect("INT").text)
+                self.expect("PUNCT", close)
+            decls[name] = (type_tok.text, extent)
+            if self.at("PUNCT", ","):
+                self.advance()
+                continue
+            break
+        self.end_statement()
+
+    def parse_program(self) -> Program:
+        self.skip_newlines()
+        name: str | None = None
+        if self.at("KEYWORD", "PROGRAM"):
+            self.advance()
+            name = self.expect("IDENT").text
+            self.end_statement()
+        decls: dict[str, tuple[str, int | None]] = {}
+        while self.at("KEYWORD", "REAL") or self.at("KEYWORD", "INTEGER"):
+            self.parse_declaration(decls)
+        loops: list[Loop] = []
+        while self.at("KEYWORD", "DO") or self.at("KEYWORD", "DOACROSS"):
+            loops.append(self.parse_loop())
+            self.skip_newlines()
+        if self.at("KEYWORD", "END"):
+            self.advance()
+            self.skip_newlines()
+        if not self.at("EOF"):
+            raise ParseError("unexpected trailing input", self.peek())
+        return Program(loops=loops, name=name, declarations=decls)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full mini-Fortran compilation unit."""
+    return _Parser(source).parse_program()
+
+
+def parse_loop(source: str) -> Loop:
+    """Parse a single ``DO``/``DOACROSS`` loop (the common test entry point)."""
+    parser = _Parser(source)
+    loop = parser.parse_loop()
+    parser.skip_newlines()
+    if not parser.at("EOF"):
+        raise ParseError("unexpected trailing input", parser.peek())
+    return loop

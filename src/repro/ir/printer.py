@@ -1,0 +1,103 @@
+"""Pretty-printer for the loop IR.
+
+``parse_loop(format_loop(loop))`` reproduces ``loop`` up to expression
+identity (the printer emits minimal parentheses; the round-trip property is
+tested in ``tests/ir/test_printer.py``).
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Loop,
+    Program,
+    SendSignal,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WaitSignal,
+)
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def format_expr(expr: Expr, parent_prec: int = 0, right_side: bool = False) -> str:
+    """Render ``expr`` with minimal parentheses.
+
+    ``parent_prec`` is the precedence of the enclosing operator and
+    ``right_side`` notes whether ``expr`` is its right operand (needed
+    because ``-`` and ``/`` are left-associative: ``a - (b + c)`` must keep
+    its parentheses).
+    """
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return f"{expr.name}({format_expr(expr.subscript)})"
+    if isinstance(expr, UnaryOp):
+        inner = format_expr(expr.operand, parent_prec=3)
+        text = f"-{inner}"
+        return f"({text})" if parent_prec >= 2 else text
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = format_expr(expr.left, parent_prec=prec)
+        # The right operand of a same-precedence '-' or '/' needs parens.
+        right_prec = prec + 1 if expr.op in ("-", "/") else prec
+        right = format_expr(expr.right, parent_prec=right_prec, right_side=True)
+        text = f"{left} {expr.op} {right}"
+        needs = prec < parent_prec or (prec == parent_prec and right_side)
+        return f"({text})" if needs else text
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def format_comparison(cmp) -> str:
+    return f"{format_expr(cmp.left)} {cmp.op} {format_expr(cmp.right)}"
+
+
+def format_stmt(stmt: Stmt) -> str:
+    """Render a single statement (no indentation, no newline)."""
+    if isinstance(stmt, Assign):
+        prefix = f"{stmt.label}: " if stmt.label else ""
+        if stmt.guard is not None:
+            prefix += f"IF ({format_comparison(stmt.guard)}) "
+        if isinstance(stmt.target, ArrayRef):
+            lhs = f"{stmt.target.name}({format_expr(stmt.target.subscript)})"
+        else:
+            lhs = stmt.target.name
+        return f"{prefix}{lhs} = {format_expr(stmt.expr)}"
+    if isinstance(stmt, WaitSignal):
+        return f"WAIT_SIGNAL({stmt.source_label}, {format_expr(stmt.iteration)})"
+    if isinstance(stmt, SendSignal):
+        return f"SEND_SIGNAL({stmt.source_label})"
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def format_loop(loop: Loop, indent: str = "  ") -> str:
+    """Render a loop, one statement per line."""
+    opener = "DOACROSS" if loop.is_doacross else "DO"
+    closer = "END_DOACROSS" if loop.is_doacross else "ENDDO"
+    header = f"{opener} {loop.index} = {format_expr(loop.lower)}, {format_expr(loop.upper)}"
+    lines = [header]
+    lines.extend(indent + format_stmt(s) for s in loop.body)
+    lines.append(closer)
+    return "\n".join(lines)
+
+
+def format_program(program: Program, indent: str = "  ") -> str:
+    """Render a full compilation unit."""
+    lines: list[str] = []
+    if program.name:
+        lines.append(f"PROGRAM {program.name}")
+    for name, (type_name, extent) in program.declarations.items():
+        suffix = f"({extent})" if extent is not None else ""
+        lines.append(f"{type_name} {name}{suffix}")
+    for loop in program.loops:
+        lines.append(format_loop(loop, indent=indent))
+    if program.name:
+        lines.append("END")
+    return "\n".join(lines)

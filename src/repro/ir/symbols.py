@@ -1,0 +1,132 @@
+"""Symbol table: classify every name in a loop as scalar/array, INT/REAL.
+
+Typing matters downstream because the DLX code generator assigns function
+units by operand type: integer index arithmetic goes to the integer adder,
+REAL array-value arithmetic to the floating-point adder/multiplier/divider.
+
+Defaults (matching the paper's Fortran kernels): arrays are ``REAL`` unless
+declared ``INTEGER``; scalars are ``INTEGER`` (loop indexes, bounds,
+induction temporaries) unless declared ``REAL``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ir.ast_nodes import ArrayRef, Assign, Loop, Program, VarRef, walk_expr
+
+
+class SymbolKind(enum.Enum):
+    """Whether a name is a scalar variable or a (singly-subscripted) array."""
+
+    SCALAR = "scalar"
+    ARRAY = "array"
+
+
+class VarType(enum.Enum):
+    """Declared or inferred value type (FORTRAN INTEGER / REAL)."""
+
+    INT = "INTEGER"
+    REAL = "REAL"
+
+
+@dataclass
+class SymbolInfo:
+    name: str
+    kind: SymbolKind
+    var_type: VarType
+    extent: int | None = None
+
+
+@dataclass
+class SymbolTable:
+    """Maps names to :class:`SymbolInfo`; built from a loop (or program)."""
+
+    symbols: dict[str, SymbolInfo] = field(default_factory=dict)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.symbols
+
+    def __getitem__(self, name: str) -> SymbolInfo:
+        return self.symbols[name]
+
+    def add(self, info: SymbolInfo) -> None:
+        existing = self.symbols.get(info.name)
+        if existing is not None and existing.kind is not info.kind:
+            raise ValueError(
+                f"{info.name!r} used both as {existing.kind.value} and {info.kind.value}"
+            )
+        self.symbols[info.name] = info
+
+    def is_array(self, name: str) -> bool:
+        return name in self.symbols and self.symbols[name].kind is SymbolKind.ARRAY
+
+    def var_type(self, name: str) -> VarType:
+        return self.symbols[name].var_type
+
+    def arrays(self) -> list[str]:
+        return sorted(n for n, s in self.symbols.items() if s.kind is SymbolKind.ARRAY)
+
+    def scalars(self) -> list[str]:
+        return sorted(n for n, s in self.symbols.items() if s.kind is SymbolKind.SCALAR)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_loop(
+        cls,
+        loop: Loop,
+        declarations: dict[str, tuple[str, int | None]] | None = None,
+    ) -> "SymbolTable":
+        """Infer the symbol table of ``loop``.
+
+        ``declarations`` (from :class:`repro.ir.Program`) override the
+        defaults.  Conflicting usage (a name appearing both subscripted and
+        bare) raises ``ValueError``.
+        """
+        table = cls()
+        declarations = declarations or {}
+
+        def declared_type(name: str, default: VarType) -> VarType:
+            if name in declarations:
+                return VarType.INT if declarations[name][0] == "INTEGER" else VarType.REAL
+            return default
+
+        def declared_extent(name: str) -> int | None:
+            if name in declarations:
+                return declarations[name][1]
+            return None
+
+        def note(name: str, kind: SymbolKind) -> None:
+            default = VarType.REAL if kind is SymbolKind.ARRAY else VarType.INT
+            info = SymbolInfo(
+                name=name,
+                kind=kind,
+                var_type=declared_type(name, default),
+                extent=declared_extent(name),
+            )
+            table.add(info)
+
+        note(loop.index, SymbolKind.SCALAR)
+        exprs = [loop.lower, loop.upper]
+        for stmt in loop.body:
+            if isinstance(stmt, Assign):
+                exprs.append(stmt.expr)
+                exprs.extend(stmt.guard_exprs())
+                if isinstance(stmt.target, ArrayRef):
+                    note(stmt.target.name, SymbolKind.ARRAY)
+                    exprs.append(stmt.target.subscript)
+                else:
+                    note(stmt.target.name, SymbolKind.SCALAR)
+        for expr in exprs:
+            for node in walk_expr(expr):
+                if isinstance(node, ArrayRef):
+                    note(node.name, SymbolKind.ARRAY)
+                elif isinstance(node, VarRef):
+                    note(node.name, SymbolKind.SCALAR)
+        return table
+
+    @classmethod
+    def from_program(cls, program: Program, loop_index: int = 0) -> "SymbolTable":
+        return cls.from_loop(program.loops[loop_index], program.declarations)

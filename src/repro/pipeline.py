@@ -1,0 +1,232 @@
+"""End-to-end pipeline: the paper's Fig. 5 statistical model as a library.
+
+``source text → parse → dependence analysis → restructuring (induction /
+reduction / scalar expansion) → synchronization insertion → DLX lowering →
+DFG with sync arcs → schedule (list and sync-aware) → DOACROSS timing
+simulation``.
+
+:func:`compile_loop` runs the front half once; :func:`evaluate_loop` runs
+both schedulers on a machine and simulates; :func:`evaluate_corpus` sums a
+benchmark corpus the way the paper's Table 2 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codegen import FuseStore, LoweredLoop, lower_loop
+from repro.deps import LoopClass
+from repro.dfg import DataFlowGraph, build_dfg
+from repro.ir.ast_nodes import Loop
+from repro.ir.parser import parse_loop
+from repro.sched import (
+    MachineConfig,
+    Priority,
+    Schedule,
+    SyncSchedulerOptions,
+    assert_valid,
+    list_schedule,
+    sync_schedule,
+)
+from repro.sim import MemoryImage, execute_parallel, run_serial, simulate_doacross
+from repro.sim.metrics import improvement_percent
+from repro.sync import SyncedLoop, insert_synchronization
+from repro.transforms import RestructureResult, restructure
+
+
+@dataclass
+class CompiledLoop:
+    """Everything machine-independent about one loop."""
+
+    source: Loop
+    restructured: RestructureResult
+    synced: SyncedLoop
+    lowered: LoweredLoop
+    graph: DataFlowGraph
+
+    @property
+    def classification(self) -> LoopClass:
+        return self.restructured.classification
+
+
+def compile_loop(
+    loop: Loop | str,
+    apply_restructuring: bool = True,
+    fuse: FuseStore = FuseStore.BEFORE_SEND,
+) -> CompiledLoop:
+    """Front half of the pipeline.  Raises ``ValueError`` for SERIAL loops
+    (the paper drops them from the study too)."""
+    if isinstance(loop, str):
+        loop = parse_loop(loop)
+    if apply_restructuring:
+        restructured = restructure(loop)
+    else:
+        restructured = restructure(
+            loop, apply_induction=False, apply_expansion=False, apply_reduction=False
+        )
+    if restructured.classification is LoopClass.SERIAL:
+        raise ValueError("loop is SERIAL after restructuring; cannot be DOACROSS-scheduled")
+    synced = insert_synchronization(restructured.loop, restructured.graph)
+    lowered = lower_loop(synced, fuse=fuse)
+    graph = build_dfg(lowered)
+    return CompiledLoop(
+        source=loop,
+        restructured=restructured,
+        synced=synced,
+        lowered=lowered,
+        graph=graph,
+    )
+
+
+@dataclass
+class LoopEvaluation:
+    """Both schedulers' results for one loop on one machine."""
+
+    compiled: CompiledLoop
+    machine: MachineConfig
+    n: int
+    schedule_list: Schedule
+    schedule_new: Schedule
+    t_list: int
+    t_new: int
+
+    @property
+    def improvement(self) -> float:
+        return improvement_percent(self.t_list, self.t_new)
+
+
+def evaluate_loop(
+    compiled: CompiledLoop,
+    machine: MachineConfig,
+    n: int | None = None,
+    verify: bool = True,
+    check_semantics: bool = False,
+    list_priority: Priority = Priority.PROGRAM_ORDER,
+    sync_options: SyncSchedulerOptions | None = None,
+) -> LoopEvaluation:
+    """Schedule with both algorithms and simulate the DOACROSS execution.
+
+    ``verify`` re-checks both schedules against the DFG and machine;
+    ``check_semantics`` additionally executes both schedules against real
+    memory and compares with serial execution (slower; used by tests).
+    """
+    sched_list = list_schedule(compiled.lowered, compiled.graph, machine, list_priority)
+    sched_new = sync_schedule(compiled.lowered, compiled.graph, machine, sync_options)
+    if verify:
+        assert_valid(sched_list, compiled.graph)
+        assert_valid(sched_new, compiled.graph)
+    sim_list = simulate_doacross(sched_list, n)
+    sim_new = simulate_doacross(sched_new, n)
+    if check_semantics:
+        reference = run_serial(compiled.synced.loop, MemoryImage())
+        for sched, sim in ((sched_list, sim_list), (sched_new, sim_new)):
+            result = execute_parallel(sched, MemoryImage(), n)
+            if result.memory != reference:
+                raise AssertionError(
+                    f"{sched.scheduler_name}: parallel memory differs from serial: "
+                    f"{result.memory.diff(reference)[:5]}"
+                )
+            if result.parallel_time != sim.parallel_time:
+                raise AssertionError(
+                    f"{sched.scheduler_name}: executor time {result.parallel_time} "
+                    f"!= timing simulation {sim.parallel_time}"
+                )
+    return LoopEvaluation(
+        compiled=compiled,
+        machine=machine,
+        n=sim_list.n,
+        schedule_list=sched_list,
+        schedule_new=sched_new,
+        t_list=sim_list.parallel_time,
+        t_new=sim_new.parallel_time,
+    )
+
+
+@dataclass
+class CorpusEvaluation:
+    """Summed times over a corpus on one machine (one Table 2 cell pair)."""
+
+    name: str
+    machine: MachineConfig
+    evaluations: list[LoopEvaluation] = field(default_factory=list)
+
+    @property
+    def t_list(self) -> int:
+        return sum(e.t_list for e in self.evaluations)
+
+    @property
+    def t_new(self) -> int:
+        return sum(e.t_new for e in self.evaluations)
+
+    @property
+    def improvement(self) -> float:
+        return improvement_percent(self.t_list, self.t_new)
+
+
+def evaluate_corpus(
+    name: str,
+    loops: list[Loop],
+    machine: MachineConfig,
+    n: int | None = None,
+    **kwargs,
+) -> CorpusEvaluation:
+    """Compile and evaluate every loop of a corpus on one machine."""
+    result = CorpusEvaluation(name=name, machine=machine)
+    for loop in loops:
+        compiled = compile_loop(loop)
+        result.evaluations.append(evaluate_loop(compiled, machine, n, **kwargs))
+    return result
+
+
+@dataclass
+class ProgramEvaluation:
+    """Per-loop results for one compilation unit, plus the skipped loops.
+
+    The paper's methodology: DOACROSS loops are scheduled and measured;
+    DOALL loops need no synchronization (both schedulers tie at ``l``, so
+    they are measured but contribute no improvement); SERIAL loops are
+    recorded and skipped, exactly like the study's unparallelizable
+    leftovers.
+    """
+
+    program: "object"
+    machine: MachineConfig
+    evaluations: list[LoopEvaluation] = field(default_factory=list)
+    serial_loops: list[int] = field(default_factory=list)  # loop indexes skipped
+
+    @property
+    def t_list(self) -> int:
+        return sum(e.t_list for e in self.evaluations)
+
+    @property
+    def t_new(self) -> int:
+        return sum(e.t_new for e in self.evaluations)
+
+    @property
+    def improvement(self) -> float:
+        return improvement_percent(self.t_list, self.t_new)
+
+
+def evaluate_program(
+    program_or_source,
+    machine: MachineConfig,
+    n: int | None = None,
+    **kwargs,
+) -> ProgramEvaluation:
+    """Evaluate every loop of a compilation unit (Fig. 5 at program scope)."""
+    from repro.ir.parser import parse_program
+
+    program = (
+        parse_program(program_or_source)
+        if isinstance(program_or_source, str)
+        else program_or_source
+    )
+    result = ProgramEvaluation(program=program, machine=machine)
+    for index, loop in enumerate(program.loops):
+        try:
+            compiled = compile_loop(loop)
+        except ValueError:
+            result.serial_loops.append(index)
+            continue
+        result.evaluations.append(evaluate_loop(compiled, machine, n, **kwargs))
+    return result

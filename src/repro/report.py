@@ -1,0 +1,70 @@
+"""Machine-readable result export.
+
+Downstream users (plotting scripts, CI dashboards) want the evaluation
+results as data, not prose.  These helpers serialize the pipeline's result
+objects to plain dicts / JSON: schedules with spans, per-loop evaluations,
+and whole corpus sweeps in the shape of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.pipeline import CorpusEvaluation, LoopEvaluation
+from repro.sched.schedule import Schedule
+from repro.sched.stats import schedule_stats
+
+
+def schedule_record(schedule: Schedule) -> dict[str, Any]:
+    """A schedule as data: bundles, spans, utilization."""
+    stats = schedule_stats(schedule)
+    return {
+        "scheduler": schedule.scheduler_name,
+        "machine": schedule.machine.name,
+        "length": schedule.length,
+        "bundles": schedule.bundles(),
+        "spans": {
+            pair.pair_id: schedule.span(pair.pair_id)
+            for pair in schedule.lowered.synced.pairs
+        },
+        "runtime_lbd_pairs": schedule.runtime_lbd_pairs(),
+        "ipc": round(stats.ipc, 3),
+        "unit_utilization": {
+            unit.name: round(unit.utilization, 3) for unit in stats.units
+        },
+    }
+
+
+def evaluation_record(evaluation: LoopEvaluation) -> dict[str, Any]:
+    """One loop's two-scheduler comparison as data."""
+    return {
+        "machine": evaluation.machine.name,
+        "n": evaluation.n,
+        "t_list": evaluation.t_list,
+        "t_new": evaluation.t_new,
+        "improvement_percent": round(evaluation.improvement, 2),
+        "loop": evaluation.compiled.source.name,
+        "pairs": len(evaluation.compiled.synced.pairs),
+        "schedules": {
+            "list": schedule_record(evaluation.schedule_list),
+            "new": schedule_record(evaluation.schedule_new),
+        },
+    }
+
+
+def corpus_record(corpus: CorpusEvaluation) -> dict[str, Any]:
+    """A Table 2 cell pair with its per-loop breakdown."""
+    return {
+        "benchmark": corpus.name,
+        "machine": corpus.machine.name,
+        "t_list": corpus.t_list,
+        "t_new": corpus.t_new,
+        "improvement_percent": round(corpus.improvement, 2),
+        "loops": [evaluation_record(e) for e in corpus.evaluations],
+    }
+
+
+def to_json(record: dict[str, Any] | list, indent: int = 2) -> str:
+    """Serialize a record to JSON (stable key order for diffs)."""
+    return json.dumps(record, indent=indent, sort_keys=True)

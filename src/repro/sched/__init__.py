@@ -1,0 +1,51 @@
+"""Machine model and instruction schedulers.
+
+* :mod:`repro.sched.machine` — superscalar machine configurations (issue
+  width, function units, latencies), including the paper's Fig. 4
+  walkthrough machine and the four Section 4 experiment configurations.
+* :mod:`repro.sched.resources` — per-cycle issue-slot and function-unit
+  reservation tables.
+* :mod:`repro.sched.schedule` — the :class:`Schedule` result type (cycle
+  assignment, bundles, synchronization spans).
+* :mod:`repro.sched.list_scheduler` — the baseline list scheduler (the
+  paper's comparison point), with pluggable priority.
+* :mod:`repro.sched.sync_scheduler` — the paper's synchronization-aware
+  scheduler (Section 3.2).
+* :mod:`repro.sched.verify` — legality checking of any schedule against
+  the DFG, the machine, and the synchronization conditions.
+"""
+
+from repro.sched.list_scheduler import Priority, list_schedule
+from repro.sched.machine import MachineConfig, UnitSpec, figure4_machine, paper_machine
+from repro.sched.marker_scheduler import marker_schedule
+from repro.sched.modulo import ModuloSchedule, modulo_schedule, verify_modulo
+from repro.sched.pressure import PressureProfile, minimum_registers, register_pressure
+from repro.sched.resources import ResourceTable
+from repro.sched.schedule import Schedule
+from repro.sched.stats import ScheduleStats, schedule_stats
+from repro.sched.sync_scheduler import SyncSchedulerOptions, sync_schedule
+from repro.sched.verify import assert_valid, verify_schedule
+
+__all__ = [
+    "MachineConfig",
+    "ModuloSchedule",
+    "PressureProfile",
+    "Priority",
+    "ResourceTable",
+    "Schedule",
+    "ScheduleStats",
+    "SyncSchedulerOptions",
+    "UnitSpec",
+    "assert_valid",
+    "figure4_machine",
+    "list_schedule",
+    "marker_schedule",
+    "minimum_registers",
+    "modulo_schedule",
+    "paper_machine",
+    "register_pressure",
+    "verify_modulo",
+    "schedule_stats",
+    "sync_schedule",
+    "verify_schedule",
+]

@@ -1,0 +1,312 @@
+"""Iterative modulo scheduling (software pipelining) — extension module.
+
+The paper exploits a loop's cross-iteration parallelism by *spreading
+iterations across processors* and synchronizing.  The era's competing
+approach keeps one processor and *overlaps* iterations in a software
+pipeline: a kernel of initiation interval ``II`` cycles starts a new
+iteration every ``II`` cycles, bounded below by
+
+* **ResMII** — the busiest unit's work per iteration / its instance count,
+* **RecMII** — for every dependence cycle, ``ceil(Σ latency / Σ distance)``
+  (loop-carried edges close the cycles).
+
+This module implements Rau's iterative modulo scheduling (the
+schedule-and-eject variant) over the same lowered code, DFG and machine
+models as the rest of the system, minus the synchronization machinery —
+a single processor needs no signals.  ``benchmarks/test_bench_modulo.py``
+compares the two execution models head-to-head.
+
+Scope note: we schedule the kernel and validate all modulo constraints;
+register lifetimes longer than ``II`` would need modulo variable expansion
+to *execute*, which is out of scope — times are derived from the validated
+kernel (``T = (n-1)·II + fill``), the standard software-pipelining model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.codegen.lower import LoweredLoop, lower_loop
+from repro.deps import analyze_loop
+from repro.dfg.builder import build_dfg
+from repro.ir.ast_nodes import Loop
+from repro.sched.machine import MachineConfig
+from repro.sync.insertion import SyncedLoop, _ensure_labels
+
+
+@dataclass(frozen=True)
+class LoopEdge:
+    """A dependence edge with an iteration distance (0 = intra-iteration)."""
+
+    src: int
+    dst: int
+    distance: int
+
+
+@dataclass
+class ModuloSchedule:
+    """A validated kernel schedule."""
+
+    machine: MachineConfig
+    lowered: LoweredLoop
+    ii: int
+    cycle_of: dict[int, int]
+    mii_resource: int
+    mii_recurrence: int
+
+    @property
+    def makespan(self) -> int:
+        return max(
+            cycle + self.machine.latency(self.lowered.instruction(iid).fu) - 1
+            for iid, cycle in self.cycle_of.items()
+        )
+
+    def parallel_time(self, n: int) -> int:
+        """Single-processor pipelined time: fill + one kernel per iteration."""
+        if n <= 0:
+            return 0
+        return (n - 1) * self.ii + self.makespan
+
+
+@dataclass
+class _Mrt:
+    """Modulo reservation table: unit occupancy folded at II."""
+
+    machine: MachineConfig
+    ii: int
+    issue: list[int] = field(default_factory=list)
+    units: dict[str, list[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.issue = [0] * self.ii
+        self.units = {u.name: [0] * self.ii for u in self.machine.units}
+
+    def _slots(self, fu, cycle: int) -> list[int]:
+        unit = self.machine.unit_for(fu)
+        busy = 1 if unit.pipelined else unit.latency
+        if busy >= self.ii:
+            return list(range(self.ii))
+        return [(cycle + k) % self.ii for k in range(busy)]
+
+    def fits(self, fu, cycle: int) -> bool:
+        unit = self.machine.unit_for(fu)
+        if self.issue[cycle % self.ii] >= self.machine.issue_width:
+            return False
+        return all(self.units[unit.name][s] < unit.count for s in self._slots(fu, cycle))
+
+    def add(self, fu, cycle: int) -> None:
+        unit = self.machine.unit_for(fu)
+        self.issue[cycle % self.ii] += 1
+        for s in self._slots(fu, cycle):
+            self.units[unit.name][s] += 1
+
+    def remove(self, fu, cycle: int) -> None:
+        unit = self.machine.unit_for(fu)
+        self.issue[cycle % self.ii] -= 1
+        for s in self._slots(fu, cycle):
+            self.units[unit.name][s] -= 1
+
+
+def prepare_loop(loop: Loop) -> tuple[LoweredLoop, list[LoopEdge]]:
+    """Lower ``loop`` without synchronization and collect its loop DFG:
+    intra-iteration edges (distance 0) plus carried edges between the
+    dependence events, at instruction level."""
+    labelled = _ensure_labels(loop)
+    graph = analyze_loop(labelled)
+    synced = SyncedLoop(loop=labelled)  # no pairs: a plain sequential body
+    lowered = lower_loop(synced)
+    dfg = build_dfg(lowered)
+    edges = [LoopEdge(e.src, e.dst, 0) for e in dfg.edges]
+    for dep in graph.loop_carried():
+        if dep.irregular or dep.distance is None:
+            raise ValueError("modulo scheduling requires constant dependence distances")
+        src = lowered.ref_iids[id(dep.source_ref)]
+        dst = lowered.ref_iids[id(dep.sink_ref)]
+        if src and dst:
+            edges.append(LoopEdge(src, dst, dep.distance))
+    return lowered, edges
+
+
+def resource_mii(lowered: LoweredLoop, machine: MachineConfig) -> int:
+    best = 1
+    for unit in machine.units:
+        work = sum(
+            (1 if unit.pipelined else unit.latency)
+            for i in lowered.instructions
+            if machine.unit_for(i.fu) is unit
+        )
+        best = max(best, math.ceil(work / unit.count))
+    return best
+
+
+def recurrence_mii(lowered: LoweredLoop, edges: list[LoopEdge], machine: MachineConfig) -> int:
+    """Max over dependence cycles of ceil(latency sum / distance sum).
+
+    Computed by binary search on II: II is feasible w.r.t. recurrences iff
+    the constraint graph with weights ``lat(u) - II*distance`` has no
+    positive cycle (checked by Bellman-Ford).
+    """
+    nodes = [i.iid for i in lowered.instructions]
+
+    def has_positive_cycle(ii: int) -> bool:
+        dist = {n: 0 for n in nodes}
+        for _ in range(len(nodes)):
+            changed = False
+            for e in edges:
+                w = machine.latency(lowered.instruction(e.src).fu) - ii * e.distance
+                if dist[e.src] + w > dist[e.dst]:
+                    dist[e.dst] = dist[e.src] + w
+                    changed = True
+            if not changed:
+                return False
+        return True  # still relaxing after |V| passes: positive cycle
+
+    lo, hi = 1, 1 + sum(machine.latency(i.fu) for i in lowered.instructions)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if has_positive_cycle(mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def modulo_schedule(
+    loop: Loop,
+    machine: MachineConfig,
+    max_ii: int | None = None,
+    budget_factor: int = 16,
+) -> ModuloSchedule:
+    """Schedule ``loop``'s kernel with Rau's iterative algorithm."""
+    lowered, edges = prepare_loop(loop)
+    mii_res = resource_mii(lowered, machine)
+    mii_rec = recurrence_mii(lowered, edges, machine)
+    mii = max(mii_res, mii_rec)
+    if max_ii is None:
+        max_ii = mii + len(lowered.instructions) * max(
+            u.latency for u in machine.units
+        ) + 8
+
+    preds: dict[int, list[LoopEdge]] = {i.iid: [] for i in lowered.instructions}
+    for e in edges:
+        preds[e.dst].append(e)
+
+    # height priority from the distance-0 subgraph
+    order = [i.iid for i in lowered.instructions]
+    height = {n: machine.latency(lowered.instruction(n).fu) for n in order}
+    for n in reversed(order):
+        for e in edges:
+            if e.distance == 0 and e.src == n:
+                height[n] = max(height[n], machine.latency(lowered.instruction(n).fu) + height[e.dst])
+
+    for ii in range(mii, max_ii + 1):
+        result = _try_ii(lowered, edges, preds, machine, ii, height, budget_factor)
+        if result is not None:
+            return ModuloSchedule(
+                machine=machine,
+                lowered=lowered,
+                ii=ii,
+                cycle_of=result,
+                mii_resource=mii_res,
+                mii_recurrence=mii_rec,
+            )
+    raise RuntimeError(f"no feasible II up to {max_ii}")  # pragma: no cover
+
+
+def _try_ii(lowered, edges, preds, machine, ii, height, budget_factor):
+    """One schedule-and-eject attempt at a fixed II (Rau's inner loop)."""
+    mrt = _Mrt(machine=machine, ii=ii)
+    cycle_of: dict[int, int] = {}
+    never_scheduled = {i.iid for i in lowered.instructions}
+    budget = budget_factor * len(never_scheduled)
+    # worklist ordered by height (descending), then id
+    pending = sorted(never_scheduled, key=lambda n: (-height[n], n))
+
+    while pending:
+        if budget <= 0:
+            return None
+        budget -= 1
+        node = pending.pop(0)
+        fu = lowered.instruction(node).fu
+        earliest = 1
+        for e in preds[node]:
+            if e.src in cycle_of:
+                lat = machine.latency(lowered.instruction(e.src).fu)
+                earliest = max(earliest, cycle_of[e.src] + lat - ii * e.distance)
+        placed = False
+        for cycle in range(earliest, earliest + ii):
+            if mrt.fits(fu, cycle):
+                cycle_of[node] = cycle
+                mrt.add(fu, cycle)
+                placed = True
+                break
+        if not placed:
+            # force placement at earliest, ejecting resource conflicts
+            cycle = earliest
+            if node in never_scheduled:
+                never_scheduled.discard(node)
+            # eject everything on this unit/slot congruent with `cycle`
+            ejected = []
+            for other, other_cycle in list(cycle_of.items()):
+                other_fu = lowered.instruction(other).fu
+                same_issue = other_cycle % ii == cycle % ii
+                same_unit = machine.unit_for(other_fu) is machine.unit_for(fu)
+                overlap = any(
+                    s in _Mrt._slots(mrt, fu, cycle) for s in _Mrt._slots(mrt, other_fu, other_cycle)
+                )
+                if (same_unit and overlap) or (same_issue and not mrt.fits(fu, cycle)):
+                    mrt.remove(other_fu, other_cycle)
+                    del cycle_of[other]
+                    ejected.append(other)
+                    if mrt.fits(fu, cycle):
+                        break
+            if not mrt.fits(fu, cycle):
+                return None
+            cycle_of[node] = cycle
+            mrt.add(fu, cycle)
+            pending = sorted(
+                set(pending) | set(ejected), key=lambda n: (-height[n], n)
+            )
+        never_scheduled.discard(node)
+        # dependence repair: successors violating their constraint re-enter
+        for e in edges:
+            if e.src == node and e.dst in cycle_of:
+                lat = machine.latency(lowered.instruction(node).fu)
+                if cycle_of[e.dst] < cycle_of[node] + lat - ii * e.distance:
+                    victim_fu = lowered.instruction(e.dst).fu
+                    mrt.remove(victim_fu, cycle_of.pop(e.dst))
+                    if e.dst not in pending:
+                        pending.append(e.dst)
+        pending.sort(key=lambda n: (-height[n], n))
+
+    # final validation
+    for e in edges:
+        lat = machine.latency(lowered.instruction(e.src).fu)
+        if cycle_of[e.dst] < cycle_of[e.src] + lat - ii * e.distance:
+            return None
+    return cycle_of
+
+
+def verify_modulo(schedule: ModuloSchedule, edges: list[LoopEdge] | None = None) -> list[str]:
+    """Re-check every modulo constraint of a finished kernel schedule."""
+    lowered = schedule.lowered
+    machine = schedule.machine
+    ii = schedule.ii
+    violations: list[str] = []
+    if edges is None:
+        _, edges = prepare_loop(lowered.synced.loop)
+    for e in edges:
+        lat = machine.latency(lowered.instruction(e.src).fu)
+        lhs = schedule.cycle_of[e.dst]
+        rhs = schedule.cycle_of[e.src] + lat - ii * e.distance
+        if lhs < rhs:
+            violations.append(f"edge {e.src}->{e.dst} (d={e.distance}): {lhs} < {rhs}")
+    mrt = _Mrt(machine=machine, ii=ii)
+    for iid, cycle in schedule.cycle_of.items():
+        fu = lowered.instruction(iid).fu
+        if not mrt.fits(fu, cycle):
+            violations.append(f"resource overflow at instruction {iid} (cycle {cycle})")
+        else:
+            mrt.add(fu, cycle)
+    return violations

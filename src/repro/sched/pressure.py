@@ -1,0 +1,75 @@
+"""Register pressure analysis of a schedule.
+
+The paper's lowering exists in a register-starved world ("delayed Load
+technique is employed to effectively use the limited registers"), and
+aggressive scheduling famously trades register pressure for ILP.  This
+module measures that trade: for a given schedule, how many temporaries are
+live at once — a value is live from its definition's issue cycle until its
+last consumer's issue cycle.
+
+The interesting reproduction question (benchmarked in
+``test_bench_register_pressure.py``): does the synchronization-aware
+scheduler, which pulls whole dependence cones around, need more registers
+than list scheduling?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sched.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class PressureProfile:
+    """Live-temporary counts per cycle and their maximum."""
+
+    per_cycle: tuple[int, ...]  # index 0 = cycle 1
+    max_pressure: int
+    temporaries: int
+
+    def cycle_of_peak(self) -> int:
+        return self.per_cycle.index(self.max_pressure) + 1
+
+
+def register_pressure(schedule: Schedule) -> PressureProfile:
+    """Compute the live-range overlap profile of ``schedule``.
+
+    Loop-invariant registers (the index, bounds) are excluded — they live
+    for the whole iteration on any schedule and shift every count equally.
+    A defined value with no consumer (possible only for dead code, which
+    the lowerer never emits) would be live for its definition cycle alone.
+    """
+    lowered = schedule.lowered
+    cycle_of = schedule.cycle_of
+    def_cycle: dict[str, int] = {}
+    last_use: dict[str, int] = {}
+
+    for instr in lowered.instructions:
+        cycle = cycle_of[instr.iid]
+        if instr.dest is not None:
+            def_cycle[instr.dest] = cycle
+        for reg in instr.uses():
+            # Entries for loop-invariant registers are recorded too but
+            # never consulted: ranges are built from `def_cycle` keys only.
+            last_use[reg] = max(last_use.get(reg, 0), cycle)
+
+    length = schedule.issue_cycles
+    per_cycle = [0] * length
+    for temp, start in def_cycle.items():
+        end = max(last_use.get(temp, start), start)
+        for cycle in range(start, end + 1):
+            per_cycle[cycle - 1] += 1
+
+    return PressureProfile(
+        per_cycle=tuple(per_cycle),
+        max_pressure=max(per_cycle, default=0),
+        temporaries=len(def_cycle),
+    )
+
+
+def minimum_registers(schedule: Schedule) -> int:
+    """Registers needed to run ``schedule`` without spilling: the peak
+    live-range overlap (live ranges form an interval graph, whose chromatic
+    number is the max clique = max overlap)."""
+    return register_pressure(schedule).max_pressure

@@ -1,0 +1,75 @@
+"""Per-cycle resource reservation: issue slots and function units.
+
+Occupancy is tracked as a per-cycle count against capacity.  For
+non-pipelined multi-cycle units this count-based test is exact: all
+reservations of a unit kind are intervals of the same length, and a set of
+intervals fits on ``count`` instances iff no cycle's overlap exceeds
+``count`` (interval-graph coloring).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.codegen.isa import FuClass
+from repro.sched.machine import MachineConfig, UnitSpec
+
+
+@dataclass
+class ResourceTable:
+    """Mutable reservation state for one schedule under construction."""
+
+    machine: MachineConfig
+    issue_used: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    unit_used: dict[str, dict[int, int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
+
+    def _busy_cycles(self, unit: UnitSpec, cycle: int) -> range:
+        if unit.pipelined:
+            return range(cycle, cycle + 1)
+        return range(cycle, cycle + unit.latency)
+
+    def can_place(self, fu: FuClass, cycle: int) -> bool:
+        """Is there a free issue slot at ``cycle`` and a free instance of the
+        unit serving ``fu`` for its full occupancy interval?"""
+        if cycle < 1:
+            return False
+        if self.issue_used[cycle] >= self.machine.issue_width:
+            return False
+        unit = self.machine.unit_for(fu)
+        used = self.unit_used[unit.name]
+        return all(used[c] < unit.count for c in self._busy_cycles(unit, cycle))
+
+    def place(self, fu: FuClass, cycle: int) -> None:
+        if not self.can_place(fu, cycle):
+            raise ValueError(f"cannot place {fu} at cycle {cycle}")
+        self.issue_used[cycle] += 1
+        unit = self.machine.unit_for(fu)
+        for c in self._busy_cycles(unit, cycle):
+            self.unit_used[unit.name][c] += 1
+
+    def remove(self, fu: FuClass, cycle: int) -> None:
+        """Undo a placement (used by the sync scheduler's retry search)."""
+        self.issue_used[cycle] -= 1
+        unit = self.machine.unit_for(fu)
+        for c in self._busy_cycles(unit, cycle):
+            self.unit_used[unit.name][c] -= 1
+
+    def earliest(self, fu: FuClass, min_cycle: int) -> int:
+        """First cycle ``>= min_cycle`` where ``fu`` can be placed.
+
+        Always terminates: beyond the current horizon everything is free.
+        """
+        cycle = max(1, min_cycle)
+        while not self.can_place(fu, cycle):
+            cycle += 1
+        return cycle
+
+    def latest_at_most(self, fu: FuClass, deadline: int, min_cycle: int) -> int | None:
+        """Last cycle in ``[min_cycle, deadline]`` where ``fu`` fits, or None."""
+        for cycle in range(deadline, max(1, min_cycle) - 1, -1):
+            if self.can_place(fu, cycle):
+                return cycle
+        return None

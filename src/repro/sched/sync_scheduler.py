@@ -1,0 +1,476 @@
+"""The paper's synchronization-aware instruction scheduler (Section 3.2).
+
+Scheduling order:
+
+1. **Synchronization paths** in Sigwat graphs, in descending
+   ``(n/d)·|SP|`` order, overlapping paths grouped.  The highest-priority
+   path of each group is placed *contiguously* — one path node per
+   back-to-back cycle (spaced by unit latency) — because the path is the
+   shortest possible wait→send span and packing it realizes that minimum.
+   The placement searches the earliest start cycle for which the path's
+   off-path ancestors fit in the surrounding slots (a retry search; loop
+   bodies are tens of instructions, so this is cheap).  Remaining paths of
+   the group are packed as tightly as dependences allow.
+2. **Remaining Sigwat nodes**, ASAP in topological order.
+3. **Sig graphs**: each ``Send_Signal`` is placed as late as possible but
+   *before* its already-scheduled wait (converting the pair to run-time
+   LFD); other Sig-graph nodes ASAP.
+4. **Wat graphs**: each ``Wait_Signal`` is placed *after* its send (run-time
+   LFD again); other Wat-graph nodes ASAP.
+5. **Plain nodes** (no synchronization in their component), ASAP.
+
+Unlike the cycle-by-cycle list scheduler, placement is slot-based: a later
+phase may fill empty slots of earlier cycles, exactly as the paper's
+Fig. 4(b) fills Wat-graph nodes into the Sigwat cycles.
+
+Every step honours the DFG (which includes the synchronization-condition
+arcs), so the result is always a legal, stale-data-free schedule; the
+options exist to ablate the individual performance ideas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codegen.isa import Opcode
+from repro.codegen.lower import LoweredLoop
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.partition import Component, ComponentKind, partition
+from repro.dfg.syncpath import SyncPath, find_sync_paths, group_overlapping, order_paths
+from repro.ir.ast_nodes import Const
+from repro.sched.machine import MachineConfig
+from repro.sched.resources import ResourceTable
+from repro.sched.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class SyncSchedulerOptions:
+    """Feature switches for ablation studies.  Defaults = the paper."""
+
+    contiguous_sp: bool = True  # pack each primary SP back-to-back
+    sp_order: str = "desc"  # "desc" | "asc" | "id": (n/d)|SP| ordering
+    sends_before_waits: bool = True  # Sig-graph deadline placement
+    waits_after_sends: bool = True  # Wat-graph placement after the send
+    trip_count: int | None = None  # n for SP weights; default from the loop
+    guard_never_degrade: bool = False  # fall back to list scheduling if faster
+    """The paper asserts the technique "never degrades the system
+    performance".  The *stall component* never degrades, but the phase-
+    based placement can cost a cycle or two of iteration length on
+    stall-free loops, and cross-coupled pairs can stack (see
+    EXPERIMENTS.md §6).  With this guard on, the scheduler simulates both
+    its own result and plain list scheduling and returns the faster one,
+    making the claim literally true at the cost of one extra scheduling
+    pass."""
+
+
+class _SyncScheduler:
+    def __init__(
+        self,
+        lowered: LoweredLoop,
+        graph: DataFlowGraph,
+        machine: MachineConfig,
+        options: SyncSchedulerOptions,
+    ) -> None:
+        self.lowered = lowered
+        self.graph = graph
+        self.machine = machine
+        self.options = options
+        self.resources = ResourceTable(machine)
+        self.cycle_of: dict[int, int] = {}
+        self.topo = graph.topological_order()
+        self.topo_pos = {iid: i for i, iid in enumerate(self.topo)}
+        self._inflight_sends: set[int] = set()
+        self._sp_pair_ids: set[int] = set()  # filled by run()
+
+    # -- primitives -----------------------------------------------------------
+
+    def latency(self, iid: int) -> int:
+        return self.machine.latency(self.lowered.instruction(iid).fu)
+
+    def ready_cycle(self, iid: int) -> int:
+        """Earliest legal issue cycle given scheduled predecessors.
+
+        All predecessors must already be scheduled (phases guarantee it).
+        """
+        cycle = 1
+        for edge in self.graph.pred[iid]:
+            pred_cycle = self.cycle_of[edge.src]
+            cycle = max(cycle, pred_cycle + self.latency(edge.src))
+        return cycle
+
+    def place(self, iid: int, cycle: int) -> None:
+        self.resources.place(self.lowered.instruction(iid).fu, cycle)
+        self.cycle_of[iid] = cycle
+
+    def unplace(self, iid: int) -> None:
+        cycle = self.cycle_of.pop(iid)
+        self.resources.remove(self.lowered.instruction(iid).fu, cycle)
+
+    def place_asap(self, iid: int, min_cycle: int = 1) -> int:
+        fu = self.lowered.instruction(iid).fu
+        cycle = self.resources.earliest(fu, max(min_cycle, self.ready_cycle(iid)))
+        self.place(iid, cycle)
+        return cycle
+
+    def unscheduled_ancestors(self, nodes: list[int]) -> list[int]:
+        closure: set[int] = set()
+        for node in nodes:
+            closure |= self.graph.ancestors(node)
+        closure -= set(nodes)
+        closure -= self.cycle_of.keys()
+        return sorted(closure, key=self.topo_pos.__getitem__)
+
+    def place_with_ancestors(self, iid: int, min_cycle: int = 1) -> int:
+        for anc in self.unscheduled_ancestors([iid]):
+            self.place_asap(anc)
+        return self.place_asap(iid, min_cycle)
+
+    # -- node placement rules (sends and waits) --------------------------------
+
+    def wait_min_cycle(self, iid: int) -> int:
+        """A wait goes after its send when the send is already placed."""
+        if not self.options.waits_after_sends:
+            return 1
+        instr = self.lowered.instruction(iid)
+        assert instr.sync is not None
+        min_cycle = 1
+        for pair_id in instr.sync.pair_ids:
+            send_iid = self.lowered.send_iids[pair_id]
+            if send_iid in self.cycle_of:
+                min_cycle = max(min_cycle, self.cycle_of[send_iid] + self.latency(send_iid))
+        return min_cycle
+
+    def send_deadline(self, iid: int) -> int | None:
+        """A send should complete before its earliest scheduled wait."""
+        if not self.options.sends_before_waits:
+            return None
+        instr = self.lowered.instruction(iid)
+        assert instr.sync is not None
+        deadline: int | None = None
+        for pair_id in instr.sync.pair_ids:
+            wait_iid = self.lowered.wait_iids[pair_id]
+            if wait_iid in self.cycle_of:
+                limit = self.cycle_of[wait_iid] - self.latency(iid)
+                deadline = limit if deadline is None else min(deadline, limit)
+        return deadline
+
+    def place_node(self, iid: int) -> None:
+        """Place one node (preds scheduled) honouring send/wait rules.
+
+        Idempotent: recursive cone-pulling can reach a node through several
+        routes; the first placement wins.
+        """
+        if iid in self.cycle_of:
+            return
+        instr = self.lowered.instruction(iid)
+        if instr.opcode is Opcode.WAIT:
+            if self.options.waits_after_sends:
+                # Convertible-to-LFD: pull the paired send's cone in first
+                # whenever the wait does not feed it (no synchronization
+                # path), then sit down after the send.
+                assert instr.sync is not None
+                for pair_id in instr.sync.pair_ids:
+                    send_iid = self.lowered.send_iids[pair_id]
+                    if (
+                        send_iid in self.cycle_of
+                        or send_iid in self._inflight_sends
+                        or iid in self.graph.ancestors(send_iid)
+                    ):
+                        continue
+                    self._inflight_sends.add(send_iid)
+                    try:
+                        for anc in self.unscheduled_ancestors([send_iid]):
+                            self.place_node(anc)
+                        self.place_node(send_iid)
+                    finally:
+                        self._inflight_sends.discard(send_iid)
+                if iid in self.cycle_of:
+                    return  # the cone-pulling recursion placed this wait
+            self.place_asap(iid, self.wait_min_cycle(iid))
+            return
+        if instr.opcode is Opcode.SEND:
+            deadline = self.send_deadline(iid)
+            ready = self.ready_cycle(iid)
+            if deadline is not None and deadline >= ready:
+                cycle = self.resources.latest_at_most(instr.fu, deadline, ready)
+                if cycle is not None:
+                    self.place(iid, cycle)
+                    return
+            self.place_asap(iid)
+            return
+        self.place_asap(iid)
+
+    def schedule_set(self, nodes: set[int], sends_first: bool = False) -> None:
+        """Schedule ``nodes`` (and any unscheduled ancestors) in topological
+        order with the send/wait placement rules.
+
+        ``sends_first`` implements the paper's convertible-to-LFD case for
+        Sigwat graphs: a pair whose wait has *no* directed path to its send
+        (no synchronization path — those were handled in phase 1) can be
+        made run-time LFD by scheduling the send's dependence cone first
+        and the wait after it.  A wait never sits in a send's ancestor cone
+        here (that would be a synchronization path), so the two passes are
+        well-defined.
+        """
+        pending = [n for n in self.topo if n in nodes and n not in self.cycle_of]
+        if sends_first:
+            for iid in pending:
+                if iid in self.cycle_of:
+                    continue
+                if self.lowered.instruction(iid).opcode is Opcode.SEND:
+                    for anc in self.unscheduled_ancestors([iid]):
+                        self.place_node(anc)
+                    self.place_node(iid)
+        for iid in pending:
+            if iid in self.cycle_of:
+                continue
+            for anc in self.unscheduled_ancestors([iid]):
+                self.place_node(anc)
+            self.place_node(iid)
+
+    # -- synchronization-path placement ----------------------------------------
+
+    def min_spacing(self, a: int, b: int) -> int:
+        """Minimum cycles between path nodes ``a`` and ``b``: the longest
+        latency-weighted dependence chain from ``a`` to ``b``.
+
+        Usually that is just ``lat(a)`` (the direct path edge), but other
+        mandatory chains may connect two consecutive SP nodes — e.g. the
+        k19-style recurrence where the sink's loaded value feeds, through
+        the whole statement, the very store the send follows.  Packing
+        tighter than the chain is impossible for *any* start cycle.
+        """
+        between = (self.graph.descendants(a) & self.graph.ancestors(b)) | {a, b}
+        dist = {a: 0}
+        for node in self.topo:
+            if node not in between or node not in dist:
+                continue
+            for edge in self.graph.succ[node]:
+                if edge.dst in between:
+                    candidate = dist[node] + self.latency(node)
+                    if candidate > dist.get(edge.dst, -1):
+                        dist[edge.dst] = candidate
+        return dist.get(b, self.latency(a))
+
+    def sp_targets(self, nodes: tuple[int, ...], start: int) -> list[int]:
+        targets = []
+        cycle = start
+        for i, node in enumerate(nodes):
+            targets.append(cycle)
+            if i + 1 < len(nodes):
+                cycle += self.min_spacing(node, nodes[i + 1])
+        return targets
+
+    def try_place_path(self, nodes: list[int], start: int) -> bool:
+        """Transactionally place ``nodes`` contiguously from ``start``, then
+        their ancestors backward (ALAP before their consumers, the way the
+        paper's Fig. 4(b) tucks ``t5 <- I + 1`` into cycle 1); roll back on
+        any failure.
+
+        ALAP rather than ASAP matters: an ancestor placed greedily early
+        can occupy the slot a tighter-deadline ancestor chain needs (the
+        address arithmetic feeding the path's first load must finish before
+        the path starts, while the store-address arithmetic has the whole
+        path's length of slack).
+        """
+        placed: list[int] = []
+
+        def rollback() -> bool:
+            for iid in reversed(placed):
+                self.unplace(iid)
+            return False
+
+        targets = self.sp_targets(tuple(nodes), start)
+        for iid, target in zip(nodes, targets):
+            fu = self.lowered.instruction(iid).fu
+            if not self.resources.can_place(fu, target):
+                return rollback()
+            self.place(iid, target)
+            placed.append(iid)
+
+        ancestors = self.unscheduled_ancestors(nodes)
+        for anc in reversed(ancestors):  # reverse topological: consumers first
+            instr = self.lowered.instruction(anc)
+            latency = self.latency(anc)
+            deadline: int | None = None
+            for edge in self.graph.succ[anc]:
+                if edge.dst in self.cycle_of:
+                    limit = self.cycle_of[edge.dst] - latency
+                    deadline = limit if deadline is None else min(deadline, limit)
+            if deadline is None or deadline < 1:
+                return rollback()
+            # Predecessors scheduled in earlier phases bound us from below;
+            # ancestor predecessors are placed after us (reverse topo) and
+            # satisfy the ordering through their own deadlines.
+            min_cycle = 1
+            for edge in self.graph.pred[anc]:
+                if edge.src in self.cycle_of:
+                    min_cycle = max(min_cycle, self.cycle_of[edge.src] + self.latency(edge.src))
+            if instr.opcode is Opcode.WAIT and not (
+                instr.sync is not None
+                and set(instr.sync.pair_ids) & self._sp_pair_ids
+            ):
+                # A *convertible* wait ancestor whose send is already placed
+                # (Sig graphs go first) must land after it — retrying with a
+                # later SP start makes room for the run-time LFD.  Waits on
+                # synchronization paths are exempt: they can never follow
+                # their own sends.
+                min_cycle = max(min_cycle, self.wait_min_cycle(anc))
+            cycle = self.resources.latest_at_most(instr.fu, deadline, min_cycle)
+            if cycle is None:
+                return rollback()
+            self.place(anc, cycle)
+            placed.append(anc)
+
+        # Full latency re-check now that everything relevant is scheduled.
+        for iid in placed:
+            if self.ready_cycle(iid) > self.cycle_of[iid]:
+                return rollback()
+        return True
+
+    def schedule_path_contiguous(self, path: SyncPath) -> None:
+        nodes = [n for n in path.nodes if n not in self.cycle_of]
+        if len(nodes) != len(path.nodes):
+            # Partially scheduled by an earlier group (shared ancestor):
+            # fall back to tight ASAP packing of the remainder.
+            for node in nodes:
+                self.place_with_ancestors(node)
+            return
+        horizon = (
+            max(self.cycle_of.values(), default=0)
+            + (len(self.graph) + 2) * max(u.latency for u in self.machine.units)
+            + 8
+        )
+        for start in range(1, horizon + 1):
+            if self.try_place_path(nodes, start):
+                return
+        # Dependence-minimal spacing can still be resource-infeasible (the
+        # in-between work oversubscribes a unit inside the fixed window):
+        # fall back to tight sequential ASAP placement, which always works.
+        for node in nodes:
+            if node not in self.cycle_of:
+                self.place_with_ancestors(node)
+
+    def schedule_sp_group(self, group: list[SyncPath]) -> None:
+        primary, *rest = group
+        if self.options.contiguous_sp:
+            self.schedule_path_contiguous(primary)
+        else:
+            for node in primary.nodes:
+                if node not in self.cycle_of:
+                    self.place_with_ancestors(node)
+        for path in rest:
+            for node in path.nodes:
+                if node not in self.cycle_of:
+                    self.place_with_ancestors(node)
+
+    # -- driver -----------------------------------------------------------------
+
+    def run(self) -> Schedule:
+        components = partition(self.graph, self.lowered)
+        trip = self.options.trip_count
+        if trip is None:
+            loop = self.lowered.synced.loop
+            if isinstance(loop.lower, Const) and isinstance(loop.upper, Const):
+                trip = int(loop.upper.value) - int(loop.lower.value) + 1
+            else:
+                trip = 100
+        paths = find_sync_paths(self.graph, self.lowered, components)
+        self._sp_pair_ids = {p.pair_id for p in paths}
+        if self.options.sp_order == "desc":
+            paths = order_paths(paths, trip)
+        elif self.options.sp_order == "asc":
+            paths = list(reversed(order_paths(paths, trip)))
+        else:
+            paths = sorted(paths, key=lambda p: p.pair_id)
+
+        # Phase 0: a pair with no synchronization path is convertible to
+        # run-time LFD, but only if its send precedes its wait.  When such a
+        # pair's wait is an *ancestor of an SP node* (its sink's load feeds
+        # an SP chain), phase 1 would drag the wait early while the send's
+        # statement is still unscheduled — an avoidable LBD costing
+        # ``(n/d)·span``.  Scheduling those sends' cones first costs a few
+        # cycles of iteration length and removes the whole stall chain.
+        sp_nodes = {node for path in paths for node in path.nodes}
+        sp_ancestors: set[int] = set()
+        for node in sp_nodes:
+            sp_ancestors |= self.graph.ancestors(node)
+        sp_pair_ids = {path.pair_id for path in paths}
+        if self.options.waits_after_sends:
+            for pair in self.lowered.synced.pairs:
+                if pair.pair_id in sp_pair_ids:
+                    continue
+                wait_iid = self.lowered.wait_iids[pair.pair_id]
+                send_iid = self.lowered.send_iids[pair.pair_id]
+                if wait_iid in sp_ancestors and send_iid not in sp_nodes:
+                    cone = set(self.unscheduled_ancestors([send_iid]))
+                    if cone & sp_nodes:
+                        continue  # cannot hoist the send without the SP
+                    for anc in self.unscheduled_ancestors([send_iid]):
+                        self.place_node(anc)
+                    self.place_node(send_iid)
+
+        # Sig graphs first (the paper's rule: "scheduling Sig graphs before
+        # all Sigwat graphs" converts their pairs to LFD — the waits, placed
+        # later, land after these sends).
+        if self.options.sends_before_waits:
+            for component in components:
+                if component.kind is ComponentKind.SIG:
+                    self.schedule_set(set(component.nodes))
+
+        # Phase 1: synchronization paths.
+        for group in group_overlapping(paths):
+            self.schedule_sp_group(group)
+
+        # Phases 2-5: Sigwat remainders, Sig graphs, Wat graphs, plain nodes.
+        for kind in (
+            ComponentKind.SIGWAT,
+            ComponentKind.SIG,
+            ComponentKind.WAT,
+            ComponentKind.PLAIN,
+        ):
+            for component in components:
+                if component.kind is kind:
+                    self.schedule_set(
+                        set(component.nodes),
+                        sends_first=(kind is ComponentKind.SIGWAT),
+                    )
+
+        return Schedule(
+            machine=self.machine,
+            lowered=self.lowered,
+            cycle_of=self.cycle_of,
+            scheduler_name="sync-aware",
+        )
+
+
+def sync_schedule(
+    lowered: LoweredLoop,
+    graph: DataFlowGraph,
+    machine: MachineConfig,
+    options: SyncSchedulerOptions | None = None,
+) -> Schedule:
+    """Schedule with the paper's synchronization-aware algorithm."""
+    options = options or SyncSchedulerOptions()
+    schedule = _SyncScheduler(lowered, graph, machine, options).run()
+    if options.guard_never_degrade:
+        # Deferred imports: repro.sim imports repro.sched at module load.
+        from repro.ir.ast_nodes import Const
+        from repro.sched.list_scheduler import list_schedule
+        from repro.sim.multiproc import simulate_doacross
+
+        n = options.trip_count
+        if n is None:
+            loop = lowered.synced.loop
+            if isinstance(loop.lower, Const) and isinstance(loop.upper, Const):
+                n = int(loop.upper.value) - int(loop.lower.value) + 1
+            else:
+                n = 100
+        listed = list_schedule(lowered, graph, machine)
+        if (
+            simulate_doacross(listed, n).parallel_time
+            < simulate_doacross(schedule, n).parallel_time
+        ):
+            listed.scheduler_name = "sync-aware/guarded->list"
+            return listed
+    return schedule

@@ -1,0 +1,103 @@
+"""Schedule legality verification.
+
+Checks, independently of how a schedule was produced:
+
+1. every instruction scheduled exactly once, at a cycle >= 1;
+2. every DFG edge's latency respected (``cycle(dst) >= cycle(src) +
+   latency(src)``) — this covers register, memory *and* the
+   synchronization-condition arcs;
+3. per-cycle issue width and function-unit occupancy (multi-cycle units
+   non-pipelined);
+4. the paper's synchronization conditions restated directly from the pair
+   map (belt and braces: a builder bug dropping a sync arc would otherwise
+   go unnoticed): no send before its dependence source completes, no wait
+   after its dependence sink issues.
+
+Returns a list of human-readable violations; :func:`assert_valid` raises on
+any.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.dfg.graph import DataFlowGraph
+from repro.sched.schedule import Schedule
+
+
+def verify_schedule(schedule: Schedule, graph: DataFlowGraph) -> list[str]:
+    """Check ``schedule`` against the module-level rules; returns violations."""
+    lowered = schedule.lowered
+    machine = schedule.machine
+    cycle_of = schedule.cycle_of
+    violations: list[str] = []
+
+    # 1. completeness
+    expected = {i.iid for i in lowered.instructions}
+    scheduled = set(cycle_of)
+    for missing in sorted(expected - scheduled):
+        violations.append(f"instruction {missing} not scheduled")
+    for extra in sorted(scheduled - expected):
+        violations.append(f"unknown instruction {extra} scheduled")
+    for iid, cycle in cycle_of.items():
+        if cycle < 1:
+            violations.append(f"instruction {iid} scheduled at cycle {cycle} < 1")
+    if violations:
+        return violations
+
+    # 2. dependence latencies
+    for edge in graph.edges:
+        src_cycle = cycle_of[edge.src]
+        dst_cycle = cycle_of[edge.dst]
+        latency = machine.latency(lowered.instruction(edge.src).fu)
+        if dst_cycle < src_cycle + latency:
+            violations.append(
+                f"edge {edge} violated: {edge.src}@{src_cycle} (lat {latency}) "
+                f"-> {edge.dst}@{dst_cycle}"
+            )
+
+    # 3. resources
+    issue_count: dict[int, int] = defaultdict(int)
+    unit_count: dict[tuple[str, int], int] = defaultdict(int)
+    for iid, cycle in cycle_of.items():
+        issue_count[cycle] += 1
+        unit = machine.unit_for(lowered.instruction(iid).fu)
+        busy = 1 if unit.pipelined else unit.latency
+        for c in range(cycle, cycle + busy):
+            unit_count[(unit.name, c)] += 1
+    for cycle, used in sorted(issue_count.items()):
+        if used > machine.issue_width:
+            violations.append(f"cycle {cycle}: {used} issued > width {machine.issue_width}")
+    for (unit_name, cycle), used in sorted(unit_count.items()):
+        unit = next(u for u in machine.units if u.name == unit_name)
+        if used > unit.count:
+            violations.append(
+                f"cycle {cycle}: unit {unit_name!r} used {used} > count {unit.count}"
+            )
+
+    # 4. synchronization conditions from the pair map
+    for pair in lowered.synced.pairs:
+        sig = lowered.send_iids[pair.pair_id]
+        wat = lowered.wait_iids[pair.pair_id]
+        for src in lowered.source_iids(pair.pair_id):
+            src_done = cycle_of[src] + machine.latency(lowered.instruction(src).fu) - 1
+            if cycle_of[sig] <= src_done:
+                violations.append(
+                    f"pair {pair.pair_id}: send {sig}@{cycle_of[sig]} not after "
+                    f"source {src} completing at {src_done}"
+                )
+        for snk in lowered.sink_iids(pair.pair_id):
+            if cycle_of[wat] >= cycle_of[snk]:
+                violations.append(
+                    f"pair {pair.pair_id}: wait {wat}@{cycle_of[wat]} not before "
+                    f"sink {snk}@{cycle_of[snk]}"
+                )
+    return violations
+
+
+def assert_valid(schedule: Schedule, graph: DataFlowGraph) -> None:
+    """Raise ``AssertionError`` with details if the schedule is illegal."""
+    violations = verify_schedule(schedule, graph)
+    if violations:
+        details = "\n  ".join(violations)
+        raise AssertionError(f"invalid schedule ({schedule.scheduler_name}):\n  {details}")

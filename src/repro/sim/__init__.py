@@ -1,0 +1,36 @@
+"""Superscalar-based multiprocessor simulation.
+
+* :mod:`repro.sim.analytic` — the paper's closed-form LFD/LBD parallel
+  execution time model (Section 2) in exact form.
+* :mod:`repro.sim.multiproc` — timing simulation of the DOACROSS execution:
+  one iteration per processor, stalls at waits until the producing
+  iteration's send, parallel time = last finish.
+* :mod:`repro.sim.memory` / :mod:`repro.sim.executor` — semantic execution:
+  the scheduled code is run against real array state, cycle by cycle across
+  all processors, to prove no stale data is read.
+* :mod:`repro.sim.interp` — a serial AST interpreter providing the
+  reference memory image.
+* :mod:`repro.sim.metrics` — improvement percentages and aggregates for the
+  result tables.
+"""
+
+from repro.sim.analytic import lbd_parallel_time, paper_lbd_formula, predicted_parallel_time
+from repro.sim.executor import execute_parallel
+from repro.sim.interp import run_serial
+from repro.sim.memory import MemoryImage
+from repro.sim.metrics import improvement_percent, speedup
+from repro.sim.multiproc import SimulationResult, iteration_mapping, simulate_doacross
+
+__all__ = [
+    "MemoryImage",
+    "SimulationResult",
+    "execute_parallel",
+    "improvement_percent",
+    "iteration_mapping",
+    "lbd_parallel_time",
+    "paper_lbd_formula",
+    "predicted_parallel_time",
+    "run_serial",
+    "simulate_doacross",
+    "speedup",
+]

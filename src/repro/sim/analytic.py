@@ -1,0 +1,73 @@
+"""Closed-form parallel execution time model (paper Section 2).
+
+With one iteration per processor, all processors starting together, and a
+signal visible one cycle after its send issues:
+
+* An LFD-scheduled pair (send issued before the wait, ``span <= 0``) never
+  stalls anyone: the parallel time contribution is just ``l``, the length
+  of one iteration.
+* An LBD-scheduled pair with wait at cycle ``j``, send at cycle ``i >= j``
+  and distance ``d`` forms a stall chain: iteration ``k`` resumes one cycle
+  after iteration ``k-d``'s send, so each of the ``floor((n-1)/d)`` links of
+  the longest chain adds ``span = i - j + 1`` cycles, giving
+
+      T = floor((n-1)/d) * (i - j + 1) + l.
+
+  The paper states this as ``(n/d)(i-j) + l`` — the same quantity up to
+  the inclusive-span convention and the exact hop count (its Fig. 4
+  discussion counts the span inclusively, e.g. "12 instructions" for
+  cycles 2..13).  :func:`paper_lbd_formula` exposes the paper's rounding
+  for side-by-side reporting.
+
+With several LBD pairs the chains interact; the closed form below takes the
+maximum over pairs, which is exact for a single LBD pair and a lower bound
+otherwise (``tests/sim/test_analytic.py`` checks both properties against
+the event simulation).
+"""
+
+from __future__ import annotations
+
+from repro.sched.schedule import Schedule
+
+
+def lbd_hops(n: int, d: int) -> int:
+    """Number of links in the longest stall chain: iterations 1..n, each
+    waiting on the one ``d`` back."""
+    if n <= 0:
+        return 0
+    return (n - 1) // d
+
+
+def lbd_parallel_time(n: int, d: int, span: int, l: int, signal_latency: int = 1) -> int:
+    """Exact parallel time of a loop with a single synchronization pair.
+
+    ``span`` is the inclusive wait→send cycle distance computed at the
+    paper's unit signal latency (``i - j + 1``); with a slower interconnect
+    each hop costs ``i - j + signal_latency`` instead, and a pair stalls
+    whenever the send plus latency lands after the wait.
+    """
+    per_hop = span - 1 + signal_latency  # (i - j) + latency
+    if per_hop <= 0:
+        return l
+    return lbd_hops(n, d) * per_hop + l
+
+
+def paper_lbd_formula(n: int, d: int, span: int, l: int) -> float:
+    """The paper's approximate statement ``(n/d) * span + l`` (span already
+    inclusive, as in its Fig. 4 numbers)."""
+    if span <= 0:
+        return float(l)
+    return (n / d) * span + l
+
+
+def predicted_parallel_time(schedule: Schedule, n: int, signal_latency: int = 1) -> int:
+    """Max-over-pairs closed form for a schedule: exact when at most one
+    pair stalls, a lower bound otherwise."""
+    l = schedule.length
+    best = l
+    for pair in schedule.lowered.synced.pairs:
+        t = lbd_parallel_time(
+            n, pair.distance, schedule.span(pair.pair_id), l, signal_latency
+        )
+        best = max(best, t)
+    return best

@@ -1,0 +1,273 @@
+"""Semantic parallel execution of a scheduled DOACROSS loop.
+
+This is the ground-truth machine: every processor executes its iteration's
+scheduled bundles against *real shared memory*, cycle by cycle, blocking at
+waits until the signal is visible.  Its two outputs cross-check the rest of
+the system:
+
+* the final :class:`~repro.sim.memory.MemoryImage` must equal the serial
+  interpreter's (a stale-data read — the bug the synchronization conditions
+  exist to prevent — makes them differ);
+* the measured completion times must equal the analytic timing simulation
+  (:mod:`repro.sim.multiproc`) exactly.
+
+Within one global cycle all loads read memory as of the cycle start and all
+stores commit at the end, so a (schedule-bug) same-cycle read/write race is
+resolved deterministically — and flagged by the memory comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.isa import Instruction, Opcode, Operand, WORD_SIZE
+from repro.ir.ast_nodes import Const
+from repro.ir.symbols import VarType
+from repro.sched.schedule import Schedule
+from repro.sim.memory import MemoryImage
+
+Number = float | int
+
+
+@dataclass
+class ExecutionResult:
+    memory: MemoryImage
+    parallel_time: int
+    finish_times: list[int]
+
+
+class _Processor:
+    """In-order execution state of one processor, running its assigned
+    iterations back to back (a single iteration in the paper's setting)."""
+
+    def __init__(self, schedule: Schedule, iterations: list[int]) -> None:
+        self.schedule = schedule
+        self.lowered = schedule.lowered
+        self.bundles = schedule.bundles()
+        self.iterations = iterations
+        self.slot = 0  # index into self.iterations
+        self.local_cycle = 1  # next local cycle to issue
+        self.next_issue = 1  # global time the next bundle may issue
+        self.iter_finish = 0  # completion time of the current iteration so far
+        self.finishes: dict[int, int] = {}  # iteration -> completion time
+        self.regs: dict[str, Number] = {}
+        self.stack: dict[str, float] = {}
+        if iterations:
+            self._load_iteration()
+
+    @property
+    def iteration(self) -> int:
+        return self.iterations[self.slot]
+
+    def _load_iteration(self) -> None:
+        self.local_cycle = 1
+        self.iter_finish = 0
+        self.regs = {self.lowered.synced.loop.index: self.iteration}
+        self.stack: dict[str, float] = {}  # processor-private (spill) cells
+
+    def done(self) -> bool:
+        return self.slot >= len(self.iterations)
+
+    def due(self, t: int) -> bool:
+        return not self.done() and self.next_issue == t
+
+    def bundle(self) -> list[Instruction]:
+        iids = self.bundles[self.local_cycle - 1]
+        return [self.lowered.instruction(iid) for iid in iids]
+
+    def advance(self, t: int) -> None:
+        """Move past the bundle just issued at global time ``t``."""
+        self.local_cycle += 1
+        if self.local_cycle > len(self.bundles):
+            self.finishes[self.iteration] = self.iter_finish
+            self.slot += 1
+            if not self.done():
+                # the next iteration starts the cycle after completion
+                self.next_issue = max(self.iter_finish + 1, t + 1)
+                self._load_iteration()
+        else:
+            self.next_issue = t + 1
+
+    def operand(self, op: Operand, memory: MemoryImage, symbols) -> Number:
+        if not isinstance(op, str):
+            return op
+        if op in self.regs:
+            return self.regs[op]
+        # A loop-invariant scalar register, pre-loaded before the loop.
+        value = memory.read_scalar(op)
+        if op in symbols and symbols[op].var_type is VarType.INT:
+            value = int(value)
+        self.regs[op] = value
+        return value
+
+
+def _compare(op: str, a: Number, b: Number) -> int:
+    if op == "<":
+        return int(a < b)
+    if op == ">":
+        return int(a > b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    raise ValueError(op)
+
+
+def _alu(opcode: Opcode, a: Number, b: Number) -> Number:
+    if opcode in (Opcode.IADD, Opcode.FADD):
+        return a + b
+    if opcode in (Opcode.ISUB, Opcode.FSUB):
+        return a - b
+    if opcode in (Opcode.SHIFT, Opcode.IMUL, Opcode.FMUL):
+        return a * b
+    if opcode is Opcode.IDIV:
+        return a // b
+    if opcode is Opcode.FDIV:
+        return a / b
+    raise ValueError(opcode)
+
+
+def execute_parallel(
+    schedule: Schedule,
+    memory: MemoryImage,
+    n: int | None = None,
+    max_cycles: int | None = None,
+    processors: int | None = None,
+    signal_latency: int = 1,
+    mapping: str = "cyclic",
+) -> ExecutionResult:
+    """Run ``n`` iterations on ``processors`` processors (default one per
+    iteration), mutating ``memory``.
+
+    Iterations are numbered from the loop's lower bound (which must be a
+    constant, as DOACROSS iteration numbering is absolute) and mapped to
+    processors per ``mapping`` ("cyclic" or "block"), matching
+    :func:`repro.sim.multiproc.simulate_doacross`.
+    """
+    lowered = schedule.lowered
+    loop = lowered.synced.loop
+    symbols = lowered.symbols
+    if not isinstance(loop.lower, Const):
+        raise ValueError("parallel execution requires a constant lower bound")
+    lower = int(loop.lower.value)
+    if n is None:
+        if not isinstance(loop.upper, Const):
+            raise ValueError("symbolic loop bounds require an explicit n")
+        n = int(loop.upper.value) - lower + 1
+    if processors is None or processors >= n:
+        processors = max(n, 1)
+    if signal_latency < 0:
+        raise ValueError("signal latency must be non-negative")
+
+    from repro.sim.multiproc import iteration_mapping
+
+    machine = schedule.machine
+    procs = [
+        _Processor(schedule, [lower + k - 1 for k in assigned])
+        for assigned in iteration_mapping(n, processors, mapping)
+    ]
+    signals: dict[tuple[str, int], int] = {}  # (source label, iteration) -> send cycle
+    if max_cycles is None:
+        max_cycles = (n + 2) * (schedule.length + 2 + signal_latency) + 1024
+
+    t = 0
+    while any(not p.done() for p in procs):
+        t += 1
+        if t > max_cycles:
+            raise RuntimeError(f"parallel execution exceeded {max_cycles} cycles (deadlock?)")
+        store_buffer: list[tuple[str, int | None, float]] = []
+        for p in procs:
+            if not p.due(t):
+                continue
+            bundle = p.bundle()
+            # A bundle containing an unsatisfied wait stalls whole.
+            blocked = False
+            for instr in bundle:
+                if instr.opcode is Opcode.WAIT:
+                    assert instr.sync is not None and instr.sync.distance is not None
+                    producer = p.iteration - instr.sync.distance
+                    if producer >= lower:
+                        sent = signals.get((instr.sync.source_label, producer))
+                        if sent is None or sent + signal_latency > t:
+                            blocked = True
+                            break
+            if blocked:
+                p.next_issue = t + 1
+                continue
+            for instr in bundle:
+                latency = machine.latency(instr.fu)
+                p.iter_finish = max(p.iter_finish, t + latency - 1)
+                if instr.opcode is Opcode.WAIT:
+                    continue
+                if instr.opcode is Opcode.SEND:
+                    assert instr.sync is not None
+                    signals[(instr.sync.source_label, p.iteration)] = t
+                    continue
+                if instr.opcode is Opcode.LOAD:
+                    assert instr.mem is not None and instr.dest is not None
+                    if instr.mem.private:
+                        value = p.stack[instr.mem.variable]
+                    elif instr.mem.is_scalar:
+                        value = memory.read(instr.mem.variable, None)
+                    else:
+                        addr = p.operand(instr.mem.address, memory, symbols)
+                        value = memory.read(instr.mem.variable, int(addr) // WORD_SIZE)
+                    p.regs[instr.dest] = value
+                    continue
+                if instr.opcode in (Opcode.ICMP, Opcode.FCMP):
+                    assert instr.dest is not None and instr.cmp is not None
+                    a = p.operand(instr.srcs[0], memory, symbols)
+                    b = p.operand(instr.srcs[1], memory, symbols)
+                    p.regs[instr.dest] = _compare(instr.cmp, a, b)
+                    continue
+                if instr.opcode in (Opcode.STORE, Opcode.STORE_OP):
+                    assert instr.mem is not None
+                    if instr.pred is not None and not p.operand(
+                        instr.pred, memory, symbols
+                    ):
+                        continue  # predicated off: no memory effect
+                    if instr.opcode is Opcode.STORE:
+                        value = p.operand(instr.srcs[0], memory, symbols)
+                    else:
+                        assert instr.fused is not None
+                        a = p.operand(instr.srcs[0], memory, symbols)
+                        b = p.operand(instr.srcs[1], memory, symbols)
+                        value = _alu(instr.fused, a, b)
+                    if instr.mem.private:
+                        # processor-local stack slot: no global visibility,
+                        # committed immediately (nobody else can race on it)
+                        p.stack[instr.mem.variable] = float(value)
+                    elif instr.mem.is_scalar:
+                        store_buffer.append((instr.mem.variable, None, float(value)))
+                    else:
+                        addr = p.operand(instr.mem.address, memory, symbols)
+                        store_buffer.append(
+                            (instr.mem.variable, int(addr) // WORD_SIZE, float(value))
+                        )
+                    continue
+                if instr.opcode in (Opcode.INEG, Opcode.FNEG):
+                    assert instr.dest is not None
+                    p.regs[instr.dest] = -p.operand(instr.srcs[0], memory, symbols)
+                    continue
+                # plain ALU operation
+                assert instr.dest is not None
+                a = p.operand(instr.srcs[0], memory, symbols)
+                b = p.operand(instr.srcs[1], memory, symbols)
+                p.regs[instr.dest] = _alu(instr.opcode, a, b)
+            p.advance(t)
+        for name, index, value in store_buffer:
+            memory.write(name, index, value)
+
+    finishes: dict[int, int] = {}
+    for p in procs:
+        finishes.update(p.finishes)
+    finish_times = [finishes[lower + i] for i in range(n)]
+    return ExecutionResult(
+        memory=memory,
+        parallel_time=max(finish_times, default=0),
+        finish_times=finish_times,
+    )

@@ -1,0 +1,153 @@
+"""Serial AST interpreter: the semantic reference.
+
+Runs a loop sequentially against a :class:`~repro.sim.memory.MemoryImage`,
+mirroring the code generator's typing rules (integer arithmetic — with
+floor division — in subscript context and between integer-typed operands,
+float arithmetic otherwise) so that a correct schedule's parallel execution
+produces an identical memory image.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Loop,
+    SendSignal,
+    UnaryOp,
+    VarRef,
+    WaitSignal,
+)
+from repro.ir.symbols import SymbolKind, SymbolTable, VarType
+from repro.sim.memory import MemoryImage
+
+Number = float | int
+
+
+def _binop(op: str, a: Number, b: Number) -> Number:
+    both_int = isinstance(a, int) and isinstance(b, int)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        return a // b if both_int else a / b
+    raise ValueError(op)
+
+
+class _Interp:
+    def __init__(self, loop: Loop, memory: MemoryImage, symbols: SymbolTable) -> None:
+        self.loop = loop
+        self.memory = memory
+        self.symbols = symbols
+        self.written_scalars = {
+            s.target.name
+            for s in loop.body
+            if isinstance(s, Assign) and isinstance(s.target, VarRef)
+        }
+        self.index_value = 0
+
+    def scalar(self, name: str) -> Number:
+        if name == self.loop.index:
+            return self.index_value
+        if name in self.written_scalars:
+            return self.memory.read_scalar(name)
+        value = self.memory.read_scalar(name)
+        if name in self.symbols and self.symbols[name].var_type is VarType.INT:
+            return int(value)
+        return value
+
+    def eval(self, expr: Expr, int_context: bool = False) -> Number:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, VarRef):
+            value = self.scalar(expr.name)
+            return int(value) if int_context else value
+        if isinstance(expr, ArrayRef):
+            index = self.eval(expr.subscript, int_context=True)
+            if not isinstance(index, int):
+                if float(index).is_integer():
+                    index = int(index)
+                else:
+                    raise ValueError(f"non-integer subscript {index} in {expr}")
+            value = self.memory.read(expr.name, index)
+            # Mirror the code generator's typing: loads of INTEGER arrays
+            # produce integer values (so `/` floors, as IDIV does).
+            if (
+                expr.name in self.symbols
+                and self.symbols[expr.name].var_type is VarType.INT
+            ):
+                return int(value)
+            return value
+        if isinstance(expr, UnaryOp):
+            return -self.eval(expr.operand, int_context)
+        if isinstance(expr, BinOp):
+            a = self.eval(expr.left, int_context)
+            b = self.eval(expr.right, int_context)
+            return _binop(expr.op, a, b)
+        raise TypeError(f"cannot evaluate {expr!r}")
+
+    def guard_holds(self, stmt: Assign) -> bool:
+        if stmt.guard is None:
+            return True
+        a = self.eval(stmt.guard.left)
+        b = self.eval(stmt.guard.right)
+        op = stmt.guard.op
+        return {
+            "<": a < b,
+            ">": a > b,
+            "<=": a <= b,
+            ">=": a >= b,
+            "==": a == b,
+            "!=": a != b,
+        }[op]
+
+    def run(self, lower: int, upper: int) -> None:
+        for i in range(lower, upper + 1, self.loop.step):
+            self.index_value = i
+            for stmt in self.loop.body:
+                if isinstance(stmt, (WaitSignal, SendSignal)):
+                    continue  # no-ops in serial order
+                assert isinstance(stmt, Assign)
+                if not self.guard_holds(stmt):
+                    continue
+                value = self.eval(stmt.expr)
+                if isinstance(stmt.target, ArrayRef):
+                    index = self.eval(stmt.target.subscript, int_context=True)
+                    if not isinstance(index, int):
+                        if not float(index).is_integer():
+                            raise ValueError(
+                                f"non-integer subscript {index} in {stmt.target}"
+                            )
+                        index = int(index)
+                    self.memory.write(stmt.target.name, index, float(value))
+                else:
+                    self.memory.write_scalar(stmt.target.name, float(value))
+
+
+def run_serial(
+    loop: Loop,
+    memory: MemoryImage,
+    symbols: SymbolTable | None = None,
+    trip_override: tuple[int, int] | None = None,
+) -> MemoryImage:
+    """Execute ``loop`` serially, mutating and returning ``memory``.
+
+    Bounds must be integer constants unless ``trip_override`` supplies
+    ``(lower, upper)`` for a symbolic-bound loop.
+    """
+    if symbols is None:
+        symbols = SymbolTable.from_loop(loop)
+    if trip_override is not None:
+        lower, upper = trip_override
+    else:
+        if not (isinstance(loop.lower, Const) and isinstance(loop.upper, Const)):
+            raise ValueError("symbolic loop bounds require trip_override")
+        lower, upper = int(loop.lower.value), int(loop.upper.value)
+    _Interp(loop, memory, symbols).run(lower, upper)
+    return memory

@@ -1,0 +1,90 @@
+"""Shared-memory image for semantic execution.
+
+A :class:`MemoryImage` is a dictionary of cells: ``(name, index)`` for
+array elements and ``(name, None)`` for memory-resident scalars.  Reads of
+never-written cells return a *deterministic* default derived from the name
+and index, so a serial reference run and a parallel run that read the same
+uninitialized input data still agree cell-for-cell — no RNG, no seeding
+ceremony, and any divergence is a real scheduling/simulation bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+Cell = tuple[str, int | None]
+
+
+def default_value(name: str, index: int | None) -> float:
+    """Deterministic pseudo-data for uninitialized cells.
+
+    A tiny integer hash keeps values distinct across names and indices but
+    exactly representable in binary floating point (multiples of 1/64), so
+    float arithmetic differences cannot masquerade as scheduling bugs.  The
+    range is [2, 6): strictly positive, so generated code may divide by
+    never-written (noise) arrays without risking a zero denominator.
+    """
+    h = 0
+    for ch in name:
+        h = (h * 31 + ord(ch)) % 1009
+    i = 0 if index is None else index
+    return ((h + i * 7) % 256) / 64.0 + 2.0
+
+
+@dataclass
+class MemoryImage:
+    """Mutable shared memory; cells materialize on first access."""
+
+    cells: dict[Cell, float] = field(default_factory=dict)
+
+    def read(self, name: str, index: int | None) -> float:
+        key = (name, index)
+        if key not in self.cells:
+            self.cells[key] = default_value(name, index)
+        return self.cells[key]
+
+    def write(self, name: str, index: int | None, value: float) -> None:
+        self.cells[(name, index)] = value
+
+    def read_scalar(self, name: str) -> float:
+        return self.read(name, None)
+
+    def write_scalar(self, name: str, value: float) -> None:
+        self.write(name, None, value)
+
+    def set_array(self, name: str, values: list[float], start: int = 1) -> None:
+        for offset, value in enumerate(values):
+            self.write(name, start + offset, value)
+
+    def get_array(self, name: str, start: int, stop: int) -> list[float]:
+        """Values at indices ``start..stop`` inclusive (materializing
+        defaults)."""
+        return [self.read(name, i) for i in range(start, stop + 1)]
+
+    def copy(self) -> "MemoryImage":
+        return MemoryImage(cells=dict(self.cells))
+
+    def written_cells(self) -> Iterator[Cell]:
+        return iter(self.cells)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryImage):
+            return NotImplemented
+        # Compare on the union of materialized cells, reading through
+        # defaults so one side having materialized more cells is harmless.
+        keys = set(self.cells) | set(other.cells)
+        return all(
+            self.read(name, index) == other.read(name, index) for name, index in keys
+        )
+
+    def diff(self, other: "MemoryImage") -> list[tuple[Cell, float, float]]:
+        """Cells where the two images disagree (diagnostics for tests)."""
+        keys = sorted(set(self.cells) | set(other.cells), key=str)
+        out = []
+        for name, index in keys:
+            a = self.read(name, index)
+            b = other.read(name, index)
+            if a != b:
+                out.append(((name, index), a, b))
+        return out

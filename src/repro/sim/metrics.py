@@ -1,0 +1,42 @@
+"""Result metrics: the quantities the paper's Tables 2 and 3 report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def improvement_percent(t_baseline: float, t_new: float) -> float:
+    """The paper's Table 3 metric: how much of the baseline's parallel
+    execution time the new schedule removes, in percent."""
+    if t_baseline <= 0:
+        raise ValueError("baseline time must be positive")
+    return (t_baseline - t_new) / t_baseline * 100.0
+
+
+def speedup(serial_time: float, parallel_time: float) -> float:
+    """Serial time over parallel time."""
+    if parallel_time <= 0:
+        raise ValueError("parallel time must be positive")
+    return serial_time / parallel_time
+
+
+@dataclass(frozen=True)
+class BenchmarkTimes:
+    """Per-benchmark, per-configuration pair of parallel execution times
+    (``T_a`` list scheduling, ``T_b`` the new scheduling)."""
+
+    benchmark: str
+    config: str
+    t_list: int
+    t_new: int
+
+    @property
+    def improvement(self) -> float:
+        return improvement_percent(self.t_list, self.t_new)
+
+
+def total_improvement(rows: list[BenchmarkTimes]) -> float:
+    """Aggregate improvement over summed times (the paper's 'Total' row)."""
+    total_list = sum(r.t_list for r in rows)
+    total_new = sum(r.t_new for r in rows)
+    return improvement_percent(total_list, total_new)

@@ -1,0 +1,183 @@
+"""Timing simulation of the DOACROSS execution.
+
+The model (matching the paper's):
+
+* ``n`` iterations run on ``p`` processors (the paper's setting is
+  ``p = n``, one iteration per processor — the default).  With ``p < n``,
+  iterations are mapped cyclically (iteration ``k`` on processor
+  ``(k-1) mod p``) and a processor starts its next iteration the cycle
+  after finishing the previous one, the standard DOACROSS folding.
+* A ``Wait_Signal`` with distance ``d`` in iteration ``k`` blocks until
+  ``signal_latency`` cycles after iteration ``k-d`` issues the paired
+  ``Send_Signal`` (iterations before the first need nothing and never
+  stall).  The paper's signals are visible the next cycle
+  (``signal_latency = 1``); larger values model slower interconnects.
+* A stall at a wait delays that wait's bundle and everything after it by
+  the stall amount; earlier bundles are unaffected (in-order issue).
+* The loop's parallel execution time is the last iteration's completion.
+
+Because signals only flow from lower to higher iterations and same-
+processor predecessors are lower iterations too, iterations can be
+resolved in increasing order in a single pass — the simulation is exact
+and costs ``O(n · waits)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.codegen.isa import Opcode
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class _IterationTiming:
+    """Timing profile of one iteration: an absolute start offset plus the
+    waits in cycle order with the cumulative stall in effect after each."""
+
+    start: int = 0
+    wait_cycles: list[int] = field(default_factory=list)
+    cumulative_stall: list[int] = field(default_factory=list)
+
+    def stall_at(self, cycle: int) -> int:
+        """Cumulative stall affecting an instruction issued at local
+        ``cycle`` (stalls from waits at cycles <= cycle apply)."""
+        pos = bisect.bisect_right(self.wait_cycles, cycle)
+        return self.cumulative_stall[pos - 1] if pos else 0
+
+    def abs_cycle(self, cycle: int) -> int:
+        """Absolute issue time of the bundle at local ``cycle``."""
+        return self.start + cycle + self.stall_at(cycle)
+
+    def final_stall(self) -> int:
+        return self.cumulative_stall[-1] if self.cumulative_stall else 0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a DOACROSS timing simulation."""
+
+    schedule: Schedule
+    n: int
+    parallel_time: int
+    finish_times: list[int]  # absolute completion per iteration, in order
+    total_stall: int
+    processors: int = 0  # 0 = one per iteration (the paper's setting)
+    signal_latency: int = 1
+
+    @property
+    def iteration_length(self) -> int:
+        return self.schedule.length
+
+    @property
+    def serial_time(self) -> int:
+        return self.n * self.schedule.length
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_time / self.parallel_time if self.parallel_time else 0.0
+
+
+def iteration_mapping(n: int, processors: int, mapping: str) -> list[list[int]]:
+    """Iterations (1-based) per processor rank under cyclic or block mapping.
+
+    ``cyclic``: iteration k on processor (k-1) mod p — consecutive
+    iterations on different processors, the standard DOACROSS choice (the
+    cross-iteration pipeline keeps flowing).
+    ``block``: contiguous chunks of ceil(n/p) — better locality, but a
+    carried dependence of distance < chunk runs *within* a processor and
+    serializes the block pipeline at the chunk boundaries.
+    """
+    if mapping == "cyclic":
+        return [list(range(rank + 1, n + 1, processors)) for rank in range(processors)]
+    if mapping == "block":
+        chunk = -(-n // processors)
+        return [
+            list(range(rank * chunk + 1, min((rank + 1) * chunk, n) + 1))
+            for rank in range(processors)
+        ]
+    raise ValueError(f"unknown mapping {mapping!r}; use 'cyclic' or 'block'")
+
+
+def simulate_doacross(
+    schedule: Schedule,
+    n: int | None = None,
+    processors: int | None = None,
+    signal_latency: int = 1,
+    mapping: str = "cyclic",
+) -> SimulationResult:
+    """Simulate ``n`` iterations (default: the loop's constant trip count).
+
+    ``processors`` defaults to ``n`` (the paper's one-iteration-per-
+    processor setting); smaller values fold iterations per ``mapping``
+    (see :func:`iteration_mapping`).  ``signal_latency`` is the cycles
+    between a send's issue and the signal becoming visible to a waiting
+    processor (paper: 1).
+    """
+    lowered = schedule.lowered
+    if n is None:
+        from repro.ir.ast_nodes import Const
+
+        loop = lowered.synced.loop
+        if not (isinstance(loop.lower, Const) and isinstance(loop.upper, Const)):
+            raise ValueError("symbolic loop bounds require an explicit n")
+        n = int(loop.upper.value) - int(loop.lower.value) + 1
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if processors is None or processors >= n:
+        processors = n
+    if n > 0 and processors < 1:
+        raise ValueError("need at least one processor")
+    if signal_latency < 0:
+        raise ValueError("signal latency must be non-negative")
+
+    # Waits of the schedule in issue-cycle order, with (distance, send cycle).
+    waits: list[tuple[int, int, int]] = []  # (wait_cycle, distance, send_cycle)
+    for pair in lowered.synced.pairs:
+        wait_cycle = schedule.wait_cycle(pair.pair_id)
+        send_cycle = schedule.send_cycle(pair.pair_id)
+        waits.append((wait_cycle, pair.distance, send_cycle))
+    waits.sort()
+
+    length = schedule.length
+    timings: list[_IterationTiming] = []
+    finish_times: list[int] = []
+    total_stall = 0
+
+    # Predecessor of each iteration on its own processor, if any.
+    prev_on_proc: dict[int, int] = {}
+    for assigned in iteration_mapping(n, processors, mapping):
+        for a, b in zip(assigned, assigned[1:]):
+            prev_on_proc[b] = a
+
+    for k in range(1, n + 1):  # iteration numbers relative to the lower bound
+        # The processor resumes after its previous iteration (if any).
+        prev = prev_on_proc.get(k)
+        start = finish_times[prev - 1] if prev is not None else 0
+        timing = _IterationTiming(start=start)
+        stall = 0
+        for wait_cycle, distance, send_cycle in waits:
+            producer = k - distance
+            if producer >= 1:
+                send_abs = timings[producer - 1].abs_cycle(send_cycle)
+                needed = send_abs + signal_latency
+                current = start + wait_cycle + stall
+                if needed > current:
+                    stall = needed - start - wait_cycle
+            timing.wait_cycles.append(wait_cycle)
+            timing.cumulative_stall.append(stall)
+        timings.append(timing)
+        finish_times.append(start + length + stall)
+        total_stall += stall
+
+    parallel_time = max(finish_times, default=0)
+    return SimulationResult(
+        schedule=schedule,
+        n=n,
+        parallel_time=parallel_time,
+        finish_times=finish_times,
+        total_stall=total_stall,
+        processors=processors,
+        signal_latency=signal_latency,
+    )

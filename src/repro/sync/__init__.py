@@ -1,0 +1,23 @@
+"""Synchronization operation insertion for DOACROSS loops.
+
+Implements the paper's Section 1 scheme: for every loop-carried dependence
+with constant distance ``d`` from source statement ``S`` to a sink ``S'``,
+insert ``Send_Signal(S)`` immediately after ``S`` and
+``Wait_Signal(S, I-d)`` immediately before ``S'``.  One send per source
+statement serves all its dependences; waits are deduplicated per
+``(sink, source, d)``.
+
+:class:`repro.sync.pairs.SyncPair` ties each dependence to its wait/send
+statements so the DFG builder can add the synchronization-condition arcs
+and the simulator can route signals.
+"""
+
+from repro.sync.insertion import SyncedLoop, insert_synchronization
+from repro.sync.pairs import SyncPair, eliminate_redundant_pairs
+
+__all__ = [
+    "SyncPair",
+    "SyncedLoop",
+    "eliminate_redundant_pairs",
+    "insert_synchronization",
+]

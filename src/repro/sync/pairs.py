@@ -1,0 +1,73 @@
+"""Synchronization pair bookkeeping and redundant-pair elimination."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deps.analysis import Dependence
+
+
+@dataclass
+class SyncPair:
+    """One synchronization requirement: a loop-carried dependence and the
+    wait/send that enforce it.
+
+    ``pair_id`` is the paper's "number attached in these triangles": waits
+    and sends sharing an id belong together.  ``deps`` lists every
+    dependence this pair enforces (several dependences between the same two
+    statements with the same distance share one pair).
+    """
+
+    pair_id: int
+    source_label: str
+    source_pos: int  # position of the source statement in the *original* body
+    sink_pos: int  # position of the sink statement in the original body
+    distance: int
+    deps: list[Dependence] = field(default_factory=list)
+
+    @property
+    def is_lexically_backward(self) -> bool:
+        """LBD per the paper: source not textually before sink."""
+        return self.source_pos >= self.sink_pos
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics
+        kind = "LBD" if self.is_lexically_backward else "LFD"
+        return (
+            f"pair {self.pair_id}: {self.source_label}@{self.source_pos} -> "
+            f"S@{self.sink_pos} (d={self.distance}, {kind})"
+        )
+
+
+def eliminate_redundant_pairs(pairs: list[SyncPair]) -> list[SyncPair]:
+    """Drop pairs whose ordering is transitively guaranteed by another pair.
+
+    Conservative rule (a small slice of Midkiff & Padua's elimination): a
+    pair ``(src, snk, d2)`` is redundant given ``(src, snk, d1)`` between
+    the *same* statements when ``d1`` divides ``d2`` and the enforced chain
+    runs through the wait (``d1 < d2``): iteration ``k`` waiting on
+    ``k - d1`` transitively orders it after ``k - 2*d1``, ..., ``k - d2``,
+    because each link of the chain executes its wait before its send
+    (guaranteed when source is not before sink, i.e. the pair is LBD, and
+    trivially satisfied by same-statement pairs).
+
+    The paper performs no elimination; this is exposed for ablation
+    studies and is off by default in :func:`~repro.sync.insertion.insert_synchronization`.
+    """
+    kept: list[SyncPair] = []
+    for pair in pairs:
+        covered = False
+        for other in pairs:
+            if other is pair:
+                continue
+            if (
+                other.source_pos == pair.source_pos
+                and other.sink_pos == pair.sink_pos
+                and other.distance < pair.distance
+                and pair.distance % other.distance == 0
+                and other.is_lexically_backward
+            ):
+                covered = True
+                break
+        if not covered:
+            kept.append(pair)
+    return kept

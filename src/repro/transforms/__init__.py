@@ -1,0 +1,41 @@
+"""Loop restructuring transforms.
+
+The paper (following Chen & Yew's measurements of which transformations
+actually matter) converts DO loops into DOACROSS form with three
+transforms, implemented here:
+
+* :mod:`repro.transforms.scalar_expansion` — expand iteration-local scalars
+  into per-iteration array elements, removing carried anti/flow/output
+  dependences on temporaries.
+* :mod:`repro.transforms.reduction` — replace recognized reductions
+  (``s = s ⊕ expr``) with per-iteration partial results combined after the
+  loop, removing the carried flow dependence on the accumulator.
+* :mod:`repro.transforms.induction` — substitute closed forms for
+  ``j = j + c`` induction variables so subscripts become affine.
+
+:mod:`repro.transforms.pipeline` runs all three to a fixed point and
+reclassifies the loop.
+"""
+
+from repro.transforms.induction import InductionInfo, find_induction_variables, substitute_induction
+from repro.transforms.pipeline import RestructureResult, restructure
+from repro.transforms.reduction import ReductionInfo, find_reductions, replace_reductions
+from repro.transforms.reorder import ReorderResult, reorder_statements
+from repro.transforms.scalar_expansion import expandable_scalars, expand_scalars
+from repro.transforms.unroll import unroll_loop
+
+__all__ = [
+    "InductionInfo",
+    "ReductionInfo",
+    "ReorderResult",
+    "RestructureResult",
+    "expand_scalars",
+    "expandable_scalars",
+    "find_induction_variables",
+    "find_reductions",
+    "reorder_statements",
+    "replace_reductions",
+    "restructure",
+    "substitute_induction",
+    "unroll_loop",
+]

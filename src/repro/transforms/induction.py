@@ -1,0 +1,183 @@
+"""Induction variable substitution.
+
+An auxiliary induction variable — ``j = j + c`` with constant ``c``,
+incremented exactly once per iteration — makes every subscript using ``j``
+non-affine to the analyzer and carries a flow dependence that serializes the
+loop.  Its value is nevertheless a closed form of the loop index::
+
+    before the increment:  j0 + c * (I - L)
+    after  the increment:  j0 + c * (I - L + 1)
+
+where ``L`` is the loop lower bound and ``j0`` the value on loop entry.
+Substituting the closed form and deleting the increment removes the carried
+dependence and restores affine subscripts.
+
+``j0`` is a loop-entry value our single-loop IR cannot see; callers supply
+it via ``bases`` (default 0).  Distances between subscripts that share the
+same induction variable do not depend on ``j0``, so the default preserves
+all dependence behaviour; only absolute addresses shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Loop,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    walk_expr,
+)
+
+
+@dataclass(frozen=True)
+class InductionInfo:
+    """A recognized induction variable: ``name = name + step`` at ``stmt_pos``."""
+
+    name: str
+    step: int
+    stmt_pos: int
+
+
+def _match_increment(stmt: Assign) -> tuple[str, int] | None:
+    """Match ``j = j + c`` / ``j = j - c`` / ``j = c + j`` (c an int const)."""
+    if stmt.guard is not None:
+        return None  # a conditional increment has no closed form
+    if not isinstance(stmt.target, VarRef):
+        return None
+    j = stmt.target.name
+    e = stmt.expr
+    if not isinstance(e, BinOp) or e.op not in ("+", "-"):
+        return None
+    left_is_j = isinstance(e.left, VarRef) and e.left.name == j
+    right_is_j = isinstance(e.right, VarRef) and e.right.name == j
+    if left_is_j and isinstance(e.right, Const) and isinstance(e.right.value, int):
+        c = e.right.value
+        return j, (c if e.op == "+" else -c)
+    if e.op == "+" and right_is_j and isinstance(e.left, Const) and isinstance(e.left.value, int):
+        return j, e.left.value
+    return None
+
+
+def find_induction_variables(loop: Loop) -> list[InductionInfo]:
+    """Recognize scalars incremented by a constant exactly once per iteration
+    and written nowhere else in the body."""
+    increments: dict[str, list[tuple[int, int]]] = {}
+    other_writes: set[str] = set()
+    for pos, stmt in enumerate(loop.body):
+        if not isinstance(stmt, Assign):
+            continue
+        match = _match_increment(stmt)
+        if match is not None:
+            increments.setdefault(match[0], []).append((pos, match[1]))
+        elif isinstance(stmt.target, VarRef):
+            other_writes.add(stmt.target.name)
+    infos = []
+    for name, incs in sorted(increments.items()):
+        if len(incs) == 1 and name not in other_writes and name != loop.index:
+            pos, step = incs[0]
+            infos.append(InductionInfo(name=name, step=step, stmt_pos=pos))
+    return infos
+
+
+def _closed_form(info: InductionInfo, loop: Loop, base: int, after: bool) -> Expr:
+    """Build ``base + step*(I - L [+ 1])`` as an expression tree."""
+    offset_expr: Expr = BinOp("-", VarRef(loop.index), loop.lower)
+    if after:
+        offset_expr = BinOp("+", offset_expr, Const(1))
+    scaled: Expr = (
+        offset_expr if info.step == 1 else BinOp("*", Const(info.step), offset_expr)
+    )
+    if base == 0:
+        return scaled
+    return BinOp("+", Const(base), scaled)
+
+
+def _substitute(expr: Expr, name: str, replacement: Expr) -> Expr:
+    if isinstance(expr, VarRef):
+        if expr.name == name:
+            from repro.ir.ast_nodes import clone_expr
+
+            return clone_expr(replacement)  # fresh nodes per occurrence
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _substitute(expr.left, name, replacement),
+            _substitute(expr.right, name, replacement),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _substitute(expr.operand, name, replacement))
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.name, _substitute(expr.subscript, name, replacement))
+    return expr
+
+
+def substitute_induction(
+    loop: Loop,
+    infos: list[InductionInfo] | None = None,
+    bases: dict[str, int] | None = None,
+) -> tuple[Loop, list[InductionInfo]]:
+    """Substitute closed forms for induction variables and drop the increments.
+
+    Substitution requires a constant integer lower bound (so the closed form
+    stays affine); loops with symbolic lower bounds are returned unchanged.
+    """
+    if not isinstance(loop.lower, Const):
+        return loop, []
+    if infos is None:
+        infos = find_induction_variables(loop)
+    if not infos:
+        return loop, []
+    bases = bases or {}
+
+    increment_positions = {info.stmt_pos: info for info in infos}
+    new_body: list[Stmt] = []
+    for pos, stmt in enumerate(loop.body):
+        if pos in increment_positions:
+            continue  # the increment statement is deleted
+        if not isinstance(stmt, Assign):
+            new_body.append(stmt)
+            continue
+        expr = stmt.expr
+        guard = stmt.guard
+        target: VarRef | ArrayRef = stmt.target
+        for info in infos:
+            after = pos > info.stmt_pos
+            replacement = _closed_form(info, loop, bases.get(info.name, 0), after)
+            expr = _substitute(expr, info.name, replacement)
+            if guard is not None:
+                from repro.ir.ast_nodes import Comparison
+
+                guard = Comparison(
+                    guard.op,
+                    _substitute(guard.left, info.name, replacement),
+                    _substitute(guard.right, info.name, replacement),
+                )
+            if isinstance(target, ArrayRef):
+                target = ArrayRef(
+                    target.name, _substitute(target.subscript, info.name, replacement)
+                )
+        new_body.append(Assign(target=target, expr=expr, label=stmt.label, guard=guard))
+
+    new_loop = Loop(
+        index=loop.index,
+        lower=loop.lower,
+        upper=loop.upper,
+        body=new_body,
+        step=loop.step,
+        is_doacross=loop.is_doacross,
+        name=loop.name,
+    )
+    return new_loop, infos
+
+
+def induction_free(loop: Loop) -> bool:
+    """True when no recognized induction variable remains (fixed point)."""
+    return not find_induction_variables(loop)

@@ -1,0 +1,138 @@
+"""Reduction replacement.
+
+A statement of the form ``s = s ⊕ expr`` (⊕ ∈ {+, *}, or ``s = s - expr``)
+whose accumulator ``s`` appears nowhere else in the loop is a reduction.
+The carried flow dependence on ``s`` serializes the loop, but because ⊕ is
+associative the partial results can be computed independently per iteration
+and combined after the loop.
+
+The transform rewrites the statement to ``s_red(I) = expr`` and records a
+:class:`ReductionInfo` so a runtime (or our simulator's semantic checker)
+knows to fold ``s = s0 ⊕ s_red(1) ⊕ ... ⊕ s_red(n)`` afterwards.
+Subtraction folds as a sum of negated terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.ast_nodes import ArrayRef, Assign, BinOp, Expr, Loop, Stmt, VarRef, walk_expr
+
+REDUCTION_SUFFIX = "_red"
+
+
+@dataclass(frozen=True)
+class ReductionInfo:
+    """One recognized reduction.
+
+    ``accumulator`` is the scalar, ``op`` the combining operator (``+`` or
+    ``*``; ``-`` is recorded as ``+`` over negated partials), ``stmt_pos``
+    the body position, ``partial_array`` the array holding per-iteration
+    partial results after the rewrite.
+    """
+
+    accumulator: str
+    op: str
+    stmt_pos: int
+    partial_array: str
+    negate_partials: bool = False
+
+
+def _match_reduction(stmt: Assign) -> tuple[str, str, Expr] | None:
+    """Match ``s = s op expr`` / ``s = expr + s``; return (s, op, expr)."""
+    if stmt.guard is not None:
+        return None  # a conditional accumulation is not a plain reduction
+    if not isinstance(stmt.target, VarRef):
+        return None
+    s = stmt.target.name
+    e = stmt.expr
+    if not isinstance(e, BinOp) or e.op not in ("+", "*", "-"):
+        return None
+    if isinstance(e.left, VarRef) and e.left.name == s:
+        rest = e.right
+    elif e.op in ("+", "*") and isinstance(e.right, VarRef) and e.right.name == s:
+        rest = e.left
+    else:
+        return None
+    # The accumulator may not appear in the remaining expression.
+    if any(isinstance(n, VarRef) and n.name == s for n in walk_expr(rest)):
+        return None
+    return s, e.op, rest
+
+
+def find_reductions(loop: Loop) -> list[ReductionInfo]:
+    """Recognize reductions whose accumulator is used nowhere else."""
+    # Count accumulator uses outside the candidate statement.
+    uses: dict[str, int] = {}
+    candidates: list[tuple[int, str, str]] = []
+    for pos, stmt in enumerate(loop.body):
+        if not isinstance(stmt, Assign):
+            continue
+        match = _match_reduction(stmt)
+        exprs: list[Expr] = [stmt.expr, *stmt.guard_exprs()]
+        if isinstance(stmt.target, ArrayRef):
+            exprs.append(stmt.target.subscript)
+        for root in exprs:
+            for node in walk_expr(root):
+                if isinstance(node, VarRef):
+                    uses[node.name] = uses.get(node.name, 0) + 1
+        if isinstance(stmt.target, VarRef):
+            uses[stmt.target.name] = uses.get(stmt.target.name, 0) + 1
+        if match is not None:
+            candidates.append((pos, match[0], match[1]))
+
+    infos: list[ReductionInfo] = []
+    seen_acc: set[str] = set()
+    for pos, acc, op in candidates:
+        # s = s op expr accounts for exactly 2 uses (target + one operand);
+        # any extra use disqualifies the reduction.
+        if uses.get(acc, 0) != 2 or acc in seen_acc:
+            continue
+        seen_acc.add(acc)
+        infos.append(
+            ReductionInfo(
+                accumulator=acc,
+                op="+" if op == "-" else op,
+                stmt_pos=pos,
+                partial_array=acc + REDUCTION_SUFFIX,
+                negate_partials=(op == "-"),
+            )
+        )
+    return infos
+
+
+def replace_reductions(
+    loop: Loop, infos: list[ReductionInfo] | None = None
+) -> tuple[Loop, list[ReductionInfo]]:
+    """Rewrite recognized reductions to partial-result array stores."""
+    if infos is None:
+        infos = find_reductions(loop)
+    if not infos:
+        return loop, []
+    by_pos = {info.stmt_pos: info for info in infos}
+    new_body: list[Stmt] = []
+    for pos, stmt in enumerate(loop.body):
+        info = by_pos.get(pos)
+        if info is None or not isinstance(stmt, Assign):
+            new_body.append(stmt)
+            continue
+        match = _match_reduction(stmt)
+        assert match is not None, "find_reductions produced a non-reduction position"
+        _, _, rest = match
+        new_body.append(
+            Assign(
+                target=ArrayRef(info.partial_array, VarRef(loop.index)),
+                expr=rest,
+                label=stmt.label,
+            )
+        )
+    new_loop = Loop(
+        index=loop.index,
+        lower=loop.lower,
+        upper=loop.upper,
+        body=new_body,
+        step=loop.step,
+        is_doacross=loop.is_doacross,
+        name=loop.name,
+    )
+    return new_loop, infos

@@ -1,0 +1,169 @@
+"""Scalar expansion.
+
+A scalar temporary ``T`` that is (re)defined in every iteration creates
+spurious loop-carried anti and output dependences (iteration ``k+1``'s write
+collides with iteration ``k``'s accesses to the single location ``T``).
+Expanding ``T`` into a per-iteration array element ``T_exp(I)`` privatizes
+it and removes those carried dependences.
+
+Expansion is legal for a scalar whose every read inside the loop is
+*covered* — preceded by a write in the same iteration — so no value flows
+between iterations through it.  (An uncovered read means the scalar carries
+a genuine recurrence; that is reduction/induction territory, not
+expansion.)  The loop index is never expanded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    Loop,
+    Stmt,
+    UnaryOp,
+    VarRef,
+)
+
+EXPANSION_SUFFIX = "_exp"
+
+
+@dataclass(frozen=True)
+class _Usage:
+    writes: tuple[int, ...]  # body positions writing the scalar
+    reads: tuple[int, ...]  # body positions reading it
+    covered: bool  # every read preceded by a same-iteration write
+
+
+def _scalar_usage(loop: Loop) -> dict[str, _Usage]:
+    writes: dict[str, list[int]] = {}
+    reads: dict[str, list[int]] = {}
+    uncovered: set[str] = set()
+    written_so_far: set[str] = set()
+
+    def note_reads(expr: Expr, pos: int) -> None:
+        from repro.ir.ast_nodes import walk_expr
+
+        for node in walk_expr(expr):
+            if isinstance(node, VarRef) and node.name != loop.index:
+                reads.setdefault(node.name, []).append(pos)
+                if node.name not in written_so_far:
+                    uncovered.add(node.name)
+
+    for pos, stmt in enumerate(loop.body):
+        if not isinstance(stmt, Assign):
+            continue
+        note_reads(stmt.expr, pos)
+        for guard_expr in stmt.guard_exprs():
+            note_reads(guard_expr, pos)
+        if isinstance(stmt.target, ArrayRef):
+            note_reads(stmt.target.subscript, pos)
+        else:
+            writes.setdefault(stmt.target.name, []).append(pos)
+            # A guarded write may not execute, so it covers nothing: later
+            # reads may still see the previous iteration's value.
+            if stmt.guard is None:
+                written_so_far.add(stmt.target.name)
+            else:
+                uncovered.add(stmt.target.name)
+
+    usage: dict[str, _Usage] = {}
+    for name in set(writes) | set(reads):
+        usage[name] = _Usage(
+            writes=tuple(writes.get(name, ())),
+            reads=tuple(reads.get(name, ())),
+            covered=name not in uncovered,
+        )
+    return usage
+
+
+def expandable_scalars(loop: Loop) -> list[str]:
+    """Scalars legal to expand: written in the loop, every read covered."""
+    return sorted(
+        name
+        for name, u in _scalar_usage(loop).items()
+        if u.writes and u.covered
+    )
+
+
+def _rewrite_expr(expr: Expr, names: frozenset[str], index: str) -> Expr:
+    """Replace reads of expanded scalars with ``name_exp(index)``."""
+    if isinstance(expr, VarRef):
+        if expr.name in names:
+            return ArrayRef(expr.name + EXPANSION_SUFFIX, VarRef(index))
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rewrite_expr(expr.left, names, index),
+            _rewrite_expr(expr.right, names, index),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _rewrite_expr(expr.operand, names, index))
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.name, _rewrite_expr(expr.subscript, names, index))
+    return expr
+
+
+def expand_scalars(loop: Loop, names: list[str] | None = None) -> tuple[Loop, list[str]]:
+    """Expand ``names`` (default: every expandable scalar) in ``loop``.
+
+    Returns the rewritten loop and the list of scalars actually expanded.
+    The rewrite is non-destructive: a new loop object with a new body is
+    returned (expression trees are rebuilt where they change).
+    """
+    candidates = expandable_scalars(loop)
+    if names is None:
+        chosen = candidates
+    else:
+        illegal = sorted(set(names) - set(candidates))
+        if illegal:
+            raise ValueError(f"scalars not legal to expand: {illegal}")
+        chosen = sorted(names)
+    if not chosen:
+        return loop, []
+
+    chosen_set = frozenset(chosen)
+    new_body: list[Stmt] = []
+    for stmt in loop.body:
+        if not isinstance(stmt, Assign):
+            new_body.append(stmt)
+            continue
+        new_expr = _rewrite_expr(stmt.expr, chosen_set, loop.index)
+        new_guard = stmt.guard
+        if new_guard is not None:
+            from repro.ir.ast_nodes import Comparison
+
+            new_guard = Comparison(
+                new_guard.op,
+                _rewrite_expr(new_guard.left, chosen_set, loop.index),
+                _rewrite_expr(new_guard.right, chosen_set, loop.index),
+            )
+        target = stmt.target
+        if isinstance(target, VarRef) and target.name in chosen_set:
+            new_target: VarRef | ArrayRef = ArrayRef(
+                target.name + EXPANSION_SUFFIX, VarRef(loop.index)
+            )
+        elif isinstance(target, ArrayRef):
+            new_target = ArrayRef(
+                target.name, _rewrite_expr(target.subscript, chosen_set, loop.index)
+            )
+        else:
+            new_target = target
+        new_body.append(
+            Assign(target=new_target, expr=new_expr, label=stmt.label, guard=new_guard)
+        )
+
+    new_loop = Loop(
+        index=loop.index,
+        lower=loop.lower,
+        upper=loop.upper,
+        body=new_body,
+        step=loop.step,
+        is_doacross=loop.is_doacross,
+        name=loop.name,
+    )
+    return new_loop, list(chosen)

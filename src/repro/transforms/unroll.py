@@ -1,0 +1,135 @@
+"""Loop unrolling for DOACROSS synchronization amortization.
+
+Unrolling by ``u`` merges ``u`` consecutive iterations into one: the body
+is replicated with the index rewritten to ``u*(I-1) + j + L - 1`` for copy
+``j`` (``L`` the original lower bound), and the trip count divides by
+``u``.  For a DOACROSS loop this trades synchronization frequency for
+iteration size:
+
+* a carried dependence of distance ``d`` becomes distance ``ceil(d/u)``
+  between unrolled iterations — copies less than ``d`` apart inside one
+  unrolled iteration become *loop-independent* and need no signals at all;
+* each remaining signal covers ``u`` elements, so the per-element
+  synchronization stall drops roughly by ``u``;
+* the longer body gives the instruction scheduler more independent work to
+  hide the remaining stalls behind.
+
+Only constant bounds with ``u`` dividing the trip count are supported (no
+remainder loop — the experiments use n = 100 with u in {1, 2, 4, 5, 10}).
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Comparison,
+    Const,
+    Expr,
+    Loop,
+    SendSignal,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WaitSignal,
+)
+
+
+from repro.ir.ast_nodes import clone_expr as _clone
+
+
+def _shift_index(expr: Expr, index: str, replacement: Expr) -> Expr:
+    """Rewrite the loop index; ALWAYS returns fresh node objects.
+
+    Freshness matters beyond hygiene: downstream passes identify each
+    textual reference by object identity (``id``), so two unrolled copies
+    of a statement must never share an expression node — a shared node
+    would alias their dependence events and mis-anchor synchronization
+    arcs (a stale-data bug the differential fuzzer caught).
+    """
+    if isinstance(expr, VarRef):
+        if expr.name == index:
+            return _clone(replacement)  # a fresh copy per occurrence
+        return VarRef(expr.name)
+    if isinstance(expr, Const):
+        return Const(expr.value)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _shift_index(expr.left, index, replacement),
+            _shift_index(expr.right, index, replacement),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _shift_index(expr.operand, index, replacement))
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.name, _shift_index(expr.subscript, index, replacement))
+    return expr
+
+
+def unroll_loop(loop: Loop, factor: int) -> Loop:
+    """Unroll ``loop`` by ``factor``; returns a new loop.
+
+    Requires constant bounds, step 1, a factor dividing the trip count,
+    and a body free of synchronization statements (unroll before
+    synchronizing — the signals of the unrolled loop are different ones).
+    """
+    if factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    if factor == 1:
+        return loop
+    if loop.step != 1:
+        raise ValueError("only unit-step loops can be unrolled")
+    if any(isinstance(s, (WaitSignal, SendSignal)) for s in loop.body):
+        raise ValueError("unroll before inserting synchronization statements")
+    if not (isinstance(loop.lower, Const) and isinstance(loop.upper, Const)):
+        raise ValueError("unrolling requires constant loop bounds")
+    lower = int(loop.lower.value)
+    upper = int(loop.upper.value)
+    trip = upper - lower + 1
+    if trip % factor != 0:
+        raise ValueError(f"unroll factor {factor} does not divide trip count {trip}")
+
+    new_body: list[Stmt] = []
+    for j in range(factor):
+        # original index for copy j of unrolled iteration I (new I from 1):
+        #   u*(I-1) + j + lower
+        offset = j + lower - factor
+        replacement: Expr = BinOp("*", Const(factor), VarRef(loop.index))
+        if offset != 0:
+            op = "+" if offset > 0 else "-"
+            replacement = BinOp(op, replacement, Const(abs(offset)))
+        for stmt in loop.body:
+            assert isinstance(stmt, Assign)
+            guard = stmt.guard
+            if guard is not None:
+                guard = Comparison(
+                    guard.op,
+                    _shift_index(guard.left, loop.index, replacement),
+                    _shift_index(guard.right, loop.index, replacement),
+                )
+            target = stmt.target
+            if isinstance(target, ArrayRef):
+                target = ArrayRef(
+                    target.name, _shift_index(target.subscript, loop.index, replacement)
+                )
+            else:
+                target = VarRef(target.name)  # fresh object per copy
+            new_body.append(
+                Assign(
+                    target=target,
+                    expr=_shift_index(stmt.expr, loop.index, replacement),
+                    label=f"{stmt.label}u{j}" if stmt.label else None,
+                    guard=guard,
+                )
+            )
+
+    return Loop(
+        index=loop.index,
+        lower=Const(1),
+        upper=Const(trip // factor),
+        body=new_body,
+        step=1,
+        is_doacross=loop.is_doacross,
+        name=f"{loop.name}-u{factor}" if loop.name else None,
+    )

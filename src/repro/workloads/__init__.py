@@ -1,0 +1,38 @@
+"""Workloads: DOACROSS loop corpora for the experiments.
+
+The paper evaluates on five Perfect-club benchmarks (FLQ52, QCD, MDG,
+TRACK, ADM).  The original Fortran sources are not redistributable (and the
+Parafrase toolchain is long gone), so :mod:`repro.workloads.perfect`
+synthesizes a loop corpus per benchmark with the dependence
+*characteristics* the paper reports — loop counts, the all-LBD property of
+FLQ52/QCD/TRACK, distance distributions, and body shapes (see DESIGN.md's
+substitution table).  :mod:`repro.workloads.generator` is the seeded
+random DOACROSS loop generator underneath;
+:mod:`repro.workloads.characteristics` extracts Table-1-style statistics
+from any corpus.
+"""
+
+from repro.workloads.characteristics import BenchmarkCharacteristics, characterize
+from repro.workloads.generator import GeneratorConfig, PlantedDep, generate_loop
+from repro.workloads.livermore import (
+    Kernel,
+    doacross_kernels,
+    livermore_kernels,
+    livermore_loops,
+)
+from repro.workloads.perfect import PERFECT_BENCHMARKS, perfect_benchmark, perfect_suite
+
+__all__ = [
+    "BenchmarkCharacteristics",
+    "GeneratorConfig",
+    "Kernel",
+    "PERFECT_BENCHMARKS",
+    "PlantedDep",
+    "characterize",
+    "doacross_kernels",
+    "generate_loop",
+    "livermore_kernels",
+    "livermore_loops",
+    "perfect_benchmark",
+    "perfect_suite",
+]

@@ -1,0 +1,56 @@
+"""Table-1-style benchmark characteristics extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deps import analyze_loop, classify_loop, count_lfd_lbd, LoopClass
+from repro.ir.ast_nodes import Assign, Loop
+
+
+@dataclass(frozen=True)
+class BenchmarkCharacteristics:
+    """The columns of the paper's Table 1 for one benchmark corpus."""
+
+    name: str
+    total_loops: int
+    doall_loops: int
+    doacross_loops: int
+    serial_loops: int
+    total_statements: int
+    lfd: int
+    lbd: int
+
+    @property
+    def all_lbd(self) -> bool:
+        return self.lbd > 0 and self.lfd == 0
+
+
+def characterize(name: str, loops: list[Loop]) -> BenchmarkCharacteristics:
+    """Analyze a corpus: loop classes and carried-dependence directions."""
+    doall = doacross = serial = 0
+    lfd = lbd = 0
+    statements = 0
+    for loop in loops:
+        graph = analyze_loop(loop)
+        cls = classify_loop(graph)
+        if cls is LoopClass.DOALL:
+            doall += 1
+        elif cls is LoopClass.DOACROSS:
+            doacross += 1
+        else:
+            serial += 1
+        counts = count_lfd_lbd(graph)
+        lfd += counts.lfd
+        lbd += counts.lbd
+        statements += sum(1 for s in loop.body if isinstance(s, Assign))
+    return BenchmarkCharacteristics(
+        name=name,
+        total_loops=len(loops),
+        doall_loops=doall,
+        doacross_loops=doacross,
+        serial_loops=serial,
+        total_statements=statements,
+        lfd=lfd,
+        lbd=lbd,
+    )

@@ -1,0 +1,217 @@
+"""Seeded random DOACROSS loop generator.
+
+The generator *plants* an exact set of loop-carried dependences and builds
+statements around them, so a corpus's LFD/LBD structure is a controlled
+input rather than an accident:
+
+* each statement writes its own array (one writer per array), so the only
+  carried dependences are the planted ones;
+* a planted dependence ``(source s, sink t, distance d)`` makes statement
+  ``s`` write ``X(I)`` and statement ``t`` read ``X(I-d)`` — lexically
+  backward iff ``s >= t``;
+* remaining operand slots read *noise* arrays that are never written
+  (offsets vary, no dependences);
+* optional temp scalars, reductions and induction variables produce
+  pre-restructuring loops for the transform pipeline.
+
+Everything is driven by a ``random.Random`` seeded from the config, so
+corpora are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.ast_nodes import ArrayRef, Assign, BinOp, Const, Expr, Loop, Stmt, VarRef
+
+
+@dataclass(frozen=True)
+class PlantedDep:
+    """One deliberate loop-carried dependence.
+
+    ``source``/``sink`` are statement indices (before any scalar/reduction
+    statements are woven in); the dependence is LBD iff ``source >= sink``.
+
+    ``chained`` additionally routes the sink statement's result into the
+    source statement (the source reads the sink's target array at ``I``),
+    creating a directed sink→source data path — and therefore a genuine
+    synchronization path, the paper's unconvertible-LBD case.  A self
+    dependence (``source == sink``) is inherently chained.
+    """
+
+    source: int
+    sink: int
+    distance: int
+    chained: bool = False
+
+    def __post_init__(self) -> None:
+        if self.distance < 1:
+            raise ValueError("planted dependences must be loop-carried (distance >= 1)")
+        if self.chained and self.source < self.sink:
+            raise ValueError("a chained dependence requires source at/after sink (LBD)")
+
+    @property
+    def is_lbd(self) -> bool:
+        return self.source >= self.sink
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape of one generated loop."""
+
+    statements: int = 4
+    deps: tuple[PlantedDep, ...] = ()
+    trip_count: int = 100
+    noise_reads: tuple[int, int] = (1, 3)  # min/max extra operands per statement
+    noise_offset: tuple[int, int] = (-3, 3)
+    op_weights: tuple[float, float, float, float] = (5.0, 2.0, 2.0, 0.5)  # + - * /
+    temp_scalars: int = 0  # covered temporaries (scalar expansion fodder)
+    reductions: int = 0  # s = s + expr statements (reduction fodder)
+    inductions: int = 0  # j = j + c increments used in subscripts
+    guard_prob: float = 0.0  # probability a core statement gets an IF guard
+    seed: int = 0
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        for dep in self.deps:
+            if not (0 <= dep.source < self.statements and 0 <= dep.sink < self.statements):
+                raise ValueError(f"dependence {dep} references a missing statement")
+            if dep.distance >= self.trip_count:
+                raise ValueError(f"dependence distance {dep.distance} >= trip count")
+
+
+_OPS = ("+", "-", "*", "/")
+
+
+@dataclass
+class _Builder:
+    config: GeneratorConfig
+    rng: random.Random
+    noise_counter: int = 0
+    reads_by_stmt: dict[int, list[Expr]] = field(default_factory=dict)
+
+    def pick_op(self) -> str:
+        return self.rng.choices(_OPS, weights=self.config.op_weights, k=1)[0]
+
+    def noise_array(self) -> str:
+        self.noise_counter += 1
+        return f"R{self.noise_counter}"
+
+    def noise_read(self) -> Expr:
+        lo, hi = self.config.noise_offset
+        offset = self.rng.randint(lo, hi)
+        index: Expr = VarRef("I")
+        if offset > 0:
+            index = BinOp("+", index, Const(offset))
+        elif offset < 0:
+            index = BinOp("-", index, Const(-offset))
+        return ArrayRef(self.noise_array(), index)
+
+    def combine(self, operands: list[Expr]) -> Expr:
+        """Fold operands into a random-shaped expression tree."""
+        operands = operands[:]
+        self.rng.shuffle(operands)
+        while len(operands) > 1:
+            i = self.rng.randrange(len(operands) - 1)
+            left = operands.pop(i)
+            right = operands.pop(i)
+            op = self.pick_op()
+            if op == "/" and not (
+                isinstance(right, ArrayRef) and right.name.startswith("R")
+            ):
+                # Only noise arrays (never written, never-zero defaults) may
+                # be denominators; dividing by computed data risks zero in
+                # the semantic equivalence checks.
+                op = "*"
+            operands.insert(i, BinOp(op, left, right))
+        return operands[0]
+
+
+def generate_loop(config: GeneratorConfig) -> Loop:
+    """Generate one DO loop per ``config`` (deterministic in ``config.seed``)."""
+    rng = random.Random(config.seed)
+    builder = _Builder(config=config, rng=rng)
+
+    # Target array of each core statement: the dependence sources must keep
+    # a stable array across their dependences; others write private arrays.
+    target_array = {s: f"A{s}" for s in range(config.statements)}
+
+    # Planted reads per sink statement; chained dependences also feed the
+    # sink's value forward into the source statement.
+    planted_reads: dict[int, list[Expr]] = {s: [] for s in range(config.statements)}
+    for dep in config.deps:
+        read = ArrayRef(
+            target_array[dep.source], BinOp("-", VarRef("I"), Const(dep.distance))
+        )
+        planted_reads[dep.sink].append(read)
+        if dep.chained and dep.source != dep.sink:
+            planted_reads[dep.source].append(
+                ArrayRef(target_array[dep.sink], VarRef("I"))
+            )
+
+    body: list[Stmt] = []
+    for s in range(config.statements):
+        operands: list[Expr] = list(planted_reads[s])
+        lo, hi = config.noise_reads
+        for _ in range(rng.randint(lo, hi)):
+            operands.append(builder.noise_read())
+        if not operands:
+            operands.append(builder.noise_read())
+        expr = builder.combine(operands)
+        guard = None
+        # (guard_prob == 0 must not touch the RNG stream: the frozen
+        # corpora were generated before guards existed)
+        if config.guard_prob > 0 and rng.random() < config.guard_prob:
+            # defaults lie in [2, 6): a threshold inside that range makes
+            # both guard outcomes occur across iterations
+            from repro.ir.ast_nodes import Comparison
+
+            guard = Comparison(
+                rng.choice(("<", ">", "<=", ">=")),
+                builder.noise_read(),
+                Const(rng.choice((3, 4, 5))),
+            )
+        body.append(
+            Assign(target=ArrayRef(target_array[s], VarRef("I")), expr=expr, guard=guard)
+        )
+
+    # Optional pre-restructuring material, woven at deterministic positions.
+    for t in range(config.temp_scalars):
+        temp = f"T{t}"
+        define = Assign(target=VarRef(temp), expr=builder.noise_read())
+        use_pos = rng.randrange(len(body)) + 1
+        body.insert(use_pos, define)
+        # splice a use of the temp into the next assignment's RHS
+        for stmt in body[use_pos + 1 :]:
+            if isinstance(stmt, Assign) and isinstance(stmt.target, ArrayRef):
+                stmt.expr = BinOp("+", stmt.expr, VarRef(temp))
+                break
+        else:
+            body.append(
+                Assign(
+                    target=ArrayRef(builder.noise_array(), VarRef("I")),
+                    expr=VarRef(temp),
+                )
+            )
+    for r in range(config.reductions):
+        acc = f"SUM{r}"
+        body.append(Assign(target=VarRef(acc), expr=BinOp("+", VarRef(acc), builder.noise_read())))
+    for j in range(config.inductions):
+        ind = f"J{j}"
+        step = rng.randint(1, 2)
+        body.insert(0, Assign(target=VarRef(ind), expr=BinOp("+", VarRef(ind), Const(step))))
+        body.append(
+            Assign(
+                target=ArrayRef(builder.noise_array(), VarRef(ind)),
+                expr=builder.noise_read(),
+            )
+        )
+
+    return Loop(
+        index="I",
+        lower=Const(1),
+        upper=Const(config.trip_count),
+        body=body,
+        name=config.name,
+    )

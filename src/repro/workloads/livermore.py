@@ -1,0 +1,167 @@
+"""Livermore-loop-style kernels (extension workload, beyond the paper).
+
+The Livermore Fortran Kernels are the classic loop-parallelism stress
+suite of the paper's era.  The subset below is every kernel expressible in
+our single-index straight-line loop language, transcribed to the paper's
+100-iteration form.  They are *not* part of the paper's evaluation — they
+exist to exercise the pipeline on famous, independently-defined loop
+shapes: DOALL kernels, reductions, first-order recurrences (the
+DOACROSS cases), and genuinely serial ones the classifier must reject.
+
+Each entry records the expected :class:`~repro.deps.LoopClass` so tests
+can pin the classifier's behaviour kernel by kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deps import LoopClass
+from repro.ir.ast_nodes import Loop
+from repro.ir.parser import parse_loop
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One kernel: source, provenance note, expected classification."""
+
+    name: str
+    source: str
+    expected_class: LoopClass
+    note: str
+
+    def loop(self) -> Loop:
+        loop = parse_loop(self.source)
+        loop.name = self.name
+        return loop
+
+
+KERNELS: tuple[Kernel, ...] = (
+    Kernel(
+        name="k1-hydro",
+        source="""
+        DO I = 1, 100
+          X(I) = Q + Y(I) * (R * Z(I+10) + T * Z(I+11))
+        ENDDO
+        """,
+        expected_class=LoopClass.DOALL,
+        note="LFK 1, hydro fragment: pure DOALL",
+    ),
+    Kernel(
+        name="k3-inner-product",
+        source="""
+        DO I = 1, 100
+          Q = Q + Z(I) * X(I)
+        ENDDO
+        """,
+        expected_class=LoopClass.DOALL,  # after reduction replacement
+        note="LFK 3, inner product: reduction",
+    ),
+    Kernel(
+        name="k5-tridiag",
+        source="""
+        DO I = 2, 100
+          X(I) = Z(I) * (Y(I) - X(I-1))
+        ENDDO
+        """,
+        expected_class=LoopClass.DOACROSS,
+        note="LFK 5, tri-diagonal elimination: first-order linear recurrence",
+    ),
+    Kernel(
+        name="k7-state",
+        source="""
+        DO I = 1, 100
+          X(I) = U(I) + R * (Z(I) + R * Y(I)) + T * (U(I+3) + R * (U(I+2) + R * U(I+1)))
+        ENDDO
+        """,
+        expected_class=LoopClass.DOALL,
+        note="LFK 7, equation-of-state fragment: wide DOALL expression",
+    ),
+    Kernel(
+        name="k11-first-sum",
+        source="""
+        DO I = 2, 100
+          X(I) = X(I-1) + Y(I)
+        ENDDO
+        """,
+        expected_class=LoopClass.DOACROSS,
+        note="LFK 11, first sum: prefix-sum recurrence, distance 1",
+    ),
+    Kernel(
+        name="k12-first-diff",
+        source="""
+        DO I = 1, 100
+          X(I) = Y(I+1) - Y(I)
+        ENDDO
+        """,
+        expected_class=LoopClass.DOALL,
+        note="LFK 12, first difference: DOALL",
+    ),
+    Kernel(
+        name="k19-general-recurrence",
+        source="""
+        DO I = 1, 100
+          B5(I) = SA(I) + STB5 * SB(I)
+          STB5 = B5(I) - STB5
+        ENDDO
+        """,
+        expected_class=LoopClass.DOACROSS,
+        note="LFK 19, general linear recurrence through scalar STB5",
+    ),
+    Kernel(
+        name="k21-matmul-row",
+        source="""
+        DO I = 1, 100
+          PX(I) = PX(I) + VY(I) * CX(I+25)
+        ENDDO
+        """,
+        expected_class=LoopClass.DOALL,
+        note="LFK 21, one matrix-product row: element-wise accumulate, no carry",
+    ),
+    Kernel(
+        name="k24-min-location-ish",
+        source="""
+        DO I = 2, 100
+          M(I) = M(I-1) + X(I) * X(I)
+        ENDDO
+        """,
+        expected_class=LoopClass.DOACROSS,
+        note="LFK 24 reshaped as a running aggregate (min needs control flow)",
+    ),
+    Kernel(
+        name="k24-min-location",
+        source="""
+        DO I = 1, 100
+          S1: IF (X(I) < M) M = X(I)
+        ENDDO
+        """,
+        expected_class=LoopClass.DOACROSS,
+        note="LFK 24 proper: conditional running minimum — a control-"
+        "dependent (type 1) recurrence through the guarded scalar M",
+    ),
+    Kernel(
+        name="k2-iccg-slice",
+        source="""
+        DO I = 1, 100
+          X(I) = X(I+1) - V(I) * X(I+32)
+        ENDDO
+        """,
+        expected_class=LoopClass.DOACROSS,
+        note="LFK 2 inner slice: anti dependences (X read ahead of the write)",
+    ),
+)
+
+
+def livermore_kernels() -> list[Kernel]:
+    """All kernels (fresh copy of the tuple as a list)."""
+    return list(KERNELS)
+
+
+def livermore_loops() -> list[Loop]:
+    """Fresh loop ASTs for every kernel."""
+    return [k.loop() for k in KERNELS]
+
+
+def doacross_kernels() -> list[Kernel]:
+    """The kernels that exercise the paper's scheduler (DOACROSS class)."""
+    return [k for k in KERNELS if k.expected_class is LoopClass.DOACROSS]

@@ -1,0 +1,199 @@
+"""Synthetic Perfect-club benchmark corpora.
+
+The five corpora mirror the dependence characteristics the paper reports
+for its Perfect-benchmark DOACROSS loops (Table 1 and the surrounding
+prose); the original Fortran sources are unavailable, so each corpus is a
+seeded, reproducible set of generated loops plus a few hand-written kernels
+in the benchmark's style:
+
+* **FLQ52** (transonic flow solver): medium bodies with substantial
+  independent work per iteration; every carried dependence is LBD.  Large
+  bodies with short synchronization paths are where the new scheduler wins
+  big (the paper measures ~87-90%).
+* **QCD** (lattice gauge theory): tight first-order recurrences — the
+  synchronization path *is* most of the body, so little is left to gain
+  (the paper's anomaly: as low as 0.32% at 2-issue/#FU=2).  All LBD.
+* **MDG** (molecular dynamics of water): medium bodies, divisions (the
+  6-cycle divider), a reduction and expanded temporaries exercising the
+  restructuring pipeline; mostly LBD with occasional LFD.
+* **TRACK** (missile tracking): like FLQ52 with longer distances; all LBD.
+* **ADM** (pseudospectral air pollution): mixed LFD/LBD with moderate
+  bodies; moderate improvements (~79-83% in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast_nodes import Loop
+from repro.ir.parser import parse_loop
+from repro.workloads.generator import GeneratorConfig, PlantedDep, generate_loop
+
+
+def _gen(name: str, seed: int, statements: int, deps: list[tuple], **kw) -> Loop:
+    """Dep tuples are ``(source, sink, distance[, chained])``."""
+    config = GeneratorConfig(
+        statements=statements,
+        deps=tuple(PlantedDep(*d) for d in deps),
+        seed=seed,
+        name=name,
+        **kw,
+    )
+    return generate_loop(config)
+
+
+# -- hand-written kernels -----------------------------------------------------
+
+_FLQ52_SWEEP = """
+DO I = 1, 100
+  S1: P(I) = U(I-1) * R1(I) + R2(I+1)
+  S2: Q(I) = P(I) * R3(I-2) - R4(I) * R5(I+2)
+  S3: U(I) = Q(I) + R6(I+1) * R7(I) + R8(I-3)
+ENDDO
+"""
+
+_QCD_LINK = """
+DO I = 1, 100
+  S1: U(I) = U(I-1) * R1(I)
+ENDDO
+"""
+
+_QCD_PLAQUETTE = """
+DO I = 1, 100
+  S1: W(I) = W(I-1) * R1(I) + R2(I)
+  S2: V(I) = W(I) * R3(I)
+ENDDO
+"""
+
+_MDG_FORCES = """
+DO I = 1, 100
+  T = R1(I) * R2(I+1)
+  S1: F(I) = T + G(I-1) / R3(I)
+  S2: G(I) = F(I) - T * R4(I-2)
+  SUM = SUM + F(I)
+ENDDO
+"""
+
+_TRACK_FILTER = """
+DO I = 1, 100
+  S1: X(I) = X(I-2) * R1(I) + R2(I+1) * R3(I-1) + R4(I)
+  S2: Y(I) = X(I) + R5(I) * R6(I+3) - R7(I-2) * R8(I)
+ENDDO
+"""
+
+_ADM_SMOOTH = """
+DO I = 1, 100
+  S1: C(I) = R1(I) + R2(I-1) * R3(I)
+  S2: D(I) = C(I-1) + C(I) * R4(I+2)
+  S3: E9(I) = D(I-1) - R5(I) * R6(I)
+ENDDO
+"""
+
+
+def _flq52() -> list[Loop]:
+    loops = [parse_loop(_FLQ52_SWEEP)]
+    specs = [
+        (110, 7, [(6, 0, 1)]),
+        (111, 6, [(5, 1, 2)]),
+        (112, 8, [(7, 0, 1)]),
+        (113, 7, [(6, 2, 1), (2, 2, 2)]),
+        (114, 6, [(5, 0, 2)]),
+        (115, 8, [(7, 1, 1)]),
+        (116, 7, [(3, 3, 1)]),
+    ]
+    for seed, statements, deps in specs:
+        loops.append(
+            _gen("flq52", seed, statements, deps, noise_reads=(3, 4), op_weights=(4, 2, 3, 0.5))
+        )
+    return loops
+
+
+def _qcd() -> list[Loop]:
+    loops = [parse_loop(_QCD_LINK), parse_loop(_QCD_PLAQUETTE)]
+    specs = [
+        (210, 1, [(0, 0, 1)]),
+        (211, 2, [(1, 0, 1, True)]),  # chained: a genuine two-statement recurrence
+        (212, 1, [(0, 0, 2)]),
+        (213, 2, [(1, 1, 1)]),
+    ]
+    for seed, statements, deps in specs:
+        loops.append(
+            _gen("qcd", seed, statements, deps, noise_reads=(0, 1), op_weights=(3, 1, 4, 0))
+        )
+    return loops
+
+
+def _mdg() -> list[Loop]:
+    loops = [parse_loop(_MDG_FORCES)]
+    specs = [
+        (310, 4, [(3, 0, 1)]),
+        (311, 5, [(4, 1, 2)]),
+        (312, 3, [(2, 0, 1), (0, 1, 1)]),  # one LFD alongside the LBD
+        (313, 5, [(4, 0, 1)]),
+        (314, 4, [(3, 2, 2)]),
+    ]
+    for seed, statements, deps in specs:
+        loops.append(
+            _gen("mdg", seed, statements, deps, noise_reads=(2, 3), op_weights=(4, 2, 2, 1))
+        )
+    loops.append(
+        _gen("mdg-red", 315, 4, [(3, 0, 1)], noise_reads=(1, 2), reductions=1, temp_scalars=1)
+    )
+    return loops
+
+
+def _track() -> list[Loop]:
+    loops = [parse_loop(_TRACK_FILTER)]
+    specs = [
+        (410, 5, [(4, 0, 1)]),
+        (411, 6, [(5, 1, 3)]),
+        (412, 5, [(4, 0, 2)]),
+        (413, 7, [(6, 2, 1)]),
+        (414, 6, [(5, 0, 1), (3, 3, 2)]),
+        (415, 5, [(4, 1, 1)]),
+    ]
+    for seed, statements, deps in specs:
+        loops.append(
+            _gen("track", seed, statements, deps, noise_reads=(2, 3), op_weights=(4, 2, 3, 0.3))
+        )
+    return loops
+
+
+def _adm() -> list[Loop]:
+    loops = [parse_loop(_ADM_SMOOTH)]
+    specs = [
+        (510, 4, [(2, 0, 1, True)]),  # chained recurrence
+        (511, 4, [(0, 2, 1), (3, 1, 1)]),  # LFD + convertible LBD
+        (512, 5, [(3, 0, 2)]),
+        (513, 3, [(2, 1, 1)]),
+        (514, 5, [(0, 3, 2), (4, 2, 1)]),  # LFD + convertible LBD
+        (515, 4, [(3, 0, 1)]),
+        (516, 3, [(1, 1, 1)]),  # self dependence
+    ]
+    for seed, statements, deps in specs:
+        loops.append(
+            _gen("adm", seed, statements, deps, noise_reads=(1, 2), op_weights=(5, 2, 2, 0.4))
+        )
+    return loops
+
+
+PERFECT_BENCHMARKS = ("FLQ52", "QCD", "MDG", "TRACK", "ADM")
+
+_BUILDERS = {
+    "FLQ52": _flq52,
+    "QCD": _qcd,
+    "MDG": _mdg,
+    "TRACK": _track,
+    "ADM": _adm,
+}
+
+
+def perfect_benchmark(name: str) -> list[Loop]:
+    """The loop corpus of one benchmark (fresh AST objects per call)."""
+    try:
+        return _BUILDERS[name.upper()]()
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {PERFECT_BENCHMARKS}") from None
+
+
+def perfect_suite() -> dict[str, list[Loop]]:
+    """All five corpora, in the paper's table order."""
+    return {name: perfect_benchmark(name) for name in PERFECT_BENCHMARKS}

@@ -1,0 +1,133 @@
+"""ISA-level unit tests: rendering, aliasing, operand queries."""
+
+import pytest
+
+from repro.codegen.isa import (
+    FuClass,
+    Instruction,
+    MemAccess,
+    Opcode,
+    SyncInfo,
+    render_instruction,
+)
+from repro.deps.subscripts import Affine
+
+
+def instr(**kw):
+    defaults = dict(iid=1)
+    defaults.update(kw)
+    return Instruction(**defaults)
+
+
+class TestRendering:
+    def test_arith(self):
+        i = instr(opcode=Opcode.FADD, dest="t3", srcs=("t1", "t2"))
+        assert render_instruction(i) == "t3 <- t1 + t2"
+
+    def test_immediate_operand(self):
+        i = instr(opcode=Opcode.IADD, dest="t1", srcs=("I", 1))
+        assert render_instruction(i) == "t1 <- I + 1"
+
+    def test_shift_renders_as_multiply(self):
+        i = instr(opcode=Opcode.SHIFT, dest="t1", srcs=(4, "I"))
+        assert render_instruction(i) == "t1 <- 4 * I"
+
+    def test_load(self):
+        mem = MemAccess(variable="A", address="t3", is_store=False)
+        i = instr(opcode=Opcode.LOAD, dest="t4", mem=mem)
+        assert render_instruction(i) == "t4 <- A[t3]"
+
+    def test_load_immediate_address(self):
+        mem = MemAccess(variable="A", address=20, is_store=False)
+        i = instr(opcode=Opcode.LOAD, dest="t4", mem=mem)
+        assert render_instruction(i) == "t4 <- A[20]"
+
+    def test_scalar_store(self):
+        mem = MemAccess(variable="T", address=None, is_store=True, is_scalar=True)
+        i = instr(opcode=Opcode.STORE, srcs=("t8",), mem=mem)
+        assert render_instruction(i) == "T <- t8"
+
+    def test_fused_store(self):
+        mem = MemAccess(variable="A", address="t1", is_store=True)
+        i = instr(opcode=Opcode.STORE_OP, srcs=("t2", "t3"), mem=mem, fused=Opcode.FADD)
+        assert render_instruction(i) == "A[t1] <- t2 + t3"
+
+    def test_predicated_store(self):
+        mem = MemAccess(variable="M", address=None, is_store=True, is_scalar=True)
+        i = instr(opcode=Opcode.STORE, srcs=("t5",), mem=mem, pred="t4")
+        assert render_instruction(i) == "[t4] M <- t5"
+
+    def test_compare(self):
+        i = instr(opcode=Opcode.FCMP, dest="t4", srcs=("t2", "t3"), cmp="<")
+        assert render_instruction(i) == "t4 <- t2 < t3"
+
+    def test_negation(self):
+        i = instr(opcode=Opcode.FNEG, dest="t2", srcs=("t1",))
+        assert render_instruction(i) == "t2 <- -t1"
+
+    def test_wait_and_send(self):
+        wait = instr(
+            opcode=Opcode.WAIT,
+            sync=SyncInfo(pair_ids=(0,), source_label="S3", distance=2),
+        )
+        send = instr(opcode=Opcode.SEND, sync=SyncInfo(pair_ids=(0,), source_label="S3"))
+        assert render_instruction(wait) == "Wait_Signal(S3, I-2)"
+        assert render_instruction(send) == "Send_Signal(S3)"
+
+
+class TestUses:
+    def test_register_operands_only(self):
+        i = instr(opcode=Opcode.IADD, dest="t1", srcs=("I", 1))
+        assert i.uses() == ("I",)
+
+    def test_address_included(self):
+        mem = MemAccess(variable="A", address="t3", is_store=False)
+        i = instr(opcode=Opcode.LOAD, dest="t4", mem=mem)
+        assert "t3" in i.uses()
+
+    def test_predicate_included(self):
+        mem = MemAccess(variable="A", address="t1", is_store=True)
+        i = instr(opcode=Opcode.STORE, srcs=("t2",), mem=mem, pred="t9")
+        assert set(i.uses()) == {"t2", "t1", "t9"}
+
+    def test_is_sync_flag(self):
+        i = instr(opcode=Opcode.SEND, sync=SyncInfo(pair_ids=(), source_label="S"))
+        assert i.is_sync and i.fu is FuClass.SYNC
+
+
+class TestMayAlias:
+    def test_different_variables_never_alias(self):
+        a = MemAccess(variable="A", address="t1", is_store=True, affine=Affine(1, 0))
+        b = MemAccess(variable="B", address="t1", is_store=False, affine=Affine(1, 0))
+        assert not a.may_alias(b)
+
+    def test_same_affine_aliases(self):
+        a = MemAccess(variable="A", address="t1", is_store=True, affine=Affine(1, 0))
+        b = MemAccess(variable="A", address="t1", is_store=False, affine=Affine(1, 0))
+        assert a.may_alias(b)
+
+    def test_provably_distinct_affine(self):
+        a = MemAccess(variable="A", address="t1", is_store=True, affine=Affine(1, 0))
+        b = MemAccess(variable="A", address="t2", is_store=False, affine=Affine(1, -2))
+        assert not a.may_alias(b)
+
+    def test_unknown_affine_conservative(self):
+        a = MemAccess(variable="A", address="t1", is_store=True, affine=None)
+        b = MemAccess(variable="A", address="t2", is_store=False, affine=Affine(1, 0))
+        assert a.may_alias(b)
+
+    def test_scalars_always_alias(self):
+        a = MemAccess(variable="T", address=None, is_store=True, is_scalar=True)
+        b = MemAccess(variable="T", address=None, is_store=False, is_scalar=True)
+        assert a.may_alias(b)
+
+
+class TestValidation:
+    def test_fused_sym_requires_fused_opcode(self):
+        mem = MemAccess(variable="A", address="t1", is_store=True)
+        i = instr(opcode=Opcode.STORE_OP, srcs=("a", "b"), mem=mem, fused=Opcode.FMUL)
+        assert i.sym == "*"
+
+    def test_plain_sym(self):
+        assert instr(opcode=Opcode.ISUB, dest="t", srcs=("a", "b")).sym == "-"
+        assert instr(opcode=Opcode.LOAD, dest="t", mem=MemAccess("A", 0, False)).sym is None

@@ -1,0 +1,140 @@
+"""General lowering tests: typing, CSE, scalars, addressing."""
+
+import pytest
+
+from repro.codegen import FuseStore, Opcode, format_listing, lower_loop
+from repro.codegen.isa import FuClass
+from repro.ir import parse_loop
+from repro.sync import insert_synchronization
+
+
+def lower(source, **kw):
+    return lower_loop(insert_synchronization(parse_loop(source)), **kw)
+
+
+def opcodes(lowered):
+    return [i.opcode for i in lowered.instructions]
+
+
+class TestAddressing:
+    def test_plain_index_scaled_once(self):
+        low = lower("DO I = 1, 10\n A(I) = B(I) + C(I)\nENDDO")
+        shifts = [i for i in low.instructions if i.opcode is Opcode.SHIFT]
+        assert len(shifts) == 1  # 4*I computed once, reused three times
+
+    def test_constant_subscript_immediate_address(self):
+        low = lower("DO I = 1, 10\n A(I) = B(5)\nENDDO")
+        load = next(i for i in low.instructions if i.opcode is Opcode.LOAD)
+        assert load.mem.address == 20  # 5 * word size
+
+    def test_distinct_offsets_not_shared(self):
+        low = lower("DO I = 1, 10\n A(I) = B(I-1) + C(I-2)\nENDDO")
+        isubs = [i for i in low.instructions if i.opcode is Opcode.ISUB]
+        assert len(isubs) == 2
+
+    def test_repeated_offset_shared(self):
+        low = lower("DO I = 1, 10\n A(I) = B(I-1) + C(I-1)\nENDDO")
+        isubs = [i for i in low.instructions if i.opcode is Opcode.ISUB]
+        assert len(isubs) == 1
+
+    def test_constant_constant_folding(self):
+        # A(2+3) reduces to an immediate address at lowering time.
+        low = lower("DO I = 1, 10\n A(I) = B(2+3)\nENDDO")
+        load = next(i for i in low.instructions if i.opcode is Opcode.LOAD)
+        assert load.mem.address == 20
+
+
+class TestTyping:
+    def test_real_array_values_use_fp_add(self):
+        low = lower("DO I = 1, 10\n A(I) = B(I) + C(I)\nENDDO")
+        assert Opcode.FADD in opcodes(low)
+        assert Opcode.IADD not in opcodes(low)
+
+    def test_index_arithmetic_is_integer(self):
+        low = lower("DO I = 1, 10\n A(I+1) = X(I)\nENDDO")
+        assert Opcode.IADD in opcodes(low)
+
+    def test_multiply_maps_to_multiplier(self):
+        low = lower("DO I = 1, 10\n A(I) = B(I) * C(I)\nENDDO")
+        mul = next(i for i in low.instructions if i.opcode is Opcode.FMUL)
+        assert mul.fu is FuClass.MULTIPLIER
+
+    def test_divide_maps_to_divider(self):
+        low = lower("DO I = 1, 10\n A(I) = B(I) / C(I)\nENDDO")
+        div = next(i for i in low.instructions if i.opcode is Opcode.FDIV)
+        assert div.fu is FuClass.DIVIDER
+
+    def test_scale_by_power_of_two_is_shift(self):
+        low = lower("DO I = 1, 10\n A(2*I) = X(I)\nENDDO")
+        shifts = [i for i in low.instructions if i.opcode is Opcode.SHIFT]
+        assert len(shifts) == 3  # 2*I, 4*(2*I) and 4*I for X(I)
+        assert Opcode.IMUL not in opcodes(low)
+
+    def test_scale_by_three_is_multiply(self):
+        low = lower("DO I = 1, 10\n A(3*I) = X(I)\nENDDO")
+        assert Opcode.IMUL in opcodes(low)
+
+    def test_unary_negation_of_real(self):
+        low = lower("DO I = 1, 10\n A(I) = -B(I)\nENDDO")
+        assert Opcode.FNEG in opcodes(low)
+
+
+class TestScalars:
+    def test_loop_invariant_scalar_is_register(self):
+        low = lower("DO I = 1, 10\n A(I) = K * X(I)\nENDDO")
+        loads = [i for i in low.instructions if i.opcode is Opcode.LOAD]
+        assert all(not i.mem.is_scalar for i in loads)
+        assert any("K" in i.srcs for i in low.instructions if i.opcode is Opcode.FMUL)
+
+    def test_written_scalar_is_memory_resident(self):
+        low = lower("DO I = 1, 10\n T = X(I)\n A(I) = T\nENDDO")
+        stores = [i for i in low.instructions if i.mem is not None and i.mem.is_store]
+        assert any(i.mem.is_scalar and i.mem.variable == "T" for i in stores)
+        loads = [i for i in low.instructions if i.opcode is Opcode.LOAD]
+        assert any(i.mem.is_scalar and i.mem.variable == "T" for i in loads)
+
+
+class TestSyncLowering:
+    def test_wait_distance_extracted(self):
+        low = lower("DO I = 1, 10\n A(I) = A(I-3)\nENDDO")
+        wait = next(i for i in low.instructions if i.opcode is Opcode.WAIT)
+        assert wait.sync.distance == 3
+
+    def test_send_carries_all_pair_ids(self):
+        low = lower(
+            "DO I = 1, 10\n B(I) = A(I-1)\n C(I) = A(I-2)\n A(I) = X(I)\nENDDO"
+        )
+        send = next(i for i in low.instructions if i.opcode is Opcode.SEND)
+        assert len(send.sync.pair_ids) == 2
+
+    def test_sync_ops_use_sync_port(self):
+        low = lower("DO I = 1, 10\n A(I) = A(I-1)\nENDDO")
+        for i in low.instructions:
+            if i.is_sync:
+                assert i.fu is FuClass.SYNC
+
+
+class TestInstructionApi:
+    def test_uses_includes_address_register(self):
+        low = lower("DO I = 1, 10\n A(I) = B(I-1)\nENDDO")
+        load = next(i for i in low.instructions if i.opcode is Opcode.LOAD)
+        assert load.mem.address in load.uses()
+
+    def test_iids_are_contiguous(self):
+        low = lower("DO I = 1, 10\n A(I) = B(I-1) + C(I)\nENDDO")
+        assert [i.iid for i in low.instructions] == list(range(1, len(low) + 1))
+
+    def test_instruction_lookup(self):
+        low = lower("DO I = 1, 10\n A(I) = X(I)\nENDDO")
+        assert low.instruction(1).iid == 1
+
+    def test_stmt_pos_tracks_origin(self):
+        low = lower("DO I = 1, 10\n A(I) = X(I)\n B(I) = Y(I)\nENDDO")
+        positions = {i.stmt_pos for i in low.instructions}
+        assert positions == {0, 1}
+
+    def test_store_op_renders_fused_form(self):
+        low = lower("DO I = 1, 10\n A(I) = A(I-1) + X(I)\nENDDO")
+        fused = [i for i in low.instructions if i.opcode is Opcode.STORE_OP]
+        assert len(fused) == 1
+        assert "<-" in str(fused[0]) and "+" in str(fused[0])

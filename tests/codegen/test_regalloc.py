@@ -1,0 +1,135 @@
+"""Register allocator tests: assignment validity, spilling, semantics."""
+
+import pytest
+
+from repro.codegen import Opcode, allocate_registers
+from repro.codegen.regalloc import SCRATCH_PER_CLASS, _live_intervals, _temp_types
+from repro.dfg import EdgeKind, build_dfg
+from repro.ir.symbols import VarType
+from repro.pipeline import compile_loop
+from repro.sched import assert_valid, list_schedule, paper_machine, sync_schedule
+from repro.sim import MemoryImage, execute_parallel, run_serial, simulate_doacross
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+@pytest.fixture
+def compiled():
+    return compile_loop(FIG1)
+
+
+class TestTypesAndIntervals:
+    def test_temp_types(self, compiled):
+        types = _temp_types(compiled.lowered)
+        assert types["t1"] is VarType.INT  # 4*I
+        assert types["t4"] is VarType.REAL  # load of A
+        assert types["t8"] is VarType.REAL  # FP add
+
+    def test_intervals_cover_defs_to_last_use(self, compiled):
+        types = _temp_types(compiled.lowered)
+        intervals = {iv.temp: iv for iv in _live_intervals(compiled.lowered, types)}
+        # t1 defined at 2, last used by the fused store at 26
+        assert intervals["t1"].start == 2 and intervals["t1"].end == 26
+        # t2 defined at 3, used once at 4
+        assert intervals["t2"].start == 3 and intervals["t2"].end == 4
+
+
+class TestAssignment:
+    def test_no_spills_with_plenty(self, compiled):
+        alloc = allocate_registers(compiled.lowered, 16, 16)
+        assert alloc.spilled == frozenset()
+        assert alloc.spill_instructions == 0
+        assert len(alloc.lowered) == len(compiled.lowered)
+
+    def test_physical_names_by_class(self, compiled):
+        alloc = allocate_registers(compiled.lowered, 16, 16)
+        types = _temp_types(compiled.lowered)
+        for temp, reg in alloc.assignment.items():
+            expected = "r" if types[temp] is VarType.INT else "f"
+            assert reg.startswith(expected), (temp, reg)
+
+    def test_overlapping_intervals_get_distinct_registers(self, compiled):
+        alloc = allocate_registers(compiled.lowered, 16, 16)
+        types = _temp_types(compiled.lowered)
+        intervals = _live_intervals(compiled.lowered, types)
+        by_temp = {iv.temp: iv for iv in intervals}
+        for a in intervals:
+            for b in intervals:
+                if a.temp >= b.temp or a.temp in alloc.spilled or b.temp in alloc.spilled:
+                    continue
+                overlap = not (a.end < b.start or b.end < a.start)
+                if overlap and types[a.temp] is types[b.temp]:
+                    assert alloc.assignment[a.temp] != alloc.assignment[b.temp], (
+                        a,
+                        b,
+                        by_temp,
+                    )
+
+    def test_tight_file_spills(self, compiled):
+        alloc = allocate_registers(compiled.lowered, 4, 4)
+        assert alloc.spilled
+        assert alloc.spill_stores == len(alloc.spilled)
+        assert alloc.spill_loads >= alloc.spill_stores
+        assert len(alloc.lowered) == len(compiled.lowered) + alloc.spill_instructions
+
+    def test_too_few_registers_rejected(self, compiled):
+        with pytest.raises(ValueError):
+            allocate_registers(compiled.lowered, SCRATCH_PER_CLASS, 8)
+
+    def test_sync_maps_preserved(self, compiled):
+        alloc = allocate_registers(compiled.lowered, 4, 4)
+        for pair in compiled.synced.pairs:
+            wait = alloc.lowered.instruction(alloc.lowered.wait_iids[pair.pair_id])
+            send = alloc.lowered.instruction(alloc.lowered.send_iids[pair.pair_id])
+            assert wait.opcode is Opcode.WAIT and send.opcode is Opcode.SEND
+
+    def test_spill_slots_private(self, compiled):
+        alloc = allocate_registers(compiled.lowered, 4, 4)
+        for instr in alloc.lowered.instructions:
+            if instr.mem is not None and instr.mem.variable.startswith("_spill_"):
+                assert instr.mem.private
+
+
+class TestDfgWithReuse:
+    def test_war_waw_edges_appear(self, compiled):
+        alloc = allocate_registers(compiled.lowered, 6, 6)
+        graph = build_dfg(alloc.lowered)
+        kinds = {e.kind for e in graph.edges}
+        assert EdgeKind.REG_ANTI in kinds or EdgeKind.REG_OUTPUT in kinds
+        graph.topological_order()  # still acyclic
+
+    def test_ssa_input_has_no_reuse_edges(self, compiled):
+        graph = build_dfg(compiled.lowered)
+        kinds = {e.kind for e in graph.edges}
+        assert EdgeKind.REG_ANTI not in kinds and EdgeKind.REG_OUTPUT not in kinds
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("registers", [16, 8, 4, 3])
+    def test_allocated_code_computes_the_same(self, compiled, registers):
+        reference = run_serial(compiled.synced.loop, MemoryImage())
+        alloc = allocate_registers(compiled.lowered, registers, registers)
+        graph = build_dfg(alloc.lowered)
+        machine = paper_machine(4, 1)
+        for scheduler in (list_schedule, sync_schedule):
+            schedule = scheduler(alloc.lowered, graph, machine)
+            assert_valid(schedule, graph)
+            result = execute_parallel(schedule, MemoryImage())
+            assert result.memory == reference
+            assert result.parallel_time == simulate_doacross(schedule).parallel_time
+
+    def test_schedule_degrades_monotonically(self, compiled):
+        machine = paper_machine(4, 1)
+        lengths = []
+        for registers in (32, 8, 4, 3):
+            alloc = allocate_registers(compiled.lowered, registers, registers)
+            graph = build_dfg(alloc.lowered)
+            schedule = list_schedule(alloc.lowered, graph, machine)
+            lengths.append(schedule.length)
+        assert lengths == sorted(lengths)

@@ -1,0 +1,50 @@
+"""Shared fixtures: the paper's running example and common pipeline stages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import lower_loop
+from repro.dfg import build_dfg
+from repro.ir import parse_loop
+from repro.sched import figure4_machine, paper_machine
+from repro.sync import insert_synchronization
+
+# The paper's Fig. 1(a) loop (statement labels as printed there).
+FIG1_SOURCE = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+@pytest.fixture
+def fig1_loop():
+    return parse_loop(FIG1_SOURCE)
+
+
+@pytest.fixture
+def fig1_synced(fig1_loop):
+    return insert_synchronization(fig1_loop)
+
+
+@pytest.fixture
+def fig1_lowered(fig1_synced):
+    return lower_loop(fig1_synced)
+
+
+@pytest.fixture
+def fig1_dfg(fig1_lowered):
+    return build_dfg(fig1_lowered)
+
+
+@pytest.fixture
+def fig4_machine():
+    return figure4_machine()
+
+
+@pytest.fixture(params=[(2, 1), (2, 2), (4, 1), (4, 2)], ids=lambda p: f"{p[0]}issue-fu{p[1]}")
+def experiment_machine(request):
+    return paper_machine(*request.param)

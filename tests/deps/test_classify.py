@@ -1,0 +1,77 @@
+"""LFD/LBD and loop classification tests."""
+
+import pytest
+
+from repro.deps import (
+    LoopClass,
+    analyze_loop,
+    classify_dependence,
+    classify_loop,
+    count_lfd_lbd,
+    is_lexically_backward,
+)
+from repro.ir import parse_loop
+
+
+class TestDirection:
+    def test_source_after_sink_is_lbd(self):
+        graph = analyze_loop(parse_loop("DO I = 1, 10\n B(I) = A(I-1)\n A(I) = 1\nENDDO"))
+        [dep] = graph.loop_carried()
+        assert is_lexically_backward(dep)
+        assert classify_dependence(dep) == "LBD"
+
+    def test_source_before_sink_is_lfd(self):
+        graph = analyze_loop(parse_loop("DO I = 1, 10\n A(I) = 1\n B(I) = A(I-1)\nENDDO"))
+        [dep] = graph.loop_carried()
+        assert classify_dependence(dep) == "LFD"
+
+    def test_self_dependence_is_lbd(self):
+        """The paper: any dependence that is not forward is backward, and a
+        statement is not textually before itself."""
+        graph = analyze_loop(parse_loop("DO I = 1, 10\n A(I) = A(I-1)\nENDDO"))
+        [dep] = graph.loop_carried()
+        assert classify_dependence(dep) == "LBD"
+
+    def test_loop_independent_rejected(self):
+        graph = analyze_loop(parse_loop("DO I = 1, 10\n A(I) = 1\n B(I) = A(I)\nENDDO"))
+        [dep] = graph.deps
+        with pytest.raises(ValueError):
+            classify_dependence(dep)
+
+    def test_counts(self):
+        graph = analyze_loop(
+            parse_loop(
+                "DO I = 1, 10\n A(I) = B(I-1)\n B(I) = A(I-1)\n C(I) = C(I-2)\nENDDO"
+            )
+        )
+        counts = count_lfd_lbd(graph)
+        assert counts.lfd == 1  # A -> B
+        assert counts.lbd == 2  # B -> A and C self
+        assert counts.total == 3
+
+
+class TestLoopClass:
+    def test_doall(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = X(I) + Y(I+1)\nENDDO")
+        assert classify_loop(loop) is LoopClass.DOALL
+
+    def test_doacross(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = A(I-1)\nENDDO")
+        assert classify_loop(loop) is LoopClass.DOACROSS
+
+    def test_serial_from_non_affine(self):
+        loop = parse_loop("DO I = 1, 10\n A(K) = 1\n B(I) = A(I)\nENDDO")
+        assert classify_loop(loop) is LoopClass.SERIAL
+
+    def test_serial_from_weak_siv(self):
+        loop = parse_loop("DO I = 1, 100\n A(2*I) = A(I) + 1\nENDDO")
+        assert classify_loop(loop) is LoopClass.SERIAL
+
+    def test_accepts_prebuilt_graph(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = A(I-1)\nENDDO")
+        graph = analyze_loop(loop)
+        assert classify_loop(graph) is LoopClass.DOACROSS
+
+    def test_scalar_recurrence_is_doacross(self):
+        loop = parse_loop("DO I = 1, 10\n S = S + X(I)\nENDDO")
+        assert classify_loop(loop) is LoopClass.DOACROSS

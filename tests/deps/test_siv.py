@@ -1,0 +1,99 @@
+"""SIV dependence test coverage (unit + brute-force property)."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.deps import Affine, solve_siv
+
+
+class TestZIV:
+    def test_equal_constants_conflict(self):
+        result = solve_siv(Affine(0, 5), Affine(0, 5))
+        assert result.exists and result.irregular
+
+    def test_unequal_constants_independent(self):
+        assert not solve_siv(Affine(0, 5), Affine(0, 6)).exists
+
+
+class TestStrongSIV:
+    def test_same_subscript_distance_zero(self):
+        result = solve_siv(Affine(1, 0), Affine(1, 0))
+        assert result.exists and result.distance == 0
+
+    def test_forward_distance(self):
+        # A(I) written, A(I-2) read: write at k collides with read at k+2.
+        result = solve_siv(Affine(1, 0), Affine(1, -2))
+        assert result.exists and result.distance == 2
+
+    def test_negative_distance_orientation(self):
+        result = solve_siv(Affine(1, -2), Affine(1, 0))
+        assert result.exists and result.distance == -2
+
+    def test_non_integral_difference_independent(self):
+        # 2I vs 2I+1: parities never match.
+        assert not solve_siv(Affine(2, 0), Affine(2, 1)).exists
+
+    def test_scaled_distance(self):
+        # 2I vs 2I-4: distance 2.
+        result = solve_siv(Affine(2, 0), Affine(2, -4))
+        assert result.exists and result.distance == 2
+
+    def test_distance_beyond_trip_count_pruned(self):
+        assert not solve_siv(Affine(1, 0), Affine(1, -50), trip_count=50).exists
+        assert solve_siv(Affine(1, 0), Affine(1, -49), trip_count=50).exists
+
+
+class TestWeakSIV:
+    def test_gcd_infeasible(self):
+        # 2I vs 4J+1: gcd 2 does not divide 1.
+        assert not solve_siv(Affine(2, 0), Affine(4, 1)).exists
+
+    def test_gcd_feasible_is_irregular(self):
+        result = solve_siv(Affine(1, 0), Affine(2, 0))
+        assert result.exists and result.irregular
+
+    def test_trip_count_bounds_weak_case(self):
+        # I vs 2I + 100: collision needs i = 2j + 100 > trip for small trips.
+        assert not solve_siv(Affine(1, 0), Affine(2, 100), trip_count=50).exists
+        assert solve_siv(Affine(1, 0), Affine(2, 100), trip_count=200).exists
+
+
+@given(
+    a=st.integers(1, 4),
+    b1=st.integers(-8, 8),
+    b2=st.integers(-8, 8),
+    trip=st.integers(2, 40),
+)
+def test_strong_siv_matches_brute_force(a, b1, b2, trip):
+    """The strong-SIV answer agrees with direct enumeration of collisions."""
+    result = solve_siv(Affine(a, b1), Affine(a, b2), trip_count=trip)
+    collisions = [
+        (i, j)
+        for i in range(1, trip + 1)
+        for j in range(1, trip + 1)
+        if a * i + b1 == a * j + b2
+    ]
+    if result.exists:
+        assert result.distance is not None
+        assert all(j - i == result.distance for i, j in collisions) or not collisions
+        # The computed distance is realizable inside a long enough loop.
+        assert abs(result.distance) < trip
+    else:
+        assert not collisions
+
+
+@given(
+    a1=st.integers(-3, 3).filter(lambda x: x != 0),
+    a2=st.integers(-3, 3).filter(lambda x: x != 0),
+    b1=st.integers(-6, 6),
+    b2=st.integers(-6, 6),
+    trip=st.integers(2, 25),
+)
+def test_weak_siv_existence_matches_brute_force(a1, a2, b1, b2, trip):
+    result = solve_siv(Affine(a1, b1), Affine(a2, b2), trip_count=trip)
+    collisions = any(
+        a1 * i + b1 == a2 * j + b2
+        for i in range(1, trip + 1)
+        for j in range(1, trip + 1)
+    )
+    assert result.exists == collisions

@@ -1,0 +1,94 @@
+"""Affine subscript extraction tests (unit + property)."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.deps import Affine, affine_of
+from repro.ir import parse_loop
+from repro.ir.ast_nodes import ArrayRef, Assign, BinOp, Const, UnaryOp, VarRef
+
+
+def sub(text):
+    """Parse the subscript expression of A(<text>)."""
+    loop = parse_loop(f"DO I = 1, 10\n X(I) = A({text})\nENDDO")
+    stmt = loop.body[0]
+    assert isinstance(stmt, Assign)
+    ref = stmt.expr
+    assert isinstance(ref, ArrayRef)
+    return ref.subscript
+
+
+class TestAffineForms:
+    def test_plain_index(self):
+        assert affine_of(sub("I"), "I") == Affine(1, 0)
+
+    def test_constant(self):
+        assert affine_of(sub("7"), "I") == Affine(0, 7)
+
+    def test_offset(self):
+        assert affine_of(sub("I - 2"), "I") == Affine(1, -2)
+        assert affine_of(sub("I + 3"), "I") == Affine(1, 3)
+
+    def test_scaled(self):
+        assert affine_of(sub("2 * I"), "I") == Affine(2, 0)
+        assert affine_of(sub("I * 3"), "I") == Affine(3, 0)
+
+    def test_scaled_with_offset(self):
+        assert affine_of(sub("2 * I + 1"), "I") == Affine(2, 1)
+
+    def test_negated(self):
+        assert affine_of(sub("-I"), "I") == Affine(-1, 0)
+        assert affine_of(sub("10 - I"), "I") == Affine(-1, 10)
+
+    def test_nested_arithmetic(self):
+        assert affine_of(sub("2 * (I - 1) + 3"), "I") == Affine(2, 1)
+
+    def test_exact_constant_division(self):
+        assert affine_of(sub("6 / 2"), "I") == Affine(0, 3)
+
+    def test_integer_valued_float_constant(self):
+        assert affine_of(Const(4.0), "I") == Affine(0, 4)
+
+
+class TestNonAffine:
+    def test_other_variable(self):
+        assert affine_of(sub("J"), "I") is None
+
+    def test_index_times_index(self):
+        assert affine_of(sub("I * I"), "I") is None
+
+    def test_index_division(self):
+        assert affine_of(sub("I / 2"), "I") is None
+
+    def test_inexact_division(self):
+        assert affine_of(sub("7 / 2"), "I") is None
+
+    def test_nested_array(self):
+        assert affine_of(sub("P(I)"), "I") is None
+
+    def test_fractional_constant(self):
+        assert affine_of(Const(2.5), "I") is None
+
+
+@given(a=st.integers(-4, 4), b=st.integers(-10, 10), i=st.integers(1, 50))
+def test_affine_evaluation_matches_construction(a, b, i):
+    """a*I + b built as an expression tree extracts to Affine(a, b) and
+    evaluates consistently."""
+    expr = BinOp("+", BinOp("*", Const(a), VarRef("I")), Const(b))
+    affine = affine_of(expr, "I")
+    assert affine == Affine(a, b)
+    assert affine.at(i) == a * i + b
+
+
+@given(a=st.integers(-3, 3), b=st.integers(-5, 5), c=st.integers(-3, 3), d=st.integers(-5, 5))
+def test_affine_addition_composes(a, b, c, d):
+    left = BinOp("+", BinOp("*", Const(a), VarRef("I")), Const(b))
+    right = BinOp("+", BinOp("*", Const(c), VarRef("I")), Const(d))
+    combined = affine_of(BinOp("+", left, right), "I")
+    assert combined == Affine(a + c, b + d)
+
+
+@given(a=st.integers(-3, 3), b=st.integers(-5, 5))
+def test_negation_flips_both_coefficients(a, b):
+    expr = UnaryOp("-", BinOp("+", BinOp("*", Const(a), VarRef("I")), Const(b)))
+    assert affine_of(expr, "I") == Affine(-a, -b)

@@ -1,0 +1,82 @@
+"""DOACROSS taxonomy tests (paper Section 4.1 types)."""
+
+import pytest
+
+from repro.deps import DoacrossType, classify_doacross, taxonomy_table
+from repro.ir import parse_loop
+
+
+def classify(source):
+    return classify_doacross(parse_loop(source))
+
+
+class TestTypes:
+    def test_induction_variable(self):
+        assert (
+            classify("DO I = 1, 10\n J = J + 1\n A(J) = X(I)\nENDDO")
+            is DoacrossType.INDUCTION_VARIABLE
+        )
+
+    def test_reduction(self):
+        assert classify("DO I = 1, 10\n S = S + X(I)\nENDDO") is DoacrossType.REDUCTION
+
+    def test_product_reduction(self):
+        assert classify("DO I = 1, 10\n P = P * X(I)\nENDDO") is DoacrossType.REDUCTION
+
+    def test_anti_output(self):
+        assert (
+            classify("DO I = 1, 10\n B(I) = A(I+1)\n A(I) = X(I)\nENDDO")
+            is DoacrossType.ANTI_OUTPUT
+        )
+
+    def test_output_only(self):
+        assert (
+            classify("DO I = 1, 10\n A(I) = X(I)\n A(I+1) = Y(I)\nENDDO")
+            is DoacrossType.ANTI_OUTPUT
+        )
+
+    def test_simple_subscript(self):
+        assert (
+            classify("DO I = 1, 10\n A(I) = A(I-1) + X(I)\nENDDO")
+            is DoacrossType.SIMPLE_SUBSCRIPT
+        )
+
+    def test_irregular_is_others(self):
+        assert (
+            classify("DO I = 1, 100\n A(2*I) = A(I) + 1\nENDDO") is DoacrossType.OTHERS
+        )
+
+    def test_scalar_recurrence_is_others(self):
+        # s alternates via subtraction-from: neither reduction nor induction
+        assert classify("DO I = 1, 10\n S = X(I) - S\nENDDO") is DoacrossType.OTHERS
+
+    def test_induction_takes_precedence_over_flow(self):
+        source = "DO I = 1, 10\n J = J + 1\n A(I) = A(I-1) + X(J)\nENDDO"
+        assert classify(source) is DoacrossType.INDUCTION_VARIABLE
+
+    def test_doall_rejected(self):
+        with pytest.raises(ValueError, match="no loop-carried"):
+            classify("DO I = 1, 10\n A(I) = X(I)\nENDDO")
+
+
+class TestTable:
+    def test_histogram(self):
+        loops = [
+            parse_loop("DO I = 1, 10\n S = S + X(I)\nENDDO"),
+            parse_loop("DO I = 1, 10\n A(I) = A(I-1)\nENDDO"),
+            parse_loop("DO I = 1, 10\n A(I) = A(I-2)\nENDDO"),
+            parse_loop("DO I = 1, 10\n A(I) = X(I)\nENDDO"),  # DOALL, skipped
+        ]
+        table = taxonomy_table(loops)
+        assert table[DoacrossType.REDUCTION] == 1
+        assert table[DoacrossType.SIMPLE_SUBSCRIPT] == 2
+        assert sum(table.values()) == 3
+
+    def test_perfect_corpora_mostly_simple_subscript(self):
+        """The paper evaluates on types 3-5; our corpora are built that way."""
+        from repro.workloads import perfect_suite
+
+        for loops in perfect_suite().values():
+            table = taxonomy_table(loops)
+            assert table[DoacrossType.CONTROL_DEPENDENCE] == 0
+            assert table[DoacrossType.SIMPLE_SUBSCRIPT] >= table[DoacrossType.OTHERS]

@@ -1,0 +1,103 @@
+"""DFG construction tests (Fig. 3 edge families)."""
+
+from repro.codegen import lower_loop
+from repro.dfg import EdgeKind, build_dfg
+from repro.ir import parse_loop
+from repro.sync import insert_synchronization
+
+
+def dfg_for(source):
+    lowered = lower_loop(insert_synchronization(parse_loop(source)))
+    return lowered, build_dfg(lowered)
+
+
+def edges_of_kind(graph, kind):
+    return [(e.src, e.dst) for e in graph.edges if e.kind is kind]
+
+
+class TestFig3:
+    SRC = """
+    DO I = 1, 100
+      S1: B(I) = A(I-2) + E(I+1)
+      S2: G(I-3) = A(I-1) * E(I+2)
+      S3: A(I) = B(I) + C(I+3)
+    ENDDO
+    """
+
+    def test_sync_condition_arcs(self):
+        """The paper: extra flow dependences for (11,16), (1,5), (26,27)."""
+        _, graph = dfg_for(self.SRC)
+        assert (1, 5) in edges_of_kind(graph, EdgeKind.SYNC_WAT_SNK)
+        assert (11, 16) in edges_of_kind(graph, EdgeKind.SYNC_WAT_SNK)
+        assert (26, 27) in edges_of_kind(graph, EdgeKind.SYNC_SRC_SIG)
+
+    def test_memory_flow_through_B(self):
+        _, graph = dfg_for(self.SRC)
+        assert (10, 22) in edges_of_kind(graph, EdgeKind.MEM_FLOW)
+
+    def test_no_false_memory_edges_on_A(self):
+        """A[t3] (I-2) and A[t1] (I) provably differ within an iteration."""
+        _, graph = dfg_for(self.SRC)
+        mem = (
+            edges_of_kind(graph, EdgeKind.MEM_FLOW)
+            + edges_of_kind(graph, EdgeKind.MEM_ANTI)
+            + edges_of_kind(graph, EdgeKind.MEM_OUTPUT)
+        )
+        assert (5, 26) not in mem and (16, 26) not in mem
+
+    def test_register_edges_from_shared_address(self):
+        _, graph = dfg_for(self.SRC)
+        reg = edges_of_kind(graph, EdgeKind.REG)
+        # t1 = 4*I (instr 2) feeds the B store, the B reload and the A store.
+        assert {(2, 10), (2, 22), (2, 26)} <= set(reg)
+
+    def test_acyclic(self):
+        _, graph = dfg_for(self.SRC)
+        graph.topological_order()  # raises on a cycle
+
+
+class TestEdgeFamilies:
+    def test_ssa_no_register_anti_edges(self):
+        _, graph = dfg_for("DO I = 1, 10\n A(I) = B(I) + C(I)\nENDDO")
+        kinds = {e.kind for e in graph.edges}
+        assert kinds <= {EdgeKind.REG, EdgeKind.MEM_FLOW, EdgeKind.MEM_ANTI, EdgeKind.MEM_OUTPUT}
+
+    def test_memory_anti_edge(self):
+        # load A(I) then store A(I): same affine cell, read first.
+        _, graph = dfg_for("DO I = 1, 10\n A(I) = A(I) + 1\nENDDO")
+        antis = edges_of_kind(graph, EdgeKind.MEM_ANTI)
+        assert len(antis) == 1
+
+    def test_memory_output_edge(self):
+        _, graph = dfg_for("DO I = 1, 10\n A(I) = X(I)\n A(I) = Y(I)\nENDDO")
+        assert len(edges_of_kind(graph, EdgeKind.MEM_OUTPUT)) == 1
+
+    def test_scalar_memory_edges_conservative(self):
+        lowered, graph = dfg_for("DO I = 1, 10\n T = X(I)\n A(I) = T\nENDDO")
+        flows = edges_of_kind(graph, EdgeKind.MEM_FLOW)
+        # store T -> load T
+        store_t = next(
+            i.iid for i in lowered.instructions if i.mem and i.mem.is_scalar and i.mem.is_store
+        )
+        load_t = next(
+            i.iid for i in lowered.instructions if i.mem and i.mem.is_scalar and not i.mem.is_store
+        )
+        assert (store_t, load_t) in flows
+
+    def test_every_pair_gets_both_arcs(self):
+        lowered, graph = dfg_for(
+            "DO I = 1, 10\n B(I) = A(I-1)\n C(I) = A(I-2)\n A(I) = X(I)\nENDDO"
+        )
+        for pair in lowered.synced.pairs:
+            wat = lowered.wait_iids[pair.pair_id]
+            sig = lowered.send_iids[pair.pair_id]
+            assert any(
+                e.src == wat and e.kind is EdgeKind.SYNC_WAT_SNK for e in graph.succ[wat]
+            )
+            assert any(
+                e.dst == sig and e.kind is EdgeKind.SYNC_SRC_SIG for e in graph.pred[sig]
+            )
+
+    def test_node_count_matches_instructions(self):
+        lowered, graph = dfg_for("DO I = 1, 10\n A(I) = A(I-1) * X(I)\nENDDO")
+        assert len(graph) == len(lowered)

@@ -1,0 +1,51 @@
+"""DOT export tests."""
+
+from repro.dfg import to_dot
+from repro.dfg.graph import EdgeKind
+
+
+class TestDotStructure:
+    def test_valid_digraph_wrapper(self, fig1_lowered, fig1_dfg):
+        dot = to_dot(fig1_dfg, fig1_lowered)
+        assert dot.startswith("digraph dfg {")
+        assert dot.rstrip().endswith("}")
+
+    def test_every_node_present(self, fig1_lowered, fig1_dfg):
+        dot = to_dot(fig1_dfg, fig1_lowered)
+        for instr in fig1_lowered.instructions:
+            assert f"n{instr.iid} [" in dot
+
+    def test_every_edge_present(self, fig1_lowered, fig1_dfg):
+        dot = to_dot(fig1_dfg, fig1_lowered)
+        for edge in fig1_dfg.edges:
+            assert f"n{edge.src} -> n{edge.dst}" in dot
+
+    def test_sync_ops_are_triangles(self, fig1_lowered, fig1_dfg):
+        dot = to_dot(fig1_dfg, fig1_lowered)
+        # waits 1 and 11 down-triangles, send 27 up-triangle (paper Fig. 3)
+        assert "n1 [" in dot and "invtriangle" in dot
+        send_line = next(l for l in dot.splitlines() if "n27 [" in l)
+        assert "shape=triangle" in send_line
+
+    def test_sync_arcs_dashed(self, fig1_lowered, fig1_dfg):
+        dot = to_dot(fig1_dfg, fig1_lowered)
+        sync_edges = [e for e in fig1_dfg.edges if e.kind is EdgeKind.SYNC_WAT_SNK]
+        for edge in sync_edges:
+            line = next(
+                l for l in dot.splitlines() if f"n{edge.src} -> n{edge.dst}" in l
+            )
+            assert "dashed" in line
+
+    def test_components_clustered(self, fig1_lowered, fig1_dfg):
+        dot = to_dot(fig1_dfg, fig1_lowered)
+        assert 'label="sigwat graph"' in dot
+        assert 'label="wat graph"' in dot
+
+    def test_title(self, fig1_lowered, fig1_dfg):
+        dot = to_dot(fig1_dfg, fig1_lowered, title="Fig 3")
+        assert 'label="Fig 3"' in dot
+
+    def test_labels_escape_quotes(self, fig1_lowered, fig1_dfg):
+        dot = to_dot(fig1_dfg, fig1_lowered)
+        for line in dot.splitlines():
+            assert line.count('"') % 2 == 0

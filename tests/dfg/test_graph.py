@@ -1,0 +1,109 @@
+"""DataFlowGraph structure and algorithm tests."""
+
+import pytest
+
+from repro.dfg.graph import DataFlowGraph, EdgeKind
+
+
+def chain(n):
+    g = DataFlowGraph()
+    for i in range(1, n + 1):
+        g.add_node(i)
+    for i in range(1, n):
+        g.add_edge(i, i + 1, EdgeKind.REG)
+    return g
+
+
+def diamond():
+    g = DataFlowGraph()
+    for i in range(1, 5):
+        g.add_node(i)
+    g.add_edge(1, 2, EdgeKind.REG)
+    g.add_edge(1, 3, EdgeKind.REG)
+    g.add_edge(2, 4, EdgeKind.REG)
+    g.add_edge(3, 4, EdgeKind.REG)
+    return g
+
+
+class TestStructure:
+    def test_add_edge_updates_adjacency(self):
+        g = chain(3)
+        assert g.successors(1) == [2]
+        assert g.predecessors(3) == [2]
+        assert g.in_degree(1) == 0 and g.in_degree(2) == 1
+
+    def test_self_edge_rejected(self):
+        g = chain(2)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1, EdgeKind.REG)
+
+    def test_has_edge(self):
+        g = chain(3)
+        assert g.has_edge(1, 2) and not g.has_edge(1, 3)
+
+    def test_len_and_iter(self):
+        g = chain(4)
+        assert len(g) == 4 and list(g) == [1, 2, 3, 4]
+
+
+class TestTopological:
+    def test_chain_order(self):
+        assert chain(5).topological_order() == [1, 2, 3, 4, 5]
+
+    def test_diamond_order_valid(self):
+        order = diamond().topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        assert pos[1] < pos[2] < pos[4] and pos[1] < pos[3] < pos[4]
+
+    def test_cycle_detected(self):
+        g = chain(3)
+        g.add_edge(3, 1, EdgeKind.REG)
+        with pytest.raises(ValueError, match="cycle"):
+            g.topological_order()
+
+
+class TestReachability:
+    def test_ancestors(self):
+        assert diamond().ancestors(4) == {1, 2, 3}
+        assert diamond().ancestors(1) == set()
+
+    def test_descendants(self):
+        assert diamond().descendants(1) == {2, 3, 4}
+        assert diamond().descendants(4) == set()
+
+    def test_shortest_path_bfs(self):
+        g = diamond()
+        g.add_edge(1, 4, EdgeKind.REG)  # shortcut
+        assert g.shortest_path(1, 4) == [1, 4]
+
+    def test_shortest_path_unreachable(self):
+        g = chain(3)
+        assert g.shortest_path(3, 1) is None
+
+    def test_shortest_path_trivial(self):
+        assert chain(2).shortest_path(1, 1) == [1]
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert diamond().weakly_connected_components() == [{1, 2, 3, 4}]
+
+    def test_disconnected(self):
+        g = chain(3)
+        g.add_node(10)
+        g.add_node(11)
+        g.add_edge(10, 11, EdgeKind.REG)
+        comps = g.weakly_connected_components()
+        assert comps == [{1, 2, 3}, {10, 11}]
+
+    def test_direction_ignored(self):
+        g = DataFlowGraph()
+        for i in (1, 2, 3):
+            g.add_node(i)
+        g.add_edge(2, 1, EdgeKind.REG)
+        g.add_edge(2, 3, EdgeKind.REG)
+        assert g.weakly_connected_components() == [{1, 2, 3}]
+
+    def test_critical_path_length(self):
+        assert chain(5).critical_path_length() == 5
+        assert diamond().critical_path_length() == 3

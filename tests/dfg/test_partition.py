@@ -1,0 +1,74 @@
+"""Sig/Wat/Sigwat partition tests (paper Fig. 3)."""
+
+from repro.codegen import lower_loop
+from repro.dfg import ComponentKind, build_dfg, partition
+from repro.dfg.partition import component_of
+from repro.ir import parse_loop
+from repro.sync import insert_synchronization
+
+import pytest
+
+
+def parts_for(source):
+    lowered = lower_loop(insert_synchronization(parse_loop(source)))
+    graph = build_dfg(lowered)
+    return lowered, graph, partition(graph, lowered)
+
+
+class TestFig3Partition:
+    SRC = """
+    DO I = 1, 100
+      S1: B(I) = A(I-2) + E(I+1)
+      S2: G(I-3) = A(I-1) * E(I+2)
+      S3: A(I) = B(I) + C(I+3)
+    ENDDO
+    """
+
+    def test_paper_components(self):
+        _, _, comps = parts_for(self.SRC)
+        by_kind = {c.kind: sorted(c.nodes) for c in comps}
+        assert by_kind[ComponentKind.SIGWAT] == [1, 2, 3, 4, 5, 6, 7, 8, 9, 10] + list(
+            range(22, 28)
+        )
+        assert by_kind[ComponentKind.WAT] == list(range(11, 22))
+
+    def test_wait_and_send_membership(self):
+        _, _, comps = parts_for(self.SRC)
+        sigwat = next(c for c in comps if c.kind is ComponentKind.SIGWAT)
+        assert sigwat.waits == (1,) and sigwat.sends == (27,)
+        wat = next(c for c in comps if c.kind is ComponentKind.WAT)
+        assert wat.waits == (11,) and wat.sends == ()
+
+
+class TestKinds:
+    def test_sig_graph(self):
+        # Source statement isolated from the sink's statement (disjoint
+        # subscript offsets, so no shared address temporaries): the send's
+        # component has no wait and vice versa.
+        _, _, comps = parts_for("DO I = 1, 10\n B(I+2) = A(I-1)\n A(I+3) = X(I-4)\nENDDO")
+        kinds = {c.kind for c in comps}
+        assert ComponentKind.SIG in kinds and ComponentKind.WAT in kinds
+
+    def test_plain_component(self):
+        # Offsets disjoint from the first statement's, so CSE shares nothing.
+        _, _, comps = parts_for(
+            "DO I = 1, 10\n A(I) = A(I-1)\n Z(I+1) = Y(I+2) + W(I+3)\nENDDO"
+        )
+        assert any(c.kind is ComponentKind.PLAIN for c in comps)
+
+    def test_doall_loop_all_plain(self):
+        _, _, comps = parts_for("DO I = 1, 10\n A(I+1) = X(I-1)\nENDDO")
+        assert all(c.kind is ComponentKind.PLAIN for c in comps)
+
+    def test_component_of_lookup(self):
+        _, _, comps = parts_for("DO I = 1, 10\n A(I) = A(I-1)\nENDDO")
+        assert component_of(comps, 1).kind is ComponentKind.SIGWAT
+        with pytest.raises(KeyError):
+            component_of(comps, 999)
+
+    def test_components_are_disjoint_and_cover(self):
+        lowered, graph, comps = parts_for(
+            "DO I = 1, 10\n A(I) = A(I-1)\n B(I+1) = Y(I-1)\nENDDO"
+        )
+        all_nodes = sorted(n for c in comps for n in c.nodes)
+        assert all_nodes == sorted(graph.nodes)

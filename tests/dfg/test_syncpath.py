@@ -1,0 +1,114 @@
+"""Synchronization path discovery, ordering and grouping tests."""
+
+from repro.codegen import lower_loop
+from repro.dfg import (
+    SyncPath,
+    build_dfg,
+    find_sync_paths,
+    group_overlapping,
+    order_paths,
+    partition,
+)
+from repro.ir import parse_loop
+from repro.sync import insert_synchronization
+
+
+def paths_for(source):
+    lowered = lower_loop(insert_synchronization(parse_loop(source)))
+    graph = build_dfg(lowered)
+    comps = partition(graph, lowered)
+    return lowered, find_sync_paths(graph, lowered, comps)
+
+
+class TestFig3Path:
+    SRC = """
+    DO I = 1, 100
+      S1: B(I) = A(I-2) + E(I+1)
+      S2: G(I-3) = A(I-1) * E(I+2)
+      S3: A(I) = B(I) + C(I+3)
+    ENDDO
+    """
+
+    def test_paper_path_found(self):
+        """The paper: 'The synchronization path contains nodes 1, 5, 9, 10,
+        22, 26, and 27.'"""
+        _, paths = paths_for(self.SRC)
+        assert len(paths) == 1
+        assert paths[0].nodes == (1, 5, 9, 10, 22, 26, 27)
+        assert paths[0].distance == 2
+
+    def test_wat_graph_pair_has_no_path(self):
+        lowered, paths = paths_for(self.SRC)
+        path_pairs = {p.pair_id for p in paths}
+        all_pairs = {p.pair_id for p in lowered.synced.pairs}
+        assert all_pairs - path_pairs  # pair 1 (wait 11) is convertible
+
+    def test_path_endpoints(self):
+        _, [path] = paths_for(self.SRC)
+        assert path.wait == 1 and path.send == 27
+        assert len(path) == 7
+
+
+class TestDiscovery:
+    def test_self_dependence_path(self):
+        _, paths = paths_for("DO I = 1, 10\n A(I) = A(I-1) + X(I)\nENDDO")
+        assert len(paths) == 1
+        assert paths[0].wait == 1
+
+    def test_convertible_pair_no_path(self):
+        # Independent statements: no directed wait -> send route.
+        _, paths = paths_for("DO I = 1, 10\n B(I) = A(I-1)\n A(I) = X(I)\nENDDO")
+        assert paths == []
+
+    def test_shortest_path_chosen(self):
+        # Chain B -> C -> A plus direct B -> A: shortest wins.
+        _, paths = paths_for(
+            """
+            DO I = 1, 10
+              B(I) = A(I-1)
+              C(I) = B(I) + X(I)
+              A(I) = B(I) + C(I)
+            ENDDO
+            """
+        )
+        [path] = paths
+        direct = len(path)
+        assert direct <= 8  # wait, load A, (op), store B, load B, store A, send
+
+
+class TestOrderingAndGrouping:
+    def _p(self, pid, nodes, d):
+        return SyncPath(pair_id=pid, nodes=tuple(nodes), distance=d)
+
+    def test_weight_formula(self):
+        path = self._p(0, range(1, 8), 2)
+        assert path.weight(100) == (100 / 2) * 7
+
+    def test_descending_order(self):
+        a = self._p(0, range(1, 5), 2)  # weight 200
+        b = self._p(1, range(10, 20), 1)  # weight 1000
+        assert order_paths([a, b], 100) == [b, a]
+
+    def test_tie_broken_by_pair_id(self):
+        a = self._p(1, range(1, 5), 1)
+        b = self._p(0, range(11, 15), 1)
+        assert order_paths([a, b], 100) == [b, a]
+
+    def test_overlapping_grouped(self):
+        a = self._p(0, [1, 2, 3], 1)
+        b = self._p(1, [3, 4, 5], 1)
+        c = self._p(2, [10, 11], 1)
+        groups = group_overlapping([a, b, c])
+        assert groups == [[a, b], [c]]
+
+    def test_transitive_overlap(self):
+        a = self._p(0, [1, 2], 1)
+        b = self._p(1, [2, 3], 1)
+        c = self._p(2, [3, 4], 1)
+        groups = group_overlapping([a, b, c])
+        assert groups == [[a, b, c]]
+
+    def test_no_overlap_all_singletons(self):
+        a = self._p(0, [1, 2], 1)
+        b = self._p(1, [3, 4], 1)
+        assert group_overlapping([a, b]) == [[a], [b]]

@@ -1,0 +1,100 @@
+"""CLI tests (direct main() invocation; no subprocess needed)."""
+
+import pytest
+
+from repro.cli import main
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.f"
+    path.write_text(FIG1)
+    return str(path)
+
+
+class TestCompile:
+    def test_prints_artifacts(self, loop_file, capsys):
+        assert main(["compile", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "WAIT_SIGNAL(S3, I - 2)" in out
+        assert "27: Send_Signal(S3)" in out
+        assert "sigwat" in out
+        assert "SP(pair 0) = [1, 5, 9, 10, 22, 26, 27]" in out
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(FIG1))
+        assert main(["compile", "-"]) == 0
+        assert "Send_Signal" in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_all_schedulers(self, loop_file, capsys):
+        assert main(["schedule", loop_file, "--issue", "4", "--fu", "1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("list", "marker", "sync"):
+            assert f"== {name} scheduling" in out
+        assert "improvement" in out
+
+    def test_single_scheduler(self, loop_file, capsys):
+        assert main(["schedule", loop_file, "--scheduler", "sync", "--n", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "sync scheduling" in out
+        assert "list scheduling" not in out
+
+    def test_machine_flags(self, loop_file, capsys):
+        assert main(["schedule", loop_file, "--scheduler", "list", "--issue", "2", "--fu", "2"]) == 0
+        assert "paper-2issue-fu2" in capsys.readouterr().out
+
+
+class TestScheduleViews:
+    def test_gantt_flag(self, loop_file, capsys):
+        assert main(["schedule", loop_file, "--scheduler", "list", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "load/store" in out and "." in out
+
+    def test_pressure_flag(self, loop_file, capsys):
+        assert main(["schedule", loop_file, "--scheduler", "sync", "--pressure"]) == 0
+        assert "register pressure: peak" in capsys.readouterr().out
+
+
+class TestModulo:
+    def test_modulo_command(self, loop_file, capsys):
+        assert main(["modulo", loop_file, "--n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "II = " in out
+        assert "pipelined time" in out
+
+
+class TestDot:
+    def test_dot_output(self, loop_file, capsys):
+        assert main(["dot", loop_file, "--title", "Fig3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph dfg {")
+        assert 'label="Fig3"' in out
+
+
+class TestSweep:
+    def test_subset_sweep(self, capsys):
+        assert main(["sweep", "QCD", "--n", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "QCD" in out and "%" in out
+
+
+class TestErrors:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["compile", str(tmp_path / "nope.f")])

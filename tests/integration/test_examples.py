@@ -1,0 +1,32 @@
+"""Every example script must run cleanly (they are documentation that
+executes)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py"),
+    key=lambda p: p.name,
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    env_args = ["--n", "20"] if script.name == "perfect_sweep.py" else []
+    result = subprocess.run(
+        [sys.executable, str(script), *env_args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_example_inventory():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3, "the deliverable requires at least three examples"

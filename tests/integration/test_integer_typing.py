@@ -1,0 +1,70 @@
+"""INTEGER-declared arrays: typing flows from declarations through
+lowering (integer ALU ops, floor division) to both executors identically."""
+
+import pytest
+
+from repro.codegen import Opcode, lower_loop
+from repro.dfg import build_dfg
+from repro.ir import SymbolTable, parse_program
+from repro.sched import assert_valid, list_schedule, paper_machine, sync_schedule
+from repro.sim import MemoryImage, execute_parallel, run_serial, simulate_doacross
+from repro.sync import insert_synchronization
+
+PROGRAM = """
+PROGRAM intdemo
+INTEGER A(200), X(200), Y(200)
+DO I = 1, 50
+  A(I) = A(I-1) + X(I) / Y(I)
+ENDDO
+END
+"""
+
+
+@pytest.fixture
+def compiled():
+    program = parse_program(PROGRAM)
+    loop = program.loops[0]
+    symbols = SymbolTable.from_program(program)
+    synced = insert_synchronization(loop)
+    lowered = lower_loop(synced, symbols=symbols)
+    return program, synced, lowered, build_dfg(lowered), symbols
+
+
+class TestTyping:
+    def test_integer_ops_selected(self, compiled):
+        _, _, lowered, _, _ = compiled
+        opcodes = {i.opcode for i in lowered.instructions}
+        assert Opcode.IDIV in opcodes  # integer division on the int values
+        assert Opcode.FADD not in opcodes and Opcode.FDIV not in opcodes
+
+    def test_division_uses_divider_unit(self, compiled):
+        from repro.codegen.isa import FuClass
+
+        _, _, lowered, _, _ = compiled
+        div = next(i for i in lowered.instructions if i.opcode is Opcode.IDIV)
+        assert div.fu is FuClass.DIVIDER
+
+    def test_floor_division_semantics_parallel_equals_serial(self, compiled):
+        _, synced, lowered, graph, symbols = compiled
+        machine = paper_machine(2, 1)
+        memory = MemoryImage()
+        # integer data with non-divisible pairs so floor division matters
+        memory.set_array("X", [float(7 + 3 * i) for i in range(1, 51)], start=1)
+        memory.set_array("Y", [float(2 + (i % 3)) for i in range(1, 51)], start=1)
+        memory.set_array("A", [1.0], start=0)
+        reference = run_serial(synced.loop, memory.copy(), symbols=symbols)
+        for scheduler in (list_schedule, sync_schedule):
+            schedule = scheduler(lowered, graph, machine)
+            assert_valid(schedule, graph)
+            result = execute_parallel(schedule, memory.copy())
+            assert result.memory == reference
+            assert result.parallel_time == simulate_doacross(schedule).parallel_time
+
+    def test_floor_division_value(self, compiled):
+        _, synced, _, _, symbols = compiled
+        memory = MemoryImage()
+        memory.set_array("X", [7.0], start=1)
+        memory.set_array("Y", [2.0], start=1)
+        memory.set_array("A", [0.0], start=0)
+        run_serial(synced.loop, memory, symbols=symbols, trip_override=(1, 1))
+        assert memory.read("A", 1) == 3.0  # 0 + 7 // 2

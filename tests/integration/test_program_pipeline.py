@@ -1,0 +1,52 @@
+"""Program-level pipeline tests (multiple loops, mixed classes)."""
+
+import pytest
+
+from repro import evaluate_program, paper_machine
+
+MIXED_PROGRAM = """
+PROGRAM mixed
+REAL A(200), B(200), X(200), Y(200)
+DO I = 1, 100
+  A(I) = A(I-1) + X(I)
+ENDDO
+DO I = 1, 100
+  B(I) = X(I) * Y(I)
+ENDDO
+DO I = 1, 100
+  A(K) = 1
+  B(I) = A(I)
+ENDDO
+END
+"""
+
+
+class TestEvaluateProgram:
+    def test_mixed_classes_handled(self):
+        result = evaluate_program(MIXED_PROGRAM, paper_machine(4, 1))
+        assert len(result.evaluations) == 2  # DOACROSS + DOALL
+        assert result.serial_loops == [2]
+
+    def test_totals_sum_loops(self):
+        result = evaluate_program(MIXED_PROGRAM, paper_machine(4, 1))
+        assert result.t_list == sum(e.t_list for e in result.evaluations)
+        assert result.improvement >= 0
+
+    def test_doall_loop_ties(self):
+        result = evaluate_program(MIXED_PROGRAM, paper_machine(4, 1))
+        doall = result.evaluations[1]
+        assert doall.t_list == doall.schedule_list.length
+        assert doall.t_new == doall.schedule_new.length
+
+    def test_accepts_parsed_program(self):
+        from repro.ir import parse_program
+
+        program = parse_program(MIXED_PROGRAM)
+        result = evaluate_program(program, paper_machine(2, 1), n=50)
+        assert result.evaluations[0].n == 50
+
+    def test_empty_program(self):
+        result = evaluate_program("PROGRAM empty\nEND", paper_machine(2, 1))
+        assert result.evaluations == [] and result.serial_loops == []
+        with pytest.raises(ValueError):
+            result.improvement  # no time accumulated

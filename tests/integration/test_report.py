@@ -1,0 +1,47 @@
+"""Machine-readable report export tests."""
+
+import json
+
+from repro import compile_loop, evaluate_corpus, evaluate_loop, paper_machine
+from repro.report import corpus_record, evaluation_record, schedule_record, to_json
+from repro.workloads import perfect_benchmark
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+class TestRecords:
+    def test_schedule_record_fields(self):
+        ev = evaluate_loop(compile_loop(FIG1), paper_machine(4, 1))
+        record = schedule_record(ev.schedule_new)
+        assert record["scheduler"] == "sync-aware"
+        assert record["length"] == ev.schedule_new.length
+        assert set(record["spans"]) == {0, 1}
+        assert sum(len(b) for b in record["bundles"]) == 27
+        assert 0 < record["ipc"] <= 4
+
+    def test_evaluation_record_consistency(self):
+        ev = evaluate_loop(compile_loop(FIG1), paper_machine(2, 1))
+        record = evaluation_record(ev)
+        assert record["t_new"] <= record["t_list"]
+        assert record["pairs"] == 2
+        assert record["schedules"]["list"]["scheduler"].startswith("list")
+
+    def test_corpus_record_roundtrips_through_json(self):
+        corpus = evaluate_corpus(
+            "QCD", perfect_benchmark("QCD")[:2], paper_machine(2, 1), n=50
+        )
+        text = to_json(corpus_record(corpus))
+        parsed = json.loads(text)
+        assert parsed["benchmark"] == "QCD"
+        assert parsed["t_list"] == corpus.t_list
+        assert len(parsed["loops"]) == 2
+
+    def test_json_is_stable(self):
+        ev = evaluate_loop(compile_loop(FIG1), paper_machine(2, 1))
+        assert to_json(evaluation_record(ev)) == to_json(evaluation_record(ev))

@@ -1,0 +1,102 @@
+"""Schedule-quality property tests: every schedule respects the classic
+lower bounds, and the schedulers stay within sane factors of them.
+
+Lower bounds for any legal schedule:
+
+* **issue bound** — ``ceil(instructions / issue_width)`` cycles;
+* **resource bound** — for each unit, ``ceil(work / count)`` where work is
+  instance-cycles of the instructions it serves;
+* **critical path** — the latency-weighted longest DFG path.
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.pipeline import compile_loop
+from repro.sched import (
+    list_schedule,
+    marker_schedule,
+    paper_machine,
+    sync_schedule,
+)
+from repro.workloads import GeneratorConfig, PlantedDep, generate_loop
+
+
+def lower_bounds(compiled, machine) -> int:
+    instructions = compiled.lowered.instructions
+    issue_bound = math.ceil(len(instructions) / machine.issue_width)
+    resource_bound = 0
+    for unit in machine.units:
+        work = sum(
+            (1 if unit.pipelined else unit.latency)
+            for i in instructions
+            if machine.unit_for(i.fu) is unit
+        )
+        resource_bound = max(resource_bound, math.ceil(work / unit.count))
+    # latency-weighted critical path
+    order = compiled.graph.topological_order()
+    dist = {}
+    for node in order:
+        lat = machine.latency(compiled.lowered.instruction(node).fu)
+        best = 0
+        for edge in compiled.graph.pred[node]:
+            best = max(best, dist[edge.src])
+        dist[node] = best + lat
+    critical = max(dist.values(), default=0)
+    return max(issue_bound, resource_bound, critical)
+
+
+@st.composite
+def configs(draw):
+    statements = draw(st.integers(1, 4))
+    deps = []
+    if draw(st.booleans()):
+        source = draw(st.integers(0, statements - 1))
+        sink = draw(st.integers(0, statements - 1))
+        deps.append(PlantedDep(source, sink, draw(st.integers(1, 3))))
+    return GeneratorConfig(
+        statements=statements,
+        deps=tuple(deps),
+        trip_count=20,
+        noise_reads=(1, 3),
+        seed=draw(st.integers(0, 99_999)),
+    )
+
+
+_machines = st.sampled_from([(2, 1), (2, 2), (4, 1), (4, 2)])
+_schedulers = st.sampled_from([list_schedule, marker_schedule, sync_schedule])
+
+
+@given(config=configs(), machine=_machines, scheduler=_schedulers)
+@settings(max_examples=60, deadline=None)
+def test_length_respects_lower_bounds(config, machine, scheduler):
+    compiled = compile_loop(generate_loop(config))
+    m = paper_machine(*machine)
+    schedule = scheduler(compiled.lowered, compiled.graph, m)
+    assert schedule.length >= lower_bounds(compiled, m)
+
+
+@given(config=configs(), machine=_machines)
+@settings(max_examples=40, deadline=None)
+def test_list_schedule_within_factor_two_of_bound(config, machine):
+    """Greedy list scheduling is a 2-approximation on these machines
+    (Graham-style bound: within issue+critical-path slack)."""
+    compiled = compile_loop(generate_loop(config))
+    m = paper_machine(*machine)
+    schedule = list_schedule(compiled.lowered, compiled.graph, m)
+    bound = lower_bounds(compiled, m)
+    assert schedule.length <= 3 * bound
+
+
+@given(config=configs(), machine=_machines)
+@settings(max_examples=40, deadline=None)
+def test_sync_schedule_length_close_to_list(config, machine):
+    """The sync scheduler may trade a few cycles of iteration length for
+    stall removal, but must stay in the same ballpark."""
+    compiled = compile_loop(generate_loop(config))
+    m = paper_machine(*machine)
+    listed = list_schedule(compiled.lowered, compiled.graph, m)
+    synced = sync_schedule(compiled.lowered, compiled.graph, m)
+    assert synced.length <= 2 * listed.length + 4

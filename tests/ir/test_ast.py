@@ -1,0 +1,79 @@
+"""AST node helper tests."""
+
+import pytest
+
+from repro.ir import ArrayRef, BinOp, Const, Loop, UnaryOp, VarRef, walk_expr
+from repro.ir.ast_nodes import Assign, SendSignal, WaitSignal, array_refs, scalar_refs
+
+
+class TestWalk:
+    def test_walk_preorder(self):
+        expr = BinOp("+", VarRef("A"), BinOp("*", VarRef("B"), Const(2)))
+        nodes = list(walk_expr(expr))
+        assert nodes[0] is expr
+        assert VarRef("A") in nodes and Const(2) in nodes
+        assert len(nodes) == 5
+
+    def test_walk_enters_subscripts(self):
+        expr = ArrayRef("A", BinOp("-", VarRef("I"), Const(2)))
+        assert VarRef("I") in list(walk_expr(expr))
+
+    def test_array_refs_in_textual_order(self):
+        expr = BinOp("+", ArrayRef("A", VarRef("I")), ArrayRef("B", VarRef("I")))
+        assert [r.name for r in array_refs(expr)] == ["A", "B"]
+
+    def test_scalar_refs_include_subscript_vars(self):
+        expr = ArrayRef("A", BinOp("+", VarRef("I"), VarRef("K")))
+        assert {r.name for r in scalar_refs(expr)} == {"I", "K"}
+
+
+class TestValidation:
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            BinOp("%", VarRef("A"), VarRef("B"))
+
+    def test_unary_rejects_plus(self):
+        with pytest.raises(ValueError):
+            UnaryOp("+", VarRef("A"))
+
+    def test_loop_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            Loop(index="I", lower=Const(1), upper=Const(10), step=0)
+
+
+class TestLoopHelpers:
+    def _loop(self):
+        return Loop(
+            index="I",
+            lower=Const(1),
+            upper=Const(10),
+            body=[
+                WaitSignal("S2", BinOp("-", VarRef("I"), Const(1))),
+                Assign(target=ArrayRef("A", VarRef("I")), expr=Const(1), label="S1"),
+                Assign(target=ArrayRef("B", VarRef("I")), expr=Const(2), label="S2"),
+                SendSignal("S2"),
+            ],
+        )
+
+    def test_assignments(self):
+        assert [s.label for s in self._loop().assignments()] == ["S1", "S2"]
+
+    def test_sync_ops(self):
+        ops = self._loop().sync_ops()
+        assert isinstance(ops[0], WaitSignal) and isinstance(ops[1], SendSignal)
+
+    def test_labelled_lookup(self):
+        loop = self._loop()
+        assert loop.labelled("S2").target == ArrayRef("B", VarRef("I"))
+        with pytest.raises(KeyError):
+            loop.labelled("S9")
+
+    def test_stmt_position_identity(self):
+        loop = self._loop()
+        assert loop.stmt_position(loop.body[2]) == 2
+        with pytest.raises(ValueError):
+            loop.stmt_position(Assign(target=VarRef("X"), expr=Const(1)))
+
+    def test_expressions_hashable_and_equal_by_value(self):
+        assert hash(BinOp("+", VarRef("A"), Const(1))) == hash(BinOp("+", VarRef("A"), Const(1)))
+        assert ArrayRef("A", VarRef("I")) == ArrayRef("A", VarRef("I"))

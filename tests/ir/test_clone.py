@@ -1,0 +1,75 @@
+"""clone_expr and object-identity invariant tests."""
+
+import pytest
+
+from repro.ir import parse_loop
+from repro.ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Loop,
+    UnaryOp,
+    VarRef,
+    clone_expr,
+    walk_expr,
+)
+from repro.sync import insert_synchronization
+
+
+class TestClone:
+    def test_structural_equality_object_inequality(self):
+        expr = BinOp("+", ArrayRef("A", BinOp("-", VarRef("I"), Const(1))), UnaryOp("-", VarRef("K")))
+        copy = clone_expr(expr)
+        assert copy == expr
+        originals = {id(n) for n in walk_expr(expr)}
+        copies = {id(n) for n in walk_expr(copy)}
+        assert originals.isdisjoint(copies)
+
+    def test_rejects_non_expression(self):
+        with pytest.raises(TypeError):
+            clone_expr("not an expr")
+
+
+class TestIdentityInvariant:
+    def test_shared_node_across_statements_rejected(self):
+        shared = ArrayRef("X", VarRef("I"))
+        loop = Loop(
+            index="I",
+            lower=Const(1),
+            upper=Const(10),
+            body=[
+                Assign(target=ArrayRef("A", VarRef("I")), expr=shared),
+                Assign(target=ArrayRef("B", VarRef("I")), expr=shared),
+            ],
+        )
+        with pytest.raises(ValueError, match="appears twice"):
+            insert_synchronization(loop)
+
+    def test_shared_node_within_statement_rejected(self):
+        ref = VarRef("K")
+        loop = Loop(
+            index="I",
+            lower=Const(1),
+            upper=Const(10),
+            body=[Assign(target=ArrayRef("A", VarRef("I")), expr=BinOp("+", ref, ref))],
+        )
+        with pytest.raises(ValueError, match="appears twice"):
+            insert_synchronization(loop)
+
+    def test_parser_always_produces_fresh_nodes(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = X(I) + X(I)\n B(I) = X(I)\nENDDO")
+        insert_synchronization(loop)  # must not raise
+
+    def test_all_transforms_respect_invariant(self):
+        """The restructuring + unroll pipeline output always passes the
+        identity check (this is the invariant the fuzzer enforces)."""
+        from repro.transforms import restructure, unroll_loop
+
+        loop = parse_loop(
+            "DO I = 1, 100\n J = J + 1\n T = X(J) * X(J)\n A(J) = T + T\n S = S + T\nENDDO"
+        )
+        result = restructure(loop)
+        insert_synchronization(result.loop)
+        unrolled = unroll_loop(result.loop, 2)
+        insert_synchronization(unrolled)

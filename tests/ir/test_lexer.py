@@ -1,0 +1,107 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.ir.lexer import LexError, Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind not in ("NEWLINE", "EOF")]
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        assert texts("do enddo DOACROSS End_Doacross") == [
+            "DO",
+            "ENDDO",
+            "DOACROSS",
+            "END_DOACROSS",
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert texts("Alpha bETA") == ["Alpha", "bETA"]
+
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind == "INT" and toks[0].text == "42"
+
+    def test_float_literal(self):
+        toks = tokenize("3.25")
+        assert toks[0].kind == "FLOAT" and toks[0].text == "3.25"
+
+    def test_integer_not_float_without_fraction(self):
+        # '2.' without digits after the dot lexes as INT then punctuation error
+        toks = tokenize("25")
+        assert toks[0].kind == "INT"
+
+    def test_operators(self):
+        assert texts("+ - * / = : ,") == ["+", "-", "*", "/", "=", ":", ","]
+
+    def test_brackets_both_kinds(self):
+        assert texts("A(I) B[J]") == ["A", "(", "I", ")", "B", "[", "J", "]"]
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("A = B @ C")
+        assert "col 7" in str(exc.value)
+
+
+class TestStatementSeparation:
+    def test_newline_token_emitted(self):
+        assert "NEWLINE" in kinds("A = 1\nB = 2")
+
+    def test_blank_lines_collapse(self):
+        toks = tokenize("A = 1\n\n\nB = 2")
+        newline_runs = [t.kind for t in toks].count("NEWLINE")
+        assert newline_runs == 2  # one between, one trailing
+
+    def test_semicolon_acts_as_newline(self):
+        toks = tokenize("A = 1; B = 2")
+        assert [t.kind for t in toks].count("NEWLINE") == 2
+
+    def test_comments_stripped(self):
+        assert texts("A = 1 ! trailing comment\n# full line\nB = 2") == [
+            "A",
+            "=",
+            "1",
+            "B",
+            "=",
+            "2",
+        ]
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("A = 1")[-1].kind == "EOF"
+
+    def test_final_newline_inserted(self):
+        toks = tokenize("A = 1")
+        assert toks[-2].kind == "NEWLINE"
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        toks = tokenize("A = 1\nB = 2")
+        b = next(t for t in toks if t.text == "B")
+        assert b.line == 2 and b.col == 1
+
+    def test_column_numbers(self):
+        toks = tokenize("AB = 17")
+        eq = next(t for t in toks if t.text == "=")
+        assert eq.col == 4
+
+    def test_token_is_hashable_value_object(self):
+        assert Token("INT", "1", 1, 1) == Token("INT", "1", 1, 1)
+
+    def test_columns_after_two_char_operator(self):
+        toks = tokenize("A <= B")
+        b = next(t for t in toks if t.text == "B")
+        assert b.col == 6
+
+    def test_two_char_operators_single_token(self):
+        assert texts("a <= b >= c == d != e") == [
+            "a", "<=", "b", ">=", "c", "==", "d", "!=", "e",
+        ]

@@ -1,0 +1,148 @@
+"""Parser tests: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    ParseError,
+    SendSignal,
+    UnaryOp,
+    VarRef,
+    WaitSignal,
+    parse_loop,
+    parse_program,
+)
+
+
+def parse_expr(text):
+    loop = parse_loop(f"DO I = 1, 10\n X = {text}\nENDDO")
+    stmt = loop.body[0]
+    assert isinstance(stmt, Assign)
+    return stmt.expr
+
+
+class TestExpressions:
+    def test_constant(self):
+        assert parse_expr("42") == Const(42)
+
+    def test_float_constant(self):
+        assert parse_expr("2.5") == Const(2.5)
+
+    def test_variable(self):
+        assert parse_expr("N") == VarRef("N")
+
+    def test_array_reference(self):
+        assert parse_expr("A(I)") == ArrayRef("A", VarRef("I"))
+
+    def test_square_bracket_array(self):
+        assert parse_expr("A[I-2]") == ArrayRef("A", BinOp("-", VarRef("I"), Const(2)))
+
+    def test_precedence_mul_over_add(self):
+        assert parse_expr("A + B * C") == BinOp(
+            "+", VarRef("A"), BinOp("*", VarRef("B"), VarRef("C"))
+        )
+
+    def test_left_associativity_of_minus(self):
+        assert parse_expr("A - B - C") == BinOp(
+            "-", BinOp("-", VarRef("A"), VarRef("B")), VarRef("C")
+        )
+
+    def test_parenthesized_grouping(self):
+        assert parse_expr("(A + B) * C") == BinOp(
+            "*", BinOp("+", VarRef("A"), VarRef("B")), VarRef("C")
+        )
+
+    def test_unary_negation(self):
+        assert parse_expr("-A") == UnaryOp("-", VarRef("A"))
+
+    def test_unary_in_subscript(self):
+        assert parse_expr("A(-2)") == ArrayRef("A", UnaryOp("-", Const(2)))
+
+    def test_nested_array_subscript(self):
+        assert parse_expr("A(B(I))") == ArrayRef("A", ArrayRef("B", VarRef("I")))
+
+
+class TestStatements:
+    def test_labelled_assignment(self):
+        loop = parse_loop("DO I = 1, 10\n S1: A(I) = 1\nENDDO")
+        assert loop.body[0].label == "S1"
+
+    def test_unlabelled_assignment(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = 1\nENDDO")
+        assert loop.body[0].label is None
+
+    def test_scalar_target(self):
+        loop = parse_loop("DO I = 1, 10\n T = A(I)\nENDDO")
+        assert loop.body[0].target == VarRef("T")
+
+    def test_wait_signal(self):
+        loop = parse_loop("DO I = 1, 10\n WAIT_SIGNAL(S3, I-2)\n A(I) = 1\nENDDO")
+        wait = loop.body[0]
+        assert isinstance(wait, WaitSignal)
+        assert wait.source_label == "S3"
+        assert wait.iteration == BinOp("-", VarRef("I"), Const(2))
+
+    def test_send_signal(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = 1\n SEND_SIGNAL(S1)\nENDDO")
+        send = loop.body[1]
+        assert isinstance(send, SendSignal)
+        assert send.source_label == "S1"
+
+
+class TestLoops:
+    def test_do_loop(self):
+        loop = parse_loop("DO I = 1, N\n A(I) = 1\nENDDO")
+        assert not loop.is_doacross
+        assert loop.index == "I"
+        assert loop.lower == Const(1)
+        assert loop.upper == VarRef("N")
+
+    def test_doacross_loop(self):
+        loop = parse_loop("DOACROSS I = 1, 100\n A(I) = 1\nEND_DOACROSS")
+        assert loop.is_doacross
+
+    def test_doacross_tolerates_enddo(self):
+        loop = parse_loop("DOACROSS I = 1, 100\n A(I) = 1\nENDDO")
+        assert loop.is_doacross
+
+    def test_do_rejects_end_doacross(self):
+        with pytest.raises(ParseError):
+            parse_loop("DO I = 1, 100\n A(I) = 1\nEND_DOACROSS")
+
+    def test_unterminated_loop(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_loop("DO I = 1, 10\n A(I) = 1\n")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("DO I = 1, 10\n A(I) = 1\nENDDO\nstray = 1")
+
+    def test_multiple_statements_preserved_in_order(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = 1\n B(I) = 2\n C(I) = 3\nENDDO")
+        targets = [s.target.name for s in loop.body]
+        assert targets == ["A", "B", "C"]
+
+
+class TestPrograms:
+    def test_program_with_declarations(self):
+        program = parse_program(
+            "PROGRAM demo\nINTEGER K\nREAL A(100), B\nDO I = 1, 10\n A(I) = B\nENDDO\nEND"
+        )
+        assert program.name == "demo"
+        assert program.declarations["K"] == ("INTEGER", None)
+        assert program.declarations["A"] == ("REAL", 100)
+        assert program.declarations["B"] == ("REAL", None)
+        assert len(program.loops) == 1
+
+    def test_program_multiple_loops(self):
+        program = parse_program(
+            "DO I = 1, 10\n A(I) = 1\nENDDO\nDO I = 1, 20\n B(I) = 2\nENDDO"
+        )
+        assert len(program.loops) == 2
+
+    def test_error_messages_carry_position(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_loop("DO I = 1, 10\n A(I = 1\nENDDO")

@@ -1,0 +1,148 @@
+"""Printer tests, including the parse∘format round-trip property."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir import (
+    ArrayRef,
+    BinOp,
+    Const,
+    Loop,
+    UnaryOp,
+    VarRef,
+    format_expr,
+    format_loop,
+    format_stmt,
+    parse_loop,
+)
+from repro.ir.ast_nodes import Assign, SendSignal, WaitSignal
+
+
+class TestFormatExpr:
+    def test_minimal_parens_precedence(self):
+        expr = BinOp("*", BinOp("+", VarRef("A"), VarRef("B")), VarRef("C"))
+        assert format_expr(expr) == "(A + B) * C"
+
+    def test_no_redundant_parens(self):
+        expr = BinOp("+", VarRef("A"), BinOp("*", VarRef("B"), VarRef("C")))
+        assert format_expr(expr) == "A + B * C"
+
+    def test_right_operand_of_minus_parenthesized(self):
+        expr = BinOp("-", VarRef("A"), BinOp("-", VarRef("B"), VarRef("C")))
+        assert format_expr(expr) == "A - (B - C)"
+
+    def test_right_operand_of_divide_parenthesized(self):
+        expr = BinOp("/", VarRef("A"), BinOp("*", VarRef("B"), VarRef("C")))
+        assert format_expr(expr) == "A / (B * C)"
+
+    def test_unary(self):
+        assert format_expr(UnaryOp("-", VarRef("A"))) == "-A"
+
+    def test_array_ref(self):
+        expr = ArrayRef("A", BinOp("-", VarRef("I"), Const(2)))
+        assert format_expr(expr) == "A(I - 2)"
+
+
+class TestFormatStmt:
+    def test_labelled_assign(self):
+        stmt = Assign(target=ArrayRef("A", VarRef("I")), expr=Const(1), label="S1")
+        assert format_stmt(stmt) == "S1: A(I) = 1"
+
+    def test_wait(self):
+        stmt = WaitSignal("S3", BinOp("-", VarRef("I"), Const(2)))
+        assert format_stmt(stmt) == "WAIT_SIGNAL(S3, I - 2)"
+
+    def test_send(self):
+        assert format_stmt(SendSignal("S3")) == "SEND_SIGNAL(S3)"
+
+
+# -- property: parse(format(x)) == x ------------------------------------------
+
+_names = st.sampled_from(["A", "B", "C", "X", "Y", "Z2"])
+
+
+def _exprs(depth=3):
+    base = st.one_of(
+        st.integers(min_value=0, max_value=99).map(Const),
+        _names.map(VarRef),
+        st.builds(
+            ArrayRef,
+            _names,
+            st.integers(-5, 5).map(
+                lambda o: BinOp("+" if o >= 0 else "-", VarRef("I"), Const(abs(o)))
+            ),
+        ),
+    )
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.builds(BinOp, st.sampled_from("+-*/"), children, children),
+            st.builds(UnaryOp, st.just("-"), children),
+        ),
+        max_leaves=8,
+    )
+
+
+@st.composite
+def _guards(draw):
+    from repro.ir.ast_nodes import Comparison
+
+    return Comparison(
+        draw(st.sampled_from(["<", ">", "<=", ">=", "==", "!="])),
+        draw(_exprs()),
+        draw(_exprs()),
+    )
+
+
+@st.composite
+def _loops(draw):
+    n_stmts = draw(st.integers(1, 4))
+    body = [
+        Assign(
+            target=draw(
+                st.one_of(
+                    st.builds(ArrayRef, _names, st.just(VarRef("I"))),
+                    st.just(VarRef("T")),
+                )
+            ),
+            expr=draw(_exprs()),
+            label=f"S{i+1}" if draw(st.booleans()) else None,
+            guard=draw(_guards()) if draw(st.booleans()) else None,
+        )
+        for i in range(n_stmts)
+    ]
+    return Loop(index="I", lower=Const(1), upper=Const(draw(st.integers(1, 200))), body=body)
+
+
+@given(_loops())
+@settings(max_examples=150)
+def test_roundtrip_loop(loop):
+    text = format_loop(loop)
+    reparsed = parse_loop(text)
+    assert format_loop(reparsed) == text
+    # Structural equality of expressions (frozen dataclasses compare by value).
+    for original, parsed in zip(loop.body, reparsed.body):
+        assert original.expr == parsed.expr
+        assert original.target == parsed.target
+        assert original.label == parsed.label
+        assert original.guard == parsed.guard
+
+
+def test_roundtrip_with_sync_statements():
+    text = format_loop(
+        Loop(
+            index="I",
+            lower=Const(1),
+            upper=Const(10),
+            body=[
+                WaitSignal("S1", BinOp("-", VarRef("I"), Const(1))),
+                Assign(target=ArrayRef("A", VarRef("I")), expr=Const(1), label="S1"),
+                SendSignal("S1"),
+            ],
+            is_doacross=True,
+        )
+    )
+    reparsed = parse_loop(text)
+    assert isinstance(reparsed.body[0], WaitSignal)
+    assert isinstance(reparsed.body[2], SendSignal)
+    assert format_loop(reparsed) == text

@@ -1,0 +1,61 @@
+"""Symbol table inference tests."""
+
+import pytest
+
+from repro.ir import SymbolKind, SymbolTable, VarType, parse_loop, parse_program
+
+
+class TestInference:
+    def test_arrays_and_scalars_split(self):
+        loop = parse_loop("DO I = 1, N\n A(I) = B(I-1) + T\nENDDO")
+        table = SymbolTable.from_loop(loop)
+        assert table.arrays() == ["A", "B"]
+        assert table.scalars() == ["I", "N", "T"]
+
+    def test_arrays_default_real(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = 1\nENDDO")
+        table = SymbolTable.from_loop(loop)
+        assert table.var_type("A") is VarType.REAL
+
+    def test_scalars_default_int(self):
+        loop = parse_loop("DO I = 1, N\n A(I) = K\nENDDO")
+        table = SymbolTable.from_loop(loop)
+        assert table.var_type("K") is VarType.INT
+        assert table.var_type("I") is VarType.INT
+
+    def test_loop_index_is_scalar(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = 1\nENDDO")
+        table = SymbolTable.from_loop(loop)
+        assert table["I"].kind is SymbolKind.SCALAR
+
+    def test_subscript_scalars_recorded(self):
+        loop = parse_loop("DO I = 1, 10\n A(I + K) = 1\nENDDO")
+        table = SymbolTable.from_loop(loop)
+        assert "K" in table and table["K"].kind is SymbolKind.SCALAR
+
+    def test_conflicting_usage_rejected(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = A\nENDDO")
+        with pytest.raises(ValueError, match="used both"):
+            SymbolTable.from_loop(loop)
+
+
+class TestDeclarations:
+    def test_declared_types_override_defaults(self):
+        program = parse_program(
+            "INTEGER A(10)\nREAL T\nDO I = 1, 10\n A(I) = T\nENDDO"
+        )
+        table = SymbolTable.from_program(program)
+        assert table.var_type("A") is VarType.INT
+        assert table.var_type("T") is VarType.REAL
+
+    def test_declared_extent_kept(self):
+        program = parse_program("REAL A(500)\nDO I = 1, 10\n A(I) = 1\nENDDO")
+        table = SymbolTable.from_program(program)
+        assert table["A"].extent == 500
+
+    def test_is_array_helper(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = T\nENDDO")
+        table = SymbolTable.from_loop(loop)
+        assert table.is_array("A")
+        assert not table.is_array("T")
+        assert not table.is_array("UNSEEN")

@@ -1,0 +1,76 @@
+"""List scheduler tests, including the exact Fig. 4(a) reproduction."""
+
+from repro.sched import Priority, assert_valid, list_schedule
+from repro.sched.list_scheduler import critical_path_heights
+
+FIG4A_BUNDLES = [
+    [1, 2, 3],
+    [4, 6, 11],
+    [5, 7, 12],
+    [8, 13, 14],
+    [9, 15],
+    [10, 17],
+    [16, 18, 23],
+    [19, 24],
+    [20, 22],
+    [21],
+    [25],
+    [26],
+    [27],
+]
+
+
+class TestFig4a:
+    def test_exact_bundle_reproduction(self, fig1_lowered, fig1_dfg, fig4_machine):
+        """Program-order list scheduling reproduces the paper's Fig. 4(a)
+        bundle-for-bundle."""
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        assert schedule.bundles() == FIG4A_BUNDLES
+
+    def test_length_13(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        assert schedule.length == 13
+
+    def test_paper_spans(self, fig1_lowered, fig1_dfg, fig4_machine):
+        """'The longest distance from Sig to Wat2 has 12 instructions.'"""
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        assert schedule.span(1) == 12  # Wat2 (11) at cycle 2, Sig (27) at 13
+        assert schedule.span(0) == 13  # Wat1 (1) at cycle 1
+
+    def test_valid(self, fig1_lowered, fig1_dfg, fig4_machine):
+        assert_valid(list_schedule(fig1_lowered, fig1_dfg, fig4_machine), fig1_dfg)
+
+
+class TestGeneral:
+    def test_critical_path_priority_valid(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = list_schedule(
+            fig1_lowered, fig1_dfg, fig4_machine, Priority.CRITICAL_PATH
+        )
+        assert_valid(schedule, fig1_dfg)
+
+    def test_critical_path_heights(self, fig1_lowered, fig1_dfg, fig4_machine):
+        heights = critical_path_heights(fig1_dfg, fig1_lowered, fig4_machine)
+        # Longest chains go through 3 -> 4 -> 5 -> 9 -> 10 -> 22 -> 26 -> 27
+        assert heights[3] == 8
+        assert heights[27] == 1
+        assert heights[1] == 7  # wait 1 feeds node 5 onward
+
+    def test_all_instructions_scheduled(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        assert set(schedule.cycle_of) == {i.iid for i in fig1_lowered.instructions}
+
+    def test_narrow_issue_width_stretches(self, fig1_lowered, fig1_dfg):
+        from repro.sched import paper_machine
+
+        narrow = list_schedule(fig1_lowered, fig1_dfg, paper_machine(2, 1))
+        wide = list_schedule(fig1_lowered, fig1_dfg, paper_machine(4, 1))
+        assert narrow.length >= wide.length
+
+    def test_multicycle_latency_respected(self, fig1_lowered, fig1_dfg):
+        from repro.sched import paper_machine
+
+        machine = paper_machine(4, 1)
+        schedule = list_schedule(fig1_lowered, fig1_dfg, machine)
+        assert_valid(schedule, fig1_dfg)
+        # node 20 is the FP multiply feeding store 21: 3-cycle gap
+        assert schedule.cycle_of[21] >= schedule.cycle_of[20] + 3

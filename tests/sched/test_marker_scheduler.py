@@ -1,0 +1,94 @@
+"""Marker-method scheduler tests (the paper's predecessor baseline)."""
+
+import pytest
+
+from repro.pipeline import compile_loop
+from repro.sched import (
+    assert_valid,
+    figure4_machine,
+    list_schedule,
+    marker_schedule,
+    paper_machine,
+    sync_schedule,
+)
+from repro.sim import MemoryImage, execute_parallel, run_serial, simulate_doacross
+
+
+class TestLegality:
+    def test_fig1_valid(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = marker_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        assert_valid(schedule, fig1_dfg)
+
+    def test_all_machines_valid(self, fig1_lowered, fig1_dfg, experiment_machine):
+        schedule = marker_schedule(fig1_lowered, fig1_dfg, experiment_machine)
+        assert_valid(schedule, fig1_dfg)
+
+    def test_doall_loop(self):
+        compiled = compile_loop("DO I = 1, 10\n A(I) = X(I) + Y(I)\nENDDO")
+        schedule = marker_schedule(compiled.lowered, compiled.graph, figure4_machine())
+        assert_valid(schedule, compiled.graph)
+
+    def test_sibling_waits_no_deadlock(self):
+        """Two waits guarding the same sink must not block each other."""
+        compiled = compile_loop(
+            "DO I = 1, 10\n B(I) = A(I-1) + A(I-3)\n A(I) = X(I)\nENDDO"
+        )
+        schedule = marker_schedule(compiled.lowered, compiled.graph, figure4_machine())
+        assert_valid(schedule, compiled.graph)
+
+
+class TestMarkerBehaviour:
+    def test_waits_not_hoisted(self, fig1_lowered, fig1_dfg, fig4_machine):
+        """List scheduling puts both waits in the first two cycles; the
+        marker method keeps each wait adjacent to its sink."""
+        listed = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        marked = marker_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        for pair in fig1_lowered.synced.pairs:
+            assert marked.wait_cycle(pair.pair_id) >= listed.wait_cycle(pair.pair_id)
+        # each wait sits a couple of cycles at most before its earliest sink
+        # (resource conflicts may push the sink slightly, never the wait back)
+        for pair in fig1_lowered.synced.pairs:
+            sink_cycles = [
+                marked.cycle_of[s] for s in fig1_lowered.sink_iids(pair.pair_id)
+            ]
+            gap = min(sink_cycles) - marked.wait_cycle(pair.pair_id)
+            assert 1 <= gap <= 3
+
+    def test_sits_between_list_and_sync(self, fig1_lowered, fig1_dfg, fig4_machine):
+        t = {}
+        for name, fn in (
+            ("list", list_schedule),
+            ("marker", marker_schedule),
+            ("sync", sync_schedule),
+        ):
+            schedule = fn(fig1_lowered, fig1_dfg, fig4_machine)
+            t[name] = simulate_doacross(schedule, 100).parallel_time
+        assert t["sync"] <= t["marker"] <= t["list"]
+
+    def test_improves_over_list_on_recurrence(self):
+        compiled = compile_loop("DO I = 1, 100\n A(I) = A(I-1) + X(I) * Y(I)\nENDDO")
+        machine = paper_machine(4, 1)
+        t_list = simulate_doacross(
+            list_schedule(compiled.lowered, compiled.graph, machine), 100
+        ).parallel_time
+        t_marker = simulate_doacross(
+            marker_schedule(compiled.lowered, compiled.graph, machine), 100
+        ).parallel_time
+        assert t_marker < t_list
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "DO I = 1, 30\n A(I) = A(I-1) + X(I)\nENDDO",
+            "DO I = 1, 30\n B(I) = A(I-2)\n A(I) = X(I) * Y(I)\nENDDO",
+        ],
+    )
+    def test_memory_equals_serial(self, source):
+        compiled = compile_loop(source)
+        schedule = marker_schedule(compiled.lowered, compiled.graph, paper_machine(2, 1))
+        reference = run_serial(compiled.synced.loop, MemoryImage())
+        result = execute_parallel(schedule, MemoryImage())
+        assert result.memory == reference
+        assert result.parallel_time == simulate_doacross(schedule).parallel_time

@@ -1,0 +1,104 @@
+"""Iterative modulo scheduling tests."""
+
+import pytest
+
+from repro.ir import parse_loop
+from repro.sched import paper_machine
+from repro.sched.modulo import (
+    modulo_schedule,
+    prepare_loop,
+    recurrence_mii,
+    resource_mii,
+    verify_modulo,
+)
+
+
+def schedule_for(source, machine=None, **kw):
+    return modulo_schedule(parse_loop(source), machine or paper_machine(4, 1), **kw)
+
+
+class TestMii:
+    def test_resource_mii_load_store_bound(self):
+        lowered, _ = prepare_loop(parse_loop("DO I = 1, 100\n A(I) = X(I) + Y(I)\nENDDO"))
+        # 2 loads + 1 store on a single load/store unit
+        assert resource_mii(lowered, paper_machine(4, 1)) == 3
+
+    def test_resource_mii_scales_with_units(self):
+        lowered, _ = prepare_loop(parse_loop("DO I = 1, 100\n A(I) = X(I) + Y(I)\nENDDO"))
+        assert resource_mii(lowered, paper_machine(4, 2)) == 2
+
+    def test_recurrence_mii_d1_chain(self):
+        loop = parse_loop("DO I = 1, 100\n A(I) = A(I-1) + X(I)\nENDDO")
+        lowered, edges = prepare_loop(loop)
+        # load(1) -> add(1) -> store(1) -> carried d=1 back: 3 cycles/iter
+        assert recurrence_mii(lowered, edges, paper_machine(4, 1)) == 3
+
+    def test_recurrence_mii_divides_by_distance(self):
+        loop = parse_loop("DO I = 1, 100\n A(I) = A(I-3) + X(I)\nENDDO")
+        lowered, edges = prepare_loop(loop)
+        assert recurrence_mii(lowered, edges, paper_machine(4, 1)) == 1
+
+    def test_recurrence_mii_sees_latency(self):
+        fast = parse_loop("DO I = 1, 100\n A(I) = A(I-1) + X(I)\nENDDO")
+        slow = parse_loop("DO I = 1, 100\n A(I) = A(I-1) * X(I)\nENDDO")
+        m = paper_machine(4, 1)
+        fl, fe = prepare_loop(fast)
+        sl, se = prepare_loop(slow)
+        assert recurrence_mii(sl, se, m) == recurrence_mii(fl, fe, m) + 2  # mul 3cy
+
+    def test_doall_recurrence_mii_is_one(self):
+        lowered, edges = prepare_loop(parse_loop("DO I = 1, 100\n A(I) = X(I)\nENDDO"))
+        assert recurrence_mii(lowered, edges, paper_machine(4, 1)) == 1
+
+
+class TestScheduling:
+    SOURCES = [
+        "DO I = 1, 100\n A(I) = X(I) + Y(I)\nENDDO",
+        "DO I = 1, 100\n A(I) = A(I-1) + X(I)\nENDDO",
+        "DO I = 1, 100\n A(I) = A(I-2) * X(I) + Y(I)\nENDDO",
+        "DO I = 1, 100\n S1: B(I) = A(I-2) + E(I+1)\n S2: A(I) = B(I) / C(I)\nENDDO",
+        "DO I = 1, 100\n T = X(I) * Y(I)\n A(I) = T + A(I-1)\nENDDO",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    @pytest.mark.parametrize("case", [(2, 1), (4, 1), (4, 2)])
+    def test_valid_kernel(self, source, case):
+        schedule = schedule_for(source, paper_machine(*case))
+        assert verify_modulo(schedule) == []
+        assert schedule.ii >= max(schedule.mii_resource, schedule.mii_recurrence)
+
+    def test_ii_reasonably_close_to_mii(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = A(I-1) + X(I)\nENDDO")
+        assert schedule.ii <= max(schedule.mii_resource, schedule.mii_recurrence) + 2
+
+    def test_parallel_time_formula(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = X(I) + Y(I)\nENDDO")
+        assert schedule.parallel_time(100) == 99 * schedule.ii + schedule.makespan
+        assert schedule.parallel_time(1) == schedule.makespan
+        assert schedule.parallel_time(0) == 0
+
+    def test_pipelining_beats_serial_execution(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = X(I) * Y(I) + Z(I)\nENDDO")
+        serial = 100 * schedule.makespan
+        assert schedule.parallel_time(100) < serial / 2
+
+    def test_recurrence_bounds_pipelining(self):
+        """A d=1 recurrence caps the pipeline at RecMII per iteration."""
+        schedule = schedule_for("DO I = 1, 100\n A(I) = A(I-1) * X(I)\nENDDO")
+        assert schedule.ii >= 5  # load + 3-cycle multiply + store
+
+    def test_irregular_loop_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_for("DO I = 1, 100\n A(K) = 1\n B(I) = A(I)\nENDDO")
+
+    def test_verify_catches_violation(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = A(I-1) + X(I)\nENDDO")
+        _, edges = prepare_loop(schedule.lowered.synced.loop)
+        # sabotage: move a store one cycle too early
+        store = next(
+            i.iid
+            for i in schedule.lowered.instructions
+            if i.mem is not None and i.mem.is_store
+        )
+        schedule.cycle_of[store] = 1
+        assert verify_modulo(schedule, edges)

@@ -1,0 +1,69 @@
+"""Register pressure analysis tests."""
+
+from repro.pipeline import compile_loop
+from repro.sched import (
+    figure4_machine,
+    list_schedule,
+    minimum_registers,
+    paper_machine,
+    register_pressure,
+    sync_schedule,
+)
+
+
+def pressure_for(source, scheduler=list_schedule, machine=None):
+    compiled = compile_loop(source)
+    schedule = scheduler(compiled.lowered, compiled.graph, machine or figure4_machine())
+    return register_pressure(schedule), schedule
+
+
+class TestProfile:
+    def test_simple_chain_pressure_one_or_two(self):
+        profile, _ = pressure_for("DO I = 1, 10\n A(I) = X(I)\nENDDO")
+        # t1 = 4*I lives long (feeds both the load and the store address);
+        # t2 = load lives one edge
+        assert 1 <= profile.max_pressure <= 3
+
+    def test_wide_expression_raises_pressure(self):
+        narrow, _ = pressure_for("DO I = 1, 10\n A(I) = X(I)\nENDDO")
+        wide, _ = pressure_for(
+            "DO I = 1, 10\n A(I) = X1(I) + X2(I) + X3(I) + X4(I) + X5(I) + X6(I)\nENDDO"
+        )
+        assert wide.max_pressure > narrow.max_pressure
+
+    def test_temporaries_counted(self):
+        profile, schedule = pressure_for("DO I = 1, 10\n A(I) = X(I) + Y(I)\nENDDO")
+        defs = sum(1 for i in schedule.lowered.instructions if i.dest is not None)
+        assert profile.temporaries == defs
+
+    def test_per_cycle_covers_issue_cycles(self):
+        profile, schedule = pressure_for("DO I = 1, 10\n A(I) = X(I) * Y(I)\nENDDO")
+        assert len(profile.per_cycle) == schedule.issue_cycles
+
+    def test_peak_cycle_has_peak_value(self):
+        profile, _ = pressure_for("DO I = 1, 10\n A(I) = X(I) + Y(I) * Z(I)\nENDDO")
+        assert profile.per_cycle[profile.cycle_of_peak() - 1] == profile.max_pressure
+
+    def test_minimum_registers_equals_peak(self):
+        profile, schedule = pressure_for("DO I = 1, 10\n A(I) = X(I) + Y(I)\nENDDO")
+        assert minimum_registers(schedule) == profile.max_pressure
+
+
+class TestSchedulerComparison:
+    def test_pressure_well_defined_for_all_schedulers(self, fig1_lowered, fig1_dfg, fig4_machine):
+        from repro.sched import marker_schedule
+
+        for fn in (list_schedule, marker_schedule, sync_schedule):
+            schedule = fn(fig1_lowered, fig1_dfg, fig4_machine)
+            profile = register_pressure(schedule)
+            assert profile.max_pressure >= 1
+            assert profile.temporaries == 21  # Fig. 2 defines t1..t21
+
+    def test_pressure_bounded_by_temporaries(self):
+        for scheduler in (list_schedule, sync_schedule):
+            profile, _ = pressure_for(
+                "DO I = 1, 20\n A(I) = A(I-1) + X(I) * Y(I) - Z(I)\nENDDO",
+                scheduler,
+                paper_machine(4, 2),
+            )
+            assert profile.max_pressure <= profile.temporaries

@@ -1,0 +1,41 @@
+"""Schedule result type tests."""
+
+from repro.sched import list_schedule, paper_machine
+
+
+class TestDerivedQuantities:
+    def test_length_includes_trailing_latency(self, fig1_lowered, fig1_dfg):
+        machine = paper_machine(4, 1)
+        schedule = list_schedule(fig1_lowered, fig1_dfg, machine)
+        # If the last issue is a 1-cycle op, length == issue_cycles; a
+        # trailing multiply would extend it.
+        assert schedule.length >= schedule.issue_cycles
+
+    def test_bundles_partition_instructions(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        flat = [iid for bundle in schedule.bundles() for iid in bundle]
+        assert sorted(flat) == [i.iid for i in fig1_lowered.instructions]
+
+    def test_bundles_respect_cycles(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        for cycle, bundle in enumerate(schedule.bundles(), start=1):
+            for iid in bundle:
+                assert schedule.cycle_of[iid] == cycle
+
+    def test_span_sign_conventions(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        for pair in fig1_lowered.synced.pairs:
+            expected = schedule.send_cycle(pair.pair_id) - schedule.wait_cycle(pair.pair_id) + 1
+            assert schedule.span(pair.pair_id) == expected
+
+    def test_format_shows_empty_slots(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        text = schedule.format()
+        assert "(1, 2, 3, -)" in text
+        assert text.count("\n") + 1 == schedule.issue_cycles
+
+    def test_empty_schedule(self, fig1_lowered, fig4_machine):
+        from repro.sched.schedule import Schedule
+
+        empty = Schedule(machine=fig4_machine, lowered=fig1_lowered)
+        assert empty.length == 0 and empty.bundles() == []

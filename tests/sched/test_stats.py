@@ -1,0 +1,55 @@
+"""Schedule utilization statistics tests."""
+
+import pytest
+
+from repro.pipeline import compile_loop
+from repro.sched import figure4_machine, list_schedule, paper_machine, schedule_stats
+
+
+@pytest.fixture
+def fig1_stats(fig1_lowered, fig1_dfg, fig4_machine):
+    schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+    return schedule_stats(schedule)
+
+
+class TestCounts:
+    def test_instruction_count(self, fig1_stats):
+        assert fig1_stats.instructions == 27
+
+    def test_issue_slots(self, fig1_stats):
+        # 13 cycles x 4-issue = 52 slots, 27 used
+        assert fig1_stats.issue_slots_total == 52
+        assert fig1_stats.issue_slots_used == 27
+        assert fig1_stats.issue_utilization == pytest.approx(27 / 52)
+
+    def test_ipc(self, fig1_stats):
+        assert fig1_stats.ipc == pytest.approx(27 / 13)
+
+    def test_unit_busy_cycles(self, fig1_stats):
+        by_name = {u.name: u for u in fig1_stats.units}
+        # Fig. 2: 6 loads + 2 stores + 1 fused op-store = 9 on load/store
+        assert by_name["load/store"].busy_cycles == 9
+        # 2 waits + 1 send on the sync port
+        assert by_name["sync"].busy_cycles == 3
+        # t1..: 7 shifts
+        assert by_name["shifter"].busy_cycles == 7
+        assert by_name["multiplier"].busy_cycles == 1
+
+    def test_capacity_reflects_unit_count(self):
+        compiled = compile_loop("DO I = 1, 10\n A(I) = B(I) + C(I)\nENDDO")
+        schedule = list_schedule(compiled.lowered, compiled.graph, paper_machine(4, 2))
+        stats = schedule_stats(schedule)
+        ls = next(u for u in stats.units if u.name == "load/store")
+        assert ls.capacity_cycles == 2 * stats.length
+
+    def test_multicycle_units_count_latency(self):
+        compiled = compile_loop("DO I = 1, 10\n A(I) = B(I) * C(I)\nENDDO")
+        schedule = list_schedule(compiled.lowered, compiled.graph, paper_machine(2, 1))
+        stats = schedule_stats(schedule)
+        mul = next(u for u in stats.units if u.name == "multiplier")
+        assert mul.busy_cycles == 3  # one multiply, non-pipelined, 3 cycles
+
+    def test_format_mentions_all_units(self, fig1_stats, fig4_machine):
+        text = fig1_stats.format()
+        for unit in fig4_machine.units:
+            assert unit.name in text

@@ -1,0 +1,121 @@
+"""Sync-scheduler internals: the phase-0 pre-pass, deadline placement and
+resource-table interplay that the end-to-end tests exercise only
+indirectly."""
+
+from repro.dfg import find_sync_paths, partition
+from repro.pipeline import compile_loop
+from repro.sched import (
+    SyncSchedulerOptions,
+    assert_valid,
+    paper_machine,
+    sync_schedule,
+)
+from repro.sim import simulate_doacross
+
+
+def compiled_for(source):
+    return compile_loop(source)
+
+
+class TestPhase0PrePass:
+    # A self-recurrence on A1 (genuine SP) whose statement also reads
+    # A0(I-1): the convertible pair's wait is an ancestor of the SP's
+    # nodes, the exact situation phase 0 exists for.
+    SOURCE = """
+    DO I = 1, 100
+      S1: A1(I) = A1(I-2) + A0(I-1) + R1(I)
+      S2: A0(I) = R2(I) * R3(I+1) + R4(I-2)
+    ENDDO
+    """
+
+    def test_convertible_pair_not_dragged_early(self):
+        compiled = compiled_for(self.SOURCE)
+        machine = paper_machine(4, 1)
+        schedule = sync_schedule(compiled.lowered, compiled.graph, machine)
+        assert_valid(schedule, compiled.graph)
+        comps = partition(compiled.graph, compiled.lowered)
+        sp_pairs = {p.pair_id for p in find_sync_paths(compiled.graph, compiled.lowered, comps)}
+        convertible = [p for p in compiled.synced.pairs if p.pair_id not in sp_pairs]
+        assert convertible, "test setup: a convertible pair must exist"
+        for pair in convertible:
+            assert schedule.span(pair.pair_id) <= 0, "phase 0 should convert it"
+
+    def test_prepass_improves_time(self):
+        compiled = compiled_for(self.SOURCE)
+        machine = paper_machine(4, 1)
+        on = sync_schedule(compiled.lowered, compiled.graph, machine)
+        # disabling waits_after_sends disables the pre-pass too
+        off = sync_schedule(
+            compiled.lowered,
+            compiled.graph,
+            machine,
+            SyncSchedulerOptions(waits_after_sends=False, sends_before_waits=False),
+        )
+        t_on = simulate_doacross(on, 100).parallel_time
+        t_off = simulate_doacross(off, 100).parallel_time
+        assert t_on < t_off
+
+
+class TestDeadlinePlacement:
+    # Wait in the Sigwat component; its send lives in a separate Sig
+    # component (disjoint offsets) and should land before the wait.
+    SOURCE = """
+    DO I = 1, 100
+      S1: A1(I) = A1(I-1) + A0(I-2) + R1(I)
+      S2: A0(I+3) = R2(I-4) * R3(I+5)
+    ENDDO
+    """
+
+    def test_sig_graph_send_lands_before_wait(self):
+        compiled = compiled_for(self.SOURCE)
+        comps = partition(compiled.graph, compiled.lowered)
+        kinds = {c.kind.value for c in comps}
+        assert "sig" in kinds, "test setup: a separate Sig graph must exist"
+        machine = paper_machine(4, 1)
+        schedule = sync_schedule(compiled.lowered, compiled.graph, machine)
+        assert_valid(schedule, compiled.graph)
+        sig_pairs = [
+            p
+            for p in compiled.synced.pairs
+            if any(
+                c.kind.value == "sig"
+                and compiled.lowered.send_iids[p.pair_id] in c
+                for c in comps
+            )
+        ]
+        assert sig_pairs
+        for pair in sig_pairs:
+            assert schedule.span(pair.pair_id) <= 0
+
+
+class TestGuardOption:
+    def test_guarded_scheduler_name_changes_on_fallback(self):
+        """On the pinned cross-pair counterexample the guard falls back to
+        list scheduling and says so."""
+        from repro.workloads import GeneratorConfig, PlantedDep, generate_loop
+
+        config = GeneratorConfig(
+            statements=3,
+            deps=(PlantedDep(2, 0, 1), PlantedDep(0, 2, 1)),
+            seed=312,
+            noise_reads=(2, 3),
+            op_weights=(4, 2, 2, 1),
+        )
+        compiled = compile_loop(generate_loop(config))
+        schedule = sync_schedule(
+            compiled.lowered,
+            compiled.graph,
+            paper_machine(4, 2),
+            SyncSchedulerOptions(guard_never_degrade=True),
+        )
+        assert schedule.scheduler_name == "sync-aware/guarded->list"
+
+    def test_guard_keeps_sync_result_when_better(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = sync_schedule(
+            fig1_lowered,
+            fig1_dfg,
+            fig4_machine,
+            SyncSchedulerOptions(guard_never_degrade=True),
+        )
+        assert schedule.scheduler_name == "sync-aware"
+        assert schedule.span(0) == 7

@@ -1,0 +1,194 @@
+"""Sync-aware scheduler tests: Fig. 4(b) invariants and the algorithm's
+component rules."""
+
+import pytest
+
+from repro.codegen import lower_loop
+from repro.dfg import build_dfg, find_sync_paths, partition
+from repro.ir import parse_loop
+from repro.sched import (
+    SyncSchedulerOptions,
+    assert_valid,
+    list_schedule,
+    sync_schedule,
+)
+from repro.sync import insert_synchronization
+
+
+def compiled(source):
+    lowered = lower_loop(insert_synchronization(parse_loop(source)))
+    return lowered, build_dfg(lowered)
+
+
+class TestFig4b:
+    def test_same_length_as_list(self, fig1_lowered, fig1_dfg, fig4_machine):
+        """The paper's Fig. 4(b) also fits the iteration in 13 cycles."""
+        schedule = sync_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        assert schedule.length == 13
+
+    def test_sp_span_is_path_length(self, fig1_lowered, fig1_dfg, fig4_machine):
+        """Pair 0's synchronization path has 7 nodes -> span exactly 7
+        ('the parallel execution time is (N/2 * 7) + 13')."""
+        schedule = sync_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        assert schedule.span(0) == 7
+
+    def test_pair1_converted_to_lfd(self, fig1_lowered, fig1_dfg, fig4_machine):
+        """'there exists only one LBD' after the new scheduling."""
+        schedule = sync_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        assert schedule.span(1) <= 0
+        assert schedule.runtime_lbd_pairs() == [0]
+
+    def test_sp_nodes_contiguous(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = sync_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        comps = partition(fig1_dfg, fig1_lowered)
+        [path] = find_sync_paths(fig1_dfg, fig1_lowered, comps)
+        cycles = [schedule.cycle_of[n] for n in path.nodes]
+        assert cycles == list(range(cycles[0], cycles[0] + len(cycles)))
+
+    def test_valid(self, fig1_lowered, fig1_dfg, fig4_machine):
+        assert_valid(sync_schedule(fig1_lowered, fig1_dfg, fig4_machine), fig1_dfg)
+
+
+class TestConversionRules:
+    def test_independent_statements_pair_converted(self):
+        lowered, graph = compiled("DO I = 1, 10\n B(I) = A(I-1)\n A(I) = X(I)\nENDDO")
+        from repro.sched import figure4_machine
+
+        schedule = sync_schedule(lowered, graph, figure4_machine())
+        assert_valid(schedule, graph)
+        [pair] = lowered.synced.pairs
+        assert schedule.span(pair.pair_id) <= 0  # run-time LFD
+
+    def test_self_dependence_minimal_span(self):
+        lowered, graph = compiled("DO I = 1, 10\n A(I) = A(I-1)\nENDDO")
+        from repro.sched import figure4_machine
+
+        schedule = sync_schedule(lowered, graph, figure4_machine())
+        comps = partition(graph, lowered)
+        [path] = find_sync_paths(graph, lowered, comps)
+        assert schedule.span(0) == len(path)
+
+    def test_sig_and_wat_graph_pair_converted(self):
+        # Disjoint components for wait and send (distinct offsets).
+        lowered, graph = compiled("DO I = 1, 10\n B(I+2) = A(I-1)\n A(I+3) = X(I-4)\nENDDO")
+        from repro.sched import figure4_machine
+
+        schedule = sync_schedule(lowered, graph, figure4_machine())
+        assert_valid(schedule, graph)
+        [pair] = lowered.synced.pairs
+        assert schedule.span(pair.pair_id) <= 0
+
+    def test_doall_loop_schedulable(self):
+        lowered, graph = compiled("DO I = 1, 10\n A(I) = X(I) + Y(I)\nENDDO")
+        from repro.sched import figure4_machine
+
+        schedule = sync_schedule(lowered, graph, figure4_machine())
+        assert_valid(schedule, graph)
+        assert len(schedule.cycle_of) == len(lowered)
+
+
+class TestOptions:
+    @pytest.fixture
+    def machines(self):
+        from repro.sched import figure4_machine, paper_machine
+
+        return figure4_machine(), paper_machine(2, 1)
+
+    def test_contiguous_sp_off_still_valid(self, fig1_lowered, fig1_dfg, machines):
+        for machine in machines:
+            options = SyncSchedulerOptions(contiguous_sp=False)
+            schedule = sync_schedule(fig1_lowered, fig1_dfg, machine, options)
+            assert_valid(schedule, fig1_dfg)
+
+    def test_sp_order_variants_valid(self, fig1_lowered, fig1_dfg, fig4_machine):
+        for order in ("desc", "asc", "id"):
+            options = SyncSchedulerOptions(sp_order=order)
+            schedule = sync_schedule(fig1_lowered, fig1_dfg, fig4_machine, options)
+            assert_valid(schedule, fig1_dfg)
+
+    def test_all_rules_off_still_valid(self, fig1_lowered, fig1_dfg, fig4_machine):
+        """With every performance rule ablated the result is still a legal
+        schedule (the DFG arcs alone guarantee the sync conditions)."""
+        options = SyncSchedulerOptions(
+            contiguous_sp=False, sends_before_waits=False, waits_after_sends=False
+        )
+        schedule = sync_schedule(fig1_lowered, fig1_dfg, fig4_machine, options)
+        assert_valid(schedule, fig1_dfg)
+
+    def test_rules_off_loses_conversion(self):
+        lowered, graph = compiled("DO I = 1, 10\n B(I) = A(I-1)\n A(I) = X(I)\nENDDO")
+        from repro.sched import figure4_machine
+
+        off = SyncSchedulerOptions(sends_before_waits=False, waits_after_sends=False)
+        base = sync_schedule(lowered, graph, figure4_machine(), off)
+        on = sync_schedule(lowered, graph, figure4_machine())
+        [pair] = lowered.synced.pairs
+        assert base.span(pair.pair_id) > 0 >= on.span(pair.pair_id)
+
+
+class TestPathSpacing:
+    def test_side_chain_forces_wider_spacing(self):
+        """Livermore k19 shape: the sink's loaded value feeds, through the
+        whole first statement, the store the send follows — consecutive SP
+        nodes cannot be one cycle apart and the scheduler must widen."""
+        lowered, graph = compiled(
+            """
+            DO I = 1, 100
+              B5(I) = SA(I) + STB5 * SB(I)
+              STB5 = B5(I) - STB5
+            ENDDO
+            """
+        )
+        from repro.sched import paper_machine
+
+        schedule = sync_schedule(lowered, graph, paper_machine(4, 1))
+        assert_valid(schedule, graph)
+
+    def test_min_spacing_matches_longest_chain(self):
+        from repro.sched import paper_machine
+        from repro.sched.sync_scheduler import SyncSchedulerOptions, _SyncScheduler
+
+        lowered, graph = compiled(
+            """
+            DO I = 1, 100
+              B5(I) = SA(I) + STB5 * SB(I)
+              STB5 = B5(I) - STB5
+            ENDDO
+            """
+        )
+        sched = _SyncScheduler(lowered, graph, paper_machine(4, 1), SyncSchedulerOptions())
+        # Between the STB5 load (4) and the STB5 store (12) runs the chain
+        # load -> mul(3cy) -> add -> store B5 -> load B5 -> sub -> store.
+        assert sched.min_spacing(4, 12) >= 6
+        # The trivial case: direct producer/consumer keeps unit spacing.
+        fig1_like = graph  # any edge with no side chain
+        for edge in graph.edges:
+            if not (graph.descendants(edge.src) & graph.ancestors(edge.dst)):
+                assert sched.min_spacing(edge.src, edge.dst) == sched.latency(edge.src)
+                break
+
+
+class TestMultiplePaths:
+    def test_overlapping_paths_scheduled_together(self):
+        """Two self-dependences on one statement share an SP prefix."""
+        lowered, graph = compiled("DO I = 1, 20\n A(I) = A(I-1) + A(I-2)\nENDDO")
+        from repro.sched import figure4_machine
+
+        schedule = sync_schedule(lowered, graph, figure4_machine())
+        assert_valid(schedule, graph)
+        # both pairs keep positive spans (genuine recurrences)
+        assert all(schedule.span(p.pair_id) > 0 for p in lowered.synced.pairs)
+
+    def test_disjoint_paths_both_packed(self):
+        lowered, graph = compiled(
+            "DO I = 1, 20\n A(I) = A(I-1) + X(I)\n B(I+2) = B(I+1) * Y(I+3)\nENDDO"
+        )
+        from repro.sched import figure4_machine
+
+        schedule = sync_schedule(lowered, graph, figure4_machine())
+        assert_valid(schedule, graph)
+        comps = partition(graph, lowered)
+        paths = find_sync_paths(graph, lowered, comps)
+        assert len(paths) == 2
+        for path in paths:
+            assert schedule.span(path.pair_id) <= len(path) + 2  # tight packing

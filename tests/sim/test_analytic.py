@@ -1,0 +1,100 @@
+"""Closed-form time model tests, cross-checked against the simulator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir import parse_loop
+from repro.pipeline import compile_loop
+from repro.sched import figure4_machine, list_schedule, paper_machine, sync_schedule
+from repro.sim import (
+    lbd_parallel_time,
+    paper_lbd_formula,
+    predicted_parallel_time,
+    simulate_doacross,
+)
+from repro.sim.analytic import lbd_hops
+
+
+class TestFormulas:
+    def test_lfd_is_iteration_length(self):
+        assert lbd_parallel_time(n=100, d=1, span=0, l=13) == 13
+        assert lbd_parallel_time(n=100, d=1, span=-5, l=13) == 13
+
+    def test_single_hop_chain(self):
+        # two iterations, distance 1: one stall of `span`
+        assert lbd_parallel_time(n=2, d=1, span=7, l=13) == 7 + 13
+
+    def test_paper_fig4_numbers(self):
+        """(12N)+13 and (N/2)*7+13 in the paper's approximate counting."""
+        assert paper_lbd_formula(n=100, d=1, span=12, l=13) == 100 * 12 + 13
+        assert paper_lbd_formula(n=100, d=2, span=7, l=13) == 50 * 7 + 13
+
+    def test_exact_vs_paper_off_by_one(self):
+        exact = lbd_parallel_time(n=100, d=1, span=12, l=13)
+        assert exact == 99 * 12 + 13  # hops = floor((n-1)/d)
+
+    def test_hops(self):
+        assert lbd_hops(100, 1) == 99
+        assert lbd_hops(100, 2) == 49
+        assert lbd_hops(100, 3) == 33
+        assert lbd_hops(1, 1) == 0
+        assert lbd_hops(0, 5) == 0
+
+
+class TestSignalLatencyForm:
+    def test_per_hop_cost_includes_latency(self):
+        # span 5 at latency 1 = (i-j)+1 per hop; at latency 4, (i-j)+4.
+        base = lbd_parallel_time(n=10, d=1, span=5, l=20)
+        slow = lbd_parallel_time(n=10, d=1, span=5, l=20, signal_latency=4)
+        assert slow - base == 9 * 3
+
+    def test_lfd_with_slack_absorbs_latency(self):
+        # span -3 means the send finishes 4 cycles before the wait: up to
+        # latency 4 is free, beyond it stalls.
+        assert lbd_parallel_time(n=10, d=1, span=-3, l=20, signal_latency=4) == 20
+        assert lbd_parallel_time(n=10, d=1, span=-3, l=20, signal_latency=5) == 20 + 9
+
+    def test_matches_simulation_across_latencies(self):
+        compiled = compile_loop("DO I = 1, 50\n A(I) = A(I-3) * X(I)\nENDDO")
+        schedule = sync_schedule(compiled.lowered, compiled.graph, paper_machine(2, 1))
+        for latency in (0, 1, 2, 5, 9):
+            assert predicted_parallel_time(schedule, 50, latency) == simulate_doacross(
+                schedule, 50, signal_latency=latency
+            ).parallel_time
+
+
+class TestAgainstSimulator:
+    def test_single_pair_exact(self):
+        """For a single-LBD loop the closed form equals the simulation."""
+        compiled = compile_loop("DO I = 1, 100\n A(I) = A(I-1) + X(I)\nENDDO")
+        for machine in (figure4_machine(), paper_machine(2, 1)):
+            for scheduler in (list_schedule, sync_schedule):
+                schedule = scheduler(compiled.lowered, compiled.graph, machine)
+                sim = simulate_doacross(schedule)
+                assert predicted_parallel_time(schedule, 100) == sim.parallel_time
+
+    @given(n=st.integers(1, 150), d=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_single_pair_exact_across_n_and_d(self, n, d):
+        source = f"DO I = 1, {max(n, d + 1)}\n A(I) = A(I-{d}) + X(I)\nENDDO"
+        compiled = compile_loop(source)
+        schedule = sync_schedule(compiled.lowered, compiled.graph, figure4_machine())
+        sim = simulate_doacross(schedule, n)
+        assert predicted_parallel_time(schedule, n) == sim.parallel_time
+
+    def test_multi_pair_lower_bound(self, fig1_lowered, fig1_dfg, fig4_machine):
+        """With several pairs the max-over-pairs form is a lower bound."""
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        sim = simulate_doacross(schedule, 100)
+        assert predicted_parallel_time(schedule, 100) <= sim.parallel_time
+
+    def test_fig4_paper_values(self, fig1_lowered, fig1_dfg, fig4_machine):
+        """T_list = 99*12+13 and T_new = 49*7+13 in exact counting."""
+        t_list = simulate_doacross(
+            list_schedule(fig1_lowered, fig1_dfg, fig4_machine), 100
+        ).parallel_time
+        t_new = simulate_doacross(
+            sync_schedule(fig1_lowered, fig1_dfg, fig4_machine), 100
+        ).parallel_time
+        assert t_list == 99 * 12 + 13 == 1201
+        assert t_new == 49 * 7 + 13 == 356

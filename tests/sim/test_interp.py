@@ -1,0 +1,81 @@
+"""Serial interpreter tests."""
+
+import pytest
+
+from repro.ir import parse_loop
+from repro.sim import MemoryImage, run_serial
+
+
+class TestExecution:
+    def test_simple_assignment(self):
+        memory = run_serial(parse_loop("DO I = 1, 3\n A(I) = 2\nENDDO"), MemoryImage())
+        assert memory.get_array("A", 1, 3) == [2.0, 2.0, 2.0]
+
+    def test_reads_defaults(self):
+        memory = MemoryImage()
+        x1 = memory.read("X", 1)
+        run_serial(parse_loop("DO I = 1, 1\n A(I) = X(I)\nENDDO"), memory)
+        assert memory.read("A", 1) == x1
+
+    def test_recurrence_order(self):
+        memory = MemoryImage()
+        memory.set_array("A", [1.0], start=0)
+        run_serial(parse_loop("DO I = 1, 4\n A(I) = A(I-1) * 2\nENDDO"), memory)
+        assert memory.get_array("A", 1, 4) == [2.0, 4.0, 8.0, 16.0]
+
+    def test_scalar_accumulation(self):
+        memory = MemoryImage()
+        memory.write_scalar("S", 0.0)
+        memory.set_array("X", [1.0, 2.0, 3.0], start=1)
+        run_serial(parse_loop("DO I = 1, 3\n S = S + X(I)\nENDDO"), memory)
+        assert memory.read_scalar("S") == 6.0
+
+    def test_negative_subscripts_allowed(self):
+        memory = run_serial(parse_loop("DO I = 1, 2\n A(I-3) = 1\nENDDO"), MemoryImage())
+        assert memory.read("A", -2) == 1.0 and memory.read("A", -1) == 1.0
+
+    def test_sync_statements_ignored(self):
+        loop = parse_loop(
+            "DOACROSS I = 1, 3\n WAIT_SIGNAL(S1, I-1)\n S1: A(I) = A(I-1) + 1\n SEND_SIGNAL(S1)\nEND_DOACROSS"
+        )
+        memory = MemoryImage()
+        memory.set_array("A", [0.0], start=0)
+        run_serial(loop, memory)
+        assert memory.get_array("A", 1, 3) == [1.0, 2.0, 3.0]
+
+
+class TestTyping:
+    def test_integer_scalar_context(self):
+        """Subscripts computed from INT scalars use integer arithmetic."""
+        memory = MemoryImage()
+        memory.write_scalar("K", 2.0)
+        run_serial(parse_loop("DO I = 1, 1\n A(I + K) = 5\nENDDO"), memory)
+        assert memory.read("A", 3) == 5.0
+
+    def test_float_division_for_real_values(self):
+        memory = MemoryImage()
+        memory.set_array("X", [1.0], start=1)
+        memory.set_array("Y", [2.0], start=1)
+        run_serial(parse_loop("DO I = 1, 1\n A(I) = X(I) / Y(I)\nENDDO"), memory)
+        assert memory.read("A", 1) == 0.5
+
+    def test_non_integer_subscript_rejected(self):
+        memory = MemoryImage()
+        memory.write("H", 1, 2.5)
+        with pytest.raises(ValueError, match="subscript"):
+            run_serial(parse_loop("DO I = 1, 1\n A(H(I)) = 1\nENDDO"), memory)
+
+
+class TestBounds:
+    def test_symbolic_bounds_need_override(self):
+        loop = parse_loop("DO I = 1, N\n A(I) = 1\nENDDO")
+        with pytest.raises(ValueError):
+            run_serial(loop, MemoryImage())
+        memory = run_serial(loop, MemoryImage(), trip_override=(1, 4))
+        assert memory.read("A", 4) == 1.0
+
+    def test_empty_range(self):
+        memory = run_serial(
+            parse_loop("DO I = 1, 10\n A(I) = 1\nENDDO"), MemoryImage(), trip_override=(5, 4)
+        )
+        assert ("A", 5) not in memory.cells

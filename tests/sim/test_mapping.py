@@ -1,0 +1,76 @@
+"""Iteration-to-processor mapping tests (cyclic vs block)."""
+
+import pytest
+
+from repro.pipeline import compile_loop
+from repro.sched import paper_machine, sync_schedule
+from repro.sim import (
+    MemoryImage,
+    execute_parallel,
+    iteration_mapping,
+    run_serial,
+    simulate_doacross,
+)
+
+
+class TestMappingFunction:
+    def test_cyclic(self):
+        assert iteration_mapping(7, 3, "cyclic") == [[1, 4, 7], [2, 5], [3, 6]]
+
+    def test_block(self):
+        assert iteration_mapping(7, 3, "block") == [[1, 2, 3], [4, 5, 6], [7]]
+
+    def test_block_even(self):
+        assert iteration_mapping(6, 3, "block") == [[1, 2], [3, 4], [5, 6]]
+
+    def test_every_iteration_exactly_once(self):
+        for mapping in ("cyclic", "block"):
+            flat = sorted(
+                k for lst in iteration_mapping(13, 4, mapping) for k in lst
+            )
+            assert flat == list(range(1, 14))
+
+    def test_unknown_mapping_rejected(self):
+        with pytest.raises(ValueError, match="unknown mapping"):
+            iteration_mapping(4, 2, "diagonal")
+
+
+class TestMappingBehaviour:
+    @pytest.fixture
+    def schedule(self):
+        compiled = compile_loop("DO I = 1, 40\n A(I) = A(I-1) + X(I) * Y(I)\nENDDO")
+        return compiled, sync_schedule(compiled.lowered, compiled.graph, paper_machine(4, 1))
+
+    def test_block_worse_for_distance_one(self, schedule):
+        """With d=1 the carried chain crosses a block boundary only once per
+        chunk; the in-chunk part serializes on one processor, so block
+        mapping loses to cyclic."""
+        _, sched = schedule
+        cyclic = simulate_doacross(sched, 40, processors=4, mapping="cyclic")
+        block = simulate_doacross(sched, 40, processors=4, mapping="block")
+        assert block.parallel_time > cyclic.parallel_time
+
+    def test_mappings_agree_with_executor(self, schedule):
+        compiled, sched = schedule
+        reference = run_serial(compiled.synced.loop, MemoryImage())
+        for mapping in ("cyclic", "block"):
+            sim = simulate_doacross(sched, 40, processors=5, mapping=mapping)
+            result = execute_parallel(
+                sched, MemoryImage(), 40, processors=5, mapping=mapping
+            )
+            assert result.parallel_time == sim.parallel_time
+            assert result.memory == reference
+
+    def test_single_processor_mappings_identical(self, schedule):
+        _, sched = schedule
+        a = simulate_doacross(sched, 40, processors=1, mapping="cyclic")
+        b = simulate_doacross(sched, 40, processors=1, mapping="block")
+        assert a.parallel_time == b.parallel_time
+
+    def test_doall_block_equals_cyclic(self):
+        compiled = compile_loop("DO I = 1, 40\n A(I) = X(I) + Y(I)\nENDDO")
+        sched = sync_schedule(compiled.lowered, compiled.graph, paper_machine(4, 1))
+        for p in (2, 4, 8):
+            a = simulate_doacross(sched, 40, processors=p, mapping="cyclic")
+            b = simulate_doacross(sched, 40, processors=p, mapping="block")
+            assert a.parallel_time == b.parallel_time

@@ -1,0 +1,78 @@
+"""MemoryImage tests."""
+
+from repro.sim import MemoryImage
+from repro.sim.memory import default_value
+
+
+class TestDefaults:
+    def test_deterministic(self):
+        assert default_value("A", 3) == default_value("A", 3)
+        assert MemoryImage().read("A", 3) == MemoryImage().read("A", 3)
+
+    def test_varies_by_name_and_index(self):
+        values = {default_value(n, i) for n in "ABCX" for i in range(8)}
+        assert len(values) > 8
+
+    def test_never_zero(self):
+        for name in ("A", "R1", "LONGNAME"):
+            for i in range(-50, 200):
+                assert default_value(name, i) >= 2.0
+
+    def test_exactly_representable(self):
+        # multiples of 1/64 survive float round-trips
+        v = default_value("A", 7)
+        assert v * 64 == int(v * 64)
+
+
+class TestAccess:
+    def test_write_read(self):
+        m = MemoryImage()
+        m.write("A", 5, 1.25)
+        assert m.read("A", 5) == 1.25
+
+    def test_scalar_cells(self):
+        m = MemoryImage()
+        m.write_scalar("S", 2.5)
+        assert m.read_scalar("S") == 2.5
+        assert ("S", None) in m.cells
+
+    def test_set_get_array(self):
+        m = MemoryImage()
+        m.set_array("A", [1.0, 2.0, 3.0], start=1)
+        assert m.get_array("A", 1, 3) == [1.0, 2.0, 3.0]
+
+    def test_read_materializes_default(self):
+        m = MemoryImage()
+        v = m.read("A", 1)
+        assert m.cells[("A", 1)] == v
+
+    def test_copy_is_independent(self):
+        m = MemoryImage()
+        m.write("A", 1, 9.0)
+        c = m.copy()
+        c.write("A", 1, 3.0)
+        assert m.read("A", 1) == 9.0
+
+
+class TestComparison:
+    def test_equal_after_same_writes(self):
+        a, b = MemoryImage(), MemoryImage()
+        for m in (a, b):
+            m.write("A", 1, 4.0)
+        assert a == b
+
+    def test_materialization_asymmetry_harmless(self):
+        a, b = MemoryImage(), MemoryImage()
+        a.read("X", 7)  # materialize the default on one side only
+        assert a == b
+
+    def test_difference_detected_and_reported(self):
+        a, b = MemoryImage(), MemoryImage()
+        a.write("A", 1, 4.0)
+        b.write("A", 1, 5.0)
+        assert a != b
+        [(cell, va, vb)] = a.diff(b)
+        assert cell == ("A", 1) and va == 4.0 and vb == 5.0
+
+    def test_eq_against_other_types(self):
+        assert MemoryImage() != 42

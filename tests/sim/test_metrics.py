@@ -1,0 +1,43 @@
+"""Metric helper tests."""
+
+import pytest
+
+from repro.sim.metrics import BenchmarkTimes, improvement_percent, speedup, total_improvement
+
+
+class TestImprovement:
+    def test_basic(self):
+        assert improvement_percent(100, 20) == 80.0
+
+    def test_no_change(self):
+        assert improvement_percent(100, 100) == 0.0
+
+    def test_degradation_negative(self):
+        assert improvement_percent(100, 150) == -50.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0, 10)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(1000, 10) == 100.0
+
+    def test_zero_parallel_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+
+class TestAggregation:
+    def test_benchmark_times_row(self):
+        row = BenchmarkTimes("FLQ52", "2issue-fu1", t_list=200, t_new=50)
+        assert row.improvement == 75.0
+
+    def test_total_weighted_by_times(self):
+        rows = [
+            BenchmarkTimes("A", "c", 100, 50),  # 50%
+            BenchmarkTimes("B", "c", 900, 90),  # 90%
+        ]
+        # total over sums: (1000 - 140) / 1000
+        assert total_improvement(rows) == 86.0

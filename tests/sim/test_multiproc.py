@@ -1,0 +1,91 @@
+"""DOACROSS timing simulation tests."""
+
+import pytest
+
+from repro.pipeline import compile_loop
+from repro.sched import figure4_machine, list_schedule, sync_schedule
+from repro.sim import simulate_doacross
+
+
+def schedule_for(source, scheduler=list_schedule, machine=None):
+    compiled = compile_loop(source)
+    return scheduler(compiled.lowered, compiled.graph, machine or figure4_machine())
+
+
+class TestBasics:
+    def test_doall_time_is_iteration_length(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = X(I) + Y(I)\nENDDO")
+        sim = simulate_doacross(schedule)
+        assert sim.parallel_time == schedule.length
+        assert sim.total_stall == 0
+
+    def test_n_from_loop_bounds(self):
+        schedule = schedule_for("DO I = 1, 37\n A(I) = X(I)\nENDDO")
+        assert simulate_doacross(schedule).n == 37
+
+    def test_explicit_n_override(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = X(I)\nENDDO")
+        assert simulate_doacross(schedule, 5).n == 5
+
+    def test_zero_iterations(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = X(I)\nENDDO")
+        assert simulate_doacross(schedule, 0).parallel_time == 0
+
+    def test_one_iteration_no_stall(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = A(I-1)\nENDDO")
+        sim = simulate_doacross(schedule, 1)
+        assert sim.parallel_time == schedule.length
+
+    def test_negative_n_rejected(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = X(I)\nENDDO")
+        with pytest.raises(ValueError):
+            simulate_doacross(schedule, -1)
+
+
+class TestStallChains:
+    def test_finish_times_monotone_along_chain(self):
+        schedule = schedule_for("DO I = 1, 50\n A(I) = A(I-1) + X(I)\nENDDO")
+        sim = simulate_doacross(schedule)
+        assert sim.finish_times == sorted(sim.finish_times)
+
+    def test_stall_grows_linearly(self):
+        schedule = schedule_for("DO I = 1, 50\n A(I) = A(I-1) + X(I)\nENDDO")
+        sim = simulate_doacross(schedule)
+        span = schedule.span(0)
+        diffs = {
+            b - a for a, b in zip(sim.finish_times, sim.finish_times[1:])
+        }
+        assert diffs == {span}
+
+    def test_distance_two_halves_chain(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = A(I-2) + X(I)\nENDDO")
+        sim = simulate_doacross(schedule)
+        span = schedule.span(0)
+        assert sim.parallel_time == 49 * span + schedule.length
+
+    def test_lfd_schedule_no_stall(self):
+        schedule = schedule_for(
+            "DO I = 1, 100\n B(I) = A(I-1)\n A(I) = X(I)\nENDDO", sync_schedule
+        )
+        [pair] = schedule.lowered.synced.pairs
+        assert schedule.span(pair.pair_id) <= 0
+        sim = simulate_doacross(schedule)
+        assert sim.parallel_time == schedule.length
+
+    def test_multiple_pairs_stack(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        sim = simulate_doacross(schedule, 100)
+        # dominated by the d=1 pair but never less than either chain alone
+        assert sim.parallel_time >= 99 * schedule.span(1) + schedule.length
+
+
+class TestMetricsOnResult:
+    def test_speedup_and_serial_time(self):
+        schedule = schedule_for("DO I = 1, 100\n A(I) = X(I)\nENDDO")
+        sim = simulate_doacross(schedule)
+        assert sim.serial_time == 100 * schedule.length
+        assert sim.speedup == pytest.approx(100.0)
+
+    def test_iteration_length_exposed(self):
+        schedule = schedule_for("DO I = 1, 10\n A(I) = X(I)\nENDDO")
+        assert simulate_doacross(schedule).iteration_length == schedule.length

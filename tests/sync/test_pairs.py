@@ -1,0 +1,46 @@
+"""SyncPair and redundant-pair elimination tests."""
+
+from repro.sync.pairs import SyncPair, eliminate_redundant_pairs
+
+
+def pair(pid, src, snk, d):
+    return SyncPair(pair_id=pid, source_label=f"S{src+1}", source_pos=src, sink_pos=snk, distance=d)
+
+
+class TestClassification:
+    def test_lbd_when_source_at_or_after_sink(self):
+        assert pair(0, 2, 0, 1).is_lexically_backward
+        assert pair(0, 1, 1, 1).is_lexically_backward
+
+    def test_lfd_when_source_before_sink(self):
+        assert not pair(0, 0, 2, 1).is_lexically_backward
+
+
+class TestElimination:
+    def test_multiple_distance_covered(self):
+        p1 = pair(0, 2, 0, 1)
+        p2 = pair(1, 2, 0, 2)  # distance 2 covered by chained distance-1 waits
+        kept = eliminate_redundant_pairs([p1, p2])
+        assert kept == [p1]
+
+    def test_non_multiple_not_covered(self):
+        p1 = pair(0, 2, 0, 2)
+        p2 = pair(1, 2, 0, 3)
+        assert len(eliminate_redundant_pairs([p1, p2])) == 2
+
+    def test_lfd_chain_does_not_cover(self):
+        """The chain argument needs the covering pair to be LBD (wait
+        executes before send within an iteration)."""
+        p1 = pair(0, 0, 2, 1)  # LFD
+        p2 = pair(1, 0, 2, 2)
+        assert len(eliminate_redundant_pairs([p1, p2])) == 2
+
+    def test_different_statements_not_covered(self):
+        p1 = pair(0, 2, 0, 1)
+        p2 = pair(1, 2, 1, 2)
+        assert len(eliminate_redundant_pairs([p1, p2])) == 2
+
+    def test_empty_and_singleton(self):
+        assert eliminate_redundant_pairs([]) == []
+        p = pair(0, 1, 0, 1)
+        assert eliminate_redundant_pairs([p]) == [p]

@@ -1,0 +1,55 @@
+"""Insertion-level redundant-synchronization elimination tests."""
+
+from repro.ir import parse_loop
+from repro.ir.ast_nodes import WaitSignal
+from repro.pipeline import compile_loop
+from repro.sched import paper_machine, sync_schedule
+from repro.sim import MemoryImage, execute_parallel, run_serial
+from repro.sync import insert_synchronization
+
+# A(I) depends on A(I-1) and A(I-2) — same statement pair, distances 1 and
+# 2; the distance-2 wait is transitively covered by chaining distance-1.
+COVERED = "DO I = 1, 30\n A(I) = A(I-1) + A(I-2)\nENDDO"
+
+
+class TestInsertionFlag:
+    def test_default_keeps_all_pairs(self):
+        synced = insert_synchronization(parse_loop(COVERED))
+        assert len(synced.pairs) == 2
+        waits = [s for s in synced.loop.body if isinstance(s, WaitSignal)]
+        assert len(waits) == 2
+
+    def test_elimination_drops_covered_pair(self):
+        synced = insert_synchronization(parse_loop(COVERED), eliminate_redundant=True)
+        assert len(synced.pairs) == 1
+        assert synced.pairs[0].distance == 1
+        waits = [s for s in synced.loop.body if isinstance(s, WaitSignal)]
+        assert len(waits) == 1
+
+    def test_non_multiple_distances_kept(self):
+        loop = parse_loop("DO I = 1, 30\n A(I) = A(I-2) + A(I-3)\nENDDO")
+        synced = insert_synchronization(loop, eliminate_redundant=True)
+        assert len(synced.pairs) == 2
+
+    def test_eliminated_loop_still_correct(self):
+        """The chain argument is real: with the covered wait dropped, the
+        parallel execution still matches serial."""
+        loop = parse_loop(COVERED)
+        synced = insert_synchronization(loop, eliminate_redundant=True)
+        from repro.codegen import lower_loop
+        from repro.dfg import build_dfg
+
+        lowered = lower_loop(synced)
+        graph = build_dfg(lowered)
+        schedule = sync_schedule(lowered, graph, paper_machine(4, 1))
+        reference = run_serial(synced.loop, MemoryImage())
+        result = execute_parallel(schedule, MemoryImage())
+        assert result.memory == reference
+
+    def test_elimination_shortens_iteration(self):
+        base = compile_loop(COVERED)
+        loop = parse_loop(COVERED)
+        synced = insert_synchronization(loop, eliminate_redundant=True)
+        from repro.codegen import lower_loop
+
+        assert len(lower_loop(synced)) < len(base.lowered)

@@ -1,0 +1,86 @@
+"""Induction variable substitution tests."""
+
+from repro.deps import LoopClass, classify_loop
+from repro.ir import parse_loop
+from repro.sim import MemoryImage, run_serial
+from repro.transforms import find_induction_variables, substitute_induction
+
+
+class TestRecognition:
+    def test_plus_constant(self):
+        loop = parse_loop("DO I = 1, 10\n J = J + 2\n A(J) = X(I)\nENDDO")
+        [info] = find_induction_variables(loop)
+        assert info.name == "J" and info.step == 2
+
+    def test_minus_constant(self):
+        loop = parse_loop("DO I = 1, 10\n J = J - 1\n A(I) = X(J)\nENDDO")
+        [info] = find_induction_variables(loop)
+        assert info.step == -1
+
+    def test_commuted_form(self):
+        loop = parse_loop("DO I = 1, 10\n J = 3 + J\n A(I) = X(J)\nENDDO")
+        [info] = find_induction_variables(loop)
+        assert info.step == 3
+
+    def test_double_increment_disqualifies(self):
+        loop = parse_loop("DO I = 1, 10\n J = J + 1\n J = J + 2\n A(J) = 1\nENDDO")
+        assert find_induction_variables(loop) == []
+
+    def test_other_write_disqualifies(self):
+        loop = parse_loop("DO I = 1, 10\n J = J + 1\n J = X(I)\nENDDO")
+        assert find_induction_variables(loop) == []
+
+    def test_non_constant_step_disqualifies(self):
+        loop = parse_loop("DO I = 1, 10\n J = J + K\n A(J) = 1\nENDDO")
+        assert find_induction_variables(loop) == []
+
+
+class TestSubstitution:
+    def test_increment_deleted(self):
+        loop = parse_loop("DO I = 1, 10\n J = J + 1\n A(J) = X(I)\nENDDO")
+        new, _ = substitute_induction(loop)
+        assert len(new.body) == 1
+
+    def test_use_after_increment_gets_post_value(self):
+        loop = parse_loop("DO I = 1, 10\n J = J + 1\n A(J) = X(I)\nENDDO")
+        new, _ = substitute_induction(loop, bases={"J": 0})
+        # J after increment at iteration I (lower=1) is I - 1 + 1 = I.
+        serial = run_serial(new, MemoryImage())
+        ref = run_serial(
+            parse_loop("DO I = 1, 10\n A(I) = X(I)\nENDDO"), MemoryImage()
+        )
+        for i in range(1, 11):
+            assert serial.read("A", i) == ref.read("A", i)
+
+    def test_use_before_increment_gets_pre_value(self):
+        loop = parse_loop("DO I = 1, 10\n A(J + 1) = X(I)\n J = J + 1\nENDDO")
+        new, _ = substitute_induction(loop, bases={"J": 0})
+        # J before increment at iteration I is I - 1, so subscript is I.
+        ref = run_serial(parse_loop("DO I = 1, 10\n A(I) = X(I)\nENDDO"), MemoryImage())
+        out = run_serial(new, MemoryImage())
+        for i in range(1, 11):
+            assert out.read("A", i) == ref.read("A", i)
+
+    def test_makes_loop_parallelizable(self):
+        loop = parse_loop("DO I = 1, 10\n J = J + 1\n A(J) = X(I)\nENDDO")
+        assert classify_loop(loop) is LoopClass.SERIAL  # J subscript non-affine
+        new, _ = substitute_induction(loop)
+        assert classify_loop(new) is LoopClass.DOALL
+
+    def test_base_offset_applied(self):
+        loop = parse_loop("DO I = 1, 5\n J = J + 2\n A(J) = X(I)\nENDDO")
+        new, _ = substitute_induction(loop, bases={"J": 10})
+        out = run_serial(new, MemoryImage())
+        # writes land at 10 + 2*I for I = 1..5
+        for i in range(1, 6):
+            assert ("A", 10 + 2 * i) in out.cells
+
+    def test_symbolic_lower_bound_left_alone(self):
+        loop = parse_loop("DO I = K, 10\n J = J + 1\n A(J) = 1\nENDDO")
+        new, infos = substitute_induction(loop)
+        assert new is loop and infos == []
+
+    def test_no_induction_noop(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = X(I)\nENDDO")
+        new, infos = substitute_induction(loop)
+        assert new is loop and infos == []

@@ -1,0 +1,63 @@
+"""Restructuring driver tests."""
+
+from repro.deps import LoopClass
+from repro.ir import parse_loop
+from repro.transforms import restructure
+
+
+class TestRestructure:
+    def test_all_three_transforms_compose(self):
+        loop = parse_loop(
+            """
+            DO I = 1, 100
+              J = J + 2
+              T = A(I) * B(I)
+              C(J) = T + T
+              S = S + A(I)
+            ENDDO
+            """
+        )
+        result = restructure(loop)
+        assert [i.name for i in result.inductions] == ["J"]
+        assert [r.accumulator for r in result.reductions] == ["S"]
+        assert result.expanded_scalars == ["T"]
+        assert result.classification is LoopClass.DOALL
+
+    def test_doacross_loop_marked(self):
+        loop = parse_loop("DO I = 1, 100\n A(I) = A(I-1) + X(I)\nENDDO")
+        result = restructure(loop)
+        assert result.classification is LoopClass.DOACROSS
+        assert result.loop.is_doacross
+        assert not result.original.is_doacross
+
+    def test_doall_loop_not_marked_doacross(self):
+        loop = parse_loop("DO I = 1, 100\n A(I) = X(I)\nENDDO")
+        result = restructure(loop)
+        assert result.classification is LoopClass.DOALL
+        assert not result.loop.is_doacross
+
+    def test_serial_reported_not_raised(self):
+        loop = parse_loop("DO I = 1, 100\n A(K) = 1\n B(I) = A(I)\nENDDO")
+        result = restructure(loop)
+        assert result.classification is LoopClass.SERIAL
+
+    def test_graph_matches_final_loop(self):
+        loop = parse_loop("DO I = 1, 100\n A(I) = A(I-1)\nENDDO")
+        result = restructure(loop)
+        assert result.graph.loop is result.loop
+
+    def test_transform_ablation_switches(self):
+        loop = parse_loop("DO I = 1, 100\n S = S + X(I)\nENDDO")
+        kept = restructure(loop, apply_reduction=False)
+        assert kept.reductions == []
+        assert kept.classification is LoopClass.DOACROSS
+        replaced = restructure(loop)
+        assert replaced.classification is LoopClass.DOALL
+
+    def test_reduction_before_expansion(self):
+        """An accumulator must be replaced, not expanded (expansion is
+        illegal for it anyway, but the ordering keeps the pattern intact)."""
+        loop = parse_loop("DO I = 1, 100\n S = S + X(I)\n T = Y(I)\n A(I) = T\nENDDO")
+        result = restructure(loop)
+        assert [r.accumulator for r in result.reductions] == ["S"]
+        assert result.expanded_scalars == ["T"]

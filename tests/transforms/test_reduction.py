@@ -1,0 +1,89 @@
+"""Reduction recognition and replacement tests."""
+
+from repro.deps import LoopClass, classify_loop
+from repro.ir import ArrayRef, VarRef, parse_loop
+from repro.sim import MemoryImage, run_serial
+from repro.transforms import find_reductions, replace_reductions
+
+
+class TestRecognition:
+    def test_sum_recognized(self):
+        loop = parse_loop("DO I = 1, 10\n S = S + X(I)\nENDDO")
+        [info] = find_reductions(loop)
+        assert info.accumulator == "S" and info.op == "+" and not info.negate_partials
+
+    def test_product_recognized(self):
+        loop = parse_loop("DO I = 1, 10\n P = P * X(I)\nENDDO")
+        [info] = find_reductions(loop)
+        assert info.op == "*"
+
+    def test_commuted_form_recognized(self):
+        loop = parse_loop("DO I = 1, 10\n S = X(I) + S\nENDDO")
+        assert len(find_reductions(loop)) == 1
+
+    def test_subtraction_folds_as_negated_sum(self):
+        loop = parse_loop("DO I = 1, 10\n S = S - X(I)\nENDDO")
+        [info] = find_reductions(loop)
+        assert info.op == "+" and info.negate_partials
+
+    def test_accumulator_used_elsewhere_disqualifies(self):
+        loop = parse_loop("DO I = 1, 10\n S = S + X(I)\n A(I) = S\nENDDO")
+        assert find_reductions(loop) == []
+
+    def test_accumulator_in_operand_disqualifies(self):
+        loop = parse_loop("DO I = 1, 10\n S = S + S\nENDDO")
+        assert find_reductions(loop) == []
+
+    def test_subtracted_accumulator_not_a_reduction(self):
+        # S = X(I) - S alternates sign: not associative-foldable this way.
+        loop = parse_loop("DO I = 1, 10\n S = X(I) - S\nENDDO")
+        assert find_reductions(loop) == []
+
+    def test_array_target_not_a_reduction(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = A(I) + X(I)\nENDDO")
+        assert find_reductions(loop) == []
+
+
+class TestReplacement:
+    def test_rewrites_to_partial_array(self):
+        loop = parse_loop("DO I = 1, 10\n S = S + X(I)\nENDDO")
+        new, infos = replace_reductions(loop)
+        assert infos[0].partial_array == "S_red"
+        assert new.body[0].target == ArrayRef("S_red", VarRef("I"))
+        assert new.body[0].expr == ArrayRef("X", VarRef("I"))
+
+    def test_makes_loop_doall(self):
+        loop = parse_loop("DO I = 1, 10\n S = S + X(I)\nENDDO")
+        assert classify_loop(loop) is LoopClass.DOACROSS
+        new, _ = replace_reductions(loop)
+        assert classify_loop(new) is LoopClass.DOALL
+
+    def test_other_statements_untouched(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = X(I)\n S = S + X(I)\nENDDO")
+        new, _ = replace_reductions(loop)
+        assert new.body[0].target == ArrayRef("A", VarRef("I"))
+
+    def test_noop_without_reductions(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = X(I)\nENDDO")
+        new, infos = replace_reductions(loop)
+        assert new is loop and infos == []
+
+    def test_semantic_fold_matches_original(self):
+        """Folding the partials reproduces the serial accumulator value."""
+        loop = parse_loop("DO I = 1, 30\n S = S + X(I) * Y(I)\nENDDO")
+        new, [info] = replace_reductions(loop)
+        serial = run_serial(loop, MemoryImage())
+        partials = run_serial(new, MemoryImage())
+        s0 = MemoryImage().read_scalar("S")
+        folded = s0 + sum(partials.read(info.partial_array, i) for i in range(1, 31))
+        assert folded == serial.read_scalar("S")
+
+    def test_semantic_fold_subtraction(self):
+        loop = parse_loop("DO I = 1, 15\n S = S - X(I)\nENDDO")
+        new, [info] = replace_reductions(loop)
+        serial = run_serial(loop, MemoryImage())
+        partials = run_serial(new, MemoryImage())
+        s0 = MemoryImage().read_scalar("S")
+        sign = -1 if info.negate_partials else 1
+        folded = s0 + sign * sum(partials.read(info.partial_array, i) for i in range(1, 16))
+        assert folded == serial.read_scalar("S")

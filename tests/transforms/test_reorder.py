@@ -1,0 +1,87 @@
+"""Statement reordering (source-level LBD→LFD conversion) tests."""
+
+import pytest
+
+from repro.deps import analyze_loop, count_lfd_lbd
+from repro.ir import format_loop, parse_loop
+from repro.sim import MemoryImage, run_serial
+from repro.transforms import reorder_statements
+
+
+class TestConversion:
+    def test_independent_source_moves_before_sink(self):
+        loop = parse_loop("DO I = 1, 10\n B(I) = A(I-1)\n A(I) = X(I)\nENDDO")
+        result = reorder_statements(loop)
+        assert result.lbd_before == 1 and result.lbd_after == 0
+        assert result.permutation == [1, 0]
+
+    def test_blocked_by_loop_independent_dependence(self):
+        # sink's output feeds the source: moving the source up would break
+        # the d=0 flow on B
+        loop = parse_loop("DO I = 1, 10\n B(I) = A(I-1)\n A(I) = B(I)\nENDDO")
+        result = reorder_statements(loop)
+        assert result.lbd_after == result.lbd_before == 1
+        assert result.permutation == [0, 1]
+
+    def test_self_dependence_unconvertible(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = A(I-1)\nENDDO")
+        result = reorder_statements(loop)
+        assert result.lbd_after == 1
+
+    def test_chain_of_three(self):
+        loop = parse_loop(
+            "DO I = 1, 10\n C(I) = B(I-1)\n B(I) = A(I-1)\n A(I) = X(I)\nENDDO"
+        )
+        result = reorder_statements(loop)
+        assert result.lbd_after == 0
+        assert result.permutation == [2, 1, 0]
+
+    def test_lfd_preserved(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = X(I)\n B(I) = A(I-1)\nENDDO")
+        result = reorder_statements(loop)
+        assert count_lfd_lbd(analyze_loop(result.loop)).lfd == 1
+        assert result.lbd_after == 0
+
+    def test_converted_property(self):
+        loop = parse_loop("DO I = 1, 10\n B(I) = A(I-1)\n A(I) = X(I)\nENDDO")
+        result = reorder_statements(loop)
+        assert result.converted == 1
+
+
+class TestSafety:
+    def test_original_untouched(self):
+        loop = parse_loop("DO I = 1, 10\n B(I) = A(I-1)\n A(I) = X(I)\nENDDO")
+        before = format_loop(loop)
+        reorder_statements(loop)
+        assert format_loop(loop) == before
+
+    def test_semantics_preserved(self):
+        loop = parse_loop(
+            """
+            DO I = 1, 25
+              C(I) = B(I-1) * X(I)
+              B(I) = A(I-1) + Y(I)
+              A(I) = X(I) - Y(I)
+              D(I) = C(I) + B(I)
+            ENDDO
+            """
+        )
+        result = reorder_statements(loop)
+        assert run_serial(loop, MemoryImage()) == run_serial(result.loop, MemoryImage())
+
+    def test_rejects_synchronized_loop(self):
+        from repro.sync import insert_synchronization
+
+        loop = parse_loop("DO I = 1, 10\n B(I) = A(I-1)\n A(I) = X(I)\nENDDO")
+        synced = insert_synchronization(loop)
+        with pytest.raises(ValueError, match="before inserting"):
+            reorder_statements(synced.loop)
+
+    def test_d0_order_respected(self):
+        loop = parse_loop(
+            "DO I = 1, 10\n T9(I) = X(I)\n U(I) = T9(I) + A(I-1)\n A(I) = T9(I)\nENDDO"
+        )
+        result = reorder_statements(loop)
+        # T9's definition must stay before both uses
+        pos = {orig: new for new, orig in enumerate(result.permutation)}
+        assert pos[0] < pos[1] and pos[0] < pos[2]

@@ -1,0 +1,74 @@
+"""Scalar expansion tests, including semantic preservation."""
+
+import pytest
+
+from repro.deps import LoopClass, classify_loop
+from repro.ir import ArrayRef, VarRef, parse_loop
+from repro.sim import MemoryImage, run_serial
+from repro.transforms import expand_scalars, expandable_scalars
+
+
+class TestLegality:
+    def test_covered_scalar_is_expandable(self):
+        loop = parse_loop("DO I = 1, 10\n T = X(I)\n A(I) = T + 1\nENDDO")
+        assert expandable_scalars(loop) == ["T"]
+
+    def test_upward_exposed_scalar_not_expandable(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = T\n T = X(I)\nENDDO")
+        assert expandable_scalars(loop) == []
+
+    def test_read_only_scalar_not_expandable(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = C0 * X(I)\nENDDO")
+        assert expandable_scalars(loop) == []
+
+    def test_loop_index_never_expanded(self):
+        loop = parse_loop("DO I = 1, 10\n T = X(I)\n A(I) = T\nENDDO")
+        assert "I" not in expandable_scalars(loop)
+
+    def test_explicit_illegal_request_rejected(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = T\n T = X(I)\nENDDO")
+        with pytest.raises(ValueError, match="not legal"):
+            expand_scalars(loop, ["T"])
+
+
+class TestRewrite:
+    def test_target_and_uses_rewritten(self):
+        loop = parse_loop("DO I = 1, 10\n T = X(I)\n A(I) = T + T\nENDDO")
+        new, expanded = expand_scalars(loop)
+        assert expanded == ["T"]
+        assert new.body[0].target == ArrayRef("T_exp", VarRef("I"))
+        uses = [n for n in [new.body[1].expr.left, new.body[1].expr.right]]
+        assert all(u == ArrayRef("T_exp", VarRef("I")) for u in uses)
+
+    def test_original_loop_untouched(self):
+        loop = parse_loop("DO I = 1, 10\n T = X(I)\n A(I) = T\nENDDO")
+        expand_scalars(loop)
+        assert loop.body[0].target == VarRef("T")
+
+    def test_noop_when_nothing_expandable(self):
+        loop = parse_loop("DO I = 1, 10\n A(I) = X(I)\nENDDO")
+        new, expanded = expand_scalars(loop)
+        assert new is loop and expanded == []
+
+    def test_removes_carried_scalar_dependences(self):
+        loop = parse_loop("DO I = 1, 10\n T = X(I)\n A(I) = T\nENDDO")
+        assert classify_loop(loop) is LoopClass.DOACROSS  # anti/output on T
+        new, _ = expand_scalars(loop)
+        assert classify_loop(new) is LoopClass.DOALL
+
+    def test_subscript_uses_rewritten_too(self):
+        loop = parse_loop("DO I = 1, 10\n T = X(I)\n A(I) = B(I) + T\nENDDO")
+        new, _ = expand_scalars(loop)
+        assert "T_exp" in str(new.body[1].expr)
+
+
+class TestSemantics:
+    def test_array_state_preserved(self):
+        src = "DO I = 1, 20\n T = X(I) * Y(I)\n A(I) = T + T\n B(I) = T - 1\nENDDO"
+        loop = parse_loop(src)
+        new, _ = expand_scalars(loop)
+        before = run_serial(loop, MemoryImage())
+        after = run_serial(new, MemoryImage())
+        for i in range(1, 21):
+            assert before.read("A", i) == after.read("A", i)
+            assert before.read("B", i) == after.read("B", i)

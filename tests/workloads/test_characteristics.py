@@ -1,0 +1,49 @@
+"""Benchmark characteristics extraction tests."""
+
+from repro.ir import parse_loop
+from repro.workloads import characterize
+
+
+def loops(*sources):
+    return [parse_loop(s) for s in sources]
+
+
+class TestCharacterize:
+    def test_loop_class_counting(self):
+        ch = characterize(
+            "mix",
+            loops(
+                "DO I = 1, 10\n A(I) = X(I)\nENDDO",  # DOALL
+                "DO I = 1, 10\n A(I) = A(I-1)\nENDDO",  # DOACROSS
+                "DO I = 1, 10\n A(K) = 1\n B(I) = A(I)\nENDDO",  # SERIAL
+            ),
+        )
+        assert (ch.doall_loops, ch.doacross_loops, ch.serial_loops) == (1, 1, 1)
+        assert ch.total_loops == 3
+
+    def test_lfd_lbd_totals(self):
+        ch = characterize(
+            "dirs",
+            loops(
+                "DO I = 1, 10\n A(I) = X(I)\n B(I) = A(I-1)\nENDDO",  # 1 LFD
+                "DO I = 1, 10\n B(I) = A(I-1)\n A(I) = X(I)\nENDDO",  # 1 LBD
+                "DO I = 1, 10\n A(I) = A(I-2)\nENDDO",  # 1 LBD (self)
+            ),
+        )
+        assert ch.lfd == 1 and ch.lbd == 2
+
+    def test_all_lbd_flag(self):
+        only_lbd = characterize("x", loops("DO I = 1, 10\n A(I) = A(I-1)\nENDDO"))
+        assert only_lbd.all_lbd
+        none = characterize("y", loops("DO I = 1, 10\n A(I) = X(I)\nENDDO"))
+        assert not none.all_lbd
+
+    def test_statement_count(self):
+        ch = characterize(
+            "stmts", loops("DO I = 1, 10\n A(I) = 1\n B(I) = 2\nENDDO")
+        )
+        assert ch.total_statements == 2
+
+    def test_empty_corpus(self):
+        ch = characterize("empty", [])
+        assert ch.total_loops == 0 and ch.lfd == ch.lbd == 0

@@ -1,0 +1,79 @@
+"""Perfect-corpus tests: the Table 1 characteristics the paper states."""
+
+import pytest
+
+from repro.deps import LoopClass
+from repro.pipeline import compile_loop
+from repro.workloads import (
+    PERFECT_BENCHMARKS,
+    characterize,
+    perfect_benchmark,
+    perfect_suite,
+)
+
+
+class TestSuiteShape:
+    def test_five_benchmarks(self):
+        suite = perfect_suite()
+        assert tuple(suite) == PERFECT_BENCHMARKS == ("FLQ52", "QCD", "MDG", "TRACK", "ADM")
+
+    def test_every_corpus_nonempty(self):
+        for loops in perfect_suite().values():
+            assert len(loops) >= 5
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            perfect_benchmark("SPICE")
+
+    def test_case_insensitive_lookup(self):
+        assert len(perfect_benchmark("qcd")) == len(perfect_benchmark("QCD"))
+
+    def test_fresh_objects_per_call(self):
+        a = perfect_benchmark("QCD")
+        b = perfect_benchmark("QCD")
+        assert a[0] is not b[0]
+
+
+class TestPaperCharacteristics:
+    def test_flq52_qcd_track_all_lbd(self):
+        """Paper Table 1 prose: 'benchmarks FLQ52, QCD, and TRACK are all
+        LBD'."""
+        for name in ("FLQ52", "QCD", "TRACK"):
+            ch = characterize(name, perfect_benchmark(name))
+            assert ch.all_lbd, f"{name} should have only LBDs"
+
+    def test_mdg_adm_have_lfd(self):
+        for name in ("MDG", "ADM"):
+            ch = characterize(name, perfect_benchmark(name))
+            assert ch.lfd >= 1
+
+    def test_every_loop_compiles_to_doacross(self):
+        for name, loops in perfect_suite().items():
+            for loop in loops:
+                compiled = compile_loop(loop)
+                assert compiled.classification is LoopClass.DOACROSS, name
+
+    def test_every_loop_has_synchronization(self):
+        for loops in perfect_suite().values():
+            for loop in loops:
+                compiled = compile_loop(loop)
+                assert compiled.synced.pairs
+
+    def test_trip_counts_are_100(self):
+        """The paper: 'There are 100 iterations in each loop.'"""
+        from repro.ir.ast_nodes import Const
+
+        for loops in perfect_suite().values():
+            for loop in loops:
+                assert loop.lower == Const(1) and loop.upper == Const(100)
+
+
+class TestCharacterize:
+    def test_counts_consistent(self):
+        for name, loops in perfect_suite().items():
+            ch = characterize(name, loops)
+            assert ch.total_loops == len(loops)
+            assert (
+                ch.doall_loops + ch.doacross_loops + ch.serial_loops == ch.total_loops
+            )
+            assert ch.total_statements > 0
