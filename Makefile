@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-perf sweep
+
+# Tier-1: the fast correctness suite (what CI gates on).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Regenerate every paper table/figure under benchmarks/results/
+# (perf-marked timing benches stay skipped).
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q -s
+
+# Time the performance layer (cold vs cached vs parallel vs fast path)
+# and refresh benchmarks/results/perf_layer.txt + BENCH_perf.json.
+bench-perf:
+	$(PYTHON) -m pytest benchmarks/test_bench_perf.py --perf -q -s
+
+# The Table 2/3 sweep from the CLI (cached + fast path by default).
+sweep:
+	$(PYTHON) -m repro sweep

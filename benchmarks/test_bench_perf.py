@@ -1,0 +1,135 @@
+"""Perf layer bench: cold vs. cached vs. parallel vs. fast-path sweeps.
+
+Times the full Table 2 sweep (5 benchmarks x 4 machine cases, n=100) four
+ways and checks the acceptance properties of the performance layer:
+
+* every variant produces byte-identical ``t_list``/``t_new`` results;
+* the warm cached + fast-path sweep is >= 3x faster than the cold serial
+  exact-simulation sweep.
+
+Writes ``benchmarks/results/perf_layer.txt`` and ``BENCH_perf.json`` (repo
+root).  Timing-sensitive, so it is marked ``perf`` and skipped unless
+pytest runs with ``--perf`` (``make bench-perf``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro import CompileCache, ParallelEvaluator, evaluate_corpus, paper_machine
+from repro.workloads import perfect_suite
+
+from conftest import BENCHMARKS, PAPER_CASES, RESULTS_DIR, emit
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+N = 100
+
+
+def _sweep_serial(jobs, *, cache=None, exact_simulation=False):
+    return [
+        evaluate_corpus(name, loops, machine, n=N,
+                        cache=cache, exact_simulation=exact_simulation)
+        for name, loops, machine in jobs
+    ]
+
+
+def _times(results):
+    return [(ev.name, ev.machine.name, ev.t_list, ev.t_new) for ev in results]
+
+
+def test_perf_layer_speedups():
+    suite = perfect_suite()
+    jobs = [
+        (name, suite[name], paper_machine(*case))
+        for name in BENCHMARKS
+        for case in PAPER_CASES
+    ]
+
+    # Cold serial baseline: no cache, full O(n*waits) event simulation.
+    start = time.perf_counter()
+    cold = _sweep_serial(jobs, exact_simulation=True)
+    cold_s = time.perf_counter() - start
+
+    # First cached sweep: compiles each loop once (not once per case),
+    # analytic fast path on.
+    cache = CompileCache()
+    start = time.perf_counter()
+    cached_first = _sweep_serial(jobs, cache=cache)
+    cached_first_s = time.perf_counter() - start
+
+    # Warm cached sweep: pure cache hits + fast path (a re-run, as in
+    # iterating on a report or an ablation that shares sweep points).
+    start = time.perf_counter()
+    cached_warm = _sweep_serial(jobs, cache=cache)
+    cached_warm_s = time.perf_counter() - start
+
+    # Process-parallel sweep (cold workers, own caches).  At least two
+    # workers so the pool path is exercised even on a single-core host
+    # (where it is overhead-bound and the win comes from cache+fast path).
+    evaluator = ParallelEvaluator(max_workers=max(2, min(4, os.cpu_count() or 1)))
+    start = time.perf_counter()
+    parallel = evaluator.evaluate_corpora(jobs, n=N)
+    parallel_s = time.perf_counter() - start
+
+    # Byte-identical results across every variant.
+    reference = _times(cold)
+    assert _times(cached_first) == reference
+    assert _times(cached_warm) == reference
+    assert _times(parallel) == reference
+
+    stats = cache.stats
+    assert stats.compile_hits > 0 and stats.schedule_hits > 0
+
+    warm_speedup = cold_s / cached_warm_s if cached_warm_s else float("inf")
+    first_speedup = cold_s / cached_first_s if cached_first_s else float("inf")
+    parallel_speedup = cold_s / parallel_s if parallel_s else float("inf")
+
+    lines = [
+        f"Table 2 sweep ({len(BENCHMARKS)} benchmarks x {len(PAPER_CASES)} cases, n={N})",
+        f"{'variant':<28} {'seconds':>9} {'speedup':>9}",
+        f"{'cold serial (exact sim)':<28} {cold_s:>9.4f} {1.0:>8.2f}x",
+        f"{'cached first run':<28} {cached_first_s:>9.4f} {first_speedup:>8.2f}x",
+        f"{'cached warm + fast path':<28} {cached_warm_s:>9.4f} {warm_speedup:>8.2f}x",
+        f"{'parallel (pool={})'.format(evaluator.max_workers if evaluator.used_pool else 'serial-fallback'):<28}"
+        f" {parallel_s:>9.4f} {parallel_speedup:>8.2f}x"
+        + (f"  [{evaluator.fallback_reason}]" if evaluator.fallback_reason else ""),
+        f"cache: {stats.format()}",
+        "results byte-identical across variants: True",
+    ]
+    emit("perf_layer", "\n".join(lines))
+
+    payload = {
+        "sweep": {"benchmarks": list(BENCHMARKS), "cases": PAPER_CASES, "n": N},
+        "timings_s": {
+            "cold_serial_exact": round(cold_s, 6),
+            "cached_first": round(cached_first_s, 6),
+            "cached_warm_fastpath": round(cached_warm_s, 6),
+            "parallel": round(parallel_s, 6),
+        },
+        "speedups_vs_cold": {
+            "cached_first": round(first_speedup, 3),
+            "cached_warm_fastpath": round(warm_speedup, 3),
+            "parallel": round(parallel_speedup, 3),
+        },
+        "parallel_pool_used": evaluator.used_pool,
+        "cache_stats": {
+            "compile_hits": stats.compile_hits,
+            "compile_misses": stats.compile_misses,
+            "schedule_hits": stats.schedule_hits,
+            "schedule_misses": stats.schedule_misses,
+        },
+        "identical_results": True,
+    }
+    (REPO_ROOT / "BENCH_perf.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert warm_speedup >= 3.0, (
+        f"cached+fast-path sweep only {warm_speedup:.2f}x faster than cold "
+        f"({cached_warm_s:.4f}s vs {cold_s:.4f}s)"
+    )

@@ -25,7 +25,8 @@ analysis), :mod:`repro.transforms` (restructuring), :mod:`repro.sync`
 (synchronization insertion), :mod:`repro.codegen` (DLX lowering),
 :mod:`repro.dfg` (data-flow graph + Sigwat partition), :mod:`repro.sched`
 (schedulers), :mod:`repro.sim` (simulators), :mod:`repro.workloads`
-(benchmark corpora).
+(benchmark corpora), :mod:`repro.perf` (sweep-scale caching, process
+parallelism and profiling).
 """
 
 from repro.pipeline import (
@@ -38,16 +39,20 @@ from repro.pipeline import (
     evaluate_loop,
     evaluate_program,
 )
+from repro.perf import CompileCache, ParallelEvaluator, StageProfiler
 from repro.report import corpus_record, evaluation_record, schedule_record, to_json
 from repro.sched.machine import figure4_machine, paper_cases, paper_machine
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompileCache",
     "CompiledLoop",
     "CorpusEvaluation",
     "LoopEvaluation",
+    "ParallelEvaluator",
     "ProgramEvaluation",
+    "StageProfiler",
     "__version__",
     "compile_loop",
     "corpus_record",

@@ -10,10 +10,14 @@ Commands
               spans, utilization, optional Gantt/pressure views and the
               simulated parallel time.
 ``modulo``    software-pipeline the loop (extension): kernel, II, times.
-``sweep``     regenerate Tables 2/3 over the Perfect corpora.
+``sweep``     regenerate Tables 2/3 over the Perfect corpora, optionally
+              cached (default), process-parallel (``--jobs``) or with the
+              analytic fast path disabled (``--exact-sim``).
 ``dot``       emit the DFG as Graphviz DOT.
 
-Each command reads the loop from a file argument or stdin (``-``).
+Each command reads the loop from a file argument or stdin (``-``).  The
+global ``--profile`` flag times the pipeline stages of any command and
+prints a table to stderr (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -79,10 +83,15 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     machine = _machine(args)
     names = list(SCHEDULERS) if args.scheduler == "all" else [args.scheduler]
     results: list[tuple[str, Schedule, int]] = []
+    from repro.perf import profiled
+
     for name in names:
-        schedule = SCHEDULERS[name](compiled.lowered, compiled.graph, machine)
-        assert_valid(schedule, compiled.graph)
-        sim = simulate_doacross(schedule, args.n)
+        with profiled("schedule"):
+            schedule = SCHEDULERS[name](compiled.lowered, compiled.graph, machine)
+        with profiled("verify"):
+            assert_valid(schedule, compiled.graph)
+        with profiled("simulate"):
+            sim = simulate_doacross(schedule, args.n)
         results.append((name, schedule, sim.parallel_time))
         print(f"== {name} scheduling on {machine.name} ==")
         print(schedule.format())
@@ -137,13 +146,39 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     suite = perfect_suite()
     names = args.benchmarks or list(PERFECT_BENCHMARKS)
     cases = [(2, 1), (2, 2), (4, 1), (4, 2)]
-    from repro.pipeline import evaluate_corpus
+    jobs = [
+        (name, suite[name], paper_machine(*case)) for name in names for case in cases
+    ]
+    if args.jobs > 1:
+        from repro.perf import ParallelEvaluator
 
+        if args.no_cache:
+            print(
+                "note: --no-cache has no effect with --jobs > 1 "
+                "(workers keep their own caches)",
+                file=sys.stderr,
+            )
+        results = ParallelEvaluator(max_workers=args.jobs).evaluate_corpora(
+            jobs, n=args.n, exact_simulation=args.exact_sim
+        )
+    else:
+        from repro.perf import CompileCache
+        from repro.pipeline import evaluate_corpus
+
+        cache = None if args.no_cache else CompileCache()
+        results = [
+            evaluate_corpus(
+                name, loops, machine, n=args.n,
+                cache=cache, exact_simulation=args.exact_sim,
+            )
+            for name, loops, machine in jobs
+        ]
+    by_point = {(ev.name, ev.machine.name): ev for ev in results}
     print(f"{'bench':8s}" + "".join(f"{f'{w}i/{f}fu':>16s}" for w, f in cases))
     for name in names:
         cells = []
         for case in cases:
-            ev = evaluate_corpus(name, suite[name], paper_machine(*case), n=args.n)
+            ev = by_point[(name, paper_machine(*case).name)]
             cells.append(f"{ev.t_list}/{ev.t_new} {ev.improvement:4.0f}%")
         print(f"{name:8s}" + "".join(f"{c:>16s}" for c in cells))
     return 0
@@ -159,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hwang (IPPS 1997) instruction-scheduling reproduction toolkit",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the pipeline stages and print a report to stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -188,6 +228,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="Tables 2/3 over the Perfect corpora")
     p_sweep.add_argument("benchmarks", nargs="*", help="subset of corpora")
     p_sweep.add_argument("--n", type=int, default=100)
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the compile/schedule cache"
+    )
+    p_sweep.add_argument(
+        "--exact-sim",
+        action="store_true",
+        help="force the full event simulation (skip the analytic fast path)",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_dot = sub.add_parser("dot", help="emit the DFG as Graphviz DOT")
@@ -200,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    profiler = None
+    if args.profile:
+        from repro.perf import enable_profiling
+
+        profiler = enable_profiling()
     try:
         return args.func(args)
     except BrokenPipeError:
@@ -209,6 +265,12 @@ def main(argv: list[str] | None = None) -> int:
         except OSError:
             pass
         return 0
+    finally:
+        if profiler is not None:
+            from repro.perf import disable_profiling
+
+            disable_profiling()
+            print(f"\n== pipeline stage profile ==\n{profiler.format()}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

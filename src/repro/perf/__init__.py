@@ -1,0 +1,42 @@
+"""Sweep-scale performance layer.
+
+Three independent accelerators for the experiment harness:
+
+* :mod:`repro.perf.cache` — :class:`CompileCache`: a content-addressed
+  compile cache plus a per-machine schedule memo, so a sweep compiles each
+  loop once (not once per machine case) and a re-run schedules nothing.
+* :mod:`repro.perf.parallel` — :class:`ParallelEvaluator`: chunked
+  ``ProcessPoolExecutor`` fan-out of corpus/program evaluations with
+  deterministic, insertion-order result merging and a serial fallback.
+* :mod:`repro.perf.profile` — :class:`StageProfiler` and the
+  :func:`profiled` context manager: per-stage wall-clock instrumentation
+  behind ``repro --profile``.
+
+The third accelerator, the analytic fast path in
+:func:`repro.sim.multiproc.simulate_doacross`, lives with the simulator it
+short-circuits; see ``docs/performance.md`` for the whole layer.
+"""
+
+from repro.perf.cache import CacheStats, CompileCache, compiled_fingerprint, loop_key
+from repro.perf.parallel import ParallelEvaluator, chunked
+from repro.perf.profile import (
+    StageProfiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+    profiled,
+)
+
+__all__ = [
+    "CacheStats",
+    "CompileCache",
+    "ParallelEvaluator",
+    "StageProfiler",
+    "active_profiler",
+    "chunked",
+    "compiled_fingerprint",
+    "disable_profiling",
+    "enable_profiling",
+    "loop_key",
+    "profiled",
+]

@@ -1,0 +1,228 @@
+"""Content-addressed compile cache and schedule memo for parameter sweeps.
+
+Every sweep in this reproduction (Tables 2/3, the issue-width / register /
+unroll / signal-latency studies) evaluates the same loop corpus across many
+machine cases.  The front half of the pipeline — parse, dependence
+analysis, restructuring, synchronization insertion, lowering, DFG — is
+machine-independent, so a sweep only ever needs to run it once per
+``(loop, restructuring flags, fuse mode)``.  Likewise a re-run of the same
+sweep point needs no second scheduling pass: the schedules are a pure
+function of ``(compiled loop, machine, scheduler options)``.
+
+:class:`CompileCache` provides both layers:
+
+* ``compile()`` — content-addressed on the *canonical printed source* of
+  the loop (so a ``Loop`` AST and any whitespace variant of its source text
+  share an entry) plus the restructuring/fuse flags.  SERIAL loops are
+  negatively cached: the ``ValueError`` is replayed without recompiling.
+* ``schedules()`` — memoizes the (list, sync) schedule pair per
+  ``(lowered-code fingerprint, machine, list priority, sync options)``.
+  The fingerprint hashes the three-address listing plus the sync-pair
+  distances, so any two compilations of equivalent code share schedules.
+  Entries remember whether they have been validated against the DFG, so a
+  warm sweep skips re-verification of schedules that already passed.
+
+Keys are sha256 hex digests; ``max_entries`` bounds each layer with LRU
+eviction (unbounded by default — a full Perfect-suite sweep is ~40 loops).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.codegen import FuseStore
+from repro.ir.ast_nodes import Loop
+from repro.ir.printer import format_loop
+from repro.sched import MachineConfig, Priority, Schedule, SyncSchedulerOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: pipeline uses perf.profile
+    from repro.pipeline import CompiledLoop
+
+__all__ = ["CacheStats", "CompileCache", "compiled_fingerprint", "loop_key"]
+
+
+def loop_key(loop: Loop | str) -> str:
+    """Content hash of a loop: sha256 of its canonical printed form.
+
+    Source text is parsed and re-printed first, so formatting variants of
+    the same loop address the same cache entry.
+    """
+    if isinstance(loop, str):
+        from repro.ir.parser import parse_loop
+
+        loop = parse_loop(loop)
+    return hashlib.sha256(format_loop(loop).encode("utf-8")).hexdigest()
+
+
+def compiled_fingerprint(compiled: "CompiledLoop") -> str:
+    """Content hash of a compiled loop's machine-independent back-half
+    inputs: the three-address listing plus the sync-pair distances (which
+    weight the sync scheduler's SP ordering).  Memoized on the instance."""
+    cached = getattr(compiled, "_perf_fingerprint", None)
+    if cached is not None:
+        return cached
+    from repro.codegen import format_listing
+
+    pairs = ",".join(
+        f"{pair.pair_id}:{pair.distance}" for pair in compiled.lowered.synced.pairs
+    )
+    digest = hashlib.sha256(
+        (format_listing(compiled.lowered) + "\n" + pairs).encode("utf-8")
+    ).hexdigest()
+    compiled._perf_fingerprint = digest
+    return digest
+
+
+def _options_key(
+    list_priority: Priority, sync_options: SyncSchedulerOptions | None
+) -> tuple:
+    options = sync_options if sync_options is not None else SyncSchedulerOptions()
+    return (
+        list_priority.value,
+        options.contiguous_sp,
+        options.sp_order,
+        options.sends_before_waits,
+        options.waits_after_sends,
+        options.trip_count,
+        options.guard_never_degrade,
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for both cache layers."""
+
+    compile_hits: int = 0
+    compile_misses: int = 0
+    schedule_hits: int = 0
+    schedule_misses: int = 0
+
+    def format(self) -> str:
+        return (
+            f"compile {self.compile_hits} hits / {self.compile_misses} misses, "
+            f"schedule {self.schedule_hits} hits / {self.schedule_misses} misses"
+        )
+
+
+class _SerialLoop:
+    """Negative-cache sentinel: the loop compiled to SERIAL."""
+
+    def __init__(self, message: str):
+        self.message = message
+
+
+@dataclass
+class _ScheduleEntry:
+    schedule_list: Schedule
+    schedule_new: Schedule
+    verified: bool
+
+
+class CompileCache:
+    """Two-layer memo: compiled loops, and schedule pairs per machine."""
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._compiled: OrderedDict[tuple, "CompiledLoop | _SerialLoop"] = OrderedDict()
+        self._schedules: OrderedDict[tuple, _ScheduleEntry] = OrderedDict()
+
+    # -- compiled-loop layer -------------------------------------------------
+
+    def compile(
+        self,
+        loop: Loop | str,
+        apply_restructuring: bool = True,
+        fuse: FuseStore = FuseStore.BEFORE_SEND,
+    ) -> "CompiledLoop":
+        """Cached :func:`repro.pipeline.compile_loop`.
+
+        Raises the same ``ValueError`` as ``compile_loop`` for SERIAL
+        loops, replayed from the negative cache on a repeat.
+        """
+        key = (loop_key(loop), bool(apply_restructuring), fuse)
+        cached = self._compiled.get(key)
+        if cached is not None:
+            self.stats.compile_hits += 1
+            self._compiled.move_to_end(key)
+            if isinstance(cached, _SerialLoop):
+                raise ValueError(cached.message)
+            return cached
+        self.stats.compile_misses += 1
+        from repro.pipeline import compile_loop
+
+        try:
+            compiled = compile_loop(loop, apply_restructuring, fuse)
+        except ValueError as err:
+            self._store(self._compiled, key, _SerialLoop(str(err)))
+            raise
+        self._store(self._compiled, key, compiled)
+        return compiled
+
+    # -- schedule layer ------------------------------------------------------
+
+    def schedules(
+        self,
+        compiled: "CompiledLoop",
+        machine: MachineConfig,
+        list_priority: Priority = Priority.PROGRAM_ORDER,
+        sync_options: SyncSchedulerOptions | None = None,
+        verify: bool = True,
+    ) -> tuple[Schedule, Schedule]:
+        """Memoized (list, sync) schedule pair for one sweep point.
+
+        On a hit the stored schedules are returned as-is; when ``verify``
+        is requested they are validated at most once per entry (the pair
+        is immutable, so one successful check covers every reuse).
+        """
+        key = (
+            compiled_fingerprint(compiled),
+            machine,
+            _options_key(list_priority, sync_options),
+        )
+        entry = self._schedules.get(key)
+        if entry is not None:
+            self.stats.schedule_hits += 1
+            self._schedules.move_to_end(key)
+        else:
+            self.stats.schedule_misses += 1
+            from repro.sched import list_schedule, sync_schedule
+
+            entry = _ScheduleEntry(
+                schedule_list=list_schedule(
+                    compiled.lowered, compiled.graph, machine, list_priority
+                ),
+                schedule_new=sync_schedule(
+                    compiled.lowered, compiled.graph, machine, sync_options
+                ),
+                verified=False,
+            )
+            self._store(self._schedules, key, entry)
+        if verify and not entry.verified:
+            from repro.sched import assert_valid
+
+            assert_valid(entry.schedule_list, compiled.graph)
+            assert_valid(entry.schedule_new, compiled.graph)
+            entry.verified = True
+        return entry.schedule_list, entry.schedule_new
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _store(self, table: OrderedDict, key: tuple, value) -> None:
+        table[key] = value
+        table.move_to_end(key)
+        if self.max_entries is not None:
+            while len(table) > self.max_entries:
+                table.popitem(last=False)
+
+    def clear(self) -> None:
+        self._compiled.clear()
+        self._schedules.clear()
+
+    def __len__(self) -> int:
+        return len(self._compiled) + len(self._schedules)

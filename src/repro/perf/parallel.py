@@ -1,0 +1,165 @@
+"""Process-parallel corpus/program evaluation for large sweeps.
+
+A sweep is a list of independent work items — ``(name, loops, machine)``
+for :func:`repro.pipeline.evaluate_corpus` or ``(program, machine)`` for
+:func:`repro.pipeline.evaluate_program`.  :class:`ParallelEvaluator` fans
+the items out over a ``concurrent.futures.ProcessPoolExecutor`` in chunks
+(one pickle round-trip per chunk, not per item) and merges the results in
+**insertion order**: the output list always lines up index-for-index with
+the input jobs, regardless of which worker finished first.
+
+Each worker process keeps a process-global :class:`~repro.perf.cache.
+CompileCache`, so a sweep that revisits a loop on several machines
+compiles it once per worker rather than once per sweep point.
+
+The evaluator degrades gracefully to in-process serial execution when
+``max_workers=1``, when there is at most one job, or when the platform
+cannot provide a process pool (sandboxes without ``fork``/semaphores) —
+results are identical either way.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Sequence
+
+from repro.perf.cache import CompileCache
+from repro.perf.profile import StageProfiler, active_profiler, disable_profiling, enable_profiling
+from repro.sched import MachineConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.ast_nodes import Loop
+    from repro.pipeline import CorpusEvaluation, ProgramEvaluation
+
+__all__ = ["CorpusJob", "ParallelEvaluator", "ProgramJob", "chunked"]
+
+# (name, loops, machine) — one evaluate_corpus call.
+CorpusJob = "tuple[str, list[Loop], MachineConfig]"
+# (program source or Program, machine) — one evaluate_program call.
+ProgramJob = "tuple[object, MachineConfig]"
+
+
+def chunked(items: Sequence, size: int) -> list[list]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+# Process-global cache: reused by every chunk a worker executes.
+_WORKER_CACHE: CompileCache | None = None
+
+
+def _worker_cache() -> CompileCache:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = CompileCache()
+    return _WORKER_CACHE
+
+
+def _run_corpus_chunk(
+    chunk: list, n: int | None, kwargs: dict, profile: bool = False
+) -> tuple[list, StageProfiler | None]:
+    from repro.pipeline import evaluate_corpus
+
+    profiler = enable_profiling() if profile else None
+    try:
+        cache = _worker_cache()
+        results = [
+            evaluate_corpus(name, loops, machine, n, cache=cache, **kwargs)
+            for name, loops, machine in chunk
+        ]
+    finally:
+        if profile:
+            disable_profiling()
+    return results, profiler
+
+
+def _run_program_chunk(
+    chunk: list, n: int | None, kwargs: dict, profile: bool = False
+) -> tuple[list, StageProfiler | None]:
+    from repro.pipeline import evaluate_program
+
+    profiler = enable_profiling() if profile else None
+    try:
+        cache = _worker_cache()
+        results = [
+            evaluate_program(program, machine, n, cache=cache, **kwargs)
+            for program, machine in chunk
+        ]
+    finally:
+        if profile:
+            disable_profiling()
+    return results, profiler
+
+
+class ParallelEvaluator:
+    """Chunked process-pool fan-out with deterministic result order."""
+
+    def __init__(self, max_workers: int | None = None, chunk_size: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.max_workers = max_workers if max_workers is not None else os.cpu_count() or 1
+        self.chunk_size = chunk_size
+        self.used_pool = False  # whether the last run actually fanned out
+        self.fallback_reason: str | None = None  # why the last run stayed serial
+
+    def _resolve_chunk_size(self, n_jobs: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # ~4 chunks per worker balances load without drowning in pickling.
+        return max(1, -(-n_jobs // (self.max_workers * 4)))
+
+    def _map_chunks(self, worker, jobs: Sequence, n: int | None, kwargs: dict) -> list:
+        """Run ``worker`` over job chunks, serially or on a process pool;
+        either way the flattened results keep the jobs' insertion order."""
+        jobs = list(jobs)
+        self.used_pool = False
+        self.fallback_reason = None
+        if self.max_workers <= 1 or len(jobs) <= 1:
+            self.fallback_reason = "max_workers=1" if self.max_workers <= 1 else "single job"
+            # In-process: stages land on the main profiler directly.
+            return worker(jobs, n, kwargs)[0]
+        chunks = chunked(jobs, self._resolve_chunk_size(len(jobs)))
+        profiler = active_profiler()
+        try:
+            import concurrent.futures as cf
+
+            with cf.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [
+                    pool.submit(worker, chunk, n, kwargs, profiler is not None)
+                    for chunk in chunks
+                ]
+                per_chunk = [future.result() for future in futures]
+            self.used_pool = True
+        except (OSError, ImportError, PermissionError, NotImplementedError) as err:
+            # No usable process pool on this platform: serial fallback.
+            self.fallback_reason = f"{type(err).__name__}: {err}"
+            return worker(jobs, n, kwargs)[0]
+        results = []
+        for chunk_results, worker_profiler in per_chunk:
+            results.extend(chunk_results)
+            if profiler is not None and worker_profiler is not None:
+                profiler.merge(worker_profiler)
+        return results
+
+    def evaluate_corpora(
+        self, jobs: Sequence, n: int | None = None, **kwargs
+    ) -> "list[CorpusEvaluation]":
+        """Evaluate ``(name, loops, machine)`` jobs; results in job order.
+
+        ``kwargs`` are forwarded to :func:`repro.pipeline.evaluate_corpus`
+        (``apply_restructuring``, ``fuse``, ``exact_simulation``, ...) and
+        must be picklable when a pool is used.
+        """
+        return self._map_chunks(_run_corpus_chunk, jobs, n, kwargs)
+
+    def evaluate_programs(
+        self, jobs: Sequence, n: int | None = None, **kwargs
+    ) -> "list[ProgramEvaluation]":
+        """Evaluate ``(program_or_source, machine)`` jobs; results in job
+        order.  ``kwargs`` forward to :func:`repro.pipeline.
+        evaluate_program`."""
+        return self._map_chunks(_run_program_chunk, jobs, n, kwargs)

@@ -1,0 +1,119 @@
+"""Lightweight stage-timing instrumentation for the pipeline.
+
+A :class:`StageProfiler` accumulates wall-clock seconds and call counts per
+named stage ("parse", "deps", "sync", "lower", "dfg", "schedule", "verify",
+"simulate", ...).  The pipeline marks its stages with the module-level
+:func:`profiled` context manager, which is a no-op unless a profiler has
+been activated with :func:`enable_profiling` — so instrumented code pays
+one global read when profiling is off.
+
+``repro --profile <command>`` enables a profiler around any CLI command and
+prints the report to stderr; see ``docs/performance.md`` for the format.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "StageProfiler",
+    "active_profiler",
+    "disable_profiling",
+    "enable_profiling",
+    "profiled",
+]
+
+
+@dataclass
+class StageProfiler:
+    """Per-stage wall-clock accumulator: seconds and call counts."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump a counter without timing (cache hits, fast-path takes...)."""
+        self.calls[name] = self.calls.get(name, 0) + amount
+        self.seconds.setdefault(name, 0.0)
+
+    def merge(self, other: "StageProfiler") -> None:
+        """Fold another profiler's totals in (e.g. from a worker process)."""
+        for name, secs in other.seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + secs
+        for name, n in other.calls.items():
+            self.calls[name] = self.calls.get(name, 0) + n
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {"seconds": self.seconds[name], "calls": self.calls.get(name, 0)}
+            for name in self.seconds
+        }
+
+    def format(self) -> str:
+        """Aligned table, slowest stage first::
+
+            stage         calls   seconds  share
+            schedule        160     0.166  55.3%
+        """
+        if not self.seconds:
+            return "no stages recorded"
+        total = self.total_seconds or 1.0
+        rows = sorted(self.seconds.items(), key=lambda kv: -kv[1])
+        width = max(len("stage"), *(len(name) for name in self.seconds))
+        lines = [f"{'stage':<{width}}  {'calls':>7}  {'seconds':>9}  {'share':>6}"]
+        for name, secs in rows:
+            lines.append(
+                f"{name:<{width}}  {self.calls.get(name, 0):>7}  {secs:>9.4f}"
+                f"  {100.0 * secs / total:>5.1f}%"
+            )
+        lines.append(f"{'total':<{width}}  {'':>7}  {self.total_seconds:>9.4f}")
+        return "\n".join(lines)
+
+
+_ACTIVE: StageProfiler | None = None
+
+
+def enable_profiling(profiler: StageProfiler | None = None) -> StageProfiler:
+    """Install ``profiler`` (or a fresh one) as the active collector."""
+    global _ACTIVE
+    _ACTIVE = profiler if profiler is not None else StageProfiler()
+    return _ACTIVE
+
+
+def disable_profiling() -> StageProfiler | None:
+    """Deactivate and return the previously active profiler, if any."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, None
+    return previous
+
+
+def active_profiler() -> StageProfiler | None:
+    return _ACTIVE
+
+
+@contextmanager
+def profiled(name: str) -> Iterator[None]:
+    """Time a pipeline stage on the active profiler; no-op when disabled."""
+    profiler = _ACTIVE
+    if profiler is None:
+        yield
+    else:
+        with profiler.stage(name):
+            yield

@@ -8,17 +8,26 @@ simulation``.
 :func:`compile_loop` runs the front half once; :func:`evaluate_loop` runs
 both schedulers on a machine and simulates; :func:`evaluate_corpus` sums a
 benchmark corpus the way the paper's Table 2 does.
+
+Sweep-scale helpers (see :mod:`repro.perf` and ``docs/performance.md``):
+every driver accepts a ``cache`` (:class:`repro.perf.CompileCache`) so
+repeated sweep points reuse compilations and schedules, and an
+``exact_simulation`` flag that forces the full event walk instead of the
+analytic fast path.  All stages report wall-clock to the active
+:class:`~repro.perf.profile.StageProfiler` (``repro --profile``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.codegen import FuseStore, LoweredLoop, lower_loop
 from repro.deps import LoopClass
 from repro.dfg import DataFlowGraph, build_dfg
 from repro.ir.ast_nodes import Loop
 from repro.ir.parser import parse_loop
+from repro.perf.profile import profiled
 from repro.sched import (
     MachineConfig,
     Priority,
@@ -32,6 +41,9 @@ from repro.sim import MemoryImage, execute_parallel, run_serial, simulate_doacro
 from repro.sim.metrics import improvement_percent
 from repro.sync import SyncedLoop, insert_synchronization
 from repro.transforms import RestructureResult, restructure
+
+if TYPE_CHECKING:  # pragma: no cover - repro.perf.cache imports this module
+    from repro.perf.cache import CompileCache
 
 
 @dataclass
@@ -57,18 +69,23 @@ def compile_loop(
     """Front half of the pipeline.  Raises ``ValueError`` for SERIAL loops
     (the paper drops them from the study too)."""
     if isinstance(loop, str):
-        loop = parse_loop(loop)
-    if apply_restructuring:
-        restructured = restructure(loop)
-    else:
-        restructured = restructure(
-            loop, apply_induction=False, apply_expansion=False, apply_reduction=False
-        )
+        with profiled("parse"):
+            loop = parse_loop(loop)
+    with profiled("deps"):
+        if apply_restructuring:
+            restructured = restructure(loop)
+        else:
+            restructured = restructure(
+                loop, apply_induction=False, apply_expansion=False, apply_reduction=False
+            )
     if restructured.classification is LoopClass.SERIAL:
         raise ValueError("loop is SERIAL after restructuring; cannot be DOACROSS-scheduled")
-    synced = insert_synchronization(restructured.loop, restructured.graph)
-    lowered = lower_loop(synced, fuse=fuse)
-    graph = build_dfg(lowered)
+    with profiled("sync"):
+        synced = insert_synchronization(restructured.loop, restructured.graph)
+    with profiled("lower"):
+        lowered = lower_loop(synced, fuse=fuse)
+    with profiled("dfg"):
+        graph = build_dfg(lowered)
     return CompiledLoop(
         source=loop,
         restructured=restructured,
@@ -103,34 +120,49 @@ def evaluate_loop(
     check_semantics: bool = False,
     list_priority: Priority = Priority.PROGRAM_ORDER,
     sync_options: SyncSchedulerOptions | None = None,
+    exact_simulation: bool = False,
+    cache: "CompileCache | None" = None,
 ) -> LoopEvaluation:
     """Schedule with both algorithms and simulate the DOACROSS execution.
 
     ``verify`` re-checks both schedules against the DFG and machine;
     ``check_semantics`` additionally executes both schedules against real
     memory and compares with serial execution (slower; used by tests).
+    ``cache`` memoizes the (list, sync) schedule pair per machine and
+    scheduler options; ``exact_simulation`` disables the analytic fast
+    path of :func:`repro.sim.simulate_doacross`.
     """
-    sched_list = list_schedule(compiled.lowered, compiled.graph, machine, list_priority)
-    sched_new = sync_schedule(compiled.lowered, compiled.graph, machine, sync_options)
-    if verify:
-        assert_valid(sched_list, compiled.graph)
-        assert_valid(sched_new, compiled.graph)
-    sim_list = simulate_doacross(sched_list, n)
-    sim_new = simulate_doacross(sched_new, n)
+    if cache is not None:
+        with profiled("schedule"):
+            sched_list, sched_new = cache.schedules(
+                compiled, machine, list_priority, sync_options, verify=verify
+            )
+    else:
+        with profiled("schedule"):
+            sched_list = list_schedule(compiled.lowered, compiled.graph, machine, list_priority)
+            sched_new = sync_schedule(compiled.lowered, compiled.graph, machine, sync_options)
+        if verify:
+            with profiled("verify"):
+                assert_valid(sched_list, compiled.graph)
+                assert_valid(sched_new, compiled.graph)
+    with profiled("simulate"):
+        sim_list = simulate_doacross(sched_list, n, exact_simulation=exact_simulation)
+        sim_new = simulate_doacross(sched_new, n, exact_simulation=exact_simulation)
     if check_semantics:
-        reference = run_serial(compiled.synced.loop, MemoryImage())
-        for sched, sim in ((sched_list, sim_list), (sched_new, sim_new)):
-            result = execute_parallel(sched, MemoryImage(), n)
-            if result.memory != reference:
-                raise AssertionError(
-                    f"{sched.scheduler_name}: parallel memory differs from serial: "
-                    f"{result.memory.diff(reference)[:5]}"
-                )
-            if result.parallel_time != sim.parallel_time:
-                raise AssertionError(
-                    f"{sched.scheduler_name}: executor time {result.parallel_time} "
-                    f"!= timing simulation {sim.parallel_time}"
-                )
+        with profiled("semantics"):
+            reference = run_serial(compiled.synced.loop, MemoryImage())
+            for sched, sim in ((sched_list, sim_list), (sched_new, sim_new)):
+                result = execute_parallel(sched, MemoryImage(), n)
+                if result.memory != reference:
+                    raise AssertionError(
+                        f"{sched.scheduler_name}: parallel memory differs from serial: "
+                        f"{result.memory.diff(reference)[:5]}"
+                    )
+                if result.parallel_time != sim.parallel_time:
+                    raise AssertionError(
+                        f"{sched.scheduler_name}: executor time {result.parallel_time} "
+                        f"!= timing simulation {sim.parallel_time}"
+                    )
     return LoopEvaluation(
         compiled=compiled,
         machine=machine,
@@ -163,18 +195,39 @@ class CorpusEvaluation:
         return improvement_percent(self.t_list, self.t_new)
 
 
+def _compile(
+    loop: Loop | str,
+    apply_restructuring: bool,
+    fuse: FuseStore,
+    cache: "CompileCache | None",
+) -> CompiledLoop:
+    if cache is not None:
+        return cache.compile(loop, apply_restructuring, fuse)
+    return compile_loop(loop, apply_restructuring, fuse)
+
+
 def evaluate_corpus(
     name: str,
     loops: list[Loop],
     machine: MachineConfig,
     n: int | None = None,
+    apply_restructuring: bool = True,
+    fuse: FuseStore = FuseStore.BEFORE_SEND,
+    cache: "CompileCache | None" = None,
     **kwargs,
 ) -> CorpusEvaluation:
-    """Compile and evaluate every loop of a corpus on one machine."""
+    """Compile and evaluate every loop of a corpus on one machine.
+
+    ``apply_restructuring`` and ``fuse`` forward to :func:`compile_loop`
+    (and into the cache key when ``cache`` is given); remaining keyword
+    arguments forward to :func:`evaluate_loop`.
+    """
     result = CorpusEvaluation(name=name, machine=machine)
     for loop in loops:
-        compiled = compile_loop(loop)
-        result.evaluations.append(evaluate_loop(compiled, machine, n, **kwargs))
+        compiled = _compile(loop, apply_restructuring, fuse, cache)
+        result.evaluations.append(
+            evaluate_loop(compiled, machine, n, cache=cache, **kwargs)
+        )
     return result
 
 
@@ -211,22 +264,30 @@ def evaluate_program(
     program_or_source,
     machine: MachineConfig,
     n: int | None = None,
+    apply_restructuring: bool = True,
+    fuse: FuseStore = FuseStore.BEFORE_SEND,
+    cache: "CompileCache | None" = None,
     **kwargs,
 ) -> ProgramEvaluation:
-    """Evaluate every loop of a compilation unit (Fig. 5 at program scope)."""
+    """Evaluate every loop of a compilation unit (Fig. 5 at program scope).
+
+    Compile options and ``cache`` behave as in :func:`evaluate_corpus`.
+    """
     from repro.ir.parser import parse_program
 
-    program = (
-        parse_program(program_or_source)
-        if isinstance(program_or_source, str)
-        else program_or_source
-    )
+    if isinstance(program_or_source, str):
+        with profiled("parse"):
+            program = parse_program(program_or_source)
+    else:
+        program = program_or_source
     result = ProgramEvaluation(program=program, machine=machine)
     for index, loop in enumerate(program.loops):
         try:
-            compiled = compile_loop(loop)
+            compiled = _compile(loop, apply_restructuring, fuse, cache)
         except ValueError:
             result.serial_loops.append(index)
             continue
-        result.evaluations.append(evaluate_loop(compiled, machine, n, **kwargs))
+        result.evaluations.append(
+            evaluate_loop(compiled, machine, n, cache=cache, **kwargs)
+        )
     return result

@@ -4,7 +4,10 @@
   execution time model (Section 2) in exact form.
 * :mod:`repro.sim.multiproc` — timing simulation of the DOACROSS execution:
   one iteration per processor, stalls at waits until the producing
-  iteration's send, parallel time = last finish.
+  iteration's send, parallel time = last finish.  When at most one pair
+  can stall the Section 2 closed form is provably exact and
+  :func:`simulate_doacross` returns it in ``O(pairs)`` instead of walking
+  iterations (``exact_simulation=True`` forces the full walk).
 * :mod:`repro.sim.memory` / :mod:`repro.sim.executor` — semantic execution:
   the scheduled code is run against real array state, cycle by cycle across
   all processors, to prove no stale data is read.
@@ -19,11 +22,17 @@ from repro.sim.executor import execute_parallel
 from repro.sim.interp import run_serial
 from repro.sim.memory import MemoryImage
 from repro.sim.metrics import improvement_percent, speedup
-from repro.sim.multiproc import SimulationResult, iteration_mapping, simulate_doacross
+from repro.sim.multiproc import (
+    SimulationResult,
+    analytic_fast_path,
+    iteration_mapping,
+    simulate_doacross,
+)
 
 __all__ = [
     "MemoryImage",
     "SimulationResult",
+    "analytic_fast_path",
     "execute_parallel",
     "improvement_percent",
     "iteration_mapping",

@@ -20,6 +20,16 @@ Because signals only flow from lower to higher iterations and same-
 processor predecessors are lower iterations too, iterations can be
 resolved in increasing order in a single pass — the simulation is exact
 and costs ``O(n · waits)``.
+
+When at most one synchronization pair can stall, the Section 2 closed
+form (:mod:`repro.sim.analytic`) gives the same answer without walking
+iterations: :func:`simulate_doacross` detects that case in ``O(pairs)``
+and returns the analytic result directly (the per-iteration stall is
+``floor((k-1)/d) · per_hop``, so even the finish times are a closed
+form).  Pass ``exact_simulation=True`` to force the full event walk —
+the fast path is only taken when it is provably exact, so the results
+are identical either way; the flag exists as an escape hatch and for
+differential testing.
 """
 
 from __future__ import annotations
@@ -100,12 +110,87 @@ def iteration_mapping(n: int, processors: int, mapping: str) -> list[list[int]]:
     raise ValueError(f"unknown mapping {mapping!r}; use 'cyclic' or 'block'")
 
 
+def analytic_fast_path(
+    schedule: Schedule,
+    n: int,
+    signal_latency: int = 1,
+) -> SimulationResult | None:
+    """The closed-form result when it is provably exact, else ``None``.
+
+    Preconditions checked (all with one iteration per processor):
+
+    * **No pair stalls** — every pair has ``send + latency <= wait``
+      (``per_hop <= 0``): no iteration ever waits, the parallel time is
+      the iteration length ``l``.
+    * **Exactly one pair stalls**, its send does not precede its wait
+      (so each stall compounds through the chain — with
+      ``signal_latency > 1`` a pair can have ``per_hop > 0`` yet issue
+      its send *before* its wait, and the chain does not compound), and
+      every pair processed before it in the simulator's wait order issues
+      its send before the stalling pair's wait (so the producer-side
+      stall cannot leak into it).  Then iteration ``k`` stalls exactly
+      ``floor((k-1)/d) * per_hop`` cycles — the Section 2 formula of
+      :func:`repro.sim.analytic.lbd_parallel_time`.
+
+    Detection is ``O(pairs)``; materializing the per-iteration finish
+    times is a closed-form fill with no per-wait inner loop.
+    """
+    lowered = schedule.lowered
+    length = schedule.length
+    waits: list[tuple[int, int, int]] = []
+    stalling: list[tuple[int, int, int]] = []
+    for pair in lowered.synced.pairs:
+        item = (
+            schedule.wait_cycle(pair.pair_id),
+            pair.distance,
+            schedule.send_cycle(pair.pair_id),
+        )
+        waits.append(item)
+        if item[2] - item[0] + signal_latency > 0:
+            stalling.append(item)
+
+    if not stalling:
+        return SimulationResult(
+            schedule=schedule,
+            n=n,
+            parallel_time=length if n else 0,
+            finish_times=[length] * n,
+            total_stall=0,
+            processors=n,
+            signal_latency=signal_latency,
+        )
+    if len(stalling) > 1:
+        return None
+    wait_cycle, distance, send_cycle = stalling[0]
+    if send_cycle < wait_cycle:
+        return None  # stall does not compound; not the Section 2 chain
+    for other_wait, other_distance, other_send in waits:
+        if (other_wait, other_distance, other_send) < stalling[0]:
+            # Processed before the stalling pair, so its wait sees none of
+            # that pair's stall — safe only if its producer-side send is
+            # also unaffected (issued before the stalling pair's wait).
+            if other_send >= wait_cycle:
+                return None
+    per_hop = send_cycle - wait_cycle + signal_latency
+    finish_times = [length + ((k - 1) // distance) * per_hop for k in range(1, n + 1)]
+    return SimulationResult(
+        schedule=schedule,
+        n=n,
+        parallel_time=finish_times[-1] if n else 0,
+        finish_times=finish_times,
+        total_stall=sum(finish_times) - n * length,
+        processors=n,
+        signal_latency=signal_latency,
+    )
+
+
 def simulate_doacross(
     schedule: Schedule,
     n: int | None = None,
     processors: int | None = None,
     signal_latency: int = 1,
     mapping: str = "cyclic",
+    exact_simulation: bool = False,
 ) -> SimulationResult:
     """Simulate ``n`` iterations (default: the loop's constant trip count).
 
@@ -113,7 +198,9 @@ def simulate_doacross(
     processor setting); smaller values fold iterations per ``mapping``
     (see :func:`iteration_mapping`).  ``signal_latency`` is the cycles
     between a send's issue and the signal becoming visible to a waiting
-    processor (paper: 1).
+    processor (paper: 1).  ``exact_simulation=True`` forces the full
+    ``O(n · waits)`` event walk even when the ``O(pairs)`` analytic fast
+    path (:func:`analytic_fast_path`) would be exact.
     """
     lowered = schedule.lowered
     if n is None:
@@ -131,6 +218,11 @@ def simulate_doacross(
         raise ValueError("need at least one processor")
     if signal_latency < 0:
         raise ValueError("signal latency must be non-negative")
+
+    if not exact_simulation and processors >= n:
+        fast = analytic_fast_path(schedule, n, signal_latency)
+        if fast is not None:
+            return fast
 
     # Waits of the schedule in issue-cycle order, with (distance, send cycle).
     waits: list[tuple[int, int, int]] = []  # (wait_cycle, distance, send_cycle)

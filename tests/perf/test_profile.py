@@ -1,0 +1,104 @@
+"""StageProfiler and the pipeline's profiled() instrumentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import (
+    StageProfiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+    profiled,
+)
+from repro.pipeline import compile_loop, evaluate_loop
+from repro.sched import paper_machine
+
+LOOP = "DO I = 1, 40\n A(I) = A(I-2) + X(I)\nENDDO"
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiler_state():
+    disable_profiling()
+    yield
+    disable_profiling()
+
+
+class TestStageProfiler:
+    def test_records_seconds_and_calls(self):
+        profiler = StageProfiler()
+        with profiler.stage("work"):
+            pass
+        with profiler.stage("work"):
+            pass
+        assert profiler.calls["work"] == 2
+        assert profiler.seconds["work"] >= 0.0
+
+    def test_counters_without_timing(self):
+        profiler = StageProfiler()
+        profiler.count("cache-hit")
+        profiler.count("cache-hit", 3)
+        assert profiler.calls["cache-hit"] == 4
+        assert profiler.seconds["cache-hit"] == 0.0
+
+    def test_merge_folds_workers_in(self):
+        a, b = StageProfiler(), StageProfiler()
+        with a.stage("x"):
+            pass
+        with b.stage("x"):
+            pass
+        with b.stage("y"):
+            pass
+        a.merge(b)
+        assert a.calls == {"x": 2, "y": 1}
+
+    def test_format_lists_stages(self):
+        profiler = StageProfiler()
+        with profiler.stage("schedule"):
+            pass
+        text = profiler.format()
+        assert "schedule" in text and "total" in text
+
+    def test_format_empty(self):
+        assert StageProfiler().format() == "no stages recorded"
+
+    def test_records_exception_time(self):
+        profiler = StageProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.stage("boom"):
+                raise RuntimeError("x")
+        assert profiler.calls["boom"] == 1
+
+    def test_as_dict_shape(self):
+        profiler = StageProfiler()
+        with profiler.stage("s"):
+            pass
+        assert set(profiler.as_dict()["s"]) == {"seconds", "calls"}
+
+
+class TestGlobalHook:
+    def test_profiled_noop_when_disabled(self):
+        assert active_profiler() is None
+        with profiled("anything"):
+            pass  # must not raise, must not record anywhere
+
+    def test_enable_then_disable(self):
+        profiler = enable_profiling()
+        assert active_profiler() is profiler
+        with profiled("stage"):
+            pass
+        assert disable_profiling() is profiler
+        assert active_profiler() is None
+        assert profiler.calls["stage"] == 1
+
+    def test_pipeline_stages_reported(self):
+        profiler = enable_profiling()
+        compiled = compile_loop(LOOP)
+        evaluate_loop(compiled, paper_machine(4, 1), n=40)
+        disable_profiling()
+        for stage in ("parse", "deps", "sync", "lower", "dfg", "schedule", "verify", "simulate"):
+            assert profiler.calls[stage] >= 1, stage
+
+    def test_disabled_pipeline_records_nothing(self):
+        compile_loop(LOOP)
+        assert active_profiler() is None

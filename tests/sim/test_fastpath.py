@@ -1,0 +1,109 @@
+"""Analytic fast path vs. full event simulation (differential property).
+
+``simulate_doacross`` may only take the O(pairs) closed form when it is
+provably exact, so the default path and ``exact_simulation=True`` must
+agree *bit for bit* — parallel time, per-iteration finish times and total
+stall — on every perfect-suite loop, across trip counts and signal
+latencies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import compile_loop
+from repro.sched import figure4_machine, list_schedule, paper_machine, sync_schedule
+from repro.sim import simulate_doacross
+from repro.sim.multiproc import analytic_fast_path
+from repro.workloads import PERFECT_BENCHMARKS, perfect_suite
+
+FIELDS = ("n", "processors", "signal_latency", "parallel_time", "total_stall", "finish_times")
+
+
+def assert_identical(fast, exact):
+    for field in FIELDS:
+        assert getattr(fast, field) == getattr(exact, field), field
+
+
+@pytest.fixture(scope="module")
+def suite_schedules():
+    """Both schedulers' schedules for every perfect-suite loop, 4-issue."""
+    suite = perfect_suite()
+    machine = paper_machine(4, 1)
+    schedules = []
+    for name in PERFECT_BENCHMARKS:
+        for loop in suite[name]:
+            compiled = compile_loop(loop)
+            schedules.append(list_schedule(compiled.lowered, compiled.graph, machine))
+            schedules.append(sync_schedule(compiled.lowered, compiled.graph, machine))
+    return schedules
+
+
+class TestPerfectSuiteAgreement:
+    @pytest.mark.parametrize("n", [10, 100, 1000])
+    @pytest.mark.parametrize("signal_latency", [1, 4])
+    def test_fast_path_agrees_with_exact_walk(self, suite_schedules, n, signal_latency):
+        for schedule in suite_schedules:
+            fast = simulate_doacross(schedule, n, signal_latency=signal_latency)
+            exact = simulate_doacross(
+                schedule, n, signal_latency=signal_latency, exact_simulation=True
+            )
+            assert_identical(fast, exact)
+
+    def test_fast_path_actually_triggers(self, suite_schedules):
+        # Guard against the agreement test passing vacuously: a healthy
+        # majority of suite schedules must qualify for the closed form.
+        taken = sum(
+            analytic_fast_path(schedule, 100, 1) is not None
+            for schedule in suite_schedules
+        )
+        assert taken >= len(suite_schedules) // 2
+
+
+class TestFastPathCases:
+    def schedule_for(self, source):
+        compiled = compile_loop(source)
+        return list_schedule(compiled.lowered, compiled.graph, figure4_machine())
+
+    def test_no_stall_loop_takes_fast_path(self):
+        schedule = self.schedule_for("DO I = 1, 100\n A(I) = X(I) + Y(I)\nENDDO")
+        result = analytic_fast_path(schedule, 100, 1)
+        assert result is not None
+        assert result.parallel_time == schedule.length
+        assert result.total_stall == 0
+        assert result.finish_times == [schedule.length] * 100
+
+    def test_single_chain_matches_exact(self):
+        schedule = self.schedule_for("DO I = 1, 60\n A(I) = A(I-3) + X(I)\nENDDO")
+        fast = analytic_fast_path(schedule, 60, 1)
+        exact = simulate_doacross(schedule, 60, exact_simulation=True)
+        assert fast is not None
+        assert_identical(fast, exact)
+
+    def test_multi_pair_defers_to_full_walk(self):
+        # Two carried dependences at different distances: two pairs can
+        # stall, the closed form is only a lower bound, so the fast path
+        # must decline (and simulate_doacross must still be exact).
+        source = "DO I = 1, 40\n A(I) = A(I-1) + X(I)\n B(I) = B(I-2) + A(I)\nENDDO"
+        schedule = self.schedule_for(source)
+        if len(schedule.runtime_lbd_pairs()) > 1:
+            assert analytic_fast_path(schedule, 40, 1) is None
+        fast = simulate_doacross(schedule, 40)
+        exact = simulate_doacross(schedule, 40, exact_simulation=True)
+        assert_identical(fast, exact)
+
+    def test_folded_processors_never_use_fast_path(self):
+        schedule = self.schedule_for("DO I = 1, 64\n A(I) = A(I-2) + X(I)\nENDDO")
+        folded = simulate_doacross(schedule, 64, processors=8)
+        exact = simulate_doacross(
+            schedule, 64, processors=8, exact_simulation=True
+        )
+        assert_identical(folded, exact)
+
+    def test_zero_and_one_iterations(self):
+        schedule = self.schedule_for("DO I = 1, 10\n A(I) = A(I-1)\nENDDO")
+        for n in (0, 1):
+            assert_identical(
+                simulate_doacross(schedule, n),
+                simulate_doacross(schedule, n, exact_simulation=True),
+            )
