@@ -1,11 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-perf sweep
+.PHONY: test lint check bench bench-perf sweep
 
 # Tier-1: the fast correctness suite (what CI gates on).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static checks (ruff); skipped with a note when ruff is not installed.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install ruff)"; \
+	fi
+
+# Everything CI would run: lint + tier-1 tests.
+check: lint test
 
 # Regenerate every paper table/figure under benchmarks/results/
 # (perf-marked timing benches stay skipped).

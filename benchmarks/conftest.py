@@ -13,7 +13,13 @@ import pathlib
 
 import pytest
 
-from repro import CompileCache, CorpusEvaluation, evaluate_loop, paper_machine
+from repro import (
+    CompileCache,
+    CorpusEvaluation,
+    EvalOptions,
+    evaluate_loop,
+    paper_machine,
+)
 from repro.workloads import perfect_suite
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -77,6 +83,8 @@ def table2_results():
             machine = paper_machine(*case)
             ev = CorpusEvaluation(name=name, machine=machine)
             for comp in compiled:
-                ev.evaluations.append(evaluate_loop(comp, machine, n=100, cache=cache))
+                ev.evaluations.append(
+                    evaluate_loop(comp, machine, n=100, options=EvalOptions(cache=cache))
+                )
             table[(name, case)] = (ev.t_list, ev.t_new)
     return table

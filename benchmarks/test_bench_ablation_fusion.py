@@ -8,7 +8,7 @@ multiplied by n/d at run time.
 
 from conftest import emit
 
-from repro import paper_machine
+from repro import EvalOptions, paper_machine
 from repro.codegen import FuseStore, lower_loop
 from repro.dfg import build_dfg
 from repro.pipeline import compile_loop
@@ -18,7 +18,7 @@ from repro.workloads import perfect_benchmark
 
 
 def _time(loop, machine, fuse):
-    compiled = compile_loop(loop, fuse=fuse)
+    compiled = compile_loop(loop, EvalOptions(fuse=fuse))
     schedule = sync_schedule(compiled.lowered, compiled.graph, machine)
     return simulate_doacross(schedule, 100).parallel_time
 

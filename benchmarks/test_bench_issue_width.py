@@ -5,7 +5,7 @@ new scheduling barely moves.
 
 from conftest import emit
 
-from repro import compile_loop, evaluate_loop, paper_machine
+from repro import EvalOptions, compile_loop, evaluate_loop, paper_machine
 from repro.workloads import perfect_benchmark
 
 WIDTHS = (1, 2, 4, 8)
@@ -21,7 +21,7 @@ def test_bench_issue_width_sweep(table2_results, benchmark):
             machine = paper_machine(width, 1)
             t_list = t_new = 0
             for c in compiled:
-                ev = evaluate_loop(c, machine, n=100, verify=False)
+                ev = evaluate_loop(c, machine, n=100, options=EvalOptions(verify=False))
                 t_list += ev.t_list
                 t_new += ev.t_new
             rows[width] = (t_list, t_new)

@@ -21,7 +21,13 @@ import time
 
 import pytest
 
-from repro import CompileCache, ParallelEvaluator, evaluate_corpus, paper_machine
+from repro import (
+    CompileCache,
+    EvalOptions,
+    ParallelEvaluator,
+    evaluate_corpus,
+    paper_machine,
+)
 from repro.workloads import perfect_suite
 
 from conftest import BENCHMARKS, PAPER_CASES, RESULTS_DIR, emit
@@ -33,9 +39,9 @@ N = 100
 
 
 def _sweep_serial(jobs, *, cache=None, exact_simulation=False):
+    options = EvalOptions(cache=cache, exact_simulation=exact_simulation)
     return [
-        evaluate_corpus(name, loops, machine, n=N,
-                        cache=cache, exact_simulation=exact_simulation)
+        evaluate_corpus(name, loops, machine, N, options)
         for name, loops, machine in jobs
     ]
 

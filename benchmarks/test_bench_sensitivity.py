@@ -13,7 +13,7 @@ Two curves the paper's analysis implies but never plots:
 
 from conftest import emit
 
-from repro import compile_loop, evaluate_loop, paper_machine
+from repro import EvalOptions, compile_loop, evaluate_loop, paper_machine
 from repro.sim.metrics import improvement_percent
 from repro.workloads import GeneratorConfig, PlantedDep, generate_loop
 
@@ -34,7 +34,7 @@ def test_bench_distance_sweep(benchmark):
                 seed=42,
             )
             compiled = compile_loop(generate_loop(config))
-            ev = evaluate_loop(compiled, machine, n=100, verify=False)
+            ev = evaluate_loop(compiled, machine, n=100, options=EvalOptions(verify=False))
             rows[d] = (ev.t_list, ev.t_new)
         return rows
 
@@ -68,7 +68,7 @@ def test_bench_body_size_sweep(benchmark):
                 seed=7,
             )
             compiled = compile_loop(generate_loop(config))
-            ev = evaluate_loop(compiled, machine, n=100, verify=False)
+            ev = evaluate_loop(compiled, machine, n=100, options=EvalOptions(verify=False))
             rows[size] = (ev.t_list, ev.t_new, ev.improvement)
         return rows
 

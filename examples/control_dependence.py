@@ -10,7 +10,7 @@ the exact serial minimum.
 Run:  python examples/control_dependence.py
 """
 
-from repro import compile_loop, evaluate_loop, paper_machine
+from repro import EvalOptions, compile_loop, evaluate_loop, paper_machine
 from repro.codegen import format_listing
 from repro.deps import classify_doacross
 from repro.ir import format_loop
@@ -34,7 +34,7 @@ def main() -> None:
     print(format_listing(compiled.lowered))
 
     machine = paper_machine(4, 1)
-    result = evaluate_loop(compiled, machine, check_semantics=True)
+    result = evaluate_loop(compiled, machine, options=EvalOptions(check_semantics=True))
     print(f"\nT (list) = {result.t_list}   T (new) = {result.t_new}   "
           f"improvement = {result.improvement:.1f}%")
 

@@ -8,7 +8,7 @@ the DOACROSS timing simulation — and prints each artifact.
 Run:  python examples/quickstart.py
 """
 
-from repro import compile_loop, evaluate_loop, figure4_machine
+from repro import EvalOptions, compile_loop, evaluate_loop, figure4_machine
 from repro.codegen import format_listing
 from repro.deps import classify_dependence
 from repro.ir import format_loop
@@ -36,7 +36,7 @@ def main() -> None:
     print(format_listing(compiled.lowered))
 
     machine = figure4_machine()
-    result = evaluate_loop(compiled, machine, check_semantics=True)
+    result = evaluate_loop(compiled, machine, options=EvalOptions(check_semantics=True))
 
     print(f"\n== schedules on {machine.name} (paper Fig. 4) ==")
     print("-- list scheduling --")

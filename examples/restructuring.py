@@ -10,7 +10,7 @@ benchmarks before its scheduling experiments.
 Run:  python examples/restructuring.py
 """
 
-from repro import compile_loop, evaluate_loop, paper_machine
+from repro import EvalOptions, compile_loop, evaluate_loop, paper_machine
 from repro.deps import classify_loop
 from repro.ir import format_loop, parse_loop
 from repro.transforms import restructure
@@ -49,7 +49,9 @@ def main() -> None:
         print(f"  {pair}")
 
     machine = paper_machine(4, 1)
-    evaluation = evaluate_loop(compiled, machine, check_semantics=True)
+    evaluation = evaluate_loop(
+        compiled, machine, options=EvalOptions(check_semantics=True)
+    )
     print(f"\n== scheduling on {machine.name}, n = 100 ==")
     print(f"  T (list) = {evaluation.t_list}")
     print(f"  T (new)  = {evaluation.t_new}")

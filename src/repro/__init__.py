@@ -26,9 +26,21 @@ analysis), :mod:`repro.transforms` (restructuring), :mod:`repro.sync`
 :mod:`repro.dfg` (data-flow graph + Sigwat partition), :mod:`repro.sched`
 (schedulers), :mod:`repro.sim` (simulators), :mod:`repro.workloads`
 (benchmark corpora), :mod:`repro.perf` (sweep-scale caching, process
-parallelism and profiling).
+parallelism and profiling), :mod:`repro.obs` (trace spans, metrics and
+exporters).
+
+Pipeline entry points take their knobs as one frozen
+:class:`~repro.options.EvalOptions` value (the stable API; the old
+per-function keyword arguments still work but emit
+``DeprecationWarning`` — see ``docs/api.md``)::
+
+    from repro import EvalOptions, evaluate_loop
+    result = evaluate_loop(compiled, machine,
+                           options=EvalOptions(exact_simulation=True))
 """
 
+from repro.obs import MetricsRegistry, RecordingTracer, Tracer
+from repro.options import EvalOptions
 from repro.pipeline import (
     CompiledLoop,
     CorpusEvaluation,
@@ -40,19 +52,30 @@ from repro.pipeline import (
     evaluate_program,
 )
 from repro.perf import CompileCache, ParallelEvaluator, StageProfiler
-from repro.report import corpus_record, evaluation_record, schedule_record, to_json
+from repro.report import (
+    SCHEMA_VERSION,
+    corpus_record,
+    evaluation_record,
+    schedule_record,
+    to_json,
+)
 from repro.sched.machine import figure4_machine, paper_cases, paper_machine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompileCache",
     "CompiledLoop",
     "CorpusEvaluation",
+    "EvalOptions",
     "LoopEvaluation",
+    "MetricsRegistry",
     "ParallelEvaluator",
     "ProgramEvaluation",
+    "RecordingTracer",
+    "SCHEMA_VERSION",
     "StageProfiler",
+    "Tracer",
     "__version__",
     "compile_loop",
     "corpus_record",

@@ -13,11 +13,17 @@ Commands
 ``sweep``     regenerate Tables 2/3 over the Perfect corpora, optionally
               cached (default), process-parallel (``--jobs``) or with the
               analytic fast path disabled (``--exact-sim``).
+``metrics``   run the Perfect sweep with the metrics registry enabled and
+              print the collected counters/histograms (``--json`` for
+              machine-readable output).
 ``dot``       emit the DFG as Graphviz DOT.
 
-Each command reads the loop from a file argument or stdin (``-``).  The
-global ``--profile`` flag times the pipeline stages of any command and
-prints a table to stderr (see ``docs/performance.md``).
+Each command reads the loop from a file argument or stdin (``-``).  Global
+flags work with every command: ``--profile`` times the pipeline stages and
+prints a table to stderr; ``--trace-out FILE`` records hierarchical spans
+and writes a Chrome trace-event file (load it at ``chrome://tracing`` or
+https://ui.perfetto.dev); ``--journal-out FILE`` writes the same spans
+plus a metrics snapshot as JSON lines.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -142,37 +148,55 @@ def cmd_modulo(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
+def _sweep_results(names, n, workers, exact_sim, no_cache=False):
+    """Run the Perfect sweep and return evaluations, one per sweep point."""
+    from repro.options import EvalOptions
+
     suite = perfect_suite()
-    names = args.benchmarks or list(PERFECT_BENCHMARKS)
     cases = [(2, 1), (2, 2), (4, 1), (4, 2)]
     jobs = [
         (name, suite[name], paper_machine(*case)) for name in names for case in cases
     ]
-    if args.jobs > 1:
+    options = EvalOptions(exact_simulation=exact_sim)
+    if workers > 1:
         from repro.perf import ParallelEvaluator
 
-        if args.no_cache:
+        evaluator = ParallelEvaluator(max_workers=workers)
+        results = evaluator.evaluate_corpora(jobs, n=n, options=options)
+        if not evaluator.used_pool and evaluator.fallback_reason not in (
+            None,
+            "max_workers=1",
+            "single job",
+        ):
             print(
-                "note: --no-cache has no effect with --jobs > 1 "
-                "(workers keep their own caches)",
+                f"note: process pool unavailable, ran serially "
+                f"({evaluator.fallback_reason})",
                 file=sys.stderr,
             )
-        results = ParallelEvaluator(max_workers=args.jobs).evaluate_corpora(
-            jobs, n=args.n, exact_simulation=args.exact_sim
-        )
     else:
         from repro.perf import CompileCache
         from repro.pipeline import evaluate_corpus
 
-        cache = None if args.no_cache else CompileCache()
+        if not no_cache:
+            options = options.replace(cache=CompileCache())
         results = [
-            evaluate_corpus(
-                name, loops, machine, n=args.n,
-                cache=cache, exact_simulation=args.exact_sim,
-            )
+            evaluate_corpus(name, loops, machine, n, options)
             for name, loops, machine in jobs
         ]
+    return results, cases
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    names = args.benchmarks or list(PERFECT_BENCHMARKS)
+    if args.no_cache and args.jobs > 1:
+        print(
+            "note: --no-cache has no effect with --jobs > 1 "
+            "(workers keep their own caches)",
+            file=sys.stderr,
+        )
+    results, cases = _sweep_results(
+        names, args.n, args.jobs, args.exact_sim, args.no_cache
+    )
     by_point = {(ev.name, ev.machine.name): ev for ev in results}
     print(f"{'bench':8s}" + "".join(f"{f'{w}i/{f}fu':>16s}" for w, f in cases))
     for name in names:
@@ -181,6 +205,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             ev = by_point[(name, paper_machine(*case).name)]
             cells.append(f"{ev.t_list}/{ev.t_new} {ev.improvement:4.0f}%")
         print(f"{name:8s}" + "".join(f"{c:>16s}" for c in cells))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import enable_metrics, disable_metrics, metrics_snapshot
+
+    names = args.benchmarks or list(PERFECT_BENCHMARKS)
+    registry = enable_metrics()
+    try:
+        _sweep_results(names, args.n, args.jobs, args.exact_sim)
+    finally:
+        disable_metrics()
+    if args.json:
+        print(_json.dumps(metrics_snapshot(registry), indent=2, sort_keys=True))
+    else:
+        print(registry.format())
     return 0
 
 
@@ -199,6 +241,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="time the pipeline stages and print a report to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="record pipeline spans and write a Chrome trace-event file",
+    )
+    parser.add_argument(
+        "--journal-out",
+        metavar="FILE",
+        default=None,
+        help="record pipeline spans/metrics and write a JSON-lines journal",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -241,6 +295,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.set_defaults(func=cmd_sweep)
 
+    p_metrics = sub.add_parser(
+        "metrics", help="run the Perfect sweep and print collected metrics"
+    )
+    p_metrics.add_argument("benchmarks", nargs="*", help="subset of corpora")
+    p_metrics.add_argument("--n", type=int, default=100)
+    p_metrics.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    p_metrics.add_argument(
+        "--exact-sim",
+        action="store_true",
+        help="force the full event simulation (skip the analytic fast path)",
+    )
+    p_metrics.add_argument(
+        "--json", action="store_true", help="print the metrics snapshot as JSON"
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
+
     p_dot = sub.add_parser("dot", help="emit the DFG as Graphviz DOT")
     p_dot.add_argument("loop", help="loop source file, or - for stdin")
     p_dot.add_argument("--title", default=None)
@@ -256,6 +328,17 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf import enable_profiling
 
         profiler = enable_profiling()
+    recorder = None
+    journal_registry = None
+    if args.trace_out or args.journal_out:
+        from repro.obs import RecordingTracer, add_tracer
+
+        recorder = RecordingTracer()
+        add_tracer(recorder)
+        if args.journal_out and args.command != "metrics":
+            from repro.obs import enable_metrics
+
+            journal_registry = enable_metrics()
     try:
         return args.func(args)
     except BrokenPipeError:
@@ -266,6 +349,24 @@ def main(argv: list[str] | None = None) -> int:
             pass
         return 0
     finally:
+        if recorder is not None:
+            from repro.obs import remove_tracer
+
+            remove_tracer(recorder)
+            if journal_registry is not None:
+                from repro.obs import disable_metrics
+
+                disable_metrics()
+            if args.trace_out:
+                from repro.obs import write_chrome_trace
+
+                write_chrome_trace(args.trace_out, recorder.events)
+                print(f"wrote {len(recorder.events)} spans to {args.trace_out}", file=sys.stderr)
+            if args.journal_out:
+                from repro.obs import write_journal
+
+                write_journal(args.journal_out, recorder.events, journal_registry)
+                print(f"wrote journal to {args.journal_out}", file=sys.stderr)
         if profiler is not None:
             from repro.perf import disable_profiling
 

@@ -1,0 +1,78 @@
+"""Pipeline-wide observability: trace spans, metrics, exporters.
+
+The pipeline is instrumented with two kinds of markers, both free when
+disabled (one module-global read):
+
+* :func:`span` — hierarchical trace spans (``compile`` → ``schedule`` →
+  ...) emitted by :mod:`repro.pipeline`, both schedulers, the simulator
+  and the :mod:`repro.perf` layer.  Any number of :class:`Tracer`\\ s can
+  subscribe; :class:`RecordingTracer` collects :class:`TraceEvent`\\ s for
+  the exporters, and :class:`repro.perf.StageProfiler` (PR 1's profiler)
+  is now just another pluggable tracer.
+* :func:`count` / :func:`observe` — counters and histograms on the
+  active :class:`MetricsRegistry`: wait-stall cycles per sync pair,
+  Wait→Send spans ``i − j``, run-time LBD vs LFD pair counts, ready-list
+  lengths, cache hit/miss, fast-path vs event-walk dispatch.  Registries
+  merge deterministically across :class:`~repro.perf.parallel.
+  ParallelEvaluator` workers.
+
+Exporters (:mod:`repro.obs.export`): Chrome ``chrome://tracing`` trace
+files (``repro --trace-out FILE``), a JSON-lines event journal
+(``repro --journal-out FILE``) and the metrics snapshot embedded in
+:mod:`repro.report` records and printed by ``repro metrics``.  See
+``docs/observability.md`` for the guided tour.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    journal_lines,
+    metrics_snapshot,
+    write_chrome_trace,
+    write_journal,
+)
+from repro.obs.metrics import (
+    DETERMINISTIC_NAMESPACES,
+    MetricsRegistry,
+    active_metrics,
+    count,
+    disable_metrics,
+    enable_metrics,
+    observe,
+)
+from repro.obs.trace import (
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    active_tracers,
+    add_tracer,
+    disable_tracing,
+    enable_tracing,
+    ingest_events,
+    remove_tracer,
+    span,
+)
+
+__all__ = [
+    "DETERMINISTIC_NAMESPACES",
+    "MetricsRegistry",
+    "RecordingTracer",
+    "TraceEvent",
+    "Tracer",
+    "active_metrics",
+    "active_tracers",
+    "add_tracer",
+    "chrome_trace",
+    "count",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "ingest_events",
+    "journal_lines",
+    "metrics_snapshot",
+    "observe",
+    "remove_tracer",
+    "span",
+    "write_chrome_trace",
+    "write_journal",
+]

@@ -1,0 +1,93 @@
+"""Exporters for trace events and metrics snapshots.
+
+Three output formats (see ``docs/observability.md``):
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON format: load the file at ``chrome://tracing`` (or
+  https://ui.perfetto.dev) to see the pipeline's span hierarchy on a
+  timeline.  Spans become ``"ph": "X"`` *complete* events with
+  microsecond ``ts``/``dur``; nesting is inferred from the timestamps.
+* :func:`journal_lines` / :func:`write_journal` — a JSON-lines event
+  journal: one ``{"kind": "span", ...}`` object per line, terminated by a
+  single ``{"kind": "metrics", ...}`` snapshot when metrics were
+  collected.  Grep-able, stream-able, stable key order.
+* :func:`metrics_snapshot` — the dict embedded in :mod:`repro.report`
+  records (schema v2) and printed by ``repro metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceEvent
+
+__all__ = [
+    "chrome_trace",
+    "journal_lines",
+    "metrics_snapshot",
+    "write_chrome_trace",
+    "write_journal",
+]
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    """Trace events in the Chrome trace-event format (JSON object form).
+
+    Every span becomes a complete ("ph": "X") event; ``ts`` and ``dur``
+    are microseconds as the format requires.  The nesting ``depth`` rides
+    along in ``args`` (Chrome itself infers nesting from timestamps).
+    """
+    trace_events = [
+        {
+            "name": event.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": event.start_ns / 1000.0,
+            "dur": event.duration_ns / 1000.0,
+            "pid": event.pid,
+            "tid": event.pid,
+            "args": {"depth": event.depth, **event.attrs},
+        }
+        for event in events
+    ]
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: Iterable[TraceEvent]) -> None:
+    """Write :func:`chrome_trace` JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(events), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def metrics_snapshot(registry: MetricsRegistry) -> dict[str, Any]:
+    """The metrics snapshot embedded in report records and journals."""
+    return {
+        "deterministic": registry.deterministic_subset().as_dict(),
+        "all": registry.as_dict(),
+    }
+
+
+def journal_lines(
+    events: Iterable[TraceEvent], registry: MetricsRegistry | None = None
+) -> Iterator[str]:
+    """JSON-lines journal: one span object per line, metrics last."""
+    for event in events:
+        yield json.dumps({"kind": "span", **event.as_dict()}, sort_keys=True)
+    if registry is not None and registry:
+        yield json.dumps(
+            {"kind": "metrics", **metrics_snapshot(registry)}, sort_keys=True
+        )
+
+
+def write_journal(
+    path: str,
+    events: Iterable[TraceEvent],
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Write the JSON-lines journal to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in journal_lines(events, registry):
+            handle.write(line + "\n")

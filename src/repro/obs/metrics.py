@@ -1,0 +1,176 @@
+"""Counters and histograms for the quantities the paper reasons about.
+
+A :class:`MetricsRegistry` holds two deterministic stores:
+
+* **counters** — monotonically increasing integers (``count()``):
+  wait-stall cycles, run-time LBD/LFD pair counts, cache hits, fast-path
+  vs event-walk dispatch, ...
+* **histograms** — value → occurrence maps (``observe()``): Wait→Send
+  spans ``i − j``, per-pair stall totals, ready-list lengths, ...
+
+Both stores are plain integer maps, so merging registries (e.g. from
+:class:`~repro.perf.parallel.ParallelEvaluator` workers) is commutative
+and associative: aggregates are **identical regardless of how the work
+was partitioned** — the same discipline as the profile merge of PR 1.
+
+Metric names are dotted.  The first component is the namespace; the
+:data:`DETERMINISTIC_NAMESPACES` (``sim``, ``sched``) hold quantities
+recorded once per loop evaluation, which are therefore identical across
+``--jobs 1`` and ``--jobs 4`` runs.  Other namespaces (``cache``,
+``parallel``, ``sched_pass``) describe *how* the run executed — cache
+warmth and worker partitioning legitimately change them.  Use
+:meth:`MetricsRegistry.deterministic_subset` to compare runs.
+
+The module-level :func:`count` / :func:`observe` helpers write to the
+registry installed with :func:`enable_metrics`, and cost one global read
+when metrics are disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "DETERMINISTIC_NAMESPACES",
+    "MetricsRegistry",
+    "active_metrics",
+    "count",
+    "disable_metrics",
+    "enable_metrics",
+    "observe",
+]
+
+# Namespaces whose metrics depend only on (corpus, machine, options) —
+# never on caching, worker count or partitioning.
+DETERMINISTIC_NAMESPACES = ("sim", "sched")
+
+
+@dataclass
+class MetricsRegistry:
+    """Deterministically mergeable counters and histograms."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    histograms: dict[str, dict[int, int]] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: int) -> None:
+        bucket = self.histograms.setdefault(name, {})
+        bucket[value] = bucket.get(value, 0) + 1
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's totals in (commutative)."""
+        for name, amount in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        for name, buckets in other.histograms.items():
+            mine = self.histograms.setdefault(name, {})
+            for value, occurrences in buckets.items():
+                mine[value] = mine.get(value, 0) + occurrences
+
+    def deterministic_subset(self) -> "MetricsRegistry":
+        """Only the metrics guaranteed identical across execution
+        strategies (see :data:`DETERMINISTIC_NAMESPACES`)."""
+
+        def keep(name: str) -> bool:
+            return name.split(".", 1)[0] in DETERMINISTIC_NAMESPACES
+
+        return MetricsRegistry(
+            counters={k: v for k, v in self.counters.items() if keep(k)},
+            histograms={
+                k: dict(v) for k, v in self.histograms.items() if keep(k)
+            },
+        )
+
+    # -- export --------------------------------------------------------------
+
+    def histogram_summary(self, name: str) -> dict[str, Any]:
+        buckets = self.histograms[name]
+        total = sum(buckets.values())
+        weighted = sum(value * occurrences for value, occurrences in buckets.items())
+        return {
+            "count": total,
+            "sum": weighted,
+            "min": min(buckets),
+            "max": max(buckets),
+            "mean": round(weighted / total, 4) if total else 0.0,
+            "buckets": {str(value): buckets[value] for value in sorted(buckets)},
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        """Snapshot with stable key order, ready for JSON export."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "histograms": {
+                name: self.histogram_summary(name) for name in sorted(self.histograms)
+            },
+        }
+
+    def format(self) -> str:
+        """Aligned human-readable table, counters then histograms."""
+        if not self.counters and not self.histograms:
+            return "no metrics recorded"
+        lines: list[str] = []
+        if self.counters:
+            width = max(len(name) for name in self.counters)
+            lines.append(f"{'counter':<{width}}  {'value':>12}")
+            for name in sorted(self.counters):
+                lines.append(f"{name:<{width}}  {self.counters[name]:>12}")
+        if self.histograms:
+            if lines:
+                lines.append("")
+            width = max(len(name) for name in self.histograms)
+            lines.append(
+                f"{'histogram':<{width}}  {'count':>8}  {'sum':>10}  "
+                f"{'min':>6}  {'max':>6}  {'mean':>9}"
+            )
+            for name in sorted(self.histograms):
+                s = self.histogram_summary(name)
+                lines.append(
+                    f"{name:<{width}}  {s['count']:>8}  {s['sum']:>10}  "
+                    f"{s['min']:>6}  {s['max']:>6}  {s['mean']:>9.2f}"
+                )
+        return "\n".join(lines)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.histograms)
+
+
+_ACTIVE: MetricsRegistry | None = None
+
+
+def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the active collector."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    return _ACTIVE
+
+
+def disable_metrics() -> MetricsRegistry | None:
+    """Deactivate and return the previously active registry, if any."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, None
+    return previous
+
+
+def active_metrics() -> MetricsRegistry | None:
+    return _ACTIVE
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Bump a counter on the active registry; no-op when disabled."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.count(name, amount)
+
+
+def observe(name: str, value: int) -> None:
+    """Record a histogram observation; no-op when disabled."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.observe(name, value)

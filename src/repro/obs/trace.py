@@ -1,0 +1,179 @@
+"""Hierarchical trace spans for the whole pipeline.
+
+The pipeline marks its stages with the :func:`span` context manager
+(``with span("schedule"): ...``).  When no tracer is installed the marker
+costs one module-global read — the same discipline as PR 1's
+``profiled()`` — so instrumented code is free in production.  When one or
+more :class:`Tracer` instances are installed (via :func:`enable_tracing`
+or :func:`add_tracer`), every span is reported to each of them.
+
+Two tracer families ship with the package:
+
+* :class:`RecordingTracer` (here) — records every span as a
+  :class:`TraceEvent` with nanosecond timestamps, nesting depth and
+  process id; the events feed the exporters in :mod:`repro.obs.export`
+  (Chrome ``chrome://tracing`` format, JSON-lines journal).
+* :class:`repro.perf.StageProfiler` — PR 1's per-stage wall-clock
+  accumulator, now just one pluggable ``Tracer`` among others
+  (``repro --profile`` keeps working unchanged).
+
+A ``Tracer`` is anything with ``start(name, attrs) -> token`` and
+``finish(name, token, attrs)``; exceptions inside a span still finish it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "RecordingTracer",
+    "TraceEvent",
+    "Tracer",
+    "active_tracers",
+    "add_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "ingest_events",
+    "remove_tracer",
+    "span",
+]
+
+
+@dataclass
+class TraceEvent:
+    """One completed span: ``[start_ns, start_ns + duration_ns)``."""
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    depth: int  # nesting level at the time the span opened (0 = root)
+    pid: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "depth": self.depth,
+            "pid": self.pid,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class Tracer:
+    """Base tracer: subclasses override :meth:`start` / :meth:`finish`.
+
+    ``start`` returns an opaque token that is handed back to ``finish``;
+    the default implementation is a no-op pair, so a subclass may override
+    either or both.
+    """
+
+    def start(self, name: str, attrs: dict[str, Any] | None) -> Any:  # pragma: no cover
+        return None
+
+    def finish(self, name: str, token: Any, attrs: dict[str, Any] | None) -> None:
+        """Called when the span closes (even on exceptions)."""
+
+
+class RecordingTracer(Tracer):
+    """Collects every span as a :class:`TraceEvent` for export."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._depth = 0
+
+    def start(self, name: str, attrs: dict[str, Any] | None) -> tuple[int, int]:
+        depth = self._depth
+        self._depth += 1
+        return depth, time.perf_counter_ns()
+
+    def finish(self, name: str, token: tuple[int, int], attrs: dict[str, Any] | None) -> None:
+        depth, start_ns = token
+        self._depth = depth
+        self.events.append(
+            TraceEvent(
+                name=name,
+                start_ns=start_ns,
+                duration_ns=time.perf_counter_ns() - start_ns,
+                depth=depth,
+                pid=os.getpid(),
+                attrs=dict(attrs) if attrs else {},
+            )
+        )
+
+    def add_events(self, events: list[TraceEvent]) -> None:
+        """Fold in completed events from elsewhere (a worker process)."""
+        self.events.extend(events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._depth = 0
+
+
+# The active tracers.  A tuple (not a list) so `span` reads one immutable
+# snapshot; installation replaces the whole tuple.
+_TRACERS: tuple[Tracer, ...] = ()
+
+
+def add_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer``; spans report to every installed tracer."""
+    global _TRACERS
+    if tracer not in _TRACERS:
+        _TRACERS = _TRACERS + (tracer,)
+    return tracer
+
+
+def remove_tracer(tracer: Tracer) -> None:
+    """Uninstall ``tracer`` (a no-op when it is not installed)."""
+    global _TRACERS
+    _TRACERS = tuple(t for t in _TRACERS if t is not tracer)
+
+
+def enable_tracing(tracer: Tracer | None = None) -> Tracer:
+    """Install ``tracer`` (default: a fresh :class:`RecordingTracer`)."""
+    return add_tracer(tracer if tracer is not None else RecordingTracer())
+
+
+def disable_tracing() -> tuple[Tracer, ...]:
+    """Uninstall every tracer; returns the tracers that were active."""
+    global _TRACERS
+    previous, _TRACERS = _TRACERS, ()
+    return previous
+
+
+def active_tracers() -> tuple[Tracer, ...]:
+    return _TRACERS
+
+
+def ingest_events(events: list[TraceEvent]) -> None:
+    """Deliver remotely-collected events (e.g. from a
+    :class:`~repro.perf.parallel.ParallelEvaluator` worker) to every
+    active tracer that records events."""
+    if not events:
+        return
+    for tracer in _TRACERS:
+        add = getattr(tracer, "add_events", None)
+        if add is not None:
+            add(events)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[None]:
+    """Mark a pipeline stage; no-op (one global read) when tracing is off."""
+    tracers = _TRACERS
+    if not tracers:
+        yield
+        return
+    tokens = [(tracer, tracer.start(name, attrs)) for tracer in tracers]
+    try:
+        yield
+    finally:
+        for tracer, token in reversed(tokens):
+            tracer.finish(name, token, attrs)

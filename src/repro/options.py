@@ -1,0 +1,159 @@
+"""The stable evaluation-options facade: :class:`EvalOptions`.
+
+PR 1 grew :func:`repro.pipeline.evaluate_corpus` and friends a new
+keyword argument per subsystem (``apply_restructuring``, ``fuse``,
+``cache``, ``exact_simulation``, ...) — a surface that every further
+subsystem would widen.  :class:`EvalOptions` freezes that surface into
+one immutable value object that travels through ``compile_loop`` →
+``evaluate_loop`` → ``evaluate_corpus`` / ``evaluate_program`` →
+:class:`~repro.perf.parallel.ParallelEvaluator` unchanged.
+
+The old keyword arguments keep working but emit ``DeprecationWarning``
+and are mapped onto an ``EvalOptions`` internally (see
+``docs/api.md`` for the deprecation policy)::
+
+    # deprecated (still works):
+    evaluate_corpus(name, loops, machine, apply_restructuring=False)
+    # stable:
+    evaluate_corpus(name, loops, machine,
+                    options=EvalOptions(apply_restructuring=False))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.codegen import FuseStore
+from repro.sched import Priority, SyncSchedulerOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+    from repro.perf.cache import CompileCache
+
+__all__ = ["EvalOptions", "observation_scope"]
+
+
+@dataclass(frozen=True)
+class EvalOptions:
+    """Every knob of the evaluation pipeline in one frozen value.
+
+    Compile-time knobs
+        ``apply_restructuring`` — run the induction/expansion/reduction
+        restructuring passes; ``fuse`` — where the fused store lands.
+    Schedule-time knobs
+        ``list_priority`` — baseline list-scheduler priority;
+        ``sync_options`` — the sync-aware scheduler's ablation switches;
+        ``verify`` — re-check schedules against the DFG.
+    Simulation knobs
+        ``exact_simulation`` — force the full event walk instead of the
+        analytic fast path; ``check_semantics`` — execute against real
+        memory and compare with serial execution (slow; tests only).
+    Execution strategy
+        ``cache`` — a :class:`~repro.perf.cache.CompileCache` shared
+        across sweep points; ``jobs`` — worker processes for corpus
+        evaluation (1 = in-process).
+    Observability
+        ``tracer`` — a :class:`~repro.obs.trace.Tracer` installed for the
+        duration of the call; ``metrics`` — a
+        :class:`~repro.obs.metrics.MetricsRegistry` collecting counters
+        and histograms for the duration of the call.
+    """
+
+    apply_restructuring: bool = True
+    fuse: FuseStore = FuseStore.BEFORE_SEND
+    cache: "CompileCache | None" = None
+    exact_simulation: bool = False
+    jobs: int = 1
+    verify: bool = True
+    check_semantics: bool = False
+    list_priority: Priority = Priority.PROGRAM_ORDER
+    sync_options: SyncSchedulerOptions | None = None
+    tracer: "Tracer | None" = None
+    metrics: "MetricsRegistry | None" = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+    def replace(self, **changes: Any) -> "EvalOptions":
+        """A copy with ``changes`` applied (the dataclasses idiom)."""
+        return dataclasses.replace(self, **changes)
+
+    def as_kwargs(self) -> dict[str, Any]:
+        """Field name → value, suitable for ``EvalOptions(**kwargs)``."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    # -- the deprecated-kwarg shim -------------------------------------------
+
+    @classmethod
+    def coerce(
+        cls,
+        options: "EvalOptions | None" = None,
+        _stacklevel: int = 3,
+        **legacy: Any,
+    ) -> "EvalOptions":
+        """Fold deprecated keyword arguments onto an ``EvalOptions``.
+
+        ``legacy`` entries that are ``None`` mean "not passed".  Any
+        entry actually passed emits a single ``DeprecationWarning`` and
+        overrides the corresponding ``options`` field.
+        """
+        passed = {name: value for name, value in legacy.items() if value is not None}
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(passed) - field_names
+        if unknown:
+            raise TypeError(
+                f"unknown evaluation option(s): {sorted(unknown)}; "
+                f"valid fields are {sorted(field_names)}"
+            )
+        base = options if options is not None else cls()
+        if not isinstance(base, cls):
+            raise TypeError(
+                f"options must be an EvalOptions, got {type(base).__name__}; "
+                "legacy positional arguments are no longer accepted here"
+            )
+        if passed:
+            warnings.warn(
+                f"keyword argument(s) {sorted(passed)} are deprecated; pass "
+                f"options=EvalOptions({', '.join(sorted(passed))}=...) instead "
+                "(see docs/api.md)",
+                DeprecationWarning,
+                stacklevel=_stacklevel,
+            )
+            base = dataclasses.replace(base, **passed)
+        return base
+
+
+@contextmanager
+def observation_scope(options: EvalOptions) -> Iterator[None]:
+    """Install the options' tracer/metrics for the duration of a call.
+
+    Re-entrant: a tracer or registry that is already active (e.g. an
+    outer driver installed it before calling an inner one with the same
+    options) is left alone.
+    """
+    from repro.obs.metrics import active_metrics, disable_metrics, enable_metrics
+    from repro.obs.trace import active_tracers, add_tracer, remove_tracer
+
+    with ExitStack() as stack:
+        tracer = options.tracer
+        if tracer is not None and tracer not in active_tracers():
+            add_tracer(tracer)
+            stack.callback(remove_tracer, tracer)
+        registry = options.metrics
+        if registry is not None and registry is not active_metrics():
+            previous = active_metrics()
+            enable_metrics(registry)
+
+            def restore() -> None:
+                disable_metrics()
+                if previous is not None:
+                    enable_metrics(previous)
+
+            stack.callback(restore)
+        yield

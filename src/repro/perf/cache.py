@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 from repro.codegen import FuseStore
 from repro.ir.ast_nodes import Loop
 from repro.ir.printer import format_loop
+from repro.obs.metrics import count as metric_count
 from repro.sched import MachineConfig, Priority, Schedule, SyncSchedulerOptions
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: pipeline uses perf.profile
@@ -149,15 +150,21 @@ class CompileCache:
         cached = self._compiled.get(key)
         if cached is not None:
             self.stats.compile_hits += 1
+            metric_count("cache.compile.hit")
             self._compiled.move_to_end(key)
             if isinstance(cached, _SerialLoop):
                 raise ValueError(cached.message)
             return cached
         self.stats.compile_misses += 1
+        metric_count("cache.compile.miss")
+        from repro.options import EvalOptions
         from repro.pipeline import compile_loop
 
         try:
-            compiled = compile_loop(loop, apply_restructuring, fuse)
+            compiled = compile_loop(
+                loop,
+                EvalOptions(apply_restructuring=bool(apply_restructuring), fuse=fuse),
+            )
         except ValueError as err:
             self._store(self._compiled, key, _SerialLoop(str(err)))
             raise
@@ -188,9 +195,11 @@ class CompileCache:
         entry = self._schedules.get(key)
         if entry is not None:
             self.stats.schedule_hits += 1
+            metric_count("cache.schedule.hit")
             self._schedules.move_to_end(key)
         else:
             self.stats.schedule_misses += 1
+            metric_count("cache.schedule.miss")
             from repro.sched import list_schedule, sync_schedule
 
             entry = _ScheduleEntry(

@@ -12,10 +12,18 @@ Each worker process keeps a process-global :class:`~repro.perf.cache.
 CompileCache`, so a sweep that revisits a loop on several machines
 compiles it once per worker rather than once per sweep point.
 
+Observability rides along (see :mod:`repro.obs`): when the parent has an
+active :class:`~repro.perf.profile.StageProfiler`, metrics registry, or
+recording tracer, every worker collects into fresh local instances and
+the parent folds them in after the fan-out.  Counter/histogram merging is
+commutative, so **metrics aggregates are identical however the jobs were
+partitioned** — ``--jobs 1`` and ``--jobs 4`` agree to the counter.
+
 The evaluator degrades gracefully to in-process serial execution when
 ``max_workers=1``, when there is at most one job, or when the platform
 cannot provide a process pool (sandboxes without ``fork``/semaphores) —
-results are identical either way.
+results are identical either way, and :attr:`ParallelEvaluator.
+fallback_reason` says why the pool was not used.
 """
 
 from __future__ import annotations
@@ -23,8 +31,25 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Sequence
 
+from repro.obs.metrics import MetricsRegistry, active_metrics
+from repro.obs.metrics import count as metric_count
+from repro.obs.metrics import disable_metrics, enable_metrics
+from repro.obs.trace import (
+    RecordingTracer,
+    TraceEvent,
+    active_tracers,
+    add_tracer,
+    ingest_events,
+    remove_tracer,
+)
+from repro.options import EvalOptions, observation_scope
 from repro.perf.cache import CompileCache
-from repro.perf.profile import StageProfiler, active_profiler, disable_profiling, enable_profiling
+from repro.perf.profile import (
+    StageProfiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+)
 from repro.sched import MachineConfig
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,6 +62,11 @@ __all__ = ["CorpusJob", "ParallelEvaluator", "ProgramJob", "chunked"]
 CorpusJob = "tuple[str, list[Loop], MachineConfig]"
 # (program source or Program, machine) — one evaluate_program call.
 ProgramJob = "tuple[object, MachineConfig]"
+
+# (profile, metrics, trace): which collectors a worker should run for the
+# parent.  All-off in the serial path, where the parent's own collectors
+# see the events directly.
+_COLLECT_NONE = (False, False, False)
 
 
 def chunked(items: Sequence, size: int) -> list[list]:
@@ -57,40 +87,64 @@ def _worker_cache() -> CompileCache:
     return _WORKER_CACHE
 
 
+def _worker_collectors(collect: tuple[bool, bool, bool]):
+    """Enable fresh per-worker collectors per the parent's request."""
+    collect_profile, collect_metrics, collect_trace = collect
+    profiler = enable_profiling() if collect_profile else None
+    registry = enable_metrics() if collect_metrics else None
+    tracer = RecordingTracer() if collect_trace else None
+    if tracer is not None:
+        add_tracer(tracer)
+    return profiler, registry, tracer
+
+
+def _worker_teardown(collect, profiler, registry, tracer) -> None:
+    if collect[0]:
+        disable_profiling()
+    if collect[1]:
+        disable_metrics()
+    if tracer is not None:
+        remove_tracer(tracer)
+
+
 def _run_corpus_chunk(
-    chunk: list, n: int | None, kwargs: dict, profile: bool = False
-) -> tuple[list, StageProfiler | None]:
+    chunk: list,
+    n: int | None,
+    options: EvalOptions,
+    collect: tuple[bool, bool, bool] = _COLLECT_NONE,
+) -> tuple[list, StageProfiler | None, MetricsRegistry | None, list[TraceEvent] | None]:
     from repro.pipeline import evaluate_corpus
 
-    profiler = enable_profiling() if profile else None
+    profiler, registry, tracer = _worker_collectors(collect)
     try:
-        cache = _worker_cache()
+        worker_options = options.replace(cache=_worker_cache())
         results = [
-            evaluate_corpus(name, loops, machine, n, cache=cache, **kwargs)
+            evaluate_corpus(name, loops, machine, n, worker_options)
             for name, loops, machine in chunk
         ]
     finally:
-        if profile:
-            disable_profiling()
-    return results, profiler
+        _worker_teardown(collect, profiler, registry, tracer)
+    return results, profiler, registry, tracer.events if tracer else None
 
 
 def _run_program_chunk(
-    chunk: list, n: int | None, kwargs: dict, profile: bool = False
-) -> tuple[list, StageProfiler | None]:
+    chunk: list,
+    n: int | None,
+    options: EvalOptions,
+    collect: tuple[bool, bool, bool] = _COLLECT_NONE,
+) -> tuple[list, StageProfiler | None, MetricsRegistry | None, list[TraceEvent] | None]:
     from repro.pipeline import evaluate_program
 
-    profiler = enable_profiling() if profile else None
+    profiler, registry, tracer = _worker_collectors(collect)
     try:
-        cache = _worker_cache()
+        worker_options = options.replace(cache=_worker_cache())
         results = [
-            evaluate_program(program, machine, n, cache=cache, **kwargs)
+            evaluate_program(program, machine, n, worker_options)
             for program, machine in chunk
         ]
     finally:
-        if profile:
-            disable_profiling()
-    return results, profiler
+        _worker_teardown(collect, profiler, registry, tracer)
+    return results, profiler, registry, tracer.events if tracer else None
 
 
 class ParallelEvaluator:
@@ -112,54 +166,89 @@ class ParallelEvaluator:
         # ~4 chunks per worker balances load without drowning in pickling.
         return max(1, -(-n_jobs // (self.max_workers * 4)))
 
-    def _map_chunks(self, worker, jobs: Sequence, n: int | None, kwargs: dict) -> list:
+    def _map_chunks(
+        self, worker, jobs: Sequence, n: int | None, options: EvalOptions
+    ) -> list:
         """Run ``worker`` over job chunks, serially or on a process pool;
         either way the flattened results keep the jobs' insertion order."""
         jobs = list(jobs)
         self.used_pool = False
         self.fallback_reason = None
-        if self.max_workers <= 1 or len(jobs) <= 1:
-            self.fallback_reason = "max_workers=1" if self.max_workers <= 1 else "single job"
-            # In-process: stages land on the main profiler directly.
-            return worker(jobs, n, kwargs)[0]
-        chunks = chunked(jobs, self._resolve_chunk_size(len(jobs)))
-        profiler = active_profiler()
-        try:
-            import concurrent.futures as cf
+        with observation_scope(options):
+            # Workers run their own collectors/caches; the options they
+            # receive must be picklable and collector-free.
+            options = options.replace(tracer=None, metrics=None, cache=None, jobs=1)
+            if self.max_workers <= 1 or len(jobs) <= 1:
+                self.fallback_reason = (
+                    "max_workers=1" if self.max_workers <= 1 else "single job"
+                )
+                # In-process: stages land on the parent collectors directly.
+                return worker(jobs, n, options)[0]
+            chunks = chunked(jobs, self._resolve_chunk_size(len(jobs)))
+            profiler = active_profiler()
+            registry = active_metrics()
+            collect = (
+                profiler is not None,
+                registry is not None,
+                any(isinstance(t, RecordingTracer) for t in active_tracers()),
+            )
+            try:
+                import concurrent.futures as cf
 
-            with cf.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [
-                    pool.submit(worker, chunk, n, kwargs, profiler is not None)
-                    for chunk in chunks
-                ]
-                per_chunk = [future.result() for future in futures]
-            self.used_pool = True
-        except (OSError, ImportError, PermissionError, NotImplementedError) as err:
-            # No usable process pool on this platform: serial fallback.
-            self.fallback_reason = f"{type(err).__name__}: {err}"
-            return worker(jobs, n, kwargs)[0]
-        results = []
-        for chunk_results, worker_profiler in per_chunk:
-            results.extend(chunk_results)
-            if profiler is not None and worker_profiler is not None:
-                profiler.merge(worker_profiler)
-        return results
+                with cf.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    futures = [
+                        pool.submit(worker, chunk, n, options, collect)
+                        for chunk in chunks
+                    ]
+                    per_chunk = [future.result() for future in futures]
+                self.used_pool = True
+            except (OSError, ImportError, PermissionError, NotImplementedError) as err:
+                # No usable process pool on this platform: serial fallback.
+                self.fallback_reason = f"{type(err).__name__}: {err}"
+                metric_count("parallel.pool_fallbacks")
+                return worker(jobs, n, options)[0]
+            metric_count("parallel.pool_runs")
+            metric_count("parallel.chunks", len(chunks))
+            results = []
+            for chunk_results, worker_profiler, worker_metrics, worker_events in per_chunk:
+                results.extend(chunk_results)
+                if profiler is not None and worker_profiler is not None:
+                    profiler.merge(worker_profiler)
+                if registry is not None and worker_metrics is not None:
+                    registry.merge(worker_metrics)
+                if worker_events:
+                    ingest_events(worker_events)
+            return results
 
     def evaluate_corpora(
-        self, jobs: Sequence, n: int | None = None, **kwargs
+        self,
+        jobs: Sequence,
+        n: int | None = None,
+        options: EvalOptions | None = None,
+        **legacy,
     ) -> "list[CorpusEvaluation]":
         """Evaluate ``(name, loops, machine)`` jobs; results in job order.
 
-        ``kwargs`` are forwarded to :func:`repro.pipeline.evaluate_corpus`
-        (``apply_restructuring``, ``fuse``, ``exact_simulation``, ...) and
-        must be picklable when a pool is used.
+        ``options`` forwards to :func:`repro.pipeline.evaluate_corpus`
+        (its ``cache``/``tracer``/``metrics``/``jobs`` fields are managed
+        by the evaluator); legacy keyword arguments are deprecated shims.
+        Each returned corpus carries this run's ``fallback_reason``.
         """
-        return self._map_chunks(_run_corpus_chunk, jobs, n, kwargs)
+        options = EvalOptions.coerce(options, **legacy)
+        results = self._map_chunks(_run_corpus_chunk, jobs, n, options)
+        for corpus in results:
+            corpus.fallback_reason = self.fallback_reason
+        return results
 
     def evaluate_programs(
-        self, jobs: Sequence, n: int | None = None, **kwargs
+        self,
+        jobs: Sequence,
+        n: int | None = None,
+        options: EvalOptions | None = None,
+        **legacy,
     ) -> "list[ProgramEvaluation]":
         """Evaluate ``(program_or_source, machine)`` jobs; results in job
-        order.  ``kwargs`` forward to :func:`repro.pipeline.
+        order.  ``options`` forwards to :func:`repro.pipeline.
         evaluate_program`."""
-        return self._map_chunks(_run_program_chunk, jobs, n, kwargs)
+        options = EvalOptions.coerce(options, **legacy)
+        return self._map_chunks(_run_program_chunk, jobs, n, options)

@@ -2,10 +2,12 @@
 
 A :class:`StageProfiler` accumulates wall-clock seconds and call counts per
 named stage ("parse", "deps", "sync", "lower", "dfg", "schedule", "verify",
-"simulate", ...).  The pipeline marks its stages with the module-level
-:func:`profiled` context manager, which is a no-op unless a profiler has
-been activated with :func:`enable_profiling` — so instrumented code pays
-one global read when profiling is off.
+"simulate", ...).  Since the :mod:`repro.obs` redesign the profiler is one
+pluggable :class:`repro.obs.trace.Tracer` among others: the pipeline marks
+its stages with :func:`repro.obs.span`, and :func:`enable_profiling`
+simply installs a ``StageProfiler`` as a tracer.  :func:`profiled` is kept
+as a deprecated-in-name-only alias of ``span`` for older call sites — the
+no-tracer fast path still costs one global read.
 
 ``repro --profile <command>`` enables a profiler around any CLI command and
 prints the report to stderr; see ``docs/performance.md`` for the format.
@@ -16,7 +18,9 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
+
+from repro.obs.trace import Tracer, add_tracer, remove_tracer, span
 
 __all__ = [
     "StageProfiler",
@@ -28,21 +32,29 @@ __all__ = [
 
 
 @dataclass
-class StageProfiler:
+class StageProfiler(Tracer):
     """Per-stage wall-clock accumulator: seconds and call counts."""
 
     seconds: dict[str, float] = field(default_factory=dict)
     calls: dict[str, int] = field(default_factory=dict)
 
+    # -- the Tracer interface (used when installed via repro.obs) -----------
+
+    def start(self, name: str, attrs: dict[str, Any] | None) -> float:
+        return time.perf_counter()
+
+    def finish(self, name: str, token: float, attrs: dict[str, Any] | None) -> None:
+        elapsed = time.perf_counter() - token
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.calls[name] = self.calls.get(name, 0) + 1
+
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
+        token = self.start(name, None)
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
-            self.calls[name] = self.calls.get(name, 0) + 1
+            self.finish(name, token, None)
 
     def count(self, name: str, amount: int = 1) -> None:
         """Bump a counter without timing (cache hits, fast-path takes...)."""
@@ -91,9 +103,16 @@ _ACTIVE: StageProfiler | None = None
 
 
 def enable_profiling(profiler: StageProfiler | None = None) -> StageProfiler:
-    """Install ``profiler`` (or a fresh one) as the active collector."""
+    """Install ``profiler`` (or a fresh one) as the active collector.
+
+    The profiler is registered as a :mod:`repro.obs` tracer, so every
+    :func:`repro.obs.span` in the pipeline reports to it.
+    """
     global _ACTIVE
+    if _ACTIVE is not None:
+        remove_tracer(_ACTIVE)
     _ACTIVE = profiler if profiler is not None else StageProfiler()
+    add_tracer(_ACTIVE)
     return _ACTIVE
 
 
@@ -101,6 +120,8 @@ def disable_profiling() -> StageProfiler | None:
     """Deactivate and return the previously active profiler, if any."""
     global _ACTIVE
     previous, _ACTIVE = _ACTIVE, None
+    if previous is not None:
+        remove_tracer(previous)
     return previous
 
 
@@ -108,12 +129,5 @@ def active_profiler() -> StageProfiler | None:
     return _ACTIVE
 
 
-@contextmanager
-def profiled(name: str) -> Iterator[None]:
-    """Time a pipeline stage on the active profiler; no-op when disabled."""
-    profiler = _ACTIVE
-    if profiler is None:
-        yield
-    else:
-        with profiler.stage(name):
-            yield
+# Stage markers are spans now; `profiled` remains for older call sites.
+profiled = span

@@ -9,41 +9,46 @@ simulation``.
 both schedulers on a machine and simulates; :func:`evaluate_corpus` sums a
 benchmark corpus the way the paper's Table 2 does.
 
-Sweep-scale helpers (see :mod:`repro.perf` and ``docs/performance.md``):
-every driver accepts a ``cache`` (:class:`repro.perf.CompileCache`) so
-repeated sweep points reuse compilations and schedules, and an
-``exact_simulation`` flag that forces the full event walk instead of the
-analytic fast path.  All stages report wall-clock to the active
-:class:`~repro.perf.profile.StageProfiler` (``repro --profile``).
+Every driver takes a single frozen :class:`~repro.options.EvalOptions`
+value (the stable facade; see ``docs/api.md``).  The pre-``EvalOptions``
+keyword arguments (``apply_restructuring``, ``fuse``, ``cache``,
+``exact_simulation``, ...) still work but emit ``DeprecationWarning`` and
+are mapped onto an ``EvalOptions`` internally.
+
+Observability (see :mod:`repro.obs` and ``docs/observability.md``): every
+stage is wrapped in a :func:`repro.obs.span` trace span, and
+:func:`evaluate_loop` records the paper's per-loop quantities (wait-stall
+cycles per sync pair, Wait→Send spans, run-time LBD/LFD pair counts) on
+the active metrics registry.  Both are no-ops unless a tracer/registry is
+installed, so the instrumented pipeline is exactly as fast as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
 
 from repro.codegen import FuseStore, LoweredLoop, lower_loop
 from repro.deps import LoopClass
 from repro.dfg import DataFlowGraph, build_dfg
 from repro.ir.ast_nodes import Loop
 from repro.ir.parser import parse_loop
-from repro.perf.profile import profiled
+from repro.obs.metrics import active_metrics
+from repro.obs.metrics import count as metric_count
+from repro.obs.metrics import observe as metric_observe
+from repro.obs.trace import span
+from repro.options import EvalOptions, observation_scope as _collectors
 from repro.sched import (
     MachineConfig,
-    Priority,
     Schedule,
-    SyncSchedulerOptions,
     assert_valid,
     list_schedule,
     sync_schedule,
 )
 from repro.sim import MemoryImage, execute_parallel, run_serial, simulate_doacross
 from repro.sim.metrics import improvement_percent
+from repro.sim.multiproc import SimulationResult
 from repro.sync import SyncedLoop, insert_synchronization
 from repro.transforms import RestructureResult, restructure
-
-if TYPE_CHECKING:  # pragma: no cover - repro.perf.cache imports this module
-    from repro.perf.cache import CompileCache
 
 
 @dataclass
@@ -63,36 +68,55 @@ class CompiledLoop:
 
 def compile_loop(
     loop: Loop | str,
-    apply_restructuring: bool = True,
-    fuse: FuseStore = FuseStore.BEFORE_SEND,
+    options: EvalOptions | None = None,
+    apply_restructuring: bool | None = None,
+    fuse: FuseStore | None = None,
 ) -> CompiledLoop:
     """Front half of the pipeline.  Raises ``ValueError`` for SERIAL loops
-    (the paper drops them from the study too)."""
-    if isinstance(loop, str):
-        with profiled("parse"):
-            loop = parse_loop(loop)
-    with profiled("deps"):
-        if apply_restructuring:
-            restructured = restructure(loop)
-        else:
-            restructured = restructure(
-                loop, apply_induction=False, apply_expansion=False, apply_reduction=False
-            )
-    if restructured.classification is LoopClass.SERIAL:
-        raise ValueError("loop is SERIAL after restructuring; cannot be DOACROSS-scheduled")
-    with profiled("sync"):
-        synced = insert_synchronization(restructured.loop, restructured.graph)
-    with profiled("lower"):
-        lowered = lower_loop(synced, fuse=fuse)
-    with profiled("dfg"):
-        graph = build_dfg(lowered)
-    return CompiledLoop(
-        source=loop,
-        restructured=restructured,
-        synced=synced,
-        lowered=lowered,
-        graph=graph,
+    (the paper drops them from the study too).
+
+    ``options`` carries the compile knobs (``apply_restructuring``,
+    ``fuse``); passing those as keyword (or legacy positional) arguments
+    still works but is deprecated.
+    """
+    if isinstance(options, bool):  # legacy: compile_loop(loop, True[, fuse])
+        if isinstance(apply_restructuring, FuseStore) and fuse is None:
+            fuse = apply_restructuring
+        apply_restructuring, options = options, None
+    options = EvalOptions.coerce(
+        options, apply_restructuring=apply_restructuring, fuse=fuse
     )
+    with span("compile"), _collectors(options):
+        if isinstance(loop, str):
+            with span("parse"):
+                loop = parse_loop(loop)
+        with span("deps"):
+            if options.apply_restructuring:
+                restructured = restructure(loop)
+            else:
+                restructured = restructure(
+                    loop,
+                    apply_induction=False,
+                    apply_expansion=False,
+                    apply_reduction=False,
+                )
+        if restructured.classification is LoopClass.SERIAL:
+            raise ValueError(
+                "loop is SERIAL after restructuring; cannot be DOACROSS-scheduled"
+            )
+        with span("sync"):
+            synced = insert_synchronization(restructured.loop, restructured.graph)
+        with span("lower"):
+            lowered = lower_loop(synced, fuse=options.fuse)
+        with span("dfg"):
+            graph = build_dfg(lowered)
+        return CompiledLoop(
+            source=loop,
+            restructured=restructured,
+            synced=synced,
+            lowered=lowered,
+            graph=graph,
+        )
 
 
 @dataclass
@@ -106,50 +130,109 @@ class LoopEvaluation:
     schedule_new: Schedule
     t_list: int
     t_new: int
+    sim_list: SimulationResult | None = None
+    sim_new: SimulationResult | None = None
 
     @property
     def improvement(self) -> float:
         return improvement_percent(self.t_list, self.t_new)
 
 
+def _record_evaluation_metrics(
+    compiled: CompiledLoop,
+    results: tuple[tuple[str, Schedule, SimulationResult], ...],
+) -> None:
+    """The paper's per-loop quantities, on the active metrics registry.
+
+    Everything here is a pure function of (loop, machine, options), so
+    these ``sim.*`` / ``sched.*`` aggregates are identical however the
+    sweep was cached or partitioned (see
+    :data:`repro.obs.metrics.DETERMINISTIC_NAMESPACES`).
+    """
+    pairs = compiled.synced.pairs
+    for pair in pairs:
+        metric_count(
+            "sched.pairs_lexical_lbd"
+            if pair.is_lexically_backward
+            else "sched.pairs_lexical_lfd"
+        )
+    for role, schedule, sim in results:
+        runtime_lbd = schedule.runtime_lbd_pairs()
+        metric_count(f"sched.{role}.runtime_lbd_pairs", len(runtime_lbd))
+        metric_count(f"sched.{role}.runtime_lfd_pairs", len(pairs) - len(runtime_lbd))
+        for pair in pairs:
+            # The paper's i − j span: send issue cycle minus wait issue cycle.
+            metric_observe(
+                f"sched.{role}.wait_send_span",
+                schedule.send_cycle(pair.pair_id) - schedule.wait_cycle(pair.pair_id),
+            )
+        metric_count(f"sim.{role}.stall_cycles", sim.total_stall)
+        for stall in sim.stall_by_pair.values():
+            metric_observe(f"sim.{role}.pair_stall_cycles", stall)
+
+
 def evaluate_loop(
     compiled: CompiledLoop,
     machine: MachineConfig,
     n: int | None = None,
-    verify: bool = True,
-    check_semantics: bool = False,
-    list_priority: Priority = Priority.PROGRAM_ORDER,
-    sync_options: SyncSchedulerOptions | None = None,
-    exact_simulation: bool = False,
-    cache: "CompileCache | None" = None,
+    options: EvalOptions | None = None,
+    **legacy,
 ) -> LoopEvaluation:
     """Schedule with both algorithms and simulate the DOACROSS execution.
 
-    ``verify`` re-checks both schedules against the DFG and machine;
-    ``check_semantics`` additionally executes both schedules against real
-    memory and compares with serial execution (slower; used by tests).
-    ``cache`` memoizes the (list, sync) schedule pair per machine and
-    scheduler options; ``exact_simulation`` disables the analytic fast
-    path of :func:`repro.sim.simulate_doacross`.
+    All knobs (``verify``, ``check_semantics``, ``list_priority``,
+    ``sync_options``, ``exact_simulation``, ``cache``) live on
+    ``options``; passing them as keyword arguments still works but is
+    deprecated.
     """
-    if cache is not None:
-        with profiled("schedule"):
-            sched_list, sched_new = cache.schedules(
-                compiled, machine, list_priority, sync_options, verify=verify
+    if isinstance(options, bool):  # legacy: evaluate_loop(c, m, n, verify)
+        legacy.setdefault("verify", options)
+        options = None
+    options = EvalOptions.coerce(options, **legacy)
+    with span("evaluate_loop"), _collectors(options):
+        return _evaluate_loop(compiled, machine, n, options)
+
+
+def _evaluate_loop(
+    compiled: CompiledLoop,
+    machine: MachineConfig,
+    n: int | None,
+    options: EvalOptions,
+) -> LoopEvaluation:
+    if options.cache is not None:
+        with span("schedule"):
+            sched_list, sched_new = options.cache.schedules(
+                compiled,
+                machine,
+                options.list_priority,
+                options.sync_options,
+                verify=options.verify,
             )
     else:
-        with profiled("schedule"):
-            sched_list = list_schedule(compiled.lowered, compiled.graph, machine, list_priority)
-            sched_new = sync_schedule(compiled.lowered, compiled.graph, machine, sync_options)
-        if verify:
-            with profiled("verify"):
+        with span("schedule"):
+            sched_list = list_schedule(
+                compiled.lowered, compiled.graph, machine, options.list_priority
+            )
+            sched_new = sync_schedule(
+                compiled.lowered, compiled.graph, machine, options.sync_options
+            )
+        if options.verify:
+            with span("verify"):
                 assert_valid(sched_list, compiled.graph)
                 assert_valid(sched_new, compiled.graph)
-    with profiled("simulate"):
-        sim_list = simulate_doacross(sched_list, n, exact_simulation=exact_simulation)
-        sim_new = simulate_doacross(sched_new, n, exact_simulation=exact_simulation)
-    if check_semantics:
-        with profiled("semantics"):
+    with span("simulate"):
+        sim_list = simulate_doacross(
+            sched_list, n, exact_simulation=options.exact_simulation
+        )
+        sim_new = simulate_doacross(
+            sched_new, n, exact_simulation=options.exact_simulation
+        )
+    if active_metrics() is not None:
+        _record_evaluation_metrics(
+            compiled, (("list", sched_list, sim_list), ("new", sched_new, sim_new))
+        )
+    if options.check_semantics:
+        with span("semantics"):
             reference = run_serial(compiled.synced.loop, MemoryImage())
             for sched, sim in ((sched_list, sim_list), (sched_new, sim_new)):
                 result = execute_parallel(sched, MemoryImage(), n)
@@ -171,6 +254,8 @@ def evaluate_loop(
         schedule_new=sched_new,
         t_list=sim_list.parallel_time,
         t_new=sim_new.parallel_time,
+        sim_list=sim_list,
+        sim_new=sim_new,
     )
 
 
@@ -181,6 +266,10 @@ class CorpusEvaluation:
     name: str
     machine: MachineConfig
     evaluations: list[LoopEvaluation] = field(default_factory=list)
+    fallback_reason: str | None = None
+    """Why a requested process-pool fan-out stayed serial (``None`` when
+    the evaluation ran as requested); see
+    :attr:`repro.perf.parallel.ParallelEvaluator.fallback_reason`."""
 
     @property
     def t_list(self) -> int:
@@ -195,15 +284,10 @@ class CorpusEvaluation:
         return improvement_percent(self.t_list, self.t_new)
 
 
-def _compile(
-    loop: Loop | str,
-    apply_restructuring: bool,
-    fuse: FuseStore,
-    cache: "CompileCache | None",
-) -> CompiledLoop:
-    if cache is not None:
-        return cache.compile(loop, apply_restructuring, fuse)
-    return compile_loop(loop, apply_restructuring, fuse)
+def _compile(loop: Loop | str, options: EvalOptions) -> CompiledLoop:
+    if options.cache is not None:
+        return options.cache.compile(loop, options.apply_restructuring, options.fuse)
+    return compile_loop(loop, options)
 
 
 def evaluate_corpus(
@@ -211,24 +295,44 @@ def evaluate_corpus(
     loops: list[Loop],
     machine: MachineConfig,
     n: int | None = None,
-    apply_restructuring: bool = True,
-    fuse: FuseStore = FuseStore.BEFORE_SEND,
-    cache: "CompileCache | None" = None,
-    **kwargs,
+    options: EvalOptions | None = None,
+    **legacy,
 ) -> CorpusEvaluation:
     """Compile and evaluate every loop of a corpus on one machine.
 
-    ``apply_restructuring`` and ``fuse`` forward to :func:`compile_loop`
-    (and into the cache key when ``cache`` is given); remaining keyword
-    arguments forward to :func:`evaluate_loop`.
+    With ``options.jobs > 1`` the loops are fanned out over a
+    :class:`~repro.perf.parallel.ParallelEvaluator` (results are
+    identical to the serial order either way).  Legacy keyword arguments
+    are deprecated shims onto ``options``.
     """
-    result = CorpusEvaluation(name=name, machine=machine)
-    for loop in loops:
-        compiled = _compile(loop, apply_restructuring, fuse, cache)
-        result.evaluations.append(
-            evaluate_loop(compiled, machine, n, cache=cache, **kwargs)
-        )
-    return result
+    options = EvalOptions.coerce(options, **legacy)
+    with span("evaluate_corpus", corpus=name, machine=machine.name), _collectors(
+        options
+    ):
+        if options.jobs > 1 and len(loops) > 1:
+            from repro.perf.parallel import ParallelEvaluator
+
+            evaluator = ParallelEvaluator(max_workers=options.jobs)
+            per_loop = evaluator.evaluate_corpora(
+                [(name, [loop], machine) for loop in loops],
+                n=n,
+                options=options.replace(jobs=1, tracer=None, metrics=None, cache=None),
+            )
+            result = CorpusEvaluation(
+                name=name, machine=machine, fallback_reason=evaluator.fallback_reason
+            )
+            for sub in per_loop:
+                result.evaluations.extend(sub.evaluations)
+            return result
+        result = CorpusEvaluation(name=name, machine=machine)
+        loop_options = options if options.jobs == 1 else options.replace(jobs=1)
+        for loop in loops:
+            compiled = _compile(loop, loop_options)
+            with span("evaluate_loop"):
+                result.evaluations.append(
+                    _evaluate_loop(compiled, machine, n, loop_options)
+                )
+        return result
 
 
 @dataclass
@@ -264,30 +368,32 @@ def evaluate_program(
     program_or_source,
     machine: MachineConfig,
     n: int | None = None,
-    apply_restructuring: bool = True,
-    fuse: FuseStore = FuseStore.BEFORE_SEND,
-    cache: "CompileCache | None" = None,
-    **kwargs,
+    options: EvalOptions | None = None,
+    **legacy,
 ) -> ProgramEvaluation:
     """Evaluate every loop of a compilation unit (Fig. 5 at program scope).
 
-    Compile options and ``cache`` behave as in :func:`evaluate_corpus`.
+    ``options`` behaves as in :func:`evaluate_corpus` (``jobs`` applies
+    to corpus/sweep drivers, not within one program).
     """
     from repro.ir.parser import parse_program
 
-    if isinstance(program_or_source, str):
-        with profiled("parse"):
-            program = parse_program(program_or_source)
-    else:
-        program = program_or_source
-    result = ProgramEvaluation(program=program, machine=machine)
-    for index, loop in enumerate(program.loops):
-        try:
-            compiled = _compile(loop, apply_restructuring, fuse, cache)
-        except ValueError:
-            result.serial_loops.append(index)
-            continue
-        result.evaluations.append(
-            evaluate_loop(compiled, machine, n, cache=cache, **kwargs)
-        )
-    return result
+    options = EvalOptions.coerce(options, **legacy)
+    with span("evaluate_program", machine=machine.name), _collectors(options):
+        if isinstance(program_or_source, str):
+            with span("parse"):
+                program = parse_program(program_or_source)
+        else:
+            program = program_or_source
+        result = ProgramEvaluation(program=program, machine=machine)
+        for index, loop in enumerate(program.loops):
+            try:
+                compiled = _compile(loop, options)
+            except ValueError:
+                result.serial_loops.append(index)
+                continue
+            with span("evaluate_loop"):
+                result.evaluations.append(
+                    _evaluate_loop(compiled, machine, n, options)
+                )
+        return result

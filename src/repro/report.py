@@ -4,6 +4,18 @@ Downstream users (plotting scripts, CI dashboards) want the evaluation
 results as data, not prose.  These helpers serialize the pipeline's result
 objects to plain dicts / JSON: schedules with spans, per-loop evaluations,
 and whole corpus sweeps in the shape of the paper's Table 2.
+
+Every record carries ``schema_version`` (currently :data:`SCHEMA_VERSION`).
+Version history — the documented contract lives in ``docs/api.md``:
+
+* **v1** (implicit; records had no version field) — the original PR 1
+  shape: timings, spans, utilization.
+* **v2** — adds ``schema_version`` everywhere, a ``metrics`` block on
+  evaluation and corpus records (simulated stall cycles per sync pair and
+  the simulator dispatch used, from :class:`repro.sim.multiproc.
+  SimulationResult`), and ``fallback_reason`` on corpus records (why a
+  requested process-pool fan-out stayed serial, ``None`` otherwise).
+  Consumers written against v1 keep working: v2 only adds keys.
 """
 
 from __future__ import annotations
@@ -14,12 +26,28 @@ from typing import Any
 from repro.pipeline import CorpusEvaluation, LoopEvaluation
 from repro.sched.schedule import Schedule
 from repro.sched.stats import schedule_stats
+from repro.sim.multiproc import SimulationResult
+
+#: Record format version; bump when a record's shape changes (docs/api.md).
+SCHEMA_VERSION = 2
+
+
+def _sim_metrics(sim: SimulationResult | None) -> dict[str, Any] | None:
+    """One scheduler's simulation metrics (``None`` pre-v2 / not kept)."""
+    if sim is None:
+        return None
+    return {
+        "dispatch": sim.dispatch,
+        "total_stall_cycles": sim.total_stall,
+        "stall_by_pair": {str(k): v for k, v in sorted(sim.stall_by_pair.items())},
+    }
 
 
 def schedule_record(schedule: Schedule) -> dict[str, Any]:
     """A schedule as data: bundles, spans, utilization."""
     stats = schedule_stats(schedule)
     return {
+        "schema_version": SCHEMA_VERSION,
         "scheduler": schedule.scheduler_name,
         "machine": schedule.machine.name,
         "length": schedule.length,
@@ -39,6 +67,7 @@ def schedule_record(schedule: Schedule) -> dict[str, Any]:
 def evaluation_record(evaluation: LoopEvaluation) -> dict[str, Any]:
     """One loop's two-scheduler comparison as data."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "machine": evaluation.machine.name,
         "n": evaluation.n,
         "t_list": evaluation.t_list,
@@ -50,21 +79,53 @@ def evaluation_record(evaluation: LoopEvaluation) -> dict[str, Any]:
             "list": schedule_record(evaluation.schedule_list),
             "new": schedule_record(evaluation.schedule_new),
         },
+        "metrics": {
+            "list": _sim_metrics(evaluation.sim_list),
+            "new": _sim_metrics(evaluation.sim_new),
+        },
     }
 
 
 def corpus_record(corpus: CorpusEvaluation) -> dict[str, Any]:
     """A Table 2 cell pair with its per-loop breakdown."""
+    loops = [evaluation_record(e) for e in corpus.evaluations]
+
+    def total(role: str) -> int | None:
+        per_loop = [loop["metrics"][role] for loop in loops]
+        if any(m is None for m in per_loop):
+            return None
+        return sum(m["total_stall_cycles"] for m in per_loop)
+
     return {
+        "schema_version": SCHEMA_VERSION,
         "benchmark": corpus.name,
         "machine": corpus.machine.name,
         "t_list": corpus.t_list,
         "t_new": corpus.t_new,
         "improvement_percent": round(corpus.improvement, 2),
-        "loops": [evaluation_record(e) for e in corpus.evaluations],
+        "fallback_reason": corpus.fallback_reason,
+        "metrics": {
+            "total_stall_cycles": {"list": total("list"), "new": total("new")},
+        },
+        "loops": loops,
     }
 
 
 def to_json(record: dict[str, Any] | list, indent: int = 2) -> str:
-    """Serialize a record to JSON (stable key order for diffs)."""
+    """Serialize a record to JSON (stable key order for diffs).
+
+    Any top-level dict (or list element) missing ``schema_version`` is
+    stamped with the current :data:`SCHEMA_VERSION` so hand-built records
+    stay comparable with the emitted ones.
+    """
+
+    def stamp(value):
+        if isinstance(value, dict) and "schema_version" not in value:
+            return {"schema_version": SCHEMA_VERSION, **value}
+        return value
+
+    if isinstance(record, list):
+        record = [stamp(item) for item in record]
+    else:
+        record = stamp(record)
     return json.dumps(record, indent=indent, sort_keys=True)

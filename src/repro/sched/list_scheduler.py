@@ -23,6 +23,8 @@ import enum
 
 from repro.codegen.lower import LoweredLoop
 from repro.dfg.graph import DataFlowGraph
+from repro.obs.metrics import observe as metric_observe
+from repro.obs.trace import span
 from repro.sched.machine import MachineConfig
 from repro.sched.resources import ResourceTable
 from repro.sched.schedule import Schedule
@@ -72,29 +74,31 @@ def list_schedule(
     ready_cycle = {n: 1 for n in graph.nodes}
     pending_preds = {n: graph.in_degree(n) for n in graph.nodes}
 
-    cycle = 1
-    while unscheduled:
-        candidates = sorted(
-            (
-                n
-                for n in unscheduled
-                if pending_preds[n] == 0 and ready_cycle[n] <= cycle
-            ),
-            key=sort_key,
-        )
-        placed_any = False
-        for iid in candidates:
-            fu = lowered.instruction(iid).fu
-            if resources.can_place(fu, cycle):
-                resources.place(fu, cycle)
-                schedule.cycle_of[iid] = cycle
-                unscheduled.discard(iid)
-                placed_any = True
-                latency = machine.latency(fu)
-                for edge in graph.succ[iid]:
-                    pending_preds[edge.dst] -= 1
-                    ready_cycle[edge.dst] = max(ready_cycle[edge.dst], cycle + latency)
-        cycle += 1
-        if not placed_any and not candidates and cycle > 2 * len(graph.nodes) * 8 + 64:
-            raise RuntimeError("list scheduler failed to make progress")  # pragma: no cover
+    with span("schedule.list"):
+        cycle = 1
+        while unscheduled:
+            candidates = sorted(
+                (
+                    n
+                    for n in unscheduled
+                    if pending_preds[n] == 0 and ready_cycle[n] <= cycle
+                ),
+                key=sort_key,
+            )
+            metric_observe("sched_pass.list.ready_len", len(candidates))
+            placed_any = False
+            for iid in candidates:
+                fu = lowered.instruction(iid).fu
+                if resources.can_place(fu, cycle):
+                    resources.place(fu, cycle)
+                    schedule.cycle_of[iid] = cycle
+                    unscheduled.discard(iid)
+                    placed_any = True
+                    latency = machine.latency(fu)
+                    for edge in graph.succ[iid]:
+                        pending_preds[edge.dst] -= 1
+                        ready_cycle[edge.dst] = max(ready_cycle[edge.dst], cycle + latency)
+            cycle += 1
+            if not placed_any and not candidates and cycle > 2 * len(graph.nodes) * 8 + 64:
+                raise RuntimeError("list scheduler failed to make progress")  # pragma: no cover
     return schedule

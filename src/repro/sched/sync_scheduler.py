@@ -38,6 +38,8 @@ from repro.dfg.graph import DataFlowGraph
 from repro.dfg.partition import Component, ComponentKind, partition
 from repro.dfg.syncpath import SyncPath, find_sync_paths, group_overlapping, order_paths
 from repro.ir.ast_nodes import Const
+from repro.obs.metrics import count as metric_count
+from repro.obs.trace import span
 from repro.sched.machine import MachineConfig
 from repro.sched.resources import ResourceTable
 from repro.sched.schedule import Schedule
@@ -343,10 +345,12 @@ class _SyncScheduler:
         )
         for start in range(1, horizon + 1):
             if self.try_place_path(nodes, start):
+                metric_count("sched_pass.sync.sp_start_retries", start - 1)
                 return
         # Dependence-minimal spacing can still be resource-infeasible (the
         # in-between work oversubscribes a unit inside the fixed window):
         # fall back to tight sequential ASAP placement, which always works.
+        metric_count("sched_pass.sync.sp_fallback_asap")
         for node in nodes:
             if node not in self.cycle_of:
                 self.place_with_ancestors(node)
@@ -377,6 +381,7 @@ class _SyncScheduler:
                 trip = 100
         paths = find_sync_paths(self.graph, self.lowered, components)
         self._sp_pair_ids = {p.pair_id for p in paths}
+        metric_count("sched_pass.sync.sync_paths", len(paths))
         if self.options.sp_order == "desc":
             paths = order_paths(paths, trip)
         elif self.options.sp_order == "asc":
@@ -414,27 +419,32 @@ class _SyncScheduler:
         # all Sigwat graphs" converts their pairs to LFD — the waits, placed
         # later, land after these sends).
         if self.options.sends_before_waits:
-            for component in components:
-                if component.kind is ComponentKind.SIG:
-                    self.schedule_set(set(component.nodes))
+            with span("schedule.sync.sig_first"):
+                for component in components:
+                    if component.kind is ComponentKind.SIG:
+                        self.schedule_set(set(component.nodes))
 
         # Phase 1: synchronization paths.
-        for group in group_overlapping(paths):
-            self.schedule_sp_group(group)
+        with span("schedule.sync.sp"):
+            groups = group_overlapping(paths)
+            metric_count("sched_pass.sync.sp_groups", len(groups))
+            for group in groups:
+                self.schedule_sp_group(group)
 
         # Phases 2-5: Sigwat remainders, Sig graphs, Wat graphs, plain nodes.
-        for kind in (
-            ComponentKind.SIGWAT,
-            ComponentKind.SIG,
-            ComponentKind.WAT,
-            ComponentKind.PLAIN,
-        ):
-            for component in components:
-                if component.kind is kind:
-                    self.schedule_set(
-                        set(component.nodes),
-                        sends_first=(kind is ComponentKind.SIGWAT),
-                    )
+        with span("schedule.sync.components"):
+            for kind in (
+                ComponentKind.SIGWAT,
+                ComponentKind.SIG,
+                ComponentKind.WAT,
+                ComponentKind.PLAIN,
+            ):
+                for component in components:
+                    if component.kind is kind:
+                        self.schedule_set(
+                            set(component.nodes),
+                            sends_first=(kind is ComponentKind.SIGWAT),
+                        )
 
         return Schedule(
             machine=self.machine,
@@ -452,7 +462,8 @@ def sync_schedule(
 ) -> Schedule:
     """Schedule with the paper's synchronization-aware algorithm."""
     options = options or SyncSchedulerOptions()
-    schedule = _SyncScheduler(lowered, graph, machine, options).run()
+    with span("schedule.sync"):
+        schedule = _SyncScheduler(lowered, graph, machine, options).run()
     if options.guard_never_degrade:
         # Deferred imports: repro.sim imports repro.sched at module load.
         from repro.ir.ast_nodes import Const

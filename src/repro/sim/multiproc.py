@@ -38,6 +38,8 @@ import bisect
 from dataclasses import dataclass, field
 
 from repro.codegen.isa import Opcode
+from repro.obs.metrics import count as metric_count
+from repro.obs.trace import span
 from repro.sched.schedule import Schedule
 
 
@@ -75,6 +77,11 @@ class SimulationResult:
     total_stall: int
     processors: int = 0  # 0 = one per iteration (the paper's setting)
     signal_latency: int = 1
+    dispatch: str = "event_walk"  # "fast_path" when the closed form answered
+    stall_by_pair: dict[int, int] = field(default_factory=dict)
+    """Total wait-stall cycles attributed to each sync pair (pair_id →
+    cycles, summed over iterations); zero entries are included so the
+    keys always cover every pair of the loop."""
 
     @property
     def iteration_length(self) -> int:
@@ -139,6 +146,8 @@ def analytic_fast_path(
     length = schedule.length
     waits: list[tuple[int, int, int]] = []
     stalling: list[tuple[int, int, int]] = []
+    stalling_pair_id: int | None = None
+    no_stall = {pair.pair_id: 0 for pair in lowered.synced.pairs}
     for pair in lowered.synced.pairs:
         item = (
             schedule.wait_cycle(pair.pair_id),
@@ -148,6 +157,7 @@ def analytic_fast_path(
         waits.append(item)
         if item[2] - item[0] + signal_latency > 0:
             stalling.append(item)
+            stalling_pair_id = pair.pair_id
 
     if not stalling:
         return SimulationResult(
@@ -158,6 +168,8 @@ def analytic_fast_path(
             total_stall=0,
             processors=n,
             signal_latency=signal_latency,
+            dispatch="fast_path",
+            stall_by_pair=no_stall,
         )
     if len(stalling) > 1:
         return None
@@ -173,14 +185,20 @@ def analytic_fast_path(
                 return None
     per_hop = send_cycle - wait_cycle + signal_latency
     finish_times = [length + ((k - 1) // distance) * per_hop for k in range(1, n + 1)]
+    total_stall = sum(finish_times) - n * length
+    stall_by_pair = dict(no_stall)
+    if stalling_pair_id is not None:
+        stall_by_pair[stalling_pair_id] = total_stall
     return SimulationResult(
         schedule=schedule,
         n=n,
         parallel_time=finish_times[-1] if n else 0,
         finish_times=finish_times,
-        total_stall=sum(finish_times) - n * length,
+        total_stall=total_stall,
         processors=n,
         signal_latency=signal_latency,
+        dispatch="fast_path",
+        stall_by_pair=stall_by_pair,
     )
 
 
@@ -222,54 +240,63 @@ def simulate_doacross(
     if not exact_simulation and processors >= n:
         fast = analytic_fast_path(schedule, n, signal_latency)
         if fast is not None:
+            metric_count("sim.dispatch.fast_path")
             return fast
 
-    # Waits of the schedule in issue-cycle order, with (distance, send cycle).
-    waits: list[tuple[int, int, int]] = []  # (wait_cycle, distance, send_cycle)
-    for pair in lowered.synced.pairs:
-        wait_cycle = schedule.wait_cycle(pair.pair_id)
-        send_cycle = schedule.send_cycle(pair.pair_id)
-        waits.append((wait_cycle, pair.distance, send_cycle))
-    waits.sort()
+    metric_count("sim.dispatch.event_walk")
+    with span("sim.event_walk"):
+        # Waits of the schedule in issue-cycle order, with (distance, send
+        # cycle, pair id); ties keep pair-id order, matching the old list
+        # order, so the walk is unchanged.
+        waits: list[tuple[int, int, int, int]] = []
+        for pair in lowered.synced.pairs:
+            wait_cycle = schedule.wait_cycle(pair.pair_id)
+            send_cycle = schedule.send_cycle(pair.pair_id)
+            waits.append((wait_cycle, pair.distance, send_cycle, pair.pair_id))
+        waits.sort()
 
-    length = schedule.length
-    timings: list[_IterationTiming] = []
-    finish_times: list[int] = []
-    total_stall = 0
+        length = schedule.length
+        timings: list[_IterationTiming] = []
+        finish_times: list[int] = []
+        total_stall = 0
+        stall_by_pair = {pair.pair_id: 0 for pair in lowered.synced.pairs}
 
-    # Predecessor of each iteration on its own processor, if any.
-    prev_on_proc: dict[int, int] = {}
-    for assigned in iteration_mapping(n, processors, mapping):
-        for a, b in zip(assigned, assigned[1:]):
-            prev_on_proc[b] = a
+        # Predecessor of each iteration on its own processor, if any.
+        prev_on_proc: dict[int, int] = {}
+        for assigned in iteration_mapping(n, processors, mapping):
+            for a, b in zip(assigned, assigned[1:]):
+                prev_on_proc[b] = a
 
-    for k in range(1, n + 1):  # iteration numbers relative to the lower bound
-        # The processor resumes after its previous iteration (if any).
-        prev = prev_on_proc.get(k)
-        start = finish_times[prev - 1] if prev is not None else 0
-        timing = _IterationTiming(start=start)
-        stall = 0
-        for wait_cycle, distance, send_cycle in waits:
-            producer = k - distance
-            if producer >= 1:
-                send_abs = timings[producer - 1].abs_cycle(send_cycle)
-                needed = send_abs + signal_latency
-                current = start + wait_cycle + stall
-                if needed > current:
-                    stall = needed - start - wait_cycle
-            timing.wait_cycles.append(wait_cycle)
-            timing.cumulative_stall.append(stall)
-        timings.append(timing)
-        finish_times.append(start + length + stall)
-        total_stall += stall
+        for k in range(1, n + 1):  # iteration numbers relative to the lower bound
+            # The processor resumes after its previous iteration (if any).
+            prev = prev_on_proc.get(k)
+            start = finish_times[prev - 1] if prev is not None else 0
+            timing = _IterationTiming(start=start)
+            stall = 0
+            for wait_cycle, distance, send_cycle, pair_id in waits:
+                producer = k - distance
+                if producer >= 1:
+                    send_abs = timings[producer - 1].abs_cycle(send_cycle)
+                    needed = send_abs + signal_latency
+                    current = start + wait_cycle + stall
+                    if needed > current:
+                        stall_by_pair[pair_id] += needed - current
+                        stall = needed - start - wait_cycle
+                timing.wait_cycles.append(wait_cycle)
+                timing.cumulative_stall.append(stall)
+            timings.append(timing)
+            finish_times.append(start + length + stall)
+            total_stall += stall
 
-    parallel_time = max(finish_times, default=0)
-    return SimulationResult(
-        schedule=schedule,
-        n=n,
-        parallel_time=parallel_time,
-        finish_times=finish_times,
-        total_stall=total_stall,
-        processors=processors,
-        signal_latency=signal_latency,
-    )
+        parallel_time = max(finish_times, default=0)
+        return SimulationResult(
+            schedule=schedule,
+            n=n,
+            parallel_time=parallel_time,
+            finish_times=finish_times,
+            total_stall=total_stall,
+            processors=processors,
+            signal_latency=signal_latency,
+            dispatch="event_walk",
+            stall_by_pair=stall_by_pair,
+        )

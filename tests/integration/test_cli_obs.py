@@ -1,0 +1,143 @@
+"""CLI observability: ``repro metrics``, ``--trace-out``, ``--journal-out``.
+
+Also the tentpole's overhead bar: with tracing disabled the Table 2/3
+numbers printed by ``repro sweep`` are byte-identical to a traced run —
+observability must never perturb results.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import active_tracers, disable_metrics, disable_tracing
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    disable_tracing()
+    disable_metrics()
+    yield
+    disable_tracing()
+    disable_metrics()
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.f"
+    path.write_text(FIG1)
+    return str(path)
+
+
+class TestMetricsCommand:
+    def test_smoke(self, capsys):
+        assert main(["metrics", "FLQ52", "--n", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "counter" in out
+        assert "sim." in out
+        assert "sched." in out
+
+    def test_json_output(self, capsys):
+        assert main(["metrics", "FLQ52", "--n", "20", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {"all", "deterministic"}
+        assert any(
+            name.startswith("sim.") for name in snapshot["deterministic"]["counters"]
+        )
+
+    def test_registry_uninstalled_afterwards(self, capsys):
+        from repro.obs import active_metrics
+
+        main(["metrics", "FLQ52", "--n", "20"])
+        assert active_metrics() is None
+
+
+class TestTraceOut:
+    def test_writes_valid_chrome_trace(self, loop_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["--trace-out", str(trace_path), "compile", loop_file]) == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events, "expected pipeline spans in the trace"
+        names = {event["name"] for event in events}
+        assert "compile" in names
+        assert {"parse", "deps", "sync", "lower", "dfg"} <= names
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_schedule_spans_present(self, loop_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "--trace-out",
+                    str(trace_path),
+                    "schedule",
+                    loop_file,
+                    "--scheduler",
+                    "sync",
+                ]
+            )
+            == 0
+        )
+        names = {
+            event["name"]
+            for event in json.loads(trace_path.read_text())["traceEvents"]
+        }
+        assert "schedule.sync" in names
+
+    def test_tracer_uninstalled_afterwards(self, loop_file, tmp_path, capsys):
+        main(["--trace-out", str(tmp_path / "t.json"), "compile", loop_file])
+        assert active_tracers() == ()
+
+
+class TestJournalOut:
+    def test_writes_jsonl_with_metrics(self, loop_file, tmp_path, capsys):
+        journal_path = tmp_path / "journal.jsonl"
+        assert main(["--journal-out", str(journal_path), "compile", loop_file]) == 0
+        lines = [
+            json.loads(line)
+            for line in journal_path.read_text().strip().splitlines()
+        ]
+        assert lines, "expected journal lines"
+        kinds = {line["kind"] for line in lines}
+        assert "span" in kinds
+        # spans first, a single metrics snapshot last (when any metric fired)
+        if "metrics" in kinds:
+            assert lines[-1]["kind"] == "metrics"
+            assert [line["kind"] for line in lines].count("metrics") == 1
+
+
+class TestZeroOverheadContract:
+    def test_sweep_output_identical_with_and_without_tracing(self, tmp_path, capsys):
+        args = ["sweep", "FLQ52", "--n", "20"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(["--trace-out", str(tmp_path / "t.json")] + args) == 0
+        traced = capsys.readouterr().out
+        assert plain == traced
+
+    def test_schedule_output_identical_with_profile(self, loop_file, capsys):
+        args = ["schedule", loop_file, "--scheduler", "sync", "--n", "50"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(["--profile"] + args) == 0
+        profiled = capsys.readouterr().out  # stderr carries the profile table
+        assert plain == profiled
+
+
+class TestSweepFallbackNote:
+    def test_serial_sweep_prints_no_fallback_note(self, capsys):
+        assert main(["sweep", "FLQ52", "--n", "20"]) == 0
+        assert "process pool unavailable" not in capsys.readouterr().err

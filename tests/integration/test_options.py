@@ -1,0 +1,163 @@
+"""EvalOptions facade: round-trips, deprecation shims, equivalence.
+
+The stable API contract (docs/api.md): every pipeline entry point takes
+``options=EvalOptions(...)``; the PR 1 keyword arguments still work but
+emit ``DeprecationWarning`` and produce byte-identical results.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import EvalOptions, compile_loop, evaluate_corpus, evaluate_loop
+from repro.codegen import FuseStore
+from repro.perf import CompileCache, ParallelEvaluator
+from repro.sched import Priority, paper_machine
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+class TestValueObject:
+    def test_defaults(self):
+        options = EvalOptions()
+        assert options.apply_restructuring is True
+        assert options.fuse is FuseStore.BEFORE_SEND
+        assert options.exact_simulation is False
+        assert options.jobs == 1
+        assert options.verify is True
+        assert options.tracer is None and options.metrics is None
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            EvalOptions().jobs = 2
+
+    def test_replace(self):
+        base = EvalOptions()
+        changed = base.replace(exact_simulation=True)
+        assert changed.exact_simulation is True
+        assert base.exact_simulation is False  # original untouched
+
+    def test_kwargs_round_trip(self):
+        options = EvalOptions(exact_simulation=True, jobs=3, verify=False)
+        assert EvalOptions(**options.as_kwargs()) == options
+
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError):
+            EvalOptions(jobs=0)
+
+    def test_exported_from_package_root(self):
+        import repro
+
+        assert repro.EvalOptions is EvalOptions
+
+
+class TestCoerce:
+    def test_none_means_defaults(self):
+        assert EvalOptions.coerce(None) == EvalOptions()
+
+    def test_passthrough_no_warning(self, recwarn):
+        options = EvalOptions(exact_simulation=True)
+        assert EvalOptions.coerce(options) is options
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_legacy_kwarg_warns_and_applies(self):
+        with pytest.warns(DeprecationWarning, match="exact_simulation"):
+            options = EvalOptions.coerce(None, exact_simulation=True)
+        assert options.exact_simulation is True
+
+    def test_legacy_overrides_options(self):
+        with pytest.warns(DeprecationWarning):
+            options = EvalOptions.coerce(EvalOptions(jobs=2), jobs=5)
+        assert options.jobs == 5
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="unknown evaluation option"):
+            EvalOptions.coerce(None, frobnicate=True)
+
+    def test_non_options_rejected(self):
+        with pytest.raises(TypeError, match="EvalOptions"):
+            EvalOptions.coerce("not options")
+
+
+class TestDeprecatedShims:
+    """The old kwargs still work, warn, and agree with the new API."""
+
+    def test_compile_loop_legacy_kwargs(self):
+        with pytest.warns(DeprecationWarning, match="apply_restructuring"):
+            legacy = compile_loop(FIG1, apply_restructuring=False)
+        modern = compile_loop(FIG1, EvalOptions(apply_restructuring=False))
+        assert legacy.lowered.instructions == modern.lowered.instructions
+
+    def test_compile_loop_legacy_fuse(self):
+        with pytest.warns(DeprecationWarning, match="fuse"):
+            legacy = compile_loop(FIG1, fuse=FuseStore.NEVER)
+        modern = compile_loop(FIG1, EvalOptions(fuse=FuseStore.NEVER))
+        assert legacy.lowered.instructions == modern.lowered.instructions
+
+    def test_evaluate_loop_legacy_kwargs(self):
+        compiled = compile_loop(FIG1)
+        machine = paper_machine(4, 1)
+        with pytest.warns(DeprecationWarning, match="exact_simulation"):
+            legacy = evaluate_loop(compiled, machine, n=50, exact_simulation=True)
+        modern = evaluate_loop(
+            compiled, machine, n=50, options=EvalOptions(exact_simulation=True)
+        )
+        assert (legacy.t_list, legacy.t_new) == (modern.t_list, modern.t_new)
+
+    def test_evaluate_corpus_legacy_kwargs(self):
+        loops = [FIG1]
+        machine = paper_machine(2, 1)
+        with pytest.warns(DeprecationWarning, match="cache"):
+            legacy = evaluate_corpus("demo", loops, machine, n=50, cache=CompileCache())
+        modern = evaluate_corpus(
+            "demo", loops, machine, n=50, options=EvalOptions(cache=CompileCache())
+        )
+        assert (legacy.t_list, legacy.t_new) == (modern.t_list, modern.t_new)
+
+    def test_parallel_evaluator_legacy_kwargs(self):
+        machine = paper_machine(4, 1)
+        jobs = [("demo", [FIG1], machine)]
+        evaluator = ParallelEvaluator(max_workers=1)
+        with pytest.warns(DeprecationWarning, match="exact_simulation"):
+            legacy = evaluator.evaluate_corpora(jobs, n=50, exact_simulation=True)
+        modern = evaluator.evaluate_corpora(
+            jobs, n=50, options=EvalOptions(exact_simulation=True)
+        )
+        assert legacy[0].t_new == modern[0].t_new
+
+    def test_modern_api_emits_no_warning(self, recwarn):
+        compiled = compile_loop(FIG1, EvalOptions())
+        evaluate_loop(compiled, paper_machine(4, 1), n=50, options=EvalOptions())
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestOptionsThreading:
+    def test_list_priority_option(self):
+        compiled = compile_loop(FIG1)
+        machine = paper_machine(4, 1)
+        default = evaluate_loop(compiled, machine, n=50, options=EvalOptions())
+        critical = evaluate_loop(
+            compiled,
+            machine,
+            n=50,
+            options=EvalOptions(list_priority=Priority.CRITICAL_PATH),
+        )
+        assert "critical_path" in critical.schedule_list.scheduler_name
+        assert "program_order" in default.schedule_list.scheduler_name
+
+    def test_exact_simulation_agrees_with_fast_path(self):
+        compiled = compile_loop(FIG1)
+        machine = paper_machine(4, 1)
+        fast = evaluate_loop(compiled, machine, n=50, options=EvalOptions())
+        exact = evaluate_loop(
+            compiled, machine, n=50, options=EvalOptions(exact_simulation=True)
+        )
+        assert (fast.t_list, fast.t_new) == (exact.t_list, exact.t_new)
+        assert fast.sim_new.dispatch == "fast_path"
+        assert exact.sim_new.dispatch == "event_walk"

@@ -1,0 +1,69 @@
+"""Metrics must be partition-independent: --jobs 1 == --jobs 4.
+
+The acceptance bar for the observability layer: the ``sim.*`` / ``sched.*``
+aggregates (see ``DETERMINISTIC_NAMESPACES``) are a pure function of
+(corpus, machine, options), so however the sweep is partitioned across
+worker processes — or whether the pool even starts — the merged registry
+agrees to the counter.
+"""
+
+import pytest
+
+from repro.obs import disable_metrics, enable_metrics
+from repro.perf import ParallelEvaluator
+from repro.sched import paper_machine
+from repro.workloads import perfect_suite
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    disable_metrics()
+    yield
+    disable_metrics()
+
+
+def _sweep_jobs():
+    suite = perfect_suite()
+    return [
+        (name, suite[name], paper_machine(width, units))
+        for name in ("FLQ52", "QCD")
+        for width, units in ((2, 1), (4, 2))
+    ]
+
+
+def _metrics_with_workers(jobs, workers):
+    registry = enable_metrics()
+    try:
+        evaluator = ParallelEvaluator(max_workers=workers)
+        results = evaluator.evaluate_corpora(jobs, n=30)
+    finally:
+        disable_metrics()
+    return registry, results
+
+
+class TestJobsDeterminism:
+    def test_deterministic_subset_identical_across_jobs(self):
+        jobs = _sweep_jobs()
+        serial, serial_results = _metrics_with_workers(jobs, workers=1)
+        parallel, parallel_results = _metrics_with_workers(jobs, workers=4)
+        assert (
+            serial.deterministic_subset().as_dict()
+            == parallel.deterministic_subset().as_dict()
+        )
+        # and the evaluations themselves agree (same order, same times)
+        assert [(r.name, r.machine.name, r.t_list, r.t_new) for r in serial_results] == [
+            (r.name, r.machine.name, r.t_list, r.t_new) for r in parallel_results
+        ]
+
+    def test_deterministic_subset_nonempty(self):
+        registry, _ = _metrics_with_workers(_sweep_jobs(), workers=1)
+        subset = registry.deterministic_subset()
+        assert subset.counters  # the paper quantities were recorded
+        assert any(name.startswith("sim.") for name in subset.counters)
+        assert any(name.startswith("sched.") for name in subset.counters)
+
+    def test_repeated_serial_runs_identical(self):
+        jobs = _sweep_jobs()
+        first, _ = _metrics_with_workers(jobs, workers=1)
+        second, _ = _metrics_with_workers(jobs, workers=1)
+        assert first.as_dict() == second.as_dict()

@@ -1,0 +1,130 @@
+"""Exporters: Chrome trace-event schema, JSON-lines journal, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    journal_lines,
+    metrics_snapshot,
+    write_chrome_trace,
+    write_journal,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import RecordingTracer, disable_tracing, enable_tracing, span
+
+
+@pytest.fixture(autouse=True)
+def clean_tracers():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+@pytest.fixture
+def events():
+    tracer = enable_tracing()
+    with span("compile"):
+        with span("schedule", scheduler="sync"):
+            pass
+    disable_tracing()
+    return tracer.events
+
+
+class TestChromeTrace:
+    def test_schema(self, events):
+        trace = chrome_trace(events)
+        assert trace["displayTimeUnit"] == "ms"
+        assert len(trace["traceEvents"]) == 2
+        for entry in trace["traceEvents"]:
+            # required complete-event fields per the trace-event format
+            assert entry["ph"] == "X"
+            assert isinstance(entry["name"], str)
+            assert isinstance(entry["cat"], str)
+            assert isinstance(entry["ts"], float)
+            assert isinstance(entry["dur"], float)
+            assert entry["dur"] >= 0
+            assert isinstance(entry["pid"], int)
+            assert isinstance(entry["tid"], int)
+
+    def test_microsecond_units(self, events):
+        entry = next(
+            e for e in chrome_trace(events)["traceEvents"] if e["name"] == "compile"
+        )
+        source = next(e for e in events if e.name == "compile")
+        assert entry["ts"] == pytest.approx(source.start_ns / 1000.0)
+        assert entry["dur"] == pytest.approx(source.duration_ns / 1000.0)
+
+    def test_attrs_land_in_args(self, events):
+        entry = next(
+            e for e in chrome_trace(events)["traceEvents"] if e["name"] == "schedule"
+        )
+        assert entry["args"]["scheduler"] == "sync"
+        assert entry["args"]["depth"] == 1
+
+    def test_write_round_trips_as_json(self, events, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), events)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == 2
+
+
+class TestJournal:
+    def test_span_lines(self, events):
+        lines = [json.loads(line) for line in journal_lines(events)]
+        assert all(line["kind"] == "span" for line in lines)
+        assert {line["name"] for line in lines} == {"compile", "schedule"}
+
+    def test_metrics_line_last(self, events):
+        registry = MetricsRegistry()
+        registry.count("sim.stalls", 3)
+        lines = [json.loads(line) for line in journal_lines(events, registry)]
+        assert lines[-1]["kind"] == "metrics"
+        assert lines[-1]["all"]["counters"]["sim.stalls"] == 3
+
+    def test_empty_registry_emits_no_metrics_line(self, events):
+        lines = [json.loads(line) for line in journal_lines(events, MetricsRegistry())]
+        assert all(line["kind"] == "span" for line in lines)
+
+    def test_write_journal(self, events, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        registry = MetricsRegistry()
+        registry.count("sim.stalls")
+        write_journal(str(path), events, registry)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # two spans + one metrics snapshot
+        for line in lines:
+            json.loads(line)  # every line is standalone JSON
+
+
+class TestSnapshot:
+    def test_deterministic_and_all_sections(self):
+        registry = MetricsRegistry()
+        registry.count("sim.stalls", 2)
+        registry.count("cache.compile.hit", 9)
+        snapshot = metrics_snapshot(registry)
+        assert snapshot["all"]["counters"] == {
+            "cache.compile.hit": 9,
+            "sim.stalls": 2,
+        }
+        assert snapshot["deterministic"]["counters"] == {"sim.stalls": 2}
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.observe("sim.span", -1)
+        json.dumps(metrics_snapshot(registry))
+
+
+class TestWorkerIngestion:
+    def test_remote_events_export_alongside_local(self):
+        remote = RecordingTracer()
+        token = remote.start("worker-stage", None)
+        remote.finish("worker-stage", token, None)
+
+        local = enable_tracing()
+        with span("local-stage"):
+            pass
+        local.add_events(remote.events)
+        names = {e["name"] for e in chrome_trace(local.events)["traceEvents"]}
+        assert names == {"local-stage", "worker-stage"}

@@ -1,0 +1,144 @@
+"""MetricsRegistry: recording, merging, deterministic subset, formatting."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DETERMINISTIC_NAMESPACES,
+    MetricsRegistry,
+    active_metrics,
+    count,
+    disable_metrics,
+    enable_metrics,
+    observe,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    disable_metrics()
+    yield
+    disable_metrics()
+
+
+class TestRecording:
+    def test_count_accumulates(self):
+        registry = MetricsRegistry()
+        registry.count("sim.stall_cycles", 5)
+        registry.count("sim.stall_cycles", 3)
+        assert registry.counters["sim.stall_cycles"] == 8
+
+    def test_observe_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("sched.span", 7)
+        registry.observe("sched.span", 7)
+        registry.observe("sched.span", -1)
+        assert registry.histograms["sched.span"] == {7: 2, -1: 1}
+
+    def test_module_helpers_noop_when_disabled(self):
+        assert active_metrics() is None
+        count("sim.anything")
+        observe("sim.anything", 1)  # no registry: silently dropped
+
+    def test_module_helpers_write_to_active(self):
+        registry = enable_metrics()
+        count("sim.stalls", 2)
+        observe("sched.span", 4)
+        assert registry.counters == {"sim.stalls": 2}
+        assert registry.histograms == {"sched.span": {4: 1}}
+
+    def test_enable_disable_roundtrip(self):
+        registry = enable_metrics()
+        assert active_metrics() is registry
+        assert disable_metrics() is registry
+        assert active_metrics() is None
+
+    def test_bool(self):
+        assert not MetricsRegistry()
+        registry = MetricsRegistry()
+        registry.count("x")
+        assert registry
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.count("c", 1)
+        b.count("c", 2)
+        b.count("only_b", 4)
+        a.observe("h", 3)
+        b.observe("h", 3)
+        b.observe("h", 9)
+        a.merge(b)
+        assert a.counters == {"c": 3, "only_b": 4}
+        assert a.histograms == {"h": {3: 2, 9: 1}}
+
+    def test_merge_is_commutative(self):
+        def build(pairs):
+            registry = MetricsRegistry()
+            for name, value in pairs:
+                registry.count(name, value)
+                registry.observe(name, value)
+            return registry
+
+        data = [("x", 1), ("y", 5), ("x", 2)]
+        ab = build(data[:1])
+        ab.merge(build(data[1:]))
+        ba = build(data[1:])
+        ba.merge(build(data[:1]))
+        assert ab.as_dict() == ba.as_dict()
+
+
+class TestDeterministicSubset:
+    def test_namespaces(self):
+        assert DETERMINISTIC_NAMESPACES == ("sim", "sched")
+
+    def test_subset_filters_execution_namespaces(self):
+        registry = MetricsRegistry()
+        registry.count("sim.stalls", 1)
+        registry.count("sched.lbd_pairs", 2)
+        registry.count("cache.compile.hit", 3)
+        registry.count("parallel.chunks", 4)
+        registry.count("sched_pass.list.ready", 5)
+        registry.observe("sim.span", 1)
+        registry.observe("sched_pass.list.ready_len", 9)
+        subset = registry.deterministic_subset()
+        assert set(subset.counters) == {"sim.stalls", "sched.lbd_pairs"}
+        assert set(subset.histograms) == {"sim.span"}
+
+    def test_subset_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.observe("sim.span", 1)
+        subset = registry.deterministic_subset()
+        subset.observe("sim.span", 1)
+        assert registry.histograms["sim.span"] == {1: 1}
+
+
+class TestExport:
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (2, 2, 6):
+            registry.observe("h", value)
+        summary = registry.histogram_summary("h")
+        assert summary["count"] == 3
+        assert summary["sum"] == 10
+        assert summary["min"] == 2
+        assert summary["max"] == 6
+        assert summary["mean"] == pytest.approx(10 / 3, abs=1e-3)
+        assert summary["buckets"] == {"2": 2, "6": 1}
+
+    def test_as_dict_sorted_keys(self):
+        registry = MetricsRegistry()
+        registry.count("z")
+        registry.count("a")
+        assert list(registry.as_dict()["counters"]) == ["a", "z"]
+
+    def test_format_empty(self):
+        assert MetricsRegistry().format() == "no metrics recorded"
+
+    def test_format_contains_names(self):
+        registry = MetricsRegistry()
+        registry.count("sim.stalls", 7)
+        registry.observe("sched.span", 3)
+        text = registry.format()
+        assert "sim.stalls" in text and "7" in text
+        assert "sched.span" in text

@@ -1,0 +1,167 @@
+"""Trace spans: no-op default, recording, nesting, multi-tracer fan-out."""
+
+import pytest
+
+from repro.obs.trace import (
+    RecordingTracer,
+    Tracer,
+    active_tracers,
+    add_tracer,
+    disable_tracing,
+    enable_tracing,
+    ingest_events,
+    remove_tracer,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracers():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestDisabledDefault:
+    def test_no_tracer_installed_by_default(self):
+        assert active_tracers() == ()
+
+    def test_span_is_noop_without_tracers(self):
+        with span("compile"):
+            pass  # must not raise, must not require a tracer
+
+    def test_span_attrs_accepted_when_disabled(self):
+        with span("schedule", scheduler="sync"):
+            pass
+
+
+class TestRecording:
+    def test_records_one_event_per_span(self):
+        tracer = enable_tracing()
+        with span("compile"):
+            pass
+        with span("schedule"):
+            pass
+        assert [e.name for e in tracer.events] == ["compile", "schedule"]
+
+    def test_nesting_depth(self):
+        tracer = enable_tracing()
+        with span("outer"):
+            with span("inner"):
+                pass
+        # inner closes first, so it is recorded first
+        by_name = {e.name: e for e in tracer.events}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_timestamps_nest(self):
+        tracer = enable_tracing()
+        with span("outer"):
+            with span("inner"):
+                pass
+        by_name = {e.name: e for e in tracer.events}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer.start_ns <= inner.start_ns
+        assert inner.start_ns + inner.duration_ns <= outer.start_ns + outer.duration_ns
+
+    def test_span_finishes_on_exception(self):
+        tracer = enable_tracing()
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+        assert [e.name for e in tracer.events] == ["failing"]
+        assert tracer._depth == 0
+
+    def test_attrs_recorded(self):
+        tracer = enable_tracing()
+        with span("schedule", scheduler="sync"):
+            pass
+        assert tracer.events[0].attrs == {"scheduler": "sync"}
+
+    def test_as_dict_omits_empty_attrs(self):
+        tracer = enable_tracing()
+        with span("plain"):
+            pass
+        assert "attrs" not in tracer.events[0].as_dict()
+
+    def test_clear(self):
+        tracer = enable_tracing()
+        with span("a"):
+            pass
+        tracer.clear()
+        assert tracer.events == []
+
+
+class TestInstallation:
+    def test_add_remove(self):
+        tracer = RecordingTracer()
+        add_tracer(tracer)
+        assert tracer in active_tracers()
+        remove_tracer(tracer)
+        assert tracer not in active_tracers()
+
+    def test_add_is_idempotent(self):
+        tracer = RecordingTracer()
+        add_tracer(tracer)
+        add_tracer(tracer)
+        assert active_tracers().count(tracer) == 1
+
+    def test_remove_missing_is_noop(self):
+        remove_tracer(RecordingTracer())
+
+    def test_multiple_tracers_all_see_spans(self):
+        first, second = RecordingTracer(), RecordingTracer()
+        add_tracer(first)
+        add_tracer(second)
+        with span("stage"):
+            pass
+        assert [e.name for e in first.events] == ["stage"]
+        assert [e.name for e in second.events] == ["stage"]
+
+    def test_disable_returns_previous(self):
+        tracer = enable_tracing()
+        assert disable_tracing() == (tracer,)
+        assert active_tracers() == ()
+
+    def test_base_tracer_is_noop(self):
+        add_tracer(Tracer())
+        with span("stage"):
+            pass  # must not raise
+
+
+class TestIngest:
+    def test_ingest_feeds_recording_tracers(self):
+        remote = RecordingTracer()
+        with _record_remote(remote):
+            pass
+        local = enable_tracing()
+        ingest_events(remote.events)
+        assert [e.name for e in local.events] == ["remote-stage"]
+
+    def test_ingest_without_tracers_is_noop(self):
+        remote = RecordingTracer()
+        with _record_remote(remote):
+            pass
+        ingest_events(remote.events)  # nothing active: no error
+
+    def test_ingest_skips_tracers_without_add_events(self):
+        add_tracer(Tracer())  # base tracer has no add_events
+        remote = RecordingTracer()
+        with _record_remote(remote):
+            pass
+        ingest_events(remote.events)
+
+
+def _record_remote(tracer):
+    """A span recorded as if in another process (tracer used directly)."""
+    from contextlib import contextmanager
+
+    @contextmanager
+    def recorder():
+        token = tracer.start("remote-stage", None)
+        try:
+            yield
+        finally:
+            tracer.finish("remote-stage", token, None)
+
+    return recorder()
