@@ -1,7 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench bench-perf sweep
+.PHONY: test lint check bench bench-check bench-perf sweep
+
+BENCH_BASELINE ?= benchmarks/baselines/bench_history.jsonl
 
 # Tier-1: the fast correctness suite (what CI gates on).
 test:
@@ -15,8 +17,16 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff)"; \
 	fi
 
-# Everything CI would run: lint + tier-1 tests.
-check: lint test
+# Re-run the bench suites and fail on any cycle-count drift against the
+# committed baseline (see docs/observability.md, "Benchmark regression
+# tracking").  Wall-clock only gates on the machine that recorded the
+# baseline, so this is safe to run anywhere.
+bench-check:
+	$(PYTHON) -m repro bench check --suite all \
+		--baseline $(BENCH_BASELINE) --history $(BENCH_BASELINE)
+
+# Everything CI would run: lint + tier-1 tests + bench regression gate.
+check: lint test bench-check
 
 # Regenerate every paper table/figure under benchmarks/results/
 # (perf-marked timing benches stay skipped).

@@ -4,6 +4,10 @@ Regenerates both bundle tables on the Section 3 walkthrough machine
 (4-issue, one unit each, shared adder, unit latencies) and checks the
 paper's numbers: 13-cycle iterations, list spans 13/12, new spans 7/LFD,
 T_a = (12N)+13 vs T_b = (N/2)*7+13.
+
+The emitted artifacts render through :func:`repro.sched.sync_timeline`,
+so each bundle row carries the per-pair Wait/Send span columns that
+``repro explain --timeline`` prints.
 """
 
 from conftest import emit
@@ -11,7 +15,7 @@ from conftest import emit
 from repro.codegen import lower_loop
 from repro.dfg import build_dfg
 from repro.ir import parse_loop
-from repro.sched import figure4_machine, list_schedule, sync_schedule
+from repro.sched import figure4_machine, list_schedule, sync_schedule, sync_timeline
 from repro.sim import simulate_doacross
 from repro.sync import insert_synchronization
 from test_bench_fig1_fig2 import FIG1A
@@ -29,7 +33,7 @@ def test_bench_fig4a_list_scheduling(benchmark):
     sim = simulate_doacross(schedule, 100)
     emit(
         "fig4a_list_schedule",
-        schedule.format()
+        sync_timeline(schedule)
         + f"\nlength l = {schedule.length}"
         + f"\nspans: Wat1->Sig = {schedule.span(0)}, Wat2->Sig = {schedule.span(1)}"
         + f"\nT_a = floor(99/1)*12 + 13 = {sim.parallel_time}"
@@ -47,7 +51,7 @@ def test_bench_fig4b_new_scheduling(benchmark):
     sim = simulate_doacross(schedule, 100)
     emit(
         "fig4b_new_schedule",
-        schedule.format()
+        sync_timeline(schedule)
         + f"\nlength l = {schedule.length}"
         + f"\nspans: Wat1->Sig = {schedule.span(0)}, Wat2->Sig = {schedule.span(1)}"
         + f"\nT_b = floor(99/2)*7 + 13 = {sim.parallel_time}"

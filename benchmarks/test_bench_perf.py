@@ -1,11 +1,14 @@
 """Perf layer bench: cold vs. cached vs. parallel vs. fast-path sweeps.
 
-Times the full Table 2 sweep (5 benchmarks x 4 machine cases, n=100) four
+Times the full Table 2 sweep (5 benchmarks x 4 machine cases, n=100) five
 ways and checks the acceptance properties of the performance layer:
 
 * every variant produces byte-identical ``t_list``/``t_new`` results;
 * the warm cached + fast-path sweep is >= 3x faster than the cold serial
-  exact-simulation sweep.
+  exact-simulation sweep;
+* the parallel evaluator in auto mode refuses the pool for this sweep
+  (below ``min_pool_work``; the pool used to *lose* at 0.911x here) while
+  ``min_pool_work=0`` still exercises the forced-pool path.
 
 Writes ``benchmarks/results/perf_layer.txt`` and ``BENCH_perf.json`` (repo
 root).  Timing-sensitive, so it is marked ``perf`` and skipped unless
@@ -76,37 +79,55 @@ def test_perf_layer_speedups():
     cached_warm = _sweep_serial(jobs, cache=cache)
     cached_warm_s = time.perf_counter() - start
 
-    # Process-parallel sweep (cold workers, own caches).  At least two
-    # workers so the pool path is exercised even on a single-core host
-    # (where it is overhead-bound and the win comes from cache+fast path).
-    evaluator = ParallelEvaluator(max_workers=max(2, min(4, os.cpu_count() or 1)))
+    # Parallel evaluator, auto mode: the Table 2 sweep is far below the
+    # min-work threshold (it used to "win" 0.911x on 4 workers), so the
+    # evaluator is expected to stay serial and say why.
+    workers = max(2, min(4, os.cpu_count() or 1))
+    auto = ParallelEvaluator(max_workers=workers)
     start = time.perf_counter()
-    parallel = evaluator.evaluate_corpora(jobs, n=N)
-    parallel_s = time.perf_counter() - start
+    parallel_auto = auto.evaluate_corpora(jobs, n=N)
+    auto_s = time.perf_counter() - start
+
+    # Forced pool (min_pool_work=0): measures what the threshold avoids.
+    forced = ParallelEvaluator(max_workers=workers, min_pool_work=0)
+    start = time.perf_counter()
+    parallel_forced = forced.evaluate_corpora(jobs, n=N)
+    forced_s = time.perf_counter() - start
 
     # Byte-identical results across every variant.
     reference = _times(cold)
     assert _times(cached_first) == reference
     assert _times(cached_warm) == reference
-    assert _times(parallel) == reference
+    assert _times(parallel_auto) == reference
+    assert _times(parallel_forced) == reference
+
+    assert not auto.used_pool
+    assert auto.fallback_reason is not None
+    assert auto.fallback_reason.startswith("below min-work threshold")
 
     stats = cache.stats
     assert stats.compile_hits > 0 and stats.schedule_hits > 0
 
     warm_speedup = cold_s / cached_warm_s if cached_warm_s else float("inf")
     first_speedup = cold_s / cached_first_s if cached_first_s else float("inf")
-    parallel_speedup = cold_s / parallel_s if parallel_s else float("inf")
+    auto_speedup = cold_s / auto_s if auto_s else float("inf")
+    forced_speedup = cold_s / forced_s if forced_s else float("inf")
 
+    work = sum(len(loops) for _name, loops, _machine in jobs)
     lines = [
         f"Table 2 sweep ({len(BENCHMARKS)} benchmarks x {len(PAPER_CASES)} cases, n={N})",
         f"{'variant':<28} {'seconds':>9} {'speedup':>9}",
         f"{'cold serial (exact sim)':<28} {cold_s:>9.4f} {1.0:>8.2f}x",
         f"{'cached first run':<28} {cached_first_s:>9.4f} {first_speedup:>8.2f}x",
         f"{'cached warm + fast path':<28} {cached_warm_s:>9.4f} {warm_speedup:>8.2f}x",
-        f"{'parallel (pool={})'.format(evaluator.max_workers if evaluator.used_pool else 'serial-fallback'):<28}"
-        f" {parallel_s:>9.4f} {parallel_speedup:>8.2f}x"
-        + (f"  [{evaluator.fallback_reason}]" if evaluator.fallback_reason else ""),
+        f"{'parallel auto (serial)':<28} {auto_s:>9.4f} {auto_speedup:>8.2f}x"
+        f"  [{auto.fallback_reason}]",
+        f"{'parallel forced (pool={})'.format(forced.max_workers if forced.used_pool else 'fallback'):<28}"
+        f" {forced_s:>9.4f} {forced_speedup:>8.2f}x"
+        + (f"  [{forced.fallback_reason}]" if forced.fallback_reason else ""),
         f"cache: {stats.format()}",
+        f"sweep work: {work} loop evaluations"
+        f" (min_pool_work default {ParallelEvaluator().min_pool_work})",
         "results byte-identical across variants: True",
     ]
     emit("perf_layer", "\n".join(lines))
@@ -117,14 +138,23 @@ def test_perf_layer_speedups():
             "cold_serial_exact": round(cold_s, 6),
             "cached_first": round(cached_first_s, 6),
             "cached_warm_fastpath": round(cached_warm_s, 6),
-            "parallel": round(parallel_s, 6),
+            "parallel_auto": round(auto_s, 6),
+            "parallel_forced_pool": round(forced_s, 6),
         },
         "speedups_vs_cold": {
             "cached_first": round(first_speedup, 3),
             "cached_warm_fastpath": round(warm_speedup, 3),
-            "parallel": round(parallel_speedup, 3),
+            "parallel_auto": round(auto_speedup, 3),
+            "parallel_forced_pool": round(forced_speedup, 3),
         },
-        "parallel_pool_used": evaluator.used_pool,
+        "parallel": {
+            "workers": workers,
+            "sweep_work_loop_evals": work,
+            "min_pool_work_default": ParallelEvaluator().min_pool_work,
+            "auto_pool_used": auto.used_pool,
+            "auto_fallback_reason": auto.fallback_reason,
+            "forced_pool_used": forced.used_pool,
+        },
         "cache_stats": {
             "compile_hits": stats.compile_hits,
             "compile_misses": stats.compile_misses,

@@ -26,8 +26,8 @@ analysis), :mod:`repro.transforms` (restructuring), :mod:`repro.sync`
 :mod:`repro.dfg` (data-flow graph + Sigwat partition), :mod:`repro.sched`
 (schedulers), :mod:`repro.sim` (simulators), :mod:`repro.workloads`
 (benchmark corpora), :mod:`repro.perf` (sweep-scale caching, process
-parallelism and profiling), :mod:`repro.obs` (trace spans, metrics and
-exporters).
+parallelism and profiling), :mod:`repro.obs` (trace spans, metrics,
+decision provenance, the bench-regression tracker and exporters).
 
 Pipeline entry points take their knobs as one frozen
 :class:`~repro.options.EvalOptions` value (the stable API; the old
@@ -39,7 +39,7 @@ per-function keyword arguments still work but emit
                            options=EvalOptions(exact_simulation=True))
 """
 
-from repro.obs import MetricsRegistry, RecordingTracer, Tracer
+from repro.obs import DecisionJournal, MetricsRegistry, RecordingTracer, Tracer
 from repro.options import EvalOptions
 from repro.pipeline import (
     CompiledLoop,
@@ -56,6 +56,7 @@ from repro.report import (
     SCHEMA_VERSION,
     corpus_record,
     evaluation_record,
+    explain_record,
     schedule_record,
     to_json,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "CompileCache",
     "CompiledLoop",
     "CorpusEvaluation",
+    "DecisionJournal",
     "EvalOptions",
     "LoopEvaluation",
     "MetricsRegistry",
@@ -83,6 +85,7 @@ __all__ = [
     "evaluate_loop",
     "evaluate_program",
     "evaluation_record",
+    "explain_record",
     "figure4_machine",
     "paper_cases",
     "paper_machine",

@@ -16,6 +16,17 @@ Commands
 ``metrics``   run the Perfect sweep with the metrics registry enabled and
               print the collected counters/histograms (``--json`` for
               machine-readable output).
+``explain``   schedule with a decision journal installed and answer "why
+              is op X at cycle c" / "why is the Wait→Send span of pair S
+              equal to k" (``--op`` / ``--pair``), with optional ASCII
+              timelines (``--timeline``) and a self-contained HTML export
+              (``--html FILE``).  See :mod:`repro.obs.explain`.
+``bench``     the benchmark-regression tracker (:mod:`repro.obs.regress`):
+              ``bench record`` appends a run to the JSONL history,
+              ``bench list`` shows it, ``bench diff A B`` compares two
+              runs, and ``bench check`` re-runs the suites and fails on
+              any cycle-count drift against the recorded baseline (CI's
+              regression gate).
 ``dot``       emit the DFG as Graphviz DOT.
 
 Each command reads the loop from a file argument or stdin (``-``).  Global
@@ -163,11 +174,10 @@ def _sweep_results(names, n, workers, exact_sim, no_cache=False):
 
         evaluator = ParallelEvaluator(max_workers=workers)
         results = evaluator.evaluate_corpora(jobs, n=n, options=options)
-        if not evaluator.used_pool and evaluator.fallback_reason not in (
-            None,
-            "max_workers=1",
-            "single job",
-        ):
+        benign = evaluator.fallback_reason in (None, "max_workers=1", "single job") or (
+            evaluator.fallback_reason or ""
+        ).startswith("below min-work threshold")
+        if not evaluator.used_pool and not benign:
             print(
                 f"note: process pool unavailable, ran serially "
                 f"({evaluator.fallback_reason})",
@@ -224,6 +234,123 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     else:
         print(registry.format())
     return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.explain import (
+        DecisionJournal,
+        explain_op,
+        explain_pair,
+        explain_summary,
+        journal_scope,
+    )
+    from repro.sched import figure4_machine
+
+    compiled = compile_loop(_read_source(args.loop))
+    machine = figure4_machine() if args.fig4 else _machine(args)
+    scheduler = SCHEDULERS[args.scheduler]
+    journal = DecisionJournal()
+    with journal_scope(journal):
+        schedule = scheduler(compiled.lowered, compiled.graph, machine)
+        assert_valid(schedule, compiled.graph)
+        sim = simulate_doacross(schedule, args.n)
+    printed = False
+    if args.op is not None:
+        print(explain_op(schedule, journal, args.op))
+        printed = True
+    if args.pair is not None:
+        if printed:
+            print()
+        print(explain_pair(schedule, journal, compiled.graph, args.pair, sim=sim))
+        printed = True
+    if not printed:
+        print(explain_summary(schedule, journal, compiled.graph, sim=sim))
+    if args.timeline:
+        from repro.sched.gantt import execution_timeline, sync_timeline
+
+        print()
+        print(sync_timeline(schedule))
+        print()
+        print(execution_timeline(schedule, n=min(args.n, args.timeline_n)))
+    if args.html:
+        from repro.sched.gantt import timeline_html
+
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(timeline_html(schedule, n=min(args.n, args.timeline_n)))
+        print(f"wrote timeline to {args.html}", file=sys.stderr)
+    return 0
+
+
+def _bench_history(args: argparse.Namespace):
+    from repro.obs.regress import BenchHistory
+
+    return BenchHistory(args.history)
+
+
+def cmd_bench_record(args: argparse.Namespace) -> int:
+    from repro.obs.regress import collect_run, suites
+
+    history = _bench_history(args)
+    for suite in suites(args.suite):
+        run = collect_run(suite, n=args.n)
+        history.append(run)
+        print(f"recorded {run.summary()}")
+    print(f"history: {history.path}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    history = _bench_history(args)
+    runs = history.load()
+    if not runs:
+        print(f"no runs recorded in {history.path}")
+        return 0
+    for run in runs:
+        print(run.summary())
+    return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.obs.regress import diff_runs, format_diff
+
+    history = _bench_history(args)
+    diff = diff_runs(history.get(args.run_a), history.get(args.run_b))
+    print(format_diff(diff))
+    return 1 if diff.cycle_drift else 0
+
+
+def cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.obs.regress import BenchHistory, check_run, collect_run, suites
+
+    baseline_store = BenchHistory(args.baseline) if args.baseline else _bench_history(args)
+    failed = False
+    checked = 0
+    for suite in suites(args.suite):
+        baseline = baseline_store.latest(suite)
+        if baseline is None:
+            print(
+                f"{suite}: no baseline recorded in {baseline_store.path} "
+                "(run `repro bench record` first)",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        candidate = collect_run(suite, n=baseline.n)
+        violations = check_run(
+            baseline, candidate, wall_tolerance=args.wall_tolerance
+        )
+        checked += 1
+        if violations:
+            failed = True
+            print(f"{suite}: REGRESSION vs baseline {baseline.run_id}:")
+            for violation in violations:
+                print(f"  {violation}")
+        else:
+            print(
+                f"{suite}: OK — {len(candidate.points)} point(s) match baseline "
+                f"{baseline.run_id} exactly"
+            )
+    return 1 if failed or checked == 0 else 0
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
@@ -312,6 +439,103 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the metrics snapshot as JSON"
     )
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_explain = sub.add_parser(
+        "explain", help="why is op X at cycle c / why is pair S's span k"
+    )
+    p_explain.add_argument("loop", help="loop source file, or - for stdin")
+    p_explain.add_argument(
+        "--scheduler",
+        choices=["list", "sync"],
+        default="sync",
+        help="which scheduler's decisions to journal and explain",
+    )
+    p_explain.add_argument("--issue", type=int, default=4, help="issue width")
+    p_explain.add_argument("--fu", type=int, default=1, help="units per class")
+    p_explain.add_argument(
+        "--fig4",
+        action="store_true",
+        help="use the paper's Fig. 4 walkthrough machine instead of --issue/--fu",
+    )
+    p_explain.add_argument("--n", type=int, default=100, help="iterations")
+    p_explain.add_argument(
+        "--op", type=int, default=None, help="explain this instruction's placement"
+    )
+    p_explain.add_argument(
+        "--pair", type=int, default=None, help="explain this sync pair's span"
+    )
+    p_explain.add_argument(
+        "--timeline",
+        action="store_true",
+        help="also print the sync and cross-iteration ASCII timelines",
+    )
+    p_explain.add_argument(
+        "--timeline-n",
+        type=int,
+        default=6,
+        help="iterations shown by the cross-iteration timeline views",
+    )
+    p_explain.add_argument(
+        "--html",
+        metavar="FILE",
+        default=None,
+        help="write a self-contained HTML timeline to FILE",
+    )
+    p_explain.set_defaults(func=cmd_explain)
+
+    from repro.obs.regress import DEFAULT_HISTORY, DEFAULT_WALL_TOLERANCE
+
+    p_bench = sub.add_parser(
+        "bench", help="record / diff / check benchmark-regression history"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    def _bench_common(p) -> None:
+        p.add_argument(
+            "--history",
+            metavar="FILE",
+            default=DEFAULT_HISTORY,
+            help=f"JSONL history file (default: {DEFAULT_HISTORY})",
+        )
+
+    p_record = bench_sub.add_parser("record", help="run suites and append to history")
+    p_record.add_argument(
+        "--suite", choices=["fig", "perfect", "all"], default="all"
+    )
+    p_record.add_argument("--n", type=int, default=100)
+    _bench_common(p_record)
+    p_record.set_defaults(func=cmd_bench_record)
+
+    p_list = bench_sub.add_parser("list", help="show recorded runs")
+    _bench_common(p_list)
+    p_list.set_defaults(func=cmd_bench_list)
+
+    p_diff = bench_sub.add_parser("diff", help="compare two recorded runs")
+    p_diff.add_argument("run_a", help="baseline run id (prefix ok)")
+    p_diff.add_argument("run_b", help="candidate run id (prefix ok)")
+    _bench_common(p_diff)
+    p_diff.set_defaults(func=cmd_bench_diff)
+
+    p_check = bench_sub.add_parser(
+        "check", help="re-run suites and fail on drift vs the baseline"
+    )
+    p_check.add_argument(
+        "--suite", choices=["fig", "perfect", "all"], default="all"
+    )
+    p_check.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline history file (default: --history)",
+    )
+    p_check.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=DEFAULT_WALL_TOLERANCE,
+        help="allowed relative wall-clock slowdown on the same machine",
+    )
+    _bench_common(p_check)
+    p_check.set_defaults(func=cmd_bench_check)
 
     p_dot = sub.add_parser("dot", help="emit the DFG as Graphviz DOT")
     p_dot.add_argument("loop", help="loop source file, or - for stdin")

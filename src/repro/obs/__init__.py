@@ -21,14 +21,45 @@ files (``repro --trace-out FILE``), a JSON-lines event journal
 (``repro --journal-out FILE``) and the metrics snapshot embedded in
 :mod:`repro.report` records and printed by ``repro metrics``.  See
 ``docs/observability.md`` for the guided tour.
+
+Two sibling subsystems build on this foundation:
+
+* :mod:`repro.obs.explain` — decision provenance: a
+  :class:`DecisionJournal` records *why* each instruction was placed
+  where it was and *which* producer send each stalled iteration waited
+  on; ``repro explain`` renders the answers.
+* :mod:`repro.obs.regress` — the benchmark-regression tracker behind
+  ``repro bench record / diff / check``: an append-only JSONL history
+  with an exact gate on cycle counts and a threshold gate on wall-clock.
 """
 
+from repro.obs.explain import (
+    Decision,
+    DecisionJournal,
+    StallLink,
+    active_journal,
+    disable_journal,
+    enable_journal,
+    explain_op,
+    explain_pair,
+    explain_summary,
+    journal_scope,
+    pair_span_bound,
+)
 from repro.obs.export import (
     chrome_trace,
     journal_lines,
     metrics_snapshot,
     write_chrome_trace,
     write_journal,
+)
+from repro.obs.regress import (
+    BenchHistory,
+    BenchPoint,
+    BenchRun,
+    check_run,
+    collect_run,
+    diff_runs,
 )
 from repro.obs.metrics import (
     DETERMINISTIC_NAMESPACES,
@@ -53,24 +84,41 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BenchHistory",
+    "BenchPoint",
+    "BenchRun",
     "DETERMINISTIC_NAMESPACES",
+    "Decision",
+    "DecisionJournal",
     "MetricsRegistry",
     "RecordingTracer",
+    "StallLink",
     "TraceEvent",
     "Tracer",
+    "active_journal",
     "active_metrics",
     "active_tracers",
     "add_tracer",
+    "check_run",
     "chrome_trace",
+    "collect_run",
     "count",
+    "diff_runs",
+    "disable_journal",
     "disable_metrics",
     "disable_tracing",
+    "enable_journal",
     "enable_metrics",
     "enable_tracing",
+    "explain_op",
+    "explain_pair",
+    "explain_summary",
     "ingest_events",
     "journal_lines",
+    "journal_scope",
     "metrics_snapshot",
     "observe",
+    "pair_span_bound",
     "remove_tracer",
     "span",
     "write_chrome_trace",

@@ -22,6 +22,7 @@ from typing import Any, Iterable, Iterator
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceEvent
+from repro.schema import SCHEMA_VERSION
 
 __all__ = [
     "chrome_trace",
@@ -52,7 +53,11 @@ def chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
         }
         for event in events
     ]
-    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {"schema_version": SCHEMA_VERSION},
+    }
 
 
 def write_chrome_trace(path: str, events: Iterable[TraceEvent]) -> None:
@@ -65,6 +70,7 @@ def write_chrome_trace(path: str, events: Iterable[TraceEvent]) -> None:
 def metrics_snapshot(registry: MetricsRegistry) -> dict[str, Any]:
     """The metrics snapshot embedded in report records and journals."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "deterministic": registry.deterministic_subset().as_dict(),
         "all": registry.as_dict(),
     }
@@ -73,9 +79,15 @@ def metrics_snapshot(registry: MetricsRegistry) -> dict[str, Any]:
 def journal_lines(
     events: Iterable[TraceEvent], registry: MetricsRegistry | None = None
 ) -> Iterator[str]:
-    """JSON-lines journal: one span object per line, metrics last."""
+    """JSON-lines journal: one span object per line, metrics last.
+
+    Every line carries ``schema_version`` (v3) so a journal can be
+    consumed without out-of-band format knowledge."""
     for event in events:
-        yield json.dumps({"kind": "span", **event.as_dict()}, sort_keys=True)
+        yield json.dumps(
+            {"schema_version": SCHEMA_VERSION, "kind": "span", **event.as_dict()},
+            sort_keys=True,
+        )
     if registry is not None and registry:
         yield json.dumps(
             {"kind": "metrics", **metrics_snapshot(registry)}, sort_keys=True

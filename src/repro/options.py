@@ -22,6 +22,9 @@ and are mapped onto an ``EvalOptions`` internally (see
 from __future__ import annotations
 
 import dataclasses
+import enum
+import hashlib
+import json
 import warnings
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
@@ -31,6 +34,7 @@ from repro.codegen import FuseStore
 from repro.sched import Priority, SyncSchedulerOptions
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.obs.explain import DecisionJournal
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import Tracer
     from repro.perf.cache import CompileCache
@@ -61,7 +65,10 @@ class EvalOptions:
         ``tracer`` — a :class:`~repro.obs.trace.Tracer` installed for the
         duration of the call; ``metrics`` — a
         :class:`~repro.obs.metrics.MetricsRegistry` collecting counters
-        and histograms for the duration of the call.
+        and histograms for the duration of the call; ``journal`` — a
+        :class:`~repro.obs.explain.DecisionJournal` recording scheduler
+        decision provenance and simulator stall chains for the duration
+        of the call (``repro explain`` consumes it).
     """
 
     apply_restructuring: bool = True
@@ -75,6 +82,12 @@ class EvalOptions:
     sync_options: SyncSchedulerOptions | None = None
     tracer: "Tracer | None" = None
     metrics: "MetricsRegistry | None" = None
+    journal: "DecisionJournal | None" = None
+
+    #: Fields that attach collectors or execution strategy rather than
+    #: select results; excluded from :meth:`stable_hash` and stripped
+    #: before options cross a process boundary.
+    COLLECTOR_FIELDS = ("cache", "jobs", "tracer", "metrics", "journal")
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -87,6 +100,33 @@ class EvalOptions:
     def as_kwargs(self) -> dict[str, Any]:
         """Field name → value, suitable for ``EvalOptions(**kwargs)``."""
         return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    def stable_hash(self) -> str:
+        """A short stable digest of the *result-determining* fields.
+
+        Collector and execution-strategy fields (``tracer``, ``metrics``,
+        ``journal``, ``cache``, ``jobs``) never change results and are
+        excluded, so a cached, parallel, or instrumented sweep hashes the
+        same as a plain one.  Used to key bench-history records
+        (:mod:`repro.obs.regress`).
+        """
+        payload: dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            if f.name in self.COLLECTOR_FIELDS:
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+                value = {
+                    k: (v.value if isinstance(v, enum.Enum) else v)
+                    for k, v in dataclasses.asdict(value).items()
+                }
+            payload[f.name] = value
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        ).hexdigest()
+        return digest[:12]
 
     # -- the deprecated-kwarg shim -------------------------------------------
 
@@ -131,12 +171,14 @@ class EvalOptions:
 
 @contextmanager
 def observation_scope(options: EvalOptions) -> Iterator[None]:
-    """Install the options' tracer/metrics for the duration of a call.
+    """Install the options' tracer/metrics/journal for the duration of a
+    call.
 
-    Re-entrant: a tracer or registry that is already active (e.g. an
-    outer driver installed it before calling an inner one with the same
-    options) is left alone.
+    Re-entrant: a tracer, registry or journal that is already active
+    (e.g. an outer driver installed it before calling an inner one with
+    the same options) is left alone.
     """
+    from repro.obs.explain import active_journal, disable_journal, enable_journal
     from repro.obs.metrics import active_metrics, disable_metrics, enable_metrics
     from repro.obs.trace import active_tracers, add_tracer, remove_tracer
 
@@ -156,4 +198,15 @@ def observation_scope(options: EvalOptions) -> Iterator[None]:
                     enable_metrics(previous)
 
             stack.callback(restore)
+        journal = options.journal
+        if journal is not None and journal is not active_journal():
+            previous_journal = active_journal()
+            enable_journal(journal)
+
+            def restore_journal() -> None:
+                disable_journal()
+                if previous_journal is not None:
+                    enable_journal(previous_journal)
+
+            stack.callback(restore_journal)
         yield

@@ -316,7 +316,9 @@ def evaluate_corpus(
             per_loop = evaluator.evaluate_corpora(
                 [(name, [loop], machine) for loop in loops],
                 n=n,
-                options=options.replace(jobs=1, tracer=None, metrics=None, cache=None),
+                options=options.replace(
+                    jobs=1, tracer=None, metrics=None, journal=None, cache=None
+                ),
             )
             result = CorpusEvaluation(
                 name=name, machine=machine, fallback_reason=evaluator.fallback_reason

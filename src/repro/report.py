@@ -5,17 +5,13 @@ results as data, not prose.  These helpers serialize the pipeline's result
 objects to plain dicts / JSON: schedules with spans, per-loop evaluations,
 and whole corpus sweeps in the shape of the paper's Table 2.
 
-Every record carries ``schema_version`` (currently :data:`SCHEMA_VERSION`).
-Version history — the documented contract lives in ``docs/api.md``:
-
-* **v1** (implicit; records had no version field) — the original PR 1
-  shape: timings, spans, utilization.
-* **v2** — adds ``schema_version`` everywhere, a ``metrics`` block on
-  evaluation and corpus records (simulated stall cycles per sync pair and
-  the simulator dispatch used, from :class:`repro.sim.multiproc.
-  SimulationResult`), and ``fallback_reason`` on corpus records (why a
-  requested process-pool fan-out stayed serial, ``None`` otherwise).
-  Consumers written against v1 keep working: v2 only adds keys.
+Every record carries ``schema_version`` (currently
+:data:`repro.schema.SCHEMA_VERSION`; the version history lives there and
+the documented contract in ``docs/api.md``).  v3 adds the optional
+``explain`` block on evaluation records — a
+:class:`repro.obs.explain.DecisionJournal` snapshot with the decision
+provenance and stall chains behind the numbers (pass ``journal=`` to
+:func:`evaluation_record`, or use :func:`explain_record`).
 """
 
 from __future__ import annotations
@@ -23,13 +19,12 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.obs.explain import DecisionJournal
 from repro.pipeline import CorpusEvaluation, LoopEvaluation
+from repro.schema import SCHEMA_VERSION
 from repro.sched.schedule import Schedule
 from repro.sched.stats import schedule_stats
 from repro.sim.multiproc import SimulationResult
-
-#: Record format version; bump when a record's shape changes (docs/api.md).
-SCHEMA_VERSION = 2
 
 
 def _sim_metrics(sim: SimulationResult | None) -> dict[str, Any] | None:
@@ -64,9 +59,21 @@ def schedule_record(schedule: Schedule) -> dict[str, Any]:
     }
 
 
-def evaluation_record(evaluation: LoopEvaluation) -> dict[str, Any]:
-    """One loop's two-scheduler comparison as data."""
-    return {
+def explain_record(journal: DecisionJournal) -> dict[str, Any]:
+    """A decision journal as data (the v3 ``explain`` block)."""
+    return journal.as_dict()
+
+
+def evaluation_record(
+    evaluation: LoopEvaluation, journal: DecisionJournal | None = None
+) -> dict[str, Any]:
+    """One loop's two-scheduler comparison as data.
+
+    When the evaluation ran with a :class:`DecisionJournal` installed,
+    pass it as ``journal`` to embed its snapshot as the optional v3
+    ``explain`` block; without one the record shape is exactly v2's.
+    """
+    record = {
         "schema_version": SCHEMA_VERSION,
         "machine": evaluation.machine.name,
         "n": evaluation.n,
@@ -84,6 +91,9 @@ def evaluation_record(evaluation: LoopEvaluation) -> dict[str, Any]:
             "new": _sim_metrics(evaluation.sim_new),
         },
     }
+    if journal is not None:
+        record["explain"] = explain_record(journal)
+    return record
 
 
 def corpus_record(corpus: CorpusEvaluation) -> dict[str, Any]:

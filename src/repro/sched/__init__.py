@@ -15,6 +15,7 @@
   the DFG, the machine, and the synchronization conditions.
 """
 
+from repro.sched.gantt import execution_timeline, gantt, sync_timeline, timeline_html
 from repro.sched.list_scheduler import Priority, list_schedule
 from repro.sched.machine import MachineConfig, UnitSpec, figure4_machine, paper_machine
 from repro.sched.marker_scheduler import marker_schedule
@@ -37,7 +38,9 @@ __all__ = [
     "SyncSchedulerOptions",
     "UnitSpec",
     "assert_valid",
+    "execution_timeline",
     "figure4_machine",
+    "gantt",
     "list_schedule",
     "marker_schedule",
     "minimum_registers",
@@ -47,5 +50,7 @@ __all__ = [
     "verify_modulo",
     "schedule_stats",
     "sync_schedule",
+    "sync_timeline",
+    "timeline_html",
     "verify_schedule",
 ]

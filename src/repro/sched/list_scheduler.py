@@ -23,6 +23,7 @@ import enum
 
 from repro.codegen.lower import LoweredLoop
 from repro.dfg.graph import DataFlowGraph
+from repro.obs.explain import Decision, active_journal
 from repro.obs.metrics import observe as metric_observe
 from repro.obs.trace import span
 from repro.sched.machine import MachineConfig
@@ -73,6 +74,9 @@ def list_schedule(
     # earliest cycle each node may issue, updated as predecessors schedule
     ready_cycle = {n: 1 for n in graph.nodes}
     pending_preds = {n: graph.in_degree(n) for n in graph.nodes}
+    journal = active_journal()
+    # predecessor that last raised a node's ready cycle (provenance)
+    critical_pred: dict[int, int] = {}
 
     with span("schedule.list"):
         cycle = 1
@@ -94,10 +98,33 @@ def list_schedule(
                     schedule.cycle_of[iid] = cycle
                     unscheduled.discard(iid)
                     placed_any = True
+                    if journal is not None:
+                        instr = lowered.instruction(iid)
+                        journal.record_decision(
+                            Decision(
+                                scheduler=schedule.scheduler_name,
+                                iid=iid,
+                                cycle=cycle,
+                                phase="list",
+                                rule="greedy",
+                                ready_cycle=ready_cycle[iid],
+                                min_cycle=ready_cycle[iid],
+                                resource_delay=cycle - ready_cycle[iid],
+                                critical_pred=critical_pred.get(iid),
+                                pair_id=(
+                                    instr.sync.pair_ids[0]
+                                    if instr.sync is not None and instr.sync.pair_ids
+                                    else None
+                                ),
+                                competing=tuple(c for c in candidates if c != iid),
+                            )
+                        )
                     latency = machine.latency(fu)
                     for edge in graph.succ[iid]:
                         pending_preds[edge.dst] -= 1
-                        ready_cycle[edge.dst] = max(ready_cycle[edge.dst], cycle + latency)
+                        if cycle + latency > ready_cycle[edge.dst]:
+                            ready_cycle[edge.dst] = cycle + latency
+                            critical_pred[edge.dst] = iid
             cycle += 1
             if not placed_any and not candidates and cycle > 2 * len(graph.nodes) * 8 + 64:
                 raise RuntimeError("list scheduler failed to make progress")  # pragma: no cover

@@ -30,6 +30,7 @@ options exist to ablate the individual performance ideas.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.codegen.isa import Opcode
@@ -38,6 +39,7 @@ from repro.dfg.graph import DataFlowGraph
 from repro.dfg.partition import Component, ComponentKind, partition
 from repro.dfg.syncpath import SyncPath, find_sync_paths, group_overlapping, order_paths
 from repro.ir.ast_nodes import Const
+from repro.obs.explain import Decision, active_journal
 from repro.obs.metrics import count as metric_count
 from repro.obs.trace import span
 from repro.sched.machine import MachineConfig
@@ -83,6 +85,64 @@ class _SyncScheduler:
         self.topo_pos = {iid: i for i, iid in enumerate(self.topo)}
         self._inflight_sends: set[int] = set()
         self._sp_pair_ids: set[int] = set()  # filled by run()
+        # Decision provenance (repro.obs.explain).  Buffered per-iid so the
+        # transactional SP placement can roll decisions back with unplace();
+        # flushed to the journal once at the end of run().
+        self._journal = active_journal()
+        self._decisions: dict[int, Decision] = {}
+        self._phase = "init"
+        self._rule = "asap"
+        self._rule_pair: int | None = None
+        self._rule_note = ""
+
+    # -- decision provenance ----------------------------------------------------
+
+    @contextmanager
+    def _ruled(self, rule: str, pair_id: int | None = None, note: str = ""):
+        """Label placements inside the block with a placement rule."""
+        previous = (self._rule, self._rule_pair, self._rule_note)
+        self._rule, self._rule_pair, self._rule_note = rule, pair_id, note
+        try:
+            yield
+        finally:
+            self._rule, self._rule_pair, self._rule_note = previous
+
+    def _record(
+        self,
+        iid: int,
+        cycle: int,
+        *,
+        ready: int,
+        min_cycle: int = 1,
+        rule: str | None = None,
+        pair_id: int | None = None,
+        note: str | None = None,
+        critical_pred: int | None = None,
+    ) -> None:
+        if self._journal is None:
+            return
+        self._decisions[iid] = Decision(
+            scheduler="sync-aware",
+            iid=iid,
+            cycle=cycle,
+            phase=self._phase,
+            rule=rule if rule is not None else self._rule,
+            ready_cycle=ready,
+            min_cycle=min_cycle,
+            resource_delay=max(0, cycle - max(ready, min_cycle)),
+            critical_pred=critical_pred,
+            pair_id=pair_id if pair_id is not None else self._rule_pair,
+            note=note if note is not None else self._rule_note,
+        )
+
+    def ready_cycle_reason(self, iid: int) -> tuple[int, int | None]:
+        """:meth:`ready_cycle` plus the predecessor that set it."""
+        cycle, pred = 1, None
+        for edge in self.graph.pred[iid]:
+            candidate = self.cycle_of[edge.src] + self.latency(edge.src)
+            if candidate > cycle:
+                cycle, pred = candidate, edge.src
+        return cycle, pred
 
     # -- primitives -----------------------------------------------------------
 
@@ -107,11 +167,17 @@ class _SyncScheduler:
     def unplace(self, iid: int) -> None:
         cycle = self.cycle_of.pop(iid)
         self.resources.remove(self.lowered.instruction(iid).fu, cycle)
+        self._decisions.pop(iid, None)
 
     def place_asap(self, iid: int, min_cycle: int = 1) -> int:
         fu = self.lowered.instruction(iid).fu
-        cycle = self.resources.earliest(fu, max(min_cycle, self.ready_cycle(iid)))
+        if self._journal is None:
+            ready, pred = self.ready_cycle(iid), None
+        else:
+            ready, pred = self.ready_cycle_reason(iid)
+        cycle = self.resources.earliest(fu, max(min_cycle, ready))
         self.place(iid, cycle)
+        self._record(iid, cycle, ready=ready, min_cycle=min_cycle, critical_pred=pred)
         return cycle
 
     def unscheduled_ancestors(self, nodes: list[int]) -> list[int]:
@@ -188,17 +254,41 @@ class _SyncScheduler:
                         self._inflight_sends.discard(send_iid)
                 if iid in self.cycle_of:
                     return  # the cone-pulling recursion placed this wait
-            self.place_asap(iid, self.wait_min_cycle(iid))
+            min_cycle = self.wait_min_cycle(iid)
+            assert instr.sync is not None
+            pair_id = instr.sync.pair_ids[0] if instr.sync.pair_ids else None
+            rule = (
+                "wait_after_send"
+                if self.options.waits_after_sends and min_cycle > 1
+                else self._rule
+            )
+            with self._ruled(rule, pair_id=pair_id):
+                self.place_asap(iid, min_cycle)
             return
         if instr.opcode is Opcode.SEND:
+            assert instr.sync is not None
+            pair_id = instr.sync.pair_ids[0] if instr.sync.pair_ids else None
             deadline = self.send_deadline(iid)
-            ready = self.ready_cycle(iid)
+            if self._journal is None:
+                ready, pred = self.ready_cycle(iid), None
+            else:
+                ready, pred = self.ready_cycle_reason(iid)
             if deadline is not None and deadline >= ready:
                 cycle = self.resources.latest_at_most(instr.fu, deadline, ready)
                 if cycle is not None:
                     self.place(iid, cycle)
+                    self._record(
+                        iid,
+                        cycle,
+                        ready=ready,
+                        rule="send_deadline",
+                        pair_id=pair_id,
+                        note=f"placed before its wait (deadline c{deadline})",
+                        critical_pred=pred,
+                    )
                     return
-            self.place_asap(iid)
+            with self._ruled(self._rule, pair_id=pair_id):
+                self.place_asap(iid)
             return
         self.place_asap(iid)
 
@@ -263,7 +353,7 @@ class _SyncScheduler:
                 cycle += self.min_spacing(node, nodes[i + 1])
         return targets
 
-    def try_place_path(self, nodes: list[int], start: int) -> bool:
+    def try_place_path(self, nodes: list[int], start: int, pair_id: int | None = None) -> bool:
         """Transactionally place ``nodes`` contiguously from ``start``, then
         their ancestors backward (ALAP before their consumers, the way the
         paper's Fig. 4(b) tucks ``t5 <- I + 1`` into cycle 1); roll back on
@@ -328,6 +418,31 @@ class _SyncScheduler:
         for iid in placed:
             if self.ready_cycle(iid) > self.cycle_of[iid]:
                 return rollback()
+        if self._journal is not None:
+            # Everything relevant is placed, so ready cycles are final.
+            path_set = set(nodes)
+            for iid in placed:
+                ready, pred = self.ready_cycle_reason(iid)
+                if iid in path_set:
+                    self._record(
+                        iid,
+                        self.cycle_of[iid],
+                        ready=ready,
+                        rule="sp_contiguous",
+                        pair_id=pair_id,
+                        note=f"synchronization path packed from c{start}",
+                        critical_pred=pred,
+                    )
+                else:
+                    self._record(
+                        iid,
+                        self.cycle_of[iid],
+                        ready=ready,
+                        rule="sp_ancestor_alap",
+                        pair_id=pair_id,
+                        note="tucked before its consumer on the path",
+                        critical_pred=pred,
+                    )
         return True
 
     def schedule_path_contiguous(self, path: SyncPath) -> None:
@@ -344,16 +459,17 @@ class _SyncScheduler:
             + 8
         )
         for start in range(1, horizon + 1):
-            if self.try_place_path(nodes, start):
+            if self.try_place_path(nodes, start, pair_id=path.pair_id):
                 metric_count("sched_pass.sync.sp_start_retries", start - 1)
                 return
         # Dependence-minimal spacing can still be resource-infeasible (the
         # in-between work oversubscribes a unit inside the fixed window):
         # fall back to tight sequential ASAP placement, which always works.
         metric_count("sched_pass.sync.sp_fallback_asap")
-        for node in nodes:
-            if node not in self.cycle_of:
-                self.place_with_ancestors(node)
+        with self._ruled("sp_fallback_asap", pair_id=path.pair_id):
+            for node in nodes:
+                if node not in self.cycle_of:
+                    self.place_with_ancestors(node)
 
     def schedule_sp_group(self, group: list[SyncPath]) -> None:
         primary, *rest = group
@@ -402,6 +518,7 @@ class _SyncScheduler:
             sp_ancestors |= self.graph.ancestors(node)
         sp_pair_ids = {path.pair_id for path in paths}
         if self.options.waits_after_sends:
+            self._phase = "lfd_conversion"
             for pair in self.lowered.synced.pairs:
                 if pair.pair_id in sp_pair_ids:
                     continue
@@ -411,20 +528,23 @@ class _SyncScheduler:
                     cone = set(self.unscheduled_ancestors([send_iid]))
                     if cone & sp_nodes:
                         continue  # cannot hoist the send without the SP
-                    for anc in self.unscheduled_ancestors([send_iid]):
-                        self.place_node(anc)
-                    self.place_node(send_iid)
+                    with self._ruled("lfd_send_hoist", pair_id=pair.pair_id):
+                        for anc in self.unscheduled_ancestors([send_iid]):
+                            self.place_node(anc)
+                        self.place_node(send_iid)
 
         # Sig graphs first (the paper's rule: "scheduling Sig graphs before
         # all Sigwat graphs" converts their pairs to LFD — the waits, placed
         # later, land after these sends).
         if self.options.sends_before_waits:
+            self._phase = "sig_first"
             with span("schedule.sync.sig_first"):
                 for component in components:
                     if component.kind is ComponentKind.SIG:
                         self.schedule_set(set(component.nodes))
 
         # Phase 1: synchronization paths.
+        self._phase = "sync_paths"
         with span("schedule.sync.sp"):
             groups = group_overlapping(paths)
             metric_count("sched_pass.sync.sp_groups", len(groups))
@@ -439,12 +559,19 @@ class _SyncScheduler:
                 ComponentKind.WAT,
                 ComponentKind.PLAIN,
             ):
+                self._phase = f"components.{kind.name.lower()}"
                 for component in components:
                     if component.kind is kind:
                         self.schedule_set(
                             set(component.nodes),
                             sends_first=(kind is ComponentKind.SIGWAT),
                         )
+
+        if self._journal is not None:
+            for iid in sorted(
+                self._decisions, key=lambda i: (self.cycle_of.get(i, 0), i)
+            ):
+                self._journal.record_decision(self._decisions[iid])
 
         return Schedule(
             machine=self.machine,

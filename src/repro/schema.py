@@ -1,0 +1,28 @@
+"""The record-format version shared by every machine-readable emitter.
+
+Lives in its own dependency-free module so that :mod:`repro.report`,
+:mod:`repro.obs.export` and :mod:`repro.obs.regress` can all stamp their
+documents without import cycles (``repro.obs`` must not import
+``repro.report``, which pulls in the whole pipeline).
+
+Version history — the documented contract lives in ``docs/api.md``:
+
+* **v1** (implicit; records had no version field) — the original PR 1
+  shape: timings, spans, utilization.
+* **v2** — ``schema_version`` on report records, ``metrics`` blocks,
+  ``fallback_reason`` on corpus records.
+* **v3** — ``schema_version`` at the top level of *every* emitted
+  document (journal lines, ``repro metrics --json``, Chrome trace
+  metadata, bench-history records), an optional ``explain`` block on
+  evaluation records (decision provenance + stall chains, see
+  :mod:`repro.obs.explain`), and the ``bench_run`` record family of
+  :mod:`repro.obs.regress`.  Consumers written against v2 keep working:
+  v3 only adds keys.
+"""
+
+from __future__ import annotations
+
+#: Record format version; bump when any record's shape changes (docs/api.md).
+SCHEMA_VERSION = 3
+
+__all__ = ["SCHEMA_VERSION"]

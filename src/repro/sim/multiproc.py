@@ -38,6 +38,7 @@ import bisect
 from dataclasses import dataclass, field
 
 from repro.codegen.isa import Opcode
+from repro.obs.explain import StallLink, active_journal
 from repro.obs.metrics import count as metric_count
 from repro.obs.trace import span
 from repro.sched.schedule import Schedule
@@ -189,6 +190,24 @@ def analytic_fast_path(
     stall_by_pair = dict(no_stall)
     if stalling_pair_id is not None:
         stall_by_pair[stalling_pair_id] = total_stall
+    journal = active_journal()
+    if journal is not None and stalling_pair_id is not None:
+        # Materialize the same stall chain the event walk would emit: the
+        # producer's send is delayed by its own cumulative stall, so its
+        # absolute issue is a closed form too (kept out of the default path
+        # to preserve the O(pairs) cost when no journal is installed).
+        for k in range(distance + 1, n + 1):
+            producer = k - distance
+            journal.record_stall(
+                StallLink(
+                    pair_id=stalling_pair_id,
+                    iteration=k,
+                    producer_iteration=producer,
+                    wait_cycle=wait_cycle,
+                    send_abs=send_cycle + ((producer - 1) // distance) * per_hop,
+                    stall=((k - 1) // distance) * per_hop,
+                )
+            )
     return SimulationResult(
         schedule=schedule,
         n=n,
@@ -244,6 +263,7 @@ def simulate_doacross(
             return fast
 
     metric_count("sim.dispatch.event_walk")
+    journal = active_journal()
     with span("sim.event_walk"):
         # Waits of the schedule in issue-cycle order, with (distance, send
         # cycle, pair id); ties keep pair-id order, matching the old list
@@ -281,6 +301,17 @@ def simulate_doacross(
                     current = start + wait_cycle + stall
                     if needed > current:
                         stall_by_pair[pair_id] += needed - current
+                        if journal is not None:
+                            journal.record_stall(
+                                StallLink(
+                                    pair_id=pair_id,
+                                    iteration=k,
+                                    producer_iteration=producer,
+                                    wait_cycle=wait_cycle,
+                                    send_abs=send_abs,
+                                    stall=needed - current,
+                                )
+                            )
                         stall = needed - start - wait_cycle
                 timing.wait_cycles.append(wait_cycle)
                 timing.cumulative_stall.append(stall)

@@ -1,0 +1,127 @@
+"""``repro bench`` end to end: record, list, diff, check.
+
+The PR's acceptance criteria: recording twice and checking passes with
+zero drift; injecting a cycle change into the baseline makes ``bench
+check`` fail and name the drifted field (the same invocation CI runs).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def history(tmp_path):
+    return str(tmp_path / "hist.jsonl")
+
+
+def _record(history, suite="fig"):
+    return main(["bench", "record", "--suite", suite, "--history", history])
+
+
+class TestRecord:
+    def test_record_appends_versioned_runs(self, history, capsys):
+        assert _record(history) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and "fig" in out
+        lines = [json.loads(line) for line in open(history)]
+        assert len(lines) == 1
+        assert lines[0]["kind"] == "bench_run"
+        from repro.schema import SCHEMA_VERSION
+
+        assert lines[0]["schema_version"] == SCHEMA_VERSION
+
+    def test_record_twice_identical_points(self, history, capsys):
+        assert _record(history) == 0
+        assert _record(history) == 0
+        first, second = [json.loads(line) for line in open(history)]
+        assert first["points"] == second["points"]
+        assert first["options_hash"] == second["options_hash"]
+
+    def test_list(self, history, capsys):
+        _record(history)
+        capsys.readouterr()
+        assert main(["bench", "list", "--history", history]) == 0
+        out = capsys.readouterr().out
+        assert "fig" in out and "points=1" in out
+
+
+class TestCheck:
+    def test_zero_drift_passes(self, history, capsys):
+        assert _record(history) == 0
+        assert (
+            main(["bench", "check", "--suite", "fig", "--history", history]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "OK" in out and "match baseline" in out
+
+    def test_injected_cycle_drift_fails_and_names_the_field(self, history, capsys):
+        assert _record(history) == 0
+        # inject a one-cycle regression into the recorded baseline: any
+        # candidate re-run now disagrees with it
+        (record,) = [json.loads(line) for line in open(history)]
+        record["points"][0]["t_new"] -= 1
+        with open(history, "w") as handle:
+            handle.write(json.dumps(record) + "\n")
+        capsys.readouterr()
+        assert (
+            main(["bench", "check", "--suite", "fig", "--history", history]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "t_new drifted" in out and "(exact gate)" in out
+
+    def test_missing_baseline_fails(self, history, capsys):
+        assert (
+            main(["bench", "check", "--suite", "fig", "--history", history]) == 1
+        )
+        assert "no baseline recorded" in capsys.readouterr().err
+
+    def test_baseline_flag_reads_separate_store(self, history, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.jsonl")
+        _record(baseline)
+        assert (
+            main(
+                [
+                    "bench",
+                    "check",
+                    "--suite",
+                    "fig",
+                    "--baseline",
+                    baseline,
+                    "--history",
+                    history,
+                ]
+            )
+            == 0
+        )
+
+
+class TestDiff:
+    def test_identical_runs_exit_zero(self, history, capsys):
+        _record(history)
+        _record(history)
+        runs = [json.loads(line)["run_id"] for line in open(history)]
+        capsys.readouterr()
+        code = main(["bench", "diff", runs[0], runs[1], "--history", history])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical" in out
+
+    def test_drifted_runs_exit_one(self, history, capsys):
+        _record(history)
+        first = json.loads(open(history).readline())
+        drifted = dict(first)
+        drifted["run_id"] = "f00df00df00d"
+        drifted["points"] = [dict(first["points"][0], t_new=999)]
+        with open(history, "a") as handle:
+            handle.write(json.dumps(drifted) + "\n")
+        capsys.readouterr()
+        code = main(
+            ["bench", "diff", first["run_id"], "f00df00d", "--history", history]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "t_new" in out

@@ -48,7 +48,10 @@ class TestMetricsCommand:
     def test_json_output(self, capsys):
         assert main(["metrics", "FLQ52", "--n", "20", "--json"]) == 0
         snapshot = json.loads(capsys.readouterr().out)
-        assert set(snapshot) == {"all", "deterministic"}
+        assert set(snapshot) == {"all", "deterministic", "schema_version"}
+        from repro.schema import SCHEMA_VERSION
+
+        assert snapshot["schema_version"] == SCHEMA_VERSION
         assert any(
             name.startswith("sim.") for name in snapshot["deterministic"]["counters"]
         )

@@ -1,0 +1,151 @@
+"""The deprecated-kwarg shims: every legacy keyword still works.
+
+The PR 1-era keyword arguments on the pipeline entry points must (a) map
+onto the corresponding :class:`repro.EvalOptions` field, (b) produce the
+same results as the ``options=`` spelling, and (c) emit exactly one
+``DeprecationWarning`` per call naming the replacement (docs/api.md).
+"""
+
+import warnings
+
+import pytest
+
+from repro import (
+    CompileCache,
+    EvalOptions,
+    ParallelEvaluator,
+    compile_loop,
+    evaluate_corpus,
+    evaluate_loop,
+    paper_machine,
+)
+from repro.codegen import FuseStore
+from repro.sched import Priority, SyncSchedulerOptions
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+# (legacy kwarg, a non-default value) — one entry per EvalOptions field
+# that ever shipped as a keyword argument.
+LEGACY_KWARGS = [
+    ("apply_restructuring", False),
+    ("fuse", FuseStore.NEVER),
+    ("cache", CompileCache()),
+    ("exact_simulation", True),
+    ("verify", False),
+    ("check_semantics", True),
+    ("list_priority", Priority.CRITICAL_PATH),
+    ("sync_options", SyncSchedulerOptions(contiguous_sp=False)),
+]
+
+
+def _one_deprecation(caught):
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, (
+        f"expected exactly one DeprecationWarning, got {len(deprecations)}: "
+        f"{[str(w.message) for w in deprecations]}"
+    )
+    return str(deprecations[0].message)
+
+
+class TestCoerceMapsEveryLegacyKwarg:
+    @pytest.mark.parametrize("name,value", LEGACY_KWARGS, ids=[n for n, _ in LEGACY_KWARGS])
+    def test_maps_onto_field_with_one_warning(self, name, value):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            options = EvalOptions.coerce(None, **{name: value})
+        message = _one_deprecation(caught)
+        assert name in message and "EvalOptions" in message
+        assert getattr(options, name) == value
+        # every other field keeps its default
+        defaults = EvalOptions()
+        for other, _ in LEGACY_KWARGS:
+            if other != name:
+                assert getattr(options, other) == getattr(defaults, other)
+
+    def test_legacy_wins_over_options_field(self):
+        base = EvalOptions(exact_simulation=False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            options = EvalOptions.coerce(base, exact_simulation=True)
+        _one_deprecation(caught)
+        assert options.exact_simulation is True
+
+    def test_unknown_kwarg_raises_type_error(self):
+        with pytest.raises(TypeError, match="unknown evaluation option"):
+            EvalOptions.coerce(None, exact_simulatoin=True)
+
+    def test_no_warning_without_legacy_kwargs(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            EvalOptions.coerce(EvalOptions(exact_simulation=True))
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestEntryPointsWarnOnceAndAgree:
+    def test_compile_loop(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = compile_loop(FIG1, apply_restructuring=False)
+        _one_deprecation(caught)
+        stable = compile_loop(FIG1, EvalOptions(apply_restructuring=False))
+        assert shimmed.lowered.instructions == stable.lowered.instructions
+
+    def test_evaluate_loop(self):
+        compiled = compile_loop(FIG1)
+        machine = paper_machine(4, 1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = evaluate_loop(compiled, machine, n=50, exact_simulation=True)
+        _one_deprecation(caught)
+        stable = evaluate_loop(
+            compiled, machine, n=50, options=EvalOptions(exact_simulation=True)
+        )
+        assert (shimmed.t_list, shimmed.t_new) == (stable.t_list, stable.t_new)
+
+    def test_evaluate_corpus(self):
+        from repro.ir import parse_loop
+
+        loops = [parse_loop(FIG1)]
+        machine = paper_machine(2, 1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = evaluate_corpus("fig1", loops, machine, 50, verify=False)
+        _one_deprecation(caught)
+        stable = evaluate_corpus(
+            "fig1", loops, machine, 50, options=EvalOptions(verify=False)
+        )
+        assert (shimmed.t_list, shimmed.t_new) == (stable.t_list, stable.t_new)
+
+    def test_parallel_evaluator(self):
+        from repro.ir import parse_loop
+
+        jobs = [("fig1", [parse_loop(FIG1)], paper_machine(2, 1))]
+        evaluator = ParallelEvaluator(max_workers=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = evaluator.evaluate_corpora(jobs, n=50, exact_simulation=True)
+        _one_deprecation(caught)
+        stable = evaluator.evaluate_corpora(
+            jobs, n=50, options=EvalOptions(exact_simulation=True)
+        )
+        assert [(r.t_list, r.t_new) for r in shimmed] == [
+            (r.t_list, r.t_new) for r in stable
+        ]
+
+    def test_internal_surface_clean_under_error_filter(self):
+        # the package never calls its own deprecated surface
+        compiled = compile_loop(FIG1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            evaluate_loop(
+                compiled,
+                paper_machine(4, 1),
+                n=50,
+                options=EvalOptions(exact_simulation=True),
+            )

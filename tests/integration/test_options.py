@@ -57,6 +57,46 @@ class TestValueObject:
         assert repro.EvalOptions is EvalOptions
 
 
+class TestStableHash:
+    def test_collector_fields_enumerated(self):
+        assert EvalOptions.COLLECTOR_FIELDS == (
+            "cache",
+            "jobs",
+            "tracer",
+            "metrics",
+            "journal",
+        )
+        field_names = {f.name for f in dataclasses.fields(EvalOptions)}
+        assert set(EvalOptions.COLLECTOR_FIELDS) <= field_names
+
+    def test_collectors_do_not_change_the_hash(self):
+        from repro.obs import DecisionJournal, MetricsRegistry, RecordingTracer
+
+        plain = EvalOptions().stable_hash()
+        instrumented = EvalOptions(
+            cache=CompileCache(),
+            jobs=4,
+            tracer=RecordingTracer(),
+            metrics=MetricsRegistry(),
+            journal=DecisionJournal(),
+        ).stable_hash()
+        assert instrumented == plain
+
+    def test_result_determining_fields_change_the_hash(self):
+        base = EvalOptions().stable_hash()
+        assert EvalOptions(exact_simulation=True).stable_hash() != base
+        assert EvalOptions(fuse=FuseStore.NEVER).stable_hash() != base
+        assert (
+            EvalOptions(list_priority=Priority.CRITICAL_PATH).stable_hash() != base
+        )
+
+    def test_hash_is_stable_across_instances(self):
+        assert (
+            EvalOptions(verify=False).stable_hash()
+            == EvalOptions(verify=False).stable_hash()
+        )
+
+
 class TestCoerce:
     def test_none_means_defaults(self):
         assert EvalOptions.coerce(None) == EvalOptions()

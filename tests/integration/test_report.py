@@ -45,3 +45,25 @@ class TestRecords:
     def test_json_is_stable(self):
         ev = evaluate_loop(compile_loop(FIG1), paper_machine(2, 1))
         assert to_json(evaluation_record(ev)) == to_json(evaluation_record(ev))
+
+    def test_evaluation_record_embeds_explain_block(self):
+        from repro import EvalOptions
+        from repro.obs import DecisionJournal
+        from repro.schema import SCHEMA_VERSION
+
+        journal = DecisionJournal()
+        ev = evaluate_loop(
+            compile_loop(FIG1),
+            paper_machine(4, 1),
+            options=EvalOptions(journal=journal),
+        )
+        plain = evaluation_record(ev)
+        assert "explain" not in plain  # opt-in, v2 consumers unaffected
+        record = evaluation_record(ev, journal=journal)
+        explain = record["explain"]
+        assert explain["schema_version"] == SCHEMA_VERSION
+        assert explain["decisions"] and explain["stalls"]
+        # one decision per instruction per scheduler run
+        schedulers = {d["scheduler"] for d in explain["decisions"]}
+        assert len(schedulers) == 2
+        json.loads(to_json(record))  # serializable

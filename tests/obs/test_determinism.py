@@ -5,12 +5,20 @@ aggregates (see ``DETERMINISTIC_NAMESPACES``) are a pure function of
 (corpus, machine, options), so however the sweep is partitioned across
 worker processes — or whether the pool even starts — the merged registry
 agrees to the counter.
+
+And the converse bar for the explain subsystem: with **no** tracer,
+registry, or decision journal installed, the Table 2/3 numbers are
+byte-identical to an instrumented run — provenance collection must never
+perturb results.
 """
 
 import pytest
 
-from repro.obs import disable_metrics, enable_metrics
+from repro.obs import DecisionJournal, disable_metrics, enable_metrics
+from repro.obs.explain import disable_journal
+from repro.options import EvalOptions
 from repro.perf import ParallelEvaluator
+from repro.pipeline import evaluate_corpus
 from repro.sched import paper_machine
 from repro.workloads import perfect_suite
 
@@ -18,8 +26,10 @@ from repro.workloads import perfect_suite
 @pytest.fixture(autouse=True)
 def clean_metrics():
     disable_metrics()
+    disable_journal()
     yield
     disable_metrics()
+    disable_journal()
 
 
 def _sweep_jobs():
@@ -67,3 +77,45 @@ class TestJobsDeterminism:
         first, _ = _metrics_with_workers(jobs, workers=1)
         second, _ = _metrics_with_workers(jobs, workers=1)
         assert first.as_dict() == second.as_dict()
+
+
+class TestJournalZeroOverhead:
+    """Decision provenance never changes what the pipeline computes."""
+
+    def _corpus_records(self, options=None):
+        from repro.report import corpus_record
+
+        suite = perfect_suite()
+        machine = paper_machine(4, 1)
+        evaluation = evaluate_corpus(
+            "FLQ52", suite["FLQ52"], machine, 30, options or EvalOptions()
+        )
+        return corpus_record(evaluation)
+
+    def test_records_identical_with_and_without_journal(self):
+        plain = self._corpus_records()
+        journal = DecisionJournal()
+        journaled = self._corpus_records(EvalOptions(journal=journal))
+        assert journal, "the journal collected decisions"
+        assert plain == journaled
+
+    def test_journal_runs_are_repeatable(self):
+        first_journal, second_journal = DecisionJournal(), DecisionJournal()
+        self._corpus_records(EvalOptions(journal=first_journal))
+        self._corpus_records(EvalOptions(journal=second_journal))
+        assert first_journal.as_dict() == second_journal.as_dict()
+
+    def test_sweep_stdout_identical_with_and_without_journal(self, capsys):
+        from repro.cli import main
+
+        args = ["sweep", "FLQ52", "--n", "20"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        from repro.obs.explain import enable_journal
+
+        enable_journal()
+        try:
+            assert main(args) == 0
+        finally:
+            disable_journal()
+        assert capsys.readouterr().out == plain

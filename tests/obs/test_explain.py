@@ -1,0 +1,220 @@
+"""Decision provenance: the journal, the span bound, and the explainers.
+
+The acceptance bar for ``repro.obs.explain``: on the Fig. 1(a) loop the
+list scheduler's journal must name the greedy decision that stretched
+the Wait→Send span (Fig. 4a), the sync-aware scheduler's journal must
+show the span restored to its dependence bound (Fig. 4b), and the
+simulator's stall-attribution links must be identical whichever dispatch
+(analytic fast path or exact event walk) answered.
+"""
+
+import pytest
+
+from repro.obs.explain import (
+    Decision,
+    DecisionJournal,
+    StallLink,
+    active_journal,
+    disable_journal,
+    enable_journal,
+    explain_op,
+    explain_pair,
+    explain_summary,
+    journal_scope,
+    pair_span_bound,
+)
+from repro.sched import list_schedule, sync_schedule
+from repro.sim import simulate_doacross
+
+
+@pytest.fixture(autouse=True)
+def clean_journal():
+    disable_journal()
+    yield
+    disable_journal()
+
+
+@pytest.fixture
+def journaled(fig1_lowered, fig1_dfg, fig4_machine):
+    """Both schedulers + simulations recorded into one journal."""
+    journal = DecisionJournal()
+    with journal_scope(journal):
+        list_sched = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        sync_sched = sync_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        sim_list = simulate_doacross(list_sched, 100)
+        sim_sync = simulate_doacross(sync_sched, 100)
+    return journal, list_sched, sync_sched, sim_list, sim_sync
+
+
+class TestJournal:
+    def test_empty_journal_is_falsy(self):
+        journal = DecisionJournal()
+        assert not journal
+        assert len(journal) == 0
+
+    def test_decision_for_prefers_latest_for_scheduler(self):
+        journal = DecisionJournal()
+        journal.record_decision(
+            Decision(scheduler="list", iid=1, cycle=1, phase="list", rule="greedy", ready_cycle=1)
+        )
+        journal.record_decision(
+            Decision(scheduler="sync", iid=1, cycle=3, phase="sync_paths", rule="sp", ready_cycle=1)
+        )
+        assert journal.decision_for(1, "list").cycle == 1
+        assert journal.decision_for(1, "sync").cycle == 3
+        # no scheduler filter: the most recent decision wins
+        assert journal.decision_for(1).cycle == 3
+        assert journal.decision_for(99) is None
+
+    def test_clear(self):
+        journal = DecisionJournal()
+        journal.record_decision(
+            Decision(scheduler="list", iid=1, cycle=1, phase="list", rule="greedy", ready_cycle=1)
+        )
+        journal.record_stall(
+            StallLink(
+                pair_id=0,
+                iteration=3,
+                producer_iteration=1,
+                wait_cycle=1,
+                send_abs=13,
+                stall=13,
+            )
+        )
+        assert journal and len(journal) == 2
+        journal.clear()
+        assert not journal
+
+    def test_as_dict_schema(self, journaled):
+        journal = journaled[0]
+        record = journal.as_dict()
+        from repro.schema import SCHEMA_VERSION
+
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["decisions"] and record["stalls"]
+
+
+class TestInstallation:
+    def test_nothing_active_by_default(self):
+        assert active_journal() is None
+
+    def test_enable_disable(self):
+        journal = enable_journal()
+        assert active_journal() is journal
+        assert disable_journal() is journal
+        assert active_journal() is None
+
+    def test_scope_restores_previous(self):
+        outer = enable_journal()
+        inner = DecisionJournal()
+        with journal_scope(inner):
+            assert active_journal() is inner
+        assert active_journal() is outer
+
+    def test_no_journal_no_recording(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        simulate_doacross(schedule, 100)
+        assert active_journal() is None
+
+
+class TestInstrumentation:
+    def test_one_decision_per_instruction(self, journaled, fig1_lowered):
+        journal, list_sched, sync_sched = journaled[0], journaled[1], journaled[2]
+        n_ops = len(fig1_lowered.instructions)
+        for schedule in (list_sched, sync_sched):
+            decisions = journal.decisions_for(schedule.scheduler_name)
+            assert len(decisions) == n_ops
+            assert {d.iid for d in decisions} == set(schedule.cycle_of)
+            for decision in decisions:
+                assert decision.cycle == schedule.cycle_of[decision.iid]
+
+    def test_stall_links_cover_stalling_pairs(self, journaled):
+        journal, _list_sched, _sync_sched, sim_list, _sim_sync = journaled
+        links = journal.stalls_for(0)
+        assert links
+        assert sum(link.stall for link in links if link.stall > 0) > 0
+
+    def test_fast_path_and_event_walk_emit_identical_links(
+        self, fig1_lowered, fig1_dfg, fig4_machine
+    ):
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        fast, exact = DecisionJournal(), DecisionJournal()
+        with journal_scope(fast):
+            simulate_doacross(schedule, 100)
+        with journal_scope(exact):
+            simulate_doacross(schedule, 100, exact_simulation=True)
+        fast_links = [link.as_dict() for link in fast.stalls]
+        exact_links = [link.as_dict() for link in exact.stalls]
+        assert fast_links == exact_links
+        assert fast_links  # the Fig. 4a schedule stalls
+
+
+class TestPairSpanBound:
+    def test_bound_is_seven_on_fig4_machine(
+        self, fig1_lowered, fig1_dfg, fig4_machine
+    ):
+        # the Section 3 walkthrough: the d=2 pair's synchronization path
+        # cannot be shorter than 7 cycles on any schedule
+        for scheduler in (list_schedule, sync_schedule):
+            schedule = scheduler(fig1_lowered, fig1_dfg, fig4_machine)
+            assert pair_span_bound(schedule, fig1_dfg, 0) == 7
+
+    def test_no_path_means_lfd_possible(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = sync_schedule(fig1_lowered, fig1_dfg, fig4_machine)
+        assert pair_span_bound(schedule, fig1_dfg, 1) is None
+        assert schedule.span(1) <= 0  # and the scheduler exploited it
+
+
+class TestExplainOp:
+    def test_names_phase_and_rule(self, journaled):
+        journal, list_sched = journaled[0], journaled[1]
+        text = explain_op(list_sched, journal, 1)
+        assert "op 1" in text
+        assert "phase 'list'" in text
+        assert "rule: greedy" in text
+
+    def test_unknown_op(self, journaled):
+        journal, list_sched = journaled[0], journaled[1]
+        assert "not in this schedule" in explain_op(list_sched, journal, 999)
+
+    def test_missing_decision_is_reported(self, fig1_lowered, fig1_dfg, fig4_machine):
+        schedule = list_schedule(fig1_lowered, fig1_dfg, fig4_machine)  # no journal
+        text = explain_op(schedule, DecisionJournal(), 1)
+        assert "no decision recorded" in text
+
+
+class TestExplainPair:
+    def test_fig4a_names_the_greedy_stretch(self, journaled, fig1_dfg):
+        journal, list_sched, _, sim_list, _ = journaled
+        text = explain_pair(list_sched, journal, fig1_dfg, 0, sim=sim_list)
+        assert "span (inclusive wait->send) = 13" in text
+        assert "dependence bound along the synchronization path = 7" in text
+        assert "greedy decision placed Wait_Signal" in text
+        assert "hoisted 6 cycle(s)" in text
+        assert "stall chain" in text
+
+    def test_fig4b_span_restored_to_bound(self, journaled, fig1_dfg):
+        journal, _, sync_sched, _, sim_sync = journaled
+        text = explain_pair(sync_sched, journal, fig1_dfg, 0, sim=sim_sync)
+        assert "span (inclusive wait->send) = 7" in text
+        assert "span 7 equals the dependence bound 7" in text
+        assert "no schedule can do better" in text
+
+    def test_fig4b_lfd_pair_never_stalls(self, journaled, fig1_dfg):
+        journal, _, sync_sched, _, sim_sync = journaled
+        text = explain_pair(sync_sched, journal, fig1_dfg, 1, sim=sim_sync)
+        assert "send issues before the wait" in text
+        assert "never stalls" in text
+
+    def test_cost_model_matches_simulation(self, journaled, fig1_dfg):
+        journal, _, sync_sched, _, sim_sync = journaled
+        text = explain_pair(sync_sched, journal, fig1_dfg, 0, sim=sim_sync)
+        assert f"T = 49*7 + 13 = {sim_sync.parallel_time}" in text
+
+
+class TestExplainSummary:
+    def test_covers_both_pairs(self, journaled, fig1_dfg):
+        journal, _, sync_sched, _, sim_sync = journaled
+        text = explain_summary(sync_sched, journal, fig1_dfg, sim=sim_sync)
+        assert "pair 0" in text and "pair 1" in text
+        assert "length l = 13" in text

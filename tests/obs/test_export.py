@@ -32,6 +32,26 @@ def events():
     return tracer.events
 
 
+class TestSchemaVersionStamps:
+    """Every exported document carries the top-level schema version (v3)."""
+
+    def test_chrome_trace_metadata(self, events):
+        from repro.schema import SCHEMA_VERSION
+
+        assert chrome_trace(events)["metadata"]["schema_version"] == SCHEMA_VERSION
+
+    def test_every_journal_line(self, events):
+        from repro.schema import SCHEMA_VERSION
+
+        for line in journal_lines(events, MetricsRegistry()):
+            assert json.loads(line)["schema_version"] == SCHEMA_VERSION
+
+    def test_metrics_snapshot(self):
+        from repro.schema import SCHEMA_VERSION
+
+        assert metrics_snapshot(MetricsRegistry())["schema_version"] == SCHEMA_VERSION
+
+
 class TestChromeTrace:
     def test_schema(self, events):
         trace = chrome_trace(events)

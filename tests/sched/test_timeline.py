@@ -1,0 +1,103 @@
+"""The timeline renderers: sync columns, execution rows, HTML export.
+
+``sync_timeline`` is what the committed ``fig4a``/``fig4b`` artifacts
+render through; ``execution_timeline`` must agree with the simulator's
+parallel time; ``timeline_html`` must be a self-contained document.
+"""
+
+import pytest
+
+from repro.sched import (
+    execution_timeline,
+    list_schedule,
+    sync_schedule,
+    sync_timeline,
+    timeline_html,
+)
+from repro.sim import simulate_doacross
+
+
+@pytest.fixture
+def schedules(fig1_lowered, fig1_dfg, fig4_machine):
+    return (
+        list_schedule(fig1_lowered, fig1_dfg, fig4_machine),
+        sync_schedule(fig1_lowered, fig1_dfg, fig4_machine),
+    )
+
+
+class TestSyncTimeline:
+    def test_fig4a_columns_and_footer(self, schedules):
+        list_sched, _ = schedules
+        text = sync_timeline(list_sched)
+        lines = text.splitlines()
+        assert lines[0].split() == ["cycle", "bundle", "P0", "P1"]
+        assert len([line for line in lines[1:] if line.startswith("c")]) == 13
+        assert "P0: W@c1 -> S@c13, d=2, span 13" in text
+        assert "P1: W@c2 -> S@c13, d=1, span 12" in text
+
+    def test_fig4b_lfd_footer(self, schedules):
+        _, sync_sched = schedules
+        text = sync_timeline(sync_sched)
+        assert "P0: W@c3 -> S@c9, d=2, span 7" in text
+        assert "span 0 (run-time LFD, never stalls)" in text
+
+    def test_span_columns_are_consistent(self, schedules):
+        # every pair column has exactly one W and one S marker
+        for schedule in schedules:
+            body = [
+                line
+                for line in sync_timeline(schedule).splitlines()[1:]
+                if line.startswith("c")
+            ]
+            marks = "".join(body)
+            for mark in ("W", "S"):
+                # shared ops render coinciding markers lower-case, so
+                # count both cases per pair count
+                upper = marks.count(mark)
+                lower = marks.count(mark.lower())
+                assert upper + lower == len(schedule.lowered.wait_iids)
+
+    def test_no_trailing_whitespace(self, schedules):
+        # the output lands in committed artifacts; keep diffs clean
+        for schedule in schedules:
+            for line in sync_timeline(schedule).splitlines():
+                assert line == line.rstrip()
+
+
+class TestExecutionTimeline:
+    def test_parallel_time_matches_simulator(self, schedules):
+        for schedule in schedules:
+            n = 6
+            text = execution_timeline(schedule, n=n)
+            sim = simulate_doacross(schedule, n)
+            assert f"parallel time T = {sim.parallel_time}" in text
+
+    def test_fig4a_stalls_rendered(self, schedules):
+        list_sched, _ = schedules
+        text = execution_timeline(list_sched, n=6)
+        assert "~" in text  # iterations 3+ stall on the stretched spans
+        assert sum(line.startswith("iter ") for line in text.splitlines()) == 6
+
+    def test_fig4b_first_hops_stall_less(self, schedules):
+        list_sched, sync_sched = schedules
+        stalls_list = execution_timeline(list_sched, n=6).count("~")
+        stalls_sync = execution_timeline(sync_sched, n=6).count("~")
+        assert stalls_sync < stalls_list
+
+
+class TestTimelineHtml:
+    def test_self_contained_document(self, schedules):
+        _, sync_sched = schedules
+        html = timeline_html(sync_sched, n=6)
+        assert html.startswith("<!DOCTYPE html>") or html.startswith("<!doctype html>")
+        assert "<style>" in html and "<svg" in html
+        # no external assets: the only URL allowed is the SVG xmlns
+        for external in ("https://", "src=", "href=", "<script", "<link"):
+            assert external not in html
+        assert html.count("http://") == html.count("http://www.w3.org/2000/svg")
+
+    def test_mentions_pairs_and_iterations(self, schedules):
+        _, sync_sched = schedules
+        html = timeline_html(sync_sched, n=6, title="Fig. 4(b)")
+        assert "Fig. 4(b)" in html
+        assert "span 7" in html
