@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench bench-check bench-perf sweep
+.PHONY: test lint check bench bench-check bench-perf fuzz-smoke sweep
 
 BENCH_BASELINE ?= benchmarks/baselines/bench_history.jsonl
 
@@ -25,8 +25,16 @@ bench-check:
 	$(PYTHON) -m repro bench check --suite all \
 		--baseline $(BENCH_BASELINE) --history $(BENCH_BASELINE)
 
-# Everything CI would run: lint + tier-1 tests + bench regression gate.
-check: lint test bench-check
+# Seeded differential fuzz (docs/robustness.md): ≥200 random
+# (loop, FaultPlan) cases, fast path vs exact event walk vs semantic
+# executor, deterministic in FUZZ_SEED so a CI failure replays locally.
+FUZZ_CASES ?= 200
+FUZZ_SEED ?= 0
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --cases $(FUZZ_CASES) --seed $(FUZZ_SEED)
+
+# Everything CI would run: lint + tier-1 tests + fuzz + bench gate.
+check: lint test fuzz-smoke bench-check
 
 # Regenerate every paper table/figure under benchmarks/results/
 # (perf-marked timing benches stay skipped).

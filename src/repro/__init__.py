@@ -27,7 +27,9 @@ analysis), :mod:`repro.transforms` (restructuring), :mod:`repro.sync`
 (schedulers), :mod:`repro.sim` (simulators), :mod:`repro.workloads`
 (benchmark corpora), :mod:`repro.perf` (sweep-scale caching, process
 parallelism and profiling), :mod:`repro.obs` (trace spans, metrics,
-decision provenance, the bench-regression tracker and exporters).
+decision provenance, the bench-regression tracker and exporters),
+:mod:`repro.robust` (fault injection, deadlock diagnosis, hardened
+sweep evaluation and the differential fuzz harness).
 
 Pipeline entry points take their knobs as one frozen
 :class:`~repro.options.EvalOptions` value (the stable API; the old
@@ -52,6 +54,13 @@ from repro.pipeline import (
     evaluate_program,
 )
 from repro.perf import CompileCache, ParallelEvaluator, StageProfiler
+from repro.robust import (
+    BlockedWait,
+    DeadlockError,
+    FailureRecord,
+    FaultPlan,
+    RobustPolicy,
+)
 from repro.report import (
     SCHEMA_VERSION,
     corpus_record,
@@ -65,16 +74,21 @@ from repro.sched.machine import figure4_machine, paper_cases, paper_machine
 __version__ = "1.1.0"
 
 __all__ = [
+    "BlockedWait",
     "CompileCache",
     "CompiledLoop",
     "CorpusEvaluation",
+    "DeadlockError",
     "DecisionJournal",
     "EvalOptions",
+    "FailureRecord",
+    "FaultPlan",
     "LoopEvaluation",
     "MetricsRegistry",
     "ParallelEvaluator",
     "ProgramEvaluation",
     "RecordingTracer",
+    "RobustPolicy",
     "SCHEMA_VERSION",
     "StageProfiler",
     "Tracer",

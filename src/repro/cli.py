@@ -10,9 +10,18 @@ Commands
               spans, utilization, optional Gantt/pressure views and the
               simulated parallel time.
 ``modulo``    software-pipeline the loop (extension): kernel, II, times.
+``simulate``  simulate one scheduled loop, optionally under an injected
+              fault plan (``--inject drop:pair=0,iter=3`` and friends —
+              see :mod:`repro.robust.faults`); a diagnosed deadlock
+              prints the wait-for analysis over the sync timeline and
+              exits 2.
+``fuzz``      the seeded differential fuzz harness
+              (:mod:`repro.robust.fuzz`): random loops × random fault
+              plans, fast path vs event walk vs semantic executor.
 ``sweep``     regenerate Tables 2/3 over the Perfect corpora, optionally
-              cached (default), process-parallel (``--jobs``) or with the
-              analytic fast path disabled (``--exact-sim``).
+              cached (default), process-parallel (``--jobs``), with the
+              analytic fast path disabled (``--exact-sim``), or with the
+              compile cache persisted across runs (``--cache-file``).
 ``metrics``   run the Perfect sweep with the metrics registry enabled and
               print the collected counters/histograms (``--json`` for
               machine-readable output).
@@ -159,7 +168,65 @@ def cmd_modulo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _sweep_results(names, n, workers, exact_sim, no_cache=False):
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.robust import DeadlockError, FaultPlan
+    from repro.sim import MemoryImage, execute_parallel
+
+    compiled = compile_loop(_read_source(args.loop))
+    machine = _machine(args)
+    schedule = SCHEDULERS[args.scheduler](compiled.lowered, compiled.graph, machine)
+    assert_valid(schedule, compiled.graph)
+    try:
+        plan = FaultPlan.parse(args.inject) if args.inject else None
+    except ValueError as err:
+        print(f"bad --inject spec: {err}", file=sys.stderr)
+        return 1
+    if plan:
+        print(f"fault plan: {plan.describe()}")
+    try:
+        sim = simulate_doacross(
+            schedule, args.n, exact_simulation=args.exact_sim, faults=plan
+        )
+    except DeadlockError as err:
+        print(err.render(schedule))
+        return 2
+    print(f"== {args.scheduler} scheduling on {machine.name} ==")
+    print(f"schedule length = {schedule.length}, dispatch = {sim.dispatch}")
+    if sim.fallback_reason:
+        print(f"fast path declined: {sim.fallback_reason}")
+    print(f"parallel time (n={args.n}) = {sim.parallel_time}")
+    if sim.stall_by_pair:
+        for pair_id, stall in sorted(sim.stall_by_pair.items()):
+            print(f"  pair {pair_id}: total stall {stall} cycle(s)")
+    if args.executor:
+        try:
+            result = execute_parallel(
+                schedule,
+                MemoryImage(),
+                args.n,
+                max_cycles=args.max_cycles,
+                faults=plan,
+                graph=compiled.graph,
+            )
+        except DeadlockError as err:
+            print(err.render(schedule))
+            return 2
+        agree = "agrees" if result.parallel_time == sim.parallel_time else "DISAGREES"
+        print(f"semantic executor: {result.parallel_time} cycles ({agree})")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.robust.fuzz import run_fuzz
+
+    report = run_fuzz(
+        cases=args.cases, seed=args.seed, executor_every=args.executor_every
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _sweep_results(names, n, workers, exact_sim, no_cache=False, cache_file=None):
     """Run the Perfect sweep and return evaluations, one per sweep point."""
     from repro.options import EvalOptions
 
@@ -187,12 +254,19 @@ def _sweep_results(names, n, workers, exact_sim, no_cache=False):
         from repro.perf import CompileCache
         from repro.pipeline import evaluate_corpus
 
-        if not no_cache:
-            options = options.replace(cache=CompileCache())
+        cache = None
+        if cache_file:
+            cache = CompileCache.load(cache_file)
+        elif not no_cache:
+            cache = CompileCache()
+        if cache is not None:
+            options = options.replace(cache=cache)
         results = [
             evaluate_corpus(name, loops, machine, n, options)
             for name, loops, machine in jobs
         ]
+        if cache_file and cache is not None:
+            cache.save(cache_file)
     return results, cases
 
 
@@ -204,8 +278,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "(workers keep their own caches)",
             file=sys.stderr,
         )
+    if args.cache_file and args.jobs > 1:
+        print(
+            "note: --cache-file has no effect with --jobs > 1 "
+            "(workers keep their own caches)",
+            file=sys.stderr,
+        )
     results, cases = _sweep_results(
-        names, args.n, args.jobs, args.exact_sim, args.no_cache
+        names, args.n, args.jobs, args.exact_sim, args.no_cache, args.cache_file
     )
     by_point = {(ev.name, ev.machine.name): ev for ev in results}
     print(f"{'bench':8s}" + "".join(f"{f'{w}i/{f}fu':>16s}" for w, f in cases))
@@ -406,6 +486,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_mod.add_argument("--n", type=int, default=100)
     p_mod.set_defaults(func=cmd_modulo)
 
+    p_sim = sub.add_parser(
+        "simulate", help="simulate one loop, optionally under injected faults"
+    )
+    p_sim.add_argument("loop", help="loop source file, or - for stdin")
+    p_sim.add_argument("--scheduler", choices=list(SCHEDULERS), default="sync")
+    p_sim.add_argument("--issue", type=int, default=4, help="issue width")
+    p_sim.add_argument("--fu", type=int, default=1, help="units per class")
+    p_sim.add_argument("--n", type=int, default=100, help="iterations")
+    p_sim.add_argument(
+        "--inject",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="fault spec, repeatable: drop[:pair=P][,iter=K] | "
+        "delay:extra=E[,pair=P][,iter=K] | stall:iter=K,at=C,cycles=S | "
+        "jitter:seed=S[,max=M][,prob=F]",
+    )
+    p_sim.add_argument(
+        "--exact-sim",
+        action="store_true",
+        help="force the full event walk (skip the analytic fast path)",
+    )
+    p_sim.add_argument(
+        "--executor",
+        action="store_true",
+        help="also run the semantic executor and cross-check the timing",
+    )
+    p_sim.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        help="executor cycle budget (default: derived from the schedule)",
+    )
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="seeded differential fuzz: random loops x random fault plans"
+    )
+    p_fuzz.add_argument("--cases", type=int, default=200)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument(
+        "--executor-every",
+        type=int,
+        default=1,
+        help="run the semantic-executor oracle on every k-th case",
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
+
     p_sweep = sub.add_parser("sweep", help="Tables 2/3 over the Perfect corpora")
     p_sweep.add_argument("benchmarks", nargs="*", help="subset of corpora")
     p_sweep.add_argument("--n", type=int, default=100)
@@ -414,6 +542,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--no-cache", action="store_true", help="disable the compile/schedule cache"
+    )
+    p_sweep.add_argument(
+        "--cache-file",
+        metavar="FILE",
+        default=None,
+        help="persist the compile/schedule cache to FILE across runs "
+        "(corrupt or stale files are discarded, counted in robust.cache.corrupt)",
     )
     p_sweep.add_argument(
         "--exact-sim",

@@ -21,6 +21,16 @@ recorded once per loop evaluation, which are therefore identical across
 warmth and worker partitioning legitimately change them.  Use
 :meth:`MetricsRegistry.deterministic_subset` to compare runs.
 
+The ``robust.*`` namespace (see :mod:`repro.robust` and
+``docs/robustness.md``) is likewise **non-deterministic by design**: it
+counts injected faults taking effect (``robust.faults.*``), diagnosed
+deadlocks (``robust.deadlock.detected``), degraded-mode recoveries in
+the parallel evaluator (``robust.parallel.timeouts`` / ``retries`` /
+``broken_pool`` / ``serial_reruns``), quarantined work
+(``robust.quarantine.loops`` / ``jobs``) and discarded on-disk caches
+(``robust.cache.corrupt``) — all functions of the fault plan, the host,
+and timing, not of the workload alone.
+
 The module-level :func:`count` / :func:`observe` helpers write to the
 registry installed with :func:`enable_metrics`, and cost one global read
 when metrics are disabled.

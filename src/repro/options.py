@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.codegen import FuseStore
+from repro.robust.faults import FaultPlan
+from repro.robust.harden import RobustPolicy
 from repro.sched import Priority, SyncSchedulerOptions
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
@@ -61,6 +63,15 @@ class EvalOptions:
         ``cache`` — a :class:`~repro.perf.cache.CompileCache` shared
         across sweep points; ``jobs`` — worker processes for corpus
         evaluation (1 = in-process).
+    Robustness
+        ``faults`` — a :class:`~repro.robust.faults.FaultPlan` of
+        deliberate mis-synchronization injected into the simulators (a
+        non-empty plan disqualifies the analytic fast path and is
+        recorded as ``fallback_reason``); ``max_cycles`` — runaway
+        backstop for the semantic executor (``None`` derives it via
+        :func:`repro.sim.executor.default_max_cycles`); ``robust`` — a
+        :class:`~repro.robust.harden.RobustPolicy` of degradation knobs
+        for sweep evaluation (timeouts, retries, quarantine).
     Observability
         ``tracer`` — a :class:`~repro.obs.trace.Tracer` installed for the
         duration of the call; ``metrics`` — a
@@ -80,6 +91,9 @@ class EvalOptions:
     check_semantics: bool = False
     list_priority: Priority = Priority.PROGRAM_ORDER
     sync_options: SyncSchedulerOptions | None = None
+    faults: FaultPlan | None = None
+    max_cycles: int | None = None
+    robust: RobustPolicy | None = None
     tracer: "Tracer | None" = None
     metrics: "MetricsRegistry | None" = None
     journal: "DecisionJournal | None" = None
@@ -87,11 +101,20 @@ class EvalOptions:
     #: Fields that attach collectors or execution strategy rather than
     #: select results; excluded from :meth:`stable_hash` and stripped
     #: before options cross a process boundary.
-    COLLECTOR_FIELDS = ("cache", "jobs", "tracer", "metrics", "journal")
+    COLLECTOR_FIELDS = ("cache", "jobs", "robust", "tracer", "metrics", "journal")
+
+    #: Result-determining fields added after the bench-history baseline
+    #: format froze.  At their defaults they are dropped from the
+    #: :meth:`stable_hash` payload so historical ``options_hash`` values
+    #: (e.g. ``benchmarks/baselines/bench_history.jsonl``) stay valid;
+    #: any non-default value hashes differently, as it must.
+    HASH_IF_SET_FIELDS = ("faults", "max_cycles")
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.max_cycles is not None and self.max_cycles < 1:
+            raise ValueError("max_cycles must be >= 1 (or None for the default)")
 
     def replace(self, **changes: Any) -> "EvalOptions":
         """A copy with ``changes`` applied (the dataclasses idiom)."""
@@ -115,6 +138,8 @@ class EvalOptions:
             if f.name in self.COLLECTOR_FIELDS:
                 continue
             value = getattr(self, f.name)
+            if f.name in self.HASH_IF_SET_FIELDS and value is None:
+                continue
             if isinstance(value, enum.Enum):
                 value = value.value
             elif dataclasses.is_dataclass(value) and not isinstance(value, type):

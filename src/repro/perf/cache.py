@@ -29,8 +29,11 @@ eviction (unbounded by default — a full Perfect-suite sweep is ~40 loops).
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.codegen import FuseStore
@@ -43,6 +46,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle: pipeline uses perf.profile
     from repro.pipeline import CompiledLoop
 
 __all__ = ["CacheStats", "CompileCache", "compiled_fingerprint", "loop_key"]
+
+#: On-disk cache file magic; the digit is the *container* format version
+#: (the payload additionally records ``repro.schema.SCHEMA_VERSION``).
+_CACHE_MAGIC = b"RPROCCH1"
 
 
 def loop_key(loop: Loop | str) -> str:
@@ -235,3 +242,79 @@ class CompileCache:
 
     def __len__(self) -> int:
         return len(self._compiled) + len(self._schedules)
+
+    # -- disk persistence ----------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist both layers to ``path`` (``repro sweep --cache-file``).
+
+        Layout: an 8-byte magic, the sha256 of the body, then the pickled
+        body — so :meth:`load` can prove the file intact before trusting a
+        single unpickled byte.  Written atomically (temp file + rename): a
+        crash mid-save leaves the previous file, not a truncated one.
+        """
+        from repro.schema import SCHEMA_VERSION
+
+        body = pickle.dumps(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "compiled": self._compiled,
+                "schedules": self._schedules,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(_CACHE_MAGIC + hashlib.sha256(body).digest() + body)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str | Path, max_entries: int | None = None) -> "CompileCache":
+        """A cache warmed from ``path`` — or an *empty* one when the file
+        is missing, truncated, bit-flipped, unpicklable, or written by a
+        different schema version.
+
+        Corruption of any kind is a cache **miss**, never an error: the
+        sweep recompiles and overwrites the bad file on its next
+        :meth:`save`.  Each rejected file counts ``robust.cache.corrupt``
+        (a missing file is a plain cold start and counts nothing).
+        """
+        from repro.schema import SCHEMA_VERSION
+
+        cache = cls(max_entries=max_entries)
+        path = Path(path)
+        if not path.exists():
+            return cache
+        try:
+            raw = path.read_bytes()
+            magic, digest, body = raw[:8], raw[8:40], raw[40:]
+            if magic != _CACHE_MAGIC:
+                raise ValueError("bad cache file magic")
+            if len(raw) < 41:
+                raise ValueError("cache file truncated")
+            if hashlib.sha256(body).digest() != digest:
+                raise ValueError("cache body does not match its digest")
+            payload = pickle.loads(body)
+            if payload.get("schema_version") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"cache schema {payload.get('schema_version')!r} != "
+                    f"current {SCHEMA_VERSION}"
+                )
+            compiled = payload["compiled"]
+            schedules = payload["schedules"]
+            if not isinstance(compiled, OrderedDict) or not isinstance(
+                schedules, OrderedDict
+            ):
+                raise ValueError("cache payload tables have the wrong type")
+        except Exception:
+            # Bad pickle, short read, wrong version, flipped bit: all of it
+            # is just a miss.  A poisoned file must never kill a sweep.
+            metric_count("robust.cache.corrupt")
+            return cache
+        cache._compiled = compiled
+        cache._schedules = schedules
+        if max_entries is not None:
+            for table in (cache._compiled, cache._schedules):
+                while len(table) > max_entries:
+                    table.popitem(last=False)
+        return cache

@@ -32,7 +32,8 @@ used.  The chosen mode is recorded as the
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Sequence
+import time
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.obs.metrics import MetricsRegistry, active_metrics
 from repro.obs.metrics import count as metric_count
@@ -47,6 +48,7 @@ from repro.obs.trace import (
 )
 from repro.options import EvalOptions, observation_scope
 from repro.perf.cache import CompileCache
+from repro.robust.harden import FailureRecord, RobustPolicy
 from repro.perf.profile import (
     StageProfiler,
     active_profiler,
@@ -96,6 +98,12 @@ def chunked(items: Sequence, size: int) -> list[list]:
 # Process-global cache: reused by every chunk a worker executes.
 _WORKER_CACHE: CompileCache | None = None
 
+# Test seam: called with the chunk at the start of every chunk worker.
+# The pool uses the fork start method on Linux, so a monkeypatched hook in
+# the parent is visible inside the workers — the degradation tests use it
+# to make a worker raise, hang, or die without touching production code.
+_worker_fault_hook: Callable[[list], None] | None = None
+
 
 def _worker_cache() -> CompileCache:
     global _WORKER_CACHE
@@ -132,6 +140,8 @@ def _run_corpus_chunk(
 ) -> tuple[list, StageProfiler | None, MetricsRegistry | None, list[TraceEvent] | None]:
     from repro.pipeline import evaluate_corpus
 
+    if _worker_fault_hook is not None:
+        _worker_fault_hook(chunk)
     profiler, registry, tracer = _worker_collectors(collect)
     try:
         worker_options = options.replace(cache=_worker_cache())
@@ -152,6 +162,8 @@ def _run_program_chunk(
 ) -> tuple[list, StageProfiler | None, MetricsRegistry | None, list[TraceEvent] | None]:
     from repro.pipeline import evaluate_program
 
+    if _worker_fault_hook is not None:
+        _worker_fault_hook(chunk)
     profiler, registry, tracer = _worker_collectors(collect)
     try:
         worker_options = options.replace(cache=_worker_cache())
@@ -164,14 +176,45 @@ def _run_program_chunk(
     return results, profiler, registry, tracer.events if tracer else None
 
 
+def _failed_corpus_job(job, index: int, error: BaseException):
+    """Placeholder result for a corpus job that still fails after the
+    pool's retries and the in-process serial re-run: structured failure,
+    no evaluations — the sweep's output stays index-aligned."""
+    from repro.pipeline import CorpusEvaluation
+
+    name, _loops, machine = job
+    result = CorpusEvaluation(name=name, machine=machine)
+    result.failures.append(FailureRecord.from_exception("job", name, index, error))
+    return result
+
+
+def _failed_program_job(job, index: int, error: BaseException):
+    from repro.pipeline import ProgramEvaluation
+
+    program, machine = job
+    name = getattr(program, "name", None) or "program"
+    result = ProgramEvaluation(program=program, machine=machine)
+    result.failures.append(FailureRecord.from_exception("job", name, index, error))
+    return result
+
+
 class ParallelEvaluator:
-    """Chunked process-pool fan-out with deterministic result order."""
+    """Chunked process-pool fan-out with deterministic result order.
+
+    ``policy`` (a :class:`~repro.robust.harden.RobustPolicy`) arms the
+    degradation ladder for pooled runs — per-chunk timeout, bounded retry
+    with backoff, and per-job quarantine on the serial re-run path.
+    ``BrokenProcessPool`` recovery is always on: completed chunks are
+    kept and the rest re-run serially in-process.  Without a policy any
+    worker exception propagates (the pre-robustness fail-fast).
+    """
 
     def __init__(
         self,
         max_workers: int | None = None,
         chunk_size: int | None = None,
         min_pool_work: int = DEFAULT_MIN_POOL_WORK,
+        policy: RobustPolicy | None = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -182,6 +225,7 @@ class ParallelEvaluator:
         self.max_workers = max_workers if max_workers is not None else os.cpu_count() or 1
         self.chunk_size = chunk_size
         self.min_pool_work = min_pool_work
+        self.policy = policy
         self.used_pool = False  # whether the last run actually fanned out
         self.fallback_reason: str | None = None  # why the last run stayed serial
 
@@ -191,6 +235,103 @@ class ParallelEvaluator:
         # ~4 chunks per worker balances load without drowning in pickling.
         return max(1, -(-n_jobs // (self.max_workers * 4)))
 
+    def _collect_chunks(
+        self, pool, futures: list, chunks: list, worker, n, options, collect
+    ) -> list:
+        """Harvest pooled chunk results in order, riding the degradation
+        ladder of :class:`~repro.robust.harden.RobustPolicy`.
+
+        Returns one entry per chunk; ``None`` marks a chunk that must be
+        re-run serially (hung past the chunk timeout, died with the pool,
+        or kept raising through its retries).  Without a policy a worker
+        exception propagates unchanged — except ``BrokenProcessPool``,
+        whose recovery (keep finished chunks, re-run the dead ones) is
+        always on.
+        """
+        import concurrent.futures as cf
+        from concurrent.futures.process import BrokenProcessPool
+
+        policy = self.policy
+        per_chunk: list = [None] * len(chunks)
+        abandoned = False  # a hung worker wedged the pool: stop waiting on it
+        broken = False
+        try:
+            for i, future in enumerate(futures):
+                if abandoned or broken:
+                    # Keep whatever already finished; everything else re-runs.
+                    if future.done():
+                        try:
+                            per_chunk[i] = future.result(timeout=0)
+                        except Exception:
+                            per_chunk[i] = None
+                    continue
+                attempt = 0
+                while True:
+                    timeout = policy.chunk_timeout if policy is not None else None
+                    try:
+                        per_chunk[i] = future.result(timeout=timeout)
+                        break
+                    except cf.TimeoutError:
+                        # A worker is hung.  result(timeout) cannot kill it —
+                        # abandon the pool and finish the sweep in-process.
+                        metric_count("robust.parallel.timeouts")
+                        self.fallback_reason = (
+                            f"chunk {i} exceeded the {policy.chunk_timeout:g}s "
+                            "chunk timeout; unfinished chunks re-ran serially"
+                        )
+                        abandoned = True
+                        break
+                    except BrokenProcessPool as err:
+                        if not broken:
+                            metric_count("robust.parallel.broken_pool")
+                            self.fallback_reason = (
+                                f"process pool broke ({err}); unfinished "
+                                "chunks re-ran serially"
+                            )
+                        broken = True
+                        break
+                    except Exception:
+                        if policy is None:
+                            raise  # fail fast: the pre-robustness behaviour
+                        if attempt < policy.max_retries:
+                            metric_count("robust.parallel.retries")
+                            time.sleep(policy.retry_backoff * (2**attempt))
+                            attempt += 1
+                            try:
+                                future = pool.submit(worker, chunks[i], n, options, collect)
+                            except RuntimeError:  # pool shut down underneath us
+                                broken = True
+                                break
+                            continue
+                        break  # retries exhausted: serial re-run decides
+        finally:
+            # A wedged pool must not be joined (shutdown(wait=True) would
+            # block on the hung worker forever).
+            pool.shutdown(wait=not abandoned, cancel_futures=abandoned or broken)
+        return per_chunk
+
+    def _serial_chunk(
+        self, worker, chunk: list, n, options, make_failed, base_index: int
+    ):
+        """In-process re-run of one failed chunk, one job at a time so a
+        single poisoned job quarantines instead of sinking its chunk."""
+        results = []
+        for j, job in enumerate(chunk):
+            try:
+                results.append(worker([job], n, options)[0][0])
+            except Exception as err:
+                if (
+                    self.policy is None
+                    or not self.policy.quarantine
+                    or make_failed is None
+                ):
+                    raise
+                metric_count("robust.quarantine.jobs")
+                results.append(make_failed(job, base_index + j, err))
+        # In-process: collectors landed on the parent directly, so there is
+        # nothing to merge (same shape as a pooled chunk result).
+        return (results, None, None, None)
+
     def _map_chunks(
         self,
         worker,
@@ -198,11 +339,14 @@ class ParallelEvaluator:
         n: int | None,
         options: EvalOptions,
         work: int | None = None,
+        make_failed: Callable | None = None,
     ) -> list:
         """Run ``worker`` over job chunks, serially or on a process pool;
         either way the flattened results keep the jobs' insertion order.
         ``work`` estimates the sweep size in loop evaluations for the
-        ``min_pool_work`` threshold (``None`` = unknown, no threshold)."""
+        ``min_pool_work`` threshold (``None`` = unknown, no threshold).
+        ``make_failed(job, index, error)`` builds the quarantine
+        placeholder for a job that fails even the serial re-run."""
         jobs = list(jobs)
         self.used_pool = False
         self.fallback_reason = None
@@ -241,19 +385,32 @@ class ParallelEvaluator:
             try:
                 import concurrent.futures as cf
 
-                with cf.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    futures = [
-                        pool.submit(worker, chunk, n, options, collect)
-                        for chunk in chunks
-                    ]
-                    per_chunk = [future.result() for future in futures]
-                self.used_pool = True
+                pool = cf.ProcessPoolExecutor(max_workers=self.max_workers)
+                futures = [
+                    pool.submit(worker, chunk, n, options, collect)
+                    for chunk in chunks
+                ]
             except (OSError, ImportError, PermissionError, NotImplementedError) as err:
                 # No usable process pool on this platform: serial fallback.
                 self.fallback_reason = f"{type(err).__name__}: {err}"
                 metric_count("parallel.pool_fallbacks")
                 metric_count("perf.parallel.mode.serial")
                 return worker(jobs, n, options)[0]
+            per_chunk = self._collect_chunks(pool, futures, chunks, worker, n, options, collect)
+            self.used_pool = True
+            rerun = [i for i, chunk_result in enumerate(per_chunk) if chunk_result is None]
+            if rerun:
+                # Degraded: the unfinished chunks re-run serially in-process
+                # (job by job, quarantining per the policy), so the merged
+                # output is still complete and in insertion order.
+                metric_count("robust.parallel.serial_reruns", len(rerun))
+                offsets = [0]
+                for chunk in chunks:
+                    offsets.append(offsets[-1] + len(chunk))
+                for i in rerun:
+                    per_chunk[i] = self._serial_chunk(
+                        worker, chunks[i], n, options, make_failed, offsets[i]
+                    )
             metric_count("parallel.pool_runs")
             metric_count("perf.parallel.mode.pool")
             metric_count("parallel.chunks", len(chunks))
@@ -284,7 +441,10 @@ class ParallelEvaluator:
         """
         options = EvalOptions.coerce(options, **legacy)
         work = sum(len(loops) for _name, loops, _machine in jobs)
-        results = self._map_chunks(_run_corpus_chunk, jobs, n, options, work=work)
+        results = self._map_chunks(
+            _run_corpus_chunk, jobs, n, options, work=work,
+            make_failed=_failed_corpus_job,
+        )
         for corpus in results:
             corpus.fallback_reason = self.fallback_reason
         return results
@@ -300,4 +460,6 @@ class ParallelEvaluator:
         order.  ``options`` forwards to :func:`repro.pipeline.
         evaluate_program`."""
         options = EvalOptions.coerce(options, **legacy)
-        return self._map_chunks(_run_program_chunk, jobs, n, options)
+        return self._map_chunks(
+            _run_program_chunk, jobs, n, options, make_failed=_failed_program_job
+        )

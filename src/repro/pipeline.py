@@ -37,6 +37,7 @@ from repro.obs.metrics import count as metric_count
 from repro.obs.metrics import observe as metric_observe
 from repro.obs.trace import span
 from repro.options import EvalOptions, observation_scope as _collectors
+from repro.robust.harden import FailureRecord
 from repro.sched import (
     MachineConfig,
     Schedule,
@@ -222,10 +223,12 @@ def _evaluate_loop(
                 assert_valid(sched_new, compiled.graph)
     with span("simulate"):
         sim_list = simulate_doacross(
-            sched_list, n, exact_simulation=options.exact_simulation
+            sched_list, n, exact_simulation=options.exact_simulation,
+            faults=options.faults,
         )
         sim_new = simulate_doacross(
-            sched_new, n, exact_simulation=options.exact_simulation
+            sched_new, n, exact_simulation=options.exact_simulation,
+            faults=options.faults,
         )
     if active_metrics() is not None:
         _record_evaluation_metrics(
@@ -235,7 +238,14 @@ def _evaluate_loop(
         with span("semantics"):
             reference = run_serial(compiled.synced.loop, MemoryImage())
             for sched, sim in ((sched_list, sim_list), (sched_new, sim_new)):
-                result = execute_parallel(sched, MemoryImage(), n)
+                result = execute_parallel(
+                    sched,
+                    MemoryImage(),
+                    n,
+                    max_cycles=options.max_cycles,
+                    faults=options.faults,
+                    graph=compiled.graph,
+                )
                 if result.memory != reference:
                     raise AssertionError(
                         f"{sched.scheduler_name}: parallel memory differs from serial: "
@@ -270,6 +280,11 @@ class CorpusEvaluation:
     """Why a requested process-pool fan-out stayed serial (``None`` when
     the evaluation ran as requested); see
     :attr:`repro.perf.parallel.ParallelEvaluator.fallback_reason`."""
+    failures: list[FailureRecord] = field(default_factory=list)
+    """Loops quarantined under ``EvalOptions(robust=RobustPolicy(...))``:
+    one structured record per loop whose evaluation raised, instead of the
+    exception killing the whole sweep.  Empty without a policy (the
+    exception propagates, the pre-robustness behaviour)."""
 
     @property
     def t_list(self) -> int:
@@ -312,7 +327,9 @@ def evaluate_corpus(
         if options.jobs > 1 and len(loops) > 1:
             from repro.perf.parallel import ParallelEvaluator
 
-            evaluator = ParallelEvaluator(max_workers=options.jobs)
+            evaluator = ParallelEvaluator(
+                max_workers=options.jobs, policy=options.robust
+            )
             per_loop = evaluator.evaluate_corpora(
                 [(name, [loop], machine) for loop in loops],
                 n=n,
@@ -323,17 +340,38 @@ def evaluate_corpus(
             result = CorpusEvaluation(
                 name=name, machine=machine, fallback_reason=evaluator.fallback_reason
             )
-            for sub in per_loop:
+            for index, sub in enumerate(per_loop):
                 result.evaluations.extend(sub.evaluations)
+                # Each fanned-out job holds exactly one loop, so its failure
+                # records re-index to the loop's position in this corpus.
+                result.failures.extend(
+                    FailureRecord(
+                        kind=f.kind,
+                        name=f.name,
+                        index=index,
+                        error_type=f.error_type,
+                        message=f.message,
+                    )
+                    for f in sub.failures
+                )
             return result
         result = CorpusEvaluation(name=name, machine=machine)
         loop_options = options if options.jobs == 1 else options.replace(jobs=1)
-        for loop in loops:
-            compiled = _compile(loop, loop_options)
-            with span("evaluate_loop"):
-                result.evaluations.append(
-                    _evaluate_loop(compiled, machine, n, loop_options)
+        quarantine = options.robust is not None and options.robust.quarantine
+        for index, loop in enumerate(loops):
+            try:
+                compiled = _compile(loop, loop_options)
+                with span("evaluate_loop"):
+                    evaluation = _evaluate_loop(compiled, machine, n, loop_options)
+            except Exception as err:
+                if not quarantine:
+                    raise
+                metric_count("robust.quarantine.loops")
+                result.failures.append(
+                    FailureRecord.from_exception("loop", name, index, err)
                 )
+                continue
+            result.evaluations.append(evaluation)
         return result
 
 
@@ -352,6 +390,9 @@ class ProgramEvaluation:
     machine: MachineConfig
     evaluations: list[LoopEvaluation] = field(default_factory=list)
     serial_loops: list[int] = field(default_factory=list)  # loop indexes skipped
+    failures: list[FailureRecord] = field(default_factory=list)
+    """Job-level quarantine records from a hardened sweep (see
+    :attr:`CorpusEvaluation.failures`)."""
 
     @property
     def t_list(self) -> int:

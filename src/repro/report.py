@@ -35,6 +35,7 @@ def _sim_metrics(sim: SimulationResult | None) -> dict[str, Any] | None:
         "dispatch": sim.dispatch,
         "total_stall_cycles": sim.total_stall,
         "stall_by_pair": {str(k): v for k, v in sorted(sim.stall_by_pair.items())},
+        "fallback_reason": sim.fallback_reason,
     }
 
 
@@ -114,6 +115,7 @@ def corpus_record(corpus: CorpusEvaluation) -> dict[str, Any]:
         "t_new": corpus.t_new,
         "improvement_percent": round(corpus.improvement, 2),
         "fallback_reason": corpus.fallback_reason,
+        "failures": [f.as_dict() for f in corpus.failures],
         "metrics": {
             "total_stall_cycles": {"list": total("list"), "new": total("new")},
         },

@@ -1,0 +1,37 @@
+"""Robustness layer: fault injection, deadlock diagnosis, hardened sweeps.
+
+The paper's argument rests on synchronization correctness — a lost or
+reordered ``Send_Signal`` turns the LBD theorem's ``T = (n/d)(i-j) + l``
+into a hang.  This package makes that failure mode *injectable*
+(:mod:`repro.robust.faults`), *diagnosable*
+(:mod:`repro.robust.deadlock`), *survivable* at sweep scale
+(:mod:`repro.robust.harden`), and *continuously tested*
+(:mod:`repro.robust.fuzz`, the seeded differential harness behind
+``make fuzz-smoke``).  Everything the layer does is counted under the
+``robust.*`` metrics namespace; with no faults configured every branch
+is skipped and results are byte-identical to the pre-robustness
+pipeline.  See ``docs/robustness.md``.
+"""
+
+from repro.robust.deadlock import BlockedWait, DeadlockError, find_waitfor_cycles
+from repro.robust.faults import (
+    FaultPlan,
+    LatencyJitter,
+    ProcessorStall,
+    SignalDelay,
+    SignalDrop,
+)
+from repro.robust.harden import FailureRecord, RobustPolicy
+
+__all__ = [
+    "BlockedWait",
+    "DeadlockError",
+    "FailureRecord",
+    "FaultPlan",
+    "LatencyJitter",
+    "ProcessorStall",
+    "RobustPolicy",
+    "SignalDelay",
+    "SignalDrop",
+    "find_waitfor_cycles",
+]

@@ -1,0 +1,296 @@
+"""Deliberate mis-synchronization: the :class:`FaultPlan` fault model.
+
+The paper's whole argument rests on synchronization correctness — a sink
+must never run before its ``Wait_Signal``, and a lost or reordered signal
+turns the LBD loop theorem's ``T = (n/d)(i−j) + l`` into a hang.  This
+module lets the simulators *inject* exactly those failures on purpose, so
+the deadlock detector (:mod:`repro.robust.deadlock`) and the differential
+fuzz harness (:mod:`repro.robust.fuzz`) can prove we catch them.
+
+Four fault primitives, all value objects:
+
+* :class:`SignalDrop` — a ``Send_Signal`` delivery that never becomes
+  visible.  The waiting iteration blocks forever; the detectors turn
+  that into a structured :class:`~repro.robust.deadlock.DeadlockError`
+  naming the orphaned ``(signal, producer-iteration)`` pair.
+* :class:`SignalDelay` — a delivery that arrives ``extra`` cycles late
+  (a slow interconnect hop).  Purely a timing fault: execution completes
+  and the delay shows up in ``SimulationResult.stall_by_pair``.
+* :class:`ProcessorStall` — a processor freezes for ``cycles`` cycles
+  before issuing the bundle at one local issue cycle (an interrupt, a
+  TLB miss, a cache-line steal).
+* :class:`LatencyJitter` — seeded per-iteration memory/op latency noise:
+  each iteration suffers at most one extra stall of ``1..max_extra``
+  cycles at a pseudo-random local cycle, with probability ``prob``.
+  Deterministic in ``(seed, iteration)``, so the exact event walk and
+  the semantic executor inject *identical* noise regardless of
+  evaluation order.
+
+A :class:`FaultPlan` bundles any number of these and is threaded through
+``EvalOptions(faults=...)``, :func:`repro.sim.multiproc.simulate_doacross`
+and :func:`repro.sim.executor.execute_parallel`.  An *empty* plan is
+falsy and the simulators skip every fault branch — results are
+byte-identical to a run without the argument (enforced by
+``tests/robust/test_zero_overhead.py``).  A non-empty plan disqualifies
+the analytic fast path: :func:`~repro.sim.multiproc.simulate_doacross`
+records ``fallback_reason`` and takes the exact walk rather than return
+wrong cycle counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultPlan",
+    "LatencyJitter",
+    "ProcessorStall",
+    "SignalDelay",
+    "SignalDrop",
+]
+
+
+@dataclass(frozen=True)
+class SignalDrop:
+    """Drop the ``Send_Signal`` delivery of one (pair, producer) — or a
+    whole family of them when a selector is left ``None``."""
+
+    pair_id: int | None = None  # None = any pair
+    iteration: int | None = None  # producer iteration; None = every iteration
+
+    def matches(self, pair_id: int, producer_iteration: int) -> bool:
+        return (self.pair_id is None or self.pair_id == pair_id) and (
+            self.iteration is None or self.iteration == producer_iteration
+        )
+
+
+@dataclass(frozen=True)
+class SignalDelay:
+    """Deliver one (pair, producer)'s signal ``extra`` cycles late."""
+
+    extra: int
+    pair_id: int | None = None
+    iteration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.extra < 0:
+            raise ValueError("signal delay must be non-negative")
+
+    def matches(self, pair_id: int, producer_iteration: int) -> bool:
+        return (self.pair_id is None or self.pair_id == pair_id) and (
+            self.iteration is None or self.iteration == producer_iteration
+        )
+
+
+@dataclass(frozen=True)
+class ProcessorStall:
+    """Freeze the processor running ``iteration`` for ``cycles`` cycles
+    immediately before it issues the bundle at local cycle ``at_cycle``."""
+
+    iteration: int
+    at_cycle: int
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ValueError("a processor stall must last at least one cycle")
+        if self.at_cycle < 1:
+            raise ValueError("at_cycle is a 1-based local issue cycle")
+
+
+@dataclass(frozen=True)
+class LatencyJitter:
+    """Seeded memory/op latency noise: with probability ``prob`` an
+    iteration stalls ``1..max_extra`` extra cycles at a pseudo-random
+    local cycle.  A pure function of ``(seed, iteration)``."""
+
+    seed: int
+    max_extra: int = 2
+    prob: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_extra < 1:
+            raise ValueError("max_extra must be >= 1")
+        if not (0.0 <= self.prob <= 1.0):
+            raise ValueError("prob must be within [0, 1]")
+
+    def sample(self, iteration: int, length: int) -> tuple[int, int] | None:
+        """The injected ``(local_cycle, extra)`` for ``iteration`` on a
+        schedule of ``length`` issue cycles, or ``None``."""
+        if length < 1:
+            return None
+        # str seeds go through sha512 (stable across runs and processes,
+        # unlike hash()), so both simulators draw identical noise.
+        rng = random.Random(f"{self.seed}:{iteration}")
+        if rng.random() >= self.prob:
+            return None
+        return rng.randint(1, length), rng.randint(1, self.max_extra)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of synchronization/timing faults to inject.
+
+    Falsy when empty; the simulators only pay for faults when the plan
+    holds any.  Build directly, or parse CLI specs with :meth:`parse`::
+
+        FaultPlan(drops=(SignalDrop(pair_id=1, iteration=3),))
+        FaultPlan.parse(["drop:pair=1,iter=3", "delay:extra=2"])
+    """
+
+    drops: tuple[SignalDrop, ...] = ()
+    delays: tuple[SignalDelay, ...] = ()
+    stalls: tuple[ProcessorStall, ...] = ()
+    jitter: LatencyJitter | None = None
+    #: Free-form label carried into diagnostics ("scenario 7 of the fuzz run").
+    label: str = ""
+
+    def __bool__(self) -> bool:
+        return bool(self.drops or self.delays or self.stalls or self.jitter)
+
+    # -- queries the simulators ask ------------------------------------------
+
+    def drops_signal(self, pair_id: int, producer_iteration: int) -> bool:
+        return any(d.matches(pair_id, producer_iteration) for d in self.drops)
+
+    def signal_delay(self, pair_id: int, producer_iteration: int) -> int:
+        """Total extra visibility latency for one (pair, producer) signal."""
+        return sum(
+            d.extra for d in self.delays if d.matches(pair_id, producer_iteration)
+        )
+
+    def injected_stalls(self, iteration: int, length: int) -> list[tuple[int, int]]:
+        """``(local_cycle, extra_cycles)`` events for one iteration, in
+        local-cycle order: explicit :class:`ProcessorStall` entries plus
+        the :class:`LatencyJitter` sample."""
+        events = [
+            (stall.at_cycle, stall.cycles)
+            for stall in self.stalls
+            if stall.iteration == iteration
+        ]
+        if self.jitter is not None:
+            sampled = self.jitter.sample(iteration, length)
+            if sampled is not None:
+                events.append(sampled)
+        events.sort()
+        return events
+
+    def worst_case_budget(self, n: int) -> int:
+        """An upper bound on the extra cycles this plan can add to an
+        ``n``-iteration execution — the fault term of
+        :func:`repro.sim.executor.default_max_cycles`.  Every delay can
+        compound through the cross-iteration chain, so per-iteration
+        contributions are multiplied by ``n``."""
+        budget = 0
+        for delay in self.delays:
+            budget += delay.extra * (n if delay.iteration is None else 1)
+        budget += sum(stall.cycles for stall in self.stalls)
+        if self.jitter is not None:
+            budget += self.jitter.max_extra * n
+        return budget * max(1, n)
+
+    def describe(self) -> str:
+        """One line per fault, for diagnostics and CLI output."""
+        lines: list[str] = []
+        if self.label:
+            lines.append(f"plan: {self.label}")
+        for d in self.drops:
+            lines.append(
+                f"drop signal (pair={_any(d.pair_id)}, iter={_any(d.iteration)})"
+            )
+        for d in self.delays:
+            lines.append(
+                f"delay signal +{d.extra} (pair={_any(d.pair_id)}, "
+                f"iter={_any(d.iteration)})"
+            )
+        for s in self.stalls:
+            lines.append(f"stall iter {s.iteration} at c{s.at_cycle} for {s.cycles}")
+        if self.jitter is not None:
+            lines.append(
+                f"jitter seed={self.jitter.seed} max={self.jitter.max_extra} "
+                f"prob={self.jitter.prob}"
+            )
+        return "\n".join(lines) if lines else "(empty plan)"
+
+    # -- CLI spec parsing ----------------------------------------------------
+
+    @classmethod
+    def parse(cls, specs: list[str] | tuple[str, ...]) -> "FaultPlan":
+        """Build a plan from ``repro simulate --inject`` specs.
+
+        Grammar (one fault per spec)::
+
+            drop[:pair=P][,iter=K]
+            delay:extra=E[,pair=P][,iter=K]
+            stall:iter=K,at=C,cycles=S
+            jitter:seed=S[,max=M][,prob=F]
+        """
+        drops: list[SignalDrop] = []
+        delays: list[SignalDelay] = []
+        stalls: list[ProcessorStall] = []
+        jitter: LatencyJitter | None = None
+        for spec in specs:
+            kind, _, rest = spec.partition(":")
+            kind = kind.strip().lower()
+            args: dict[str, str] = {}
+            if rest.strip():
+                for item in rest.split(","):
+                    key, sep, value = item.partition("=")
+                    if not sep:
+                        raise ValueError(f"malformed fault spec {spec!r}: {item!r}")
+                    args[key.strip().lower()] = value.strip()
+            try:
+                if kind == "drop":
+                    drops.append(
+                        SignalDrop(
+                            pair_id=_opt_int(args.pop("pair", None)),
+                            iteration=_opt_int(args.pop("iter", None)),
+                        )
+                    )
+                elif kind == "delay":
+                    delays.append(
+                        SignalDelay(
+                            extra=int(args.pop("extra")),
+                            pair_id=_opt_int(args.pop("pair", None)),
+                            iteration=_opt_int(args.pop("iter", None)),
+                        )
+                    )
+                elif kind == "stall":
+                    stalls.append(
+                        ProcessorStall(
+                            iteration=int(args.pop("iter")),
+                            at_cycle=int(args.pop("at")),
+                            cycles=int(args.pop("cycles")),
+                        )
+                    )
+                elif kind == "jitter":
+                    if jitter is not None:
+                        raise ValueError("at most one jitter spec")
+                    jitter = LatencyJitter(
+                        seed=int(args.pop("seed")),
+                        max_extra=int(args.pop("max", 2)),
+                        prob=float(args.pop("prob", 0.25)),
+                    )
+                else:
+                    raise ValueError(
+                        f"unknown fault kind {kind!r}; "
+                        "use drop / delay / stall / jitter"
+                    )
+            except KeyError as err:
+                raise ValueError(f"fault spec {spec!r} is missing {err}") from None
+            if args:
+                raise ValueError(
+                    f"fault spec {spec!r} has unknown argument(s): {sorted(args)}"
+                )
+        return cls(
+            drops=tuple(drops), delays=tuple(delays), stalls=tuple(stalls), jitter=jitter
+        )
+
+
+def _any(value: int | None) -> str:
+    return "any" if value is None else str(value)
+
+
+def _opt_int(value: str | None) -> int | None:
+    return None if value is None else int(value)

@@ -1,0 +1,94 @@
+"""Degradation policy for hardened sweeps: :class:`RobustPolicy`.
+
+A corpus sweep over millions of loops cannot afford to die with its
+first poisoned workload, hung worker, or OOM-killed pool.  The policy
+object collects the degradation knobs in one frozen value, threaded as
+``EvalOptions(robust=...)`` into :func:`repro.pipeline.evaluate_corpus`
+and :class:`repro.perf.parallel.ParallelEvaluator`:
+
+* ``chunk_timeout`` — seconds a pooled chunk may run before the pool is
+  declared wedged; the evaluator abandons it and re-runs the unfinished
+  chunks serially in-process (counter ``robust.parallel.timeouts``).
+* ``max_retries`` / ``retry_backoff`` — a chunk whose worker *raised* is
+  resubmitted up to ``max_retries`` times with exponential backoff
+  before the serial fallback (counter ``robust.parallel.retries``).
+* ``quarantine`` — a loop evaluation that raises yields a structured
+  :class:`FailureRecord` on the corpus result instead of killing the
+  sweep (counter ``robust.quarantine.loops``).
+
+``BrokenProcessPool`` recovery needs no knob: it is always on — the
+surviving chunks' results are kept and the dead chunks re-run serially
+(counter ``robust.parallel.broken_pool``).  The degradation matrix
+lives in ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["FailureRecord", "RobustPolicy"]
+
+
+@dataclass(frozen=True)
+class RobustPolicy:
+    """Degradation knobs for one evaluation run (all off ⇒ fail fast,
+    the pre-robustness behaviour)."""
+
+    chunk_timeout: float | None = None  # seconds; None = wait forever
+    max_retries: int = 1
+    retry_backoff: float = 0.05  # seconds; doubles per retry
+    quarantine: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One quarantined failure: what died, where, and why.
+
+    ``kind`` is ``"loop"`` (one loop evaluation raised inside a corpus)
+    or ``"job"`` (a whole sweep job failed after the pool's retries).
+    ``index`` is the loop's position in its corpus (or the job's position
+    in the sweep), so a merged result stays index-aligned with its
+    input.
+    """
+
+    kind: str
+    name: str
+    index: int
+    error_type: str
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} {self.name!r}[{self.index}] failed: "
+            f"{self.error_type}: {self.message}"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_exception(
+        cls, kind: str, name: str, index: int, error: BaseException
+    ) -> "FailureRecord":
+        return cls(
+            kind=kind,
+            name=name,
+            index=index,
+            error_type=type(error).__name__,
+            message=str(error),
+        )

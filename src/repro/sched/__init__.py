@@ -25,7 +25,12 @@ from repro.sched.resources import ResourceTable
 from repro.sched.schedule import Schedule
 from repro.sched.stats import ScheduleStats, schedule_stats
 from repro.sched.sync_scheduler import SyncSchedulerOptions, sync_schedule
-from repro.sched.verify import assert_valid, verify_schedule
+from repro.sched.verify import (
+    Violation,
+    assert_valid,
+    verify_schedule,
+    verify_schedule_structured,
+)
 
 __all__ = [
     "MachineConfig",
@@ -37,6 +42,7 @@ __all__ = [
     "ScheduleStats",
     "SyncSchedulerOptions",
     "UnitSpec",
+    "Violation",
     "assert_valid",
     "execution_timeline",
     "figure4_machine",
@@ -53,4 +59,5 @@ __all__ = [
     "sync_timeline",
     "timeline_html",
     "verify_schedule",
+    "verify_schedule_structured",
 ]

@@ -18,11 +18,19 @@ Version history — the documented contract lives in ``docs/api.md``:
   :mod:`repro.obs.explain`), and the ``bench_run`` record family of
   :mod:`repro.obs.regress`.  Consumers written against v2 keep working:
   v3 only adds keys.
+* **v4** — robustness fields (see ``docs/robustness.md``):
+  ``fallback_reason`` inside each per-scheduler simulation-metrics block
+  (why the analytic fast path declined — ``None`` when it answered) and
+  a ``failures`` list on corpus records (quarantined loops/jobs as
+  structured :class:`~repro.robust.harden.FailureRecord` dicts, empty on
+  a clean run).  The on-disk :class:`~repro.perf.cache.CompileCache`
+  format is also stamped with this version and refuses to load any
+  other.  Again additive: v3 consumers keep working.
 """
 
 from __future__ import annotations
 
 #: Record format version; bump when any record's shape changes (docs/api.md).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 __all__ = ["SCHEMA_VERSION"]

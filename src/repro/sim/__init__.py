@@ -18,7 +18,7 @@
 """
 
 from repro.sim.analytic import lbd_parallel_time, paper_lbd_formula, predicted_parallel_time
-from repro.sim.executor import execute_parallel
+from repro.sim.executor import default_max_cycles, execute_parallel
 from repro.sim.interp import run_serial
 from repro.sim.memory import MemoryImage
 from repro.sim.metrics import improvement_percent, speedup
@@ -33,6 +33,7 @@ __all__ = [
     "MemoryImage",
     "SimulationResult",
     "analytic_fast_path",
+    "default_max_cycles",
     "execute_parallel",
     "improvement_percent",
     "iteration_mapping",

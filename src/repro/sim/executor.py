@@ -19,14 +19,63 @@ resolved deterministically — and flagged by the memory comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.codegen.isa import Instruction, Opcode, Operand, WORD_SIZE
 from repro.ir.ast_nodes import Const
 from repro.ir.symbols import VarType
+from repro.obs.metrics import count as metric_count
+from repro.robust.deadlock import BlockedWait, DeadlockError
+from repro.robust.faults import FaultPlan
 from repro.sched.schedule import Schedule
 from repro.sim.memory import MemoryImage
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.dataflow import DataFlowGraph
+
 Number = float | int
+
+
+def default_max_cycles(
+    schedule: Schedule,
+    n: int,
+    signal_latency: int = 1,
+    faults: FaultPlan | None = None,
+    graph: "DataFlowGraph | None" = None,
+) -> int:
+    """The derived runaway bound used when ``max_cycles`` is not given
+    (configurable through ``EvalOptions(max_cycles=...)``).
+
+    With the wait-for-graph detector a true deadlock is reported the
+    moment it happens, so this only has to catch *runaway* executions
+    (an executor bug, not a hang), and can afford to be generous while
+    staying finite.  The bound:
+
+    ``n * (l + 1 + signal_latency + P) + B + 1024``
+
+    where ``l`` is the schedule length, ``P`` sums each pair's worst
+    per-hop penalty ``max(0, span - 1 + signal_latency)`` (a wait can
+    stall at most that much per hop of the cross-iteration chain, and
+    the chain has fewer than ``n`` hops — see the LBD theorem's
+    ``(n/d)(i-j) + l``), and ``B`` is the fault plan's
+    :meth:`~repro.robust.faults.FaultPlan.worst_case_budget`.  When the
+    dataflow ``graph`` is available, each pair's span is floored by
+    :func:`repro.obs.explain.pair_span_bound` — a schedule that somehow
+    reports a span below its dependence lower bound is still budgeted
+    for the legal minimum.
+    """
+    per_hop_total = 0
+    for pair in schedule.lowered.synced.pairs:
+        span = schedule.span(pair.pair_id)
+        if graph is not None:
+            from repro.obs.explain import pair_span_bound
+
+            bound = pair_span_bound(schedule, graph, pair.pair_id)
+            if bound is not None:
+                span = max(span, bound)
+        per_hop_total += max(0, span - 1 + signal_latency)
+    budget = faults.worst_case_budget(n) if faults else 0
+    return n * (schedule.length + 1 + signal_latency + per_hop_total) + budget + 1024
 
 
 @dataclass
@@ -40,11 +89,21 @@ class _Processor:
     """In-order execution state of one processor, running its assigned
     iterations back to back (a single iteration in the paper's setting)."""
 
-    def __init__(self, schedule: Schedule, iterations: list[int]) -> None:
+    def __init__(
+        self,
+        schedule: Schedule,
+        iterations: list[int],
+        rank: int = 0,
+        lower: int = 1,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self.schedule = schedule
         self.lowered = schedule.lowered
         self.bundles = schedule.bundles()
         self.iterations = iterations
+        self.rank = rank
+        self.lower = lower  # loop lower bound; fault iterations are relative to it
+        self.faults = faults
         self.slot = 0  # index into self.iterations
         self.local_cycle = 1  # next local cycle to issue
         self.next_issue = 1  # global time the next bundle may issue
@@ -52,6 +111,10 @@ class _Processor:
         self.finishes: dict[int, int] = {}  # iteration -> completion time
         self.regs: dict[str, Number] = {}
         self.stack: dict[str, float] = {}
+        self.fault_base = 0  # global cycle the current iteration nominally starts
+        self.fault_stalls: dict[int, int] = {}  # local cycle -> injected stall
+        self.blocked_t = 0  # last global cycle this processor blocked at a wait
+        self.blocked_on: tuple[int, str, int, int, bool] | None = None
         if iterations:
             self._load_iteration()
 
@@ -64,6 +127,14 @@ class _Processor:
         self.iter_finish = 0
         self.regs = {self.lowered.synced.loop.index: self.iteration}
         self.stack: dict[str, float] = {}  # processor-private (spill) cells
+        if self.faults:
+            self.fault_base = self.next_issue - 1
+            stalls: dict[int, int] = {}
+            rel = self.iteration - self.lower + 1
+            for cycle, extra in self.faults.injected_stalls(rel, len(self.bundles)):
+                if cycle <= len(self.bundles):
+                    stalls[cycle] = stalls.get(cycle, 0) + extra
+            self.fault_stalls = stalls
 
     def done(self) -> bool:
         return self.slot >= len(self.iterations)
@@ -77,6 +148,16 @@ class _Processor:
 
     def advance(self, t: int) -> None:
         """Move past the bundle just issued at global time ``t``."""
+        if self.faults and self.local_cycle == len(self.bundles):
+            # Walk-consistent completion under faults: the timing model's
+            # finish is start + length + (final issue delay), and the last
+            # bundle's delay is exactly t - (start + its local cycle).
+            self.iter_finish = max(
+                self.iter_finish,
+                self.fault_base
+                + self.schedule.length
+                + (t - (self.fault_base + self.local_cycle)),
+            )
         self.local_cycle += 1
         if self.local_cycle > len(self.bundles):
             self.finishes[self.iteration] = self.iter_finish
@@ -131,6 +212,65 @@ def _alu(opcode: Opcode, a: Number, b: Number) -> Number:
     raise ValueError(opcode)
 
 
+def _check_deadlock(
+    procs: list[_Processor],
+    signals: dict[tuple[str, int], int],
+    signal_latency: int,
+    faults: FaultPlan | None,
+    t: int,
+) -> None:
+    """Raise :class:`DeadlockError` if no processor can ever issue again.
+
+    Fires only when *every* non-finished processor blocked in a
+    ``Wait_Signal`` this very cycle.  A blocked wait whose signal has been
+    sent (and not dropped) is merely riding out latency — it will become
+    visible and unblock its processor, so that is not a deadlock.
+    Everything else means the awaited sends can only come from processors
+    that are themselves blocked: a hang, reported at the cycle it begins
+    instead of after ``max_cycles`` of useless walking.
+    """
+    active = [p for p in procs if not p.done()]
+    if not active:
+        return
+    for p in active:
+        if p.blocked_t != t or p.blocked_on is None:
+            return  # someone issued (or is mid-stall): progress is possible
+    finished: set[int] = set()
+    for p in procs:
+        finished.update(p.finishes)
+    blocked: list[BlockedWait] = []
+    for p in active:
+        pair_id, label, producer, rel, dropped = p.blocked_on
+        sent = signals.get((label, producer))
+        if not dropped and sent is not None:
+            return  # in flight: visible at sent + latency (+ delay), not a hang
+        orphaned = dropped or producer in finished
+        if dropped:
+            reason = "Send_Signal delivery dropped by fault plan"
+        elif orphaned:
+            reason = "producer iteration finished without a visible Send_Signal"
+        else:
+            reason = ""
+        blocked.append(
+            BlockedWait(
+                processor=p.rank,
+                iteration=p.iteration - p.lower + 1,
+                pair_id=pair_id,
+                source_label=label,
+                producer_iteration=rel,
+                wait_cycle=p.local_cycle,
+                orphaned=orphaned,
+                reason=reason,
+            )
+        )
+    metric_count("robust.deadlock.detected")
+    raise DeadlockError(
+        tuple(blocked),
+        at_cycle=t,
+        plan_label=faults.label if faults else "",
+    )
+
+
 def execute_parallel(
     schedule: Schedule,
     memory: MemoryImage,
@@ -139,6 +279,8 @@ def execute_parallel(
     processors: int | None = None,
     signal_latency: int = 1,
     mapping: str = "cyclic",
+    faults: FaultPlan | None = None,
+    graph: "DataFlowGraph | None" = None,
 ) -> ExecutionResult:
     """Run ``n`` iterations on ``processors`` processors (default one per
     iteration), mutating ``memory``.
@@ -147,6 +289,15 @@ def execute_parallel(
     constant, as DOACROSS iteration numbering is absolute) and mapped to
     processors per ``mapping`` ("cyclic" or "block"), matching
     :func:`repro.sim.multiproc.simulate_doacross`.
+
+    A hang is detected the moment every non-finished processor is blocked
+    in a ``Wait_Signal`` with no signal in flight, and raised as a
+    structured :class:`~repro.robust.deadlock.DeadlockError`;
+    ``max_cycles`` (default :func:`default_max_cycles`) remains only as a
+    runaway backstop.  ``faults`` injects deliberate mis-synchronization
+    (see :mod:`repro.robust.faults`; fault iteration numbers are 1-based
+    relative to the loop's lower bound, matching the timing walk).
+    ``graph`` only sharpens the default ``max_cycles`` bound.
     """
     lowered = schedule.lowered
     loop = lowered.synced.loop
@@ -167,12 +318,20 @@ def execute_parallel(
 
     machine = schedule.machine
     procs = [
-        _Processor(schedule, [lower + k - 1 for k in assigned])
-        for assigned in iteration_mapping(n, processors, mapping)
+        _Processor(
+            schedule,
+            [lower + k - 1 for k in assigned],
+            rank=rank,
+            lower=lower,
+            faults=faults,
+        )
+        for rank, assigned in enumerate(iteration_mapping(n, processors, mapping))
     ]
     signals: dict[tuple[str, int], int] = {}  # (source label, iteration) -> send cycle
     if max_cycles is None:
-        max_cycles = (n + 2) * (schedule.length + 2 + signal_latency) + 1024
+        max_cycles = default_max_cycles(
+            schedule, n, signal_latency, faults=faults, graph=graph
+        )
 
     t = 0
     while any(not p.done() for p in procs):
@@ -183,19 +342,43 @@ def execute_parallel(
         for p in procs:
             if not p.due(t):
                 continue
+            if faults:
+                extra = p.fault_stalls.pop(p.local_cycle, 0)
+                if extra:
+                    # Injected freeze: applied *before* the bundle (and any
+                    # wait in it) is considered, matching the timing walk's
+                    # stall-before-wait event order.
+                    p.next_issue = t + extra
+                    continue
             bundle = p.bundle()
             # A bundle containing an unsatisfied wait stalls whole.
-            blocked = False
+            blocked: tuple[int, str, int, int, bool] | None = None
             for instr in bundle:
                 if instr.opcode is Opcode.WAIT:
                     assert instr.sync is not None and instr.sync.distance is not None
                     producer = p.iteration - instr.sync.distance
                     if producer >= lower:
+                        pair_id = instr.sync.pair_ids[0]
+                        rel = producer - lower + 1
+                        dropped = bool(faults) and faults.drops_signal(pair_id, rel)
+                        extra_latency = (
+                            faults.signal_delay(pair_id, rel) if faults else 0
+                        )
                         sent = signals.get((instr.sync.source_label, producer))
-                        if sent is None or sent + signal_latency > t:
-                            blocked = True
+                        if dropped or sent is None or (
+                            sent + signal_latency + extra_latency > t
+                        ):
+                            blocked = (
+                                pair_id,
+                                instr.sync.source_label,
+                                producer,
+                                rel,
+                                dropped,
+                            )
                             break
-            if blocked:
+            if blocked is not None:
+                p.blocked_t = t
+                p.blocked_on = blocked
                 p.next_issue = t + 1
                 continue
             for instr in bundle:
@@ -261,6 +444,7 @@ def execute_parallel(
             p.advance(t)
         for name, index, value in store_buffer:
             memory.write(name, index, value)
+        _check_deadlock(procs, signals, signal_latency, faults, t)
 
     finishes: dict[int, int] = {}
     for p in procs:

@@ -41,6 +41,8 @@ from repro.codegen.isa import Opcode
 from repro.obs.explain import StallLink, active_journal
 from repro.obs.metrics import count as metric_count
 from repro.obs.trace import span
+from repro.robust.deadlock import BlockedWait, DeadlockError
+from repro.robust.faults import FaultPlan
 from repro.sched.schedule import Schedule
 
 
@@ -83,6 +85,11 @@ class SimulationResult:
     """Total wait-stall cycles attributed to each sync pair (pair_id →
     cycles, summed over iterations); zero entries are included so the
     keys always cover every pair of the loop."""
+    fallback_reason: str | None = None
+    """Why the analytic fast path was *not* even attempted (``None`` when
+    it was eligible): currently only fault injection — a non-empty
+    :class:`~repro.robust.faults.FaultPlan` would make the closed form
+    wrong, so the exact event walk answers instead."""
 
     @property
     def iteration_length(self) -> int:
@@ -228,6 +235,7 @@ def simulate_doacross(
     signal_latency: int = 1,
     mapping: str = "cyclic",
     exact_simulation: bool = False,
+    faults: FaultPlan | None = None,
 ) -> SimulationResult:
     """Simulate ``n`` iterations (default: the loop's constant trip count).
 
@@ -238,6 +246,15 @@ def simulate_doacross(
     processor (paper: 1).  ``exact_simulation=True`` forces the full
     ``O(n · waits)`` event walk even when the ``O(pairs)`` analytic fast
     path (:func:`analytic_fast_path`) would be exact.
+
+    ``faults`` injects deliberate mis-synchronization (see
+    :mod:`repro.robust.faults`).  A non-empty plan disqualifies the fast
+    path — the closed form cannot model dropped/late deliveries — so the
+    exact walk runs and the result records ``fallback_reason``.  A
+    dropped delivery raises :class:`~repro.robust.deadlock.
+    DeadlockError` naming the orphaned ``(signal, producer-iteration)``
+    pair; delays and stalls complete, visible in ``stall_by_pair`` /
+    ``finish_times``.
     """
     lowered = schedule.lowered
     if n is None:
@@ -256,7 +273,14 @@ def simulate_doacross(
     if signal_latency < 0:
         raise ValueError("signal latency must be non-negative")
 
-    if not exact_simulation and processors >= n:
+    fallback_reason: str | None = None
+    if faults:
+        # The closed form has no notion of dropped or late deliveries;
+        # returning it here would be *wrong*, not just stale — so the
+        # exact walk answers and the result says why.
+        fallback_reason = "fault injection active: analytic fast path rejected"
+        metric_count("robust.faults.fastpath_fallback")
+    elif not exact_simulation and processors >= n:
         fast = analytic_fast_path(schedule, n, signal_latency)
         if fast is not None:
             metric_count("sim.dispatch.fast_path")
@@ -283,9 +307,13 @@ def simulate_doacross(
 
         # Predecessor of each iteration on its own processor, if any.
         prev_on_proc: dict[int, int] = {}
-        for assigned in iteration_mapping(n, processors, mapping):
+        rank_of_iter: dict[int, int] = {}
+        for rank, assigned in enumerate(iteration_mapping(n, processors, mapping)):
             for a, b in zip(assigned, assigned[1:]):
                 prev_on_proc[b] = a
+            if faults:
+                for iteration in assigned:
+                    rank_of_iter[iteration] = rank
 
         for k in range(1, n + 1):  # iteration numbers relative to the lower bound
             # The processor resumes after its previous iteration (if any).
@@ -293,6 +321,77 @@ def simulate_doacross(
             start = finish_times[prev - 1] if prev is not None else 0
             timing = _IterationTiming(start=start)
             stall = 0
+            if faults:
+                # Fault-aware variant of the loop below: injected stall
+                # events interleave with the waits in local-cycle order
+                # (an injected stall at a wait's cycle applies first —
+                # the processor is already late when it checks the
+                # signal), drops raise, delays push visibility.
+                events: list[tuple[int, int, tuple]] = [
+                    (w[0], 1, w) for w in waits
+                ]
+                # Injected stalls land on *issue* cycles only (the semantic
+                # executor has nothing to freeze after the last bundle).
+                issue_cycles = schedule.issue_cycles
+                for at_cycle, extra in faults.injected_stalls(k, issue_cycles):
+                    if at_cycle <= issue_cycles:
+                        events.append((at_cycle, 0, (extra,)))
+                        metric_count("robust.faults.injected_stalls")
+                events.sort()
+                for cycle, kind, payload in events:
+                    if kind == 0:
+                        stall += payload[0]
+                    else:
+                        wait_cycle, distance, send_cycle, pair_id = payload
+                        producer = k - distance
+                        if producer >= 1:
+                            if faults.drops_signal(pair_id, producer):
+                                metric_count("robust.deadlock.detected")
+                                pair = lowered.synced.pair(pair_id)
+                                raise DeadlockError(
+                                    (
+                                        BlockedWait(
+                                            processor=rank_of_iter.get(k, k - 1),
+                                            iteration=k,
+                                            pair_id=pair_id,
+                                            source_label=pair.source_label,
+                                            producer_iteration=producer,
+                                            wait_cycle=wait_cycle,
+                                            orphaned=True,
+                                            reason=(
+                                                "Send_Signal delivery dropped "
+                                                "by fault plan"
+                                            ),
+                                        ),
+                                    ),
+                                    plan_label=faults.label,
+                                )
+                            send_abs = timings[producer - 1].abs_cycle(send_cycle)
+                            extra_latency = faults.signal_delay(pair_id, producer)
+                            if extra_latency:
+                                metric_count("robust.faults.delayed_signals")
+                            needed = send_abs + signal_latency + extra_latency
+                            current = start + wait_cycle + stall
+                            if needed > current:
+                                stall_by_pair[pair_id] += needed - current
+                                if journal is not None:
+                                    journal.record_stall(
+                                        StallLink(
+                                            pair_id=pair_id,
+                                            iteration=k,
+                                            producer_iteration=producer,
+                                            wait_cycle=wait_cycle,
+                                            send_abs=send_abs,
+                                            stall=needed - current,
+                                        )
+                                    )
+                                stall = needed - start - wait_cycle
+                    timing.wait_cycles.append(cycle)
+                    timing.cumulative_stall.append(stall)
+                timings.append(timing)
+                finish_times.append(start + length + stall)
+                total_stall += stall
+                continue
             for wait_cycle, distance, send_cycle, pair_id in waits:
                 producer = k - distance
                 if producer >= 1:
@@ -330,4 +429,5 @@ def simulate_doacross(
             signal_latency=signal_latency,
             dispatch="event_walk",
             stall_by_pair=stall_by_pair,
+            fallback_reason=fallback_reason,
         )

@@ -62,6 +62,7 @@ class TestStableHash:
         assert EvalOptions.COLLECTOR_FIELDS == (
             "cache",
             "jobs",
+            "robust",
             "tracer",
             "metrics",
             "journal",

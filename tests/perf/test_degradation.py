@@ -1,0 +1,154 @@
+"""ParallelEvaluator degradation ladder: raise, hang, dead pool.
+
+Each scenario injects its failure through the ``_worker_fault_hook`` test
+seam (the pool forks on Linux, so a hook monkeypatched in the parent is
+visible in the workers) and asserts the hardened evaluator still returns
+a **complete, insertion-ordered** result set — quarantining only what
+genuinely cannot run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+import repro.perf.parallel as parallel_mod
+from repro.obs.metrics import disable_metrics, enable_metrics
+from repro.perf import ParallelEvaluator
+from repro.pipeline import evaluate_corpus
+from repro.robust import RobustPolicy
+from repro.sched import paper_machine
+from repro.workloads import perfect_suite
+
+POISONED = "QCD"
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def _chunk_names(chunk) -> list[str]:
+    return [name for name, _loops, _machine in chunk]
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    suite = perfect_suite()
+    return [
+        (name, suite[name], paper_machine(*case))
+        for name in ("FLQ52", POISONED, "MDG")
+        for case in ((2, 1), (4, 1))
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline(jobs):
+    return [
+        (name, machine.name, evaluate_corpus(name, loops, machine, n=20).t_new)
+        for name, loops, machine in jobs
+    ]
+
+
+def evaluator(policy, **kwargs) -> ParallelEvaluator:
+    # chunk_size=1 gives each job its own future; min_pool_work=0 forces
+    # the pool even for this deliberately small sweep.
+    return ParallelEvaluator(
+        max_workers=2, chunk_size=1, min_pool_work=0, policy=policy, **kwargs
+    )
+
+
+def check_complete(results, jobs, baseline, quarantined=()):
+    """Results line up with the jobs; healthy ones match the serial run."""
+    assert [r.name for r in results] == [name for name, _l, _m in jobs]
+    for result, (name, machine_name, t_new) in zip(results, baseline):
+        if name in quarantined:
+            assert result.failures, f"{name} should carry a failure record"
+            assert result.evaluations == []
+        else:
+            assert not result.failures
+            assert (result.name, result.machine.name, result.t_new) == (
+                name,
+                machine_name,
+                t_new,
+            )
+
+
+class TestRaisingWorker:
+    def test_quarantines_only_the_poisoned_jobs(self, monkeypatch, jobs, baseline):
+        def hook(chunk):
+            if POISONED in _chunk_names(chunk):
+                raise RuntimeError("injected worker fault")
+
+        monkeypatch.setattr(parallel_mod, "_worker_fault_hook", hook)
+        registry = enable_metrics()
+        try:
+            ev = evaluator(RobustPolicy(max_retries=1, retry_backoff=0.0))
+            results = ev.evaluate_corpora(jobs, n=20)
+        finally:
+            disable_metrics()
+        assert ev.used_pool
+        check_complete(results, jobs, baseline, quarantined={POISONED})
+        for record in results[1].failures:  # jobs[1] is a QCD job
+            assert record.kind == "job"
+            assert record.error_type == "RuntimeError"
+        assert registry.counters["robust.parallel.retries"] >= 1
+        assert registry.counters["robust.quarantine.jobs"] == 2
+
+    def test_without_policy_fails_fast(self, monkeypatch, jobs):
+        def hook(chunk):
+            if POISONED in _chunk_names(chunk):
+                raise RuntimeError("injected worker fault")
+
+        monkeypatch.setattr(parallel_mod, "_worker_fault_hook", hook)
+        with pytest.raises(RuntimeError, match="injected worker fault"):
+            evaluator(policy=None).evaluate_corpora(jobs, n=20)
+
+
+class TestHangingWorker:
+    def test_timeout_abandons_the_pool_and_finishes_serially(
+        self, monkeypatch, jobs, baseline
+    ):
+        def hook(chunk):
+            # Hang only inside a pool worker; the parent's serial re-run
+            # of the same chunk must sail through.  The sleep is finite so
+            # the orphaned worker process dies shortly after the test.
+            if _in_worker() and POISONED in _chunk_names(chunk):
+                time.sleep(3.0)
+
+        monkeypatch.setattr(parallel_mod, "_worker_fault_hook", hook)
+        registry = enable_metrics()
+        try:
+            ev = evaluator(RobustPolicy(chunk_timeout=0.5))
+            results = ev.evaluate_corpora(jobs, n=20)
+        finally:
+            disable_metrics()
+        assert ev.used_pool
+        assert "chunk timeout" in ev.fallback_reason
+        check_complete(results, jobs, baseline)  # nothing lost, nothing quarantined
+        assert registry.counters["robust.parallel.timeouts"] >= 1
+        assert registry.counters["robust.parallel.serial_reruns"] >= 1
+
+
+class TestBrokenPool:
+    def test_dead_worker_recovers_serially_even_without_policy(
+        self, monkeypatch, jobs, baseline
+    ):
+        def hook(chunk):
+            if _in_worker() and POISONED in _chunk_names(chunk):
+                os._exit(1)  # simulate the worker process being OOM-killed
+
+        monkeypatch.setattr(parallel_mod, "_worker_fault_hook", hook)
+        registry = enable_metrics()
+        try:
+            ev = evaluator(policy=None)  # BrokenProcessPool recovery is always on
+            results = ev.evaluate_corpora(jobs, n=20)
+        finally:
+            disable_metrics()
+        assert ev.used_pool
+        assert "pool broke" in ev.fallback_reason
+        check_complete(results, jobs, baseline)
+        assert registry.counters["robust.parallel.broken_pool"] >= 1
+        assert registry.counters["robust.parallel.serial_reruns"] >= 1

@@ -1,0 +1,116 @@
+"""Deadlock diagnosis on the paper's Fig. 4 walkthrough (Fig. 4a scenario).
+
+The acceptance scenario of the robustness issue: injecting a lost
+``Send_Signal`` into the Fig. 4(a) schedule must raise a structured
+:class:`DeadlockError` naming the exact orphaned ``(signal,
+producer-iteration)`` pair in *both* simulators, while a merely *slow*
+signal completes with the delay visible in ``stall_by_pair``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import compile_loop
+from repro.robust import DeadlockError, FaultPlan
+from repro.robust.deadlock import BlockedWait, find_waitfor_cycles
+from repro.robust.faults import SignalDelay, SignalDrop
+from repro.sched import figure4_machine, sync_schedule
+from repro.sim import MemoryImage, execute_parallel, run_serial, simulate_doacross
+
+from tests.conftest import FIG1_SOURCE
+
+N = 12
+# The Fig. 1 loop with its trip count pinned to N, so the serial reference
+# interpreter and the N-iteration parallel executor cover the same work.
+FIG1_N12 = FIG1_SOURCE.replace("DO I = 1, 100", f"DO I = 1, {N}")
+DROP = FaultPlan(drops=(SignalDrop(pair_id=0, iteration=3),), label="fig4a-lost-signal")
+DELAY = FaultPlan(delays=(SignalDelay(extra=5, pair_id=0),), label="slow-hop")
+
+
+@pytest.fixture(scope="module")
+def fig4a():
+    compiled = compile_loop(FIG1_N12)
+    schedule = sync_schedule(compiled.lowered, compiled.graph, figure4_machine())
+    return compiled, schedule
+
+
+class TestLostSignal:
+    def test_walk_names_the_exact_orphaned_pair(self, fig4a):
+        _, schedule = fig4a
+        with pytest.raises(DeadlockError) as exc:
+            simulate_doacross(schedule, N, faults=DROP)
+        err = exc.value
+        assert err.orphaned_signals() == [("S3", 3)]
+        # pair 0 has distance 2: iteration 3's lost send blocks iteration 5
+        assert [(b.iteration, b.pair_id) for b in err.blocked] == [(5, 0)]
+        assert err.blocked[0].orphaned
+        assert err.plan_label == "fig4a-lost-signal"
+
+    def test_executor_agrees_on_the_orphan(self, fig4a):
+        compiled, schedule = fig4a
+        with pytest.raises(DeadlockError) as exc:
+            execute_parallel(
+                schedule, MemoryImage(), N, faults=DROP, graph=compiled.graph
+            )
+        err = exc.value
+        assert ("S3", 3) in err.orphaned_signals()
+        assert err.at_cycle is not None  # the wait-for graph fired at a cycle
+        # every processor the detector reports really is parked in Wait_Signal
+        assert all(isinstance(b, BlockedWait) for b in err.blocked)
+
+    def test_message_is_a_diagnosis_not_a_timeout(self, fig4a):
+        _, schedule = fig4a
+        with pytest.raises(DeadlockError) as exc:
+            simulate_doacross(schedule, N, faults=DROP)
+        text = str(exc.value)
+        assert text.startswith("deadlock")
+        assert "(S3, 3)" in text
+        assert "never arrive" in text
+
+    def test_render_overlays_the_sync_timeline(self, fig4a):
+        _, schedule = fig4a
+        with pytest.raises(DeadlockError) as exc:
+            simulate_doacross(schedule, N, faults=DROP)
+        rendered = exc.value.render(schedule)
+        assert "W" in rendered and "S" in rendered  # the timeline rows
+        assert "send was lost" in rendered
+
+    def test_is_a_runtime_error_for_legacy_callers(self, fig4a):
+        _, schedule = fig4a
+        with pytest.raises(RuntimeError, match="deadlock|exceeded"):
+            simulate_doacross(schedule, N, faults=DROP)
+
+
+class TestSlowSignal:
+    def test_delay_completes_with_the_delay_in_stall_by_pair(self, fig4a):
+        _, schedule = fig4a
+        baseline = simulate_doacross(schedule, N, exact_simulation=True)
+        delayed = simulate_doacross(schedule, N, faults=DELAY)
+        assert baseline.parallel_time == 48
+        assert delayed.parallel_time == 73
+        assert delayed.stall_by_pair[0] > baseline.stall_by_pair[0]
+        assert delayed.stall_by_pair[1] == baseline.stall_by_pair[1] == 0
+        assert delayed.fallback_reason is not None
+
+    def test_executor_matches_walk_and_memory_stays_correct(self, fig4a):
+        compiled, schedule = fig4a
+        delayed = simulate_doacross(schedule, N, faults=DELAY)
+        result = execute_parallel(
+            schedule, MemoryImage(), N, faults=DELAY, graph=compiled.graph
+        )
+        assert result.parallel_time == delayed.parallel_time
+        assert result.finish_times == delayed.finish_times
+        assert result.memory == run_serial(compiled.synced.loop, MemoryImage())
+
+
+class TestWaitForCycles:
+    def test_cycle_found_among_mutually_blocked_waits(self):
+        a = BlockedWait(0, 2, 0, "S", 1, wait_cycle=1)
+        b = BlockedWait(1, 1, 0, "S", 2, wait_cycle=1)
+        cycles = find_waitfor_cycles([a, b])
+        assert cycles and set(cycles[0]) == {0, 1}
+
+    def test_orphaned_waits_form_no_cycle(self):
+        a = BlockedWait(0, 2, 0, "S", 1, wait_cycle=1, orphaned=True)
+        assert find_waitfor_cycles([a]) == ()

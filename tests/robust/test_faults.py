@@ -1,0 +1,117 @@
+"""FaultPlan: the spec grammar, the matching semantics, and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robust.faults import (
+    FaultPlan,
+    LatencyJitter,
+    ProcessorStall,
+    SignalDelay,
+    SignalDrop,
+)
+
+
+class TestParse:
+    def test_drop_forms(self):
+        plan = FaultPlan.parse(["drop", "drop:pair=1", "drop:pair=2,iter=5"])
+        assert plan.drops == (
+            SignalDrop(),
+            SignalDrop(pair_id=1),
+            SignalDrop(pair_id=2, iteration=5),
+        )
+
+    def test_delay_stall_jitter(self):
+        plan = FaultPlan.parse(
+            [
+                "delay:extra=3,pair=0",
+                "stall:iter=4,at=2,cycles=7",
+                "jitter:seed=9,max=3,prob=0.5",
+            ]
+        )
+        assert plan.delays == (SignalDelay(extra=3, pair_id=0),)
+        assert plan.stalls == (ProcessorStall(iteration=4, at_cycle=2, cycles=7),)
+        assert plan.jitter == LatencyJitter(seed=9, max_extra=3, prob=0.5)
+
+    def test_jitter_defaults(self):
+        plan = FaultPlan.parse(["jitter:seed=1"])
+        assert plan.jitter == LatencyJitter(seed=1, max_extra=2, prob=0.25)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode",  # unknown kind
+            "delay",  # missing required extra=
+            "delay:extra=2,bogus=1",  # unknown argument
+            "stall:iter=1,at=2",  # missing cycles=
+            "drop:pair",  # malformed key=value
+            "delay:extra=-1",  # negative delay
+            "stall:iter=1,at=0,cycles=1",  # at_cycle is 1-based
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse([spec])
+
+    def test_two_jitters_rejected(self):
+        with pytest.raises(ValueError, match="at most one jitter"):
+            FaultPlan.parse(["jitter:seed=1", "jitter:seed=2"])
+
+
+class TestSemantics:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(drops=(SignalDrop(),))
+        assert FaultPlan(jitter=LatencyJitter(seed=0))
+
+    def test_drop_wildcards(self):
+        plan = FaultPlan(drops=(SignalDrop(pair_id=1),))
+        assert plan.drops_signal(1, 3) and plan.drops_signal(1, 99)
+        assert not plan.drops_signal(0, 3)
+        assert FaultPlan(drops=(SignalDrop(),)).drops_signal(7, 7)
+
+    def test_delays_sum_over_matches(self):
+        plan = FaultPlan(
+            delays=(SignalDelay(extra=2), SignalDelay(extra=3, pair_id=0))
+        )
+        assert plan.signal_delay(0, 1) == 5
+        assert plan.signal_delay(1, 1) == 2
+
+    def test_injected_stalls_filter_and_sort(self):
+        plan = FaultPlan(
+            stalls=(
+                ProcessorStall(iteration=2, at_cycle=5, cycles=1),
+                ProcessorStall(iteration=2, at_cycle=1, cycles=4),
+                ProcessorStall(iteration=3, at_cycle=1, cycles=9),
+            )
+        )
+        assert plan.injected_stalls(2, length=10) == [(1, 4), (5, 1)]
+        assert plan.injected_stalls(1, length=10) == []
+
+    def test_worst_case_budget_positive(self):
+        plan = FaultPlan(delays=(SignalDelay(extra=2),), jitter=LatencyJitter(seed=0))
+        assert plan.worst_case_budget(10) > 0
+        assert FaultPlan().worst_case_budget(10) == 0
+
+    def test_describe_mentions_every_fault(self):
+        plan = FaultPlan.parse(["drop:pair=0", "delay:extra=2", "jitter:seed=1"])
+        text = plan.describe()
+        assert "drop" in text and "delay" in text and "jitter" in text
+
+
+class TestJitterDeterminism:
+    def test_same_seed_same_noise(self):
+        jitter = LatencyJitter(seed=42, max_extra=3, prob=1.0)
+        samples = [jitter.sample(k, 10) for k in range(1, 50)]
+        assert samples == [jitter.sample(k, 10) for k in range(1, 50)]
+        # prob=1.0 always injects, within the schedule and bounds
+        for cycle, extra in samples:
+            assert 1 <= cycle <= 10 and 1 <= extra <= 3
+
+    def test_prob_zero_never_injects(self):
+        jitter = LatencyJitter(seed=42, prob=0.0)
+        assert all(jitter.sample(k, 10) is None for k in range(1, 20))
+
+    def test_empty_schedule_never_injects(self):
+        assert LatencyJitter(seed=1, prob=1.0).sample(1, 0) is None

@@ -1,0 +1,90 @@
+"""Faults off ⇒ byte-identical results, and the stable-hash contract.
+
+The robustness layer must be free when unused: a run with no fault plan
+(or an *empty* one) takes the same dispatch path and produces exactly the
+same records as before the layer existed, and the default
+``EvalOptions.stable_hash()`` still matches the options hash recorded in
+the committed benchmark baseline — so ``repro bench check`` keeps
+comparing against history.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.options import EvalOptions
+from repro.pipeline import compile_loop, evaluate_corpus
+from repro.report import corpus_record, to_json
+from repro.robust import FaultPlan, RobustPolicy
+from repro.robust.faults import SignalDelay
+from repro.sched import paper_machine, sync_schedule
+from repro.sim import simulate_doacross
+
+from tests.conftest import FIG1_SOURCE
+
+BASELINE = Path(__file__).resolve().parents[2] / "benchmarks/baselines/bench_history.jsonl"
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    compiled = compile_loop(FIG1_SOURCE)
+    schedule = sync_schedule(compiled.lowered, compiled.graph, paper_machine(4, 1))
+    return compiled, schedule
+
+
+class TestZeroOverhead:
+    def test_no_plan_and_empty_plan_are_identical(self, fig1):
+        _, schedule = fig1
+        bare = simulate_doacross(schedule, 20)
+        empty = simulate_doacross(schedule, 20, faults=FaultPlan())
+        assert bare == empty
+        assert empty.dispatch == "fast_path"  # the fast path was not disqualified
+        assert empty.fallback_reason is None
+
+    def test_corpus_records_byte_identical_with_inert_policy(self):
+        loops = [compile_loop(FIG1_SOURCE).source]
+        machine = paper_machine(4, 1)
+        plain = evaluate_corpus("fig1", loops, machine, n=20, options=EvalOptions())
+        hardened = evaluate_corpus(
+            "fig1", loops, machine, n=20, options=EvalOptions(robust=RobustPolicy())
+        )
+        assert to_json(corpus_record(plain)) == to_json(corpus_record(hardened))
+        assert plain.failures == hardened.failures == []
+
+    def test_non_empty_plan_disqualifies_the_fast_path(self, fig1):
+        _, schedule = fig1
+        plan = FaultPlan(delays=(SignalDelay(extra=1),))
+        result = simulate_doacross(schedule, 20, faults=plan)
+        assert result.dispatch == "event_walk"
+        assert "fault injection" in result.fallback_reason
+
+
+class TestStableHash:
+    def committed_hash(self) -> str:
+        hashes = {
+            json.loads(line)["options_hash"]
+            for line in BASELINE.read_text().splitlines()
+            if line.strip()
+        }
+        assert len(hashes) == 1, "baseline runs disagree on options_hash"
+        return hashes.pop()
+
+    def test_default_hash_matches_committed_baseline(self):
+        assert EvalOptions().stable_hash() == self.committed_hash()
+
+    def test_collector_only_fields_do_not_change_the_hash(self):
+        default = EvalOptions().stable_hash()
+        assert EvalOptions(robust=RobustPolicy(chunk_timeout=1.0)).stable_hash() == default
+
+    def test_result_determining_fields_change_the_hash(self):
+        default = EvalOptions().stable_hash()
+        with_faults = EvalOptions(faults=FaultPlan(delays=(SignalDelay(extra=1),)))
+        assert with_faults.stable_hash() != default
+        assert EvalOptions(max_cycles=10_000).stable_hash() != default
+
+    def test_max_cycles_validated(self):
+        with pytest.raises(ValueError):
+            EvalOptions(max_cycles=0)

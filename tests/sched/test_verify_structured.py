@@ -1,0 +1,114 @@
+"""Structured schedule verification: typed violations on broken schedules.
+
+The paper's two synchronization invariants, checked straight off the pair
+map: a ``Send_Signal`` must issue strictly after its dependence source
+completes, and a sink must issue strictly after its pair's
+``Wait_Signal``.  These tests *break* a known-good schedule in each
+specific way and assert the verifier names the violation by kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sched import (
+    Schedule,
+    assert_valid,
+    figure4_machine,
+    sync_schedule,
+    verify_schedule,
+    verify_schedule_structured,
+)
+from repro.sched.verify import Violation
+
+
+@pytest.fixture()
+def valid(fig1_lowered, fig1_dfg):
+    return sync_schedule(fig1_lowered, fig1_dfg, figure4_machine())
+
+
+def rescheduled(schedule: Schedule, **moves: int) -> Schedule:
+    """A copy of ``schedule`` with some instructions moved by id."""
+    cycle_of = dict(schedule.cycle_of)
+    cycle_of.update({int(iid): cycle for iid, cycle in moves.items()})
+    return replace(schedule, cycle_of=cycle_of, scheduler_name="broken")
+
+
+def kinds(schedule: Schedule, graph) -> set[str]:
+    return {v.kind for v in verify_schedule_structured(schedule, graph)}
+
+
+class TestValidSchedule:
+    def test_no_violations(self, valid, fig1_dfg):
+        assert verify_schedule_structured(valid, fig1_dfg) == []
+        assert_valid(valid, fig1_dfg)
+
+
+class TestBrokenSchedules:
+    def test_send_before_source(self, valid, fig1_dfg):
+        send = valid.lowered.send_iids[0]
+        broken = rescheduled(valid, **{str(send): 1})
+        found = kinds(broken, fig1_dfg)
+        assert "send_before_source" in found
+        violation = next(
+            v
+            for v in verify_schedule_structured(broken, fig1_dfg)
+            if v.kind == "send_before_source"
+        )
+        assert violation.pair_id == 0
+        assert violation.iid == send
+        assert violation.cycle == 1
+
+    def test_sink_before_wait(self, valid, fig1_dfg):
+        # push pair 0's wait past its earliest sink
+        wait = valid.lowered.wait_iids[0]
+        sink_cycle = min(
+            valid.cycle_of[s] for s in valid.lowered.sink_iids(0)
+        )
+        broken = rescheduled(valid, **{str(wait): sink_cycle})
+        found = kinds(broken, fig1_dfg)
+        assert "sink_before_wait" in found
+        violation = next(
+            v
+            for v in verify_schedule_structured(broken, fig1_dfg)
+            if v.kind == "sink_before_wait"
+        )
+        assert violation.pair_id == 0
+
+    def test_unscheduled_instruction(self, valid, fig1_dfg):
+        cycle_of = dict(valid.cycle_of)
+        missing = min(cycle_of)
+        del cycle_of[missing]
+        broken = replace(valid, cycle_of=cycle_of)
+        violations = verify_schedule_structured(broken, fig1_dfg)
+        assert [v.kind for v in violations] == ["unscheduled"]
+        assert violations[0].iid == missing
+
+    def test_bad_cycle(self, valid, fig1_dfg):
+        iid = min(valid.cycle_of)
+        broken = rescheduled(valid, **{str(iid): 0})
+        assert "bad_cycle" in kinds(broken, fig1_dfg)
+
+    def test_issue_width_overflow(self, valid, fig1_dfg):
+        # cram everything into cycle 1: resource + latency carnage
+        broken = replace(
+            valid, cycle_of={iid: 1 for iid in valid.cycle_of}, scheduler_name="broken"
+        )
+        found = kinds(broken, fig1_dfg)
+        assert {"issue_width", "unit_overuse", "latency"} <= found
+
+    def test_string_surface_matches_structured(self, valid, fig1_dfg):
+        send = valid.lowered.send_iids[0]
+        broken = rescheduled(valid, **{str(send): 1})
+        structured = verify_schedule_structured(broken, fig1_dfg)
+        assert verify_schedule(broken, fig1_dfg) == [v.message for v in structured]
+        with pytest.raises(AssertionError, match="invalid schedule"):
+            assert_valid(broken, fig1_dfg)
+
+
+class TestViolationType:
+    def test_str_is_the_message(self):
+        v = Violation("latency", "edge violated", iid=3, cycle=7)
+        assert str(v) == "edge violated"
