@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench bench-check bench-perf fuzz-smoke sweep
+.PHONY: test lint check bench bench-check bench-perf fuzz-smoke sweep dash
 
 BENCH_BASELINE ?= benchmarks/baselines/bench_history.jsonl
 
@@ -33,8 +33,16 @@ FUZZ_SEED ?= 0
 fuzz-smoke:
 	$(PYTHON) -m repro fuzz --cases $(FUZZ_CASES) --seed $(FUZZ_SEED)
 
-# Everything CI would run: lint + tier-1 tests + fuzz + bench gate.
-check: lint test fuzz-smoke bench-check
+# Build the self-contained HTML dashboard (run ledger + bench history).
+# Works with an empty/missing ledger: the walkthrough timelines and the
+# committed bench baseline still give it something to show.
+DASH_OUT ?= dashboard.html
+dash:
+	$(PYTHON) -m repro dash --out $(DASH_OUT) --history $(BENCH_BASELINE)
+
+# Everything CI would run: lint + tier-1 tests + fuzz + bench gate +
+# a dashboard-build smoke.
+check: lint test fuzz-smoke bench-check dash
 
 # Regenerate every paper table/figure under benchmarks/results/
 # (perf-marked timing benches stay skipped).

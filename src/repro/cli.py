@@ -183,13 +183,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         return 1
     if plan:
         print(f"fault plan: {plan.describe()}")
+    from repro.obs.ledger import active_recorder
+
+    run_recorder = active_recorder()
     try:
         sim = simulate_doacross(
             schedule, args.n, exact_simulation=args.exact_sim, faults=plan
         )
     except DeadlockError as err:
+        if run_recorder is not None:
+            run_recorder.note_error("deadlock", f"DeadlockError: {err}")
+            from repro.sched.gantt import sync_timeline
+
+            run_recorder.add_timeline("sync", sync_timeline(schedule))
         print(err.render(schedule))
         return 2
+    if run_recorder is not None:
+        from repro.sched.gantt import sync_timeline
+
+        run_recorder.add_timeline("sync", sync_timeline(schedule))
     print(f"== {args.scheduler} scheduling on {machine.name} ==")
     print(f"schedule length = {schedule.length}, dispatch = {sim.dispatch}")
     if sim.fallback_reason:
@@ -226,8 +238,18 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _sweep_results(names, n, workers, exact_sim, no_cache=False, cache_file=None):
+def _sweep_results(
+    names,
+    n,
+    workers,
+    exact_sim,
+    no_cache=False,
+    cache_file=None,
+    min_pool_work=None,
+    progress=False,
+):
     """Run the Perfect sweep and return evaluations, one per sweep point."""
+    from repro.obs.ledger import active_recorder
     from repro.options import EvalOptions
 
     suite = perfect_suite()
@@ -235,7 +257,12 @@ def _sweep_results(names, n, workers, exact_sim, no_cache=False, cache_file=None
     jobs = [
         (name, suite[name], paper_machine(*case)) for name in names for case in cases
     ]
-    options = EvalOptions(exact_simulation=exact_sim)
+    options = EvalOptions(
+        exact_simulation=exact_sim, min_pool_work=min_pool_work, progress=progress
+    )
+    run_recorder = active_recorder()
+    if run_recorder is not None:
+        run_recorder.note_options(options)
     if workers > 1:
         from repro.perf import ParallelEvaluator
 
@@ -254,6 +281,8 @@ def _sweep_results(names, n, workers, exact_sim, no_cache=False, cache_file=None
         from repro.perf import CompileCache
         from repro.pipeline import evaluate_corpus
 
+        if run_recorder is not None:
+            run_recorder.note_mode("serial (no pool requested)")
         cache = None
         if cache_file:
             cache = CompileCache.load(cache_file)
@@ -267,6 +296,9 @@ def _sweep_results(names, n, workers, exact_sim, no_cache=False, cache_file=None
         ]
         if cache_file and cache is not None:
             cache.save(cache_file)
+    if run_recorder is not None:
+        for corpus in results:
+            run_recorder.note_failures(corpus.failures)
     return results, cases
 
 
@@ -285,7 +317,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     results, cases = _sweep_results(
-        names, args.n, args.jobs, args.exact_sim, args.no_cache, args.cache_file
+        names, args.n, args.jobs, args.exact_sim, args.no_cache, args.cache_file,
+        min_pool_work=args.min_pool_work, progress=args.progress,
     )
     by_point = {(ev.name, ev.machine.name): ev for ev in results}
     print(f"{'bench':8s}" + "".join(f"{f'{w}i/{f}fu':>16s}" for w, f in cases))
@@ -345,6 +378,13 @@ def cmd_explain(args: argparse.Namespace) -> int:
         printed = True
     if not printed:
         print(explain_summary(schedule, journal, compiled.graph, sim=sim))
+    from repro.obs.ledger import active_recorder
+
+    run_recorder = active_recorder()
+    if run_recorder is not None:
+        from repro.sched.gantt import sync_timeline
+
+        run_recorder.add_timeline("sync", sync_timeline(schedule))
     if args.timeline:
         from repro.sched.gantt import execution_timeline, sync_timeline
 
@@ -358,6 +398,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
         with open(args.html, "w", encoding="utf-8") as handle:
             handle.write(timeline_html(schedule, n=min(args.n, args.timeline_n)))
         print(f"wrote timeline to {args.html}", file=sys.stderr)
+        if run_recorder is not None:
+            run_recorder.add_artifact(args.html)
     return 0
 
 
@@ -371,10 +413,15 @@ def cmd_bench_record(args: argparse.Namespace) -> int:
     from repro.obs.regress import collect_run, suites
 
     history = _bench_history(args)
+    from repro.obs.ledger import active_recorder
+
+    run_recorder = active_recorder()
     for suite in suites(args.suite):
         run = collect_run(suite, n=args.n)
         history.append(run)
         print(f"recorded {run.summary()}")
+    if run_recorder is not None:
+        run_recorder.add_artifact(history.path)
     print(f"history: {history.path}", file=sys.stderr)
     return 0
 
@@ -439,7 +486,73 @@ def cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ledger(args: argparse.Namespace):
+    from repro.obs.ledger import RunLedger
+
+    return RunLedger(args.ledger)
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    ledger = _run_ledger(args)
+    records = ledger.load()
+    if not records:
+        print(f"no runs recorded in {ledger.path}")
+        return 0
+    for record in records:
+        print(record.summary())
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    ledger = _run_ledger(args)
+    try:
+        record = ledger.get(args.run_id)
+    except KeyError as err:
+        print(err.args[0], file=sys.stderr)
+        return 1
+    print(record.describe())
+    return 0
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import diff_run_metrics, format_run_diff
+
+    ledger = _run_ledger(args)
+    try:
+        old, new = ledger.get(args.run_a), ledger.get(args.run_b)
+    except KeyError as err:
+        print(err.args[0], file=sys.stderr)
+        return 1
+    diff = diff_run_metrics(old, new, deterministic_only=not args.all_metrics)
+    print(format_run_diff(diff))
+    return 1 if diff.comparable and not diff.identical else 0
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.dash import build_dashboard, walkthrough_timelines
+    from repro.obs.ledger import RunLedger, active_recorder
+    from repro.obs.regress import BenchHistory
+
+    runs = RunLedger(args.ledger).load()
+    bench_runs = BenchHistory(args.history).load()
+    walkthrough = None if args.no_walkthrough else walkthrough_timelines()
+    html = build_dashboard(runs, bench_runs, walkthrough=walkthrough)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    run_recorder = active_recorder()
+    if run_recorder is not None:
+        run_recorder.add_artifact(args.out)
+    print(
+        f"wrote dashboard ({len(runs)} ledger run(s), {len(bench_runs)} bench "
+        f"run(s)) to {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro.obs.ledger import DEFAULT_LEDGER
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hwang (IPPS 1997) instruction-scheduling reproduction toolkit",
@@ -463,8 +576,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _ledger_flag(p) -> None:
+        """Arm the run ledger for this subcommand (``repro sweep --ledger
+        ...``; argparse global flags would have to precede the
+        subcommand, so the flag lives on each subparser instead)."""
+        p.add_argument(
+            "--ledger",
+            metavar="FILE",
+            nargs="?",
+            default=None,
+            const=DEFAULT_LEDGER,
+            help="append a run record to this JSONL ledger "
+            f"(bare --ledger means {DEFAULT_LEDGER}; see `repro runs` / "
+            "`repro dash`; default: off)",
+        )
+
     p_compile = sub.add_parser("compile", help="compile a loop and print artifacts")
     p_compile.add_argument("loop", help="loop source file, or - for stdin")
+    _ledger_flag(p_compile)
     p_compile.set_defaults(func=cmd_compile)
 
     p_sched = sub.add_parser("schedule", help="schedule a loop and simulate")
@@ -477,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--n", type=int, default=100, help="iterations")
     p_sched.add_argument("--gantt", action="store_true", help="occupancy chart")
     p_sched.add_argument("--pressure", action="store_true", help="register pressure")
+    _ledger_flag(p_sched)
     p_sched.set_defaults(func=cmd_schedule)
 
     p_mod = sub.add_parser("modulo", help="software-pipeline a loop (extension)")
@@ -519,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="executor cycle budget (default: derived from the schedule)",
     )
+    _ledger_flag(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_fuzz = sub.add_parser(
@@ -532,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run the semantic-executor oracle on every k-th case",
     )
+    _ledger_flag(p_fuzz)
     p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_sweep = sub.add_parser("sweep", help="Tables 2/3 over the Perfect corpora")
@@ -555,6 +687,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force the full event simulation (skip the analytic fast path)",
     )
+    p_sweep.add_argument(
+        "--min-pool-work",
+        type=int,
+        default=None,
+        metavar="N",
+        help="loop evaluations below which --jobs stays serial "
+        "(0 forces the pool; default: the perf-layer threshold)",
+    )
+    p_sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live progress (an in-place status line on a TTY, "
+        "plain log lines otherwise)",
+    )
+    _ledger_flag(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_metrics = sub.add_parser(
@@ -573,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument(
         "--json", action="store_true", help="print the metrics snapshot as JSON"
     )
+    _ledger_flag(p_metrics)
     p_metrics.set_defaults(func=cmd_metrics)
 
     p_explain = sub.add_parser(
@@ -616,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a self-contained HTML timeline to FILE",
     )
+    _ledger_flag(p_explain)
     p_explain.set_defaults(func=cmd_explain)
 
     from repro.obs.regress import DEFAULT_HISTORY, DEFAULT_WALL_TOLERANCE
@@ -639,6 +788,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_record.add_argument("--n", type=int, default=100)
     _bench_common(p_record)
+    _ledger_flag(p_record)
     p_record.set_defaults(func=cmd_bench_record)
 
     p_list = bench_sub.add_parser("list", help="show recorded runs")
@@ -670,6 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed relative wall-clock slowdown on the same machine",
     )
     _bench_common(p_check)
+    _ledger_flag(p_check)
     p_check.set_defaults(func=cmd_bench_check)
 
     p_dot = sub.add_parser("dot", help="emit the DFG as Graphviz DOT")
@@ -677,11 +828,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot.add_argument("--title", default=None)
     p_dot.set_defaults(func=cmd_dot)
 
+    p_runs = sub.add_parser(
+        "runs", help="list / show / diff runs recorded in the ledger"
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    def _runs_common(p) -> None:
+        p.add_argument(
+            "--ledger",
+            metavar="FILE",
+            default=DEFAULT_LEDGER,
+            help=f"JSONL run ledger to read (default: {DEFAULT_LEDGER})",
+        )
+
+    p_runs_list = runs_sub.add_parser("list", help="show recorded runs")
+    _runs_common(p_runs_list)
+    p_runs_list.set_defaults(func=cmd_runs_list)
+
+    p_runs_show = runs_sub.add_parser("show", help="full detail for one run")
+    p_runs_show.add_argument("run_id", help="run id (prefix ok)")
+    _runs_common(p_runs_show)
+    p_runs_show.set_defaults(func=cmd_runs_show)
+
+    p_runs_diff = runs_sub.add_parser(
+        "diff", help="compare two runs' final metrics snapshots"
+    )
+    p_runs_diff.add_argument("run_a", help="old run id (prefix ok)")
+    p_runs_diff.add_argument("run_b", help="new run id (prefix ok)")
+    p_runs_diff.add_argument(
+        "--all-metrics",
+        action="store_true",
+        help="compare every metrics namespace, not just the deterministic "
+        "sim.*/sched.* subset",
+    )
+    _runs_common(p_runs_diff)
+    p_runs_diff.set_defaults(func=cmd_runs_diff)
+
+    p_dash = sub.add_parser(
+        "dash", help="build the self-contained HTML dashboard"
+    )
+    p_dash.add_argument(
+        "--out",
+        metavar="FILE",
+        default="dashboard.html",
+        help="output HTML file (default: dashboard.html)",
+    )
+    p_dash.add_argument(
+        "--history",
+        metavar="FILE",
+        default=DEFAULT_HISTORY,
+        help=f"bench history to chart (default: {DEFAULT_HISTORY})",
+    )
+    p_dash.add_argument(
+        "--no-walkthrough",
+        action="store_true",
+        help="skip the generated Fig. 4 walkthrough timelines",
+    )
+    p_dash.add_argument(
+        "--ledger",
+        metavar="FILE",
+        default=DEFAULT_LEDGER,
+        help=f"JSONL run ledger to aggregate (default: {DEFAULT_LEDGER})",
+    )
+    p_dash.set_defaults(func=cmd_dash)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     profiler = None
     if args.profile:
         from repro.perf import enable_profiling
@@ -689,6 +905,7 @@ def main(argv: list[str] | None = None) -> int:
         profiler = enable_profiling()
     recorder = None
     journal_registry = None
+    progress_sink = None
     if args.trace_out or args.journal_out:
         from repro.obs import RecordingTracer, add_tracer
 
@@ -698,15 +915,39 @@ def main(argv: list[str] | None = None) -> int:
             from repro.obs import enable_metrics
 
             journal_registry = enable_metrics()
+        if args.journal_out:
+            from repro.obs import RecordingProgressSink, add_progress_sink
+
+            progress_sink = RecordingProgressSink()
+            add_progress_sink(progress_sink)
+    # --ledger on a workload subcommand arms the run recorder.  The
+    # query commands (`runs`, `dash`) take --ledger as the store to READ
+    # and never record themselves.
+    run_recorder = None
+    if getattr(args, "ledger", None) and args.command not in ("runs", "dash"):
+        from repro.obs.ledger import RunRecorder, _set_recorder
+
+        command = args.command
+        if getattr(args, "bench_command", None):
+            command = f"{args.command} {args.bench_command}"
+        run_recorder = RunRecorder(command, args.ledger, argv=raw_argv)
+        _set_recorder(run_recorder)
+    exit_code: int | None = None
     try:
-        return args.func(args)
+        exit_code = args.func(args)
+        return exit_code
     except BrokenPipeError:
         # stdout consumer (e.g. `head`) went away; not an error
         try:
             sys.stdout.close()
         except OSError:
             pass
+        exit_code = 0
         return 0
+    except BaseException as err:
+        if run_recorder is not None:
+            run_recorder.finish("error", f"{type(err).__name__}: {err}")
+        raise
     finally:
         if recorder is not None:
             from repro.obs import remove_tracer
@@ -716,6 +957,10 @@ def main(argv: list[str] | None = None) -> int:
                 from repro.obs import disable_metrics
 
                 disable_metrics()
+            if progress_sink is not None:
+                from repro.obs import remove_progress_sink
+
+                remove_progress_sink(progress_sink)
             if args.trace_out:
                 from repro.obs import write_chrome_trace
 
@@ -724,8 +969,23 @@ def main(argv: list[str] | None = None) -> int:
             if args.journal_out:
                 from repro.obs import write_journal
 
-                write_journal(args.journal_out, recorder.events, journal_registry)
+                write_journal(
+                    args.journal_out,
+                    recorder.events,
+                    journal_registry,
+                    progress=progress_sink.events if progress_sink else None,
+                )
                 print(f"wrote journal to {args.journal_out}", file=sys.stderr)
+        if run_recorder is not None:
+            from repro.obs.ledger import _set_recorder
+
+            if args.trace_out:
+                run_recorder.add_artifact(args.trace_out)
+            if args.journal_out:
+                run_recorder.add_artifact(args.journal_out)
+            outcome = "ok" if exit_code in (0, None) else f"exit {exit_code}"
+            run_recorder.finish(outcome)
+            _set_recorder(None)
         if profiler is not None:
             from repro.perf import disable_profiling
 

@@ -31,8 +31,20 @@ Two sibling subsystems build on this foundation:
 * :mod:`repro.obs.regress` — the benchmark-regression tracker behind
   ``repro bench record / diff / check``: an append-only JSONL history
   with an exact gate on cycle counts and a threshold gate on wall-clock.
+* :mod:`repro.obs.ledger` — the run ledger behind ``repro runs`` and
+  ``--ledger``: one schema-versioned JSONL record per invocation
+  (options hash, git SHA, machine, wall time, outcome, quarantined
+  failures, final metrics snapshot, artifacts).
+* :mod:`repro.obs.dash` — ``repro dash``: the ledger plus the bench
+  history rendered as one self-contained HTML dashboard.
+
+Live progress rides the same module-global seam as tracing: the
+pipeline calls :func:`emit_progress`, and an installed
+:class:`ProgressSink` (in-place TTY status line, plain log lines, or the
+recording sink that feeds ``--journal-out``) renders the heartbeat.
 """
 
+from repro.obs.dash import build_dashboard, walkthrough_timelines
 from repro.obs.explain import (
     Decision,
     DecisionJournal,
@@ -53,6 +65,16 @@ from repro.obs.export import (
     write_chrome_trace,
     write_journal,
 )
+from repro.obs.ledger import (
+    DEFAULT_LEDGER,
+    RunLedger,
+    RunRecord,
+    RunRecorder,
+    active_recorder,
+    diff_run_metrics,
+    format_run_diff,
+    record_run,
+)
 from repro.obs.regress import (
     BenchHistory,
     BenchPoint,
@@ -71,14 +93,24 @@ from repro.obs.metrics import (
     observe,
 )
 from repro.obs.trace import (
+    LogProgressSink,
+    ProgressEvent,
+    ProgressSink,
+    RecordingProgressSink,
     RecordingTracer,
+    TTYProgressSink,
     TraceEvent,
     Tracer,
+    active_progress_sinks,
     active_tracers,
+    add_progress_sink,
     add_tracer,
     disable_tracing,
+    emit_progress,
     enable_tracing,
     ingest_events,
+    progress_sink_for,
+    remove_progress_sink,
     remove_tracer,
     span,
 )
@@ -87,40 +119,60 @@ __all__ = [
     "BenchHistory",
     "BenchPoint",
     "BenchRun",
+    "DEFAULT_LEDGER",
     "DETERMINISTIC_NAMESPACES",
     "Decision",
     "DecisionJournal",
+    "LogProgressSink",
     "MetricsRegistry",
+    "ProgressEvent",
+    "ProgressSink",
+    "RecordingProgressSink",
     "RecordingTracer",
+    "RunLedger",
+    "RunRecord",
+    "RunRecorder",
     "StallLink",
+    "TTYProgressSink",
     "TraceEvent",
     "Tracer",
     "active_journal",
     "active_metrics",
+    "active_progress_sinks",
+    "active_recorder",
     "active_tracers",
+    "add_progress_sink",
     "add_tracer",
+    "build_dashboard",
     "check_run",
     "chrome_trace",
     "collect_run",
     "count",
+    "diff_run_metrics",
     "diff_runs",
     "disable_journal",
     "disable_metrics",
     "disable_tracing",
+    "emit_progress",
     "enable_journal",
     "enable_metrics",
     "enable_tracing",
     "explain_op",
     "explain_pair",
     "explain_summary",
+    "format_run_diff",
     "ingest_events",
     "journal_lines",
     "journal_scope",
     "metrics_snapshot",
     "observe",
     "pair_span_bound",
+    "progress_sink_for",
+    "record_run",
+    "remove_progress_sink",
     "remove_tracer",
     "span",
+    "walkthrough_timelines",
     "write_chrome_trace",
     "write_journal",
 ]

@@ -8,9 +8,11 @@ Three output formats (see ``docs/observability.md``):
   timeline.  Spans become ``"ph": "X"`` *complete* events with
   microsecond ``ts``/``dur``; nesting is inferred from the timestamps.
 * :func:`journal_lines` / :func:`write_journal` — a JSON-lines event
-  journal: one ``{"kind": "span", ...}`` object per line, terminated by a
-  single ``{"kind": "metrics", ...}`` snapshot when metrics were
-  collected.  Grep-able, stream-able, stable key order.
+  journal: one ``{"kind": "span", ...}`` object per line, interleaved
+  with the ``{"kind": "progress", ...}`` heartbeats a
+  :class:`~repro.obs.trace.RecordingProgressSink` collected (schema v5),
+  terminated by a single ``{"kind": "metrics", ...}`` snapshot when
+  metrics were collected.  Grep-able, stream-able, stable key order.
 * :func:`metrics_snapshot` — the dict embedded in :mod:`repro.report`
   records (schema v2) and printed by ``repro metrics``.
 """
@@ -21,8 +23,8 @@ import json
 from typing import Any, Iterable, Iterator
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import TraceEvent
-from repro.schema import SCHEMA_VERSION
+from repro.obs.trace import ProgressEvent, TraceEvent
+from repro.schema import SCHEMA_VERSION, dump_line, stamped
 
 __all__ = [
     "chrome_trace",
@@ -77,29 +79,31 @@ def metrics_snapshot(registry: MetricsRegistry) -> dict[str, Any]:
 
 
 def journal_lines(
-    events: Iterable[TraceEvent], registry: MetricsRegistry | None = None
+    events: Iterable[TraceEvent],
+    registry: MetricsRegistry | None = None,
+    progress: Iterable[ProgressEvent] | None = None,
 ) -> Iterator[str]:
-    """JSON-lines journal: one span object per line, metrics last.
+    """JSON-lines journal: span lines, then progress heartbeats, then a
+    final metrics snapshot.
 
-    Every line carries ``schema_version`` (v3) so a journal can be
-    consumed without out-of-band format knowledge."""
+    Every line carries a top-level ``schema_version`` (the v3 contract;
+    ``progress`` lines are v5) so a journal can be consumed without
+    out-of-band format knowledge."""
     for event in events:
-        yield json.dumps(
-            {"schema_version": SCHEMA_VERSION, "kind": "span", **event.as_dict()},
-            sort_keys=True,
-        )
+        yield dump_line(stamped("span", event.as_dict()))
+    for heartbeat in progress or ():
+        yield dump_line(heartbeat.as_dict())
     if registry is not None and registry:
-        yield json.dumps(
-            {"kind": "metrics", **metrics_snapshot(registry)}, sort_keys=True
-        )
+        yield dump_line(stamped("metrics", metrics_snapshot(registry)))
 
 
 def write_journal(
     path: str,
     events: Iterable[TraceEvent],
     registry: MetricsRegistry | None = None,
+    progress: Iterable[ProgressEvent] | None = None,
 ) -> None:
     """Write the JSON-lines journal to ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
-        for line in journal_lines(events, registry):
+        for line in journal_lines(events, registry, progress):
             handle.write(line + "\n")

@@ -79,7 +79,12 @@ class EvalOptions:
         and histograms for the duration of the call; ``journal`` — a
         :class:`~repro.obs.explain.DecisionJournal` recording scheduler
         decision provenance and simulator stall chains for the duration
-        of the call (``repro explain`` consumes it).
+        of the call (``repro explain`` consumes it); ``ledger`` — path of
+        the append-only run ledger (``repro runs``/``repro dash`` consume
+        it; see :func:`repro.obs.ledger.record_run` — the pipeline does
+        not write it implicitly); ``progress`` — render live progress
+        heartbeats while a corpus/sweep evaluates (an in-place status
+        line on a TTY, plain log lines otherwise).
     """
 
     apply_restructuring: bool = True
@@ -94,14 +99,27 @@ class EvalOptions:
     faults: FaultPlan | None = None
     max_cycles: int | None = None
     robust: RobustPolicy | None = None
+    min_pool_work: int | None = None
     tracer: "Tracer | None" = None
     metrics: "MetricsRegistry | None" = None
     journal: "DecisionJournal | None" = None
+    ledger: str | None = None
+    progress: bool = False
 
     #: Fields that attach collectors or execution strategy rather than
     #: select results; excluded from :meth:`stable_hash` and stripped
     #: before options cross a process boundary.
-    COLLECTOR_FIELDS = ("cache", "jobs", "robust", "tracer", "metrics", "journal")
+    COLLECTOR_FIELDS = (
+        "cache",
+        "jobs",
+        "robust",
+        "min_pool_work",
+        "tracer",
+        "metrics",
+        "journal",
+        "ledger",
+        "progress",
+    )
 
     #: Result-determining fields added after the bench-history baseline
     #: format froze.  At their defaults they are dropped from the
@@ -115,6 +133,8 @@ class EvalOptions:
             raise ValueError("jobs must be >= 1")
         if self.max_cycles is not None and self.max_cycles < 1:
             raise ValueError("max_cycles must be >= 1 (or None for the default)")
+        if self.min_pool_work is not None and self.min_pool_work < 0:
+            raise ValueError("min_pool_work must be >= 0 (or None for the default)")
 
     def replace(self, **changes: Any) -> "EvalOptions":
         """A copy with ``changes`` applied (the dataclasses idiom)."""
@@ -234,4 +254,23 @@ def observation_scope(options: EvalOptions) -> Iterator[None]:
                     enable_journal(previous_journal)
 
             stack.callback(restore_journal)
+        if options.progress:
+            from repro.obs.trace import (
+                active_progress_sinks,
+                add_progress_sink,
+                progress_sink_for,
+                remove_progress_sink,
+            )
+
+            # An outer driver (e.g. the CLI's --progress flag) may have
+            # installed a sink already; re-entrancy means leaving it alone.
+            if not active_progress_sinks():
+                sink = progress_sink_for()
+                add_progress_sink(sink)
+
+                def close_sink() -> None:
+                    remove_progress_sink(sink)
+                    sink.close()
+
+                stack.callback(close_sink)
         yield

@@ -41,8 +41,10 @@ from repro.obs.metrics import disable_metrics, enable_metrics
 from repro.obs.trace import (
     RecordingTracer,
     TraceEvent,
+    active_progress_sinks,
     active_tracers,
     add_tracer,
+    emit_progress,
     ingest_events,
     remove_tracer,
 )
@@ -213,21 +215,52 @@ class ParallelEvaluator:
         self,
         max_workers: int | None = None,
         chunk_size: int | None = None,
-        min_pool_work: int = DEFAULT_MIN_POOL_WORK,
+        min_pool_work: int | None = None,
         policy: RobustPolicy | None = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
-        if min_pool_work < 0:
+        if min_pool_work is not None and min_pool_work < 0:
             raise ValueError("min_pool_work must be >= 0")
         self.max_workers = max_workers if max_workers is not None else os.cpu_count() or 1
         self.chunk_size = chunk_size
+        #: Constructor override; ``None`` defers to
+        #: ``EvalOptions.min_pool_work`` and then :data:`DEFAULT_MIN_POOL_WORK`
+        #: (see :meth:`_resolve_min_pool_work`).
         self.min_pool_work = min_pool_work
         self.policy = policy
         self.used_pool = False  # whether the last run actually fanned out
         self.fallback_reason: str | None = None  # why the last run stayed serial
+        self._progress_done = 0  # jobs finished (live progress events)
+        self._progress_total = 0
+        self._progress_retries = 0
+        self._progress_quarantined = 0
+
+    def _resolve_min_pool_work(self, options: EvalOptions) -> int:
+        """Constructor beats options beats the module default — so a test
+        that built the evaluator with ``min_pool_work=0`` keeps forcing
+        the pool, while ``repro sweep --min-pool-work`` reaches here via
+        :attr:`EvalOptions.min_pool_work`."""
+        if self.min_pool_work is not None:
+            return self.min_pool_work
+        if options.min_pool_work is not None:
+            return options.min_pool_work
+        return DEFAULT_MIN_POOL_WORK
+
+    def _note_mode(self, mode: str, min_pool_work: int) -> None:
+        """Record the chosen execution mode on the run ledger, if one is
+        recording this invocation (``--ledger``; see
+        :mod:`repro.obs.ledger`)."""
+        from repro.obs.ledger import active_recorder
+
+        recorder = active_recorder()
+        if recorder is not None:
+            detail = mode if self.fallback_reason is None else (
+                f"{mode}: {self.fallback_reason}"
+            )
+            recorder.note_mode(f"{detail} (min_pool_work={min_pool_work})")
 
     def _resolve_chunk_size(self, n_jobs: int) -> int:
         if self.chunk_size is not None:
@@ -269,7 +302,16 @@ class ParallelEvaluator:
                 while True:
                     timeout = policy.chunk_timeout if policy is not None else None
                     try:
-                        per_chunk[i] = future.result(timeout=timeout)
+                        per_chunk[i] = self._wait_result(future, timeout)
+                        self._progress_done += len(chunks[i])
+                        emit_progress(
+                            "sweep",
+                            self._progress_done,
+                            self._progress_total,
+                            message=f"chunk {i + 1}/{len(chunks)} done",
+                            retries=self._progress_retries,
+                            quarantined=self._progress_quarantined,
+                        )
                         break
                     except cf.TimeoutError:
                         # A worker is hung.  result(timeout) cannot kill it —
@@ -295,6 +337,15 @@ class ParallelEvaluator:
                             raise  # fail fast: the pre-robustness behaviour
                         if attempt < policy.max_retries:
                             metric_count("robust.parallel.retries")
+                            self._progress_retries += 1
+                            emit_progress(
+                                "sweep",
+                                self._progress_done,
+                                self._progress_total,
+                                message=f"retrying chunk {i + 1}/{len(chunks)}",
+                                retries=self._progress_retries,
+                                quarantined=self._progress_quarantined,
+                            )
                             time.sleep(policy.retry_backoff * (2**attempt))
                             attempt += 1
                             try:
@@ -309,6 +360,34 @@ class ParallelEvaluator:
             # block on the hung worker forever).
             pool.shutdown(wait=not abandoned, cancel_futures=abandoned or broken)
         return per_chunk
+
+    def _wait_result(self, future, timeout: float | None):
+        """``future.result(timeout)`` that emits heartbeat progress events
+        in 0.2 s slices while sinks are listening — a wedged pool shows up
+        live instead of silently eating the whole chunk timeout.  Total
+        timeout semantics are unchanged; with no sink installed this is
+        exactly ``future.result(timeout)``."""
+        import concurrent.futures as cf
+
+        if not active_progress_sinks():
+            return future.result(timeout=timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise cf.TimeoutError()
+            slice_s = 0.2 if remaining is None else min(0.2, remaining)
+            try:
+                return future.result(timeout=slice_s)
+            except cf.TimeoutError:
+                emit_progress(
+                    "sweep",
+                    self._progress_done,
+                    self._progress_total,
+                    message="waiting on pool",
+                    retries=self._progress_retries,
+                    quarantined=self._progress_quarantined,
+                )
 
     def _serial_chunk(
         self, worker, chunk: list, n, options, make_failed, base_index: int
@@ -327,7 +406,17 @@ class ParallelEvaluator:
                 ):
                     raise
                 metric_count("robust.quarantine.jobs")
+                self._progress_quarantined += 1
                 results.append(make_failed(job, base_index + j, err))
+            self._progress_done += 1
+            emit_progress(
+                "sweep",
+                self._progress_done,
+                self._progress_total,
+                message=f"serial re-run of job {base_index + j + 1}",
+                retries=self._progress_retries,
+                quarantined=self._progress_quarantined,
+            )
         # In-process: collectors landed on the parent directly, so there is
         # nothing to merge (same shape as a pooled chunk result).
         return (results, None, None, None)
@@ -350,29 +439,33 @@ class ParallelEvaluator:
         jobs = list(jobs)
         self.used_pool = False
         self.fallback_reason = None
+        self._progress_done = 0
+        self._progress_total = len(jobs)
+        self._progress_retries = 0
+        self._progress_quarantined = 0
+        min_pool_work = self._resolve_min_pool_work(options)
         with observation_scope(options):
             # Workers run their own collectors/caches; the options they
             # receive must be picklable and collector-free.
             options = options.replace(
-                tracer=None, metrics=None, journal=None, cache=None, jobs=1
+                tracer=None, metrics=None, journal=None, cache=None, jobs=1,
+                ledger=None, progress=False,
             )
             if self.max_workers <= 1 or len(jobs) <= 1:
                 self.fallback_reason = (
                     "max_workers=1" if self.max_workers <= 1 else "single job"
                 )
                 metric_count("perf.parallel.mode.serial")
+                self._note_mode("serial", min_pool_work)
                 # In-process: stages land on the parent collectors directly.
                 return worker(jobs, n, options)[0]
-            if (
-                work is not None
-                and self.min_pool_work > 0
-                and work < self.min_pool_work
-            ):
+            if work is not None and min_pool_work > 0 and work < min_pool_work:
                 self.fallback_reason = (
-                    f"below min-work threshold ({work} < {self.min_pool_work} "
+                    f"below min-work threshold ({work} < {min_pool_work} "
                     "loop evaluations)"
                 )
                 metric_count("perf.parallel.mode.serial")
+                self._note_mode("serial", min_pool_work)
                 return worker(jobs, n, options)[0]
             chunks = chunked(jobs, self._resolve_chunk_size(len(jobs)))
             profiler = active_profiler()
@@ -395,6 +488,7 @@ class ParallelEvaluator:
                 self.fallback_reason = f"{type(err).__name__}: {err}"
                 metric_count("parallel.pool_fallbacks")
                 metric_count("perf.parallel.mode.serial")
+                self._note_mode("serial", min_pool_work)
                 return worker(jobs, n, options)[0]
             per_chunk = self._collect_chunks(pool, futures, chunks, worker, n, options, collect)
             self.used_pool = True
@@ -414,6 +508,10 @@ class ParallelEvaluator:
             metric_count("parallel.pool_runs")
             metric_count("perf.parallel.mode.pool")
             metric_count("parallel.chunks", len(chunks))
+            self._note_mode(
+                f"pool[{self.max_workers} worker(s), {len(chunks)} chunk(s)]",
+                min_pool_work,
+            )
             results = []
             for chunk_results, worker_profiler, worker_metrics, worker_events in per_chunk:
                 results.extend(chunk_results)

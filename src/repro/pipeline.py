@@ -35,7 +35,7 @@ from repro.ir.parser import parse_loop
 from repro.obs.metrics import active_metrics
 from repro.obs.metrics import count as metric_count
 from repro.obs.metrics import observe as metric_observe
-from repro.obs.trace import span
+from repro.obs.trace import emit_progress, span
 from repro.options import EvalOptions, observation_scope as _collectors
 from repro.robust.harden import FailureRecord
 from repro.sched import (
@@ -334,7 +334,8 @@ def evaluate_corpus(
                 [(name, [loop], machine) for loop in loops],
                 n=n,
                 options=options.replace(
-                    jobs=1, tracer=None, metrics=None, journal=None, cache=None
+                    jobs=1, tracer=None, metrics=None, journal=None, cache=None,
+                    ledger=None, progress=False,
                 ),
             )
             result = CorpusEvaluation(
@@ -370,8 +371,18 @@ def evaluate_corpus(
                 result.failures.append(
                     FailureRecord.from_exception("loop", name, index, err)
                 )
+                emit_progress(
+                    "corpus", index + 1, len(loops),
+                    message=f"{name}@{machine.name}",
+                    quarantined=len(result.failures),
+                )
                 continue
             result.evaluations.append(evaluation)
+            emit_progress(
+                "corpus", index + 1, len(loops),
+                message=f"{name}@{machine.name}",
+                quarantined=len(result.failures),
+            )
         return result
 
 

@@ -82,6 +82,17 @@ class FailureRecord:
         }
 
     @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FailureRecord":
+        """Rebuild a record from its :meth:`as_dict` form (ledger replay)."""
+        return cls(
+            kind=data["kind"],
+            name=data["name"],
+            index=data["index"],
+            error_type=data["error_type"],
+            message=data["message"],
+        )
+
+    @classmethod
     def from_exception(
         cls, kind: str, name: str, index: int, error: BaseException
     ) -> "FailureRecord":

@@ -15,7 +15,13 @@
   the DFG, the machine, and the synchronization conditions.
 """
 
-from repro.sched.gantt import execution_timeline, gantt, sync_timeline, timeline_html
+from repro.sched.gantt import (
+    execution_timeline,
+    gantt,
+    sync_timeline,
+    timeline_html,
+    timeline_svg,
+)
 from repro.sched.list_scheduler import Priority, list_schedule
 from repro.sched.machine import MachineConfig, UnitSpec, figure4_machine, paper_machine
 from repro.sched.marker_scheduler import marker_schedule
@@ -58,6 +64,7 @@ __all__ = [
     "sync_schedule",
     "sync_timeline",
     "timeline_html",
+    "timeline_svg",
     "verify_schedule",
     "verify_schedule_structured",
 ]

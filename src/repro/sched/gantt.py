@@ -250,62 +250,20 @@ svg { background: #fff; border: 1px solid #ddd; margin-top: 0.5rem; }
 """.strip()
 
 
-def timeline_html(
+def timeline_svg(
     schedule: Schedule,
     n: int = 8,
     signal_latency: int = 1,
-    title: str | None = None,
 ) -> str:
-    """Both timeline views as one self-contained HTML document.
+    """The cross-iteration execution view as a bare ``<svg>`` fragment.
 
-    The per-cycle table shows every bundle with rendered instruction
-    text (synchronization operations highlighted, one span column per
-    pair); the SVG below shows ``n`` iterations executing on their own
-    processors, stall gaps in amber, and an arrow per stalled Wait from
-    the producer's Send.  No external resources — the file can be
-    attached to a bug report as-is.
+    One row per iteration on its own processor: blue execution segments,
+    amber stall gaps, red/green Wait/Send ticks, and a dashed arrow from
+    each Wait back to the producer iteration's Send.  Embeddable as-is —
+    :func:`timeline_html` wraps it with the bundle table, and
+    :mod:`repro.obs.dash` inlines it per run in the dashboard.
     """
-    from repro.codegen.isa import render_instruction
-
-    lowered = schedule.lowered
-    pairs = lowered.synced.pairs
-    name = title or f"{schedule.scheduler_name} on {schedule.machine.name}"
-    esc = _html.escape
-
-    # -- bundle table
-    head = "<tr><th>cycle</th><th>bundle</th>"
-    for pair in pairs:
-        head += f"<th>P{pair.pair_id} (d={pair.distance})</th>"
-    head += "</tr>"
-    rows = [head]
-    for cycle, bundle in enumerate(schedule.bundles(), start=1):
-        texts = []
-        for iid in bundle:
-            instr = lowered.instruction(iid)
-            cls = "sync" if instr.sync is not None else ""
-            texts.append(
-                f'<span class="{cls}">{iid}: {esc(render_instruction(instr))}</span>'
-            )
-        cells = f"<tr><td>c{cycle}</td><td>{'<br>'.join(texts) or '&mdash;'}</td>"
-        for pair in pairs:
-            wait = schedule.wait_cycle(pair.pair_id)
-            send = schedule.send_cycle(pair.pair_id)
-            if cycle == wait:
-                cells += '<td class="wait">W</td>'
-            elif cycle == send:
-                cells += '<td class="send">S</td>'
-            elif wait < cycle < send:
-                cells += '<td class="span">&#9474;</td>'
-            else:
-                cells += '<td class="idle">&middot;</td>'
-        rows.append(cells + "</tr>")
-    spans = "; ".join(
-        f"P{p.pair_id}: span {schedule.span(p.pair_id)}"
-        + (" (run-time LFD)" if schedule.span(p.pair_id) <= 0 else "")
-        for p in pairs
-    )
-
-    # -- execution SVG
+    pairs = schedule.lowered.synced.pairs
     walk = _iteration_walk(schedule, n, signal_latency)
     length = schedule.length
     total = max((finish for *_, finish in walk), default=1)
@@ -379,6 +337,64 @@ def timeline_html(
                     f'stroke="#888" stroke-dasharray="3,2"/>'
                 )
     parts.append("</svg>")
+    return "".join(parts)
+
+
+def timeline_html(
+    schedule: Schedule,
+    n: int = 8,
+    signal_latency: int = 1,
+    title: str | None = None,
+) -> str:
+    """Both timeline views as one self-contained HTML document.
+
+    The per-cycle table shows every bundle with rendered instruction
+    text (synchronization operations highlighted, one span column per
+    pair); the SVG below (:func:`timeline_svg`) shows ``n`` iterations
+    executing on their own processors, stall gaps in amber, and an arrow
+    per stalled Wait from the producer's Send.  No external resources —
+    the file can be attached to a bug report as-is.
+    """
+    from repro.codegen.isa import render_instruction
+
+    lowered = schedule.lowered
+    pairs = lowered.synced.pairs
+    length = schedule.length
+    name = title or f"{schedule.scheduler_name} on {schedule.machine.name}"
+    esc = _html.escape
+
+    # -- bundle table
+    head = "<tr><th>cycle</th><th>bundle</th>"
+    for pair in pairs:
+        head += f"<th>P{pair.pair_id} (d={pair.distance})</th>"
+    head += "</tr>"
+    rows = [head]
+    for cycle, bundle in enumerate(schedule.bundles(), start=1):
+        texts = []
+        for iid in bundle:
+            instr = lowered.instruction(iid)
+            cls = "sync" if instr.sync is not None else ""
+            texts.append(
+                f'<span class="{cls}">{iid}: {esc(render_instruction(instr))}</span>'
+            )
+        cells = f"<tr><td>c{cycle}</td><td>{'<br>'.join(texts) or '&mdash;'}</td>"
+        for pair in pairs:
+            wait = schedule.wait_cycle(pair.pair_id)
+            send = schedule.send_cycle(pair.pair_id)
+            if cycle == wait:
+                cells += '<td class="wait">W</td>'
+            elif cycle == send:
+                cells += '<td class="send">S</td>'
+            elif wait < cycle < send:
+                cells += '<td class="span">&#9474;</td>'
+            else:
+                cells += '<td class="idle">&middot;</td>'
+        rows.append(cells + "</tr>")
+    spans = "; ".join(
+        f"P{p.pair_id}: span {schedule.span(p.pair_id)}"
+        + (" (run-time LFD)" if schedule.span(p.pair_id) <= 0 else "")
+        for p in pairs
+    )
 
     return f"""<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">
@@ -393,7 +409,7 @@ def timeline_html(
 &#9474; = wait&rarr;send span (per-hop LBD penalty = span + signal latency
 &minus; 1 per crossing).</p>
 <h2>Cross-iteration execution (n = {n}, one processor per iteration)</h2>
-{''.join(parts)}
+{timeline_svg(schedule, n, signal_latency)}
 <p class="legend">blue = executing, amber = stalled at a Wait, red tick = Wait
 issue, green tick = Send issue; dashed lines connect each Wait to the
 producer iteration's Send that releases it.</p>

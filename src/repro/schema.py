@@ -1,9 +1,10 @@
 """The record-format version shared by every machine-readable emitter.
 
 Lives in its own dependency-free module so that :mod:`repro.report`,
-:mod:`repro.obs.export` and :mod:`repro.obs.regress` can all stamp their
-documents without import cycles (``repro.obs`` must not import
-``repro.report``, which pulls in the whole pipeline).
+:mod:`repro.obs.export`, :mod:`repro.obs.regress` and
+:mod:`repro.obs.ledger` can all stamp their documents without import
+cycles (``repro.obs`` must not import ``repro.report``, which pulls in
+the whole pipeline).
 
 Version history — the documented contract lives in ``docs/api.md``:
 
@@ -26,11 +27,84 @@ Version history — the documented contract lives in ``docs/api.md``:
   a clean run).  The on-disk :class:`~repro.perf.cache.CompileCache`
   format is also stamped with this version and refuses to load any
   other.  Again additive: v3 consumers keep working.
+* **v5** — the run ledger and live progress (see
+  ``docs/observability.md``, "Run ledger & dashboard"): the ``run``
+  record kind of :mod:`repro.obs.ledger` (one JSONL line per
+  ``compile``/``simulate``/``sweep``/``fuzz``/``bench`` invocation:
+  options hash, git SHA, machine fingerprint, wall time, outcome,
+  quarantined failures, final metrics snapshot, emitted artifacts) and
+  the ``progress`` event lines emitted through the
+  :class:`~repro.obs.trace.ProgressSink` seam and journaled by
+  ``repro --journal-out``.  Additive: v4 consumers keep working.
 """
 
 from __future__ import annotations
 
-#: Record format version; bump when any record's shape changes (docs/api.md).
-SCHEMA_VERSION = 4
+import json
+from typing import Any
 
-__all__ = ["SCHEMA_VERSION"]
+#: Record format version; bump when any record's shape changes (docs/api.md).
+SCHEMA_VERSION = 5
+
+#: Every ``kind`` that may appear as a top-level JSONL line.  Nested
+#: records (``schedule``/``evaluation``/``corpus`` report blocks) are
+#: stamped with ``schema_version`` but carry no ``kind`` — they are
+#: documents, not stream lines.
+JSONL_KINDS = ("span", "metrics", "progress", "bench_run", "run")
+
+__all__ = [
+    "JSONL_KINDS",
+    "SCHEMA_VERSION",
+    "dump_line",
+    "parse_line",
+    "stamped",
+]
+
+
+def stamped(kind: str | None, record: dict[str, Any]) -> dict[str, Any]:
+    """``record`` with ``schema_version`` (and ``kind``) stamped first.
+
+    The stamp wins over any stale version already present, so re-emitting
+    a loaded record always carries the current version.
+    """
+    head: dict[str, Any] = {"schema_version": SCHEMA_VERSION}
+    if kind is not None:
+        head["kind"] = kind
+    return {**head, **{k: v for k, v in record.items() if k not in head}}
+
+
+def dump_line(record: dict[str, Any]) -> str:
+    """Serialize one JSONL record (stable key order, no trailing newline).
+
+    Refuses records without a top-level ``schema_version`` — every line
+    this repository emits must be self-describing (the v3 contract).
+    """
+    if "schema_version" not in record:
+        raise ValueError(
+            "record is missing a top-level schema_version; "
+            "build it with schema.stamped(kind, record)"
+        )
+    return json.dumps(record, sort_keys=True)
+
+
+def parse_line(line: str) -> dict[str, Any]:
+    """Parse one JSONL record and check its version envelope.
+
+    Raises ``ValueError`` for non-object lines, missing/non-integer
+    ``schema_version``, or a version newer than this code understands
+    (older versions load fine — the schema only ever adds keys).
+    """
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        raise ValueError(f"JSONL line is not an object: {line[:80]!r}")
+    version = record.get("schema_version")
+    if not isinstance(version, int):
+        raise ValueError(
+            f"record has no integer schema_version: {sorted(record)[:8]}"
+        )
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"record schema_version {version} is newer than this code "
+            f"understands (v{SCHEMA_VERSION}); upgrade to read it"
+        )
+    return record

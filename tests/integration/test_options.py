@@ -63,9 +63,12 @@ class TestStableHash:
             "cache",
             "jobs",
             "robust",
+            "min_pool_work",
             "tracer",
             "metrics",
             "journal",
+            "ledger",
+            "progress",
         )
         field_names = {f.name for f in dataclasses.fields(EvalOptions)}
         assert set(EvalOptions.COLLECTOR_FIELDS) <= field_names

@@ -1,0 +1,126 @@
+"""The self-contained dashboard: one HTML file, no external fetches."""
+
+import re
+
+import pytest
+
+from repro.obs.dash import build_dashboard, walkthrough_timelines
+from repro.obs.ledger import RunRecord
+from repro.obs.regress import collect_run
+from repro.schema import SCHEMA_VERSION
+
+
+def _run(run_id: str, **overrides) -> RunRecord:
+    base = dict(
+        run_id=run_id,
+        timestamp=1700000000.0,
+        command="sweep",
+        argv=("sweep", "--n", "100"),
+        options_hash="feedfacecafe",
+        git_sha="deadbeef" * 5,
+        machine={"platform": "test"},
+        wall_s=0.5,
+        outcome="ok",
+        metrics={
+            "schema_version": SCHEMA_VERSION,
+            "deterministic": {"counters": {"sim.stalls": 4}, "histograms": {}},
+            "all": {"counters": {"sim.stalls": 4}, "histograms": {}},
+        },
+        timelines={"sync": "W | S\n. W S"},
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+@pytest.fixture(scope="module")
+def bench_runs():
+    return [collect_run("fig", n=20), collect_run("fig", n=20)]
+
+
+@pytest.fixture(scope="module")
+def html(bench_runs):
+    runs = [
+        _run("a" * 12),
+        _run(
+            "b" * 12,
+            command="simulate",
+            outcome="deadlock",
+            error="DeadlockError: 8 processor(s) blocked",
+        ),
+    ]
+    return build_dashboard(
+        runs, bench_runs, walkthrough=walkthrough_timelines(n=4)
+    )
+
+
+class TestSelfContained:
+    def test_single_complete_document(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+
+    def test_no_external_fetches(self, html):
+        # Inline CSS/SVG/JS only: the file must render from a mail
+        # attachment or a CI artifact with the network unplugged.
+        assert not re.search(r'\bsrc\s*=\s*["\']https?://', html)
+        assert not re.search(r'\bhref\s*=\s*["\']https?://', html)
+        assert "<script src" not in html and "<link " not in html
+        assert "@import" not in html
+
+    def test_dark_mode_via_media_query(self, html):
+        assert "prefers-color-scheme: dark" in html
+
+
+class TestRunTable:
+    def test_renders_both_runs(self, html):
+        assert html.count('data-run="1"') == 2
+        assert "a" * 12 in html and "b" * 12 in html
+
+    def test_filter_controls_present(self, html):
+        for control in ("f-command", "f-outcome", "f-text"):
+            assert f'id="{control}"' in html
+        assert 'data-command="simulate"' in html
+        assert 'data-outcome="deadlock"' in html
+
+    def test_run_details_embed_timeline_and_error(self, html):
+        assert "W | S" in html
+        assert "DeadlockError: 8 processor(s) blocked" in html
+
+
+class TestBenchTrends:
+    def test_trend_chart_is_inline_svg(self, html):
+        assert "<svg" in html
+        # the two series wear the fixed palette (t_list blue, t_new orange)
+        assert "#2a78d6" in html and "#eb6834" in html
+
+    def test_regression_banner_present(self, html):
+        assert "Regression gate" in html
+
+    def test_legend_names_both_series(self, html):
+        assert "list scheduler" in html and "sync-aware scheduler" in html
+
+
+class TestWalkthrough:
+    def test_sync_timeline_embedded(self, html):
+        assert "sync (sync-aware scheduler)" in html
+        assert "sync (list scheduler)" in html
+
+    def test_walkthrough_timelines_keys(self):
+        timelines = walkthrough_timelines(n=4)
+        assert set(timelines) == {
+            "sync (list scheduler)",
+            "sync (sync-aware scheduler)",
+            "execution",
+            "execution_svg",
+        }
+        assert timelines["execution_svg"].lstrip().startswith("<svg")
+
+    def test_walkthrough_optional(self, bench_runs):
+        html = build_dashboard([_run("a" * 12)], bench_runs, walkthrough=None)
+        assert "Fig. 4 walkthrough" not in html
+
+
+class TestEmptyInputs:
+    def test_empty_ledger_still_renders(self):
+        html = build_dashboard([], [])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "no runs recorded" in html

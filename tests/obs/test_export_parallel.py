@@ -1,0 +1,120 @@
+"""S3: exporters under a real process-pool fan-out (``--jobs > 1``).
+
+Worker-collected spans must merge into one well-formed Chrome trace with
+distinct pid rows, and the exporter-layer metrics snapshot must agree on
+the deterministic namespaces however the sweep was partitioned.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import chrome_trace, journal_lines, metrics_snapshot
+from repro.obs.metrics import disable_metrics, enable_metrics
+from repro.obs.trace import disable_tracing, enable_tracing
+from repro.perf import ParallelEvaluator
+from repro.sched import paper_machine
+from repro.workloads import perfect_suite
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    disable_tracing()
+    disable_metrics()
+    yield
+    disable_tracing()
+    disable_metrics()
+
+
+def _jobs():
+    suite = perfect_suite()
+    return [
+        (name, suite[name], paper_machine(width, units))
+        for name in ("FLQ52", "QCD")
+        for width, units in ((2, 1), (4, 2))
+    ]
+
+
+def _pooled_trace():
+    """Run a forced-pool sweep with tracing on; returns (evaluator, events)."""
+    tracer = enable_tracing()
+    try:
+        evaluator = ParallelEvaluator(
+            max_workers=2, chunk_size=1, min_pool_work=0
+        )
+        evaluator.evaluate_corpora(_jobs(), n=30)
+    finally:
+        disable_tracing()
+    return evaluator, tracer.events
+
+
+class TestChromeTraceAcrossWorkers:
+    def test_distinct_pid_rows_and_wellformed_file(self, tmp_path):
+        evaluator, events = _pooled_trace()
+        if not evaluator.used_pool:
+            pytest.skip(f"no process pool here: {evaluator.fallback_reason}")
+        trace = chrome_trace(events)
+        for entry in trace["traceEvents"]:
+            assert entry["ph"] == "X"
+            assert entry["dur"] >= 0
+            assert {"name", "cat", "ts", "pid", "tid"} <= set(entry)
+        # all pipeline spans come from the workers (the parent only fans
+        # out), and each worker keeps its own pid row
+        pids = {entry["pid"] for entry in trace["traceEvents"]}
+        assert len(pids) >= 2, "worker spans must keep their own pid rows"
+        assert os.getpid() not in pids
+        # and the whole thing serializes as one JSON document
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace))
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_worker_spans_cover_the_pipeline(self):
+        evaluator, events = _pooled_trace()
+        if not evaluator.used_pool:
+            pytest.skip(f"no process pool here: {evaluator.fallback_reason}")
+        worker_names = {
+            e.name for e in events if e.pid != os.getpid()
+        }
+        # "compile" may be absent when forked workers inherit a warm
+        # in-process cache; the evaluation spans always fire.
+        assert {"evaluate_corpus", "evaluate_loop", "simulate"} <= worker_names
+
+
+class TestExporterLayerDeterminism:
+    """jobs=1 and jobs=4 agree on the deterministic namespaces *after*
+    export — the byte-comparable layer ``repro runs diff`` consumes."""
+
+    def _snapshot(self, workers: int):
+        registry = enable_metrics()
+        try:
+            evaluator = ParallelEvaluator(max_workers=workers, min_pool_work=0)
+            evaluator.evaluate_corpora(_jobs(), n=30)
+        finally:
+            disable_metrics()
+        return metrics_snapshot(registry)
+
+    def test_deterministic_block_identical(self):
+        serial = self._snapshot(workers=1)
+        parallel = self._snapshot(workers=4)
+        assert json.dumps(serial["deterministic"], sort_keys=True) == json.dumps(
+            parallel["deterministic"], sort_keys=True
+        )
+        assert any(
+            name.startswith("sim.")
+            for name in serial["deterministic"]["counters"]
+        )
+
+    def test_journal_metrics_line_identical_too(self):
+        registry_a = enable_metrics()
+        ParallelEvaluator(max_workers=1).evaluate_corpora(_jobs(), n=30)
+        disable_metrics()
+        registry_b = enable_metrics()
+        ParallelEvaluator(max_workers=4, min_pool_work=0).evaluate_corpora(
+            _jobs(), n=30
+        )
+        disable_metrics()
+        line_a = json.loads(list(journal_lines([], registry_a))[-1])
+        line_b = json.loads(list(journal_lines([], registry_b))[-1])
+        assert line_a["kind"] == line_b["kind"] == "metrics"
+        assert line_a["deterministic"] == line_b["deterministic"]

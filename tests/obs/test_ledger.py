@@ -1,0 +1,390 @@
+"""Run ledger: records, store, recorder lifecycle, zero overhead, diffs."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    RunLedger,
+    RunRecord,
+    RunRecorder,
+    active_recorder,
+    diff_run_metrics,
+    format_run_diff,
+    record_run,
+)
+from repro.obs.metrics import active_metrics, disable_metrics
+from repro.options import EvalOptions
+from repro.robust.harden import FailureRecord
+from repro.schema import SCHEMA_VERSION
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    # RunRecorder installs its own registry when none is active; make
+    # sure no test leaks one in either direction.
+    disable_metrics()
+    yield
+    disable_metrics()
+
+
+def _record(**overrides) -> RunRecord:
+    base = dict(
+        run_id="abc123def456",
+        timestamp=1700000000.0,
+        command="sweep",
+        argv=("sweep", "--n", "100", "FLQ52"),
+        options_hash="feedfacecafe",
+        git_sha="deadbeef" * 5,
+        machine={"platform": "test", "python": "3.12"},
+        wall_s=1.25,
+        outcome="ok",
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+def _metrics(counters, histograms=None, deterministic=None):
+    """A metrics snapshot in the shape metrics_snapshot() produces."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "deterministic": {
+            "counters": deterministic if deterministic is not None else counters,
+            "histograms": histograms or {},
+        },
+        "all": {"counters": counters, "histograms": histograms or {}},
+    }
+
+
+class TestRunRecord:
+    def test_as_dict_is_a_stamped_run_line(self):
+        data = _record().as_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["kind"] == "run"
+        json.dumps(data)  # JSONL-able as-is
+
+    def test_round_trip(self):
+        record = _record(
+            failures=(
+                FailureRecord("loop", "QCD", 3, "ValueError", "boom").as_dict(),
+            ),
+            metrics=_metrics({"sim.stalls": 4}),
+            artifacts=("trace.json",),
+            timelines={"sync": "W | S"},
+        )
+        assert RunRecord.from_dict(record.as_dict()) == record
+
+    def test_from_dict_tolerates_missing_optionals(self):
+        minimal = {"run_id": "aa", "timestamp": 0.0, "command": "compile"}
+        record = RunRecord.from_dict(minimal)
+        assert record.outcome == "ok" and record.failures == ()
+
+    def test_summary_one_line(self):
+        summary = _record().summary()
+        assert "\n" not in summary
+        assert "abc123def456" in summary and "sweep" in summary and "ok" in summary
+
+    def test_describe_lists_enrichments(self):
+        record = _record(
+            mode="pool[4 worker(s), 5 chunk(s)] (min_pool_work=512)",
+            failures=(
+                FailureRecord("loop", "QCD", 3, "ValueError", "boom").as_dict(),
+            ),
+            metrics=_metrics({"sim.stalls": 4}),
+            artifacts=("trace.json",),
+            timelines={"sync": "W | S"},
+        )
+        text = record.describe()
+        assert "argv: sweep --n 100 FLQ52" in text
+        assert "mode: pool[4 worker(s)" in text
+        assert "quarantined: loop 'QCD'[3] ValueError: boom" in text
+        assert "artifact: trace.json" in text
+        assert "sim.stalls" in text
+        assert "timeline [sync]:" in text and "W | S" in text
+
+
+class TestRunLedger:
+    def test_append_load_round_trip(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+        ledger.append(_record(run_id="a" * 12))
+        ledger.append(_record(run_id="b" * 12, command="simulate"))
+        loaded = ledger.load()
+        assert [r.run_id for r in loaded] == ["a" * 12, "b" * 12]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert RunLedger(str(tmp_path / "absent.jsonl")).load() == []
+
+    def test_creates_parent_directory(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "nested" / "dir" / "ledger.jsonl"))
+        ledger.append(_record())
+        assert len(ledger.load()) == 1
+
+    def test_torn_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.append(_record(run_id="a" * 12))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"truncated": tru\n')  # torn mid-write
+        ledger.append(_record(run_id="b" * 12))
+        assert [r.run_id for r in ledger.load()] == ["a" * 12, "b" * 12]
+
+    def test_foreign_kinds_are_ignored(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"schema_version": SCHEMA_VERSION, "kind": "bench_run"})
+                + "\n"
+            )
+        assert RunLedger(str(path)).load() == []
+
+    def test_get_by_prefix(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+        ledger.append(_record(run_id="aabbcc112233"))
+        assert ledger.get("aabb").run_id == "aabbcc112233"
+
+    def test_get_unknown_raises(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+        with pytest.raises(KeyError, match="no run"):
+            ledger.get("zz")
+
+    def test_get_ambiguous_prefix_raises(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+        ledger.append(_record(run_id="aa1111111111"))
+        ledger.append(_record(run_id="aa2222222222"))
+        with pytest.raises(KeyError, match="ambiguous"):
+            ledger.get("aa")
+
+    def test_latest_filters_by_command(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+        ledger.append(_record(run_id="a" * 12, command="sweep"))
+        ledger.append(_record(run_id="b" * 12, command="simulate"))
+        assert ledger.latest().run_id == "b" * 12
+        assert ledger.latest("sweep").run_id == "a" * 12
+        assert ledger.latest("fuzz") is None
+
+
+class TestRunRecorder:
+    def test_finish_appends_one_record(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        recorder = RunRecorder("sweep", path, argv=("sweep", "FLQ52"))
+        recorder.note_options(EvalOptions())
+        record = recorder.finish()
+        assert record.outcome == "ok"
+        assert record.options_hash == EvalOptions().stable_hash()
+        assert [r.run_id for r in RunLedger(path).load()] == [record.run_id]
+
+    def test_finish_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        recorder = RunRecorder("sweep", path)
+        first = recorder.finish()
+        assert recorder.finish("error", "late") is first
+        assert len(RunLedger(path).load()) == 1
+
+    def test_failures_flip_outcome_to_quarantined(self, tmp_path):
+        recorder = RunRecorder("sweep", str(tmp_path / "ledger.jsonl"))
+        recorder.note_failures(
+            [FailureRecord("loop", "QCD", 0, "ValueError", "boom")]
+        )
+        record = recorder.finish()
+        assert record.outcome == "quarantined"
+        assert record.failures[0]["error_type"] == "ValueError"
+
+    def test_note_error_pins_the_outcome(self, tmp_path):
+        recorder = RunRecorder("simulate", str(tmp_path / "ledger.jsonl"))
+        recorder.note_error("deadlock", "DeadlockError: 8 processors blocked")
+        record = recorder.finish("ok")  # the CLI's normal path still runs
+        assert record.outcome == "deadlock"
+        assert "DeadlockError" in record.error
+
+    def test_explicit_non_ok_outcome_wins_over_failures(self, tmp_path):
+        recorder = RunRecorder("sweep", str(tmp_path / "ledger.jsonl"))
+        recorder.note_failures(
+            [FailureRecord("loop", "QCD", 0, "ValueError", "boom")]
+        )
+        assert recorder.finish("exit 2").outcome == "exit 2"
+
+    def test_installs_and_removes_its_own_registry(self, tmp_path):
+        assert active_metrics() is None
+        recorder = RunRecorder("sweep", str(tmp_path / "ledger.jsonl"))
+        assert active_metrics() is not None
+        record = recorder.finish()
+        assert active_metrics() is None
+        # even an empty registry snapshots, so runs are always comparable
+        assert record.metrics is not None
+        assert record.metrics["deterministic"]["counters"] == {}
+
+    def test_observes_an_already_active_registry(self, tmp_path):
+        from repro.obs.metrics import enable_metrics
+
+        registry = enable_metrics()
+        registry.count("sim.stalls", 7)
+        recorder = RunRecorder("sweep", str(tmp_path / "ledger.jsonl"))
+        assert active_metrics() is registry  # observed, not replaced
+        record = recorder.finish()
+        assert active_metrics() is registry  # and not uninstalled
+        assert record.metrics["deterministic"]["counters"]["sim.stalls"] == 7
+
+    def test_mode_and_artifacts_recorded(self, tmp_path):
+        recorder = RunRecorder("sweep", str(tmp_path / "ledger.jsonl"))
+        recorder.note_mode("serial: below min-work threshold (min_pool_work=512)")
+        recorder.add_artifact("trace.json")
+        recorder.add_timeline("sync", "W | S")
+        record = recorder.finish()
+        assert "min_pool_work=512" in record.mode
+        assert record.artifacts == ("trace.json",)
+        assert record.timelines == {"sync": "W | S"}
+
+
+class TestRecordRunScope:
+    def test_no_ledger_means_no_op(self, tmp_path):
+        with record_run("sweep", options=EvalOptions()) as run:
+            assert run is None
+            assert active_recorder() is None
+
+    def test_options_ledger_arms_the_scope(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with record_run("sweep", options=EvalOptions(ledger=path)) as run:
+            assert run is not None
+            assert active_recorder() is run
+        assert active_recorder() is None
+        assert RunLedger(path).load()[0].command == "sweep"
+
+    def test_exception_recorded_and_reraised(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        with pytest.raises(ValueError, match="boom"):
+            with record_run("sweep", path=path):
+                raise ValueError("boom")
+        record = RunLedger(path).load()[0]
+        assert record.outcome == "error"
+        assert record.error == "ValueError: boom"
+        assert active_recorder() is None
+
+
+class TestZeroOverhead:
+    """The acceptance bar: a configured ledger must never perturb results."""
+
+    def test_report_output_byte_identical_with_and_without_ledger(self, tmp_path):
+        from repro.pipeline import evaluate_corpus
+        from repro.report import corpus_record, to_json
+        from repro.sched import paper_machine
+
+        machine = paper_machine(4, 1)
+        plain = evaluate_corpus("demo", [FIG1], machine, n=50, options=EvalOptions())
+        path = str(tmp_path / "ledger.jsonl")
+        with record_run(
+            "sweep", options=EvalOptions(ledger=path), argv=("sweep",)
+        ):
+            recorded = evaluate_corpus(
+                "demo", [FIG1], machine, n=50, options=EvalOptions(ledger=path)
+            )
+        assert to_json(corpus_record(plain)) == to_json(corpus_record(recorded))
+
+    def test_ledger_is_a_collector_field(self):
+        # ledger/progress must never change stable_hash(): the committed
+        # bench baselines are keyed on it.
+        assert "ledger" in EvalOptions.COLLECTOR_FIELDS
+        assert "progress" in EvalOptions.COLLECTOR_FIELDS
+        assert (
+            EvalOptions(ledger="x.jsonl", progress=True).stable_hash()
+            == EvalOptions().stable_hash()
+        )
+
+    def test_pipeline_never_writes_the_ledger_implicitly(self, tmp_path):
+        from repro.pipeline import evaluate_corpus
+        from repro.sched import paper_machine
+
+        path = tmp_path / "ledger.jsonl"
+        evaluate_corpus(
+            "demo",
+            [FIG1],
+            paper_machine(4, 1),
+            n=50,
+            options=EvalOptions(ledger=str(path)),
+        )
+        assert not path.exists()  # recording is driver-level only
+
+
+class TestDiffRunMetrics:
+    def test_identical_deterministic_metrics(self):
+        metrics = _metrics({"sim.stalls": 4, "sched.pairs": 2})
+        old = _record(run_id="a" * 12, metrics=metrics)
+        new = _record(run_id="b" * 12, metrics=metrics)
+        diff = diff_run_metrics(old, new)
+        assert diff.identical and diff.comparable
+        assert diff.compared == 2
+        text = format_run_diff(diff)
+        assert "identical across 2 name(s)" in text
+        assert "(same options hash, as required)" in text
+
+    def test_drift_despite_identical_options_hash(self):
+        old = _record(run_id="a" * 12, metrics=_metrics({"sim.stalls": 4}))
+        new = _record(run_id="b" * 12, metrics=_metrics({"sim.stalls": 9}))
+        diff = diff_run_metrics(old, new)
+        assert not diff.identical
+        assert diff.counter_deltas == {"sim.stalls": (4, 9)}
+        assert "DRIFT despite identical options hash" in format_run_diff(diff)
+
+    def test_nondeterministic_namespaces_excluded_by_default(self):
+        old = _record(
+            run_id="a" * 12,
+            metrics=_metrics(
+                {"sim.stalls": 4, "cache.compile.hit": 1},
+                deterministic={"sim.stalls": 4},
+            ),
+        )
+        new = _record(
+            run_id="b" * 12,
+            metrics=_metrics(
+                {"sim.stalls": 4, "cache.compile.hit": 99},
+                deterministic={"sim.stalls": 4},
+            ),
+        )
+        assert diff_run_metrics(old, new).identical
+        widened = diff_run_metrics(old, new, deterministic_only=False)
+        assert widened.counter_deltas == {"cache.compile.hit": (1, 99)}
+
+    def test_histogram_drift_detected(self):
+        hist_a = {"sim.span": {"count": 2, "sum": 14}}
+        hist_b = {"sim.span": {"count": 2, "sum": 15}}
+        old = _record(run_id="a" * 12, metrics=_metrics({}, histograms=hist_a))
+        new = _record(run_id="b" * 12, metrics=_metrics({}, histograms=hist_b))
+        diff = diff_run_metrics(old, new)
+        assert not diff.identical
+        assert "sim.span" in diff.histogram_deltas
+        assert "sum 14 -> 15" in format_run_diff(diff)
+
+    def test_missing_metrics_not_comparable(self):
+        old = _record(run_id="a" * 12, metrics=None)
+        new = _record(run_id="b" * 12, metrics=_metrics({"sim.stalls": 1}))
+        diff = diff_run_metrics(old, new)
+        assert not diff.comparable
+        assert "not recorded" in format_run_diff(diff)
+
+    def test_two_real_recorder_runs_agree_byte_for_byte(self, tmp_path):
+        """The ISSUE acceptance flow at the library layer: two identical
+        invocations must report byte-identical deterministic metrics."""
+        from repro.pipeline import evaluate_corpus
+        from repro.sched import paper_machine
+
+        path = str(tmp_path / "ledger.jsonl")
+        for _ in range(2):
+            with record_run(
+                "sweep", path=path, options=EvalOptions()
+            ):
+                evaluate_corpus(
+                    "demo", [FIG1], paper_machine(4, 1), n=50, options=EvalOptions()
+                )
+        old, new = RunLedger(path).load()
+        assert old.options_hash == new.options_hash
+        assert json.dumps(old.metrics["deterministic"], sort_keys=True) == json.dumps(
+            new.metrics["deterministic"], sort_keys=True
+        )
+        assert diff_run_metrics(old, new).identical

@@ -1,0 +1,226 @@
+"""Live progress: the ProgressSink seam, TTY/no-TTY rendering, throttling.
+
+The S6 bar: with no TTY the progress renderer degrades to plain
+``\\n``-terminated log lines — captured output (CI, pytest, a pipe) must
+never contain a carriage return.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    LogProgressSink,
+    ProgressEvent,
+    RecordingProgressSink,
+    TTYProgressSink,
+    active_progress_sinks,
+    add_progress_sink,
+    emit_progress,
+    progress_sink_for,
+    remove_progress_sink,
+)
+from repro.options import EvalOptions, observation_scope
+from repro.schema import SCHEMA_VERSION
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_sinks():
+    for sink in active_progress_sinks():
+        remove_progress_sink(sink)
+    yield
+    for sink in active_progress_sinks():
+        remove_progress_sink(sink)
+
+
+class _FakeTTY(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestProgressEvent:
+    def test_as_dict_is_a_stamped_progress_line(self):
+        event = ProgressEvent("corpus", 3, 10, message="QCD@paper-4issue")
+        data = event.as_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["kind"] == "progress"
+        assert (data["phase"], data["done"], data["total"]) == ("corpus", 3, 10)
+        json.dumps(data)
+
+    def test_render_plain_text(self):
+        event = ProgressEvent("sweep", 2, 8, message="chunk 1/4 done")
+        text = event.render()
+        assert text == "[sweep] 2/8 chunk 1/4 done"
+        assert "\r" not in text and "\x1b" not in text
+
+    def test_render_shows_degradation_counters_only_when_nonzero(self):
+        quiet = ProgressEvent("sweep", 1, 4).render()
+        assert "retries" not in quiet and "quarantined" not in quiet
+        noisy = ProgressEvent("sweep", 1, 4, retries=2, quarantined=1).render()
+        assert "retries=2" in noisy and "quarantined=1" in noisy
+
+
+class TestSinkSelection:
+    def test_tty_stream_gets_inplace_sink(self):
+        assert isinstance(progress_sink_for(_FakeTTY()), TTYProgressSink)
+
+    def test_captured_stream_degrades_to_log_sink(self):
+        assert isinstance(progress_sink_for(io.StringIO()), LogProgressSink)
+
+    def test_stream_without_isatty_degrades_to_log_sink(self):
+        class Bare:
+            pass
+
+        assert isinstance(progress_sink_for(Bare()), LogProgressSink)
+
+
+class TestTTYSink:
+    def test_redraws_in_place(self):
+        stream = _FakeTTY()
+        sink = TTYProgressSink(stream, min_interval=0.0)
+        sink.emit(ProgressEvent("corpus", 1, 2))
+        sink.emit(ProgressEvent("corpus", 2, 2))
+        assert stream.getvalue().count("\r") == 2
+        assert "\n" not in stream.getvalue()
+
+    def test_pads_over_a_longer_previous_line(self):
+        stream = _FakeTTY()
+        sink = TTYProgressSink(stream, min_interval=0.0)
+        sink.emit(ProgressEvent("corpus", 1, 2, message="a long message"))
+        sink.emit(ProgressEvent("corpus", 2, 2))
+        last = stream.getvalue().rsplit("\r", 1)[1]
+        assert len(last) >= len("[corpus] 1/2 a long message")
+
+    def test_throttles_non_terminal_events(self):
+        stream = _FakeTTY()
+        sink = TTYProgressSink(stream, min_interval=3600.0)
+        sink.emit(ProgressEvent("corpus", 1, 3))
+        sink.emit(ProgressEvent("corpus", 2, 3))  # inside the interval: dropped
+        assert stream.getvalue().count("\r") == 1
+
+    def test_terminal_event_always_renders(self):
+        stream = _FakeTTY()
+        sink = TTYProgressSink(stream, min_interval=3600.0)
+        sink.emit(ProgressEvent("corpus", 1, 3))
+        sink.emit(ProgressEvent("corpus", 3, 3))  # done == total
+        assert stream.getvalue().count("\r") == 2
+
+    def test_close_terminates_the_line(self):
+        stream = _FakeTTY()
+        sink = TTYProgressSink(stream, min_interval=0.0)
+        sink.emit(ProgressEvent("corpus", 1, 1))
+        sink.close()
+        assert stream.getvalue().endswith("\n")
+        sink.close()  # idempotent
+        assert stream.getvalue().count("\n") == 1
+
+
+class TestLogSink:
+    def test_plain_newline_lines_no_carriage_returns(self):
+        stream = io.StringIO()
+        sink = LogProgressSink(stream, min_interval=0.0)
+        sink.emit(ProgressEvent("corpus", 1, 2))
+        sink.emit(ProgressEvent("corpus", 2, 2))
+        output = stream.getvalue()
+        assert "\r" not in output
+        assert output.count("\n") == 2
+        assert output.splitlines() == ["[corpus] 1/2", "[corpus] 2/2"]
+
+    def test_throttles_but_always_prints_terminal_event(self):
+        stream = io.StringIO()
+        sink = LogProgressSink(stream, min_interval=3600.0)
+        sink.emit(ProgressEvent("corpus", 1, 3))
+        sink.emit(ProgressEvent("corpus", 2, 3))  # dropped
+        sink.emit(ProgressEvent("corpus", 3, 3))  # terminal: printed
+        assert stream.getvalue().splitlines() == ["[corpus] 1/3", "[corpus] 3/3"]
+
+
+class TestEmitSeam:
+    def test_no_sink_is_a_no_op(self):
+        emit_progress("corpus", 1, 2)  # must not raise
+
+    def test_events_fan_out_to_every_sink(self):
+        a, b = RecordingProgressSink(), RecordingProgressSink()
+        add_progress_sink(a)
+        add_progress_sink(b)
+        emit_progress("sweep", 1, 4, message="x", retries=1, quarantined=2)
+        for sink in (a, b):
+            assert len(sink.events) == 1
+            event = sink.events[0]
+            assert (event.phase, event.done, event.total) == ("sweep", 1, 4)
+            assert (event.retries, event.quarantined) == (1, 2)
+
+    def test_add_is_idempotent_and_remove_tolerant(self):
+        sink = RecordingProgressSink()
+        add_progress_sink(sink)
+        add_progress_sink(sink)
+        assert active_progress_sinks().count(sink) == 1
+        remove_progress_sink(sink)
+        remove_progress_sink(sink)  # no-op
+        assert sink not in active_progress_sinks()
+
+
+class TestObservationScope:
+    def test_progress_option_installs_a_sink_for_the_scope(self):
+        with observation_scope(EvalOptions(progress=True)):
+            sinks = active_progress_sinks()
+            assert len(sinks) == 1
+            # pytest captures stderr (not a TTY): must degrade to log lines
+            assert isinstance(sinks[0], LogProgressSink)
+        assert active_progress_sinks() == ()
+
+    def test_progress_off_installs_nothing(self):
+        with observation_scope(EvalOptions()):
+            assert active_progress_sinks() == ()
+
+    def test_outer_driver_sink_is_respected(self):
+        sink = add_progress_sink(RecordingProgressSink())
+        with observation_scope(EvalOptions(progress=True)):
+            assert active_progress_sinks() == (sink,)  # no second sink
+        assert active_progress_sinks() == (sink,)
+
+
+class TestPipelineHeartbeats:
+    def test_evaluate_corpus_emits_per_loop_events(self):
+        from repro.pipeline import evaluate_corpus
+        from repro.sched import paper_machine
+
+        sink = add_progress_sink(RecordingProgressSink())
+        evaluate_corpus("demo", [FIG1, FIG1], paper_machine(4, 1), n=50)
+        events = [e for e in sink.events if e.phase == "corpus"]
+        assert [e.done for e in events] == [1, 2]
+        assert all(e.total == 2 for e in events)
+        assert "demo@" in events[0].message
+
+    def test_tty_less_sweep_output_has_no_carriage_returns(self):
+        """S6: a redirected sweep logs heartbeats, never ``\\r`` spew."""
+        from repro.pipeline import evaluate_corpus
+        from repro.sched import paper_machine
+
+        stream = io.StringIO()
+        add_progress_sink(LogProgressSink(stream, min_interval=0.0))
+        evaluate_corpus("demo", [FIG1, FIG1], paper_machine(4, 1), n=50)
+        output = stream.getvalue()
+        assert output, "expected heartbeat lines"
+        assert "\r" not in output
+        assert all(line.startswith("[corpus]") for line in output.splitlines())
+
+    def test_serial_evaluator_emits_corpus_heartbeats(self):
+        from repro.perf import ParallelEvaluator
+        from repro.sched import paper_machine
+
+        sink = add_progress_sink(RecordingProgressSink())
+        evaluator = ParallelEvaluator(max_workers=1)
+        evaluator.evaluate_corpora(
+            [("demo", [FIG1], paper_machine(4, 1))], n=50
+        )
+        assert any(e.phase == "corpus" for e in sink.events)

@@ -1,0 +1,147 @@
+"""S2: every JSONL record kind is version-stamped and round-trips.
+
+``repro.schema.JSONL_KINDS`` enumerates every ``kind`` that may appear
+as a top-level JSONL line; this module builds one representative record
+per kind and pushes it through ``dump_line`` / ``parse_line``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import RunRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.regress import BenchPoint, BenchRun
+from repro.obs.trace import ProgressEvent, TraceEvent
+from repro.schema import (
+    JSONL_KINDS,
+    SCHEMA_VERSION,
+    dump_line,
+    parse_line,
+    stamped,
+)
+
+
+def _span_record():
+    from repro.obs.export import journal_lines
+
+    event = TraceEvent(
+        name="compile", start_ns=10, duration_ns=25, depth=0, pid=4242
+    )
+    return json.loads(next(iter(journal_lines([event]))))
+
+
+def _metrics_record():
+    from repro.obs.export import metrics_snapshot
+
+    registry = MetricsRegistry()
+    registry.count("sim.stalls", 3)
+    registry.observe("sim.span", 7)
+    return stamped("metrics", metrics_snapshot(registry))
+
+
+def _progress_record():
+    return ProgressEvent(
+        "sweep", 3, 8, message="chunk 1/4 done", retries=1, quarantined=2
+    ).as_dict()
+
+
+def _bench_run_record():
+    return BenchRun(
+        run_id="abc123def456",
+        timestamp=1700000000.0,
+        git_sha="deadbeef" * 5,
+        suite="fig",
+        n=100,
+        options_hash="feedfacecafe",
+        machine={"platform": "test"},
+        points=(
+            BenchPoint(
+                name="fig4@fig4-4issue",
+                t_list=1201,
+                t_new=356,
+                l_list=13,
+                l_new=13,
+                spans_list=(13, 12),
+                spans_new=(7, 2),
+            ),
+        ),
+        wall_s=0.01,
+    ).as_dict()
+
+
+def _run_record():
+    return RunRecord(
+        run_id="abc123def456",
+        timestamp=1700000000.0,
+        command="sweep",
+        argv=("sweep", "--n", "100", "FLQ52"),
+        options_hash="feedfacecafe",
+        git_sha="deadbeef" * 5,
+        machine={"platform": "test"},
+        wall_s=1.5,
+        outcome="quarantined",
+        failures=({"kind": "loop", "name": "QCD", "index": 3},),
+        artifacts=("trace.json",),
+        timelines={"sync": "W | S"},
+    ).as_dict()
+
+
+BUILDERS = {
+    "span": _span_record,
+    "metrics": _metrics_record,
+    "progress": _progress_record,
+    "bench_run": _bench_run_record,
+    "run": _run_record,
+}
+
+
+def test_every_jsonl_kind_has_a_builder():
+    # a new kind must come with a round-trip case here
+    assert set(BUILDERS) == set(JSONL_KINDS)
+
+
+@pytest.mark.parametrize("kind", JSONL_KINDS)
+class TestPerKind:
+    def test_top_level_stamp(self, kind):
+        record = BUILDERS[kind]()
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["kind"] == kind
+
+    def test_round_trip(self, kind):
+        record = BUILDERS[kind]()
+        line = dump_line(record)
+        assert "\n" not in line
+        assert parse_line(line) == record
+
+    def test_key_order_is_stable(self, kind):
+        record = BUILDERS[kind]()
+        assert dump_line(record) == dump_line(parse_line(dump_line(record)))
+
+
+class TestEnvelope:
+    def test_dump_refuses_unstamped_records(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            dump_line({"kind": "run"})
+
+    def test_stamped_overrides_a_stale_version(self):
+        record = stamped("run", {"schema_version": 1, "x": 1})
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert list(record)[:2] == ["schema_version", "kind"]
+
+    def test_parse_rejects_non_objects(self):
+        with pytest.raises(ValueError, match="not an object"):
+            parse_line("[1, 2]")
+
+    def test_parse_rejects_missing_version(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            parse_line('{"kind": "run"}')
+
+    def test_parse_rejects_future_versions(self):
+        line = json.dumps({"schema_version": SCHEMA_VERSION + 1})
+        with pytest.raises(ValueError, match="newer"):
+            parse_line(line)
+
+    def test_parse_accepts_older_versions(self):
+        record = parse_line(json.dumps({"schema_version": 3, "kind": "span"}))
+        assert record["schema_version"] == 3
