@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench bench-check bench-perf fuzz-smoke sweep dash
+.PHONY: test lint check bench bench-batch bench-check bench-perf fuzz-smoke sweep dash
 
 BENCH_BASELINE ?= benchmarks/baselines/bench_history.jsonl
 
@@ -40,16 +40,22 @@ DASH_OUT ?= dashboard.html
 dash:
 	$(PYTHON) -m repro dash --out $(DASH_OUT) --history $(BENCH_BASELINE)
 
-# Everything CI would run: lint + tier-1 tests + fuzz + bench gate +
-# a dashboard-build smoke.
-check: lint test fuzz-smoke bench-check dash
+# Everything CI would run: lint + tier-1 tests + fuzz + batch-engine
+# identity smoke + bench gate + a dashboard-build smoke.
+check: lint test fuzz-smoke bench-batch bench-check dash
 
 # Regenerate every paper table/figure under benchmarks/results/
 # (perf-marked timing benches stay skipped).
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -s
 
-# Time the performance layer (cold vs cached vs parallel vs fast path)
+# Batch-engine identity smoke: the vectorized whole-grid sweep must be
+# byte-identical to the per-loop path (deterministic, no timing — part
+# of `make check`).
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/test_bench_batch.py -q -s
+
+# Time the performance layer (cold vs cached vs parallel vs batch)
 # and refresh benchmarks/results/perf_layer.txt + BENCH_perf.json.
 bench-perf:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf.py --perf -q -s

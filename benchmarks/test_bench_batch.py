@@ -1,0 +1,61 @@
+"""Batch engine smoke: whole-grid identity on the full Table 2 sweep.
+
+The fast, deterministic half of the batch acceptance story (the timed
+half lives in ``test_bench_perf.py`` behind ``--perf``): the vectorized
+:class:`~repro.perf.batch.BatchEvaluator` must answer the full
+5-benchmark x 4-case grid byte-identically to the per-loop path, keep
+insertion order, and answer a repeated sweep from its evaluation memo.
+Runs in ``make check`` via ``make bench-batch`` — no timing assertions,
+so it is safe on any machine.
+
+Writes ``benchmarks/results/batch_engine.txt``.
+"""
+
+from __future__ import annotations
+
+from repro import BatchEvaluator, evaluate_corpus, paper_machine
+from repro.workloads import perfect_suite
+
+from conftest import BENCHMARKS, PAPER_CASES, emit
+
+N = 100
+
+
+def _times(results):
+    return [(ev.name, ev.machine.name, ev.t_list, ev.t_new) for ev in results]
+
+
+def test_batch_engine_matches_per_loop_sweep():
+    suite = perfect_suite()
+    jobs = [
+        (name, suite[name], paper_machine(*case))
+        for name in BENCHMARKS
+        for case in PAPER_CASES
+    ]
+
+    engine = BatchEvaluator()
+    batch = engine.evaluate_corpora(jobs, n=N)
+    serial = [
+        evaluate_corpus(name, loops, machine, N)
+        for name, loops, machine in jobs
+    ]
+    assert _times(batch) == _times(serial)
+    assert [(c.name, c.machine.name) for c in batch] == [
+        (name, machine.name) for name, _loops, machine in jobs
+    ]
+
+    cold = engine.stats.eval_hits
+    again = engine.evaluate_corpora(jobs, n=N)
+    assert _times(again) == _times(serial)
+    warm_hits = engine.stats.eval_hits - cold
+    cells = sum(len(c.evaluations) for c in again)
+    assert warm_hits == cells, "second sweep must answer from the memo"
+
+    lines = [
+        f"batch engine vs per-loop sweep "
+        f"({len(BENCHMARKS)} benchmarks x {len(PAPER_CASES)} cases, n={N})",
+        f"grid cells: {cells} loop evaluations, results byte-identical: True",
+        f"warm re-sweep memo hits: {warm_hits}/{cells}",
+        f"engine: {engine.stats.format()}",
+    ]
+    emit("batch_engine", "\n".join(lines))

@@ -53,7 +53,13 @@ from repro.pipeline import (
     evaluate_loop,
     evaluate_program,
 )
-from repro.perf import CompileCache, ParallelEvaluator, StageProfiler
+from repro.perf import (
+    BatchEvaluator,
+    CompileCache,
+    ParallelEvaluator,
+    PersistentPool,
+    StageProfiler,
+)
 from repro.robust import (
     BlockedWait,
     DeadlockError,
@@ -75,6 +81,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "BlockedWait",
+    "BatchEvaluator",
     "CompileCache",
     "CompiledLoop",
     "CorpusEvaluation",
@@ -86,6 +93,7 @@ __all__ = [
     "LoopEvaluation",
     "MetricsRegistry",
     "ParallelEvaluator",
+    "PersistentPool",
     "ProgramEvaluation",
     "RecordingTracer",
     "RobustPolicy",

@@ -247,6 +247,7 @@ def _sweep_results(
     cache_file=None,
     min_pool_work=None,
     progress=False,
+    batch=False,
 ):
     """Run the Perfect sweep and return evaluations, one per sweep point."""
     from repro.obs.ledger import active_recorder
@@ -258,7 +259,8 @@ def _sweep_results(
         (name, suite[name], paper_machine(*case)) for name in names for case in cases
     ]
     options = EvalOptions(
-        exact_simulation=exact_sim, min_pool_work=min_pool_work, progress=progress
+        exact_simulation=exact_sim, min_pool_work=min_pool_work, progress=progress,
+        batch=batch,
     )
     run_recorder = active_recorder()
     if run_recorder is not None:
@@ -282,7 +284,11 @@ def _sweep_results(
         from repro.pipeline import evaluate_corpus
 
         if run_recorder is not None:
-            run_recorder.note_mode("serial (no pool requested)")
+            run_recorder.note_mode(
+                "batch (whole-grid vectorized, no pool requested)"
+                if batch
+                else "serial (no pool requested)"
+            )
         cache = None
         if cache_file:
             cache = CompileCache.load(cache_file)
@@ -290,10 +296,19 @@ def _sweep_results(
             cache = CompileCache()
         if cache is not None:
             options = options.replace(cache=cache)
-        results = [
-            evaluate_corpus(name, loops, machine, n, options)
-            for name, loops, machine in jobs
-        ]
+        if batch:
+            # The whole grid goes through one vectorized dispatch instead
+            # of a per-corpus loop (CLI sweeps never carry the options the
+            # batch engine declines, so there is no fallback leg here).
+            from repro.perf import BatchEvaluator, shared_batch_evaluator
+
+            engine = BatchEvaluator() if no_cache else shared_batch_evaluator()
+            results = engine.evaluate_corpora(jobs, n=n, options=options)
+        else:
+            results = [
+                evaluate_corpus(name, loops, machine, n, options)
+                for name, loops, machine in jobs
+            ]
         if cache_file and cache is not None:
             cache.save(cache_file)
     if run_recorder is not None:
@@ -318,7 +333,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     results, cases = _sweep_results(
         names, args.n, args.jobs, args.exact_sim, args.no_cache, args.cache_file,
-        min_pool_work=args.min_pool_work, progress=args.progress,
+        min_pool_work=args.min_pool_work, progress=args.progress, batch=args.batch,
     )
     by_point = {(ev.name, ev.machine.name): ev for ev in results}
     print(f"{'bench':8s}" + "".join(f"{f'{w}i/{f}fu':>16s}" for w, f in cases))
@@ -688,6 +703,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the full event simulation (skip the analytic fast path)",
     )
     p_sweep.add_argument(
+        "--batch",
+        action="store_true",
+        help="answer the whole grid through the vectorized batch engine "
+        "(one closed-form pass; results identical to the per-loop path)",
+    )
+    p_sweep.add_argument(
         "--min-pool-work",
         type=int,
         default=None,
@@ -784,7 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_record = bench_sub.add_parser("record", help="run suites and append to history")
     p_record.add_argument(
-        "--suite", choices=["fig", "perfect", "all"], default="all"
+        "--suite", choices=["fig", "perfect", "batch", "all"], default="all"
     )
     p_record.add_argument("--n", type=int, default=100)
     _bench_common(p_record)
@@ -805,7 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="re-run suites and fail on drift vs the baseline"
     )
     p_check.add_argument(
-        "--suite", choices=["fig", "perfect", "all"], default="all"
+        "--suite", choices=["fig", "perfect", "batch", "all"], default="all"
     )
     p_check.add_argument(
         "--baseline",

@@ -73,6 +73,14 @@ class LoweredLoop:
     of each array/scalar reference in the source body to the instruction
     that performs the access (load for reads, store for the write), which is
     how synchronization-condition arcs find their Src/Snk instructions.
+
+    ``id()`` keys do not survive pickling (every object gets a fresh id in
+    the receiving process), so ``ref_objs`` keeps each registered reference
+    object alongside its id and ``__getstate__``/``__setstate__`` ship the
+    map as ``(ref, iid)`` pairs: the pickle memo preserves the identity the
+    refs share with the nodes inside ``synced``, and the maps are rebuilt
+    on the new ids.  This is what lets the compile cache's disk envelope
+    and the process-pool workers exchange compiled loops.
     """
 
     synced: SyncedLoop
@@ -81,6 +89,29 @@ class LoweredLoop:
     wait_iids: dict[int, int] = field(default_factory=dict)  # pair_id -> iid
     send_iids: dict[int, int] = field(default_factory=dict)  # pair_id -> iid
     ref_iids: dict[int, int] = field(default_factory=dict)  # id(ref expr) -> iid
+    ref_objs: dict[int, object] = field(default_factory=dict)  # id(ref expr) -> expr
+
+    def note_ref(self, ref: object, iid: int, keep_existing: bool = False) -> None:
+        """Register ``ref``'s access instruction in ``ref_iids`` (and its
+        object in ``ref_objs``, which keeps the map picklable)."""
+        key = id(ref)
+        if keep_existing and key in self.ref_iids:
+            return
+        self.ref_iids[key] = iid
+        self.ref_objs[key] = ref
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("ref_iids")
+        refs = state.pop("ref_objs")
+        state["_ref_items"] = [(refs[key], iid) for key, iid in self.ref_iids.items()]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        items = state.pop("_ref_items")
+        self.__dict__.update(state)
+        self.ref_iids = {id(ref): iid for ref, iid in items}
+        self.ref_objs = {id(ref): ref for ref, _iid in items}
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -194,7 +225,7 @@ class _Lowerer:
             dest=dest,
             mem=MemAccess(variable=ref.name, address=address, is_store=False, affine=affine),
         )
-        self.out.ref_iids[id(ref)] = instr.iid
+        self.out.note_ref(ref, instr.iid)
         return dest
 
     def lower_scalar_read(self, ref: VarRef) -> Operand:
@@ -205,9 +236,9 @@ class _Lowerer:
                 dest=dest,
                 mem=MemAccess(variable=ref.name, address=None, is_store=False, is_scalar=True),
             )
-            self.out.ref_iids[id(ref)] = instr.iid
+            self.out.note_ref(ref, instr.iid)
             return dest
-        self.out.ref_iids[id(ref)] = 0  # register access: no instruction
+        self.out.note_ref(ref, 0)  # register access: no instruction
         return ref.name
 
     def lower_expr(self, expr: Expr, force_int: bool = False) -> Operand:
@@ -220,7 +251,7 @@ class _Lowerer:
             return expr.value
         if isinstance(expr, VarRef):
             if force_int and expr.name not in self.written_scalars:
-                self.out.ref_iids.setdefault(id(expr), 0)
+                self.out.note_ref(expr, 0, keep_existing=True)
                 return expr.name
             return self.lower_scalar_read(expr)
         if isinstance(expr, ArrayRef):
@@ -310,7 +341,7 @@ class _Lowerer:
         else:
             value = self.lower_expr(expr)
             instr = self.emit(opcode=Opcode.STORE, srcs=(value,), mem=mem, pred=pred)
-        self.out.ref_iids[id(stmt.target)] = instr.iid
+        self.out.note_ref(stmt.target, instr.iid)
 
     def lower_wait(self, stmt: WaitSignal) -> None:
         affine = affine_of(stmt.iteration, self.synced.loop.index)

@@ -279,6 +279,7 @@ def allocate_registers(
     new.ref_iids = {
         ref: (old_to_new[i] if i in old_to_new else i) for ref, i in lowered.ref_iids.items()
     }
+    new.ref_objs = dict(lowered.ref_objs)
     return AllocationResult(
         lowered=new,
         assignment=assignment,

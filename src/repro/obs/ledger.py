@@ -86,6 +86,11 @@ class RunRecord:
     outcome: str
     error: str | None = None
     mode: str | None = None
+    calibration: dict[str, Any] | None = None
+    """How the run's ``min_pool_work`` threshold was chosen (source,
+    per-eval probe cost, resulting threshold); ``None`` for runs that
+    never resolved one.  Recorded by
+    :meth:`repro.perf.parallel.ParallelEvaluator._note_mode`."""
     failures: tuple[dict[str, Any], ...] = ()
     metrics: dict[str, Any] | None = None
     artifacts: tuple[str, ...] = ()
@@ -110,6 +115,7 @@ class RunRecord:
                 "outcome": self.outcome,
                 "error": self.error,
                 "mode": self.mode,
+                "calibration": self.calibration,
                 "failures": [dict(f) for f in self.failures],
                 "metrics": self.metrics,
                 "artifacts": list(self.artifacts),
@@ -131,6 +137,7 @@ class RunRecord:
             outcome=data.get("outcome", "ok"),
             error=data.get("error"),
             mode=data.get("mode"),
+            calibration=data.get("calibration"),
             failures=tuple(dict(f) for f in data.get("failures", ())),
             metrics=data.get("metrics"),
             artifacts=tuple(data.get("artifacts", ())),
@@ -152,6 +159,9 @@ class RunRecord:
             lines.append(f"  argv: {' '.join(self.argv)}")
         if self.mode:
             lines.append(f"  mode: {self.mode}")
+        if self.calibration:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(self.calibration.items()))
+            lines.append(f"  calibration: {parts}")
         if self.error:
             lines.append(f"  error: {self.error}")
         for failure in self.failures:
@@ -246,6 +256,7 @@ class RunRecorder:
         self.argv = tuple(argv)
         self._options_hash: str | None = None
         self._mode: str | None = None
+        self._calibration: dict[str, Any] | None = None
         self._outcome: str | None = None
         self._error: str | None = None
         self._failures: list[dict[str, Any]] = []
@@ -267,6 +278,11 @@ class RunRecorder:
 
     def note_mode(self, mode: str) -> None:
         self._mode = mode
+
+    def note_calibration(self, calibration: dict[str, Any]) -> None:
+        """Record how the run's ``min_pool_work`` threshold was chosen
+        (source, per-eval probe cost, resulting threshold)."""
+        self._calibration = dict(calibration)
 
     def note_error(self, outcome: str, error: str) -> None:
         """Pin the outcome (e.g. ``"deadlock"``) with its diagnosis."""
@@ -331,6 +347,7 @@ class RunRecorder:
             outcome=self._resolve_outcome(outcome),
             error=self._error if self._error is not None else error,
             mode=self._mode,
+            calibration=self._calibration,
             failures=tuple(self._failures),
             metrics=snapshot,
             artifacts=tuple(self._artifacts),

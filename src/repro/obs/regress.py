@@ -66,7 +66,7 @@ DO I = 1, 100
 ENDDO
 """
 
-_SUITES = ("fig", "perfect")
+_SUITES = ("fig", "perfect", "batch")
 
 
 def git_sha(cwd: str | None = None) -> str:
@@ -211,7 +211,10 @@ def collect_run(
     ``"fig"`` evaluates the paper's Fig. 1(a) walkthrough loop on the
     Fig. 4 machine (fast; the CI smoke gate).  ``"perfect"`` evaluates
     the five Perfect-club corpora on the four Section 4 machines — the
-    Table 2 grid, one point per cell.
+    Table 2 grid, one point per cell.  ``"batch"`` answers the same grid
+    through the vectorized :class:`~repro.perf.batch.BatchEvaluator` —
+    its points carry the same names and must carry the same values as
+    ``"perfect"``'s, so the history doubles as a cross-engine gate.
     """
     from repro.options import EvalOptions
     from repro.pipeline import compile_loop, evaluate_corpus, evaluate_loop
@@ -241,25 +244,36 @@ def collect_run(
         from repro.workloads import PERFECT_BENCHMARKS, perfect_suite
 
         loops_by_name = perfect_suite()
-        for name in PERFECT_BENCHMARKS:
-            for case in ((2, 1), (2, 2), (4, 1), (4, 2)):
-                machine = paper_machine(*case)
-                ev = evaluate_corpus(name, loops_by_name[name], machine, n, options)
-                points.append(
-                    BenchPoint(
-                        name=f"{name}@{machine.name}",
-                        t_list=ev.t_list,
-                        t_new=ev.t_new,
-                        l_list=sum(e.schedule_list.length for e in ev.evaluations),
-                        l_new=sum(e.schedule_new.length for e in ev.evaluations),
-                        spans_list=tuple(
-                            s for e in ev.evaluations for s in _spans(e)[0]
-                        ),
-                        spans_new=tuple(
-                            s for e in ev.evaluations for s in _spans(e)[1]
-                        ),
-                    )
+        grid = [
+            (name, loops_by_name[name], paper_machine(*case))
+            for name in PERFECT_BENCHMARKS
+            for case in ((2, 1), (2, 2), (4, 1), (4, 2))
+        ]
+        if suite == "batch":
+            from repro.perf import BatchEvaluator
+
+            evaluations = BatchEvaluator().evaluate_corpora(grid, n, options)
+        else:
+            evaluations = [
+                evaluate_corpus(name, loops, machine, n, options)
+                for name, loops, machine in grid
+            ]
+        for (name, _loops, machine), ev in zip(grid, evaluations):
+            points.append(
+                BenchPoint(
+                    name=f"{name}@{machine.name}",
+                    t_list=ev.t_list,
+                    t_new=ev.t_new,
+                    l_list=sum(e.schedule_list.length for e in ev.evaluations),
+                    l_new=sum(e.schedule_new.length for e in ev.evaluations),
+                    spans_list=tuple(
+                        s for e in ev.evaluations for s in _spans(e)[0]
+                    ),
+                    spans_new=tuple(
+                        s for e in ev.evaluations for s in _spans(e)[1]
+                    ),
                 )
+            )
     wall = time.perf_counter() - started
     timestamp = time.time() if now is None else now
     payload = {

@@ -288,12 +288,19 @@ class TTYProgressSink(ProgressSink):
     def __init__(self, stream: TextIO | None = None, min_interval: float = 0.1):
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
-        self._last_emit = 0.0
+        # None, not 0.0: on a freshly booted clock monotonic() can be
+        # below min_interval, and a 0.0 sentinel would throttle the very
+        # first event of the run.
+        self._last_emit: float | None = None
         self._last_width = 0
 
     def emit(self, event: ProgressEvent) -> None:
         now = time.monotonic()
-        if event.done < event.total and now - self._last_emit < self.min_interval:
+        if (
+            event.done < event.total
+            and self._last_emit is not None
+            and now - self._last_emit < self.min_interval
+        ):
             return
         self._last_emit = now
         text = event.render()

@@ -62,7 +62,14 @@ class EvalOptions:
     Execution strategy
         ``cache`` — a :class:`~repro.perf.cache.CompileCache` shared
         across sweep points; ``jobs`` — worker processes for corpus
-        evaluation (1 = in-process).
+        evaluation (1 = in-process); ``batch`` — route corpus evaluation
+        through the vectorized batch engine
+        (:class:`~repro.perf.batch.BatchEvaluator`): unique loops are
+        compiled/scheduled once and every sweep cell is answered by flat
+        closed-form array passes.  Results are byte-identical to the
+        per-loop path; incompatible requests (fault plans, semantic
+        checking, an active decision journal) fall back to per-loop
+        evaluation with a recorded ``fallback_reason``.
     Robustness
         ``faults`` — a :class:`~repro.robust.faults.FaultPlan` of
         deliberate mis-synchronization injected into the simulators (a
@@ -92,6 +99,7 @@ class EvalOptions:
     cache: "CompileCache | None" = None
     exact_simulation: bool = False
     jobs: int = 1
+    batch: bool = False
     verify: bool = True
     check_semantics: bool = False
     list_priority: Priority = Priority.PROGRAM_ORDER
@@ -112,6 +120,7 @@ class EvalOptions:
     COLLECTOR_FIELDS = (
         "cache",
         "jobs",
+        "batch",
         "robust",
         "min_pool_work",
         "tracer",

@@ -7,18 +7,37 @@ Three independent accelerators for the experiment harness:
   loop once (not once per machine case) and a re-run schedules nothing.
 * :mod:`repro.perf.parallel` — :class:`ParallelEvaluator`: chunked
   ``ProcessPoolExecutor`` fan-out of corpus/program evaluations with
-  deterministic, insertion-order result merging and a serial fallback.
+  deterministic, insertion-order result merging and a serial fallback;
+  :class:`PersistentPool` keeps the executor (and the workers' warm
+  caches) alive across sweeps, and :func:`calibrate_min_pool_work`
+  turns a measured per-eval cost into the pool's break-even threshold.
+* :mod:`repro.perf.batch` — :class:`BatchEvaluator`: corpus-level
+  vectorized evaluation — compile/schedule each unique loop once, answer
+  every sweep cell in one flat closed-form pass
+  (``EvalOptions(batch=True)`` / ``repro sweep --batch``).
 * :mod:`repro.perf.profile` — :class:`StageProfiler` and the
   :func:`profiled` context manager: per-stage wall-clock instrumentation
   behind ``repro --profile``.
 
-The third accelerator, the analytic fast path in
+The remaining accelerator, the analytic fast path in
 :func:`repro.sim.multiproc.simulate_doacross`, lives with the simulator it
 short-circuits; see ``docs/performance.md`` for the whole layer.
 """
 
+from repro.perf.batch import (
+    BatchEvaluator,
+    BatchIncompatible,
+    BatchStats,
+    batch_incompatibility,
+    shared_batch_evaluator,
+)
 from repro.perf.cache import CacheStats, CompileCache, compiled_fingerprint, loop_key
-from repro.perf.parallel import ParallelEvaluator, chunked
+from repro.perf.parallel import (
+    ParallelEvaluator,
+    PersistentPool,
+    calibrate_min_pool_work,
+    chunked,
+)
 from repro.perf.profile import (
     StageProfiler,
     active_profiler,
@@ -28,15 +47,22 @@ from repro.perf.profile import (
 )
 
 __all__ = [
+    "BatchEvaluator",
+    "BatchIncompatible",
+    "BatchStats",
     "CacheStats",
     "CompileCache",
     "ParallelEvaluator",
+    "PersistentPool",
     "StageProfiler",
     "active_profiler",
+    "batch_incompatibility",
+    "calibrate_min_pool_work",
     "chunked",
     "compiled_fingerprint",
     "disable_profiling",
     "enable_profiling",
     "loop_key",
     "profiled",
+    "shared_batch_evaluator",
 ]

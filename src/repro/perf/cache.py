@@ -56,13 +56,24 @@ def loop_key(loop: Loop | str) -> str:
     """Content hash of a loop: sha256 of its canonical printed form.
 
     Source text is parsed and re-printed first, so formatting variants of
-    the same loop address the same cache entry.
+    the same loop address the same cache entry.  The digest is memoized
+    on the ``Loop`` instance (ASTs are immutable by convention), so a
+    sweep that revisits the same loop object across hundreds of cells
+    prints and hashes it once.
     """
     if isinstance(loop, str):
         from repro.ir.parser import parse_loop
 
         loop = parse_loop(loop)
-    return hashlib.sha256(format_loop(loop).encode("utf-8")).hexdigest()
+    cached = getattr(loop, "_perf_loop_key", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256(format_loop(loop).encode("utf-8")).hexdigest()
+    try:
+        loop._perf_loop_key = digest
+    except AttributeError:  # slotted/frozen AST variants: just recompute
+        pass
+    return digest
 
 
 def compiled_fingerprint(compiled: "CompiledLoop") -> str:

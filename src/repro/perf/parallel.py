@@ -27,12 +27,26 @@ platform cannot provide a process pool (sandboxes without
 :attr:`ParallelEvaluator.fallback_reason` says why the pool was not
 used.  The chosen mode is recorded as the
 ``perf.parallel.mode.{pool,serial}`` metric.
+
+The ``min_pool_work`` threshold is **calibrated, not guessed**: in auto
+mode the evaluator times one real loop evaluation (collectors detached)
+and :func:`calibrate_min_pool_work` converts it into the pool's
+break-even sweep size; the chosen threshold and probe cost are exposed
+on :attr:`ParallelEvaluator.calibration` and recorded on the run
+ledger.  A :class:`PersistentPool` keeps the executor — and every
+worker's process-global cache — alive *across* sweeps, so a second
+sweep starts with warm workers instead of paying spawn + re-warm again;
+per-run worker cache-hit deltas surface on
+:attr:`ParallelEvaluator.worker_cache_stats`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import os
 import time
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.obs.metrics import MetricsRegistry, active_metrics
@@ -43,13 +57,15 @@ from repro.obs.trace import (
     TraceEvent,
     active_progress_sinks,
     active_tracers,
+    add_progress_sink,
     add_tracer,
     emit_progress,
     ingest_events,
+    remove_progress_sink,
     remove_tracer,
 )
 from repro.options import EvalOptions, observation_scope
-from repro.perf.cache import CompileCache
+from repro.perf.cache import CacheStats, CompileCache
 from repro.robust.harden import FailureRecord, RobustPolicy
 from repro.perf.profile import (
     StageProfiler,
@@ -66,18 +82,53 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "CorpusJob",
     "DEFAULT_MIN_POOL_WORK",
+    "DEFAULT_POOL_STARTUP_COST",
     "ParallelEvaluator",
+    "PersistentPool",
     "ProgramJob",
+    "calibrate_min_pool_work",
     "chunked",
 ]
 
-#: Minimum number of loop evaluations before a pool pays for itself.
-#: Spawning worker processes costs a few hundred milliseconds; one loop
-#: evaluation costs a few milliseconds, so a sweep below roughly this
-#: many loop-evals finishes faster serially (the measured 0.911x
-#: "speedup" of the 144-eval Perfect sweep on 4 workers).  Pass
+#: Minimum number of loop evaluations before a pool pays for itself —
+#: the *fallback* when the threshold can be neither probed nor was set
+#: explicitly.  In the normal corpus-sweep path the evaluator instead
+#: measures one evaluation and calibrates the threshold with
+#: :func:`calibrate_min_pool_work` (the static 512 mis-filed measured
+#: 144-eval sweeps into serial even when the pool won).  Pass
 #: ``min_pool_work=0`` to force the pool regardless.
 DEFAULT_MIN_POOL_WORK = 512
+
+#: Fixed cost the break-even model charges for spawning and warming a
+#: worker pool (seconds): interpreter start, imports, first pickles.
+#: Deliberately conservative — a pool engaged a little late is cheaper
+#: than a pool engaged for a sweep it slows down.
+DEFAULT_POOL_STARTUP_COST = 0.25
+
+#: Clamp bounds for a calibrated threshold: never pool below the floor
+#: (per-job pickling overhead dominates), never demand more than the
+#: ceiling (a degenerate probe must not disable the pool forever).
+MIN_CALIBRATED_POOL_WORK = 32
+MAX_CALIBRATED_POOL_WORK = 1_000_000
+
+
+def calibrate_min_pool_work(
+    per_eval_s: float,
+    startup_cost_s: float = DEFAULT_POOL_STARTUP_COST,
+    floor: int = MIN_CALIBRATED_POOL_WORK,
+    ceiling: int = MAX_CALIBRATED_POOL_WORK,
+) -> int:
+    """The pool's break-even sweep size from a measured per-eval cost.
+
+    The pool pays off when the serial cost of the sweep exceeds the
+    pool's fixed start-up cost, i.e. beyond ``startup_cost_s /
+    per_eval_s`` loop evaluations.  Clamped to ``[floor, ceiling]``;
+    a non-positive ``per_eval_s`` (evaluations too fast to time) pins
+    the threshold at the ceiling — pooling can only lose then.
+    """
+    if per_eval_s <= 0:
+        return ceiling
+    return max(floor, min(ceiling, int(startup_cost_s / per_eval_s)))
 
 # (name, loops, machine) — one evaluate_corpus call.
 CorpusJob = "tuple[str, list[Loop], MachineConfig]"
@@ -114,6 +165,50 @@ def _worker_cache() -> CompileCache:
     return _WORKER_CACHE
 
 
+def _warm_worker_cache(path: str) -> None:
+    """Pool initializer: seed the worker's process-global cache from the
+    PR-4 disk-persistence envelope (corruption degrades to a cold cache,
+    never an error — see :meth:`CompileCache.load`)."""
+    global _WORKER_CACHE
+    _WORKER_CACHE = CompileCache.load(path)
+
+
+def _cache_delta(before: CacheStats, after: CacheStats) -> CacheStats:
+    """Hits/misses accrued between two snapshots of one worker's cache."""
+    return CacheStats(
+        compile_hits=after.compile_hits - before.compile_hits,
+        compile_misses=after.compile_misses - before.compile_misses,
+        schedule_hits=after.schedule_hits - before.schedule_hits,
+        schedule_misses=after.schedule_misses - before.schedule_misses,
+    )
+
+
+@contextmanager
+def _quiet_observation():
+    """Detach every ambient collector — metrics, tracers, progress sinks
+    — for the duration.  The calibration probe runs a real evaluation
+    whose events must not leak into the run's deterministic metrics,
+    trace, or progress stream."""
+    registry = active_metrics()
+    if registry is not None:
+        disable_metrics()
+    tracers = list(active_tracers())
+    for tracer in tracers:
+        remove_tracer(tracer)
+    sinks = list(active_progress_sinks())
+    for sink in sinks:
+        remove_progress_sink(sink)
+    try:
+        yield
+    finally:
+        for sink in sinks:
+            add_progress_sink(sink)
+        for tracer in tracers:
+            add_tracer(tracer)
+        if registry is not None:
+            enable_metrics(registry)
+
+
 def _worker_collectors(collect: tuple[bool, bool, bool]):
     """Enable fresh per-worker collectors per the parent's request."""
     collect_profile, collect_metrics, collect_trace = collect
@@ -139,21 +234,30 @@ def _run_corpus_chunk(
     n: int | None,
     options: EvalOptions,
     collect: tuple[bool, bool, bool] = _COLLECT_NONE,
-) -> tuple[list, StageProfiler | None, MetricsRegistry | None, list[TraceEvent] | None]:
+) -> tuple[
+    list,
+    StageProfiler | None,
+    MetricsRegistry | None,
+    list[TraceEvent] | None,
+    tuple[int, CacheStats],
+]:
     from repro.pipeline import evaluate_corpus
 
     if _worker_fault_hook is not None:
         _worker_fault_hook(chunk)
     profiler, registry, tracer = _worker_collectors(collect)
+    cache = _worker_cache()
+    before = dataclasses.replace(cache.stats)
     try:
-        worker_options = options.replace(cache=_worker_cache())
+        worker_options = options.replace(cache=cache)
         results = [
             evaluate_corpus(name, loops, machine, n, worker_options)
             for name, loops, machine in chunk
         ]
     finally:
         _worker_teardown(collect, profiler, registry, tracer)
-    return results, profiler, registry, tracer.events if tracer else None
+    cache_info = (os.getpid(), _cache_delta(before, cache.stats))
+    return results, profiler, registry, tracer.events if tracer else None, cache_info
 
 
 def _run_program_chunk(
@@ -161,21 +265,30 @@ def _run_program_chunk(
     n: int | None,
     options: EvalOptions,
     collect: tuple[bool, bool, bool] = _COLLECT_NONE,
-) -> tuple[list, StageProfiler | None, MetricsRegistry | None, list[TraceEvent] | None]:
+) -> tuple[
+    list,
+    StageProfiler | None,
+    MetricsRegistry | None,
+    list[TraceEvent] | None,
+    tuple[int, CacheStats],
+]:
     from repro.pipeline import evaluate_program
 
     if _worker_fault_hook is not None:
         _worker_fault_hook(chunk)
     profiler, registry, tracer = _worker_collectors(collect)
+    cache = _worker_cache()
+    before = dataclasses.replace(cache.stats)
     try:
-        worker_options = options.replace(cache=_worker_cache())
+        worker_options = options.replace(cache=cache)
         results = [
             evaluate_program(program, machine, n, worker_options)
             for program, machine in chunk
         ]
     finally:
         _worker_teardown(collect, profiler, registry, tracer)
-    return results, profiler, registry, tracer.events if tracer else None
+    cache_info = (os.getpid(), _cache_delta(before, cache.stats))
+    return results, profiler, registry, tracer.events if tracer else None, cache_info
 
 
 def _failed_corpus_job(job, index: int, error: BaseException):
@@ -200,6 +313,120 @@ def _failed_program_job(job, index: int, error: BaseException):
     return result
 
 
+def _chunk_affinity(chunk: Sequence) -> int:
+    """Stable affinity key for a chunk of jobs: a digest of each job's
+    name and machine.  Identical chunks hash identically across sweeps
+    (and processes), so a :class:`PersistentPool` can route a repeated
+    chunk back to the worker whose cache already holds it."""
+    parts = []
+    for job in chunk:
+        head, tail = job[0], job[-1]
+        name = head if isinstance(head, str) else getattr(head, "name", None) or str(head)
+        parts.append(f"{name}|{getattr(tail, 'name', tail)}")
+    digest = hashlib.sha256("||".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class PersistentPool:
+    """A worker pool that survives across sweeps, with cache affinity.
+
+    A fresh ``ProcessPoolExecutor`` per sweep pays the spawn cost every
+    run *and* throws away the workers' process-global
+    :class:`~repro.perf.cache.CompileCache` — the second sweep re-warms
+    from nothing.  A ``PersistentPool`` keeps the workers (and their warm
+    caches) alive between :class:`ParallelEvaluator` runs.
+
+    The pool is built as ``max_workers`` single-worker executor *lanes*
+    rather than one shared executor, and :meth:`submit` routes each chunk
+    to ``lane = content_hash(chunk) % lanes``.  A shared executor hands
+    chunks to whichever worker is idle, so a re-run can scatter every
+    chunk onto the one worker that has *not* cached it (observed: two
+    identical sweeps on two workers, zero cross-sweep hits).  Content
+    routing makes reuse deterministic: the same chunk always reaches the
+    same process, so a repeated sweep hits that worker's compile and
+    schedule memos.  The trade is static load balance — lanes cannot
+    steal work — which uniform chunk sizes keep small.
+
+    * **spawn** — lazily, on the first :meth:`submit` (or :meth:`lanes`)
+      call.  With ``warm_cache_file`` each worker seeds its cache from
+      the PR-4 disk-persistence envelope (a corrupt file degrades to a
+      cold cache, exactly as :meth:`CompileCache.load` documents).
+    * **reuse** — subsequent sweeps submit to the same lanes;
+      ``sweeps_served`` counts them and the workers' cache-hit deltas
+      surface per run on
+      :attr:`ParallelEvaluator.worker_cache_stats`.
+    * **retire** — :meth:`close` for an orderly shutdown (also the
+      context-manager exit); :meth:`invalidate` for a pool the
+      degradation ladder found hung or broken — the lanes are abandoned
+      without waiting and the next sweep spawns a fresh generation
+      (``generation`` counts spawns).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        warm_cache_file: "str | os.PathLike | None" = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers if max_workers is not None else os.cpu_count() or 1
+        self.warm_cache_file = (
+            os.fspath(warm_cache_file) if warm_cache_file is not None else None
+        )
+        self._lanes: list | None = None
+        self.generation = 0  # lane-set spawns (invalidate → respawn bumps it)
+        self.sweeps_served = 0  # pooled runs answered by live lanes
+
+    @property
+    def alive(self) -> bool:
+        """Whether the lanes are currently up (workers warm)."""
+        return self._lanes is not None
+
+    def lanes(self) -> list:
+        """The live single-worker executors, spawning them if needed."""
+        if self._lanes is None:
+            import concurrent.futures as cf
+
+            kwargs: dict = {}
+            if self.warm_cache_file is not None:
+                kwargs["initializer"] = _warm_worker_cache
+                kwargs["initargs"] = (self.warm_cache_file,)
+            self._lanes = [
+                cf.ProcessPoolExecutor(max_workers=1, **kwargs)
+                for _ in range(self.max_workers)
+            ]
+            self.generation += 1
+            metric_count("perf.pool.spawns")
+        return self._lanes
+
+    def submit(self, fn, chunk, *args):
+        """Submit ``fn(chunk, *args)`` to the chunk's affinity lane."""
+        lanes = self.lanes()
+        return lanes[_chunk_affinity(chunk) % len(lanes)].submit(fn, chunk, *args)
+
+    def invalidate(self) -> None:
+        """Abandon hung or broken lanes without waiting on them; the
+        next :meth:`submit` call spawns a fresh generation."""
+        lanes, self._lanes = self._lanes, None
+        if lanes is not None:
+            metric_count("perf.pool.invalidated")
+            for lane in lanes:
+                lane.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Orderly retirement: wait for in-flight work, then shut down."""
+        lanes, self._lanes = self._lanes, None
+        if lanes is not None:
+            for lane in lanes:
+                lane.shutdown(wait=True)
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class ParallelEvaluator:
     """Chunked process-pool fan-out with deterministic result order.
 
@@ -217,6 +444,7 @@ class ParallelEvaluator:
         chunk_size: int | None = None,
         min_pool_work: int | None = None,
         policy: RobustPolicy | None = None,
+        pool: PersistentPool | None = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -224,35 +452,107 @@ class ParallelEvaluator:
             raise ValueError("chunk_size must be >= 1")
         if min_pool_work is not None and min_pool_work < 0:
             raise ValueError("min_pool_work must be >= 0")
+        if max_workers is None and pool is not None:
+            max_workers = pool.max_workers
         self.max_workers = max_workers if max_workers is not None else os.cpu_count() or 1
         self.chunk_size = chunk_size
         #: Constructor override; ``None`` defers to
-        #: ``EvalOptions.min_pool_work`` and then :data:`DEFAULT_MIN_POOL_WORK`
+        #: ``EvalOptions.min_pool_work``, then to a per-run calibration
+        #: probe, then to :data:`DEFAULT_MIN_POOL_WORK`
         #: (see :meth:`_resolve_min_pool_work`).
         self.min_pool_work = min_pool_work
         self.policy = policy
+        #: A :class:`PersistentPool` to submit to instead of spawning a
+        #: throwaway executor per run; it is left running afterwards
+        #: (workers keep their warm caches for the next sweep) and only
+        #: invalidated when the degradation ladder finds it hung/broken.
+        self.pool = pool
         self.used_pool = False  # whether the last run actually fanned out
         self.fallback_reason: str | None = None  # why the last run stayed serial
+        #: How the last run's ``min_pool_work`` was chosen:
+        #: ``{"min_pool_work", "source", "per_eval_s", "probe_s"}`` with
+        #: source ``constructor`` / ``options`` / ``probe`` / ``default``.
+        self.calibration: dict | None = None
+        #: Cache hits/misses accrued *inside the workers* during the last
+        #: run (summed deltas, not lifetime totals) — on a persistent
+        #: pool's second sweep ``schedule_hits > 0`` proves cross-sweep
+        #: reuse.
+        self.worker_cache_stats = CacheStats()
         self._progress_done = 0  # jobs finished (live progress events)
         self._progress_total = 0
         self._progress_retries = 0
         self._progress_quarantined = 0
 
-    def _resolve_min_pool_work(self, options: EvalOptions) -> int:
-        """Constructor beats options beats the module default — so a test
-        that built the evaluator with ``min_pool_work=0`` keeps forcing
-        the pool, while ``repro sweep --min-pool-work`` reaches here via
-        :attr:`EvalOptions.min_pool_work`."""
+    def _resolve_min_pool_work(
+        self, options: EvalOptions, probe: Callable[[], "tuple[float, float] | None"] | None = None
+    ) -> int:
+        """Constructor beats options beats the calibration probe beats
+        the module default — so a test that built the evaluator with
+        ``min_pool_work=0`` keeps forcing the pool, while ``repro sweep
+        --min-pool-work`` reaches here via
+        :attr:`EvalOptions.min_pool_work`.  In auto mode (neither set)
+        ``probe`` measures one real evaluation and
+        :func:`calibrate_min_pool_work` turns it into the pool's
+        break-even sweep size; the chosen threshold and probe cost land
+        on :attr:`calibration` and the run ledger."""
         if self.min_pool_work is not None:
+            self.calibration = {
+                "min_pool_work": self.min_pool_work, "source": "constructor",
+                "per_eval_s": None, "probe_s": None,
+            }
             return self.min_pool_work
         if options.min_pool_work is not None:
+            self.calibration = {
+                "min_pool_work": options.min_pool_work, "source": "options",
+                "per_eval_s": None, "probe_s": None,
+            }
             return options.min_pool_work
+        if probe is not None:
+            measured = probe()
+            if measured is not None:
+                per_eval_s, probe_s = measured
+                threshold = calibrate_min_pool_work(per_eval_s)
+                metric_count("perf.parallel.calibrations")
+                self.calibration = {
+                    "min_pool_work": threshold, "source": "probe",
+                    "per_eval_s": per_eval_s, "probe_s": probe_s,
+                }
+                return threshold
+        self.calibration = {
+            "min_pool_work": DEFAULT_MIN_POOL_WORK, "source": "default",
+            "per_eval_s": None, "probe_s": None,
+        }
         return DEFAULT_MIN_POOL_WORK
 
+    def _probe_per_eval(self, jobs, n, options: EvalOptions) -> "tuple[float, float] | None":
+        """Time one real loop evaluation (the first non-empty job's first
+        loop) with all ambient collectors detached; the result is
+        discarded.  Returns ``(per_eval_s, probe_s)`` or ``None`` when
+        nothing could be measured — probe failures must never fail the
+        sweep, they just fall back to the static default."""
+        from repro.pipeline import evaluate_corpus
+
+        for name, loops, machine in jobs:
+            if not loops:
+                continue
+            probe_options = options.replace(
+                tracer=None, metrics=None, journal=None, cache=None, jobs=1,
+                ledger=None, progress=False, robust=None,
+            )
+            with _quiet_observation():
+                start = time.perf_counter()
+                try:
+                    evaluate_corpus(name, [loops[0]], machine, n, probe_options)
+                except Exception:
+                    return None
+                probe_s = time.perf_counter() - start
+            return probe_s, probe_s
+        return None
+
     def _note_mode(self, mode: str, min_pool_work: int) -> None:
-        """Record the chosen execution mode on the run ledger, if one is
-        recording this invocation (``--ledger``; see
-        :mod:`repro.obs.ledger`)."""
+        """Record the chosen execution mode (and how ``min_pool_work``
+        was calibrated) on the run ledger, if one is recording this
+        invocation (``--ledger``; see :mod:`repro.obs.ledger`)."""
         from repro.obs.ledger import active_recorder
 
         recorder = active_recorder()
@@ -260,7 +560,15 @@ class ParallelEvaluator:
             detail = mode if self.fallback_reason is None else (
                 f"{mode}: {self.fallback_reason}"
             )
-            recorder.note_mode(f"{detail} (min_pool_work={min_pool_work})")
+            suffix = f"min_pool_work={min_pool_work}"
+            if self.calibration is not None and self.calibration["source"] == "probe":
+                suffix += (
+                    f", calibrated from a "
+                    f"{self.calibration['per_eval_s'] * 1e3:.2f}ms/eval probe"
+                )
+            recorder.note_mode(f"{detail} ({suffix})")
+            if self.calibration is not None:
+                recorder.note_calibration(self.calibration)
 
     def _resolve_chunk_size(self, n_jobs: int) -> int:
         if self.chunk_size is not None:
@@ -269,7 +577,8 @@ class ParallelEvaluator:
         return max(1, -(-n_jobs // (self.max_workers * 4)))
 
     def _collect_chunks(
-        self, pool, futures: list, chunks: list, worker, n, options, collect
+        self, pool, futures: list, chunks: list, worker, n, options, collect,
+        owns_pool: bool = True,
     ) -> list:
         """Harvest pooled chunk results in order, riding the degradation
         ladder of :class:`~repro.robust.harden.RobustPolicy`.
@@ -356,9 +665,14 @@ class ParallelEvaluator:
                             continue
                         break  # retries exhausted: serial re-run decides
         finally:
-            # A wedged pool must not be joined (shutdown(wait=True) would
-            # block on the hung worker forever).
-            pool.shutdown(wait=not abandoned, cancel_futures=abandoned or broken)
+            if owns_pool:
+                # A wedged pool must not be joined (shutdown(wait=True)
+                # would block on the hung worker forever).
+                pool.shutdown(wait=not abandoned, cancel_futures=abandoned or broken)
+            elif abandoned or broken:
+                # A persistent pool that hung or broke is retired without
+                # waiting; the next sweep spawns a fresh generation.
+                self.pool.invalidate()
         return per_chunk
 
     def _wait_result(self, future, timeout: float | None):
@@ -419,7 +733,24 @@ class ParallelEvaluator:
             )
         # In-process: collectors landed on the parent directly, so there is
         # nothing to merge (same shape as a pooled chunk result).
-        return (results, None, None, None)
+        return (results, None, None, None, None)
+
+    def _absorb_cache_info(self, cache_info) -> None:
+        """Fold one chunk's worker cache delta into this run's total."""
+        if not cache_info:
+            return
+        _pid, delta = cache_info
+        stats = self.worker_cache_stats
+        stats.compile_hits += delta.compile_hits
+        stats.compile_misses += delta.compile_misses
+        stats.schedule_hits += delta.schedule_hits
+        stats.schedule_misses += delta.schedule_misses
+
+    def _serial_run(self, worker, jobs, n, options) -> list:
+        """In-process execution of the whole run (the serial fallback)."""
+        results, _profiler, _metrics, _events, cache_info = worker(jobs, n, options)
+        self._absorb_cache_info(cache_info)
+        return results
 
     def _map_chunks(
         self,
@@ -429,21 +760,29 @@ class ParallelEvaluator:
         options: EvalOptions,
         work: int | None = None,
         make_failed: Callable | None = None,
+        probe: Callable | None = None,
     ) -> list:
         """Run ``worker`` over job chunks, serially or on a process pool;
         either way the flattened results keep the jobs' insertion order.
         ``work`` estimates the sweep size in loop evaluations for the
         ``min_pool_work`` threshold (``None`` = unknown, no threshold).
         ``make_failed(job, index, error)`` builds the quarantine
-        placeholder for a job that fails even the serial re-run."""
+        placeholder for a job that fails even the serial re-run.
+        ``probe`` measures one evaluation for threshold calibration; it
+        only runs in auto mode, and only when the pool is a candidate
+        (several jobs, several workers, known work estimate)."""
         jobs = list(jobs)
         self.used_pool = False
         self.fallback_reason = None
+        self.calibration = None
+        self.worker_cache_stats = CacheStats()
         self._progress_done = 0
         self._progress_total = len(jobs)
         self._progress_retries = 0
         self._progress_quarantined = 0
-        min_pool_work = self._resolve_min_pool_work(options)
+        if not (self.max_workers > 1 and len(jobs) > 1 and work is not None):
+            probe = None  # the threshold cannot change the outcome: skip it
+        min_pool_work = self._resolve_min_pool_work(options, probe)
         with observation_scope(options):
             # Workers run their own collectors/caches; the options they
             # receive must be picklable and collector-free.
@@ -458,7 +797,7 @@ class ParallelEvaluator:
                 metric_count("perf.parallel.mode.serial")
                 self._note_mode("serial", min_pool_work)
                 # In-process: stages land on the parent collectors directly.
-                return worker(jobs, n, options)[0]
+                return self._serial_run(worker, jobs, n, options)
             if work is not None and min_pool_work > 0 and work < min_pool_work:
                 self.fallback_reason = (
                     f"below min-work threshold ({work} < {min_pool_work} "
@@ -466,7 +805,7 @@ class ParallelEvaluator:
                 )
                 metric_count("perf.parallel.mode.serial")
                 self._note_mode("serial", min_pool_work)
-                return worker(jobs, n, options)[0]
+                return self._serial_run(worker, jobs, n, options)
             chunks = chunked(jobs, self._resolve_chunk_size(len(jobs)))
             profiler = active_profiler()
             registry = active_metrics()
@@ -475,23 +814,35 @@ class ParallelEvaluator:
                 registry is not None,
                 any(isinstance(t, RecordingTracer) for t in active_tracers()),
             )
+            owns_pool = self.pool is None
             try:
                 import concurrent.futures as cf
 
-                pool = cf.ProcessPoolExecutor(max_workers=self.max_workers)
+                if owns_pool:
+                    pool = cf.ProcessPoolExecutor(max_workers=self.max_workers)
+                else:
+                    self.pool.lanes()  # spawn inside the try: failures fall back
+                    pool = self.pool
                 futures = [
                     pool.submit(worker, chunk, n, options, collect)
                     for chunk in chunks
                 ]
-            except (OSError, ImportError, PermissionError, NotImplementedError) as err:
-                # No usable process pool on this platform: serial fallback.
+            except (OSError, ImportError, PermissionError, NotImplementedError, RuntimeError) as err:
+                # No usable process pool on this platform (or the
+                # persistent pool could not spawn): serial fallback.
+                if not owns_pool:
+                    self.pool.invalidate()
                 self.fallback_reason = f"{type(err).__name__}: {err}"
                 metric_count("parallel.pool_fallbacks")
                 metric_count("perf.parallel.mode.serial")
                 self._note_mode("serial", min_pool_work)
-                return worker(jobs, n, options)[0]
-            per_chunk = self._collect_chunks(pool, futures, chunks, worker, n, options, collect)
+                return self._serial_run(worker, jobs, n, options)
+            per_chunk = self._collect_chunks(
+                pool, futures, chunks, worker, n, options, collect, owns_pool
+            )
             self.used_pool = True
+            if self.pool is not None and self.pool.alive:
+                self.pool.sweeps_served += 1
             rerun = [i for i, chunk_result in enumerate(per_chunk) if chunk_result is None]
             if rerun:
                 # Degraded: the unfinished chunks re-run serially in-process
@@ -508,12 +859,13 @@ class ParallelEvaluator:
             metric_count("parallel.pool_runs")
             metric_count("perf.parallel.mode.pool")
             metric_count("parallel.chunks", len(chunks))
+            pool_kind = "persistent pool" if self.pool is not None else "pool"
             self._note_mode(
-                f"pool[{self.max_workers} worker(s), {len(chunks)} chunk(s)]",
+                f"{pool_kind}[{self.max_workers} worker(s), {len(chunks)} chunk(s)]",
                 min_pool_work,
             )
             results = []
-            for chunk_results, worker_profiler, worker_metrics, worker_events in per_chunk:
+            for chunk_results, worker_profiler, worker_metrics, worker_events, cache_info in per_chunk:
                 results.extend(chunk_results)
                 if profiler is not None and worker_profiler is not None:
                     profiler.merge(worker_profiler)
@@ -521,6 +873,7 @@ class ParallelEvaluator:
                     registry.merge(worker_metrics)
                 if worker_events:
                     ingest_events(worker_events)
+                self._absorb_cache_info(cache_info)
             return results
 
     def evaluate_corpora(
@@ -542,6 +895,7 @@ class ParallelEvaluator:
         results = self._map_chunks(
             _run_corpus_chunk, jobs, n, options, work=work,
             make_failed=_failed_corpus_job,
+            probe=lambda: self._probe_per_eval(jobs, n, options),
         )
         for corpus in results:
             corpus.fallback_reason = self.fallback_reason

@@ -315,12 +315,28 @@ def evaluate_corpus(
 ) -> CorpusEvaluation:
     """Compile and evaluate every loop of a corpus on one machine.
 
+    With ``options.batch`` the whole corpus is answered by the
+    vectorized :class:`~repro.perf.batch.BatchEvaluator` (compile and
+    schedule each unique loop once, one flat closed-form pass for every
+    cell); requests the batch engine cannot honour exactly fall back to
+    the per-loop path below with ``fallback_reason`` recording why.
     With ``options.jobs > 1`` the loops are fanned out over a
     :class:`~repro.perf.parallel.ParallelEvaluator` (results are
     identical to the serial order either way).  Legacy keyword arguments
     are deprecated shims onto ``options``.
     """
     options = EvalOptions.coerce(options, **legacy)
+    batch_fallback: str | None = None
+    if options.batch:
+        from repro.perf.batch import batch_incompatibility, shared_batch_evaluator
+
+        reason = batch_incompatibility(options)
+        if reason is None:
+            return shared_batch_evaluator().evaluate_corpus(
+                name, loops, machine, n, options
+            )
+        batch_fallback = f"batch engine declined: {reason}"
+        metric_count("perf.batch.fallback")
     with span("evaluate_corpus", corpus=name, machine=machine.name), _collectors(
         options
     ):
@@ -338,8 +354,15 @@ def evaluate_corpus(
                     ledger=None, progress=False,
                 ),
             )
+            pool_reason = evaluator.fallback_reason
+            if batch_fallback is not None:
+                pool_reason = (
+                    batch_fallback
+                    if pool_reason is None
+                    else f"{batch_fallback}; {pool_reason}"
+                )
             result = CorpusEvaluation(
-                name=name, machine=machine, fallback_reason=evaluator.fallback_reason
+                name=name, machine=machine, fallback_reason=pool_reason
             )
             for index, sub in enumerate(per_loop):
                 result.evaluations.extend(sub.evaluations)
@@ -356,7 +379,9 @@ def evaluate_corpus(
                     for f in sub.failures
                 )
             return result
-        result = CorpusEvaluation(name=name, machine=machine)
+        result = CorpusEvaluation(
+            name=name, machine=machine, fallback_reason=batch_fallback
+        )
         loop_options = options if options.jobs == 1 else options.replace(jobs=1)
         quarantine = options.robust is not None and options.robust.quarantine
         for index, loop in enumerate(loops):

@@ -36,6 +36,15 @@ Version history — the documented contract lives in ``docs/api.md``:
   the ``progress`` event lines emitted through the
   :class:`~repro.obs.trace.ProgressSink` seam and journaled by
   ``repro --journal-out``.  Additive: v4 consumers keep working.
+* **v6** — the batch evaluation engine and persistent worker pool (see
+  ``docs/performance.md``): ``run`` records gain an optional
+  ``calibration`` block (how ``min_pool_work`` was chosen: source,
+  measured per-eval cost, probe cost), and the on-disk
+  :class:`~repro.perf.cache.CompileCache` payload changes shape —
+  :class:`~repro.codegen.lower.LoweredLoop` now pickles its ``ref_iids``
+  map as identity-preserving ``(ref, iid)`` pairs so cached compiled
+  loops survive a process boundary.  v5 cache files are rejected (and
+  recompiled); JSONL consumers keep working — the new key is optional.
 """
 
 from __future__ import annotations
@@ -44,7 +53,7 @@ import json
 from typing import Any
 
 #: Record format version; bump when any record's shape changes (docs/api.md).
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Every ``kind`` that may appear as a top-level JSONL line.  Nested
 #: records (``schedule``/``evaluation``/``corpus`` report blocks) are

@@ -44,6 +44,13 @@ from repro.obs.trace import span
 from repro.robust.deadlock import BlockedWait, DeadlockError
 from repro.robust.faults import FaultPlan
 from repro.sched.schedule import Schedule
+from repro.sim.analytic import (
+    ClosedFormPlan,
+    ScheduleSignature,
+    chain_finish_times,
+    chain_total_stall,
+    closed_form_plan,
+)
 
 
 @dataclass
@@ -125,49 +132,19 @@ def iteration_mapping(n: int, processors: int, mapping: str) -> list[list[int]]:
     raise ValueError(f"unknown mapping {mapping!r}; use 'cyclic' or 'block'")
 
 
-def analytic_fast_path(
+def fast_path_result(
     schedule: Schedule,
+    plan: ClosedFormPlan,
     n: int,
     signal_latency: int = 1,
-) -> SimulationResult | None:
-    """The closed-form result when it is provably exact, else ``None``.
-
-    Preconditions checked (all with one iteration per processor):
-
-    * **No pair stalls** — every pair has ``send + latency <= wait``
-      (``per_hop <= 0``): no iteration ever waits, the parallel time is
-      the iteration length ``l``.
-    * **Exactly one pair stalls**, its send does not precede its wait
-      (so each stall compounds through the chain — with
-      ``signal_latency > 1`` a pair can have ``per_hop > 0`` yet issue
-      its send *before* its wait, and the chain does not compound), and
-      every pair processed before it in the simulator's wait order issues
-      its send before the stalling pair's wait (so the producer-side
-      stall cannot leak into it).  Then iteration ``k`` stalls exactly
-      ``floor((k-1)/d) * per_hop`` cycles — the Section 2 formula of
-      :func:`repro.sim.analytic.lbd_parallel_time`.
-
-    Detection is ``O(pairs)``; materializing the per-iteration finish
-    times is a closed-form fill with no per-wait inner loop.
-    """
-    lowered = schedule.lowered
+) -> SimulationResult:
+    """Materialize a closed-form plan as a full :class:`SimulationResult`
+    (finish times, stall attribution, journal chain) — byte-identical to
+    what the event walk would produce for an eligible schedule."""
     length = schedule.length
-    waits: list[tuple[int, int, int]] = []
-    stalling: list[tuple[int, int, int]] = []
-    stalling_pair_id: int | None = None
-    no_stall = {pair.pair_id: 0 for pair in lowered.synced.pairs}
-    for pair in lowered.synced.pairs:
-        item = (
-            schedule.wait_cycle(pair.pair_id),
-            pair.distance,
-            schedule.send_cycle(pair.pair_id),
-        )
-        waits.append(item)
-        if item[2] - item[0] + signal_latency > 0:
-            stalling.append(item)
-            stalling_pair_id = pair.pair_id
-
-    if not stalling:
+    stall_by_pair = {pair.pair_id: 0 for pair in schedule.lowered.synced.pairs}
+    culprit = plan.stalling
+    if culprit is None:
         return SimulationResult(
             schedule=schedule,
             n=n,
@@ -177,28 +154,15 @@ def analytic_fast_path(
             processors=n,
             signal_latency=signal_latency,
             dispatch="fast_path",
-            stall_by_pair=no_stall,
+            stall_by_pair=stall_by_pair,
         )
-    if len(stalling) > 1:
-        return None
-    wait_cycle, distance, send_cycle = stalling[0]
-    if send_cycle < wait_cycle:
-        return None  # stall does not compound; not the Section 2 chain
-    for other_wait, other_distance, other_send in waits:
-        if (other_wait, other_distance, other_send) < stalling[0]:
-            # Processed before the stalling pair, so its wait sees none of
-            # that pair's stall — safe only if its producer-side send is
-            # also unaffected (issued before the stalling pair's wait).
-            if other_send >= wait_cycle:
-                return None
-    per_hop = send_cycle - wait_cycle + signal_latency
-    finish_times = [length + ((k - 1) // distance) * per_hop for k in range(1, n + 1)]
-    total_stall = sum(finish_times) - n * length
-    stall_by_pair = dict(no_stall)
-    if stalling_pair_id is not None:
-        stall_by_pair[stalling_pair_id] = total_stall
+    per_hop = culprit.per_hop(signal_latency)
+    distance = culprit.distance
+    finish_times = chain_finish_times(n, distance, per_hop, length)
+    total_stall = chain_total_stall(n, distance, per_hop)
+    stall_by_pair[culprit.pair_id] = total_stall
     journal = active_journal()
-    if journal is not None and stalling_pair_id is not None:
+    if journal is not None:
         # Materialize the same stall chain the event walk would emit: the
         # producer's send is delayed by its own cumulative stall, so its
         # absolute issue is a closed form too (kept out of the default path
@@ -207,11 +171,11 @@ def analytic_fast_path(
             producer = k - distance
             journal.record_stall(
                 StallLink(
-                    pair_id=stalling_pair_id,
+                    pair_id=culprit.pair_id,
                     iteration=k,
                     producer_iteration=producer,
-                    wait_cycle=wait_cycle,
-                    send_abs=send_cycle + ((producer - 1) // distance) * per_hop,
+                    wait_cycle=culprit.wait,
+                    send_abs=culprit.send + ((producer - 1) // distance) * per_hop,
                     stall=((k - 1) // distance) * per_hop,
                 )
             )
@@ -226,6 +190,28 @@ def analytic_fast_path(
         dispatch="fast_path",
         stall_by_pair=stall_by_pair,
     )
+
+
+def analytic_fast_path(
+    schedule: Schedule,
+    n: int,
+    signal_latency: int = 1,
+) -> SimulationResult | None:
+    """The closed-form result when it is provably exact, else ``None``.
+
+    Eligibility is decided by :func:`repro.sim.analytic.closed_form_plan`
+    over the schedule's :class:`~repro.sim.analytic.ScheduleSignature`
+    (see its docstring for the precise preconditions) — the single source
+    of truth shared with the batch engine
+    (:class:`repro.perf.batch.BatchEvaluator`), so the per-loop and batch
+    paths cannot diverge.  Detection is ``O(pairs)``; materializing the
+    per-iteration finish times is a closed-form fill with no per-wait
+    inner loop.
+    """
+    plan = closed_form_plan(ScheduleSignature.of(schedule), signal_latency)
+    if plan is None:
+        return None
+    return fast_path_result(schedule, plan, n, signal_latency)
 
 
 def simulate_doacross(

@@ -62,6 +62,7 @@ class TestStableHash:
         assert EvalOptions.COLLECTOR_FIELDS == (
             "cache",
             "jobs",
+            "batch",
             "robust",
             "min_pool_work",
             "tracer",

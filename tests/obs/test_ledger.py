@@ -86,6 +86,26 @@ class TestRunRecord:
         minimal = {"run_id": "aa", "timestamp": 0.0, "command": "compile"}
         record = RunRecord.from_dict(minimal)
         assert record.outcome == "ok" and record.failures == ()
+        assert record.calibration is None
+
+    def test_calibration_round_trip(self):
+        record = _record(
+            calibration={
+                "min_pool_work": 35,
+                "source": "probe",
+                "per_eval_s": 0.00708,
+                "probe_s": 0.00708,
+            }
+        )
+        assert RunRecord.from_dict(record.as_dict()) == record
+
+    def test_describe_shows_calibration(self):
+        record = _record(
+            calibration={"min_pool_work": 35, "source": "probe"},
+        )
+        text = record.describe()
+        assert "calibration:" in text
+        assert "min_pool_work=35" in text and "source=probe" in text
 
     def test_summary_one_line(self):
         summary = _record().summary()
@@ -241,6 +261,38 @@ class TestRunRecorder:
         assert "min_pool_work=512" in record.mode
         assert record.artifacts == ("trace.json",)
         assert record.timelines == {"sync": "W | S"}
+
+    def test_note_calibration_lands_on_the_record(self, tmp_path):
+        recorder = RunRecorder("sweep", str(tmp_path / "ledger.jsonl"))
+        recorder.note_calibration(
+            {"min_pool_work": 35, "source": "probe", "per_eval_s": 0.007}
+        )
+        record = recorder.finish()
+        assert record.calibration == {
+            "min_pool_work": 35,
+            "source": "probe",
+            "per_eval_s": 0.007,
+        }
+
+    def test_pooled_sweep_records_calibration_on_the_ledger(self, tmp_path):
+        # end to end: evaluator auto-calibration → recorder → stored run
+        from repro.obs.ledger import record_run
+        from repro.perf import ParallelEvaluator
+        from repro.sched import paper_machine
+        from repro.workloads import perfect_suite
+
+        path = str(tmp_path / "ledger.jsonl")
+        suite = perfect_suite()
+        jobs = [
+            ("FLQ52", suite["FLQ52"], paper_machine(*case))
+            for case in ((2, 1), (4, 1))
+        ]
+        with record_run("sweep", EvalOptions(ledger=path)):
+            ParallelEvaluator(max_workers=2).evaluate_corpora(jobs, n=100)
+        (record,) = RunLedger(path).load()
+        assert record.calibration is not None
+        assert record.calibration["source"] == "probe"
+        assert "calibrated from a" in record.mode
 
 
 class TestRecordRunScope:

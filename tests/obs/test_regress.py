@@ -187,7 +187,8 @@ class TestCollectRun:
         assert check_run(first, second) == []
 
     def test_suites_selector(self):
-        assert tuple(suites("all")) == ("fig", "perfect")
+        assert tuple(suites("all")) == ("fig", "perfect", "batch")
         assert tuple(suites("fig")) == ("fig",)
+        assert tuple(suites("batch")) == ("batch",)
         with pytest.raises(ValueError, match="unknown suite"):
             list(suites("nope"))
