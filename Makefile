@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench bench-batch bench-check bench-perf fuzz-smoke sweep dash
+.PHONY: test lint check bench bench-batch bench-check bench-perf bench-service fuzz-smoke serve-smoke sweep dash
 
 BENCH_BASELINE ?= benchmarks/baselines/bench_history.jsonl
 
@@ -33,6 +33,13 @@ FUZZ_SEED ?= 0
 fuzz-smoke:
 	$(PYTHON) -m repro fuzz --cases $(FUZZ_CASES) --seed $(FUZZ_SEED)
 
+# Service smoke (docs/service.md): boot an ephemeral-port server with a
+# scratch ledger, POST the Fig. 1 loop to /v1/evaluate, and assert the
+# served evaluation record is byte-identical to the one-shot pipeline
+# and that the request landed in the run ledger.  Part of `make check`.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+
 # Build the self-contained HTML dashboard (run ledger + bench history).
 # Works with an empty/missing ledger: the walkthrough timelines and the
 # committed bench baseline still give it something to show.
@@ -41,8 +48,8 @@ dash:
 	$(PYTHON) -m repro dash --out $(DASH_OUT) --history $(BENCH_BASELINE)
 
 # Everything CI would run: lint + tier-1 tests + fuzz + batch-engine
-# identity smoke + bench gate + a dashboard-build smoke.
-check: lint test fuzz-smoke bench-batch bench-check dash
+# identity smoke + bench gate + service smoke + a dashboard-build smoke.
+check: lint test fuzz-smoke bench-batch bench-check serve-smoke dash
 
 # Regenerate every paper table/figure under benchmarks/results/
 # (perf-marked timing benches stay skipped).
@@ -59,6 +66,16 @@ bench-batch:
 # and refresh benchmarks/results/perf_layer.txt + BENCH_perf.json.
 bench-perf:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf.py --perf -q -s
+
+# Load-test the long-lived service (docs/service.md): ≥1000 concurrent
+# loop submissions against one in-process server; records throughput,
+# tail latency and shared-cache hit rate into the `service` block of
+# BENCH_perf.json.  Timed — non-gating in CI, like bench-perf.
+LOADTEST_REQUESTS ?= 1000
+LOADTEST_CONCURRENCY ?= 16
+bench-service:
+	$(PYTHON) -m repro loadtest --requests $(LOADTEST_REQUESTS) \
+		--concurrency $(LOADTEST_CONCURRENCY)
 
 # The Table 2/3 sweep from the CLI (cached + fast path by default).
 sweep:

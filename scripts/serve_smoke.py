@@ -1,0 +1,129 @@
+"""Service smoke: boot, evaluate the Fig. 1 loop, diff against the CLI path.
+
+Part of ``make check`` (as ``make serve-smoke``): starts an in-process
+:class:`repro.service.server.ReproService` on an ephemeral port with a
+scratch ledger, POSTs the paper's Fig. 1 loop to ``POST /v1/evaluate``,
+and asserts that
+
+* the response is a schema-stamped ``result`` record (current
+  ``SCHEMA_VERSION``),
+* its ``evaluation`` block is **identical** to the record the one-shot
+  pipeline produces for the same loop/machine/n — the service must be a
+  transport, never a different compiler, and
+* the request landed in the run ledger as ``command: "service evaluate"``.
+
+Exits 0 on success, 1 with a diff on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from http.client import HTTPConnection
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import EvalOptions, compile_loop, evaluate_loop, paper_machine
+from repro.report import evaluation_record
+from repro.schema import SCHEMA_VERSION
+from repro.service.server import ReproService
+
+FIG1_SOURCE = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+ISSUE, FU, N = 4, 1, 100
+
+
+def main() -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as scratch:
+        with ReproService(port=0, ledger=f"{scratch}/ledger.jsonl") as service:
+            connection = HTTPConnection(service.host, service.port, timeout=60)
+            try:
+                connection.request(
+                    "POST",
+                    "/v1/evaluate",
+                    body=json.dumps(
+                        {
+                            "source": FIG1_SOURCE,
+                            "machine": {"issue": ISSUE, "fu": FU},
+                            "n": N,
+                            "name": "fig1-smoke",
+                        }
+                    ),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                body = json.loads(response.read())
+            finally:
+                connection.close()
+
+            if response.status != 200:
+                print(f"FAIL: HTTP {response.status}: {body}", file=sys.stderr)
+                return 1
+            if body.get("schema_version") != SCHEMA_VERSION:
+                failures.append(
+                    f"response schema_version {body.get('schema_version')!r}"
+                    f" != {SCHEMA_VERSION}"
+                )
+            if body.get("kind") != "result" or body.get("op") != "evaluate":
+                failures.append(
+                    f"response envelope {body.get('kind')!r}/{body.get('op')!r}"
+                    " != 'result'/'evaluate'"
+                )
+
+            # The one-shot pipeline, exactly as `repro evaluate` runs it;
+            # round-tripped through JSON so both sides are in wire form
+            # (JSON object keys are strings).
+            direct = json.loads(
+                json.dumps(
+                    evaluation_record(
+                        evaluate_loop(
+                            compile_loop(FIG1_SOURCE),
+                            paper_machine(ISSUE, FU),
+                            N,
+                            options=EvalOptions(),
+                        )
+                    )
+                )
+            )
+            served = body.get("evaluation")
+            if served != direct:
+                failures.append("served evaluation differs from one-shot CLI path:")
+                for key in sorted(set(direct) | set(served or {})):
+                    a, b = direct.get(key), (served or {}).get(key)
+                    if a != b:
+                        failures.append(f"  {key}: direct={a!r} served={b!r}")
+
+        # Ledger check after shutdown: the server writes the record
+        # before the 200, and shutdown joins every handler thread, so
+        # the record must be visible here under both guarantees.
+        records = service.ledger.load()
+        hits = [r for r in records if r.command == "service evaluate"]
+        if len(hits) != 1:
+            failures.append(
+                f"ledger has {len(hits)} 'service evaluate' record(s), want 1"
+            )
+        elif hits[0].outcome != "ok":
+            failures.append(f"ledger outcome {hits[0].outcome!r}, want 'ok'")
+
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print(
+        f"serve-smoke ok: evaluation byte-identical to one-shot path, "
+        f"ledger recorded (t_list={direct['t_list']} t_new={direct['t_new']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

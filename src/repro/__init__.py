@@ -29,7 +29,9 @@ analysis), :mod:`repro.transforms` (restructuring), :mod:`repro.sync`
 parallelism and profiling), :mod:`repro.obs` (trace spans, metrics,
 decision provenance, the bench-regression tracker and exporters),
 :mod:`repro.robust` (fault injection, deadlock diagnosis, hardened
-sweep evaluation and the differential fuzz harness).
+sweep evaluation and the differential fuzz harness),
+:mod:`repro.service` (the typed op registry behind the CLI and the
+long-lived HTTP compilation service — ``repro serve``).
 
 Pipeline entry points take their knobs as one frozen
 :class:`~repro.options.EvalOptions` value (the stable API; the old
@@ -76,8 +78,16 @@ from repro.report import (
     to_json,
 )
 from repro.sched.machine import figure4_machine, paper_cases, paper_machine
+from repro.service import (
+    OP_REGISTRY,
+    OpResult,
+    OpSpec,
+    evaluate_op,
+    op_epilog,
+    sweep_op,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BlockedWait",
@@ -92,10 +102,14 @@ __all__ = [
     "FaultPlan",
     "LoopEvaluation",
     "MetricsRegistry",
+    "OP_REGISTRY",
+    "OpResult",
+    "OpSpec",
     "ParallelEvaluator",
     "PersistentPool",
     "ProgramEvaluation",
     "RecordingTracer",
+    "ReproService",
     "RobustPolicy",
     "SCHEMA_VERSION",
     "StageProfiler",
@@ -105,12 +119,25 @@ __all__ = [
     "corpus_record",
     "evaluate_corpus",
     "evaluate_loop",
+    "evaluate_op",
     "evaluate_program",
     "evaluation_record",
     "explain_record",
     "figure4_machine",
+    "op_epilog",
     "paper_cases",
     "paper_machine",
     "schedule_record",
+    "sweep_op",
     "to_json",
 ]
+
+
+def __getattr__(name: str):
+    # The HTTP server stack stays lazy (http.server + the batcher) so
+    # `import repro` costs the same as before the service split.
+    if name == "ReproService":
+        from repro.service.server import ReproService
+
+        return ReproService
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,568 +1,37 @@
 """Command-line interface: ``python -m repro <command>`` (or the ``repro``
 console script).
 
-Commands
---------
+Since the service split (PR 7) this module is a thin argparse client of
+:mod:`repro.service.ops`: every subcommand is an entry in
+:data:`repro.service.ops.OP_REGISTRY`, which contributes its subparser,
+its ``--help`` epilogue row, and its implementation (a typed op
+returning an :class:`~repro.service.ops.OpResult`).  The HTTP service
+(``repro serve``, :mod:`repro.service.server`) is a second client of the
+same registry, so the two surfaces cannot drift on supported
+operations.  Subcommand output is byte-identical to the pre-split
+driver — enforced by ``tests/integration/test_cli_parity.py``.
 
-``compile``   parse + analyze + synchronize + lower a loop; print the
-              artifacts (Fig. 1b / Fig. 2 style).
-``schedule``  run one or all schedulers on a machine; print bundle tables,
-              spans, utilization, optional Gantt/pressure views and the
-              simulated parallel time.
-``modulo``    software-pipeline the loop (extension): kernel, II, times.
-``simulate``  simulate one scheduled loop, optionally under an injected
-              fault plan (``--inject drop:pair=0,iter=3`` and friends —
-              see :mod:`repro.robust.faults`); a diagnosed deadlock
-              prints the wait-for analysis over the sync timeline and
-              exits 2.
-``fuzz``      the seeded differential fuzz harness
-              (:mod:`repro.robust.fuzz`): random loops × random fault
-              plans, fast path vs event walk vs semantic executor.
-``sweep``     regenerate Tables 2/3 over the Perfect corpora, optionally
-              cached (default), process-parallel (``--jobs``), with the
-              analytic fast path disabled (``--exact-sim``), or with the
-              compile cache persisted across runs (``--cache-file``).
-``metrics``   run the Perfect sweep with the metrics registry enabled and
-              print the collected counters/histograms (``--json`` for
-              machine-readable output).
-``explain``   schedule with a decision journal installed and answer "why
-              is op X at cycle c" / "why is the Wait→Send span of pair S
-              equal to k" (``--op`` / ``--pair``), with optional ASCII
-              timelines (``--timeline``) and a self-contained HTML export
-              (``--html FILE``).  See :mod:`repro.obs.explain`.
-``bench``     the benchmark-regression tracker (:mod:`repro.obs.regress`):
-              ``bench record`` appends a run to the JSONL history,
-              ``bench list`` shows it, ``bench diff A B`` compares two
-              runs, and ``bench check`` re-runs the suites and fails on
-              any cycle-count drift against the recorded baseline (CI's
-              regression gate).
-``dot``       emit the DFG as Graphviz DOT.
+Global flags work with every command: ``--profile`` times the pipeline
+stages and prints a table to stderr; ``--trace-out FILE`` records
+hierarchical spans and writes a Chrome trace-event file (load it at
+``chrome://tracing`` or https://ui.perfetto.dev); ``--journal-out FILE``
+writes the same spans plus a metrics snapshot as JSON lines.  See
+``docs/observability.md`` and ``docs/service.md``.
 
-Each command reads the loop from a file argument or stdin (``-``).  Global
-flags work with every command: ``--profile`` times the pipeline stages and
-prints a table to stderr; ``--trace-out FILE`` records hierarchical spans
-and writes a Chrome trace-event file (load it at ``chrome://tracing`` or
-https://ui.perfetto.dev); ``--journal-out FILE`` writes the same spans
-plus a metrics snapshot as JSON lines.  See ``docs/observability.md``.
+The pre-split helpers (``cmd_compile`` … ``cmd_dash``, ``SCHEDULERS``,
+``_read_source``, ``_sweep_results``, …) are importable here as
+deprecation shims; new code should import from
+:mod:`repro.service.ops`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
-from repro.codegen import format_listing
-from repro.dfg import find_sync_paths, partition, to_dot
-from repro.ir import format_loop
-from repro.pipeline import compile_loop
-from repro.sched import (
-    Schedule,
-    assert_valid,
-    list_schedule,
-    marker_schedule,
-    paper_machine,
-    schedule_stats,
-    sync_schedule,
-)
-from repro.sim import simulate_doacross
-from repro.sim.metrics import improvement_percent
-from repro.workloads import PERFECT_BENCHMARKS, perfect_suite
-
-SCHEDULERS = {
-    "list": list_schedule,
-    "marker": marker_schedule,
-    "sync": sync_schedule,
-}
-
-
-def _read_source(path: str) -> str:
-    if path == "-":
-        return sys.stdin.read()
-    with open(path, "r", encoding="utf-8") as handle:
-        return handle.read()
-
-
-def _machine(args: argparse.Namespace):
-    return paper_machine(args.issue, args.fu)
-
-
-def cmd_compile(args: argparse.Namespace) -> int:
-    compiled = compile_loop(_read_source(args.loop))
-    print("== synchronized loop ==")
-    print(format_loop(compiled.synced.loop))
-    print("\n== three-address code ==")
-    print(format_listing(compiled.lowered))
-    print("\n== synchronization pairs ==")
-    for pair in compiled.synced.pairs:
-        print(f"  {pair}")
-    components = partition(compiled.graph, compiled.lowered)
-    print("\n== DFG partition ==")
-    for component in components:
-        print(f"  {component.kind.value:7s}: {sorted(component.nodes)}")
-    for path in find_sync_paths(compiled.graph, compiled.lowered, components):
-        print(f"  SP(pair {path.pair_id}) = {list(path.nodes)}")
-    return 0
-
-
-def cmd_schedule(args: argparse.Namespace) -> int:
-    compiled = compile_loop(_read_source(args.loop))
-    machine = _machine(args)
-    names = list(SCHEDULERS) if args.scheduler == "all" else [args.scheduler]
-    results: list[tuple[str, Schedule, int]] = []
-    from repro.perf import profiled
-
-    for name in names:
-        with profiled("schedule"):
-            schedule = SCHEDULERS[name](compiled.lowered, compiled.graph, machine)
-        with profiled("verify"):
-            assert_valid(schedule, compiled.graph)
-        with profiled("simulate"):
-            sim = simulate_doacross(schedule, args.n)
-        results.append((name, schedule, sim.parallel_time))
-        print(f"== {name} scheduling on {machine.name} ==")
-        print(schedule.format())
-        spans = {p.pair_id: schedule.span(p.pair_id) for p in compiled.synced.pairs}
-        print(f"length = {schedule.length}  spans = {spans}")
-        print(schedule_stats(schedule).format())
-        if args.gantt:
-            from repro.sched.gantt import gantt
-
-            print(gantt(schedule))
-        if args.pressure:
-            from repro.sched import register_pressure
-
-            profile = register_pressure(schedule)
-            print(
-                f"register pressure: peak {profile.max_pressure} at cycle "
-                f"{profile.cycle_of_peak()} ({profile.temporaries} temporaries)"
-            )
-        print(f"parallel time (n={args.n}) = {sim.parallel_time}\n")
-    if len(results) > 1:
-        base = results[0][2]
-        for name, _, t in results[1:]:
-            print(
-                f"{name} vs {results[0][0]}: {improvement_percent(base, t):+.1f}% improvement"
-            )
-    return 0
-
-
-def cmd_modulo(args: argparse.Namespace) -> int:
-    from repro.ir.parser import parse_loop
-    from repro.sched.modulo import modulo_schedule, verify_modulo
-
-    loop = parse_loop(_read_source(args.loop))
-    machine = _machine(args)
-    kernel = modulo_schedule(loop, machine)
-    violations = verify_modulo(kernel)
-    print(
-        f"II = {kernel.ii} (ResMII {kernel.mii_resource}, RecMII "
-        f"{kernel.mii_recurrence}), makespan {kernel.makespan}"
-    )
-    for iid, cycle in sorted(kernel.cycle_of.items(), key=lambda kv: (kv[1], kv[0])):
-        instr = kernel.lowered.instruction(iid)
-        print(f"  cycle {cycle:>3} (slot {cycle % kernel.ii}): {iid:>3}: {instr}")
-    print(f"pipelined time (1 processor, n={args.n}) = {kernel.parallel_time(args.n)}")
-    if violations:
-        print("VIOLATIONS:", *violations, sep="\n  ")
-        return 1
-    return 0
-
-
-def cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.robust import DeadlockError, FaultPlan
-    from repro.sim import MemoryImage, execute_parallel
-
-    compiled = compile_loop(_read_source(args.loop))
-    machine = _machine(args)
-    schedule = SCHEDULERS[args.scheduler](compiled.lowered, compiled.graph, machine)
-    assert_valid(schedule, compiled.graph)
-    try:
-        plan = FaultPlan.parse(args.inject) if args.inject else None
-    except ValueError as err:
-        print(f"bad --inject spec: {err}", file=sys.stderr)
-        return 1
-    if plan:
-        print(f"fault plan: {plan.describe()}")
-    from repro.obs.ledger import active_recorder
-
-    run_recorder = active_recorder()
-    try:
-        sim = simulate_doacross(
-            schedule, args.n, exact_simulation=args.exact_sim, faults=plan
-        )
-    except DeadlockError as err:
-        if run_recorder is not None:
-            run_recorder.note_error("deadlock", f"DeadlockError: {err}")
-            from repro.sched.gantt import sync_timeline
-
-            run_recorder.add_timeline("sync", sync_timeline(schedule))
-        print(err.render(schedule))
-        return 2
-    if run_recorder is not None:
-        from repro.sched.gantt import sync_timeline
-
-        run_recorder.add_timeline("sync", sync_timeline(schedule))
-    print(f"== {args.scheduler} scheduling on {machine.name} ==")
-    print(f"schedule length = {schedule.length}, dispatch = {sim.dispatch}")
-    if sim.fallback_reason:
-        print(f"fast path declined: {sim.fallback_reason}")
-    print(f"parallel time (n={args.n}) = {sim.parallel_time}")
-    if sim.stall_by_pair:
-        for pair_id, stall in sorted(sim.stall_by_pair.items()):
-            print(f"  pair {pair_id}: total stall {stall} cycle(s)")
-    if args.executor:
-        try:
-            result = execute_parallel(
-                schedule,
-                MemoryImage(),
-                args.n,
-                max_cycles=args.max_cycles,
-                faults=plan,
-                graph=compiled.graph,
-            )
-        except DeadlockError as err:
-            print(err.render(schedule))
-            return 2
-        agree = "agrees" if result.parallel_time == sim.parallel_time else "DISAGREES"
-        print(f"semantic executor: {result.parallel_time} cycles ({agree})")
-    return 0
-
-
-def cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.robust.fuzz import run_fuzz
-
-    report = run_fuzz(
-        cases=args.cases, seed=args.seed, executor_every=args.executor_every
-    )
-    print(report.summary())
-    return 0 if report.ok else 1
-
-
-def _sweep_results(
-    names,
-    n,
-    workers,
-    exact_sim,
-    no_cache=False,
-    cache_file=None,
-    min_pool_work=None,
-    progress=False,
-    batch=False,
-):
-    """Run the Perfect sweep and return evaluations, one per sweep point."""
-    from repro.obs.ledger import active_recorder
-    from repro.options import EvalOptions
-
-    suite = perfect_suite()
-    cases = [(2, 1), (2, 2), (4, 1), (4, 2)]
-    jobs = [
-        (name, suite[name], paper_machine(*case)) for name in names for case in cases
-    ]
-    options = EvalOptions(
-        exact_simulation=exact_sim, min_pool_work=min_pool_work, progress=progress,
-        batch=batch,
-    )
-    run_recorder = active_recorder()
-    if run_recorder is not None:
-        run_recorder.note_options(options)
-    if workers > 1:
-        from repro.perf import ParallelEvaluator
-
-        evaluator = ParallelEvaluator(max_workers=workers)
-        results = evaluator.evaluate_corpora(jobs, n=n, options=options)
-        benign = evaluator.fallback_reason in (None, "max_workers=1", "single job") or (
-            evaluator.fallback_reason or ""
-        ).startswith("below min-work threshold")
-        if not evaluator.used_pool and not benign:
-            print(
-                f"note: process pool unavailable, ran serially "
-                f"({evaluator.fallback_reason})",
-                file=sys.stderr,
-            )
-    else:
-        from repro.perf import CompileCache
-        from repro.pipeline import evaluate_corpus
-
-        if run_recorder is not None:
-            run_recorder.note_mode(
-                "batch (whole-grid vectorized, no pool requested)"
-                if batch
-                else "serial (no pool requested)"
-            )
-        cache = None
-        if cache_file:
-            cache = CompileCache.load(cache_file)
-        elif not no_cache:
-            cache = CompileCache()
-        if cache is not None:
-            options = options.replace(cache=cache)
-        if batch:
-            # The whole grid goes through one vectorized dispatch instead
-            # of a per-corpus loop (CLI sweeps never carry the options the
-            # batch engine declines, so there is no fallback leg here).
-            from repro.perf import BatchEvaluator, shared_batch_evaluator
-
-            engine = BatchEvaluator() if no_cache else shared_batch_evaluator()
-            results = engine.evaluate_corpora(jobs, n=n, options=options)
-        else:
-            results = [
-                evaluate_corpus(name, loops, machine, n, options)
-                for name, loops, machine in jobs
-            ]
-        if cache_file and cache is not None:
-            cache.save(cache_file)
-    if run_recorder is not None:
-        for corpus in results:
-            run_recorder.note_failures(corpus.failures)
-    return results, cases
-
-
-def cmd_sweep(args: argparse.Namespace) -> int:
-    names = args.benchmarks or list(PERFECT_BENCHMARKS)
-    if args.no_cache and args.jobs > 1:
-        print(
-            "note: --no-cache has no effect with --jobs > 1 "
-            "(workers keep their own caches)",
-            file=sys.stderr,
-        )
-    if args.cache_file and args.jobs > 1:
-        print(
-            "note: --cache-file has no effect with --jobs > 1 "
-            "(workers keep their own caches)",
-            file=sys.stderr,
-        )
-    results, cases = _sweep_results(
-        names, args.n, args.jobs, args.exact_sim, args.no_cache, args.cache_file,
-        min_pool_work=args.min_pool_work, progress=args.progress, batch=args.batch,
-    )
-    by_point = {(ev.name, ev.machine.name): ev for ev in results}
-    print(f"{'bench':8s}" + "".join(f"{f'{w}i/{f}fu':>16s}" for w, f in cases))
-    for name in names:
-        cells = []
-        for case in cases:
-            ev = by_point[(name, paper_machine(*case).name)]
-            cells.append(f"{ev.t_list}/{ev.t_new} {ev.improvement:4.0f}%")
-        print(f"{name:8s}" + "".join(f"{c:>16s}" for c in cells))
-    return 0
-
-
-def cmd_metrics(args: argparse.Namespace) -> int:
-    import json as _json
-
-    from repro.obs import enable_metrics, disable_metrics, metrics_snapshot
-
-    names = args.benchmarks or list(PERFECT_BENCHMARKS)
-    registry = enable_metrics()
-    try:
-        _sweep_results(names, args.n, args.jobs, args.exact_sim)
-    finally:
-        disable_metrics()
-    if args.json:
-        print(_json.dumps(metrics_snapshot(registry), indent=2, sort_keys=True))
-    else:
-        print(registry.format())
-    return 0
-
-
-def cmd_explain(args: argparse.Namespace) -> int:
-    from repro.obs.explain import (
-        DecisionJournal,
-        explain_op,
-        explain_pair,
-        explain_summary,
-        journal_scope,
-    )
-    from repro.sched import figure4_machine
-
-    compiled = compile_loop(_read_source(args.loop))
-    machine = figure4_machine() if args.fig4 else _machine(args)
-    scheduler = SCHEDULERS[args.scheduler]
-    journal = DecisionJournal()
-    with journal_scope(journal):
-        schedule = scheduler(compiled.lowered, compiled.graph, machine)
-        assert_valid(schedule, compiled.graph)
-        sim = simulate_doacross(schedule, args.n)
-    printed = False
-    if args.op is not None:
-        print(explain_op(schedule, journal, args.op))
-        printed = True
-    if args.pair is not None:
-        if printed:
-            print()
-        print(explain_pair(schedule, journal, compiled.graph, args.pair, sim=sim))
-        printed = True
-    if not printed:
-        print(explain_summary(schedule, journal, compiled.graph, sim=sim))
-    from repro.obs.ledger import active_recorder
-
-    run_recorder = active_recorder()
-    if run_recorder is not None:
-        from repro.sched.gantt import sync_timeline
-
-        run_recorder.add_timeline("sync", sync_timeline(schedule))
-    if args.timeline:
-        from repro.sched.gantt import execution_timeline, sync_timeline
-
-        print()
-        print(sync_timeline(schedule))
-        print()
-        print(execution_timeline(schedule, n=min(args.n, args.timeline_n)))
-    if args.html:
-        from repro.sched.gantt import timeline_html
-
-        with open(args.html, "w", encoding="utf-8") as handle:
-            handle.write(timeline_html(schedule, n=min(args.n, args.timeline_n)))
-        print(f"wrote timeline to {args.html}", file=sys.stderr)
-        if run_recorder is not None:
-            run_recorder.add_artifact(args.html)
-    return 0
-
-
-def _bench_history(args: argparse.Namespace):
-    from repro.obs.regress import BenchHistory
-
-    return BenchHistory(args.history)
-
-
-def cmd_bench_record(args: argparse.Namespace) -> int:
-    from repro.obs.regress import collect_run, suites
-
-    history = _bench_history(args)
-    from repro.obs.ledger import active_recorder
-
-    run_recorder = active_recorder()
-    for suite in suites(args.suite):
-        run = collect_run(suite, n=args.n)
-        history.append(run)
-        print(f"recorded {run.summary()}")
-    if run_recorder is not None:
-        run_recorder.add_artifact(history.path)
-    print(f"history: {history.path}", file=sys.stderr)
-    return 0
-
-
-def cmd_bench_list(args: argparse.Namespace) -> int:
-    history = _bench_history(args)
-    runs = history.load()
-    if not runs:
-        print(f"no runs recorded in {history.path}")
-        return 0
-    for run in runs:
-        print(run.summary())
-    return 0
-
-
-def cmd_bench_diff(args: argparse.Namespace) -> int:
-    from repro.obs.regress import diff_runs, format_diff
-
-    history = _bench_history(args)
-    diff = diff_runs(history.get(args.run_a), history.get(args.run_b))
-    print(format_diff(diff))
-    return 1 if diff.cycle_drift else 0
-
-
-def cmd_bench_check(args: argparse.Namespace) -> int:
-    from repro.obs.regress import BenchHistory, check_run, collect_run, suites
-
-    baseline_store = BenchHistory(args.baseline) if args.baseline else _bench_history(args)
-    failed = False
-    checked = 0
-    for suite in suites(args.suite):
-        baseline = baseline_store.latest(suite)
-        if baseline is None:
-            print(
-                f"{suite}: no baseline recorded in {baseline_store.path} "
-                "(run `repro bench record` first)",
-                file=sys.stderr,
-            )
-            failed = True
-            continue
-        candidate = collect_run(suite, n=baseline.n)
-        violations = check_run(
-            baseline, candidate, wall_tolerance=args.wall_tolerance
-        )
-        checked += 1
-        if violations:
-            failed = True
-            print(f"{suite}: REGRESSION vs baseline {baseline.run_id}:")
-            for violation in violations:
-                print(f"  {violation}")
-        else:
-            print(
-                f"{suite}: OK — {len(candidate.points)} point(s) match baseline "
-                f"{baseline.run_id} exactly"
-            )
-    return 1 if failed or checked == 0 else 0
-
-
-def cmd_dot(args: argparse.Namespace) -> int:
-    compiled = compile_loop(_read_source(args.loop))
-    print(to_dot(compiled.graph, compiled.lowered, title=args.title))
-    return 0
-
-
-def _run_ledger(args: argparse.Namespace):
-    from repro.obs.ledger import RunLedger
-
-    return RunLedger(args.ledger)
-
-
-def cmd_runs_list(args: argparse.Namespace) -> int:
-    ledger = _run_ledger(args)
-    records = ledger.load()
-    if not records:
-        print(f"no runs recorded in {ledger.path}")
-        return 0
-    for record in records:
-        print(record.summary())
-    return 0
-
-
-def cmd_runs_show(args: argparse.Namespace) -> int:
-    ledger = _run_ledger(args)
-    try:
-        record = ledger.get(args.run_id)
-    except KeyError as err:
-        print(err.args[0], file=sys.stderr)
-        return 1
-    print(record.describe())
-    return 0
-
-
-def cmd_runs_diff(args: argparse.Namespace) -> int:
-    from repro.obs.ledger import diff_run_metrics, format_run_diff
-
-    ledger = _run_ledger(args)
-    try:
-        old, new = ledger.get(args.run_a), ledger.get(args.run_b)
-    except KeyError as err:
-        print(err.args[0], file=sys.stderr)
-        return 1
-    diff = diff_run_metrics(old, new, deterministic_only=not args.all_metrics)
-    print(format_run_diff(diff))
-    return 1 if diff.comparable and not diff.identical else 0
-
-
-def cmd_dash(args: argparse.Namespace) -> int:
-    from repro.obs.dash import build_dashboard, walkthrough_timelines
-    from repro.obs.ledger import RunLedger, active_recorder
-    from repro.obs.regress import BenchHistory
-
-    runs = RunLedger(args.ledger).load()
-    bench_runs = BenchHistory(args.history).load()
-    walkthrough = None if args.no_walkthrough else walkthrough_timelines()
-    html = build_dashboard(runs, bench_runs, walkthrough=walkthrough)
-    with open(args.out, "w", encoding="utf-8") as handle:
-        handle.write(html)
-    run_recorder = active_recorder()
-    if run_recorder is not None:
-        run_recorder.add_artifact(args.out)
-    print(
-        f"wrote dashboard ({len(runs)} ledger run(s), {len(bench_runs)} bench "
-        f"run(s)) to {args.out}",
-        file=sys.stderr,
-    )
-    return 0
+from repro.service import ops as _ops
+from repro.service.ops import OP_REGISTRY, OpResult, op_epilog
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -571,6 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hwang (IPPS 1997) instruction-scheduling reproduction toolkit",
+        epilog=op_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--profile",
@@ -606,314 +77,17 @@ def build_parser() -> argparse.ArgumentParser:
             "`repro dash`; default: off)",
         )
 
-    p_compile = sub.add_parser("compile", help="compile a loop and print artifacts")
-    p_compile.add_argument("loop", help="loop source file, or - for stdin")
-    _ledger_flag(p_compile)
-    p_compile.set_defaults(func=cmd_compile)
-
-    p_sched = sub.add_parser("schedule", help="schedule a loop and simulate")
-    p_sched.add_argument("loop", help="loop source file, or - for stdin")
-    p_sched.add_argument(
-        "--scheduler", choices=[*SCHEDULERS, "all"], default="all"
-    )
-    p_sched.add_argument("--issue", type=int, default=4, help="issue width")
-    p_sched.add_argument("--fu", type=int, default=1, help="units per class")
-    p_sched.add_argument("--n", type=int, default=100, help="iterations")
-    p_sched.add_argument("--gantt", action="store_true", help="occupancy chart")
-    p_sched.add_argument("--pressure", action="store_true", help="register pressure")
-    _ledger_flag(p_sched)
-    p_sched.set_defaults(func=cmd_schedule)
-
-    p_mod = sub.add_parser("modulo", help="software-pipeline a loop (extension)")
-    p_mod.add_argument("loop", help="loop source file, or - for stdin")
-    p_mod.add_argument("--issue", type=int, default=4)
-    p_mod.add_argument("--fu", type=int, default=1)
-    p_mod.add_argument("--n", type=int, default=100)
-    p_mod.set_defaults(func=cmd_modulo)
-
-    p_sim = sub.add_parser(
-        "simulate", help="simulate one loop, optionally under injected faults"
-    )
-    p_sim.add_argument("loop", help="loop source file, or - for stdin")
-    p_sim.add_argument("--scheduler", choices=list(SCHEDULERS), default="sync")
-    p_sim.add_argument("--issue", type=int, default=4, help="issue width")
-    p_sim.add_argument("--fu", type=int, default=1, help="units per class")
-    p_sim.add_argument("--n", type=int, default=100, help="iterations")
-    p_sim.add_argument(
-        "--inject",
-        action="append",
-        metavar="SPEC",
-        default=None,
-        help="fault spec, repeatable: drop[:pair=P][,iter=K] | "
-        "delay:extra=E[,pair=P][,iter=K] | stall:iter=K,at=C,cycles=S | "
-        "jitter:seed=S[,max=M][,prob=F]",
-    )
-    p_sim.add_argument(
-        "--exact-sim",
-        action="store_true",
-        help="force the full event walk (skip the analytic fast path)",
-    )
-    p_sim.add_argument(
-        "--executor",
-        action="store_true",
-        help="also run the semantic executor and cross-check the timing",
-    )
-    p_sim.add_argument(
-        "--max-cycles",
-        type=int,
-        default=None,
-        help="executor cycle budget (default: derived from the schedule)",
-    )
-    _ledger_flag(p_sim)
-    p_sim.set_defaults(func=cmd_simulate)
-
-    p_fuzz = sub.add_parser(
-        "fuzz", help="seeded differential fuzz: random loops x random fault plans"
-    )
-    p_fuzz.add_argument("--cases", type=int, default=200)
-    p_fuzz.add_argument("--seed", type=int, default=0)
-    p_fuzz.add_argument(
-        "--executor-every",
-        type=int,
-        default=1,
-        help="run the semantic-executor oracle on every k-th case",
-    )
-    _ledger_flag(p_fuzz)
-    p_fuzz.set_defaults(func=cmd_fuzz)
-
-    p_sweep = sub.add_parser("sweep", help="Tables 2/3 over the Perfect corpora")
-    p_sweep.add_argument("benchmarks", nargs="*", help="subset of corpora")
-    p_sweep.add_argument("--n", type=int, default=100)
-    p_sweep.add_argument(
-        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
-    )
-    p_sweep.add_argument(
-        "--no-cache", action="store_true", help="disable the compile/schedule cache"
-    )
-    p_sweep.add_argument(
-        "--cache-file",
-        metavar="FILE",
-        default=None,
-        help="persist the compile/schedule cache to FILE across runs "
-        "(corrupt or stale files are discarded, counted in robust.cache.corrupt)",
-    )
-    p_sweep.add_argument(
-        "--exact-sim",
-        action="store_true",
-        help="force the full event simulation (skip the analytic fast path)",
-    )
-    p_sweep.add_argument(
-        "--batch",
-        action="store_true",
-        help="answer the whole grid through the vectorized batch engine "
-        "(one closed-form pass; results identical to the per-loop path)",
-    )
-    p_sweep.add_argument(
-        "--min-pool-work",
-        type=int,
-        default=None,
-        metavar="N",
-        help="loop evaluations below which --jobs stays serial "
-        "(0 forces the pool; default: the perf-layer threshold)",
-    )
-    p_sweep.add_argument(
-        "--progress",
-        action="store_true",
-        help="render live progress (an in-place status line on a TTY, "
-        "plain log lines otherwise)",
-    )
-    _ledger_flag(p_sweep)
-    p_sweep.set_defaults(func=cmd_sweep)
-
-    p_metrics = sub.add_parser(
-        "metrics", help="run the Perfect sweep and print collected metrics"
-    )
-    p_metrics.add_argument("benchmarks", nargs="*", help="subset of corpora")
-    p_metrics.add_argument("--n", type=int, default=100)
-    p_metrics.add_argument(
-        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
-    )
-    p_metrics.add_argument(
-        "--exact-sim",
-        action="store_true",
-        help="force the full event simulation (skip the analytic fast path)",
-    )
-    p_metrics.add_argument(
-        "--json", action="store_true", help="print the metrics snapshot as JSON"
-    )
-    _ledger_flag(p_metrics)
-    p_metrics.set_defaults(func=cmd_metrics)
-
-    p_explain = sub.add_parser(
-        "explain", help="why is op X at cycle c / why is pair S's span k"
-    )
-    p_explain.add_argument("loop", help="loop source file, or - for stdin")
-    p_explain.add_argument(
-        "--scheduler",
-        choices=["list", "sync"],
-        default="sync",
-        help="which scheduler's decisions to journal and explain",
-    )
-    p_explain.add_argument("--issue", type=int, default=4, help="issue width")
-    p_explain.add_argument("--fu", type=int, default=1, help="units per class")
-    p_explain.add_argument(
-        "--fig4",
-        action="store_true",
-        help="use the paper's Fig. 4 walkthrough machine instead of --issue/--fu",
-    )
-    p_explain.add_argument("--n", type=int, default=100, help="iterations")
-    p_explain.add_argument(
-        "--op", type=int, default=None, help="explain this instruction's placement"
-    )
-    p_explain.add_argument(
-        "--pair", type=int, default=None, help="explain this sync pair's span"
-    )
-    p_explain.add_argument(
-        "--timeline",
-        action="store_true",
-        help="also print the sync and cross-iteration ASCII timelines",
-    )
-    p_explain.add_argument(
-        "--timeline-n",
-        type=int,
-        default=6,
-        help="iterations shown by the cross-iteration timeline views",
-    )
-    p_explain.add_argument(
-        "--html",
-        metavar="FILE",
-        default=None,
-        help="write a self-contained HTML timeline to FILE",
-    )
-    _ledger_flag(p_explain)
-    p_explain.set_defaults(func=cmd_explain)
-
-    from repro.obs.regress import DEFAULT_HISTORY, DEFAULT_WALL_TOLERANCE
-
-    p_bench = sub.add_parser(
-        "bench", help="record / diff / check benchmark-regression history"
-    )
-    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
-
-    def _bench_common(p) -> None:
-        p.add_argument(
-            "--history",
-            metavar="FILE",
-            default=DEFAULT_HISTORY,
-            help=f"JSONL history file (default: {DEFAULT_HISTORY})",
-        )
-
-    p_record = bench_sub.add_parser("record", help="run suites and append to history")
-    p_record.add_argument(
-        "--suite", choices=["fig", "perfect", "batch", "all"], default="all"
-    )
-    p_record.add_argument("--n", type=int, default=100)
-    _bench_common(p_record)
-    _ledger_flag(p_record)
-    p_record.set_defaults(func=cmd_bench_record)
-
-    p_list = bench_sub.add_parser("list", help="show recorded runs")
-    _bench_common(p_list)
-    p_list.set_defaults(func=cmd_bench_list)
-
-    p_diff = bench_sub.add_parser("diff", help="compare two recorded runs")
-    p_diff.add_argument("run_a", help="baseline run id (prefix ok)")
-    p_diff.add_argument("run_b", help="candidate run id (prefix ok)")
-    _bench_common(p_diff)
-    p_diff.set_defaults(func=cmd_bench_diff)
-
-    p_check = bench_sub.add_parser(
-        "check", help="re-run suites and fail on drift vs the baseline"
-    )
-    p_check.add_argument(
-        "--suite", choices=["fig", "perfect", "batch", "all"], default="all"
-    )
-    p_check.add_argument(
-        "--baseline",
-        metavar="FILE",
-        default=None,
-        help="baseline history file (default: --history)",
-    )
-    p_check.add_argument(
-        "--wall-tolerance",
-        type=float,
-        default=DEFAULT_WALL_TOLERANCE,
-        help="allowed relative wall-clock slowdown on the same machine",
-    )
-    _bench_common(p_check)
-    _ledger_flag(p_check)
-    p_check.set_defaults(func=cmd_bench_check)
-
-    p_dot = sub.add_parser("dot", help="emit the DFG as Graphviz DOT")
-    p_dot.add_argument("loop", help="loop source file, or - for stdin")
-    p_dot.add_argument("--title", default=None)
-    p_dot.set_defaults(func=cmd_dot)
-
-    p_runs = sub.add_parser(
-        "runs", help="list / show / diff runs recorded in the ledger"
-    )
-    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
-
-    def _runs_common(p) -> None:
-        p.add_argument(
-            "--ledger",
-            metavar="FILE",
-            default=DEFAULT_LEDGER,
-            help=f"JSONL run ledger to read (default: {DEFAULT_LEDGER})",
-        )
-
-    p_runs_list = runs_sub.add_parser("list", help="show recorded runs")
-    _runs_common(p_runs_list)
-    p_runs_list.set_defaults(func=cmd_runs_list)
-
-    p_runs_show = runs_sub.add_parser("show", help="full detail for one run")
-    p_runs_show.add_argument("run_id", help="run id (prefix ok)")
-    _runs_common(p_runs_show)
-    p_runs_show.set_defaults(func=cmd_runs_show)
-
-    p_runs_diff = runs_sub.add_parser(
-        "diff", help="compare two runs' final metrics snapshots"
-    )
-    p_runs_diff.add_argument("run_a", help="old run id (prefix ok)")
-    p_runs_diff.add_argument("run_b", help="new run id (prefix ok)")
-    p_runs_diff.add_argument(
-        "--all-metrics",
-        action="store_true",
-        help="compare every metrics namespace, not just the deterministic "
-        "sim.*/sched.* subset",
-    )
-    _runs_common(p_runs_diff)
-    p_runs_diff.set_defaults(func=cmd_runs_diff)
-
-    p_dash = sub.add_parser(
-        "dash", help="build the self-contained HTML dashboard"
-    )
-    p_dash.add_argument(
-        "--out",
-        metavar="FILE",
-        default="dashboard.html",
-        help="output HTML file (default: dashboard.html)",
-    )
-    p_dash.add_argument(
-        "--history",
-        metavar="FILE",
-        default=DEFAULT_HISTORY,
-        help=f"bench history to chart (default: {DEFAULT_HISTORY})",
-    )
-    p_dash.add_argument(
-        "--no-walkthrough",
-        action="store_true",
-        help="skip the generated Fig. 4 walkthrough timelines",
-    )
-    p_dash.add_argument(
-        "--ledger",
-        metavar="FILE",
-        default=DEFAULT_LEDGER,
-        help=f"JSONL run ledger to aggregate (default: {DEFAULT_LEDGER})",
-    )
-    p_dash.set_defaults(func=cmd_dash)
-
+    for spec in OP_REGISTRY.values():
+        spec.configure(sub, _ledger_flag)
     return parser
+
+
+def _emit(result: OpResult) -> None:
+    """Write an op's captured streams to the real stdout/stderr."""
+    if result.stdout:
+        sys.stdout.write(result.stdout)
+    if result.stderr:
+        sys.stderr.write(result.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -941,11 +115,11 @@ def main(argv: list[str] | None = None) -> int:
 
             progress_sink = RecordingProgressSink()
             add_progress_sink(progress_sink)
-    # --ledger on a workload subcommand arms the run recorder.  The
-    # query commands (`runs`, `dash`) take --ledger as the store to READ
-    # and never record themselves.
+    # --ledger on a workload subcommand arms the run recorder.  The query
+    # ops (spec.records=False: `runs`, `dash`, `serve`, `loadtest`) take
+    # --ledger as the store to READ/serve and never record themselves.
     run_recorder = None
-    if getattr(args, "ledger", None) and args.command not in ("runs", "dash"):
+    if getattr(args, "ledger", None) and args.spec.records:
         from repro.obs.ledger import RunRecorder, _set_recorder
 
         command = args.command
@@ -955,7 +129,9 @@ def main(argv: list[str] | None = None) -> int:
         _set_recorder(run_recorder)
     exit_code: int | None = None
     try:
-        exit_code = args.func(args)
+        result = args.spec.run(args)
+        _emit(result)
+        exit_code = result.exit_code
         return exit_code
     except BrokenPipeError:
         # stdout consumer (e.g. `head`) went away; not an error
@@ -1012,6 +188,81 @@ def main(argv: list[str] | None = None) -> int:
 
             disable_profiling()
             print(f"\n== pipeline stage profile ==\n{profiler.format()}", file=sys.stderr)
+
+
+# -- deprecation shims for the pre-split module surface ------------------------
+
+
+def _shim(result_fn):
+    """Wrap an OpResult-returning callable as a legacy ``(args) -> int``."""
+
+    def legacy(args: argparse.Namespace) -> int:
+        result = result_fn(args)
+        _emit(result)
+        return result.exit_code
+
+    return legacy
+
+
+def _legacy_sweep_results(*args, **kwargs):
+    results, cases, notes = _ops.sweep_results(*args, **kwargs)
+    for note in notes:
+        print(note, file=sys.stderr)
+    return results, cases
+
+
+#: moved name -> factory returning its replacement (evaluated lazily so
+#: the shim table itself costs nothing at import time).
+_LEGACY_SHIMS = {
+    "SCHEDULERS": lambda: _ops.SCHEDULERS,
+    "_read_source": lambda: _ops.read_source,
+    "_machine": lambda: (lambda a: _ops.paper_machine(a.issue, a.fu)),
+    "_sweep_results": lambda: _legacy_sweep_results,
+    "cmd_compile": lambda: _shim(OP_REGISTRY["compile"].run),
+    "cmd_schedule": lambda: _shim(OP_REGISTRY["schedule"].run),
+    "cmd_modulo": lambda: _shim(OP_REGISTRY["modulo"].run),
+    "cmd_simulate": lambda: _shim(OP_REGISTRY["simulate"].run),
+    "cmd_fuzz": lambda: _shim(OP_REGISTRY["fuzz"].run),
+    "cmd_sweep": lambda: _shim(OP_REGISTRY["sweep"].run),
+    "cmd_metrics": lambda: _shim(OP_REGISTRY["metrics"].run),
+    "cmd_explain": lambda: _shim(OP_REGISTRY["explain"].run),
+    "cmd_dot": lambda: _shim(OP_REGISTRY["dot"].run),
+    "cmd_dash": lambda: _shim(OP_REGISTRY["dash"].run),
+    "cmd_bench_record": lambda: _shim(
+        lambda a: _ops.bench_record_op(a.history, suite=a.suite, n=a.n)
+    ),
+    "cmd_bench_list": lambda: _shim(lambda a: _ops.bench_list_op(a.history)),
+    "cmd_bench_diff": lambda: _shim(
+        lambda a: _ops.bench_diff_op(a.history, a.run_a, a.run_b)
+    ),
+    "cmd_bench_check": lambda: _shim(
+        lambda a: _ops.bench_check_op(
+            a.history, suite=a.suite, baseline=a.baseline,
+            wall_tolerance=a.wall_tolerance,
+        )
+    ),
+    "cmd_runs_list": lambda: _shim(lambda a: _ops.runs_list_op(a.ledger)),
+    "cmd_runs_show": lambda: _shim(
+        lambda a: _ops.runs_show_op(a.ledger, a.run_id)
+    ),
+    "cmd_runs_diff": lambda: _shim(
+        lambda a: _ops.runs_diff_op(
+            a.ledger, a.run_a, a.run_b, all_metrics=a.all_metrics
+        )
+    ),
+}
+
+
+def __getattr__(name: str):
+    if name in _LEGACY_SHIMS:
+        warnings.warn(
+            f"repro.cli.{name} moved to repro.service.ops in the service "
+            "split (schema v7); import from repro.service.ops instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _LEGACY_SHIMS[name]()
+    raise AttributeError(f"module 'repro.cli' has no attribute {name!r}")
 
 
 if __name__ == "__main__":  # pragma: no cover

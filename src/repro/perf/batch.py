@@ -123,6 +123,11 @@ class _Cell:
 
     evaluation: "object"  # LoopEvaluation, sims patched in the flat pass
     replay_dispatch: list[str] = field(default_factory=list)
+    replay_pending: bool = False
+    """The cell hit an evaluation memo entry created earlier in this same
+    grid, whose simulations only exist after the flat pass (coalesced
+    service submissions duplicate cells; CLI grids never do) — resolve
+    its dispatch replay from the evaluation in pass 3."""
 
 
 @dataclass
@@ -323,15 +328,22 @@ class BatchEvaluator:
                         if evaluation is not None:
                             self.stats.eval_hits += 1
                             metric_count("perf.batch.eval.hit")
-                            cells.append(
-                                _Cell(
-                                    evaluation=evaluation,
-                                    replay_dispatch=[
-                                        evaluation.sim_list.dispatch,
-                                        evaluation.sim_new.dispatch,
-                                    ],
+                            if evaluation.sim_list is None or evaluation.sim_new is None:
+                                # Duplicate cell within this grid: the memo
+                                # entry's sims land in pass 2.
+                                cells.append(
+                                    _Cell(evaluation=evaluation, replay_pending=True)
                                 )
-                            )
+                            else:
+                                cells.append(
+                                    _Cell(
+                                        evaluation=evaluation,
+                                        replay_dispatch=[
+                                            evaluation.sim_list.dispatch,
+                                            evaluation.sim_new.dispatch,
+                                        ],
+                                    )
+                                )
                             corpus.evaluations.append(evaluation)
                             emit_progress(
                                 "corpus", index + 1, len(loops),
@@ -414,7 +426,13 @@ class BatchEvaluator:
             # already counted their own).
             if active_metrics() is not None:
                 for cell in cells:
-                    for dispatch in cell.replay_dispatch:
+                    dispatches = cell.replay_dispatch
+                    if cell.replay_pending:
+                        dispatches = [
+                            cell.evaluation.sim_list.dispatch,
+                            cell.evaluation.sim_new.dispatch,
+                        ]
+                    for dispatch in dispatches:
                         metric_count(f"sim.dispatch.{dispatch}")
                     evaluation = cell.evaluation
                     _record_evaluation_metrics(

@@ -45,6 +45,14 @@ Version history — the documented contract lives in ``docs/api.md``:
   map as identity-preserving ``(ref, iid)`` pairs so cached compiled
   loops survive a process boundary.  v5 cache files are rejected (and
   recompiled); JSONL consumers keep working — the new key is optional.
+* **v7** — compilation-as-a-service (see ``docs/service.md``): the
+  ``result`` and ``error`` record kinds of :mod:`repro.service.server`
+  (every HTTP response body, and the terminal line of a streamed
+  submission, is one of them), and ``run`` records written by the
+  service carry ``command: "service <op>"`` with ``metrics: null`` (a
+  per-request metrics snapshot would dominate service latency).  JSONL
+  consumers keep working — the new kinds are additive; v6 cache files
+  are rejected and recompiled, as every bump does by construction.
 """
 
 from __future__ import annotations
@@ -53,13 +61,14 @@ import json
 from typing import Any
 
 #: Record format version; bump when any record's shape changes (docs/api.md).
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Every ``kind`` that may appear as a top-level JSONL line.  Nested
 #: records (``schedule``/``evaluation``/``corpus`` report blocks) are
 #: stamped with ``schema_version`` but carry no ``kind`` — they are
-#: documents, not stream lines.
-JSONL_KINDS = ("span", "metrics", "progress", "bench_run", "run")
+#: documents, not stream lines.  ``result``/``error`` are the service's
+#: response bodies and ndjson stream lines (:mod:`repro.service.server`).
+JSONL_KINDS = ("span", "metrics", "progress", "bench_run", "run", "result", "error")
 
 __all__ = [
     "JSONL_KINDS",

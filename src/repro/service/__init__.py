@@ -1,0 +1,55 @@
+"""Compilation-as-a-service: the typed op layer and the HTTP server.
+
+``repro.service.ops`` holds every operation as a typed entrypoint
+returning an :class:`~repro.service.ops.OpResult`; :data:`OP_REGISTRY`
+is the single source of truth both clients are generated from.  The
+command line (:mod:`repro.cli`) is one thin client; the long-lived HTTP
+server (:mod:`repro.service.server`, ``repro serve``) is the second,
+sharing one process-wide compile cache and coalescing concurrent
+submissions into single batch-engine grids.  See ``docs/service.md``.
+"""
+
+from repro.service.ops import (
+    OP_REGISTRY,
+    OpResult,
+    OpSpec,
+    compile_op,
+    evaluate_op,
+    explain_op,
+    fuzz_op,
+    metrics_op,
+    modulo_op,
+    op_epilog,
+    schedule_op,
+    simulate_op,
+    sweep_op,
+    sweep_results,
+)
+
+__all__ = [
+    "OP_REGISTRY",
+    "OpResult",
+    "OpSpec",
+    "ReproService",
+    "compile_op",
+    "evaluate_op",
+    "explain_op",
+    "fuzz_op",
+    "metrics_op",
+    "modulo_op",
+    "op_epilog",
+    "schedule_op",
+    "simulate_op",
+    "sweep_op",
+    "sweep_results",
+]
+
+
+def __getattr__(name: str):
+    # The server pulls in http.server and the coalescing batcher; load it
+    # lazily so `import repro.service` stays cheap for CLI startup.
+    if name == "ReproService":
+        from repro.service.server import ReproService
+
+        return ReproService
+    raise AttributeError(f"module 'repro.service' has no attribute {name!r}")

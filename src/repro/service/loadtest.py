@@ -1,0 +1,272 @@
+"""``repro loadtest``: fire concurrent submissions at a service, measure.
+
+The service's acceptance bar (docs/service.md): ≥ 1000 concurrent loop
+submissions against one server with **zero errors**, **zero
+quarantines**, a **cross-request compile-cache hit rate above zero**
+(the whole point of the long-lived process), and **every request in the
+run ledger**.  This harness drives that bar and records throughput,
+shared-cache hit rate, and p50/p95/p99 latency into the ``service``
+block of ``BENCH_perf.json`` (``make bench-service``).
+
+By default it boots an in-process :class:`~repro.service.server.
+ReproService` on an ephemeral port with a scratch ledger; point
+``--url`` at a running server to load-test it instead (the ledger
+check is skipped — the harness can't know how many requests the
+server had already served).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from http.client import HTTPConnection
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.schema import SCHEMA_VERSION, stamped
+from repro.service.ops import OpResult
+
+__all__ = ["loadtest_op"]
+
+#: Distinct loop sources cycled across submissions: few enough that the
+#: shared cache pays off across requests, varied enough (distances,
+#: statement mixes) that the engine can't answer everything from one
+#: compile.
+LOOP_SOURCES = tuple(
+    f"""
+DO I = 1, 100
+  S1: B(I) = A(I-{d}) + E(I+1)
+  S2: G(I-3) = A(I-{d + 1}) * E(I+2)
+  S3: A(I) = B(I) + C(I+{d + 2})
+ENDDO
+"""
+    for d in range(1, 9)
+)
+
+#: Machine grid cycled across submissions (the paper's Table 2 columns).
+MACHINE_CASES = ((2, 1), (2, 2), (4, 1), (4, 2))
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+class _Client(threading.Thread):
+    """One persistent connection issuing its share of the submissions."""
+
+    def __init__(self, host, port, payloads, take, n):
+        super().__init__(daemon=True)
+        self.host, self.port = host, port
+        self.payloads = payloads
+        self.take = take  # () -> next request index or None
+        self.n = n
+        self.latencies: list[float] = []
+        self.errors: list[str] = []
+        self.quarantines = 0
+        self.coalesced_peak = 1
+
+    def run(self) -> None:
+        connection = HTTPConnection(self.host, self.port, timeout=60)
+        try:
+            while True:
+                index = self.take()
+                if index is None:
+                    return
+                body = self.payloads[index % len(self.payloads)]
+                started = time.perf_counter()
+                try:
+                    connection.request(
+                        "POST",
+                        "/v1/evaluate",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    data = json.loads(response.read())
+                except Exception as err:
+                    self.errors.append(f"{type(err).__name__}: {err}")
+                    connection.close()
+                    connection = HTTPConnection(self.host, self.port, timeout=60)
+                    continue
+                self.latencies.append(time.perf_counter() - started)
+                if response.status != 200:
+                    self.errors.append(
+                        f"HTTP {response.status}: {data.get('error', '?')}"
+                    )
+                    continue
+                if data.get("failures"):
+                    self.quarantines += len(data["failures"])
+                self.coalesced_peak = max(
+                    self.coalesced_peak, data.get("coalesced", 1)
+                )
+        finally:
+            connection.close()
+
+
+def _get_json(host: str, port: int, path: str) -> dict[str, Any]:
+    connection = HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request("GET", path)
+        return json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+
+
+def _merge_bench_file(path: str, block: dict[str, Any]) -> None:
+    existing: dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                existing = loaded
+        except ValueError:
+            pass  # a torn or foreign file must not sink the bench run
+    existing["schema_version"] = SCHEMA_VERSION
+    existing["service"] = block
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def loadtest_op(
+    requests: int = 1000,
+    concurrency: int = 16,
+    url: str | None = None,
+    n: int = 100,
+    out: str = "BENCH_perf.json",
+) -> OpResult:
+    """Fire ``requests`` concurrent ``POST /v1/evaluate`` submissions."""
+    import io
+
+    buffer_out, buffer_err = io.StringIO(), io.StringIO()
+    own_server = None
+    scratch = None
+    if url is None:
+        from repro.service.server import ReproService
+
+        scratch = tempfile.mkdtemp(prefix="repro-loadtest-")
+        own_server = ReproService(
+            port=0, ledger=os.path.join(scratch, "ledger.jsonl")
+        ).start()
+        host, port = own_server.host, own_server.port
+    else:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        host, port = parts.hostname or "127.0.0.1", parts.port or 80
+
+    payloads = [
+        json.dumps(
+            {
+                "source": source,
+                "machine": {"issue": issue, "fu": fu},
+                "n": n,
+                "name": f"load-{index}",
+            }
+        )
+        for index, (source, (issue, fu)) in enumerate(
+            (s, m) for s in LOOP_SOURCES for m in MACHINE_CASES
+        )
+    ]
+
+    counter = {"next": 0}
+    counter_lock = threading.Lock()
+
+    def take() -> int | None:
+        with counter_lock:
+            if counter["next"] >= requests:
+                return None
+            counter["next"] += 1
+            return counter["next"] - 1
+
+    clients = [
+        _Client(host, port, payloads, take, n) for _ in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for client in clients:
+        client.start()
+    for client in clients:
+        client.join()
+    wall = time.perf_counter() - started
+
+    latencies = sorted(l for client in clients for l in client.latencies)
+    errors = [e for client in clients for e in client.errors]
+    quarantines = sum(client.quarantines for client in clients)
+    coalesced_peak = max(client.coalesced_peak for client in clients)
+
+    health = _get_json(host, port, "/v1/healthz")
+    runs = _get_json(host, port, "/v1/runs?limit=1")
+    ledger_count = runs.get("count", 0)
+    cache = health.get("cache", {})
+    batch = health.get("batch", {})
+    cache_hits = cache.get("compile_hits", 0) + cache.get("schedule_hits", 0)
+    memo_hits = batch.get("eval_hits", 0)
+
+    if own_server is not None:
+        own_server.shutdown()
+
+    block = stamped(
+        None,
+        {
+            "requests": requests,
+            "concurrency": concurrency,
+            "wall_s": round(wall, 4),
+            "throughput_rps": round(requests / wall, 2) if wall else 0.0,
+            "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "latency_p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+            "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+            "errors": len(errors),
+            "quarantines": quarantines,
+            "coalesced_peak": coalesced_peak,
+            "ledger_count": ledger_count,
+            "cache_hits": cache_hits,
+            "eval_memo_hits": memo_hits,
+            "cache": cache,
+            "batch": batch,
+        },
+    )
+    _merge_bench_file(out, block)
+
+    print(
+        f"{requests} submissions x {concurrency} clients in {wall:.2f}s "
+        f"({block['throughput_rps']} req/s)",
+        file=buffer_out,
+    )
+    print(
+        f"latency p50={block['latency_p50_ms']}ms "
+        f"p95={block['latency_p95_ms']}ms p99={block['latency_p99_ms']}ms; "
+        f"peak coalesce {coalesced_peak}",
+        file=buffer_out,
+    )
+    print(
+        f"cache hits {cache_hits} (+{memo_hits} eval-memo), "
+        f"errors {len(errors)}, quarantines {quarantines}, "
+        f"ledger {ledger_count} record(s)",
+        file=buffer_out,
+    )
+    print(f"wrote service block to {out}", file=buffer_err)
+
+    failed = []
+    if errors:
+        failed.append(f"{len(errors)} request error(s); first: {errors[0]}")
+    if quarantines:
+        failed.append(f"{quarantines} quarantined loop(s)")
+    if cache_hits + memo_hits == 0:
+        failed.append("no cross-request cache hits")
+    if own_server is not None and ledger_count != requests:
+        failed.append(
+            f"ledger has {ledger_count} record(s) for {requests} request(s)"
+        )
+    for reason in failed:
+        print(f"FAIL: {reason}", file=buffer_err)
+    return OpResult(
+        exit_code=1 if failed else 0,
+        stdout=buffer_out.getvalue(),
+        stderr=buffer_err.getvalue(),
+        data=block,
+    )

@@ -1,0 +1,858 @@
+"""The long-lived compilation service: HTTP over the op registry.
+
+``repro serve`` runs :class:`ReproService`, a zero-dependency
+(stdlib ``http.server``) server whose endpoints are thin clients of the
+same :data:`~repro.service.ops.OP_REGISTRY` the CLI is generated from:
+
+* ``POST /v1/evaluate`` — one loop on one machine, both schedulers.
+* ``POST /v1/sweep`` — a corpus × machine grid through the batch engine.
+* ``POST /v1/op/<name>`` — any registry op as ``{exit_code, stdout,
+  stderr, data}`` (the CLI surface over HTTP).
+* ``GET /v1/runs`` — the run ledger, every workload request recorded.
+* ``GET /v1/healthz`` — uptime, request counts, batch/cache statistics.
+
+Requests and responses are schema-v7 stamped JSON
+(:func:`repro.schema.stamped`, kinds ``result``/``error``).  The
+economics of the service are in the **coalescer**: concurrent
+submissions that arrive within ``coalesce_window`` seconds and share
+``(n, EvalOptions.stable_hash())`` are merged into a single
+:meth:`~repro.perf.batch.BatchEvaluator.evaluate_corpora` grid, so the
+flat closed-form pass and the process-wide
+:class:`~repro.perf.cache.CompileCache` amortize across clients.  All
+evaluation runs on the single batcher thread — handler threads only
+parse, enqueue, and wait — which keeps the engine's memos free of
+locks.  With ``"stream": true`` a submission's response is chunked
+ndjson: ``progress`` lines fanned out from the
+:class:`~repro.obs.trace.ProgressSink` seam, then one ``result`` line.
+
+See ``docs/service.md`` for the wire contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import queue
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.ledger import DEFAULT_LEDGER, RunLedger, RunRecord
+from repro.obs.regress import git_sha, machine_fingerprint
+from repro.obs.trace import ProgressSink, add_progress_sink, remove_progress_sink
+from repro.options import EvalOptions
+from repro.perf.batch import BatchEvaluator, batch_incompatibility
+from repro.schema import SCHEMA_VERSION, stamped
+from repro.sched import paper_machine
+from repro.service.ops import OP_REGISTRY, OpResult
+
+__all__ = [
+    "ALLOWED_OPTION_KEYS",
+    "MAX_REQUEST_BYTES",
+    "ReproService",
+    "ServiceError",
+    "service_error",
+    "service_result",
+    "serve_forever_op",
+]
+
+#: Largest accepted request body; anything bigger is rejected with 413
+#: before it is read (the corpus grids the service exists for are far
+#: smaller — a cap keeps one hostile client from ballooning the heap).
+MAX_REQUEST_BYTES = 1 << 20
+
+#: ``options`` keys a request may set: the simple JSON-serializable
+#: subset of :class:`~repro.options.EvalOptions`.  Everything else
+#: (caches, pools, fault plans, collectors) is owned by the server —
+#: requests are keyed by ``EvalOptions.stable_hash()`` so the schema
+#: stays forward-compatible as the option surface grows.
+ALLOWED_OPTION_KEYS = (
+    "apply_restructuring",
+    "exact_simulation",
+    "verify",
+    "check_semantics",
+    "max_cycles",
+)
+
+#: The paper's machine grid (Table 2/3 columns), shared with the sweep op.
+PAPER_CASES = ((2, 1), (2, 2), (4, 1), (4, 2))
+
+
+class ServiceError(ValueError):
+    """A client error carrying its HTTP status (4xx)."""
+
+    def __init__(self, status: int, message: str, **extra: Any) -> None:
+        super().__init__(message)
+        self.status = status
+        self.extra = extra
+
+
+def service_result(op: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """A schema-stamped ``result`` line/response body."""
+    return stamped("result", {"op": op, **payload})
+
+
+def service_error(status: int, message: str, **extra: Any) -> dict[str, Any]:
+    """A schema-stamped ``error`` response body (always lists the
+    registry-derived operations, so clients can't drift on the surface)."""
+    return stamped(
+        "error",
+        {
+            "status": status,
+            "error": message,
+            "operations": [n for n, s in OP_REGISTRY.items() if s.http],
+            **extra,
+        },
+    )
+
+
+# -- the coalescing batcher ----------------------------------------------------
+
+
+class _Submission:
+    """One client's evaluation request, waiting on the batcher."""
+
+    def __init__(self, op, jobs, n, options, stream=False):
+        self.op = op
+        self.jobs = jobs  # [(name, loops, machine)], the client's slice
+        self.n = n
+        self.options = options
+        self.results = None  # list[CorpusEvaluation], job order
+        self.error: BaseException | None = None
+        self.coalesced = 0  # submissions sharing the grid (self included)
+        self.done = threading.Event()
+        self.progress: queue.SimpleQueue | None = (
+            queue.SimpleQueue() if stream else None
+        )
+
+    def group_key(self) -> tuple:
+        return (self.n, self.options.stable_hash())
+
+    @property
+    def failures(self):
+        return [f for corpus in (self.results or ()) for f in corpus.failures]
+
+
+class _FanoutSink(ProgressSink):
+    """Fans batcher-thread progress events out to streaming submissions."""
+
+    def __init__(self, queues) -> None:
+        self.queues = queues
+
+    def emit(self, event) -> None:
+        for q in self.queues:
+            q.put(event)
+
+
+class _Batcher(threading.Thread):
+    """The single evaluation thread: drains the queue, coalesces
+    same-options submissions into one grid, runs it, slices results back.
+
+    Serializing every evaluation through one thread is what makes the
+    shared :class:`BatchEvaluator` (and its compile cache) safe without
+    locks on the hot path.
+    """
+
+    def __init__(self, engine: BatchEvaluator, window: float) -> None:
+        super().__init__(name="repro-batcher", daemon=False)
+        self.engine = engine
+        self.window = window
+        self.queue: queue.Queue = queue.Queue()
+        self._closed = threading.Event()
+
+    def submit(self, submission: _Submission) -> None:
+        if self._closed.is_set():
+            raise ServiceError(503, "service is shutting down")
+        self.queue.put(submission)
+
+    def stop(self) -> None:
+        """Refuse new work, drain what's queued, then stop."""
+        self._closed.set()
+        self.queue.put(None)  # wake the drain loop
+        self.join()
+
+    def run(self) -> None:
+        while True:
+            submission = self.queue.get()
+            if submission is None:
+                if self._closed.is_set() and self.queue.empty():
+                    return
+                continue
+            batch = [submission]
+            deadline = time.monotonic() + self.window
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    extra = self.queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if extra is None:
+                    break
+                batch.append(extra)
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[_Submission]) -> None:
+        groups: dict[tuple, list[_Submission]] = {}
+        for submission in batch:
+            groups.setdefault(submission.group_key(), []).append(submission)
+        for group in groups.values():
+            self._run_group(group)
+
+    def _run_group(self, group: list[_Submission]) -> None:
+        options = group[0].options
+        n = group[0].n
+        jobs = [job for submission in group for job in submission.jobs]
+        sink = None
+        progress_queues = [s.progress for s in group if s.progress is not None]
+        if progress_queues:
+            sink = add_progress_sink(_FanoutSink(progress_queues))
+        try:
+            reason = batch_incompatibility(options)
+            if reason is None:
+                results = self.engine.evaluate_corpora(jobs, n=n, options=options)
+            else:
+                # Exactness over throughput: options the closed-form
+                # plane cannot honour run per-loop, still on the shared
+                # compile cache.
+                from repro.pipeline import evaluate_corpus
+
+                per_loop = options.replace(cache=self.engine.cache)
+                results = [
+                    evaluate_corpus(name, loops, machine, n, per_loop)
+                    for name, loops, machine in jobs
+                ]
+            index = 0
+            for submission in group:
+                count = len(submission.jobs)
+                submission.results = results[index : index + count]
+                index += count
+        except BaseException as err:
+            for submission in group:
+                submission.error = err
+        finally:
+            if sink is not None:
+                remove_progress_sink(sink)
+            for submission in group:
+                submission.coalesced = len(group)
+                if submission.progress is not None:
+                    submission.progress.put(None)  # stream terminator
+                submission.done.set()
+
+
+# -- the server ----------------------------------------------------------------
+
+
+class ReproService:
+    """The long-lived service: one shared engine, one batcher, a ledger.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``).
+    ``start()`` returns immediately; ``shutdown()`` drains in-flight
+    submissions before returning (see :meth:`shutdown` for the order).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8757,
+        ledger: str = DEFAULT_LEDGER,
+        coalesce_window: float = 0.02,
+    ) -> None:
+        self.engine = BatchEvaluator()
+        self.batcher = _Batcher(self.engine, coalesce_window)
+        self.ledger = RunLedger(ledger)
+        self.coalesce_window = coalesce_window
+        self.started_at = time.time()
+        self.requests: dict[str, int] = {}
+        self._sequence = 0
+        self._lock = threading.Lock()  # ledger + counters
+        self._op_lock = threading.Lock()  # generic ops mutate global state
+        self._closing = threading.Event()
+        self._busy = 0
+        self._busy_cond = threading.Condition()
+        self._connections: set = set()
+        self._conn_lock = threading.Lock()
+        # Per-process provenance, captured once (git subprocess is too
+        # slow to pay per request).
+        self._git_sha = git_sha()
+        self._machine = machine_fingerprint()
+        self.httpd = _Server((host, port), _Handler, self)
+        self.host, self.port = self.httpd.server_address[:2]
+        self._serve_thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ReproService":
+        self.batcher.start()
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-service",
+            kwargs={"poll_interval": 0.05},
+        )
+        self._serve_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Graceful stop, in drain order: refuse new work (late requests
+        get 503), stop accepting connections, wait for in-flight requests
+        to complete (the batcher keeps running so their submissions
+        finish), close the now-idle keep-alive sockets so their reader
+        threads unblock, join every handler thread, then stop the batcher
+        after its queue is empty.  Nothing in flight is orphaned —
+        handler threads are non-daemon and joined by ``server_close``."""
+        self._closing.set()
+        self.httpd.shutdown()
+        with self._busy_cond:
+            self._busy_cond.wait_for(lambda: self._busy == 0, timeout=60)
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already closed by its handler
+        self.httpd.server_close()  # joins handler threads (block_on_close)
+        if self.batcher.is_alive():
+            self.batcher.stop()
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+
+    def _begin_request(self) -> None:
+        with self._busy_cond:
+            self._busy += 1
+
+    def _end_request(self) -> None:
+        with self._busy_cond:
+            self._busy -= 1
+            self._busy_cond.notify_all()
+
+    def __enter__(self) -> "ReproService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- request accounting --------------------------------------------------
+
+    def count(self, key: str) -> int:
+        with self._lock:
+            self.requests[key] = self.requests.get(key, 0) + 1
+            self._sequence += 1
+            return self._sequence
+
+    def record_request(
+        self,
+        op: str,
+        sequence: int,
+        path: str,
+        options_hash: str | None,
+        outcome: str,
+        wall_s: float,
+        mode: str | None = None,
+        error: str | None = None,
+        failures: tuple = (),
+    ) -> RunRecord:
+        """Append one workload request to the run ledger.
+
+        Built directly (not via :class:`RunRecorder`) because the global
+        active-recorder slot is not thread-safe and a per-request metrics
+        snapshot would dominate service latency; ``metrics`` is ``None``
+        by design on service records.
+        """
+        timestamp = time.time()
+        argv = ("POST", path, f"#{sequence}")
+        payload = {
+            "command": f"service {op}",
+            "argv": list(argv),
+            "timestamp": timestamp,
+            "options_hash": options_hash,
+            "outcome": outcome,
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        record = RunRecord(
+            run_id=digest[:12],
+            timestamp=timestamp,
+            command=f"service {op}",
+            argv=argv,
+            options_hash=options_hash,
+            git_sha=self._git_sha,
+            machine=self._machine,
+            wall_s=wall_s,
+            outcome=outcome,
+            error=error,
+            mode=mode,
+            failures=tuple(f.as_dict() for f in failures),
+            metrics=None,
+        )
+        with self._lock:
+            self.ledger.append(record)
+        return record
+
+    # -- request parsing -----------------------------------------------------
+
+    def parse_options(self, raw: Any) -> EvalOptions:
+        if raw is None:
+            return EvalOptions()
+        if not isinstance(raw, dict):
+            raise ServiceError(400, "options must be an object")
+        unknown = sorted(set(raw) - set(ALLOWED_OPTION_KEYS))
+        if unknown:
+            raise ServiceError(
+                400,
+                f"unknown option key(s): {', '.join(unknown)}",
+                allowed_options=list(ALLOWED_OPTION_KEYS),
+            )
+        try:
+            return EvalOptions(**raw)
+        except (TypeError, ValueError) as err:
+            raise ServiceError(400, f"bad options: {err}")
+
+    @staticmethod
+    def parse_n(body: dict[str, Any]) -> int:
+        n = body.get("n", 100)
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ServiceError(400, "n must be a positive integer")
+        return n
+
+    @staticmethod
+    def parse_machine(raw: Any):
+        raw = raw or {}
+        if not isinstance(raw, dict):
+            raise ServiceError(400, "machine must be an object like {\"issue\": 4, \"fu\": 1}")
+        issue, fu = raw.get("issue", 4), raw.get("fu", 1)
+        for label, value in (("issue", issue), ("fu", fu)):
+            if not isinstance(value, int) or isinstance(value, bool) or not 1 <= value <= 64:
+                raise ServiceError(400, f"machine.{label} must be an integer in [1, 64]")
+        return paper_machine(issue, fu)
+
+    def submission_for_evaluate(self, body: dict[str, Any]) -> _Submission:
+        source = body.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise ServiceError(400, "source must be a non-empty loop string")
+        from repro.ir.parser import parse_loop
+
+        try:
+            loop = parse_loop(source)
+        except Exception as err:
+            raise ServiceError(400, f"loop does not parse: {err}")
+        machine = self.parse_machine(body.get("machine"))
+        name = body.get("name", "request")
+        if not isinstance(name, str):
+            raise ServiceError(400, "name must be a string")
+        return _Submission(
+            "evaluate",
+            [(name, [loop], machine)],
+            self.parse_n(body),
+            self.parse_options(body.get("options")),
+            stream=bool(body.get("stream")),
+        )
+
+    def submission_for_sweep(self, body: dict[str, Any]) -> _Submission:
+        from repro.workloads import PERFECT_BENCHMARKS, perfect_suite
+
+        suite = perfect_suite()
+        names = body.get("benchmarks") or list(PERFECT_BENCHMARKS)
+        if not isinstance(names, list) or not all(isinstance(b, str) for b in names):
+            raise ServiceError(400, "benchmarks must be a list of corpus names")
+        unknown = sorted(set(names) - set(suite))
+        if unknown:
+            raise ServiceError(
+                400,
+                f"unknown benchmark(s): {', '.join(unknown)}",
+                known_benchmarks=sorted(suite),
+            )
+        jobs = [
+            (name, suite[name], paper_machine(*case))
+            for name in names
+            for case in PAPER_CASES
+        ]
+        return _Submission(
+            "sweep",
+            jobs,
+            self.parse_n(body),
+            self.parse_options(body.get("options")),
+            stream=bool(body.get("stream")),
+        )
+
+    # -- submission execution ------------------------------------------------
+
+    def run_submission(self, submission: _Submission) -> dict[str, Any]:
+        """Enqueue, wait, and build the ``result`` payload (the
+        non-streaming path; streaming pumps the progress queue itself)."""
+        self.batcher.submit(submission)
+        submission.done.wait()
+        return self.result_payload(submission)
+
+    def result_payload(self, submission: _Submission) -> dict[str, Any]:
+        if submission.error is not None:
+            raise submission.error
+        from repro.report import corpus_record, evaluation_record
+
+        payload: dict[str, Any] = {
+            "n": submission.n,
+            "options_hash": submission.options.stable_hash(),
+            "coalesced": submission.coalesced,
+            "failures": [f.as_dict() for f in submission.failures],
+        }
+        if submission.op == "evaluate":
+            corpus = submission.results[0]
+            payload["machine"] = corpus.machine.name
+            payload["evaluation"] = (
+                evaluation_record(corpus.evaluations[0])
+                if corpus.evaluations
+                else None
+            )
+        else:
+            payload["benchmarks"] = sorted({name for name, _, _ in submission.jobs})
+            payload["cases"] = [list(case) for case in PAPER_CASES]
+            payload["corpora"] = [corpus_record(c) for c in submission.results]
+        return service_result(submission.op, payload)
+
+    # -- health --------------------------------------------------------------
+
+    def health_payload(self) -> dict[str, Any]:
+        with self._lock:
+            counts = dict(self.requests)
+        return service_result(
+            "healthz",
+            {
+                "status": "ok",
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "requests": counts,
+                "coalesce_window_s": self.coalesce_window,
+                "batch": dataclasses.asdict(self.engine.stats),
+                "cache": dataclasses.asdict(self.engine.cache.stats),
+                "ledger": self.ledger.path,
+                "operations": [n for n, s in OP_REGISTRY.items() if s.http],
+                "git_sha": self._git_sha,
+            },
+        )
+
+
+class _Server(ThreadingHTTPServer):
+    # Handler threads are joined on server_close so shutdown can prove
+    # nothing was orphaned (ThreadingHTTPServer defaults to daemonic).
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(self, address, handler, service: ReproService) -> None:
+        self.service = service
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-service/v{SCHEMA_VERSION}"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the ledger is the access log; stderr stays quiet
+
+    @property
+    def service(self) -> ReproService:
+        return self.server.service
+
+    def setup(self) -> None:
+        super().setup()
+        with self.service._conn_lock:
+            self.service._connections.add(self.connection)
+
+    def finish(self) -> None:
+        with self.service._conn_lock:
+            self.service._connections.discard(self.connection)
+        super().finish()
+
+    def _refuse_if_closing(self) -> bool:
+        """Late requests racing the shutdown get an honest 503."""
+        if not self.service._closing.is_set():
+            return False
+        self.close_connection = True
+        try:
+            self._send_json(503, service_error(503, "service is shutting down"))
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
+        return True
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_body(self, err: ServiceError) -> None:
+        self._send_json(err.status, service_error(err.status, str(err), **err.extra))
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_REQUEST_BYTES:
+            raise ServiceError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_REQUEST_BYTES}-byte limit",
+            )
+        if length <= 0:
+            raise ServiceError(400, "request body required (JSON object)")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except ValueError as err:
+            raise ServiceError(400, f"request body is not valid JSON: {err}")
+        if not isinstance(body, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        return body
+
+    def _stream_submission(self, submission: _Submission) -> None:
+        """Chunked ndjson: progress lines, then the final result line."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+        def chunk(record: dict[str, Any]) -> None:
+            data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+            self.wfile.write(f"{len(data):X}\r\n".encode("ascii") + data + b"\r\n")
+            self.wfile.flush()
+
+        try:
+            while True:
+                event = submission.progress.get()
+                if event is None:
+                    break
+                chunk(event.as_dict())
+            submission.done.wait()
+            if submission.error is not None:
+                chunk(service_error(500, f"{type(submission.error).__name__}: "
+                                         f"{submission.error}"))
+            else:
+                chunk(self.service.result_payload(submission))
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            submission.done.wait()  # client left; still finish accounting
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        if self._refuse_if_closing():
+            return
+        self.service._begin_request()
+        try:
+            self._do_get()
+        finally:
+            self.service._end_request()
+
+    def _do_get(self) -> None:
+        path = urlsplit(self.path).path
+        if path == "/v1/healthz":
+            self.service.count("healthz")
+            self._send_json(200, self.service.health_payload())
+        elif path == "/v1/runs":
+            self.service.count("runs")
+            query = parse_qs(urlsplit(self.path).query)
+            records = self.service.ledger.load()
+            limit = int(query.get("limit", ["0"])[0] or 0)
+            shown = records[-limit:] if limit > 0 else records
+            self._send_json(
+                200,
+                service_result(
+                    "runs",
+                    {
+                        "count": len(records),
+                        "runs": [r.as_dict() for r in shown],
+                        "ledger": self.service.ledger.path,
+                    },
+                ),
+            )
+        else:
+            self._send_json(
+                404,
+                service_error(
+                    404,
+                    f"no such endpoint: GET {path}",
+                    endpoints=[
+                        "GET /v1/healthz",
+                        "GET /v1/runs",
+                        "POST /v1/evaluate",
+                        "POST /v1/sweep",
+                        "POST /v1/op/<name>",
+                    ],
+                ),
+            )
+
+    def do_POST(self) -> None:
+        if self._refuse_if_closing():
+            return
+        self.service._begin_request()
+        try:
+            self._do_post()
+        finally:
+            self.service._end_request()
+
+    def _do_post(self) -> None:
+        path = urlsplit(self.path).path
+        started = time.perf_counter()
+        try:
+            if path == "/v1/evaluate":
+                self._handle_submission(
+                    path, started, self.service.submission_for_evaluate
+                )
+            elif path == "/v1/sweep":
+                self._handle_submission(
+                    path, started, self.service.submission_for_sweep
+                )
+            elif path.startswith("/v1/op/"):
+                self._handle_op(path, started, path[len("/v1/op/"):])
+            else:
+                raise ServiceError(
+                    404,
+                    f"no such endpoint: POST {path}",
+                    endpoints=["POST /v1/evaluate", "POST /v1/sweep",
+                               "POST /v1/op/<name>"],
+                )
+        except ServiceError as err:
+            self._send_error_body(err)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        except Exception as err:  # a bug, not a bad request: say so honestly
+            self._send_json(
+                500, service_error(500, f"{type(err).__name__}: {err}")
+            )
+
+    def _handle_submission(self, path, started, build) -> None:
+        body = self._read_body()
+        submission = build(body)
+        sequence = self.service.count(submission.op)
+        options_hash = submission.options.stable_hash()
+        outcome, error, payload = "ok", None, None
+        try:
+            if submission.progress is not None:
+                self.service.batcher.submit(submission)
+                self._stream_submission(submission)
+                if submission.error is not None:
+                    outcome, error = "error", (
+                        f"{type(submission.error).__name__}: {submission.error}"
+                    )
+            else:
+                payload = self.service.run_submission(submission)
+        except ServiceError:
+            raise
+        except BaseException as err:
+            outcome, error = "error", f"{type(err).__name__}: {err}"
+        if outcome == "ok" and submission.failures:
+            outcome = "quarantined"
+        # Ledger first, response second (non-streaming path): a client
+        # that has read its 200 must find its run record already on disk.
+        self.service.record_request(
+            submission.op,
+            sequence,
+            path,
+            options_hash,
+            outcome,
+            time.perf_counter() - started,
+            mode=f"coalesced batch of {submission.coalesced} submission(s)",
+            error=error,
+            failures=tuple(submission.failures),
+        )
+        if payload is not None:
+            self._send_json(200, payload)
+        elif submission.progress is None and error is not None:
+            self._send_json(500, service_error(500, error))
+
+    def _handle_op(self, path, started, name) -> None:
+        spec = OP_REGISTRY.get(name)
+        if spec is None or not spec.http or spec.call is None:
+            raise ServiceError(
+                404,
+                f"no such operation: {name!r}",
+            )
+        body = self._read_body()
+        import inspect
+
+        allowed = set(inspect.signature(spec.call).parameters)
+        unknown = sorted(set(body) - allowed)
+        if unknown:
+            raise ServiceError(
+                400,
+                f"unknown argument(s) for op {name!r}: {', '.join(unknown)}",
+                allowed_arguments=sorted(allowed),
+            )
+        sequence = self.service.count(f"op:{name}")
+        outcome, error = "ok", None
+        try:
+            # Ops may toggle process-global state (metrics registries,
+            # decision journals); serialize them.
+            with self.service._op_lock:
+                result: OpResult = spec.call(**body)
+        except TypeError as err:
+            raise ServiceError(400, f"bad arguments for op {name!r}: {err}")
+        except BaseException as err:
+            outcome, error = "error", f"{type(err).__name__}: {err}"
+            self._send_json(500, service_error(500, error))
+            result = None
+        if result is not None:
+            if result.exit_code != 0:
+                outcome = f"exit {result.exit_code}"
+            self._send_json(
+                200,
+                service_result(
+                    name,
+                    {
+                        "exit_code": result.exit_code,
+                        "stdout": result.stdout,
+                        "stderr": result.stderr,
+                        "data": result.data,
+                    },
+                ),
+            )
+        self.service.record_request(
+            f"op {name}",
+            sequence,
+            path,
+            None,
+            outcome,
+            time.perf_counter() - started,
+            error=error,
+        )
+
+
+def serve_forever_op(
+    host: str = "127.0.0.1",
+    port: int = 8757,
+    ledger: str = DEFAULT_LEDGER,
+    coalesce_window: float = 0.02,
+) -> OpResult:
+    """``repro serve``: run the service in the foreground until SIGINT.
+
+    Unlike every other op this one writes to the real stderr as it goes —
+    it is a long-lived foreground process, and its output (the listening
+    line, the shutdown line) is operational, not a result.
+    """
+    import sys
+
+    service = ReproService(
+        host=host, port=port, ledger=ledger, coalesce_window=coalesce_window
+    )
+    service.start()
+    print(
+        f"repro service v{SCHEMA_VERSION} on http://{service.host}:{service.port} "
+        f"({len([n for n, s in OP_REGISTRY.items() if s.http])} operations, "
+        f"ledger {ledger}; Ctrl-C to stop)",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("shutting down: draining in-flight submissions...", file=sys.stderr)
+        service.shutdown()
+        print("service stopped", file=sys.stderr)
+    return OpResult()

@@ -1,0 +1,152 @@
+"""CLI parity suite: every subcommand's stdout/stderr/exit code is
+byte-identical to the pre-refactor CLI.
+
+The golden files under ``golden/cli/`` were captured from the monolithic
+``cli.py`` *before* it was split into the :mod:`repro.service.ops` layer
+(PR 7).  Each case replays one subcommand through :func:`repro.cli.main`
+and compares the captured streams byte-for-byte, so the thin-client
+rewrite can never drift from the one-shot CLI's output contract.
+
+Regenerate (only when an output change is intentional) with::
+
+    REPRO_UPDATE_CLI_GOLDENS=1 python -m pytest tests/integration/test_cli_parity.py
+
+Nondeterministic fragments (run ids, git SHAs, timestamps, wall-clock
+seconds) are normalized on both sides of the comparison, so the suite
+still pins the surrounding format exactly.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden", "cli")
+UPDATE = os.environ.get("REPRO_UPDATE_CLI_GOLDENS") == "1"
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+#: (pattern, replacement) applied to captured and golden text alike.
+#: ``schema_version`` is masked because version bumps are deliberate,
+#: documented changes (docs/api.md) orthogonal to CLI output parity.
+NORMALIZERS = [
+    (re.compile(r'"schema_version": \d+'), '"schema_version": <V>'),
+    (re.compile(r"\b[0-9a-f]{12}\b"), "<HEX12>"),
+    (re.compile(r"\b\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\b"), "<WHEN>"),
+    (re.compile(r"wall=\d+\.\d+s"), "wall=<WALL>"),
+    (re.compile(r"\b\d+\.\d+s\b"), "<SECS>"),
+]
+
+#: name -> (argv, expected exit code).  ``{loop}`` is replaced with the
+#: Fig. 1 loop file; every case runs in a fresh tmp cwd.
+CASES = {
+    "compile": (["compile", "{loop}"], 0),
+    "schedule-all": (["schedule", "{loop}"], 0),
+    "schedule-views": (
+        ["schedule", "{loop}", "--scheduler", "sync", "--n", "50", "--gantt", "--pressure"],
+        0,
+    ),
+    "modulo": (["modulo", "{loop}"], 0),
+    "simulate": (["simulate", "{loop}"], 0),
+    "simulate-executor": (
+        ["simulate", "{loop}", "--exact-sim", "--executor", "--n", "20"],
+        0,
+    ),
+    "simulate-deadlock": (
+        ["simulate", "{loop}", "--inject", "drop:pair=0,iter=3", "--n", "10"],
+        2,
+    ),
+    "dot": (["dot", "{loop}", "--title", "Fig3"], 0),
+    "sweep": (["sweep", "QCD", "--n", "20"], 0),
+    "sweep-batch": (["sweep", "QCD", "MDG", "--n", "10", "--batch"], 0),
+    "metrics-json": (["metrics", "QCD", "--n", "10", "--json"], 0),
+    "explain-summary": (["explain", "{loop}", "--fig4"], 0),
+    "explain-op-pair": (
+        ["explain", "{loop}", "--fig4", "--op", "1", "--pair", "0", "--timeline"],
+        0,
+    ),
+    "fuzz": (["fuzz", "--cases", "5", "--seed", "0", "--executor-every", "2"], 0),
+    "bench-list-empty": (["bench", "list", "--history", "hist.jsonl"], 0),
+    "bench-check-empty": (
+        ["bench", "check", "--history", "hist.jsonl", "--suite", "fig"],
+        1,
+    ),
+    "runs-list-empty": (["runs", "list", "--ledger", "led.jsonl"], 0),
+    "sweep-with-ledger": (
+        ["sweep", "QCD", "--n", "10", "--ledger", "led.jsonl"],
+        0,
+    ),
+    "dash": (["dash", "--out", "dash.html"], 0),
+}
+
+
+def _normalize(text: str) -> str:
+    for pattern, replacement in NORMALIZERS:
+        text = pattern.sub(replacement, text)
+    return text
+
+
+def _paths(name: str) -> tuple[str, str]:
+    return (
+        os.path.join(GOLDEN_DIR, f"{name}.stdout.txt"),
+        os.path.join(GOLDEN_DIR, f"{name}.stderr.txt"),
+    )
+
+
+def _run_case(name: str, tmp_path, monkeypatch, capsys) -> tuple[str, str, int]:
+    argv, expected_code = CASES[name]
+    loop_file = tmp_path / "loop.f"
+    loop_file.write_text(FIG1)
+    monkeypatch.chdir(tmp_path)
+    argv = [a.replace("{loop}", "loop.f") for a in argv]
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == expected_code, f"{name}: exit {code} != expected {expected_code}"
+    return _normalize(captured.out), _normalize(captured.err), code
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_subcommand_output_is_byte_identical(name, tmp_path, monkeypatch, capsys):
+    out, err, _ = _run_case(name, tmp_path, monkeypatch, capsys)
+    out_path, err_path = _paths(name)
+    if UPDATE:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(out)
+        with open(err_path, "w", encoding="utf-8") as handle:
+            handle.write(err)
+        pytest.skip("golden files updated")
+    assert os.path.exists(out_path), (
+        f"missing golden {out_path}; regenerate with REPRO_UPDATE_CLI_GOLDENS=1"
+    )
+    with open(out_path, "r", encoding="utf-8") as handle:
+        assert out == _normalize(handle.read()), (
+            f"{name}: stdout drifted from the golden capture"
+        )
+    with open(err_path, "r", encoding="utf-8") as handle:
+        assert err == _normalize(handle.read()), (
+            f"{name}: stderr drifted from the golden capture"
+        )
+
+
+def test_runs_list_after_armed_sweep(tmp_path, monkeypatch, capsys):
+    """`runs list` over a ledger written by an armed sweep keeps its line
+    format (ids/timestamps normalized)."""
+    loop_file = tmp_path / "loop.f"
+    loop_file.write_text(FIG1)
+    monkeypatch.chdir(tmp_path)
+    assert main(["sweep", "QCD", "--n", "10", "--ledger", "led.jsonl"]) == 0
+    capsys.readouterr()
+    assert main(["runs", "list", "--ledger", "led.jsonl"]) == 0
+    out = _normalize(capsys.readouterr().out)
+    assert re.match(r"<HEX12>  <WHEN>  sweep", out), out
+    assert "outcome" not in out  # summary line, not the detail view
+    assert "ok" in out

@@ -1,9 +1,15 @@
-"""The deprecated-kwarg shims: every legacy keyword still works.
+"""The deprecated shims: every legacy keyword and import path still works.
 
 The PR 1-era keyword arguments on the pipeline entry points must (a) map
 onto the corresponding :class:`repro.EvalOptions` field, (b) produce the
 same results as the ``options=`` spelling, and (c) emit exactly one
 ``DeprecationWarning`` per call naming the replacement (docs/api.md).
+
+The service split (schema v7) moved the subcommand bodies out of
+``repro.cli`` into :mod:`repro.service.ops`; the old ``repro.cli``
+attributes (``cmd_*``, ``SCHEDULERS``, ``_read_source``, ...) must keep
+resolving with exactly one ``DeprecationWarning`` each, naming the new
+home (docs/service.md).
 """
 
 import warnings
@@ -138,6 +144,83 @@ class TestEntryPointsWarnOnceAndAgree:
             (r.t_list, r.t_new) for r in stable
         ]
 
+class TestMovedCliImportsShimmed:
+    """``repro.cli`` names moved to ``repro.service.ops`` still resolve."""
+
+    MOVED = [
+        "SCHEDULERS",
+        "_read_source",
+        "_machine",
+        "_sweep_results",
+        "cmd_compile",
+        "cmd_schedule",
+        "cmd_modulo",
+        "cmd_simulate",
+        "cmd_fuzz",
+        "cmd_sweep",
+        "cmd_metrics",
+        "cmd_explain",
+        "cmd_dot",
+        "cmd_dash",
+        "cmd_bench_record",
+        "cmd_bench_list",
+        "cmd_bench_diff",
+        "cmd_bench_check",
+        "cmd_runs_list",
+        "cmd_runs_show",
+        "cmd_runs_diff",
+    ]
+
+    @pytest.mark.parametrize("name", MOVED)
+    def test_resolves_with_one_warning_naming_new_home(self, name):
+        import repro.cli as cli
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            value = getattr(cli, name)
+        message = _one_deprecation(caught)
+        assert name in message and "repro.service.ops" in message
+        assert value is not None
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.cli as cli
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            cli.cmd_nonexistent
+
+    def test_shimmed_cmd_matches_modern_op(self, capsys, tmp_path):
+        """A shimmed cmd_* prints and returns like the old function did."""
+        import argparse
+
+        import repro.cli as cli
+
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            cmd_compile = cli.cmd_compile
+        loop_file = tmp_path / "fig1.loop"
+        loop_file.write_text(FIG1)
+        args = argparse.Namespace(loop=str(loop_file))
+        exit_code = cmd_compile(args)
+        legacy_out = capsys.readouterr().out
+
+        from repro.service.ops import compile_op
+
+        modern = compile_op(FIG1)
+        assert exit_code == modern.exit_code == 0
+        assert legacy_out == modern.stdout
+
+    def test_shimmed_sweep_results_keeps_two_tuple_shape(self):
+        """The pre-split ``_sweep_results`` returned ``(results, cases)``."""
+        import repro.cli as cli
+
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            sweep_results = cli._sweep_results
+        results, cases = sweep_results(["FLQ52"], n=10, workers=1, exact_sim=False)
+        assert cases and len(results) == len(cases)
+
+
+class TestInternalSurfaceClean:
     def test_internal_surface_clean_under_error_filter(self):
         # the package never calls its own deprecated surface
         compiled = compile_loop(FIG1)

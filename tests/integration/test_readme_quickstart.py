@@ -39,6 +39,7 @@ def test_public_api_importable():
         "repro.sched",
         "repro.sim",
         "repro.workloads",
+        "repro.service",
     ):
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", []):

@@ -87,12 +87,36 @@ def _run_record():
     ).as_dict()
 
 
+def _result_record():
+    from repro.service.server import service_result
+
+    return service_result(
+        "evaluate",
+        {
+            "n": 100,
+            "options_hash": "feedfacecafe",
+            "coalesced": 3,
+            "failures": [],
+            "machine": "paper-4issue",
+            "evaluation": {"t_list": 1201, "t_new": 356},
+        },
+    )
+
+
+def _error_record():
+    from repro.service.server import service_error
+
+    return service_error(400, "unknown option key(s): bogus")
+
+
 BUILDERS = {
     "span": _span_record,
     "metrics": _metrics_record,
     "progress": _progress_record,
     "bench_run": _bench_run_record,
     "run": _run_record,
+    "result": _result_record,
+    "error": _error_record,
 }
 
 

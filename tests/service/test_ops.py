@@ -1,0 +1,115 @@
+"""The service-op registry: one source of truth for CLI and server.
+
+``repro.service.ops.OP_REGISTRY`` drives the argparse subcommands, the
+``repro --help`` epilogue, and the HTTP ``/v1/op/<name>`` surface; these
+tests pin the properties that keep the three from drifting apart
+(docs/service.md).
+"""
+
+import argparse
+
+import pytest
+
+from repro.service.ops import (
+    OP_REGISTRY,
+    OpResult,
+    compile_op,
+    evaluate_op,
+    op_epilog,
+    run_op,
+    sweep_results,
+)
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+class TestRegistry:
+    def test_every_spec_is_complete(self):
+        for name, spec in OP_REGISTRY.items():
+            assert spec.name == name
+            assert spec.help
+            assert callable(spec.configure)
+            assert callable(spec.run)
+
+    def test_epilogue_lists_every_op(self):
+        epilogue = op_epilog()
+        for name, spec in OP_REGISTRY.items():
+            assert name in epilogue, f"op {name!r} missing from --help epilogue"
+            assert spec.help in epilogue
+
+    def test_epilogue_mentions_the_http_service(self):
+        assert "serve" in op_epilog()
+
+    def test_server_and_loadtest_are_cli_only(self):
+        # the server must not be able to recursively serve itself
+        assert not OP_REGISTRY["serve"].http
+        assert not OP_REGISTRY["loadtest"].http
+        http_ops = [n for n, s in OP_REGISTRY.items() if s.http]
+        assert "compile" in http_ops and "evaluate" in http_ops
+
+    def test_non_pipeline_ops_skip_the_ledger(self):
+        # runs/dash/serve/loadtest reading the ledger must not write it
+        for name in ("runs", "dash", "serve", "loadtest"):
+            assert not OP_REGISTRY[name].records, name
+        for name in ("compile", "simulate", "sweep", "evaluate"):
+            assert OP_REGISTRY[name].records, name
+
+    def test_registry_configures_a_full_parser(self):
+        parser = argparse.ArgumentParser(prog="repro")
+        sub = parser.add_subparsers(dest="command")
+
+        def ledger_flag(p):
+            p.add_argument("--ledger")
+
+        for spec in OP_REGISTRY.values():
+            spec.configure(sub, ledger_flag)
+        args = parser.parse_args(["evaluate", "-", "--issue", "2"])
+        assert args.spec is OP_REGISTRY["evaluate"]
+        assert args.issue == 2
+
+
+class TestOpResults:
+    def test_compile_op_buffers_instead_of_printing(self, capsys):
+        result = compile_op(FIG1)
+        assert isinstance(result, OpResult)
+        assert result.exit_code == 0
+        assert "== three-address code ==" in result.stdout
+        # nothing leaks to the real streams — callers own emission
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+    def test_evaluate_op_returns_structured_record(self):
+        result = evaluate_op(FIG1, issue=4, fu=1, n=50)
+        assert result.exit_code == 0
+        assert result.data["t_list"] > result.data["t_new"] > 0
+        assert "improvement" in result.stdout
+
+    def test_run_op_dispatches_by_name(self, tmp_path):
+        loop_file = tmp_path / "fig1.loop"
+        loop_file.write_text(FIG1)
+        args = argparse.Namespace(
+            loop=str(loop_file), issue=4, fu=1, n=50, exact_sim=False, json=False
+        )
+        result = run_op("evaluate", args)
+        assert result.exit_code == 0
+        assert result.data["t_list"] > 0
+
+    def test_sweep_results_returns_notes_triple(self):
+        results, cases, notes = sweep_results(
+            ["FLQ52"], n=10, workers=1, exact_sim=False
+        )
+        assert cases == [(2, 1), (2, 2), (4, 1), (4, 2)]
+        assert len(results) == len(cases)
+        assert isinstance(notes, list)
+
+
+class TestUnknownOp:
+    def test_run_op_rejects_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_op("does-not-exist", argparse.Namespace())

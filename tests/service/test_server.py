@@ -1,0 +1,318 @@
+"""The HTTP service: submission handling, validation, ledger, shutdown.
+
+These tests boot a real :class:`repro.service.server.ReproService` on an
+ephemeral port with a scratch ledger and drive it over actual sockets —
+the same path ``make serve-smoke`` and ``repro loadtest`` exercise
+(docs/service.md).
+"""
+
+import json
+import multiprocessing
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.schema import SCHEMA_VERSION
+from repro.service.ops import OP_REGISTRY
+from repro.service.server import (
+    ALLOWED_OPTION_KEYS,
+    MAX_REQUEST_BYTES,
+    ReproService,
+)
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    ledger = tmp_path_factory.mktemp("service") / "ledger.jsonl"
+    with ReproService(port=0, ledger=str(ledger)) as running:
+        yield running
+
+
+def _request(service, method, path, body=None, headers=None):
+    connection = HTTPConnection(service.host, service.port, timeout=60)
+    try:
+        payload = json.dumps(body) if isinstance(body, dict) else body
+        connection.request(method, path, body=payload, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def _evaluate_body(name="loop", n=50, **extra):
+    return {
+        "source": FIG1,
+        "machine": {"issue": 4, "fu": 1},
+        "n": n,
+        "name": name,
+        **extra,
+    }
+
+
+class TestEvaluate:
+    def test_returns_stamped_result(self, service):
+        status, body = _request(
+            service, "POST", "/v1/evaluate", _evaluate_body("stamped")
+        )
+        assert status == 200
+        assert body["schema_version"] == SCHEMA_VERSION
+        assert body["kind"] == "result" and body["op"] == "evaluate"
+        assert body["machine"] == "paper-4issue-fu1"
+        assert body["evaluation"]["t_list"] > body["evaluation"]["t_new"]
+        assert body["failures"] == []
+
+    def test_request_lands_in_ledger(self, service):
+        status, _ = _request(
+            service, "POST", "/v1/evaluate", _evaluate_body("ledgered")
+        )
+        assert status == 200
+        records = [
+            r for r in service.ledger.load() if r.command == "service evaluate"
+        ]
+        assert records and records[-1].outcome == "ok"
+        # per-request metrics snapshots are deliberately off (docs/service.md)
+        assert records[-1].metrics is None
+
+    def test_concurrent_identical_submissions_coalesce(self, service):
+        """jobs=1 ≡ jobs=N: concurrent identical requests are answered
+        from one grid and all see the same bytes."""
+        results, workers = [None] * 8, []
+
+        def submit(index):
+            results[index] = _request(
+                service, "POST", "/v1/evaluate", _evaluate_body("coalesce")
+            )
+
+        for index in range(len(results)):
+            worker = threading.Thread(target=submit, args=(index,))
+            workers.append(worker)
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        assert all(status == 200 for status, _ in results)
+        bodies = [json.dumps(body, sort_keys=True) for _, body in results]
+        assert len(set(bodies)) == 1, "coalesced submissions must be identical"
+        assert results[0][1]["coalesced"] >= 1
+
+    def test_streaming_ends_with_result_line(self, service):
+        connection = HTTPConnection(service.host, service.port, timeout=60)
+        try:
+            connection.request(
+                "POST",
+                "/v1/evaluate",
+                body=json.dumps(_evaluate_body("streamed", stream=True)),
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            lines = [
+                json.loads(line)
+                for line in response.read().decode().splitlines()
+                if line
+            ]
+        finally:
+            connection.close()
+        assert lines, "stream produced no records"
+        assert all(r["schema_version"] == SCHEMA_VERSION for r in lines)
+        assert lines[-1]["kind"] == "result"
+        assert lines[-1]["evaluation"]["t_list"] > 0
+        assert all(r["kind"] == "progress" for r in lines[:-1])
+
+
+class TestSweep:
+    def test_named_benchmark_sweep(self, service):
+        status, body = _request(
+            service, "POST", "/v1/sweep", {"benchmarks": ["FLQ52"], "n": 20}
+        )
+        assert status == 200
+        assert body["kind"] == "result" and body["op"] == "sweep"
+        assert body["benchmarks"] == ["FLQ52"]
+        assert body["cases"] == [[2, 1], [2, 2], [4, 1], [4, 2]]
+        assert len(body["corpora"]) == 4
+
+    def test_unknown_benchmark_is_a_400_with_known_list(self, service):
+        status, body = _request(
+            service, "POST", "/v1/sweep", {"benchmarks": ["NOPE"]}
+        )
+        assert status == 400
+        assert body["kind"] == "error"
+        assert "NOPE" in body["error"]
+        assert "FLQ52" in body["known_benchmarks"]
+
+
+class TestValidation:
+    """Malformed and oversized requests get schema-stamped 4xx bodies."""
+
+    def test_bad_json_is_a_400(self, service):
+        status, body = _request(
+            service,
+            "POST",
+            "/v1/evaluate",
+            body="{not json",
+            headers={"Content-Length": "9"},
+        )
+        assert status == 400
+        assert body["schema_version"] == SCHEMA_VERSION
+        assert body["kind"] == "error"
+        assert "not valid JSON" in body["error"]
+
+    def test_missing_body_is_a_400(self, service):
+        status, body = _request(service, "POST", "/v1/evaluate")
+        assert status == 400
+        assert "body required" in body["error"]
+
+    def test_unparseable_loop_is_a_400(self, service):
+        status, body = _request(
+            service, "POST", "/v1/evaluate", {"source": "this is not a loop"}
+        )
+        assert status == 400
+        assert "does not parse" in body["error"]
+
+    def test_unknown_option_key_is_a_400_with_allowed_list(self, service):
+        status, body = _request(
+            service,
+            "POST",
+            "/v1/evaluate",
+            _evaluate_body(options={"bogus": True}),
+        )
+        assert status == 400
+        assert "bogus" in body["error"]
+        assert body["allowed_options"] == list(ALLOWED_OPTION_KEYS)
+
+    def test_bad_machine_is_a_400(self, service):
+        status, body = _request(
+            service,
+            "POST",
+            "/v1/evaluate",
+            _evaluate_body(machine={"issue": 0, "fu": 1}),
+        )
+        assert status == 400
+        assert "machine.issue" in body["error"]
+
+    def test_oversized_body_is_a_413(self, service):
+        huge = MAX_REQUEST_BYTES + 1
+        status, body = _request(
+            service,
+            "POST",
+            "/v1/evaluate",
+            body=None,
+            headers={"Content-Length": str(huge)},
+        )
+        assert status == 413
+        assert body["kind"] == "error"
+        assert str(MAX_REQUEST_BYTES) in body["error"]
+
+    def test_unknown_endpoint_is_a_404_listing_endpoints(self, service):
+        status, body = _request(service, "GET", "/v1/nope")
+        assert status == 404
+        assert "GET /v1/healthz" in body["endpoints"]
+
+    def test_unknown_op_is_a_404(self, service):
+        status, body = _request(service, "POST", "/v1/op/nope", {})
+        assert status == 404
+        assert "nope" in body["error"]
+
+    def test_cli_only_op_is_not_served(self, service):
+        # `serve` and `loadtest` are registered but http=False
+        status, _ = _request(service, "POST", "/v1/op/serve", {})
+        assert status == 404
+
+    def test_unknown_op_argument_is_a_400(self, service):
+        status, body = _request(
+            service, "POST", "/v1/op/compile", {"sauce": FIG1}
+        )
+        assert status == 400
+        assert "sauce" in body["error"]
+        assert "source" in body["allowed_arguments"]
+
+
+class TestOps:
+    def test_generic_op_endpoint_runs_compile(self, service):
+        status, body = _request(
+            service, "POST", "/v1/op/compile", {"source": FIG1}
+        )
+        assert status == 200
+        assert body["kind"] == "result" and body["op"] == "compile"
+        assert "three-address code" in body["stdout"]
+        assert body["exit_code"] == 0
+
+
+class TestHealth:
+    def test_healthz_reports_registry_and_counters(self, service):
+        status, body = _request(service, "GET", "/v1/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["operations"] == [
+            n for n, s in OP_REGISTRY.items() if s.http
+        ]
+        assert body["ledger"] == service.ledger.path
+        assert "compile_hits" in body["cache"]
+
+    def test_runs_endpoint_serves_the_ledger(self, service):
+        _request(service, "POST", "/v1/evaluate", _evaluate_body("for-runs"))
+        status, body = _request(service, "GET", "/v1/runs?limit=2")
+        assert status == 200
+        assert body["count"] >= 1
+        assert len(body["runs"]) <= 2
+        assert all(r["kind"] == "run" for r in body["runs"])
+
+
+class TestShutdown:
+    def test_graceful_shutdown_drains_in_flight_work(self, tmp_path):
+        """A submission racing shutdown() completes; nothing is orphaned."""
+        threads_before = set(threading.enumerate())
+        running = ReproService(
+            port=0, ledger=str(tmp_path / "ledger.jsonl")
+        ).start()
+        outcome = {}
+
+        def submit():
+            outcome["response"] = _request(
+                running, "POST", "/v1/evaluate", _evaluate_body("drain", n=100)
+            )
+
+        worker = threading.Thread(target=submit)
+        worker.start()
+        # let the request reach the server before pulling the plug
+        import time
+
+        time.sleep(0.05)
+        running.shutdown()
+        worker.join(timeout=60)
+        assert not worker.is_alive()
+
+        status, body = outcome["response"]
+        assert status == 200, f"in-flight request was dropped: {body}"
+        assert body["evaluation"]["t_list"] > 0
+        # the drained request still made the ledger
+        assert any(
+            r.command == "service evaluate" and r.outcome == "ok"
+            for r in running.ledger.load()
+        )
+        # no orphaned handler/batcher threads, no stray worker processes
+        leaked = [
+            t
+            for t in set(threading.enumerate()) - threads_before
+            if t.is_alive() and t is not worker
+        ]
+        assert not leaked, f"shutdown leaked threads: {leaked}"
+        assert multiprocessing.active_children() == []
+
+    def test_late_request_gets_an_honest_503(self, tmp_path):
+        running = ReproService(
+            port=0, ledger=str(tmp_path / "ledger.jsonl")
+        ).start()
+        running.shutdown()
+        with pytest.raises(Exception):
+            # socket is closed post-shutdown; any of refused/reset is fine
+            _request(running, "GET", "/v1/healthz")
