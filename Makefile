@@ -35,10 +35,14 @@ fuzz-smoke:
 
 # Service smoke (docs/service.md): boot an ephemeral-port server with a
 # scratch ledger, POST the Fig. 1 loop to /v1/evaluate, and assert the
-# served evaluation record is byte-identical to the one-shot pipeline
-# and that the request landed in the run ledger.  Part of `make check`.
+# served evaluation record is byte-identical to the one-shot pipeline,
+# that the request landed in the run ledger, that /v1/metrics counted it
+# and /v1/trace/<id> replays its span tree, and that every served record
+# byte-round-trips through the schema writer.  Part of `make check`.
+# `make serve-smoke SERVE_SMOKE_ARGS=--live-out=dashboard-live.html`
+# additionally builds a live dashboard snapshot (CI uploads it).
 serve-smoke:
-	$(PYTHON) scripts/serve_smoke.py
+	$(PYTHON) scripts/serve_smoke.py $(SERVE_SMOKE_ARGS)
 
 # Build the self-contained HTML dashboard (run ledger + bench history).
 # Works with an empty/missing ledger: the walkthrough timelines and the

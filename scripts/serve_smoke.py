@@ -9,17 +9,29 @@ and asserts that
   ``SCHEMA_VERSION``),
 * its ``evaluation`` block is **identical** to the record the one-shot
   pipeline produces for the same loop/machine/n — the service must be a
-  transport, never a different compiler, and
-* the request landed in the run ledger as ``command: "service evaluate"``.
+  transport, never a different compiler,
+* the request landed in the run ledger as ``command: "service evaluate"``,
+* ``GET /v1/metrics`` reports exactly that one workload request (schema
+  v8 telemetry) and ``GET /v1/trace/<request_id>`` replays its span
+  tree down to the simulator, and
+* every served record byte-round-trips through the canonical JSONL
+  writer (``dump_line`` → ``parse_line`` → ``dump_line``).
+
+With ``--live-out FILE`` it additionally builds the live dashboard
+(``repro dash --live``) against the smoke server while it is still up
+and asserts the snapshot carries the live poller — CI uploads that file
+as an artifact next to ``dashboard.html``.
 
 Exits 0 on success, 1 with a diff on any mismatch.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import tempfile
+import time
 from http.client import HTTPConnection
 from pathlib import Path
 
@@ -27,7 +39,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import EvalOptions, compile_loop, evaluate_loop, paper_machine
 from repro.report import evaluation_record
-from repro.schema import SCHEMA_VERSION
+from repro.schema import SCHEMA_VERSION, dump_line, parse_line
 from repro.service.server import ReproService
 
 FIG1_SOURCE = """
@@ -41,7 +53,16 @@ ENDDO
 ISSUE, FU, N = 4, 1, 100
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--live-out",
+        default=None,
+        metavar="FILE",
+        help="also build a live dashboard snapshot against the smoke server",
+    )
+    args = parser.parse_args(argv)
+
     failures: list[str] = []
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as scratch:
         with ReproService(port=0, ledger=f"{scratch}/ledger.jsonl") as service:
@@ -102,6 +123,97 @@ def main() -> int:
                     if a != b:
                         failures.append(f"  {key}: direct={a!r} served={b!r}")
 
+            # The telemetry surface (schema v8): one workload request so
+            # far, its latency in the histogram, its trace retained.
+            def get_json(path: str) -> dict:
+                conn = HTTPConnection(service.host, service.port, timeout=60)
+                try:
+                    conn.request("GET", path)
+                    return json.loads(conn.getresponse().read())
+                finally:
+                    conn.close()
+
+            # Telemetry is written after the response bytes are flushed,
+            # so poll briefly rather than racing the handler thread.
+            deadline = time.monotonic() + 2.0
+            metrics = get_json("/v1/metrics")
+            while (
+                metrics.get("metrics", {})
+                .get("counters", {})
+                .get("service.request.count", 0)
+                < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+                metrics = get_json("/v1/metrics")
+            counters = metrics.get("metrics", {}).get("counters", {})
+            if counters.get("service.request.count") != 1:
+                failures.append(
+                    "metrics counted "
+                    f"{counters.get('service.request.count')!r} workload "
+                    "request(s), want 1"
+                )
+            if metrics.get("latency", {}).get("count") != 1:
+                failures.append(
+                    f"latency histogram holds {metrics.get('latency')!r}, "
+                    "want count 1"
+                )
+
+            request_id = body.get("request_id", "")
+            trace = get_json(f"/v1/trace/{request_id}")
+            while not trace.get("spans") and time.monotonic() < deadline:
+                time.sleep(0.02)
+                trace = get_json(f"/v1/trace/{request_id}")
+            span_names = [s.get("name", "") for s in trace.get("spans", [])]
+            if "http.request" not in span_names or not any(
+                name.startswith("sim.") for name in span_names
+            ):
+                failures.append(
+                    f"trace {request_id!r} lacks the full span tree "
+                    f"(got {span_names[:6]})"
+                )
+
+            if args.live_out:
+                from repro.service.ops import dash_op
+
+                dash = dash_op(
+                    out=args.live_out,
+                    live=f"http://{service.host}:{service.port}",
+                )
+                html = Path(args.live_out)
+                if dash.exit_code != 0:
+                    failures.append(
+                        f"dash --live exited {dash.exit_code}: {dash.stderr!r}"
+                    )
+                elif not html.exists():
+                    failures.append(f"dash --live wrote nothing to {html}")
+                else:
+                    page = html.read_text()
+                    for marker in ("REFRESH_MS", "flight-table", "live-status"):
+                        if marker not in page:
+                            failures.append(
+                                f"live dashboard {html} lacks {marker!r}"
+                            )
+
+            # Every served record must survive the canonical JSONL
+            # writer byte-for-byte (the schema round-trip contract).
+            for label, record in (
+                ("evaluate", body),
+                ("metrics", metrics),
+                ("trace", trace),
+            ):
+                if record.get("schema_version") != SCHEMA_VERSION:
+                    failures.append(
+                        f"{label} response not stamped with v{SCHEMA_VERSION}"
+                    )
+                    continue
+                line = dump_line(record)
+                if dump_line(parse_line(line)) != line:
+                    failures.append(
+                        f"{label} response does not byte-round-trip "
+                        "through dump_line/parse_line"
+                    )
+
         # Ledger check after shutdown: the server writes the record
         # before the 200, and shutdown joins every handler thread, so
         # the record must be visible here under both guarantees.
@@ -120,7 +232,9 @@ def main() -> int:
         return 1
     print(
         f"serve-smoke ok: evaluation byte-identical to one-shot path, "
-        f"ledger recorded (t_list={direct['t_list']} t_new={direct['t_new']})"
+        f"ledger recorded, telemetry counted 1 workload request, trace "
+        f"replayed {len(span_names)} span(s) "
+        f"(t_list={direct['t_list']} t_new={direct['t_new']})"
     )
     return 0
 

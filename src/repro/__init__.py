@@ -87,7 +87,7 @@ from repro.service import (
     sweep_op,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BlockedWait",

@@ -16,6 +16,12 @@ disabled (one module-global read):
   merge deterministically across :class:`~repro.perf.parallel.
   ParallelEvaluator` workers.
 
+Both seams also have **context-local scopes** (:func:`tracer_scope`,
+:func:`metrics_scope`, built on ``contextvars``) so concurrent threads —
+the service's handler threads, its batcher — can each collect their own
+request's spans and metrics without sharing one global collector; the
+disabled cost stays two module-global reads.
+
 Exporters (:mod:`repro.obs.export`): Chrome ``chrome://tracing`` trace
 files (``repro --trace-out FILE``), a JSON-lines event journal
 (``repro --journal-out FILE``) and the metrics snapshot embedded in
@@ -44,7 +50,7 @@ pipeline calls :func:`emit_progress`, and an installed
 recording sink that feeds ``--journal-out``) renders the heartbeat.
 """
 
-from repro.obs.dash import build_dashboard, walkthrough_timelines
+from repro.obs.dash import build_dashboard, build_live_dashboard, walkthrough_timelines
 from repro.obs.explain import (
     Decision,
     DecisionJournal,
@@ -62,6 +68,7 @@ from repro.obs.export import (
     chrome_trace,
     journal_lines,
     metrics_snapshot,
+    prometheus_text,
     write_chrome_trace,
     write_journal,
 )
@@ -84,13 +91,21 @@ from repro.obs.regress import (
     diff_runs,
 )
 from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
     DETERMINISTIC_NAMESPACES,
+    Gauge,
+    Histogram,
     MetricsRegistry,
     active_metrics,
+    context_metrics,
     count,
     disable_metrics,
     enable_metrics,
+    metrics_scope,
     observe,
+    percentile,
+    record_value,
+    set_gauge,
 )
 from repro.obs.trace import (
     LogProgressSink,
@@ -105,6 +120,7 @@ from repro.obs.trace import (
     active_tracers,
     add_progress_sink,
     add_tracer,
+    context_tracers,
     disable_tracing,
     emit_progress,
     enable_tracing,
@@ -113,16 +129,20 @@ from repro.obs.trace import (
     remove_progress_sink,
     remove_tracer,
     span,
+    tracer_scope,
 )
 
 __all__ = [
     "BenchHistory",
     "BenchPoint",
     "BenchRun",
+    "DEFAULT_LATENCY_BOUNDS",
     "DEFAULT_LEDGER",
     "DETERMINISTIC_NAMESPACES",
     "Decision",
     "DecisionJournal",
+    "Gauge",
+    "Histogram",
     "LogProgressSink",
     "MetricsRegistry",
     "ProgressEvent",
@@ -144,9 +164,12 @@ __all__ = [
     "add_progress_sink",
     "add_tracer",
     "build_dashboard",
+    "build_live_dashboard",
     "check_run",
     "chrome_trace",
     "collect_run",
+    "context_metrics",
+    "context_tracers",
     "count",
     "diff_run_metrics",
     "diff_runs",
@@ -164,14 +187,20 @@ __all__ = [
     "ingest_events",
     "journal_lines",
     "journal_scope",
+    "metrics_scope",
     "metrics_snapshot",
     "observe",
     "pair_span_bound",
+    "percentile",
     "progress_sink_for",
+    "prometheus_text",
     "record_run",
+    "record_value",
     "remove_progress_sink",
     "remove_tracer",
+    "set_gauge",
     "span",
+    "tracer_scope",
     "walkthrough_timelines",
     "write_chrome_trace",
     "write_journal",

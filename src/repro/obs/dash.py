@@ -42,7 +42,7 @@ from typing import Any, Iterable, Sequence
 from repro.obs.ledger import RunRecord
 from repro.obs.regress import BenchRun, diff_runs
 
-__all__ = ["build_dashboard", "walkthrough_timelines"]
+__all__ = ["build_dashboard", "build_live_dashboard", "walkthrough_timelines"]
 
 # Categorical palette, fixed assignment: slot 1 (blue) is the baseline
 # list scheduler, slot 2 (orange) is the paper's sync-aware scheduler.
@@ -509,5 +509,228 @@ def build_dashboard(
 {_run_details(runs) or '<p class="empty">no runs recorded</p>'}
 {_walkthrough_section(walkthrough)}
 <script>{_JS}</script>
+</body></html>
+"""
+
+
+# -- the live service dashboard (repro dash --live URL) -------------------------
+
+# Client-side renderer: polls GET /v1/metrics (the server sends
+# Access-Control-Allow-Origin so a file:// page may read it), repaints
+# the tiles / histograms / flight table, and accumulates a rolling
+# latency sparkline from successive polls.  Everything the script
+# renders is also rendered server-side into the initial document, so
+# the file is a faithful snapshot even with JS disabled (CI artifact).
+_LIVE_JS = """
+const HISTORY = {p50: [], p95: [], p99: []};
+const MAX_POINTS = 120;
+
+function fmtMs(s) { return (s * 1000).toFixed(2) + ' ms'; }
+
+function setTile(id, value) {
+  const el = document.getElementById(id);
+  if (el) el.textContent = value;
+}
+
+function sparkline(values, width, height) {
+  if (values.length < 2) return '';
+  const hi = Math.max.apply(null, values) || 1;
+  const pts = values.map(function (v, i) {
+    const x = width * i / (values.length - 1);
+    const y = height - 2 - (height - 4) * (v / hi);
+    return x.toFixed(1) + ',' + y.toFixed(1);
+  }).join(' ');
+  return '<svg width="' + width + '" height="' + height + '">' +
+    '<polyline points="' + pts + '" fill="none" ' +
+    'stroke="var(--series-1)" stroke-width="1.5"/></svg>';
+}
+
+function histRows(dist) {
+  if (!dist) return '<p class="empty">no samples yet</p>';
+  const buckets = dist.buckets || {};
+  const keys = Object.keys(buckets);
+  const total = dist.count || 1;
+  return '<table class="runs">' + keys.map(function (k) {
+    const n = buckets[k];
+    const pct = 100 * n / total;
+    return '<tr><td class="mono">&le; ' + k + '</td>' +
+      '<td style="width:60%"><div class="bar" style="width:' +
+      pct.toFixed(1) + '%"></div></td><td class="mono">' + n + '</td></tr>';
+  }).join('') + '</table>';
+}
+
+function flightRows(flight) {
+  const recent = (flight && flight.recent) || [];
+  if (!recent.length) return '<p class="empty">no requests retained yet</p>';
+  let rows = '<tr><th>request</th><th>op</th><th>status</th><th>outcome</th>' +
+    '<th>latency</th><th>coalesced</th><th>spans</th><th>error</th></tr>';
+  recent.slice().reverse().forEach(function (t) {
+    const cls = t.status < 400 ? 'ok' : 'notok';
+    rows += '<tr><td class="mono"><a href="' + SOURCE + '/v1/trace/' +
+      t.request_id + '">' + t.request_id + '</a></td>' +
+      '<td>' + t.op + '</td>' +
+      '<td><span class="outcome ' + cls + '">' + t.status + '</span></td>' +
+      '<td>' + t.outcome + '</td><td class="mono">' + t.wall_ms + ' ms</td>' +
+      '<td>' + t.coalesced + '</td><td>' + t.spans + '</td>' +
+      '<td>' + (t.error || '&mdash;') + '</td></tr>';
+  });
+  return '<table class="runs">' + rows + '</table>';
+}
+
+function render(s) {
+  const counters = (s.metrics && s.metrics.counters) || {};
+  const dists = (s.metrics && s.metrics.distributions) || {};
+  const gauges = (s.metrics && s.metrics.gauges) || {};
+  const lat = s.latency || {};
+  setTile('t-uptime', (s.uptime_s || 0).toFixed(0) + 's');
+  setTile('t-requests', counters['service.request.count'] || 0);
+  setTile('t-errors', counters['service.request.errors'] || 0);
+  setTile('t-inflight', s.inflight || 0);
+  const queue = gauges['service.queue.depth'];
+  setTile('t-queue', queue ? queue.value : 0);
+  setTile('t-p50', fmtMs(lat.p50 || 0));
+  setTile('t-p95', fmtMs(lat.p95 || 0));
+  setTile('t-p99', fmtMs(lat.p99 || 0));
+  ['p50', 'p95', 'p99'].forEach(function (q) {
+    HISTORY[q].push((lat[q] || 0) * 1000);
+    if (HISTORY[q].length > MAX_POINTS) HISTORY[q].shift();
+  });
+  document.getElementById('spark-p95').innerHTML =
+    sparkline(HISTORY.p95, 220, 36);
+  document.getElementById('latency-hist').innerHTML =
+    histRows(dists['service.request.latency']);
+  document.getElementById('coalesce-hist').innerHTML =
+    histRows(dists['service.batch.coalesce_window_occupancy']);
+  document.getElementById('flight-table').innerHTML = flightRows(s.flight);
+}
+
+async function poll() {
+  const status = document.getElementById('live-status');
+  try {
+    const response = await fetch(SOURCE + '/v1/metrics');
+    render(await response.json());
+    status.textContent = 'live \\u00b7 polling every ' +
+      (REFRESH_MS / 1000) + 's';
+    status.className = 'outcome ok';
+  } catch (err) {
+    status.textContent = 'offline: ' + err;
+    status.className = 'outcome notok';
+  }
+}
+poll();
+setInterval(poll, REFRESH_MS);
+""".strip()
+
+_LIVE_CSS = """
+.bar { background: var(--series-1); height: 0.8rem; border-radius: 2px;
+       min-width: 1px; }
+#live-status { margin-left: 0.5rem; }
+""".strip()
+
+
+def _live_hist_table(dist: dict[str, Any] | None) -> str:
+    """Server-side render of one fixed-bucket distribution (the JS
+    repaints the same structure on every poll)."""
+    if not dist:
+        return '<p class="empty">no samples yet</p>'
+    buckets: dict[str, int] = dist.get("buckets", {})
+    total = dist.get("count") or 1
+    rows = []
+    for key, count in buckets.items():
+        pct = 100.0 * count / total
+        rows.append(
+            f'<tr><td class="mono">&le; {_esc(key)}</td>'
+            f'<td style="width:60%"><div class="bar" '
+            f'style="width:{pct:.1f}%"></div></td>'
+            f'<td class="mono">{count}</td></tr>'
+        )
+    return '<table class="runs">' + "".join(rows) + "</table>"
+
+
+def _live_flight_table(flight: dict[str, Any] | None) -> str:
+    recent = (flight or {}).get("recent") or []
+    if not recent:
+        return '<p class="empty">no requests retained yet</p>'
+    rows = [
+        "<tr><th>request</th><th>op</th><th>status</th><th>outcome</th>"
+        "<th>latency</th><th>coalesced</th><th>spans</th><th>error</th></tr>"
+    ]
+    for trace in reversed(recent):  # newest first
+        cls = "ok" if trace.get("status", 0) < 400 else "notok"
+        rows.append(
+            f'<tr><td class="mono">{_esc(trace.get("request_id"))}</td>'
+            f"<td>{_esc(trace.get('op'))}</td>"
+            f'<td><span class="outcome {cls}">{_esc(trace.get("status"))}</span></td>'
+            f"<td>{_esc(trace.get('outcome'))}</td>"
+            f'<td class="mono">{_esc(trace.get("wall_ms"))} ms</td>'
+            f"<td>{_esc(trace.get('coalesced'))}</td>"
+            f"<td>{_esc(trace.get('spans'))}</td>"
+            f"<td>{_esc(trace.get('error') or '&mdash;')}</td></tr>"
+        )
+    return '<table class="runs">' + "".join(rows) + "</table>"
+
+
+def build_live_dashboard(
+    snapshot: dict[str, Any],
+    source: str = "",
+    refresh_s: float = 2.0,
+    title: str = "repro live service",
+) -> str:
+    """Render the live-service dashboard from one ``/v1/metrics`` snapshot.
+
+    The document is a faithful static render of ``snapshot`` (so the
+    file doubles as a point-in-time CI artifact), plus a polling script
+    that repaints it from ``source + /v1/metrics`` every ``refresh_s``
+    seconds and accumulates a p95 latency sparkline across polls.
+    ``source`` is the service base URL (e.g. ``http://127.0.0.1:8757``);
+    empty means same-origin.
+    """
+    counters = snapshot.get("metrics", {}).get("counters", {})
+    dists = snapshot.get("metrics", {}).get("distributions", {})
+    gauges = snapshot.get("metrics", {}).get("gauges", {})
+    latency = snapshot.get("latency", {})
+    queue = gauges.get("service.queue.depth", {}).get("value", 0)
+    tiles = [
+        ("t-uptime", f"{snapshot.get('uptime_s', 0):.0f}s", "uptime"),
+        ("t-requests", str(counters.get("service.request.count", 0)), "workload requests"),
+        ("t-errors", str(counters.get("service.request.errors", 0)), "errors"),
+        ("t-inflight", str(snapshot.get("inflight", 0)), "in flight"),
+        ("t-queue", str(queue), "queue depth"),
+        ("t-p50", f"{latency.get('p50', 0.0) * 1000:.2f} ms", "latency p50"),
+        ("t-p95", f"{latency.get('p95', 0.0) * 1000:.2f} ms", "latency p95"),
+        ("t-p99", f"{latency.get('p99', 0.0) * 1000:.2f} ms", "latency p99"),
+    ]
+    tiles_html = '<div class="tiles">' + "".join(
+        f'<div class="tile"><div class="v" id="{tile_id}">{_esc(value)}</div>'
+        f'<div class="k">{_esc(label)}</div></div>'
+        for tile_id, value, label in tiles
+    ) + "</div>"
+    built = time.strftime("%Y-%m-%d %H:%M:%S")
+    config = (
+        f"const SOURCE = {json.dumps(source.rstrip('/'))};\n"
+        f"const REFRESH_MS = {max(int(refresh_s * 1000), 250)};\n"
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_CSS}
+{_LIVE_CSS}</style></head>
+<body>
+<h1>{_esc(title)}
+<span class="outcome" id="live-status">snapshot of {_esc(built)}</span></h1>
+<p class="sub">source {_esc(source or "same origin")} &middot;
+schema v{_esc(snapshot.get("schema_version", "?"))} &middot;
+polls <code>/v1/metrics</code> every {refresh_s:g}s when served live</p>
+{tiles_html}
+<h2>Latency p95 over polls</h2>
+<div class="chart" id="spark-p95"><span class="empty">collecting&hellip;</span></div>
+<h2>Request latency distribution</h2>
+<div id="latency-hist">{_live_hist_table(dists.get("service.request.latency"))}</div>
+<h2>Coalesce window occupancy</h2>
+<div id="coalesce-hist">{_live_hist_table(dists.get("service.batch.coalesce_window_occupancy"))}</div>
+<h2>Flight recorder (most recent requests)</h2>
+<div id="flight-table">{_live_flight_table(snapshot.get("flight"))}</div>
+<script>{config}{_LIVE_JS}</script>
 </body></html>
 """

@@ -15,6 +15,9 @@ Three output formats (see ``docs/observability.md``):
   metrics were collected.  Grep-able, stream-able, stable key order.
 * :func:`metrics_snapshot` — the dict embedded in :mod:`repro.report`
   records (schema v2) and printed by ``repro metrics``.
+* :func:`prometheus_text` — the Prometheus text exposition (format
+  0.0.4) of a registry, served by ``GET /v1/metrics?format=prom``
+  (:mod:`repro.service.server`).
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ __all__ = [
     "chrome_trace",
     "journal_lines",
     "metrics_snapshot",
+    "prometheus_text",
     "write_chrome_trace",
     "write_journal",
 ]
@@ -76,6 +80,53 @@ def metrics_snapshot(registry: MetricsRegistry) -> dict[str, Any]:
         "deterministic": registry.deterministic_subset().as_dict(),
         "all": registry.as_dict(),
     }
+
+
+def _prom_name(name: str) -> str:
+    """Dotted metric name → Prometheus metric name (dots/dashes → ``_``)."""
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format (0.0.4).
+
+    Counters map to ``counter`` samples, gauges to ``gauge``,
+    fixed-bucket distributions to full ``histogram`` families
+    (cumulative ``_bucket{le=...}`` plus ``_sum``/``_count``), and the
+    exact value→count histograms to their ``_count``/``_sum`` summaries
+    (their exact buckets are a JSON-side concept).  Deterministic: one
+    line order for one registry state.
+    """
+    lines: list[str] = []
+    for name in sorted(registry.counters):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {registry.counters[name]}")
+    for name in sorted(registry.gauges):
+        prom = _prom_name(name)
+        summary = registry.gauges[name].summary()
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {summary['value']}")
+    for name in sorted(registry.distributions):
+        prom = _prom_name(name)
+        histogram = registry.distributions[name]
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, occurrences in zip(histogram.bounds, histogram.bucket_counts):
+            cumulative += occurrences
+            lines.append(f'{prom}_bucket{{le="{bound!r}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {histogram.total}')
+        lines.append(f"{prom}_sum {round(histogram.value_sum, 9)}")
+        lines.append(f"{prom}_count {histogram.total}")
+    for name in sorted(registry.histograms):
+        prom = _prom_name(name)
+        summary = registry.histogram_summary(name)
+        lines.append(f"# TYPE {prom} summary")
+        lines.append(f"{prom}_sum {summary['sum']}")
+        lines.append(f"{prom}_count {summary['count']}")
+    return "\n".join(lines) + "\n"
 
 
 def journal_lines(

@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -184,6 +185,15 @@ class RunRecord:
         return "\n".join(lines)
 
 
+#: Process-level guard for ledger appends.  Concurrent
+#: ``ThreadingHTTPServer`` handlers (and any other threads recording
+#: runs) all append to JSONL files; serializing the write keeps every
+#: line whole — a torn line would be silently dropped by ``load()``.
+#: One lock for all ledgers: appends are rare and short, and a per-path
+#: registry would itself need a lock.
+_APPEND_LOCK = threading.Lock()
+
+
 class RunLedger:
     """The append-only JSONL store behind ``repro runs`` / ``repro dash``."""
 
@@ -191,11 +201,13 @@ class RunLedger:
         self.path = path
 
     def append(self, record: RunRecord) -> None:
-        directory = os.path.dirname(self.path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(dump_line(record.as_dict()) + "\n")
+        line = dump_line(record.as_dict()) + "\n"
+        with _APPEND_LOCK:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
 
     def load(self) -> list[RunRecord]:
         """Every ``run`` record, oldest first; unreadable lines are skipped

@@ -38,8 +38,10 @@ from __future__ import annotations
 
 import os
 import sys
+import threading
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Iterator, TextIO
 
@@ -58,6 +60,7 @@ __all__ = [
     "active_tracers",
     "add_progress_sink",
     "add_tracer",
+    "context_tracers",
     "disable_tracing",
     "emit_progress",
     "enable_tracing",
@@ -66,6 +69,7 @@ __all__ = [
     "remove_progress_sink",
     "remove_tracer",
     "span",
+    "tracer_scope",
 ]
 
 
@@ -178,13 +182,56 @@ def active_tracers() -> tuple[Tracer, ...]:
     return _TRACERS
 
 
+# Context-local tracers (PR 8): the service wraps each request's
+# evaluation in tracer_scope(), so concurrent handler threads each
+# collect their own spans without sharing one global tracer.  _SCOPES
+# counts entered scopes process-wide so the disabled span() path stays
+# at two module-global reads (no ContextVar lookup until a scope opens).
+_CONTEXT_TRACERS: ContextVar[tuple[Tracer, ...]] = ContextVar(
+    "repro_obs_tracer_scope", default=()
+)
+_SCOPES = 0
+_SCOPES_LOCK = threading.Lock()
+
+
+@contextmanager
+def tracer_scope(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Report spans to ``tracer`` (default: a fresh
+    :class:`RecordingTracer`) for this context only.
+
+    Context-local (:mod:`contextvars`): invisible to other threads, so
+    each service request traces into its own collector while any
+    globally installed tracers keep seeing everything.  Scopes nest —
+    spans report to every tracer on the context stack.
+    """
+    global _SCOPES
+    tracer = tracer if tracer is not None else RecordingTracer()
+    token = _CONTEXT_TRACERS.set(_CONTEXT_TRACERS.get() + (tracer,))
+    with _SCOPES_LOCK:
+        _SCOPES += 1
+    try:
+        yield tracer
+    finally:
+        with _SCOPES_LOCK:
+            _SCOPES -= 1
+        _CONTEXT_TRACERS.reset(token)
+
+
+def context_tracers() -> tuple[Tracer, ...]:
+    """The tracers installed by enclosing :func:`tracer_scope` calls."""
+    return _CONTEXT_TRACERS.get()
+
+
 def ingest_events(events: list[TraceEvent]) -> None:
     """Deliver remotely-collected events (e.g. from a
     :class:`~repro.perf.parallel.ParallelEvaluator` worker) to every
     active tracer that records events."""
     if not events:
         return
-    for tracer in _TRACERS:
+    tracers = _TRACERS
+    if _SCOPES:
+        tracers = tracers + _CONTEXT_TRACERS.get()
+    for tracer in tracers:
         add = getattr(tracer, "add_events", None)
         if add is not None:
             add(events)
@@ -192,8 +239,10 @@ def ingest_events(events: list[TraceEvent]) -> None:
 
 @contextmanager
 def span(name: str, **attrs: Any) -> Iterator[None]:
-    """Mark a pipeline stage; no-op (one global read) when tracing is off."""
+    """Mark a pipeline stage; no-op (two global reads) when tracing is off."""
     tracers = _TRACERS
+    if _SCOPES:
+        tracers = tracers + _CONTEXT_TRACERS.get()
     if not tracers:
         yield
         return

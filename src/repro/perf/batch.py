@@ -50,7 +50,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.obs.explain import active_journal
-from repro.obs.metrics import active_metrics
+from repro.obs.metrics import active_metrics, context_metrics
 from repro.obs.metrics import count as metric_count
 from repro.obs.trace import emit_progress, span
 from repro.options import EvalOptions, observation_scope
@@ -403,9 +403,10 @@ class BatchEvaluator:
                 self.stats.flat_passes += 1
                 self.stats.closed_form_rows += len(rows)
                 metric_count("perf.batch.flat_rows", len(rows))
-                values = batch_closed_form(
-                    [(row.signature, row.plan, row.n) for row in rows]
-                )
+                with span("sim.closed_form", rows=len(rows)):
+                    values = batch_closed_form(
+                        [(row.signature, row.plan, row.n) for row in rows]
+                    )
                 for row, (parallel_time, total_stall) in zip(rows, values):
                     sim = _materialize_sim(
                         row.schedule, row.plan, row.n, parallel_time, total_stall
@@ -424,7 +425,7 @@ class BatchEvaluator:
             # per-loop path records, including the sim.dispatch counters
             # for memoized / flat-pass simulations (inline event walks
             # already counted their own).
-            if active_metrics() is not None:
+            if active_metrics() is not None or context_metrics() is not None:
                 for cell in cells:
                     dispatches = cell.replay_dispatch
                     if cell.replay_pending:

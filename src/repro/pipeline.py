@@ -32,7 +32,7 @@ from repro.deps import LoopClass
 from repro.dfg import DataFlowGraph, build_dfg
 from repro.ir.ast_nodes import Loop
 from repro.ir.parser import parse_loop
-from repro.obs.metrics import active_metrics
+from repro.obs.metrics import active_metrics, context_metrics
 from repro.obs.metrics import count as metric_count
 from repro.obs.metrics import observe as metric_observe
 from repro.obs.trace import emit_progress, span
@@ -230,7 +230,7 @@ def _evaluate_loop(
             sched_new, n, exact_simulation=options.exact_simulation,
             faults=options.faults,
         )
-    if active_metrics() is not None:
+    if active_metrics() is not None or context_metrics() is not None:
         _record_evaluation_metrics(
             compiled, (("list", sched_list, sim_list), ("new", sched_new, sim_new))
         )

@@ -53,6 +53,17 @@ Version history — the documented contract lives in ``docs/api.md``:
   per-request metrics snapshot would dominate service latency).  JSONL
   consumers keep working — the new kinds are additive; v6 cache files
   are rejected and recompiled, as every bump does by construction.
+* **v8** — service telemetry (see ``docs/service.md``, "Operating the
+  service"): every service response body carries a ``request_id``
+  echoed from the server's per-request trace; ``GET /v1/metrics``
+  returns a stamped snapshot whose registry block may carry the new
+  optional ``distributions`` (fixed-bucket histograms with p50/p95/p99)
+  and ``gauges`` keys — **present only when non-empty**, so one-shot
+  pipeline snapshots stay byte-identical to v7; ``GET
+  /v1/trace/<request_id>`` serves retained flight-recorder traces; and
+  the ``access`` JSONL kind is the structured per-request access log
+  written by ``repro serve --access-log FILE``.  Additive throughout:
+  v7 consumers keep working.
 """
 
 from __future__ import annotations
@@ -61,14 +72,17 @@ import json
 from typing import Any
 
 #: Record format version; bump when any record's shape changes (docs/api.md).
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 #: Every ``kind`` that may appear as a top-level JSONL line.  Nested
 #: records (``schedule``/``evaluation``/``corpus`` report blocks) are
 #: stamped with ``schema_version`` but carry no ``kind`` — they are
 #: documents, not stream lines.  ``result``/``error`` are the service's
-#: response bodies and ndjson stream lines (:mod:`repro.service.server`).
-JSONL_KINDS = ("span", "metrics", "progress", "bench_run", "run", "result", "error")
+#: response bodies and ndjson stream lines (:mod:`repro.service.server`);
+#: ``access`` is its per-request access-log line (``--access-log``).
+JSONL_KINDS = (
+    "span", "metrics", "progress", "bench_run", "run", "result", "error", "access",
+)
 
 __all__ = [
     "JSONL_KINDS",

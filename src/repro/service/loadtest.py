@@ -4,9 +4,14 @@ The service's acceptance bar (docs/service.md): ≥ 1000 concurrent loop
 submissions against one server with **zero errors**, **zero
 quarantines**, a **cross-request compile-cache hit rate above zero**
 (the whole point of the long-lived process), and **every request in the
-run ledger**.  This harness drives that bar and records throughput,
-shared-cache hit rate, and p50/p95/p99 latency into the ``service``
-block of ``BENCH_perf.json`` (``make bench-service``).
+run ledger**.  Since the telemetry layer (schema v8) it also checks the
+server's own observability against the client's ground truth: the
+``service.request.count`` counter at ``GET /v1/metrics`` must equal the
+submissions fired, the server-side p99 must agree with the client-side
+p99, and ``GET /v1/trace/<request_id>`` must return a full span tree
+for a request the harness just made.  This harness drives that bar and
+records throughput, shared-cache hit rate, and p50/p95/p99 latency into
+the ``service`` block of ``BENCH_perf.json`` (``make bench-service``).
 
 By default it boots an in-process :class:`~repro.service.server.
 ReproService` on an ephemeral port with a scratch ledger; point
@@ -26,6 +31,7 @@ from http.client import HTTPConnection
 from typing import Any
 from urllib.parse import urlsplit
 
+from repro.obs.metrics import percentile
 from repro.schema import SCHEMA_VERSION, stamped
 from repro.service.ops import OpResult
 
@@ -50,13 +56,6 @@ ENDDO
 MACHINE_CASES = ((2, 1), (2, 2), (4, 1), (4, 2))
 
 
-def _percentile(sorted_values: list[float], q: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
-    return sorted_values[index]
-
-
 class _Client(threading.Thread):
     """One persistent connection issuing its share of the submissions."""
 
@@ -70,6 +69,7 @@ class _Client(threading.Thread):
         self.errors: list[str] = []
         self.quarantines = 0
         self.coalesced_peak = 1
+        self.last_request_id: str | None = None
 
     def run(self) -> None:
         connection = HTTPConnection(self.host, self.port, timeout=60)
@@ -105,6 +105,8 @@ class _Client(threading.Thread):
                 self.coalesced_peak = max(
                     self.coalesced_peak, data.get("coalesced", 1)
                 )
+                if data.get("request_id"):
+                    self.last_request_id = data["request_id"]
         finally:
             connection.close()
 
@@ -116,6 +118,48 @@ def _get_json(host: str, port: int, path: str) -> dict[str, Any]:
         return json.loads(connection.getresponse().read())
     finally:
         connection.close()
+
+
+def _probe_trace(host: str, port: int, n: int) -> tuple[str | None, list[str]]:
+    """One cold submission, then its flight-recorder trace's span names.
+
+    The loop source (distance 97) is deliberately outside
+    :data:`LOOP_SOURCES`, so the engine cannot answer from its memos and
+    the trace must reach the ``sim.*`` spans."""
+    probe = json.dumps(
+        {
+            "source": LOOP_SOURCES[0].replace("I-1", "I-97"),
+            "machine": {"issue": 4, "fu": 1},
+            "n": n,
+            "name": "trace-probe",
+        }
+    )
+    connection = HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request(
+            "POST",
+            "/v1/evaluate",
+            body=probe,
+            headers={"Content-Type": "application/json"},
+        )
+        data = json.loads(connection.getresponse().read())
+    except Exception:
+        return None, []
+    finally:
+        connection.close()
+    request_id = data.get("request_id")
+    if not request_id:
+        return None, []
+    # The flight recorder is written after the response bytes are
+    # flushed (telemetry never sits on the request path), so poll
+    # briefly rather than racing the handler's finally block.
+    deadline = time.monotonic() + 2.0
+    while True:
+        trace = _get_json(host, port, f"/v1/trace/{request_id}")
+        spans = [s.get("name", "") for s in trace.get("spans", [])]
+        if spans or time.monotonic() >= deadline:
+            return request_id, spans
+        time.sleep(0.02)
 
 
 def _merge_bench_file(path: str, block: dict[str, Any]) -> None:
@@ -201,11 +245,41 @@ def loadtest_op(
 
     health = _get_json(host, port, "/v1/healthz")
     runs = _get_json(host, port, "/v1/runs?limit=1")
+    telemetry = _get_json(host, port, "/v1/metrics")
+    if own_server is not None:
+        # Request counters are bumped after the response bytes are
+        # flushed, so the last responses can race this snapshot — poll
+        # until the server has seen every submission (bounded; an
+        # external --url server has foreign traffic and never converges
+        # on our count, hence own_server only).
+        deadline = time.monotonic() + 2.0
+        while (
+            telemetry.get("metrics", {})
+            .get("counters", {})
+            .get("service.request.count", 0)
+            < requests
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+            telemetry = _get_json(host, port, "/v1/metrics")
     ledger_count = runs.get("count", 0)
     cache = health.get("cache", {})
     batch = health.get("batch", {})
     cache_hits = cache.get("compile_hits", 0) + cache.get("schedule_hits", 0)
     memo_hits = batch.get("eval_hits", 0)
+
+    # The server's own telemetry, checked against client ground truth.
+    server_count = (
+        telemetry.get("metrics", {})
+        .get("counters", {})
+        .get("service.request.count", 0)
+    )
+    server_p99_s = telemetry.get("latency", {}).get("p99", 0.0)
+    # Flight-recorder depth check: one probe with a loop the run has NOT
+    # warmed (late loadtest requests are all memo hits and legitimately
+    # carry no pipeline spans), fetched after the telemetry snapshot so
+    # it doesn't perturb the count check above.
+    trace_id, trace_spans = _probe_trace(host, port, n)
 
     if own_server is not None:
         own_server.shutdown()
@@ -217,15 +291,18 @@ def loadtest_op(
             "concurrency": concurrency,
             "wall_s": round(wall, 4),
             "throughput_rps": round(requests / wall, 2) if wall else 0.0,
-            "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
-            "latency_p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
-            "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+            "latency_p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+            "latency_p95_ms": round(percentile(latencies, 0.95) * 1e3, 3),
+            "latency_p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
             "errors": len(errors),
             "quarantines": quarantines,
             "coalesced_peak": coalesced_peak,
             "ledger_count": ledger_count,
             "cache_hits": cache_hits,
             "eval_memo_hits": memo_hits,
+            "server_request_count": server_count,
+            "server_latency_p99_ms": round(server_p99_s * 1e3, 3),
+            "trace_spans": len(trace_spans),
             "cache": cache,
             "batch": batch,
         },
@@ -249,6 +326,12 @@ def loadtest_op(
         f"ledger {ledger_count} record(s)",
         file=buffer_out,
     )
+    print(
+        f"server telemetry: {server_count} workload request(s), "
+        f"p99 {block['server_latency_p99_ms']}ms, "
+        f"trace depth {len(trace_spans)} span(s)",
+        file=buffer_out,
+    )
     print(f"wrote service block to {out}", file=buffer_err)
 
     failed = []
@@ -261,6 +344,35 @@ def loadtest_op(
     if own_server is not None and ledger_count != requests:
         failed.append(
             f"ledger has {ledger_count} record(s) for {requests} request(s)"
+        )
+    if own_server is not None and server_count != requests:
+        failed.append(
+            f"server counted {server_count} workload request(s) for "
+            f"{requests} submission(s)"
+        )
+    client_p99_s = percentile(latencies, 0.99)
+    # Bucket interpolation vs exact client samples (which also include
+    # the network round-trip and accept-queue wait the server never
+    # times) can never agree exactly; require the two p99s to be the
+    # same order of magnitude or within 25ms.  Below ~50 samples the
+    # client "p99" is just the max — one scheduler hiccup on a loaded
+    # host inflates it arbitrarily — so the agreement check only gates
+    # runs large enough for the percentile to mean something.
+    p99_gap = abs(server_p99_s - client_p99_s)
+    if len(latencies) >= 50 and not (
+        p99_gap <= 0.025 or p99_gap <= 2.5 * min(server_p99_s, client_p99_s)
+    ):
+        failed.append(
+            f"server p99 {server_p99_s * 1e3:.1f}ms disagrees with client "
+            f"p99 {client_p99_s * 1e3:.1f}ms"
+        )
+    if trace_id is not None and (
+        "http.request" not in trace_spans
+        or not any(name.startswith("sim.") for name in trace_spans)
+    ):
+        failed.append(
+            f"trace {trace_id} lacks the full span tree "
+            f"(got {trace_spans[:6]})"
         )
     for reason in failed:
         print(f"FAIL: {reason}", file=buffer_err)

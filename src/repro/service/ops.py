@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import argparse
 import io
+import json
 import sys
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -737,29 +739,132 @@ def dash_op(
     history: str | None = None,
     no_walkthrough: bool = False,
     ledger: str | None = None,
+    live: str | None = None,
+    refresh: float = 2.0,
 ) -> OpResult:
-    """Build the self-contained HTML dashboard."""
-    from repro.obs.dash import build_dashboard, walkthrough_timelines
+    """Build the self-contained HTML dashboard.
+
+    With ``live=URL`` the dashboard is built from one ``GET /v1/metrics``
+    snapshot of a running service instead of the ledger/history stores,
+    and carries a polling script that repaints itself every ``refresh``
+    seconds (stat tiles, latency sparkline, flight-recorder table).
+    """
     from repro.obs.ledger import DEFAULT_LEDGER, RunLedger, active_recorder
     from repro.obs.regress import DEFAULT_HISTORY, BenchHistory
 
     b = _Buffers()
-    runs = RunLedger(ledger if ledger is not None else DEFAULT_LEDGER).load()
-    bench_runs = BenchHistory(
-        history if history is not None else DEFAULT_HISTORY
-    ).load()
-    walkthrough = None if no_walkthrough else walkthrough_timelines()
-    html = build_dashboard(runs, bench_runs, walkthrough=walkthrough)
+    if live is not None:
+        from repro.obs.dash import build_live_dashboard
+
+        snapshot = _service_snapshot(live, "/v1/metrics")
+        html = build_live_dashboard(snapshot, source=live, refresh_s=refresh)
+        detail = (
+            f"live dashboard ({snapshot.get('latency', {}).get('count', 0)} "
+            f"workload request(s) observed at {live})"
+        )
+    else:
+        from repro.obs.dash import build_dashboard, walkthrough_timelines
+
+        runs = RunLedger(ledger if ledger is not None else DEFAULT_LEDGER).load()
+        bench_runs = BenchHistory(
+            history if history is not None else DEFAULT_HISTORY
+        ).load()
+        walkthrough = None if no_walkthrough else walkthrough_timelines()
+        html = build_dashboard(runs, bench_runs, walkthrough=walkthrough)
+        detail = (
+            f"dashboard ({len(runs)} ledger run(s), {len(bench_runs)} bench "
+            "run(s))"
+        )
     with open(out, "w", encoding="utf-8") as handle:
         handle.write(html)
     run_recorder = active_recorder()
     if run_recorder is not None:
         run_recorder.add_artifact(out)
-    b.err(
-        f"wrote dashboard ({len(runs)} ledger run(s), {len(bench_runs)} bench "
-        f"run(s)) to {out}"
-    )
+    b.err(f"wrote {detail} to {out}")
     return b.result()
+
+
+def _service_snapshot(url: str, path: str) -> dict[str, Any]:
+    """One GET against a running service, parsed as JSON (stdlib only)."""
+    from http.client import HTTPConnection
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    connection = HTTPConnection(
+        parts.hostname or "127.0.0.1", parts.port or 8757, timeout=10
+    )
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+    finally:
+        connection.close()
+    if response.status != 200:
+        raise RuntimeError(
+            f"GET {url}{path} returned {response.status}: "
+            f"{payload.get('error', payload)}"
+        )
+    return payload
+
+
+def top_op(url: str, interval: float = 2.0, count: int = 0) -> OpResult:
+    """``repro top``: a one-line live view of a running service.
+
+    Polls ``GET /v1/metrics`` every ``interval`` seconds and renders one
+    status line — on a TTY it repaints in place (the
+    :class:`~repro.obs.trace.TTYProgressSink` convention: ``\\r``, no
+    newline until done); otherwise one line per poll.  ``count`` bounds
+    the number of polls (0 = until Ctrl-C).
+    """
+    import sys
+
+    stream = sys.stderr
+    is_tty = getattr(stream, "isatty", lambda: False)()
+    polls = 0
+    try:
+        while True:
+            try:
+                snapshot = _service_snapshot(url, "/v1/metrics")
+            except (OSError, RuntimeError, ValueError) as err:
+                line = f"repro top: {url} unreachable ({err})"
+            else:
+                counters = snapshot.get("metrics", {}).get("counters", {})
+                gauges = snapshot.get("metrics", {}).get("gauges", {})
+                latency = snapshot.get("latency", {})
+                uptime = snapshot.get("uptime_s", 0.0)
+                requests = counters.get("service.request.count", 0)
+                rate = requests / uptime if uptime > 0 else 0.0
+                occupancy = (
+                    snapshot.get("metrics", {})
+                    .get("distributions", {})
+                    .get("service.batch.coalesce_window_occupancy", {})
+                )
+                line = (
+                    f"up {uptime:.0f}s · req {requests} ({rate:.1f}/s) · "
+                    f"err {counters.get('service.request.errors', 0)} · "
+                    f"p50 {latency.get('p50', 0.0) * 1e3:.1f}ms "
+                    f"p95 {latency.get('p95', 0.0) * 1e3:.1f}ms "
+                    f"p99 {latency.get('p99', 0.0) * 1e3:.1f}ms · "
+                    f"inflight {snapshot.get('inflight', 0)} · "
+                    f"queue {gauges.get('service.queue.depth', {}).get('value', 0)} · "
+                    f"coalesce≤{occupancy.get('max', 0) or 0:g}"
+                )
+            if is_tty:
+                stream.write("\r\x1b[2K" + line)
+            else:
+                stream.write(line + "\n")
+            stream.flush()
+            polls += 1
+            if count and polls >= count:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if is_tty:
+            stream.write("\n")
+            stream.flush()
+    return OpResult()
 
 
 # -- the registry --------------------------------------------------------------
@@ -1135,6 +1240,20 @@ def _cfg_dash(sub, ledger_flag) -> None:
         default=DEFAULT_LEDGER,
         help=f"JSONL run ledger to aggregate (default: {DEFAULT_LEDGER})",
     )
+    p.add_argument(
+        "--live",
+        metavar="URL",
+        default=None,
+        help="build the live service dashboard from GET /v1/metrics of a "
+        "running service instead of the ledger/history stores",
+    )
+    p.add_argument(
+        "--refresh",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll cadence of the live dashboard (default: 2.0)",
+    )
     p.set_defaults(spec=OP_REGISTRY["dash"])
 
 
@@ -1162,6 +1281,21 @@ def _cfg_serve(sub, ledger_flag) -> None:
         help="how long the batcher waits to coalesce concurrent submissions "
         "into one grid (default: 0.02)",
     )
+    p.add_argument(
+        "--access-log",
+        metavar="FILE",
+        default=None,
+        help="write one schema-stamped JSONL line per request (request_id, "
+        "method, path, status, latency); off by default",
+    )
+    p.add_argument(
+        "--flight",
+        type=int,
+        default=256,
+        metavar="N",
+        help="flight-recorder capacity: retain the last N request traces "
+        "for GET /v1/trace/<request_id> (default: 256)",
+    )
     p.set_defaults(spec=OP_REGISTRY["serve"])
 
 
@@ -1188,6 +1322,30 @@ def _cfg_loadtest(sub, ledger_flag) -> None:
         help="merge the service block into this JSON file (default: BENCH_perf.json)",
     )
     p.set_defaults(spec=OP_REGISTRY["loadtest"])
+
+
+def _cfg_top(sub, ledger_flag) -> None:
+    p = sub.add_parser(
+        "top", help="one-line live view of a running service (polls /v1/metrics)"
+    )
+    p.add_argument(
+        "url", help="service base URL, e.g. http://127.0.0.1:8757"
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll cadence (default: 2.0)",
+    )
+    p.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N polls (default: 0 = until Ctrl-C)",
+    )
+    p.set_defaults(spec=OP_REGISTRY["top"])
 
 
 # -- Namespace → typed-op adapters ---------------------------------------------
@@ -1317,6 +1475,8 @@ def _run_dash(args) -> OpResult:
         history=args.history,
         no_walkthrough=args.no_walkthrough,
         ledger=args.ledger,
+        live=args.live,
+        refresh=args.refresh,
     )
 
 
@@ -1328,6 +1488,8 @@ def _run_serve(args) -> OpResult:
         port=args.port,
         ledger=args.ledger,
         coalesce_window=args.coalesce_window,
+        access_log=args.access_log,
+        flight_recorder=args.flight,
     )
 
 
@@ -1341,6 +1503,10 @@ def _run_loadtest(args) -> OpResult:
         n=args.n,
         out=args.out,
     )
+
+
+def _run_top(args) -> OpResult:
+    return top_op(url=args.url, interval=args.interval, count=args.count)
 
 
 #: name → :class:`OpSpec`: THE registry.  The CLI's subparsers and help
@@ -1383,6 +1549,8 @@ _register(OpSpec("serve", "run the compilation service (HTTP, long-lived)",
                  _cfg_serve, _run_serve, http=False, records=False))
 _register(OpSpec("loadtest", "fire concurrent submissions at a service and measure",
                  _cfg_loadtest, _run_loadtest, http=False, records=False))
+_register(OpSpec("top", "one-line live view of a running service",
+                 _cfg_top, _run_top, http=False, records=False))
 
 
 def op_epilog() -> str:

@@ -10,9 +10,19 @@ same :data:`~repro.service.ops.OP_REGISTRY` the CLI is generated from:
   stderr, data}`` (the CLI surface over HTTP).
 * ``GET /v1/runs`` — the run ledger, every workload request recorded.
 * ``GET /v1/healthz`` — uptime, request counts, batch/cache statistics.
+* ``GET /v1/metrics`` — the live telemetry snapshot (schema v8):
+  ``service.*`` counters/gauges/latency distributions plus the pipeline
+  metrics merged in per request; ``?format=prom`` serves the Prometheus
+  text exposition instead.
+* ``GET /v1/trace/<request_id>`` — the retained flight-recorder trace
+  for one request: HTTP root span down through ``evaluate_loop`` /
+  ``schedule`` / ``simulate`` / ``sim.*``.
 
-Requests and responses are schema-v7 stamped JSON
-(:func:`repro.schema.stamped`, kinds ``result``/``error``).  The
+Requests and responses are schema-v8 stamped JSON
+(:func:`repro.schema.stamped`, kinds ``result``/``error``).  Every
+request is assigned a 12-hex ``request_id``, echoed in the response
+body, the ``X-Request-Id`` header, the run-ledger argv and the optional
+``--access-log`` JSONL line (see :mod:`repro.service.telemetry`).  The
 economics of the service are in the **coalescer**: concurrent
 submissions that arrive within ``coalesce_window`` seconds and share
 ``(n, EvalOptions.stable_hash())`` are merged into a single
@@ -21,7 +31,13 @@ flat closed-form pass and the process-wide
 :class:`~repro.perf.cache.CompileCache` amortize across clients.  All
 evaluation runs on the single batcher thread — handler threads only
 parse, enqueue, and wait — which keeps the engine's memos free of
-locks.  With ``"stream": true`` a submission's response is chunked
+locks.  Per-request pipeline tracing therefore happens *on the batcher
+thread*: each coalesced group runs under a context-local
+:func:`~repro.obs.trace.tracer_scope` /
+:func:`~repro.obs.metrics.metrics_scope`, the collected spans are
+fanned back to every submission in the group, and the metrics merge
+into the server-wide :class:`~repro.service.telemetry.ServiceTelemetry`
+registry.  With ``"stream": true`` a submission's response is chunked
 ndjson: ``progress`` lines fanned out from the
 :class:`~repro.obs.trace.ProgressSink` seam, then one ``result`` line.
 
@@ -33,6 +49,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import queue
 import socket
 import threading
@@ -42,13 +59,26 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.ledger import DEFAULT_LEDGER, RunLedger, RunRecord
+from repro.obs.metrics import MetricsRegistry, metrics_scope
 from repro.obs.regress import git_sha, machine_fingerprint
-from repro.obs.trace import ProgressSink, add_progress_sink, remove_progress_sink
+from repro.obs.trace import (
+    ProgressSink,
+    RecordingTracer,
+    add_progress_sink,
+    remove_progress_sink,
+    tracer_scope,
+)
 from repro.options import EvalOptions
 from repro.perf.batch import BatchEvaluator, batch_incompatibility
 from repro.schema import SCHEMA_VERSION, stamped
 from repro.sched import paper_machine
 from repro.service.ops import OP_REGISTRY, OpResult
+from repro.service.telemetry import (
+    AccessLog,
+    RequestTrace,
+    ServiceTelemetry,
+    new_request_id,
+)
 
 __all__ = [
     "ALLOWED_OPTION_KEYS",
@@ -124,6 +154,7 @@ class _Submission:
         self.results = None  # list[CorpusEvaluation], job order
         self.error: BaseException | None = None
         self.coalesced = 0  # submissions sharing the grid (self included)
+        self.spans: tuple = ()  # batcher-thread span dicts, for the flight recorder
         self.done = threading.Event()
         self.progress: queue.SimpleQueue | None = (
             queue.SimpleQueue() if stream else None
@@ -157,10 +188,16 @@ class _Batcher(threading.Thread):
     locks on the hot path.
     """
 
-    def __init__(self, engine: BatchEvaluator, window: float) -> None:
+    def __init__(
+        self,
+        engine: BatchEvaluator,
+        window: float,
+        telemetry: ServiceTelemetry | None = None,
+    ) -> None:
         super().__init__(name="repro-batcher", daemon=False)
         self.engine = engine
         self.window = window
+        self.telemetry = telemetry
         self.queue: queue.Queue = queue.Queue()
         self._closed = threading.Event()
 
@@ -168,6 +205,8 @@ class _Batcher(threading.Thread):
         if self._closed.is_set():
             raise ServiceError(503, "service is shutting down")
         self.queue.put(submission)
+        if self.telemetry is not None:
+            self.telemetry.set_queue_depth(self.queue.qsize())
 
     def stop(self) -> None:
         """Refuse new work, drain what's queued, then stop."""
@@ -195,6 +234,8 @@ class _Batcher(threading.Thread):
                 if extra is None:
                     break
                 batch.append(extra)
+            if self.telemetry is not None:
+                self.telemetry.set_queue_depth(self.queue.qsize())
             self._run_batch(batch)
 
     def _run_batch(self, batch: list[_Submission]) -> None:
@@ -212,21 +253,30 @@ class _Batcher(threading.Thread):
         progress_queues = [s.progress for s in group if s.progress is not None]
         if progress_queues:
             sink = add_progress_sink(_FanoutSink(progress_queues))
+        # Evaluation happens on this thread, so the per-request pipeline
+        # trace is collected *here* under context-local scopes (handler
+        # threads never see these contextvars) and fanned back to every
+        # submission the group coalesced.
+        tracer = RecordingTracer()
+        collected = MetricsRegistry()
         try:
-            reason = batch_incompatibility(options)
-            if reason is None:
-                results = self.engine.evaluate_corpora(jobs, n=n, options=options)
-            else:
-                # Exactness over throughput: options the closed-form
-                # plane cannot honour run per-loop, still on the shared
-                # compile cache.
-                from repro.pipeline import evaluate_corpus
+            with tracer_scope(tracer), metrics_scope(collected):
+                reason = batch_incompatibility(options)
+                if reason is None:
+                    results = self.engine.evaluate_corpora(
+                        jobs, n=n, options=options
+                    )
+                else:
+                    # Exactness over throughput: options the closed-form
+                    # plane cannot honour run per-loop, still on the shared
+                    # compile cache.
+                    from repro.pipeline import evaluate_corpus
 
-                per_loop = options.replace(cache=self.engine.cache)
-                results = [
-                    evaluate_corpus(name, loops, machine, n, per_loop)
-                    for name, loops, machine in jobs
-                ]
+                    per_loop = options.replace(cache=self.engine.cache)
+                    results = [
+                        evaluate_corpus(name, loops, machine, n, per_loop)
+                        for name, loops, machine in jobs
+                    ]
             index = 0
             for submission in group:
                 count = len(submission.jobs)
@@ -238,8 +288,12 @@ class _Batcher(threading.Thread):
         finally:
             if sink is not None:
                 remove_progress_sink(sink)
+            spans = tuple(event.as_dict() for event in tracer.events)
+            if self.telemetry is not None:
+                self.telemetry.record_group(len(group), collected)
             for submission in group:
                 submission.coalesced = len(group)
+                submission.spans = spans
                 if submission.progress is not None:
                     submission.progress.put(None)  # stream terminator
                 submission.done.set()
@@ -262,9 +316,13 @@ class ReproService:
         port: int = 8757,
         ledger: str = DEFAULT_LEDGER,
         coalesce_window: float = 0.02,
+        access_log: str | None = None,
+        flight_recorder: int = 256,
     ) -> None:
         self.engine = BatchEvaluator()
-        self.batcher = _Batcher(self.engine, coalesce_window)
+        self.telemetry = ServiceTelemetry(flight_capacity=flight_recorder)
+        self.access_log = AccessLog(access_log) if access_log else None
+        self.batcher = _Batcher(self.engine, coalesce_window, self.telemetry)
         self.ledger = RunLedger(ledger)
         self.coalesce_window = coalesce_window
         self.started_at = time.time()
@@ -321,6 +379,8 @@ class ReproService:
             self.batcher.stop()
         if self._serve_thread is not None:
             self._serve_thread.join()
+        if self.access_log is not None:
+            self.access_log.close()
 
     def _begin_request(self) -> None:
         with self._busy_cond:
@@ -356,16 +416,21 @@ class ReproService:
         mode: str | None = None,
         error: str | None = None,
         failures: tuple = (),
+        request_id: str | None = None,
     ) -> RunRecord:
         """Append one workload request to the run ledger.
 
         Built directly (not via :class:`RunRecorder`) because the global
         active-recorder slot is not thread-safe and a per-request metrics
         snapshot would dominate service latency; ``metrics`` is ``None``
-        by design on service records.
+        by design on service records.  The request's ``request_id`` rides
+        in ``argv`` so a ledger line can be joined back to its flight-
+        recorder trace and access-log line.
         """
         timestamp = time.time()
         argv = ("POST", path, f"#{sequence}")
+        if request_id is not None:
+            argv += (request_id,)
         payload = {
             "command": f"service {op}",
             "argv": list(argv),
@@ -535,6 +600,22 @@ class ReproService:
             },
         )
 
+    def metrics_payload(self) -> dict[str, Any]:
+        """The ``GET /v1/metrics`` body: the telemetry snapshot plus the
+        request counters ``/v1/healthz`` reports (one poll serves both
+        the live dashboard and ``repro top``)."""
+        with self._lock:
+            counts = dict(self.requests)
+        return service_result(
+            "metrics",
+            {
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "requests": counts,
+                "coalesce_window_s": self.coalesce_window,
+                **self.telemetry.snapshot(),
+            },
+        )
+
 
 class _Server(ThreadingHTTPServer):
     # Handler threads are joined on server_close so shutdown can prove
@@ -551,8 +632,19 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = f"repro-service/v{SCHEMA_VERSION}"
 
+    # Per-request trace state, reset by _telemetry_begin for every request
+    # this (keep-alive) handler serves.
+    request_id = ""
+    _status = 0
+    _op: str | None = None
+    _outcome = "ok"
+    _error: str | None = None
+    _options_hash: str | None = None
+    _coalesced = 0
+    _flight_spans: tuple = ()
+
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass  # the ledger is the access log; stderr stays quiet
+        pass  # stderr stays quiet; --access-log writes structured JSONL
 
     @property
     def service(self) -> ReproService:
@@ -579,17 +671,110 @@ class _Handler(BaseHTTPRequestHandler):
             pass
         return True
 
+    # -- request telemetry -----------------------------------------------------
+
+    def _telemetry_begin(self) -> int:
+        """Assign the request id, reset per-request trace state, count the
+        request in-flight.  Returns the start ``perf_counter_ns``."""
+        self.request_id = new_request_id()
+        self._status = 0
+        self._op = None
+        self._outcome = "ok"
+        self._error = None
+        self._options_hash = None
+        self._coalesced = 0
+        self._flight_spans = ()
+        self.service.telemetry.request_started()
+        return time.perf_counter_ns()
+
+    def _telemetry_end(self, started_ns: int) -> None:
+        """Account the finished request: latency histogram (workload
+        requests only — health probes and the observability surface stay
+        out, so counts match submissions), access log, flight recorder."""
+        wall_s = (time.perf_counter_ns() - started_ns) / 1e9
+        op = self._op or "unrouted"
+        workload = self.command == "POST" and self._op is not None
+        self.service.telemetry.request_finished(
+            op, self._status, wall_s, workload
+        )
+        access_log = self.service.access_log
+        if access_log is not None:
+            access_log.write(
+                request_id=self.request_id,
+                method=self.command,
+                path=self.path,
+                status=self._status,
+                wall_s=wall_s,
+                op=self._op,
+            )
+        if workload or self._status >= 400:
+            root = {
+                "name": "http.request",
+                "start_ns": started_ns,
+                "duration_ns": time.perf_counter_ns() - started_ns,
+                "depth": 0,
+                "pid": os.getpid(),
+                "attrs": {
+                    "method": self.command,
+                    "path": urlsplit(self.path).path,
+                    "status": self._status,
+                },
+            }
+            nested = tuple(
+                {**span, "depth": span.get("depth", 0) + 1}
+                for span in self._flight_spans
+            )
+            self.service.telemetry.flight.record(
+                RequestTrace(
+                    request_id=self.request_id,
+                    op=op,
+                    method=self.command,
+                    path=urlsplit(self.path).path,
+                    status=self._status,
+                    outcome=self._outcome,
+                    wall_s=wall_s,
+                    timestamp=time.time(),
+                    coalesced=self._coalesced,
+                    options_hash=self._options_hash,
+                    error=self._error,
+                    spans=(root,) + nested,
+                )
+            )
+
     # -- plumbing ------------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self, status: int, payload: dict[str, Any], cors: bool = False
+    ) -> None:
+        self._status = status
+        if self.request_id and "request_id" not in payload:
+            payload = {**payload, "request_id": self.request_id}
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
+        if cors:
+            # The live dashboard is a local file:// page polling this
+            # loopback endpoint; read-only snapshots are safe to share.
+            self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._status = status
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_body(self, err: ServiceError) -> None:
+        self._outcome, self._error = "error", str(err)
         self._send_json(err.status, service_error(err.status, str(err), **err.extra))
 
     def _read_body(self) -> dict[str, Any]:
@@ -612,16 +797,25 @@ class _Handler(BaseHTTPRequestHandler):
         return body
 
     def _stream_submission(self, submission: _Submission) -> None:
-        """Chunked ndjson: progress lines, then the final result line."""
+        """Chunked ndjson: progress lines, then the final result line
+        (which echoes the ``request_id``, like every response body)."""
+        self._status = 200
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
         self.end_headers()
 
         def chunk(record: dict[str, Any]) -> None:
             data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
             self.wfile.write(f"{len(data):X}\r\n".encode("ascii") + data + b"\r\n")
             self.wfile.flush()
+
+        def terminal(record: dict[str, Any]) -> dict[str, Any]:
+            if self.request_id and "request_id" not in record:
+                record = {**record, "request_id": self.request_id}
+            return record
 
         try:
             while True:
@@ -631,10 +825,12 @@ class _Handler(BaseHTTPRequestHandler):
                 chunk(event.as_dict())
             submission.done.wait()
             if submission.error is not None:
-                chunk(service_error(500, f"{type(submission.error).__name__}: "
-                                         f"{submission.error}"))
+                chunk(terminal(service_error(
+                    500,
+                    f"{type(submission.error).__name__}: {submission.error}",
+                )))
             else:
-                chunk(self.service.result_payload(submission))
+                chunk(terminal(self.service.result_payload(submission)))
             self.wfile.write(b"0\r\n\r\n")
         except (BrokenPipeError, ConnectionResetError):
             submission.done.wait()  # client left; still finish accounting
@@ -642,20 +838,64 @@ class _Handler(BaseHTTPRequestHandler):
     # -- verbs ---------------------------------------------------------------
 
     def do_GET(self) -> None:
-        if self._refuse_if_closing():
-            return
-        self.service._begin_request()
+        started_ns = self._telemetry_begin()
         try:
-            self._do_get()
+            if self._refuse_if_closing():
+                self._outcome = "refused"
+                return
+            self.service._begin_request()
+            try:
+                self._do_get()
+            finally:
+                self.service._end_request()
         finally:
-            self.service._end_request()
+            self._telemetry_end(started_ns)
 
     def _do_get(self) -> None:
         path = urlsplit(self.path).path
         if path == "/v1/healthz":
+            self._op = "healthz"
             self.service.count("healthz")
             self._send_json(200, self.service.health_payload())
+        elif path == "/v1/metrics":
+            self._op = "metrics"
+            self.service.count("metrics")
+            query = parse_qs(urlsplit(self.path).query)
+            if query.get("format", [""])[0] == "prom":
+                self._send_text(
+                    200,
+                    self.service.telemetry.prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_json(200, self.service.metrics_payload(), cors=True)
+        elif path.startswith("/v1/trace/"):
+            self._op = "trace"
+            self.service.count("trace")
+            wanted = path[len("/v1/trace/"):]
+            trace = self.service.telemetry.flight.get(wanted)
+            if trace is None:
+                self._send_json(
+                    404,
+                    service_error(
+                        404,
+                        f"no retained trace for request_id {wanted!r} "
+                        "(the flight recorder keeps the most recent "
+                        f"{self.service.telemetry.flight.capacity} requests)",
+                        known_request_ids=self.service.telemetry.flight.ids()[-20:],
+                    ),
+                    cors=True,
+                )
+            else:
+                # the envelope op is "trace"; the traced request's own
+                # routed op rides along as request_op
+                doc = trace.as_dict()
+                doc["request_op"] = doc.pop("op")
+                self._send_json(
+                    200, service_result("trace", doc), cors=True
+                )
         elif path == "/v1/runs":
+            self._op = "runs"
             self.service.count("runs")
             query = parse_qs(urlsplit(self.path).query)
             records = self.service.ledger.load()
@@ -680,7 +920,9 @@ class _Handler(BaseHTTPRequestHandler):
                     f"no such endpoint: GET {path}",
                     endpoints=[
                         "GET /v1/healthz",
+                        "GET /v1/metrics",
                         "GET /v1/runs",
+                        "GET /v1/trace/<request_id>",
                         "POST /v1/evaluate",
                         "POST /v1/sweep",
                         "POST /v1/op/<name>",
@@ -689,13 +931,18 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:
-        if self._refuse_if_closing():
-            return
-        self.service._begin_request()
+        started_ns = self._telemetry_begin()
         try:
-            self._do_post()
+            if self._refuse_if_closing():
+                self._outcome = "refused"
+                return
+            self.service._begin_request()
+            try:
+                self._do_post()
+            finally:
+                self.service._end_request()
         finally:
-            self.service._end_request()
+            self._telemetry_end(started_ns)
 
     def _do_post(self) -> None:
         path = urlsplit(self.path).path
@@ -730,8 +977,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_submission(self, path, started, build) -> None:
         body = self._read_body()
         submission = build(body)
+        self._op = submission.op
         sequence = self.service.count(submission.op)
         options_hash = submission.options.stable_hash()
+        self._options_hash = options_hash
         outcome, error, payload = "ok", None, None
         try:
             if submission.progress is not None:
@@ -749,6 +998,9 @@ class _Handler(BaseHTTPRequestHandler):
             outcome, error = "error", f"{type(err).__name__}: {err}"
         if outcome == "ok" and submission.failures:
             outcome = "quarantined"
+        self._outcome, self._error = outcome, error
+        self._coalesced = submission.coalesced
+        self._flight_spans = submission.spans
         # Ledger first, response second (non-streaming path): a client
         # that has read its 200 must find its run record already on disk.
         self.service.record_request(
@@ -761,6 +1013,7 @@ class _Handler(BaseHTTPRequestHandler):
             mode=f"coalesced batch of {submission.coalesced} submission(s)",
             error=error,
             failures=tuple(submission.failures),
+            request_id=self.request_id,
         )
         if payload is not None:
             self._send_json(200, payload)
@@ -785,19 +1038,29 @@ class _Handler(BaseHTTPRequestHandler):
                 f"unknown argument(s) for op {name!r}: {', '.join(unknown)}",
                 allowed_arguments=sorted(allowed),
             )
+        self._op = f"op:{name}"
         sequence = self.service.count(f"op:{name}")
         outcome, error = "ok", None
+        # This op runs on the handler thread, so its pipeline trace is
+        # collected here (context-local: concurrent handlers don't mix)
+        # and its metrics merge into the server-wide registry.
+        tracer = RecordingTracer()
+        collected = MetricsRegistry()
         try:
             # Ops may toggle process-global state (metrics registries,
             # decision journals); serialize them.
             with self.service._op_lock:
-                result: OpResult = spec.call(**body)
+                with tracer_scope(tracer), metrics_scope(collected):
+                    result: OpResult = spec.call(**body)
         except TypeError as err:
             raise ServiceError(400, f"bad arguments for op {name!r}: {err}")
         except BaseException as err:
             outcome, error = "error", f"{type(err).__name__}: {err}"
             self._send_json(500, service_error(500, error))
             result = None
+        finally:
+            self._flight_spans = tuple(ev.as_dict() for ev in tracer.events)
+            self.service.telemetry.absorb(collected)
         if result is not None:
             if result.exit_code != 0:
                 outcome = f"exit {result.exit_code}"
@@ -813,6 +1076,7 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                 ),
             )
+        self._outcome, self._error = outcome, error
         self.service.record_request(
             f"op {name}",
             sequence,
@@ -821,6 +1085,7 @@ class _Handler(BaseHTTPRequestHandler):
             outcome,
             time.perf_counter() - started,
             error=error,
+            request_id=self.request_id,
         )
 
 
@@ -829,6 +1094,8 @@ def serve_forever_op(
     port: int = 8757,
     ledger: str = DEFAULT_LEDGER,
     coalesce_window: float = 0.02,
+    access_log: str | None = None,
+    flight_recorder: int = 256,
 ) -> OpResult:
     """``repro serve``: run the service in the foreground until SIGINT.
 
@@ -839,7 +1106,12 @@ def serve_forever_op(
     import sys
 
     service = ReproService(
-        host=host, port=port, ledger=ledger, coalesce_window=coalesce_window
+        host=host,
+        port=port,
+        ledger=ledger,
+        coalesce_window=coalesce_window,
+        access_log=access_log,
+        flight_recorder=flight_recorder,
     )
     service.start()
     print(

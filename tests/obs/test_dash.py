@@ -4,7 +4,11 @@ import re
 
 import pytest
 
-from repro.obs.dash import build_dashboard, walkthrough_timelines
+from repro.obs.dash import (
+    build_dashboard,
+    build_live_dashboard,
+    walkthrough_timelines,
+)
 from repro.obs.ledger import RunRecord
 from repro.obs.regress import collect_run
 from repro.schema import SCHEMA_VERSION
@@ -124,3 +128,62 @@ class TestEmptyInputs:
         html = build_dashboard([], [])
         assert html.startswith("<!DOCTYPE html>")
         assert "no runs recorded" in html
+
+
+def _snapshot():
+    """A /v1/metrics payload shaped like ReproService.metrics_payload()."""
+    from repro.service.telemetry import ServiceTelemetry
+
+    telemetry = ServiceTelemetry()
+    telemetry.request_started()
+    telemetry.request_finished("evaluate", 200, 0.02, workload=True)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "result",
+        "op": "metrics",
+        "uptime_s": 12.5,
+        "requests": 1,
+        "coalesce_window_s": 0.02,
+        **telemetry.snapshot(),
+    }
+
+
+class TestLiveDashboard:
+    @pytest.fixture(scope="class")
+    def live_html(self):
+        return build_live_dashboard(
+            _snapshot(), source="http://127.0.0.1:8757", refresh_s=1.5
+        )
+
+    def test_self_contained_document(self, live_html):
+        assert live_html.startswith("<!DOCTYPE html>")
+        assert live_html.rstrip().endswith("</html>")
+        assert not re.search(r'\bsrc\s*=\s*["\']https?://', live_html)
+        assert "<script src" not in live_html and "<link " not in live_html
+
+    def test_stat_tiles_render_the_snapshot(self, live_html):
+        for tile in (
+            "t-uptime", "t-requests", "t-errors", "t-inflight",
+            "t-queue", "t-p50", "t-p95", "t-p99",
+        ):
+            assert f'id="{tile}"' in live_html, tile
+        assert 'id="t-requests">1<' in live_html
+
+    def test_polling_config_embedded(self, live_html):
+        assert 'const SOURCE = "http://127.0.0.1:8757";' in live_html
+        assert "const REFRESH_MS = 1500;" in live_html
+        assert "/v1/metrics" in live_html
+
+    def test_histograms_and_flight_table_present(self, live_html):
+        assert 'id="latency-hist"' in live_html
+        assert 'id="coalesce-hist"' in live_html
+        assert 'id="flight-table"' in live_html
+
+    def test_refresh_floor_is_250ms(self):
+        html = build_live_dashboard(_snapshot(), refresh_s=0.01)
+        assert "const REFRESH_MS = 250;" in html
+
+    def test_empty_snapshot_still_renders(self):
+        html = build_live_dashboard({})
+        assert html.startswith("<!DOCTYPE html>")
+        assert 'id="t-requests">0<' in html

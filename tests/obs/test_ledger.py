@@ -190,6 +190,36 @@ class TestRunLedger:
         assert ledger.latest("sweep").run_id == "a" * 12
         assert ledger.latest("fuzz") is None
 
+    def test_concurrent_appends_never_tear_lines(self, tmp_path):
+        """The service's handler threads all append to one ledger; every
+        line must land whole and none may be lost (docs/service.md)."""
+        import threading
+
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+
+        def hammer(worker_id):
+            for index in range(25):
+                ledger.append(
+                    _record(run_id=f"{worker_id:06x}{index:06x}")
+                )
+
+        workers = [
+            threading.Thread(target=hammer, args=(n,)) for n in range(8)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        with open(ledger.path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 200
+        for line in lines:
+            json.loads(line)  # every line parses whole — no torn writes
+        loaded = ledger.load()
+        assert len(loaded) == 200
+        assert len({r.run_id for r in loaded}) == 200
+
 
 class TestRunRecorder:
     def test_finish_appends_one_record(self, tmp_path):

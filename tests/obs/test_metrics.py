@@ -1,15 +1,25 @@
 """MetricsRegistry: recording, merging, deterministic subset, formatting."""
 
+import threading
+
 import pytest
 
 from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
     DETERMINISTIC_NAMESPACES,
+    Gauge,
+    Histogram,
     MetricsRegistry,
     active_metrics,
+    context_metrics,
     count,
     disable_metrics,
     enable_metrics,
+    metrics_scope,
     observe,
+    percentile,
+    record_value,
+    set_gauge,
 )
 
 
@@ -142,3 +152,164 @@ class TestExport:
         text = registry.format()
         assert "sim.stalls" in text and "7" in text
         assert "sched.span" in text
+
+    def test_as_dict_omits_empty_distributions_and_gauges(self):
+        """One-shot pipeline snapshots never record them: the keys must
+        not appear, or pre-telemetry report output would change bytes."""
+        registry = MetricsRegistry()
+        registry.count("sim.stalls")
+        snapshot = registry.as_dict()
+        assert "distributions" not in snapshot
+        assert "gauges" not in snapshot
+        registry.record_value("service.request.latency", 0.01)
+        registry.set_gauge("service.queue.depth", 3)
+        snapshot = registry.as_dict()
+        assert "service.request.latency" in snapshot["distributions"]
+        assert "service.queue.depth" in snapshot["gauges"]
+
+    def test_format_renders_distributions_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.record_value("service.request.latency", 0.02)
+        registry.set_gauge("service.inflight", 2)
+        text = registry.format()
+        assert "service.request.latency" in text
+        assert "service.inflight" in text
+
+
+class TestPercentileHelper:
+    def test_nearest_rank(self):
+        values = [0.01 * (i + 1) for i in range(100)]
+        assert percentile(values, 0.50) == pytest.approx(0.51)
+        assert percentile(values, 0.99) == pytest.approx(1.00)
+
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_clamps_to_last_sample(self):
+        assert percentile([3.0, 1.0, 2.0], 1.0) == 3.0
+
+
+class TestHistogram:
+    def test_record_and_summary(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 9.0):
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary["count"] == 5
+        assert summary["min"] == 0.5 and summary["max"] == 9.0
+        assert summary["buckets"] == {"1.0": 1, "2.0": 2, "4.0": 1, "+Inf": 1}
+
+    def test_default_bounds_are_the_latency_ladder(self):
+        assert Histogram().bounds == DEFAULT_LATENCY_BOUNDS
+
+    def test_percentile_interpolates_within_a_bucket(self):
+        histogram = Histogram(bounds=(10.0, 20.0))
+        for _ in range(100):
+            histogram.record(15.0)
+        # all mass in the (10, 20] bucket; estimates clamp to min/max
+        assert histogram.percentile(0.50) == 15.0
+        assert histogram.percentile(0.99) == 15.0
+
+    def test_percentile_empty_is_zero(self):
+        assert Histogram().percentile(0.99) == 0.0
+
+    def test_overflow_bucket_reports_the_observed_maximum(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.record(50.0)
+        assert histogram.percentile(0.99) == 50.0
+
+    def test_merge_is_exact_and_commutative(self):
+        def build(values):
+            histogram = Histogram(bounds=(1.0, 2.0))
+            for value in values:
+                histogram.record(value)
+            return histogram
+
+        ab = build([0.5, 1.5])
+        ab.merge(build([3.0]))
+        ba = build([3.0])
+        ba.merge(build([0.5, 1.5]))
+        assert ab == ba
+        assert ab.summary()["count"] == 3
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError, match="different bounds"):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+
+class TestGauge:
+    def test_set_tracks_min_max_updates(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.minimum == 2 and gauge.maximum == 5
+        assert gauge.updates == 2
+
+    def test_merge_keeps_the_maximum_current_value(self):
+        a, b = Gauge(), Gauge()
+        a.set(3)
+        b.set(7)
+        a.merge(b)
+        assert a.value == 7
+        assert a.updates == 2
+
+    def test_merge_with_unset_gauge_is_a_noop(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.merge(Gauge())
+        assert gauge.value == 3 and gauge.updates == 1
+
+
+class TestContextScope:
+    def test_scope_collects_without_a_global_registry(self):
+        assert active_metrics() is None
+        with metrics_scope() as scoped:
+            count("sim.stalls", 2)
+            record_value("service.request.latency", 0.02)
+            set_gauge("service.queue.depth", 1)
+        assert scoped.counters == {"sim.stalls": 2}
+        assert scoped.distributions["service.request.latency"].total == 1
+        assert scoped.gauges["service.queue.depth"].value == 1
+        assert context_metrics() is None
+
+    def test_scope_and_global_both_receive(self):
+        registry = enable_metrics()
+        with metrics_scope() as scoped:
+            count("sim.stalls")
+        assert registry.counters == {"sim.stalls": 1}
+        assert scoped.counters == {"sim.stalls": 1}
+
+    def test_scopes_nest_innermost_wins(self):
+        with metrics_scope() as outer:
+            with metrics_scope() as inner:
+                count("sim.stalls")
+            assert context_metrics() is outer
+        assert inner.counters == {"sim.stalls": 1}
+        assert outer.counters == {}
+
+    def test_concurrent_threads_do_not_share_a_scope(self):
+        """The service seam: each handler thread's scope is private."""
+        results = {}
+        barrier = threading.Barrier(4)
+
+        def worker(name):
+            with metrics_scope() as scoped:
+                barrier.wait()
+                count(f"sim.{name}")
+                barrier.wait()
+                results[name] = dict(scoped.counters)
+
+        workers = [
+            threading.Thread(target=worker, args=(f"t{n}",)) for n in range(4)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        for name, counters in results.items():
+            assert counters == {f"sim.{name}": 1}, name

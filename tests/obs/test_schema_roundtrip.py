@@ -109,6 +109,28 @@ def _error_record():
     return service_error(400, "unknown option key(s): bogus")
 
 
+def _access_record():
+    # One line written by a real AccessLog (repro serve --access-log).
+    import os
+    import tempfile
+
+    from repro.service.telemetry import AccessLog
+
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-access-"), "a.jsonl")
+    log = AccessLog(path)
+    log.write(
+        request_id="abc123def456",
+        method="POST",
+        path="/v1/evaluate",
+        status=200,
+        wall_s=0.0421,
+        op="evaluate",
+    )
+    log.close()
+    with open(path, encoding="utf-8") as handle:
+        return json.loads(handle.readline())
+
+
 BUILDERS = {
     "span": _span_record,
     "metrics": _metrics_record,
@@ -117,6 +139,7 @@ BUILDERS = {
     "run": _run_record,
     "result": _result_record,
     "error": _error_record,
+    "access": _access_record,
 }
 
 

@@ -1,5 +1,7 @@
 """Trace spans: no-op default, recording, nesting, multi-tracer fan-out."""
 
+import threading
+
 import pytest
 
 from repro.obs.trace import (
@@ -7,11 +9,13 @@ from repro.obs.trace import (
     Tracer,
     active_tracers,
     add_tracer,
+    context_tracers,
     disable_tracing,
     enable_tracing,
     ingest_events,
     remove_tracer,
     span,
+    tracer_scope,
 )
 
 
@@ -150,6 +154,64 @@ class TestIngest:
         with _record_remote(remote):
             pass
         ingest_events(remote.events)
+
+
+class TestContextScope:
+    def test_scope_records_without_global_tracers(self):
+        assert active_tracers() == ()
+        with tracer_scope() as tracer:
+            with span("compile"):
+                pass
+        assert [e.name for e in tracer.events] == ["compile"]
+        assert context_tracers() == ()
+
+    def test_scope_and_global_both_see_spans(self):
+        recording = enable_tracing()
+        with tracer_scope() as scoped:
+            with span("schedule"):
+                pass
+        assert [e.name for e in recording.events] == ["schedule"]
+        assert [e.name for e in scoped.events] == ["schedule"]
+
+    def test_scopes_nest_and_stack(self):
+        with tracer_scope() as outer:
+            with tracer_scope() as inner:
+                with span("stage"):
+                    pass
+            assert context_tracers() == (outer,)
+        assert [e.name for e in outer.events] == ["stage"]
+        assert [e.name for e in inner.events] == ["stage"]
+
+    def test_scope_receives_ingested_events(self):
+        remote = RecordingTracer()
+        with _record_remote(remote):
+            pass
+        with tracer_scope() as scoped:
+            ingest_events(remote.events)
+        assert [e.name for e in scoped.events] == ["remote-stage"]
+
+    def test_concurrent_threads_do_not_share_a_scope(self):
+        """The service seam: each request thread traces privately."""
+        results = {}
+        barrier = threading.Barrier(4)
+
+        def worker(name):
+            with tracer_scope() as tracer:
+                barrier.wait()
+                with span(name):
+                    pass
+                barrier.wait()
+                results[name] = [e.name for e in tracer.events]
+
+        workers = [
+            threading.Thread(target=worker, args=(f"t{n}",)) for n in range(4)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        for name, names in results.items():
+            assert names == [name]
 
 
 def _record_remote(tracer):

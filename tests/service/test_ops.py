@@ -50,12 +50,13 @@ class TestRegistry:
         # the server must not be able to recursively serve itself
         assert not OP_REGISTRY["serve"].http
         assert not OP_REGISTRY["loadtest"].http
+        assert not OP_REGISTRY["top"].http
         http_ops = [n for n, s in OP_REGISTRY.items() if s.http]
         assert "compile" in http_ops and "evaluate" in http_ops
 
     def test_non_pipeline_ops_skip_the_ledger(self):
-        # runs/dash/serve/loadtest reading the ledger must not write it
-        for name in ("runs", "dash", "serve", "loadtest"):
+        # runs/dash/serve/loadtest/top reading the ledger must not write it
+        for name in ("runs", "dash", "serve", "loadtest", "top"):
             assert not OP_REGISTRY[name].records, name
         for name in ("compile", "simulate", "sweep", "evaluate"):
             assert OP_REGISTRY[name].records, name

@@ -9,6 +9,7 @@ the same path ``make serve-smoke`` and ``repro loadtest`` exercise
 import json
 import multiprocessing
 import threading
+import time
 from http.client import HTTPConnection
 
 import pytest
@@ -100,8 +101,16 @@ class TestEvaluate:
             worker.join()
 
         assert all(status == 200 for status, _ in results)
-        bodies = [json.dumps(body, sort_keys=True) for _, body in results]
+        # identical apart from request_id, which is per-request by design
+        bodies = [
+            json.dumps(
+                {k: v for k, v in body.items() if k != "request_id"},
+                sort_keys=True,
+            )
+            for _, body in results
+        ]
         assert len(set(bodies)) == 1, "coalesced submissions must be identical"
+        assert len({body["request_id"] for _, body in results}) == len(results)
         assert results[0][1]["coalesced"] >= 1
 
     def test_streaming_ends_with_result_line(self, service):
@@ -216,6 +225,8 @@ class TestValidation:
         status, body = _request(service, "GET", "/v1/nope")
         assert status == 404
         assert "GET /v1/healthz" in body["endpoints"]
+        assert "GET /v1/metrics" in body["endpoints"]
+        assert "GET /v1/trace/<request_id>" in body["endpoints"]
 
     def test_unknown_op_is_a_404(self, service):
         status, body = _request(service, "POST", "/v1/op/nope", {})
@@ -267,6 +278,246 @@ class TestHealth:
         assert all(r["kind"] == "run" for r in body["runs"])
 
 
+def _request_raw(service, method, path, body=None, headers=None):
+    """Like _request but returns (status, response headers, raw bytes)."""
+    connection = HTTPConnection(service.host, service.port, timeout=60)
+    try:
+        payload = json.dumps(body) if isinstance(body, dict) else body
+        connection.request(method, path, body=payload, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, dict(response.headers), response.read()
+    finally:
+        connection.close()
+
+
+def _metrics(service):
+    status, body = _request(service, "GET", "/v1/metrics")
+    assert status == 200
+    return body
+
+
+def _poll(fetch, done, timeout=2.0):
+    """Telemetry lands after the response bytes are flushed; poll for it.
+
+    Returns the first ``fetch()`` result ``done`` accepts, or the last
+    one when ``timeout`` expires (the caller's assertion then shows it).
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = fetch()
+        if done(value) or time.monotonic() >= deadline:
+            return value
+        time.sleep(0.02)
+
+
+class TestRequestIds:
+    def test_request_id_echoed_in_body_and_header(self, service):
+        status, headers, raw = _request_raw(
+            service, "POST", "/v1/evaluate", _evaluate_body("rid")
+        )
+        body = json.loads(raw)
+        assert status == 200
+        assert len(body["request_id"]) == 12
+        assert headers["X-Request-Id"] == body["request_id"]
+
+    def test_error_responses_carry_a_request_id_too(self, service):
+        status, headers, raw = _request_raw(
+            service, "POST", "/v1/evaluate", {"source": "this is not a loop"}
+        )
+        body = json.loads(raw)
+        assert status == 400
+        assert headers["X-Request-Id"] == body["request_id"]
+
+
+class TestMetricsEndpoint:
+    def test_metrics_is_a_stamped_result(self, service):
+        body = _metrics(service)
+        assert body["schema_version"] == SCHEMA_VERSION
+        assert body["kind"] == "result" and body["op"] == "metrics"
+        for key in ("uptime_s", "inflight", "latency", "metrics", "flight"):
+            assert key in body, key
+
+    def test_workload_count_tracks_submissions(self, service):
+        before = _metrics(service)
+        base = before["metrics"]["counters"].get("service.request.count", 0)
+        _request(service, "POST", "/v1/evaluate", _evaluate_body("counted"))
+        after = _poll(
+            lambda: _metrics(service),
+            lambda m: m["metrics"]["counters"].get("service.request.count", 0)
+            > base,
+        )
+        delta = after["metrics"]["counters"]["service.request.count"] - base
+        assert delta == 1
+        assert (
+            after["latency"]["count"] - before["latency"]["count"] == 1
+        )
+
+    def test_healthz_polls_stay_out_of_the_latency_histogram(self, service):
+        before = _metrics(service)
+        base = before["metrics"]["counters"].get("service.request.ops.healthz", 0)
+        for _ in range(3):
+            status, _ = _request(service, "GET", "/v1/healthz")
+            assert status == 200
+        after = _poll(
+            lambda: _metrics(service),
+            lambda m: m["metrics"]["counters"].get(
+                "service.request.ops.healthz", 0
+            )
+            >= base + 3,
+        )
+        # per-op counter moves, the workload distribution does not
+        healthz = after["metrics"]["counters"]["service.request.ops.healthz"]
+        assert healthz >= base + 3
+        assert after["latency"]["count"] == before["latency"]["count"]
+        assert after["metrics"]["counters"].get(
+            "service.request.count", 0
+        ) == before["metrics"]["counters"].get("service.request.count", 0)
+
+    def test_pipeline_metrics_merged_into_the_server_registry(self, service):
+        _request(service, "POST", "/v1/evaluate", _evaluate_body("pipeline"))
+        counters = _metrics(service)["metrics"]["counters"]
+        assert any(name.startswith("sim.") for name in counters)
+
+    def test_prom_format_renders_text_exposition(self, service):
+        _request(service, "POST", "/v1/evaluate", _evaluate_body("prom"))
+        status, headers, raw = _poll(
+            lambda: _request_raw(service, "GET", "/v1/metrics?format=prom"),
+            lambda got: b"service_request_count" in got[2],
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = raw.decode()
+        assert "service_request_count" in text
+        assert "service_request_latency_bucket" in text
+
+    def test_counts_are_monotone_under_concurrent_load(self, service):
+        """/v1/healthz and /v1/metrics polled while workers submit: every
+        poll succeeds and the counters never go backwards."""
+        stop = threading.Event()
+        failures = []
+
+        def submit_loop():
+            while not stop.is_set():
+                status, _ = _request(
+                    service, "POST", "/v1/evaluate", _evaluate_body("monotone")
+                )
+                if status != 200:
+                    failures.append(f"evaluate got {status}")
+
+        workers = [threading.Thread(target=submit_loop) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            samples = []
+            for _ in range(10):
+                status, _ = _request(service, "GET", "/v1/healthz")
+                if status != 200:
+                    failures.append(f"healthz got {status}")
+                body = _metrics(service)
+                samples.append(
+                    (
+                        body["metrics"]["counters"].get(
+                            "service.request.count", 0
+                        ),
+                        body["metrics"]["counters"].get(
+                            "service.request.ops.healthz", 0
+                        ),
+                    )
+                )
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+        assert not failures, failures
+        assert samples == sorted(samples), "request counts went backwards"
+        assert samples[-1][1] - samples[0][1] >= 9
+
+
+class TestTraceEndpoint:
+    def test_trace_returns_the_span_tree(self, service):
+        # a loop no other test submits, so the evaluation cannot be a
+        # memo hit and the trace must reach the simulator spans
+        body = _evaluate_body("traced")
+        body["source"] = FIG1.replace("A(I-2)", "A(I-73)")
+        status, response = _request(service, "POST", "/v1/evaluate", body)
+        assert status == 200
+        status, trace = _poll(
+            lambda: _request(
+                service, "GET", f"/v1/trace/{response['request_id']}"
+            ),
+            lambda got: got[0] == 200,
+        )
+        assert status == 200
+        assert trace["kind"] == "result" and trace["op"] == "trace"
+        assert trace["request_op"] == "evaluate"
+        assert trace["request_id"] == response["request_id"]
+        assert trace["status"] == 200 and trace["outcome"] == "ok"
+        names = [span["name"] for span in trace["spans"]]
+        assert names[0] == "http.request"
+        assert "batch.evaluate" in names
+        assert any(name.startswith("sim.") for name in names)
+
+    def test_unknown_id_is_a_404_with_known_ids(self, service):
+        _request(service, "POST", "/v1/evaluate", _evaluate_body("known"))
+        status, body = _poll(
+            lambda: _request(service, "GET", "/v1/trace/ffffffffffff"),
+            lambda got: bool(got[1].get("known_request_ids")),
+        )
+        assert status == 404
+        assert body["kind"] == "error"
+        assert "ffffffffffff" in body["error"]
+        assert body["known_request_ids"], "flight recorder should not be empty"
+
+    def test_failed_requests_are_retained(self, service):
+        status, response = _request(
+            service, "POST", "/v1/evaluate", {"source": "this is not a loop"}
+        )
+        assert status == 400
+        status, trace = _poll(
+            lambda: _request(
+                service, "GET", f"/v1/trace/{response['request_id']}"
+            ),
+            lambda got: got[0] == 200,
+        )
+        assert status == 200
+        assert trace["status"] == 400
+        assert trace["outcome"] == "error"
+        assert "does not parse" in trace["error"]
+
+
+class TestAccessLogWiring:
+    def test_every_request_gets_one_stamped_line(self, tmp_path):
+        from repro.schema import parse_line
+
+        access = tmp_path / "access.jsonl"
+        running = ReproService(
+            port=0,
+            ledger=str(tmp_path / "ledger.jsonl"),
+            access_log=str(access),
+        ).start()
+        try:
+            _, body = _request(
+                running, "POST", "/v1/evaluate", _evaluate_body("logged")
+            )
+            _request(running, "GET", "/v1/healthz")
+        finally:
+            running.shutdown()
+        lines = [parse_line(line) for line in access.read_text().splitlines()]
+        assert len(lines) == 2
+        assert all(record["kind"] == "access" for record in lines)
+        # the lines land in handler-finally order, which can differ from
+        # request order — match by method, not position
+        post = next(r for r in lines if r["method"] == "POST")
+        get = next(r for r in lines if r["method"] == "GET")
+        assert post["path"] == "/v1/evaluate"
+        assert post["request_id"] == body["request_id"]
+        assert post["op"] == "evaluate" and post["status"] == 200
+        assert get["path"] == "/v1/healthz" and get["op"] == "healthz"
+
+    def test_no_access_log_by_default(self, service):
+        assert service.access_log is None
+
+
 class TestShutdown:
     def test_graceful_shutdown_drains_in_flight_work(self, tmp_path):
         """A submission racing shutdown() completes; nothing is orphaned."""
@@ -316,3 +567,24 @@ class TestShutdown:
         with pytest.raises(Exception):
             # socket is closed post-shutdown; any of refused/reset is fine
             _request(running, "GET", "/v1/healthz")
+
+    def test_draining_service_refuses_with_a_stamped_503(self, tmp_path):
+        """A request landing in the drain window (closing flag set, the
+        listener not yet torn down) gets a schema-stamped 503 body."""
+        running = ReproService(
+            port=0, ledger=str(tmp_path / "ledger.jsonl")
+        ).start()
+        try:
+            running._closing.set()
+            status, headers, raw = _request_raw(
+                running, "POST", "/v1/evaluate", _evaluate_body("late")
+            )
+            body = json.loads(raw)
+            assert status == 503
+            assert body["schema_version"] == SCHEMA_VERSION
+            assert body["kind"] == "error"
+            assert "shutting down" in body["error"]
+            assert headers["X-Request-Id"] == body["request_id"]
+        finally:
+            running._closing.clear()
+            running.shutdown()

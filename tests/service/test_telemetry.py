@@ -1,0 +1,272 @@
+"""The service telemetry layer: request ids, flight recorder, access log.
+
+Unit tests for :mod:`repro.service.telemetry` — the pieces behind
+``GET /v1/metrics``, ``GET /v1/trace/<id>`` and ``--access-log``
+(docs/service.md, "Operating the service").  The end-to-end HTTP paths
+are covered in ``tests/service/test_server.py``.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.schema import SCHEMA_VERSION, parse_line
+from repro.service.telemetry import (
+    COALESCE_OCCUPANCY_BOUNDS,
+    AccessLog,
+    FlightRecorder,
+    RequestTrace,
+    ServiceTelemetry,
+    new_request_id,
+)
+
+
+def _trace(request_id, status=200, error=None, timestamp=0.0, **overrides):
+    base = dict(
+        request_id=request_id,
+        op="evaluate",
+        method="POST",
+        path="/v1/evaluate",
+        status=status,
+        outcome="ok" if status < 400 else "error",
+        wall_s=0.01,
+        timestamp=timestamp,
+        error=error,
+    )
+    base.update(overrides)
+    return RequestTrace(**base)
+
+
+class TestRequestId:
+    def test_twelve_hex_characters(self):
+        request_id = new_request_id()
+        assert len(request_id) == 12
+        int(request_id, 16)  # must be valid hex
+
+    def test_ids_are_distinct(self):
+        assert len({new_request_id() for _ in range(256)}) == 256
+
+
+class TestRequestTrace:
+    def test_failed_by_status_or_error(self):
+        assert not _trace("a" * 12).failed
+        assert _trace("a" * 12, status=400).failed
+        assert _trace("a" * 12, error="boom").failed
+
+    def test_as_dict_is_schema_stamped(self):
+        doc = _trace("a" * 12, spans=({"name": "http.request"},)).as_dict()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["request_id"] == "a" * 12
+        assert doc["spans"] == [{"name": "http.request"}]
+
+
+class TestFlightRecorder:
+    def test_get_and_len(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(_trace("a" * 12))
+        assert len(recorder) == 1
+        assert recorder.get("a" * 12).request_id == "a" * 12
+        assert recorder.get("missing") is None
+
+    def test_ok_ring_evicts_oldest_first(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(5):
+            recorder.record(_trace(f"{index:012x}", timestamp=float(index)))
+        assert recorder.get(f"{0:012x}") is None
+        assert recorder.get(f"{1:012x}") is None
+        assert recorder.get(f"{4:012x}") is not None
+        assert len(recorder) == 3
+
+    def test_errors_pinned_against_healthy_traffic(self):
+        """A burst of 200s must not evict the failed request."""
+        recorder = FlightRecorder(capacity=2, error_capacity=2)
+        recorder.record(_trace("bad0bad0bad0", status=500, timestamp=0.0))
+        for index in range(50):
+            recorder.record(_trace(f"{index:012x}", timestamp=1.0 + index))
+        assert recorder.get("bad0bad0bad0") is not None
+        assert recorder.get("bad0bad0bad0").failed
+
+    def test_error_ring_has_its_own_capacity(self):
+        recorder = FlightRecorder(capacity=8, error_capacity=2)
+        for index in range(4):
+            recorder.record(
+                _trace(f"{index:012x}", status=500, timestamp=float(index))
+            )
+        assert recorder.get(f"{0:012x}") is None
+        assert recorder.get(f"{3:012x}") is not None
+
+    def test_recent_is_timestamp_ordered_and_limited(self):
+        recorder = FlightRecorder()
+        recorder.record(_trace("b" * 12, timestamp=2.0))
+        recorder.record(_trace("a" * 12, timestamp=1.0))
+        recorder.record(_trace("c" * 12, status=500, timestamp=3.0))
+        recent = recorder.recent()
+        assert [t.request_id for t in recent] == ["a" * 12, "b" * 12, "c" * 12]
+        assert [t.request_id for t in recorder.recent(limit=2)] == [
+            "b" * 12,
+            "c" * 12,
+        ]
+
+    def test_rejects_nonpositive_capacities(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestServiceTelemetry:
+    def test_workload_requests_feed_count_and_latency(self):
+        telemetry = ServiceTelemetry()
+        telemetry.request_started()
+        telemetry.request_finished("evaluate", 200, 0.02, workload=True)
+        counters = telemetry.registry.counters
+        assert counters["service.request.count"] == 1
+        assert counters["service.request.ops.evaluate"] == 1
+        latency = telemetry.registry.distributions["service.request.latency"]
+        assert latency.total == 1
+
+    def test_observability_gets_stay_out_of_the_latency_histogram(self):
+        telemetry = ServiceTelemetry()
+        for _ in range(3):
+            telemetry.request_started()
+            telemetry.request_finished("healthz", 200, 0.001, workload=False)
+        assert telemetry.registry.counters["service.request.ops.healthz"] == 3
+        assert "service.request.count" not in telemetry.registry.counters
+        assert "service.request.latency" not in telemetry.registry.distributions
+
+    def test_errors_counted(self):
+        telemetry = ServiceTelemetry()
+        telemetry.request_started()
+        telemetry.request_finished("evaluate", 400, 0.001, workload=True)
+        assert telemetry.registry.counters["service.request.errors"] == 1
+
+    def test_inflight_gauge_tracks_starts_and_finishes(self):
+        telemetry = ServiceTelemetry()
+        telemetry.request_started()
+        telemetry.request_started()
+        assert telemetry.registry.gauges["service.inflight"].value == 2
+        telemetry.request_finished("evaluate", 200, 0.01, workload=True)
+        assert telemetry.registry.gauges["service.inflight"].value == 1
+
+    def test_record_group_folds_occupancy_and_pipeline_metrics(self):
+        telemetry = ServiceTelemetry()
+        collected = MetricsRegistry()
+        collected.count("sim.stalls", 7)
+        telemetry.record_group(3, collected)
+        occupancy = telemetry.registry.distributions[
+            "service.batch.coalesce_window_occupancy"
+        ]
+        assert occupancy.bounds == COALESCE_OCCUPANCY_BOUNDS
+        assert occupancy.total == 1
+        assert telemetry.registry.counters["sim.stalls"] == 7
+
+    def test_snapshot_shape(self):
+        telemetry = ServiceTelemetry()
+        telemetry.request_started()
+        telemetry.request_finished("evaluate", 200, 0.02, workload=True)
+        telemetry.flight.record(_trace("a" * 12, timestamp=1.0))
+        snapshot = telemetry.snapshot()
+        assert snapshot["inflight"] == 0
+        assert snapshot["latency"]["count"] == 1
+        assert set(snapshot["latency"]) == {"count", "mean", "p50", "p95", "p99"}
+        assert "service.request.count" in snapshot["metrics"]["counters"]
+        assert snapshot["flight"]["recorded"] == 1
+        assert snapshot["flight"]["request_ids"] == ["a" * 12]
+        assert snapshot["flight"]["recent"][0]["op"] == "evaluate"
+
+    def test_latency_summary_empty(self):
+        assert ServiceTelemetry().latency_summary() == {
+            "count": 0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_prometheus_exposition(self):
+        telemetry = ServiceTelemetry()
+        telemetry.request_started()
+        telemetry.request_finished("evaluate", 200, 0.02, workload=True)
+        text = telemetry.prometheus()
+        assert "service_request_count" in text
+        assert "service_request_latency_bucket" in text
+
+    def test_concurrent_recording_loses_nothing(self):
+        telemetry = ServiceTelemetry()
+
+        def hammer():
+            for _ in range(200):
+                telemetry.request_started()
+                telemetry.request_finished("evaluate", 200, 0.01, workload=True)
+
+        workers = [threading.Thread(target=hammer) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert telemetry.registry.counters["service.request.count"] == 1600
+        latency = telemetry.registry.distributions["service.request.latency"]
+        assert latency.total == 1600
+        assert telemetry.snapshot()["inflight"] == 0
+
+
+class TestAccessLog:
+    def test_writes_stamped_access_lines(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(str(path))
+        log.write("a" * 12, "POST", "/v1/evaluate", 200, 0.0123456789, op="evaluate")
+        log.write("b" * 12, "GET", "/v1/healthz", 200, 0.0005)
+        log.close()
+        lines = [parse_line(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        first, second = lines
+        assert first["kind"] == "access"
+        assert first["schema_version"] == SCHEMA_VERSION
+        assert first["request_id"] == "a" * 12
+        assert first["wall_s"] == round(0.0123456789, 6)
+        assert first["op"] == "evaluate"
+        assert second["op"] is None
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "access.jsonl"
+        log = AccessLog(str(path))
+        log.write("a" * 12, "GET", "/v1/healthz", 200, 0.001)
+        log.close()
+        assert path.exists()
+
+    def test_concurrent_writes_never_tear_lines(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(str(path))
+
+        def hammer(worker_id):
+            for index in range(50):
+                log.write(
+                    f"{worker_id:06x}{index:06x}",
+                    "POST",
+                    "/v1/evaluate",
+                    200,
+                    0.001,
+                    op="evaluate",
+                )
+
+        workers = [
+            threading.Thread(target=hammer, args=(n,)) for n in range(8)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 400
+        ids = set()
+        for line in lines:
+            record = json.loads(line)  # every line parses whole
+            assert record["kind"] == "access"
+            ids.add(record["request_id"])
+        assert len(ids) == 400
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = AccessLog(str(tmp_path / "access.jsonl"))
+        log.close()
+        log.close()
