@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench bench-batch bench-check bench-perf bench-service fuzz-smoke serve-smoke sweep dash
+.PHONY: test lint check bench bench-batch bench-check bench-perf bench-service fuzz-smoke serve-smoke chaos-smoke sweep dash
 
 BENCH_BASELINE ?= benchmarks/baselines/bench_history.jsonl
 
@@ -44,6 +44,26 @@ fuzz-smoke:
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py $(SERVE_SMOKE_ARGS)
 
+# Seeded chaos loadtest (docs/robustness.md, "Operating under
+# failure"): an in-process resilient server under injected grid kills,
+# slow groups, cache corruption, malformed/oversized bodies and
+# mid-stream disconnects.  Gates on honesty under failure: zero
+# malformed/unstamped responses, every submission answered or honestly
+# shed, breaker transitions on the ledger, complete inflight journal.
+# kill:every=1,times=3 is deliberate — the breaker counts *consecutive*
+# failures, so only back-to-back kills trip it.  Deterministic in
+# CHAOS_SEED, so a CI failure replays locally.  Part of `make check`.
+CHAOS_REQUESTS ?= 500
+CHAOS_CONCURRENCY ?= 16
+CHAOS_SEED ?= 0
+chaos-smoke:
+	$(PYTHON) -m repro loadtest --requests $(CHAOS_REQUESTS) \
+		--concurrency $(CHAOS_CONCURRENCY) --n 60 \
+		--chaos kill:every=1,times=3 --chaos kill:every=50 \
+		--chaos slow:delay=0.05,every=60 --chaos corrupt:every=150 \
+		--chaos malformed:prob=0.05 --chaos oversize:prob=0.02 \
+		--chaos disconnect:prob=0.03 --chaos-seed $(CHAOS_SEED)
+
 # Build the self-contained HTML dashboard (run ledger + bench history).
 # Works with an empty/missing ledger: the walkthrough timelines and the
 # committed bench baseline still give it something to show.
@@ -52,8 +72,9 @@ dash:
 	$(PYTHON) -m repro dash --out $(DASH_OUT) --history $(BENCH_BASELINE)
 
 # Everything CI would run: lint + tier-1 tests + fuzz + batch-engine
-# identity smoke + bench gate + service smoke + a dashboard-build smoke.
-check: lint test fuzz-smoke bench-batch bench-check serve-smoke dash
+# identity smoke + bench gate + service smoke + chaos smoke + a
+# dashboard-build smoke.
+check: lint test fuzz-smoke bench-batch bench-check serve-smoke chaos-smoke dash
 
 # Regenerate every paper table/figure under benchmarks/results/
 # (perf-marked timing benches stay skipped).

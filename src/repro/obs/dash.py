@@ -588,6 +588,10 @@ function render(s) {
   setTile('t-inflight', s.inflight || 0);
   const queue = gauges['service.queue.depth'];
   setTile('t-queue', queue ? queue.value : 0);
+  setTile('t-shed', counters['service.request.shed'] || 0);
+  const breaker = gauges['service.breaker.state'];
+  setTile('t-breaker',
+    ['closed', 'half-open', 'open'][breaker ? breaker.value : 0] || 'closed');
   setTile('t-p50', fmtMs(lat.p50 || 0));
   setTile('t-p95', fmtMs(lat.p95 || 0));
   setTile('t-p99', fmtMs(lat.p99 || 0));
@@ -690,12 +694,16 @@ def build_live_dashboard(
     gauges = snapshot.get("metrics", {}).get("gauges", {})
     latency = snapshot.get("latency", {})
     queue = gauges.get("service.queue.depth", {}).get("value", 0)
+    breaker_state = int(gauges.get("service.breaker.state", {}).get("value", 0))
+    breaker_names = {0: "closed", 1: "half-open", 2: "open"}
     tiles = [
         ("t-uptime", f"{snapshot.get('uptime_s', 0):.0f}s", "uptime"),
         ("t-requests", str(counters.get("service.request.count", 0)), "workload requests"),
         ("t-errors", str(counters.get("service.request.errors", 0)), "errors"),
         ("t-inflight", str(snapshot.get("inflight", 0)), "in flight"),
         ("t-queue", str(queue), "queue depth"),
+        ("t-shed", str(counters.get("service.request.shed", 0)), "shed (429)"),
+        ("t-breaker", breaker_names.get(breaker_state, "closed"), "breaker"),
         ("t-p50", f"{latency.get('p50', 0.0) * 1000:.2f} ms", "latency p50"),
         ("t-p95", f"{latency.get('p95', 0.0) * 1000:.2f} ms", "latency p95"),
         ("t-p99", f"{latency.get('p99', 0.0) * 1000:.2f} ms", "latency p99"),

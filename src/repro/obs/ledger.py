@@ -46,7 +46,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.obs.export import metrics_snapshot
-from repro.obs.metrics import MetricsRegistry, active_metrics, disable_metrics, enable_metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active_metrics,
+    count,
+    disable_metrics,
+    enable_metrics,
+)
 from repro.obs.regress import git_sha, machine_fingerprint
 from repro.schema import dump_line, parse_line, stamped
 
@@ -64,6 +70,7 @@ __all__ = [
     "diff_run_metrics",
     "format_run_diff",
     "record_run",
+    "unfinished_inflight",
 ]
 
 #: Where the ledger lives unless ``--ledger`` / ``EvalOptions.ledger``
@@ -195,10 +202,22 @@ _APPEND_LOCK = threading.Lock()
 
 
 class RunLedger:
-    """The append-only JSONL store behind ``repro runs`` / ``repro dash``."""
+    """The append-only JSONL store behind ``repro runs`` / ``repro dash``.
 
-    def __init__(self, path: str = DEFAULT_LEDGER) -> None:
+    ``durable=True`` fsyncs every append (``--ledger-durable``): the
+    record survives a process kill — or a power cut — the moment
+    ``append`` returns, at the cost of a disk flush per record.  The
+    default stays buffered: a kill can tear the final line, which
+    ``load`` recovers from (skip-and-count, ``torn_tail``).
+    """
+
+    def __init__(self, path: str = DEFAULT_LEDGER, durable: bool = False) -> None:
         self.path = path
+        self.durable = durable
+        #: Torn final lines seen by the most recent :meth:`load` — a
+        #: process killed mid-append leaves at most one, and exactly the
+        #: last one.  Also counted as ``robust.ledger.torn_tail``.
+        self.torn_tail = 0
 
     def append(self, record: RunRecord) -> None:
         line = dump_line(record.as_dict()) + "\n"
@@ -208,13 +227,25 @@ class RunLedger:
                 os.makedirs(directory, exist_ok=True)
             with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(line)
+                if self.durable:
+                    handle.flush()
+                    os.fsync(handle.fileno())
 
     def load(self) -> list[RunRecord]:
         """Every ``run`` record, oldest first; unreadable lines are skipped
-        (an append-only log torn mid-write must not sink its readers)."""
+        (an append-only log torn mid-write must not sink its readers).
+
+        A torn *tail* — the final line unreadable, the signature of a
+        process killed mid-append — is additionally counted in
+        :attr:`torn_tail` and the ``robust.ledger.torn_tail`` metric, so
+        ``repro serve --recover`` and ``repro runs list`` can say the
+        log lost its last write instead of silently shrugging.
+        """
+        self.torn_tail = 0
         if not os.path.exists(self.path):
             return []
         records: list[RunRecord] = []
+        last_was_torn = False
         with open(self.path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -223,9 +254,14 @@ class RunLedger:
                 try:
                     data = parse_line(line)
                 except ValueError:
+                    last_was_torn = True
                     continue
+                last_was_torn = False
                 if data.get("kind") == "run":
                     records.append(RunRecord.from_dict(data))
+        if last_was_torn:
+            self.torn_tail = 1
+            count("robust.ledger.torn_tail")
         return records
 
     def get(self, run_id: str) -> RunRecord:
@@ -242,6 +278,35 @@ class RunLedger:
             r for r in self.load() if command is None or r.command == command
         ]
         return records[-1] if records else None
+
+
+def unfinished_inflight(records: Iterable[RunRecord]) -> list[RunRecord]:
+    """The ``outcome: "inflight"`` service records never finalized.
+
+    The service journals every admitted submission before evaluation and
+    appends a terminal record (sharing the request id in ``argv[-1]``)
+    after; an inflight record with no later terminal twin is work a
+    killed process accepted but never answered.  ``repro serve
+    --recover`` appends ``outcome: "lost"`` finalizers for these;
+    ``repro runs list --inflight`` shows them.
+    """
+    records = list(records)
+    finalized: set[str] = set()
+    for record in records:
+        if (
+            record.command.startswith("service")
+            and record.outcome != "inflight"
+            and record.argv
+        ):
+            finalized.add(record.argv[-1])
+    return [
+        record
+        for record in records
+        if record.outcome == "inflight"
+        and record.command.startswith("service")
+        and record.argv
+        and record.argv[-1] not in finalized
+    ]
 
 
 class RunRecorder:

@@ -66,7 +66,7 @@ from repro.obs.trace import (
 )
 from repro.options import EvalOptions, observation_scope
 from repro.perf.cache import CacheStats, CompileCache
-from repro.robust.harden import FailureRecord, RobustPolicy
+from repro.robust.harden import FailureRecord, RobustPolicy, retry_delay
 from repro.perf.profile import (
     StageProfiler,
     active_profiler,
@@ -655,7 +655,7 @@ class ParallelEvaluator:
                                 retries=self._progress_retries,
                                 quarantined=self._progress_quarantined,
                             )
-                            time.sleep(policy.retry_backoff * (2**attempt))
+                            time.sleep(retry_delay(policy, i, attempt))
                             attempt += 1
                             try:
                                 future = pool.submit(worker, chunks[i], n, options, collect)

@@ -7,12 +7,17 @@ into a hang.  This package makes that failure mode *injectable*
 (:mod:`repro.robust.deadlock`), *survivable* at sweep scale
 (:mod:`repro.robust.harden`), and *continuously tested*
 (:mod:`repro.robust.fuzz`, the seeded differential harness behind
-``make fuzz-smoke``).  Everything the layer does is counted under the
+``make fuzz-smoke``).  The same discipline extends up through the HTTP
+surface: :class:`~repro.robust.harden.ServicePolicy` carries the
+service-layer resilience knobs and :mod:`repro.robust.chaos` injects
+failure into a live server (``repro loadtest --chaos``, behind
+``make chaos-smoke``).  Everything the layer does is counted under the
 ``robust.*`` metrics namespace; with no faults configured every branch
 is skipped and results are byte-identical to the pre-robustness
 pipeline.  See ``docs/robustness.md``.
 """
 
+from repro.robust.chaos import ChaosKill, ChaosPlan
 from repro.robust.deadlock import BlockedWait, DeadlockError, find_waitfor_cycles
 from repro.robust.faults import (
     FaultPlan,
@@ -21,17 +26,26 @@ from repro.robust.faults import (
     SignalDelay,
     SignalDrop,
 )
-from repro.robust.harden import FailureRecord, RobustPolicy
+from repro.robust.harden import (
+    FailureRecord,
+    RobustPolicy,
+    ServicePolicy,
+    retry_delay,
+)
 
 __all__ = [
     "BlockedWait",
+    "ChaosKill",
+    "ChaosPlan",
     "DeadlockError",
     "FailureRecord",
     "FaultPlan",
     "LatencyJitter",
     "ProcessorStall",
     "RobustPolicy",
+    "ServicePolicy",
     "SignalDelay",
     "SignalDrop",
     "find_waitfor_cycles",
+    "retry_delay",
 ]

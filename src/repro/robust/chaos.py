@@ -1,0 +1,313 @@
+"""Chaos injection for the running service: :class:`ChaosPlan`.
+
+:mod:`repro.robust.faults` injects failure into one *simulation*; this
+module injects failure into the *service* around it, so the resilience
+layer (``ServicePolicy`` admission control, deadlines, the circuit
+breaker, crash-safe recovery — see ``docs/robustness.md``, "Operating
+under failure") can be proven against a live server instead of trusted
+on faith.  Driven by ``repro loadtest --chaos SPEC`` whose acceptance
+bar is: zero malformed responses, every submission answered or honestly
+shed, ledger complete.
+
+Server-side primitives fire on the batcher's group *sequence* (1-based,
+one per coalesced grid), so a seeded plan replays the same failure walk
+every run:
+
+* :class:`KillGrid` — raise :class:`ChaosKill` inside the batch-grid
+  leg, exactly as a dead worker pool would: feeds the circuit breaker.
+* :class:`SlowGroup` — sleep before evaluating a group: makes queued
+  deadlines expire and admission limits fill.
+* :class:`CorruptCache` — swap the engine's compile cache for one
+  loaded from a garbage file between groups; exercises the tolerant
+  :meth:`repro.perf.cache.CompileCache.load` path live (counter
+  ``robust.cache.corrupt``).
+
+Client-side primitives fire per request *index*, deterministically in
+``(seed, fault, index)``:
+
+* :class:`ClientFault` ``kind="malformed"`` — send a non-JSON body
+  (expect a schema-stamped 400).
+* :class:`ClientFault` ``kind="oversize"`` — send a body over the
+  request cap (expect a schema-stamped 413).
+* :class:`ClientFault` ``kind="disconnect"`` — open a streaming
+  submission and hang up mid-stream (the server must not wedge or leak
+  the batcher slot).
+
+An empty plan is falsy and the service skips every chaos branch —
+behaviour is byte-identical to a server built without one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+# The fault-plan grammar helpers are shared on purpose: same k=v spec
+# shape, same pointing-finger parse errors.
+from repro.robust.faults import (
+    _float_arg,
+    _int_arg,
+    _opt_int,
+    _parse_args,
+    spec_error,
+)
+
+__all__ = [
+    "ChaosKill",
+    "ChaosPlan",
+    "ClientFault",
+    "CorruptCache",
+    "KillGrid",
+    "SlowGroup",
+]
+
+#: Client fault kinds a :class:`ClientFault` may carry (also the spec
+#: keywords of :meth:`ChaosPlan.parse`).
+CLIENT_FAULT_KINDS = ("malformed", "oversize", "disconnect")
+
+
+class ChaosKill(RuntimeError):
+    """The injected batch-grid failure.
+
+    Raised inside the batcher's grid leg by a :class:`KillGrid` cadence,
+    standing in for a ``BrokenProcessPool`` / wedged grid.  It feeds the
+    circuit breaker like any real grid failure; with no breaker
+    configured it surfaces to clients as the same 500 a real crash
+    would.
+    """
+
+
+def _fires(every: int, times: int | None, sequence: int) -> bool:
+    """Does a cadence of ``every`` (capped at ``times`` firings) fire on
+    the 1-based ``sequence``?  Pure, so a seeded run replays exactly."""
+    if sequence < 1 or sequence % every != 0:
+        return False
+    return times is None or sequence // every <= times
+
+
+@dataclass(frozen=True)
+class KillGrid:
+    """Kill every ``every``-th batch grid (at most ``times`` of them)."""
+
+    every: int
+    times: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError("every must be >= 1")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 (or None)")
+
+    def fires(self, sequence: int) -> bool:
+        return _fires(self.every, self.times, sequence)
+
+
+@dataclass(frozen=True)
+class SlowGroup:
+    """Stall every ``every``-th group ``delay_s`` seconds pre-evaluation."""
+
+    delay_s: float
+    every: int
+    times: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.delay_s <= 0:
+            raise ValueError("delay_s must be positive")
+        if self.every < 1:
+            raise ValueError("every must be >= 1")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 (or None)")
+
+    def fires(self, sequence: int) -> bool:
+        return _fires(self.every, self.times, sequence)
+
+
+@dataclass(frozen=True)
+class CorruptCache:
+    """Corrupt the compile cache before every ``every``-th group."""
+
+    every: int
+    times: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError("every must be >= 1")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 (or None)")
+
+    def fires(self, sequence: int) -> bool:
+        return _fires(self.every, self.times, sequence)
+
+
+@dataclass(frozen=True)
+class ClientFault:
+    """With probability ``prob``, a loadtest request is replaced by a
+    hostile one of ``kind`` (see :data:`CLIENT_FAULT_KINDS`)."""
+
+    kind: str
+    prob: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in CLIENT_FAULT_KINDS:
+            raise ValueError(
+                f"unknown client fault kind {self.kind!r}; "
+                f"use one of {', '.join(CLIENT_FAULT_KINDS)}"
+            )
+        if not (0.0 < self.prob <= 1.0):
+            raise ValueError("prob must be within (0, 1]")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A reproducible set of service-level failures to inject.
+
+    Falsy when empty.  Build directly, or parse CLI specs with
+    :meth:`parse`::
+
+        ChaosPlan(kills=(KillGrid(every=40),), seed=7)
+        ChaosPlan.parse(["kill:every=40", "malformed:prob=0.05"], seed=7)
+    """
+
+    kills: tuple[KillGrid, ...] = ()
+    slows: tuple[SlowGroup, ...] = ()
+    corrupts: tuple[CorruptCache, ...] = ()
+    client_faults: tuple[ClientFault, ...] = ()
+    seed: int = 0
+    #: Free-form label carried into diagnostics and the chaos summary.
+    label: str = ""
+
+    def __bool__(self) -> bool:
+        return bool(self.kills or self.slows or self.corrupts or self.client_faults)
+
+    # -- queries the server asks (by 1-based group sequence) -----------------
+
+    def kills_grid(self, sequence: int) -> bool:
+        return any(k.fires(sequence) for k in self.kills)
+
+    def slow_delay(self, sequence: int) -> float:
+        return sum(s.delay_s for s in self.slows if s.fires(sequence))
+
+    def corrupts_cache(self, sequence: int) -> bool:
+        return any(c.fires(sequence) for c in self.corrupts)
+
+    # -- queries the loadtest client asks (by 0-based request index) ---------
+
+    def client_fault(self, index: int) -> str | None:
+        """The fault kind injected for request ``index``, or ``None``.
+
+        A pure function of ``(seed, fault position, index)`` — the same
+        plan and seed always corrupts the same requests, so a failing
+        chaos run replays exactly.
+        """
+        for position, fault in enumerate(self.client_faults):
+            rng = random.Random(f"{self.seed}:{fault.kind}:{position}:{index}")
+            if rng.random() < fault.prob:
+                return fault.kind
+        return None
+
+    def describe(self) -> str:
+        """One line per injection, for diagnostics and CLI output."""
+        lines: list[str] = []
+        if self.label:
+            lines.append(f"plan: {self.label}")
+        for k in self.kills:
+            lines.append(f"kill grid every {k.every} (times={_cap(k.times)})")
+        for s in self.slows:
+            lines.append(
+                f"slow group +{s.delay_s}s every {s.every} (times={_cap(s.times)})"
+            )
+        for c in self.corrupts:
+            lines.append(f"corrupt cache every {c.every} (times={_cap(c.times)})")
+        for f in self.client_faults:
+            lines.append(f"client {f.kind} prob={f.prob}")
+        if self:
+            lines.append(f"seed={self.seed}")
+        return "\n".join(lines) if lines else "(empty plan)"
+
+    # -- CLI spec parsing ----------------------------------------------------
+
+    @classmethod
+    def parse(
+        cls, specs: list[str] | tuple[str, ...], seed: int = 0, label: str = ""
+    ) -> "ChaosPlan":
+        """Build a plan from ``repro loadtest --chaos`` specs.
+
+        Grammar (one injection per spec)::
+
+            kill:every=K[,times=T]
+            slow:delay=D,every=K[,times=T]
+            corrupt:every=K[,times=T]
+            malformed:prob=F
+            oversize:prob=F
+            disconnect:prob=F
+
+        Errors name the offending token and its offset
+        (:func:`repro.robust.faults.spec_error`).
+        """
+        kills: list[KillGrid] = []
+        slows: list[SlowGroup] = []
+        corrupts: list[CorruptCache] = []
+        client_faults: list[ClientFault] = []
+        for spec in specs:
+            kind, _, rest = spec.partition(":")
+            kind = kind.strip().lower()
+            args = _parse_args(spec, rest)
+            try:
+                if kind == "kill":
+                    kills.append(
+                        KillGrid(
+                            every=_int_arg(spec, "every", args.pop("every")),
+                            times=_opt_int(spec, "times", args.pop("times", None)),
+                        )
+                    )
+                elif kind == "slow":
+                    slows.append(
+                        SlowGroup(
+                            delay_s=_float_arg(spec, "delay", args.pop("delay")),
+                            every=_int_arg(spec, "every", args.pop("every")),
+                            times=_opt_int(spec, "times", args.pop("times", None)),
+                        )
+                    )
+                elif kind == "corrupt":
+                    corrupts.append(
+                        CorruptCache(
+                            every=_int_arg(spec, "every", args.pop("every")),
+                            times=_opt_int(spec, "times", args.pop("times", None)),
+                        )
+                    )
+                elif kind in CLIENT_FAULT_KINDS:
+                    client_faults.append(
+                        ClientFault(
+                            kind=kind,
+                            prob=_float_arg(spec, "prob", args.pop("prob")),
+                        )
+                    )
+                else:
+                    raise spec_error(
+                        spec,
+                        kind or spec,
+                        "unknown chaos kind; use kill / slow / corrupt / "
+                        "malformed / oversize / disconnect",
+                    )
+            except KeyError as err:
+                raise spec_error(
+                    spec, kind, f"missing required argument {err}"
+                ) from None
+            if args:
+                raise spec_error(
+                    spec,
+                    sorted(args)[0],
+                    f"unknown argument(s): {sorted(args)}",
+                )
+        return cls(
+            kills=tuple(kills),
+            slows=tuple(slows),
+            corrupts=tuple(corrupts),
+            client_faults=tuple(client_faults),
+            seed=seed,
+            label=label,
+        )
+
+
+def _cap(times: int | None) -> str:
+    return "inf" if times is None else str(times)

@@ -48,7 +48,19 @@ __all__ = [
     "ProcessorStall",
     "SignalDelay",
     "SignalDrop",
+    "spec_error",
 ]
+
+
+def spec_error(spec: str, token: str, reason: str) -> ValueError:
+    """A plan-spec parse error that names the offending token and its
+    character offset inside ``spec`` — mirroring the service layer's
+    structured-hint style, so a mistyped ``--inject``/``--chaos`` spec
+    points at *where* it went wrong, not just that it did.  Shared with
+    :meth:`repro.robust.chaos.ChaosPlan.parse`."""
+    offset = spec.find(token)
+    at = f" at offset {offset}" if offset >= 0 else ""
+    return ValueError(f"bad spec {spec!r}: token {token!r}{at}: {reason}")
 
 
 @dataclass(frozen=True)
@@ -233,55 +245,54 @@ class FaultPlan:
         for spec in specs:
             kind, _, rest = spec.partition(":")
             kind = kind.strip().lower()
-            args: dict[str, str] = {}
-            if rest.strip():
-                for item in rest.split(","):
-                    key, sep, value = item.partition("=")
-                    if not sep:
-                        raise ValueError(f"malformed fault spec {spec!r}: {item!r}")
-                    args[key.strip().lower()] = value.strip()
+            args = _parse_args(spec, rest)
             try:
                 if kind == "drop":
                     drops.append(
                         SignalDrop(
-                            pair_id=_opt_int(args.pop("pair", None)),
-                            iteration=_opt_int(args.pop("iter", None)),
+                            pair_id=_opt_int(spec, "pair", args.pop("pair", None)),
+                            iteration=_opt_int(spec, "iter", args.pop("iter", None)),
                         )
                     )
                 elif kind == "delay":
                     delays.append(
                         SignalDelay(
-                            extra=int(args.pop("extra")),
-                            pair_id=_opt_int(args.pop("pair", None)),
-                            iteration=_opt_int(args.pop("iter", None)),
+                            extra=_int_arg(spec, "extra", args.pop("extra")),
+                            pair_id=_opt_int(spec, "pair", args.pop("pair", None)),
+                            iteration=_opt_int(spec, "iter", args.pop("iter", None)),
                         )
                     )
                 elif kind == "stall":
                     stalls.append(
                         ProcessorStall(
-                            iteration=int(args.pop("iter")),
-                            at_cycle=int(args.pop("at")),
-                            cycles=int(args.pop("cycles")),
+                            iteration=_int_arg(spec, "iter", args.pop("iter")),
+                            at_cycle=_int_arg(spec, "at", args.pop("at")),
+                            cycles=_int_arg(spec, "cycles", args.pop("cycles")),
                         )
                     )
                 elif kind == "jitter":
                     if jitter is not None:
                         raise ValueError("at most one jitter spec")
                     jitter = LatencyJitter(
-                        seed=int(args.pop("seed")),
-                        max_extra=int(args.pop("max", 2)),
-                        prob=float(args.pop("prob", 0.25)),
+                        seed=_int_arg(spec, "seed", args.pop("seed")),
+                        max_extra=_int_arg(spec, "max", args.pop("max", "2")),
+                        prob=_float_arg(spec, "prob", args.pop("prob", "0.25")),
                     )
                 else:
-                    raise ValueError(
-                        f"unknown fault kind {kind!r}; "
-                        "use drop / delay / stall / jitter"
+                    raise spec_error(
+                        spec,
+                        kind or spec,
+                        "unknown fault kind; use drop / delay / stall / jitter",
                     )
             except KeyError as err:
-                raise ValueError(f"fault spec {spec!r} is missing {err}") from None
+                raise spec_error(
+                    spec, kind, f"missing required argument {err}"
+                ) from None
             if args:
-                raise ValueError(
-                    f"fault spec {spec!r} has unknown argument(s): {sorted(args)}"
+                raise spec_error(
+                    spec,
+                    sorted(args)[0],
+                    f"unknown argument(s): {sorted(args)}",
                 )
         return cls(
             drops=tuple(drops), delays=tuple(delays), stalls=tuple(stalls), jitter=jitter
@@ -292,5 +303,35 @@ def _any(value: int | None) -> str:
     return "any" if value is None else str(value)
 
 
-def _opt_int(value: str | None) -> int | None:
-    return None if value is None else int(value)
+def _parse_args(spec: str, rest: str) -> dict[str, str]:
+    """Split ``k=v,k=v`` argument text, pointing at any malformed token."""
+    args: dict[str, str] = {}
+    if rest.strip():
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise spec_error(spec, item, "expected key=value")
+            args[key.strip().lower()] = value.strip()
+    return args
+
+
+def _int_arg(spec: str, key: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise spec_error(
+            spec, value, f"argument {key!r} wants an integer"
+        ) from None
+
+
+def _float_arg(spec: str, key: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise spec_error(
+            spec, value, f"argument {key!r} wants a number"
+        ) from None
+
+
+def _opt_int(spec: str, key: str, value: str | None) -> int | None:
+    return None if value is None else _int_arg(spec, key, value)

@@ -10,8 +10,9 @@ and :class:`repro.perf.parallel.ParallelEvaluator`:
   declared wedged; the evaluator abandons it and re-runs the unfinished
   chunks serially in-process (counter ``robust.parallel.timeouts``).
 * ``max_retries`` / ``retry_backoff`` — a chunk whose worker *raised* is
-  resubmitted up to ``max_retries`` times with exponential backoff
-  before the serial fallback (counter ``robust.parallel.retries``).
+  resubmitted up to ``max_retries`` times with seeded full-jitter
+  exponential backoff (:func:`retry_delay`) before the serial fallback
+  (counter ``robust.parallel.retries``).
 * ``quarantine`` — a loop evaluation that raises yields a structured
   :class:`FailureRecord` on the corpus result instead of killing the
   sweep (counter ``robust.quarantine.loops``).
@@ -20,14 +21,23 @@ and :class:`repro.perf.parallel.ParallelEvaluator`:
 surviving chunks' results are kept and the dead chunks re-run serially
 (counter ``robust.parallel.broken_pool``).  The degradation matrix
 lives in ``docs/robustness.md``.
+
+:class:`ServicePolicy` is the service-layer mirror (PR 9): where
+``RobustPolicy`` degrades one *evaluation*, ``ServicePolicy`` degrades
+the *HTTP service* around it — admission limits (shed with 429),
+per-request deadlines (abandon with 504), and the circuit breaker that
+routes around a failing batch grid.  Threaded into
+:class:`repro.service.server.ReproService`; see ``docs/robustness.md``,
+"Operating under failure".
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["FailureRecord", "RobustPolicy"]
+__all__ = ["FailureRecord", "RobustPolicy", "ServicePolicy", "retry_delay"]
 
 
 @dataclass(frozen=True)
@@ -37,8 +47,11 @@ class RobustPolicy:
 
     chunk_timeout: float | None = None  # seconds; None = wait forever
     max_retries: int = 1
-    retry_backoff: float = 0.05  # seconds; doubles per retry
+    retry_backoff: float = 0.05  # seconds; doubles per retry, full jitter
     quarantine: bool = True
+    #: Seed for the retry jitter (see :func:`retry_delay`).  Part of the
+    #: policy so two runs of the same policy draw the same delays.
+    retry_jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.chunk_timeout is not None and self.chunk_timeout <= 0:
@@ -47,6 +60,75 @@ class RobustPolicy:
             raise ValueError("max_retries must be >= 0")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be >= 0")
+
+
+def retry_delay(policy: RobustPolicy, lane: int, attempt: int) -> float:
+    """The seconds to sleep before retry ``attempt`` of ``lane``.
+
+    Full jitter over the exponential ceiling: a uniform draw from
+    ``[0, retry_backoff * 2**attempt]``, seeded by
+    ``(retry_jitter_seed, lane, attempt)`` so parallel lanes that failed
+    together do not retry in lockstep (which re-creates the very
+    contention that made them fail) while any given run stays exactly
+    reproducible.  ``retry_backoff=0`` returns exactly ``0.0`` — tests
+    that arm retries without wanting wall-clock delay stay instant.
+    """
+    ceiling = policy.retry_backoff * (2 ** attempt)
+    if ceiling <= 0:
+        return 0.0
+    rng = random.Random(f"{policy.retry_jitter_seed}:{lane}:{attempt}")
+    return rng.uniform(0.0, ceiling)
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Resilience knobs for the long-lived service (all off ⇒ the
+    pre-resilience behaviour: unbounded queue, no deadlines, no breaker).
+
+    * ``max_queue_depth`` / ``max_inflight`` — admission control: a
+      submission arriving with that many already queued (or admitted but
+      unfinished) is shed with a schema-stamped 429 carrying a
+      ``Retry-After`` derived from the current drain rate (counter
+      ``service.request.shed``).
+    * ``deadline_s`` — default per-request deadline; requests may tighten
+      or loosen it per body (``deadline_s`` key).  An expired submission
+      is abandoned *before* grid evaluation and answered 504 with a
+      structured hint naming where the budget went.
+    * ``chunk_timeout`` — the :class:`RobustPolicy` knob promoted to the
+      service layer: how long a handler waits on a grid that may be
+      wedged before answering 504 (the batcher cannot be interrupted,
+      but its clients stop waiting honestly).
+    * ``breaker_threshold`` / ``breaker_cooldown_s`` — consecutive
+      batch-grid failures before the circuit opens (the service answers
+      from the degraded per-loop path), and how long it stays open
+      before half-opening with one probe grid.
+    * ``journal_inflight`` — journal every admitted submission to the run
+      ledger as ``outcome: "inflight"`` before evaluation, finalized
+      after, so ``repro serve --recover`` can name exactly what a killed
+      process lost.
+    """
+
+    max_queue_depth: int | None = None
+    max_inflight: int | None = None
+    deadline_s: float | None = None
+    chunk_timeout: float | None = None
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 30.0
+    journal_inflight: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0 (or None)")
+        if self.max_inflight is not None and self.max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0 (or None)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive (or None)")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -64,6 +64,19 @@ Version history — the documented contract lives in ``docs/api.md``:
   the ``access`` JSONL kind is the structured per-request access log
   written by ``repro serve --access-log FILE``.  Additive throughout:
   v7 consumers keep working.
+* **v9** — the service resilience layer (see ``docs/robustness.md``,
+  "Operating under failure"): service ``error`` bodies may carry the
+  overload fields ``retry_after_s`` (shed ``429`` responses, mirrored in
+  the ``Retry-After`` header) and ``hint`` (deadline ``504`` responses:
+  a structured block naming where the request's budget went); ``run``
+  records written by the service may carry ``outcome: "inflight"``
+  (journaled before evaluation, finalized by a terminal record sharing
+  the same ``request_id`` in ``argv``) and ``outcome: "lost"`` (a
+  finalizer appended by ``repro serve --recover`` for in-flight work a
+  killed process never finished); circuit-breaker transitions append
+  ``command: "service breaker"`` run records and drive the
+  ``service.breaker.state`` gauge on ``GET /v1/metrics``.  Additive
+  throughout: v8 consumers keep working.
 """
 
 from __future__ import annotations
@@ -72,7 +85,7 @@ import json
 from typing import Any
 
 #: Record format version; bump when any record's shape changes (docs/api.md).
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 
 #: Every ``kind`` that may appear as a top-level JSONL line.  Nested
 #: records (``schedule``/``evaluation``/``corpus`` report blocks) are

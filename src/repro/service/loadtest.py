@@ -18,6 +18,19 @@ ReproService` on an ephemeral port with a scratch ledger; point
 ``--url`` at a running server to load-test it instead (the ledger
 check is skipped — the harness can't know how many requests the
 server had already served).
+
+``--chaos SPEC`` switches to the chaos harness (``make chaos-smoke``):
+the in-process server is armed with a :class:`~repro.robust.harden.
+ServicePolicy` and the parsed :class:`~repro.robust.chaos.ChaosPlan`,
+clients deterministically inject malformed bodies, oversized bodies and
+mid-stream disconnects, and the server side injects grid kills, slow
+groups and cache corruption.  The acceptance bar flips from "zero
+errors" to *honesty under failure*: **zero malformed/unstamped
+responses**, every submission answered or honestly shed (429 with
+``Retry-After`` / 503 / 504 with a ``hint``), the breaker's transitions
+on the ledger, and a complete ledger trail (every admitted submission
+journaled and finalized).  The chaos summary is merged as the ``chaos``
+sub-block of the ``service`` block in ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -179,15 +192,407 @@ def _merge_bench_file(path: str, block: dict[str, Any]) -> None:
         handle.write("\n")
 
 
+# -- the chaos harness ---------------------------------------------------------
+
+
+def _is_stamped(data: Any) -> bool:
+    """Is this response body an honest schema-stamped document?"""
+    return (
+        isinstance(data, dict)
+        and isinstance(data.get("schema_version"), int)
+        and data.get("kind") in ("result", "error")
+    )
+
+
+def _check_response(
+    status: int, data: Any, headers: dict[str, str]
+) -> str | None:
+    """The chaos bar for one response: stamped, and honest about refusals
+    (429 carries Retry-After + retry_after_s, 504 carries a hint).
+    Returns the defect, or None."""
+    if not _is_stamped(data):
+        return f"HTTP {status} body is not a stamped result/error: {data!r:.120}"
+    if status == 429:
+        if "retry-after" not in {k.lower() for k in headers}:
+            return "429 without a Retry-After header"
+        if "retry_after_s" not in data:
+            return "429 body without retry_after_s"
+    if status == 504 and "hint" not in data:
+        return "504 body without a structured hint"
+    return None
+
+
+class _ChaosClient(threading.Thread):
+    """One loadtest client that sometimes turns hostile, per the plan."""
+
+    def __init__(self, host, port, payloads, take, plan):
+        super().__init__(daemon=True)
+        self.host, self.port = host, port
+        self.payloads = payloads
+        self.take = take
+        self.plan = plan
+        self.outcomes = {
+            "answered": 0,  # 200 result
+            "shed": 0,  # 429
+            "refused": 0,  # 503
+            "expired": 0,  # 504
+            "server_error": 0,  # 5xx other than 504
+            "client_error": 0,  # 4xx answers to injected hostile requests
+        }
+        self.injected = {"malformed": 0, "oversize": 0, "disconnect": 0}
+        self.malformed: list[str] = []  # responses that broke the contract
+        self.transport_errors: list[str] = []
+
+    def _account(self, status: int, data: Any, headers: dict[str, str]) -> None:
+        defect = _check_response(status, data, headers)
+        if defect is not None:
+            self.malformed.append(defect)
+            return
+        if status == 200:
+            self.outcomes["answered"] += 1
+        elif status == 429:
+            self.outcomes["shed"] += 1
+        elif status == 503:
+            self.outcomes["refused"] += 1
+        elif status == 504:
+            self.outcomes["expired"] += 1
+        elif status >= 500:
+            self.outcomes["server_error"] += 1
+        else:
+            self.outcomes["client_error"] += 1
+
+    def _roundtrip(self, connection, body, headers=None) -> None:
+        connection.request(
+            "POST",
+            "/v1/evaluate",
+            body=body,
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        response = connection.getresponse()
+        raw = response.read()
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            data = raw
+        self._account(response.status, data, dict(response.getheaders()))
+
+    def _inject_oversize(self) -> None:
+        # The server refuses on the Content-Length header alone (it never
+        # reads the body) and then hangs up, so claim an oversized body
+        # without paying to send one — actually sending it races the 413
+        # into a broken pipe.  Own connection: the refused socket cannot
+        # be reused.
+        from repro.service.server import MAX_REQUEST_BYTES
+
+        connection = HTTPConnection(self.host, self.port, timeout=60)
+        try:
+            connection.putrequest("POST", "/v1/evaluate")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(MAX_REQUEST_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw)
+            except ValueError:
+                data = raw
+            self._account(response.status, data, dict(response.getheaders()))
+        finally:
+            connection.close()
+
+    def _inject_disconnect(self, index: int) -> None:
+        # A streaming submission abandoned mid-stream: read the response
+        # head, then hang up.  The server must neither wedge nor leak —
+        # the submission still finishes (and is finalized in the ledger)
+        # on the batcher thread.
+        body = json.loads(self.payloads[index % len(self.payloads)])
+        body["stream"] = True
+        connection = HTTPConnection(self.host, self.port, timeout=60)
+        try:
+            connection.request(
+                "POST",
+                "/v1/evaluate",
+                body=json.dumps(body),
+                headers={"Content-Type": "application/json"},
+            )
+            connection.sock.recv(64)  # the status line, at most
+        except Exception:
+            pass  # the disconnect is the point; nothing to validate
+        finally:
+            connection.close()
+
+    def run(self) -> None:
+        connection = HTTPConnection(self.host, self.port, timeout=60)
+        try:
+            while True:
+                index = self.take()
+                if index is None:
+                    return
+                fault = self.plan.client_fault(index)
+                try:
+                    if fault == "malformed":
+                        self.injected["malformed"] += 1
+                        self._roundtrip(connection, b"{this is not json")
+                    elif fault == "oversize":
+                        self.injected["oversize"] += 1
+                        self._inject_oversize()
+                    elif fault == "disconnect":
+                        self.injected["disconnect"] += 1
+                        self._inject_disconnect(index)
+                    else:
+                        self._roundtrip(
+                            connection,
+                            self.payloads[index % len(self.payloads)],
+                        )
+                except Exception as err:
+                    self.transport_errors.append(f"{type(err).__name__}: {err}")
+                    connection.close()
+                    connection = HTTPConnection(self.host, self.port, timeout=60)
+        finally:
+            connection.close()
+
+
+def _chaos_loadtest(
+    requests: int,
+    concurrency: int,
+    n: int,
+    out: str,
+    specs: list[str],
+    seed: int,
+) -> OpResult:
+    """The chaos harness: a resilient in-process server under a seeded
+    :class:`ChaosPlan`, gated on honesty rather than on zero failures."""
+    import io
+
+    from repro.robust.chaos import ChaosPlan
+    from repro.robust.harden import ServicePolicy
+    from repro.service.server import ReproService
+
+    buffer_out, buffer_err = io.StringIO(), io.StringIO()
+    try:
+        plan = ChaosPlan.parse(specs, seed=seed, label="loadtest --chaos")
+    except ValueError as err:
+        return OpResult(exit_code=2, stderr=f"{err}\n")
+    policy = ServicePolicy(
+        max_queue_depth=max(64, concurrency * 8),
+        deadline_s=30.0,
+        chunk_timeout=60.0,
+        breaker_threshold=3,
+        breaker_cooldown_s=0.5,
+        journal_inflight=True,
+    )
+    scratch = tempfile.mkdtemp(prefix="repro-chaos-")
+    ledger_path = os.path.join(scratch, "ledger.jsonl")
+    server = ReproService(
+        port=0, ledger=ledger_path, policy=policy, chaos=plan
+    ).start()
+    host, port = server.host, server.port
+
+    payloads = [
+        json.dumps(
+            {
+                "source": source,
+                "machine": {"issue": issue, "fu": fu},
+                "n": n,
+                "name": f"chaos-{index}",
+            }
+        )
+        for index, (source, (issue, fu)) in enumerate(
+            (s, m) for s in LOOP_SOURCES for m in MACHINE_CASES
+        )
+    ]
+    counter = {"next": 0}
+    counter_lock = threading.Lock()
+
+    def take() -> int | None:
+        with counter_lock:
+            if counter["next"] >= requests:
+                return None
+            counter["next"] += 1
+            return counter["next"] - 1
+
+    clients = [
+        _ChaosClient(host, port, payloads, take, plan)
+        for _ in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for client in clients:
+        client.start()
+    for client in clients:
+        client.join()
+    wall = time.perf_counter() - started
+
+    outcomes = {
+        key: sum(c.outcomes[key] for c in clients)
+        for key in clients[0].outcomes
+    }
+    injected = {
+        key: sum(c.injected[key] for c in clients) for key in clients[0].injected
+    }
+    malformed = [m for c in clients for m in c.malformed]
+    transport_errors = [e for c in clients for e in c.transport_errors]
+
+    telemetry = _get_json(host, port, "/v1/metrics")
+    gauges = telemetry.get("metrics", {}).get("gauges", {})
+    breaker_gauge = gauges.get("service.breaker.state")
+    server.shutdown()
+
+    # The ledger trail, read after a clean shutdown: every submission that
+    # reached admission must have an inflight journal line and a terminal
+    # twin; nothing may be left unfinished.
+    from repro.obs.ledger import RunLedger, unfinished_inflight
+
+    records = RunLedger(ledger_path).load()
+    evaluate_records = [r for r in records if r.command == "service evaluate"]
+    inflight_journal = [r for r in evaluate_records if r.outcome == "inflight"]
+    terminal = [r for r in evaluate_records if r.outcome != "inflight"]
+    unfinished = unfinished_inflight(records)
+    breaker_records = [r for r in records if r.command == "service breaker"]
+
+    # Submissions that reach admission: everything except the hostile
+    # bodies rejected while parsing (malformed / oversize never build a
+    # submission).
+    admitted = requests - injected["malformed"] - injected["oversize"]
+    answered_total = sum(outcomes.values()) + injected["disconnect"]
+
+    block = {
+        "plan": list(specs),
+        "seed": seed,
+        "requests": requests,
+        "concurrency": concurrency,
+        "wall_s": round(wall, 4),
+        "outcomes": outcomes,
+        "injected": injected,
+        "malformed_responses": len(malformed),
+        "transport_errors": len(transport_errors),
+        "breaker_transitions": len(breaker_records),
+        "breaker_state": breaker_gauge,
+        "ledger_inflight_journal": len(inflight_journal),
+        "ledger_terminal": len(terminal),
+        "ledger_unfinished": len(unfinished),
+    }
+
+    print(
+        f"chaos: {requests} submissions x {concurrency} clients in "
+        f"{wall:.2f}s under {' '.join(specs)} (seed {seed})",
+        file=buffer_out,
+    )
+    print(
+        f"outcomes: {outcomes['answered']} answered, {outcomes['shed']} shed "
+        f"(429), {outcomes['refused']} refused (503), {outcomes['expired']} "
+        f"expired (504), {outcomes['server_error']} server error(s), "
+        f"{outcomes['client_error']} rejected hostile request(s)",
+        file=buffer_out,
+    )
+    print(
+        f"injected: {injected['malformed']} malformed, {injected['oversize']} "
+        f"oversize, {injected['disconnect']} disconnect(s); "
+        f"breaker transitions {len(breaker_records)}",
+        file=buffer_out,
+    )
+    print(
+        f"ledger: {len(inflight_journal)} inflight journal line(s), "
+        f"{len(terminal)} terminal record(s), {len(unfinished)} unfinished",
+        file=buffer_out,
+    )
+
+    failed = []
+    if malformed:
+        failed.append(
+            f"{len(malformed)} malformed response(s); first: {malformed[0]}"
+        )
+    if transport_errors:
+        failed.append(
+            f"{len(transport_errors)} transport error(s); "
+            f"first: {transport_errors[0]}"
+        )
+    if outcomes["server_error"]:
+        failed.append(
+            f"{outcomes['server_error']} 5xx response(s): the breaker/"
+            "degraded path should have absorbed grid failures"
+        )
+    if answered_total != requests:
+        failed.append(
+            f"accounted for {answered_total} of {requests} submission(s)"
+        )
+    if len(terminal) != admitted:
+        failed.append(
+            f"ledger has {len(terminal)} terminal record(s) for "
+            f"{admitted} admitted submission(s)"
+        )
+    if len(inflight_journal) != admitted:
+        failed.append(
+            f"ledger has {len(inflight_journal)} inflight journal line(s) "
+            f"for {admitted} admitted submission(s)"
+        )
+    if unfinished:
+        failed.append(
+            f"{len(unfinished)} in-flight record(s) left unfinished after a "
+            "clean shutdown"
+        )
+    if breaker_gauge is None:
+        failed.append("service.breaker.state gauge missing from /v1/metrics")
+    trips = any(
+        k.every == 1 and (k.times is None or k.times >= policy.breaker_threshold)
+        for k in plan.kills
+    )
+    if trips and len(breaker_records) < 2:
+        failed.append(
+            "the kill cadence should have tripped the breaker (open + "
+            f"close >= 2 transitions; ledger has {len(breaker_records)})"
+        )
+    for reason in failed:
+        print(f"FAIL: {reason}", file=buffer_err)
+
+    # Ride in BENCH_perf.json without clobbering the standard service
+    # block: chaos is a sub-block.
+    existing_service: dict[str, Any] = {}
+    if os.path.exists(out):
+        try:
+            with open(out, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict) and isinstance(
+                loaded.get("service"), dict
+            ):
+                existing_service = loaded["service"]
+        except ValueError:
+            pass
+    _merge_bench_file(out, {**existing_service, "chaos": block})
+    print(f"merged chaos block into {out}", file=buffer_err)
+
+    return OpResult(
+        exit_code=1 if failed else 0,
+        stdout=buffer_out.getvalue(),
+        stderr=buffer_err.getvalue(),
+        data=stamped(None, dict(block)),
+    )
+
+
 def loadtest_op(
     requests: int = 1000,
     concurrency: int = 16,
     url: str | None = None,
     n: int = 100,
     out: str = "BENCH_perf.json",
+    chaos: list[str] | None = None,
+    chaos_seed: int = 0,
 ) -> OpResult:
-    """Fire ``requests`` concurrent ``POST /v1/evaluate`` submissions."""
+    """Fire ``requests`` concurrent ``POST /v1/evaluate`` submissions.
+
+    With ``chaos`` specs the run switches to the chaos harness (own
+    resilient server, injected failure, honesty bar) — see the module
+    docstring.
+    """
     import io
+
+    if chaos:
+        if url is not None:
+            return OpResult(
+                exit_code=2,
+                stderr="--chaos boots its own resilient server; "
+                "it cannot target --url\n",
+            )
+        return _chaos_loadtest(requests, concurrency, n, out, list(chaos), chaos_seed)
 
     buffer_out, buffer_err = io.StringIO(), io.StringIO()
     own_server = None

@@ -690,11 +690,35 @@ def _run_ledger(ledger: str):
     return RunLedger(ledger)
 
 
-def runs_list_op(ledger: str) -> OpResult:
-    """Show runs recorded in the ledger."""
+def runs_list_op(ledger: str, inflight: bool = False) -> OpResult:
+    """Show runs recorded in the ledger.
+
+    ``inflight=True`` shows only unfinished in-flight service records —
+    requests a (possibly killed) process admitted but never finalized.
+    """
+    from repro.obs.ledger import unfinished_inflight
+
     b = _Buffers()
     store = _run_ledger(ledger)
     records = store.load()
+    if store.torn_tail:
+        b.err(
+            f"warning: the final line of {store.path} was torn (a process "
+            "died mid-append); skipped"
+        )
+    if inflight:
+        records = unfinished_inflight(records)
+        if not records:
+            b.out(f"no unfinished in-flight requests in {store.path}")
+            return b.result()
+        for record in records:
+            request_id = record.argv[-1] if record.argv else "?"
+            b.out(f"{record.summary()}  request_id={request_id}")
+        b.out(
+            f"{len(records)} in-flight request(s) were never finalized; "
+            "run `repro serve --recover` to mark them lost"
+        )
+        return b.result()
     if not records:
         b.out(f"no runs recorded in {store.path}")
         return b.result()
@@ -1189,6 +1213,12 @@ def _cfg_runs(sub, ledger_flag) -> None:
         )
 
     p_list = runs_sub.add_parser("list", help="show recorded runs")
+    p_list.add_argument(
+        "--inflight",
+        action="store_true",
+        help="show only unfinished in-flight service requests (admitted "
+        "but never finalized — what a killed process lost)",
+    )
     _runs_common(p_list)
     p_list.set_defaults(spec=OP_REGISTRY["runs"], runs_command="list")
 
@@ -1296,6 +1326,72 @@ def _cfg_serve(sub, ledger_flag) -> None:
         help="flight-recorder capacity: retain the last N request traces "
         "for GET /v1/trace/<request_id> (default: 256)",
     )
+    resilience = p.add_argument_group(
+        "resilience",
+        "passing any of these arms a ServicePolicy (docs/robustness.md, "
+        '"Operating under failure"); with none the server runs the '
+        "pre-resilience configuration",
+    )
+    resilience.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed submissions (429 + Retry-After) once N are queued",
+    )
+    resilience.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed submissions once N are admitted but unfinished",
+    )
+    resilience.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (requests may override with "
+        "deadline_s in the body); expired submissions get a 504 with a "
+        "hint naming where the budget went",
+    )
+    resilience.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="how long a handler waits on a possibly-wedged grid before "
+        "answering 504",
+    )
+    resilience.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="consecutive batch-grid failures before the circuit opens "
+        "and the service answers from the degraded per-loop path "
+        "(default when armed: 5)",
+    )
+    resilience.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="how long an open circuit waits before half-opening with one "
+        "probe grid (default when armed: 30)",
+    )
+    p.add_argument(
+        "--recover",
+        action="store_true",
+        help="before serving, finalize in-flight ledger records a killed "
+        "predecessor never finished (outcome: lost)",
+    )
+    p.add_argument(
+        "--ledger-durable",
+        action="store_true",
+        help="fsync the ledger on every append (crash-safe at the cost of "
+        "a disk flush per record)",
+    )
     p.set_defaults(spec=OP_REGISTRY["serve"])
 
 
@@ -1320,6 +1416,23 @@ def _cfg_loadtest(sub, ledger_flag) -> None:
         metavar="FILE",
         default="BENCH_perf.json",
         help="merge the service block into this JSON file (default: BENCH_perf.json)",
+    )
+    p.add_argument(
+        "--chaos",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="inject failure (repeatable): kill:every=K | "
+        "slow:delay=D,every=K | corrupt:every=K | malformed:prob=F | "
+        "oversize:prob=F | disconnect:prob=F.  Chaos mode boots its own "
+        "resilient server and gates on zero malformed responses",
+    )
+    p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the chaos plan's client-fault draws (default: 0)",
     )
     p.set_defaults(spec=OP_REGISTRY["loadtest"])
 
@@ -1463,7 +1576,7 @@ def _run_dot(args) -> OpResult:
 def _run_runs(args) -> OpResult:
     command = args.runs_command
     if command == "list":
-        return runs_list_op(args.ledger)
+        return runs_list_op(args.ledger, inflight=args.inflight)
     if command == "show":
         return runs_show_op(args.ledger, args.run_id)
     return runs_diff_op(args.ledger, args.run_a, args.run_b, all_metrics=args.all_metrics)
@@ -1490,6 +1603,14 @@ def _run_serve(args) -> OpResult:
         coalesce_window=args.coalesce_window,
         access_log=args.access_log,
         flight_recorder=args.flight,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight=args.max_inflight,
+        deadline_s=args.deadline,
+        chunk_timeout=args.chunk_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        recover=args.recover,
+        ledger_durable=args.ledger_durable,
     )
 
 
@@ -1502,6 +1623,8 @@ def _run_loadtest(args) -> OpResult:
         url=args.url,
         n=args.n,
         out=args.out,
+        chaos=args.chaos,
+        chaos_seed=args.chaos_seed,
     )
 
 

@@ -41,6 +41,17 @@ registry.  With ``"stream": true`` a submission's response is chunked
 ndjson: ``progress`` lines fanned out from the
 :class:`~repro.obs.trace.ProgressSink` seam, then one ``result`` line.
 
+A :class:`~repro.robust.harden.ServicePolicy` arms the resilience layer
+(all off by default — an unconfigured server behaves byte-identically to
+one built before the layer existed): bounded admission with honest 429
+shedding (``Retry-After`` from the live drain rate), per-request
+deadlines (504 with a structured ``hint`` naming where the budget went),
+a circuit breaker that routes around a failing batch grid via the
+per-loop path, and crash-safe in-flight journaling that ``repro serve
+--recover`` replays.  A :class:`~repro.robust.chaos.ChaosPlan` injects
+failure into all of it on purpose (``repro loadtest --chaos``).  See
+``docs/robustness.md``, "Operating under failure".
+
 See ``docs/service.md`` for the wire contract.
 """
 
@@ -49,16 +60,18 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import queue
 import socket
 import threading
 import time
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
-from repro.obs.ledger import DEFAULT_LEDGER, RunLedger, RunRecord
+from repro.obs.ledger import DEFAULT_LEDGER, RunLedger, RunRecord, unfinished_inflight
 from repro.obs.metrics import MetricsRegistry, metrics_scope
 from repro.obs.regress import git_sha, machine_fingerprint
 from repro.obs.trace import (
@@ -70,6 +83,8 @@ from repro.obs.trace import (
 )
 from repro.options import EvalOptions
 from repro.perf.batch import BatchEvaluator, batch_incompatibility
+from repro.robust.chaos import ChaosKill, ChaosPlan
+from repro.robust.harden import ServicePolicy
 from repro.schema import SCHEMA_VERSION, stamped
 from repro.sched import paper_machine
 from repro.service.ops import OP_REGISTRY, OpResult
@@ -82,6 +97,7 @@ from repro.service.telemetry import (
 
 __all__ = [
     "ALLOWED_OPTION_KEYS",
+    "BREAKER_NAMES",
     "MAX_REQUEST_BYTES",
     "ReproService",
     "ServiceError",
@@ -113,12 +129,29 @@ PAPER_CASES = ((2, 1), (2, 2), (4, 1), (4, 2))
 
 
 class ServiceError(ValueError):
-    """A client error carrying its HTTP status (4xx)."""
+    """A client error carrying its HTTP status (4xx).
 
-    def __init__(self, status: int, message: str, **extra: Any) -> None:
+    ``headers`` ride on the response (e.g. ``Retry-After`` on a shed
+    429); ``extra`` keys land in the stamped ``error`` body (e.g.
+    ``retry_after_s``, the deadline ``hint``).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+        **extra: Any,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = headers or {}
         self.extra = extra
+
+
+def _service_outcome(status: int) -> str:
+    """The ledger outcome for a request refused with a 4xx/5xx status."""
+    return {429: "shed", 503: "refused", 504: "deadline"}.get(status, "error")
 
 
 def service_result(op: str, payload: dict[str, Any]) -> dict[str, Any]:
@@ -146,7 +179,7 @@ def service_error(status: int, message: str, **extra: Any) -> dict[str, Any]:
 class _Submission:
     """One client's evaluation request, waiting on the batcher."""
 
-    def __init__(self, op, jobs, n, options, stream=False):
+    def __init__(self, op, jobs, n, options, stream=False, deadline_s=None):
         self.op = op
         self.jobs = jobs  # [(name, loops, machine)], the client's slice
         self.n = n
@@ -159,6 +192,12 @@ class _Submission:
         self.progress: queue.SimpleQueue | None = (
             queue.SimpleQueue() if stream else None
         )
+        # Deadline bookkeeping (None = no deadline): the original budget
+        # for the 504 hint, the absolute monotonic expiry the batcher
+        # checks, and when admission accepted us (queue-time attribution).
+        self.deadline_s = deadline_s
+        self.deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        self.enqueued_at = time.monotonic()
 
     def group_key(self) -> tuple:
         return (self.n, self.options.stable_hash())
@@ -179,13 +218,81 @@ class _FanoutSink(ProgressSink):
             q.put(event)
 
 
+#: Breaker states, gauge values and names (``service.breaker.state``).
+BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN = 0, 1, 2
+BREAKER_NAMES = {
+    BREAKER_CLOSED: "closed",
+    BREAKER_HALF_OPEN: "half-open",
+    BREAKER_OPEN: "open",
+}
+
+
+class _Breaker:
+    """Circuit breaker over the batch-grid leg.
+
+    Only the batcher thread mutates it (every grid runs there), so no
+    lock: ``threshold`` consecutive grid failures trip it ``open`` — the
+    service answers from the degraded per-loop path, which shares no
+    pool/grid machinery with whatever is failing — and after
+    ``cooldown_s`` it ``half-open``\\ s to let exactly one probe grid
+    through; the probe's outcome closes or re-opens it.  Transitions are
+    reported through ``on_transition`` (ledger record + gauge).
+    """
+
+    def __init__(self, threshold: int, cooldown_s: float, on_transition=None) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.on_transition = on_transition
+        self.state = BREAKER_CLOSED
+        self.failures = 0  # consecutive grid failures
+        self.opened_at = 0.0
+        self.transitions: list[tuple[int, int, str]] = []
+
+    def allow_grid(self) -> bool:
+        if self.state == BREAKER_OPEN:
+            if time.monotonic() - self.opened_at < self.cooldown_s:
+                return False
+            self._transition(
+                BREAKER_HALF_OPEN,
+                f"cooldown of {self.cooldown_s:g}s elapsed; probing the grid",
+            )
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        if self.state != BREAKER_CLOSED:
+            self._transition(BREAKER_CLOSED, "probe grid succeeded")
+
+    def record_failure(self, error: BaseException) -> None:
+        self.failures += 1
+        why = f"{type(error).__name__}: {error}"
+        if self.state == BREAKER_HALF_OPEN:
+            self.opened_at = time.monotonic()
+            self._transition(BREAKER_OPEN, f"probe grid failed ({why})")
+        elif self.state == BREAKER_CLOSED and self.failures >= self.threshold:
+            self.opened_at = time.monotonic()
+            self._transition(
+                BREAKER_OPEN,
+                f"{self.failures} consecutive grid failures (last: {why})",
+            )
+
+    def _transition(self, new: int, reason: str) -> None:
+        old, self.state = self.state, new
+        self.transitions.append((old, new, reason))
+        if self.on_transition is not None:
+            self.on_transition(old, new, reason)
+
+
 class _Batcher(threading.Thread):
     """The single evaluation thread: drains the queue, coalesces
     same-options submissions into one grid, runs it, slices results back.
 
     Serializing every evaluation through one thread is what makes the
     shared :class:`BatchEvaluator` (and its compile cache) safe without
-    locks on the hot path.
+    locks on the hot path.  With a :class:`ServicePolicy` it also runs
+    the resilience layer: admission control in :meth:`submit` (handler
+    threads, under ``_admission_lock``), deadline expiry and the circuit
+    breaker in :meth:`_run_group` (this thread only).
     """
 
     def __init__(
@@ -193,20 +300,93 @@ class _Batcher(threading.Thread):
         engine: BatchEvaluator,
         window: float,
         telemetry: ServiceTelemetry | None = None,
+        policy: ServicePolicy | None = None,
+        chaos: ChaosPlan | None = None,
+        breaker: _Breaker | None = None,
     ) -> None:
         super().__init__(name="repro-batcher", daemon=False)
         self.engine = engine
         self.window = window
         self.telemetry = telemetry
+        self.policy = policy
+        self.chaos = chaos if chaos else None  # an empty plan is no plan
+        self.breaker = breaker
         self.queue: queue.Queue = queue.Queue()
         self._closed = threading.Event()
+        # Admission state, shared with handler threads.
+        self._admission_lock = threading.Lock()
+        self._inflight = 0
+        # Recent drain history: (monotonic finish time, submissions
+        # finished).  Sizes Retry-After on shed responses.
+        self._drained: deque = deque(maxlen=64)
+        self._group_sequence = 0  # 1-based, drives chaos cadences
 
     def submit(self, submission: _Submission) -> None:
         if self._closed.is_set():
             raise ServiceError(503, "service is shutting down")
+        policy = self.policy
+        if policy is not None and (
+            policy.max_queue_depth is not None or policy.max_inflight is not None
+        ):
+            with self._admission_lock:
+                depth = self.queue.qsize()
+                if (
+                    policy.max_queue_depth is not None
+                    and depth >= policy.max_queue_depth
+                ):
+                    raise self._shed(
+                        depth,
+                        f"queue depth {depth} is at the "
+                        f"max_queue_depth={policy.max_queue_depth} limit",
+                    )
+                if (
+                    policy.max_inflight is not None
+                    and self._inflight >= policy.max_inflight
+                ):
+                    raise self._shed(
+                        depth,
+                        f"{self._inflight} submission(s) in flight is at the "
+                        f"max_inflight={policy.max_inflight} limit",
+                    )
+                self._inflight += 1
+        else:
+            with self._admission_lock:
+                self._inflight += 1
         self.queue.put(submission)
         if self.telemetry is not None:
             self.telemetry.set_queue_depth(self.queue.qsize())
+
+    def _shed(self, depth: int, reason: str) -> ServiceError:
+        """Build the honest 429: body + ``Retry-After`` sized from the
+        observed drain rate (how long until ``depth`` submissions clear)."""
+        retry_after = self.retry_after_estimate(depth)
+        if self.telemetry is not None:
+            self.telemetry.record_shed()
+        return ServiceError(
+            429,
+            f"submission shed by admission control: {reason}; "
+            "retry after the queue drains",
+            headers={"Retry-After": str(max(1, math.ceil(retry_after)))},
+            retry_after_s=round(retry_after, 3),
+        )
+
+    def _note_drained(self, count: int) -> None:
+        with self._admission_lock:
+            self._inflight -= count
+            self._drained.append((time.monotonic(), count))
+
+    def retry_after_estimate(self, depth: int) -> float:
+        """Seconds until a queue of ``depth`` clears at the recent drain
+        rate, clamped to [1, 60]; 1s with no history (a cold server
+        drains its first window almost immediately)."""
+        now = time.monotonic()
+        window = [(t, c) for t, c in self._drained if now - t <= 30.0]
+        total = sum(c for _, c in window)
+        if total <= 0:
+            return 1.0
+        elapsed = max(now - window[0][0], self.window, 0.02)
+        rate = total / elapsed
+        return min(max((depth + 1) / rate, 1.0), 60.0)
 
     def stop(self) -> None:
         """Refuse new work, drain what's queued, then stop."""
@@ -222,6 +402,7 @@ class _Batcher(threading.Thread):
                     return
                 continue
             batch = [submission]
+            stop_after = False  # the coalesce loop may eat stop()'s sentinel
             deadline = time.monotonic() + self.window
             while True:
                 remaining = deadline - time.monotonic()
@@ -232,11 +413,14 @@ class _Batcher(threading.Thread):
                 except queue.Empty:
                     break
                 if extra is None:
+                    stop_after = self._closed.is_set()
                     break
                 batch.append(extra)
             if self.telemetry is not None:
                 self.telemetry.set_queue_depth(self.queue.qsize())
             self._run_batch(batch)
+            if stop_after and self.queue.empty():
+                return
 
     def _run_batch(self, batch: list[_Submission]) -> None:
         groups: dict[tuple, list[_Submission]] = {}
@@ -245,7 +429,67 @@ class _Batcher(threading.Thread):
         for group in groups.values():
             self._run_group(group)
 
+    def _expire(self, submission: _Submission, now: float) -> None:
+        """Abandon a submission whose deadline passed while it queued:
+        504 with a hint naming where the budget went, before any
+        evaluation is spent on an answer nobody is waiting for."""
+        waited = now - submission.enqueued_at
+        submission.error = ServiceError(
+            504,
+            f"deadline of {submission.deadline_s:g}s expired before "
+            "evaluation started",
+            hint={
+                "stage": "queued",
+                "queued_s": round(waited, 3),
+                "deadline_s": submission.deadline_s,
+            },
+        )
+        if self.telemetry is not None:
+            self.telemetry.record_deadline()
+        if submission.progress is not None:
+            submission.progress.put(None)
+        submission.done.set()
+
+    def _corrupt_cache(self) -> None:
+        """Chaos: reload the engine's compile cache from a garbage file.
+        The tolerant :meth:`CompileCache.load` turns corruption into an
+        empty cache plus a ``robust.cache.corrupt`` count — exactly what
+        a bit-flipped on-disk cache does to a real server — and the swap
+        is safe here because only this thread touches the engine."""
+        import tempfile
+
+        from repro.perf.cache import CompileCache
+
+        fd, path = tempfile.mkstemp(prefix="repro-chaos-cache-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(b"\x00chaos: not a cache file\xff")
+            self.engine.cache = CompileCache.load(path)
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
     def _run_group(self, group: list[_Submission]) -> None:
+        self._group_sequence += 1
+        sequence = self._group_sequence
+        total = len(group)
+        now = time.monotonic()
+        live = [s for s in group if s.deadline is None or s.deadline > now]
+        for submission in group:
+            if submission not in live:
+                self._expire(submission, now)
+        if not live:
+            self._note_drained(total)
+            return
+        group = live
+        if self.chaos is not None:
+            delay = self.chaos.slow_delay(sequence)
+            if delay > 0:
+                time.sleep(delay)
+            if self.chaos.corrupts_cache(sequence):
+                self._corrupt_cache()
         options = group[0].options
         n = group[0].n
         jobs = [job for submission in group for job in submission.jobs]
@@ -262,17 +506,48 @@ class _Batcher(threading.Thread):
         try:
             with tracer_scope(tracer), metrics_scope(collected):
                 reason = batch_incompatibility(options)
-                if reason is None:
-                    results = self.engine.evaluate_corpora(
-                        jobs, n=n, options=options
-                    )
-                else:
-                    # Exactness over throughput: options the closed-form
-                    # plane cannot honour run per-loop, still on the shared
-                    # compile cache.
+                use_grid = reason is None
+                degraded = False
+                if (
+                    use_grid
+                    and self.breaker is not None
+                    and not self.breaker.allow_grid()
+                ):
+                    use_grid = False
+                    degraded = True
+                results = None
+                if use_grid:
+                    try:
+                        if self.chaos is not None and self.chaos.kills_grid(
+                            sequence
+                        ):
+                            raise ChaosKill(
+                                f"chaos plan killed batch grid #{sequence}"
+                            )
+                        results = self.engine.evaluate_corpora(
+                            jobs, n=n, options=options
+                        )
+                        if self.breaker is not None:
+                            self.breaker.record_success()
+                    except BaseException as err:
+                        # Without a breaker the failure propagates (the
+                        # pre-resilience contract: clients see the 500).
+                        # With one, it feeds the breaker and the group
+                        # falls through to the degraded per-loop path.
+                        if self.breaker is None:
+                            raise
+                        self.breaker.record_failure(err)
+                        degraded = True
+                if results is None:
+                    # Per-loop leg: exactness over throughput for options
+                    # the closed-form plane cannot honour, and the
+                    # degraded path while the breaker routes around a
+                    # failing grid — still on the shared compile cache.
                     from repro.pipeline import evaluate_corpus
 
                     per_loop = options.replace(cache=self.engine.cache)
+                    if degraded:
+                        per_loop = per_loop.replace(batch=False)
                     results = [
                         evaluate_corpus(name, loops, machine, n, per_loop)
                         for name, loops, machine in jobs
@@ -297,6 +572,7 @@ class _Batcher(threading.Thread):
                 if submission.progress is not None:
                     submission.progress.put(None)  # stream terminator
                 submission.done.set()
+            self._note_drained(total)
 
 
 # -- the server ----------------------------------------------------------------
@@ -318,12 +594,32 @@ class ReproService:
         coalesce_window: float = 0.02,
         access_log: str | None = None,
         flight_recorder: int = 256,
+        policy: ServicePolicy | None = None,
+        chaos: ChaosPlan | None = None,
+        ledger_durable: bool = False,
     ) -> None:
         self.engine = BatchEvaluator()
         self.telemetry = ServiceTelemetry(flight_capacity=flight_recorder)
         self.access_log = AccessLog(access_log) if access_log else None
-        self.batcher = _Batcher(self.engine, coalesce_window, self.telemetry)
-        self.ledger = RunLedger(ledger)
+        self.policy = policy
+        self.chaos = chaos if chaos else None  # an empty plan is no plan
+        self.breaker: _Breaker | None = None
+        if policy is not None:
+            self.breaker = _Breaker(
+                policy.breaker_threshold,
+                policy.breaker_cooldown_s,
+                self._on_breaker_transition,
+            )
+            self.telemetry.set_breaker_state(BREAKER_CLOSED)
+        self.batcher = _Batcher(
+            self.engine,
+            coalesce_window,
+            self.telemetry,
+            policy=policy,
+            chaos=self.chaos,
+            breaker=self.breaker,
+        )
+        self.ledger = RunLedger(ledger, durable=ledger_durable)
         self.coalesce_window = coalesce_window
         self.started_at = time.time()
         self.requests: dict[str, int] = {}
@@ -460,6 +756,65 @@ class ReproService:
             self.ledger.append(record)
         return record
 
+    def _on_breaker_transition(self, old: int, new: int, reason: str) -> None:
+        """Publish one breaker transition: a ``command: "service breaker"``
+        run record (the durable trail an operator greps for) and the
+        ``service.breaker.state`` gauge (the live one)."""
+        self.telemetry.set_breaker_state(new)
+        timestamp = time.time()
+        argv = (BREAKER_NAMES[old], "->", BREAKER_NAMES[new])
+        payload = {
+            "command": "service breaker",
+            "argv": list(argv),
+            "timestamp": timestamp,
+            "reason": reason,
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        record = RunRecord(
+            run_id=digest[:12],
+            timestamp=timestamp,
+            command="service breaker",
+            argv=argv,
+            options_hash=None,
+            git_sha=self._git_sha,
+            machine=self._machine,
+            wall_s=0.0,
+            outcome=BREAKER_NAMES[new],
+            error=reason if new != BREAKER_CLOSED else None,
+            metrics=None,
+        )
+        with self._lock:
+            self.ledger.append(record)
+
+    def recover_inflight(self) -> list[RunRecord]:
+        """Finalize in-flight work a previous process never finished.
+
+        Scans the ledger for ``outcome: "inflight"`` service records with
+        no terminal twin (same ``request_id`` in ``argv[-1]``) and
+        appends an ``outcome: "lost"`` finalizer for each, so the ledger
+        names exactly what a killed process had accepted but never
+        answered.  Returns the finalizers (``repro serve --recover``
+        prints them).
+        """
+        records = self.ledger.load()
+        lost: list[RunRecord] = []
+        for record in unfinished_inflight(records):
+            final = dataclasses.replace(
+                record,
+                timestamp=time.time(),
+                outcome="lost",
+                error=(
+                    "recovered by --recover: the process serving this "
+                    "request exited before it finished"
+                ),
+            )
+            with self._lock:
+                self.ledger.append(final)
+            lost.append(final)
+        return lost
+
     # -- request parsing -----------------------------------------------------
 
     def parse_options(self, raw: Any) -> EvalOptions:
@@ -485,6 +840,20 @@ class ReproService:
         if not isinstance(n, int) or isinstance(n, bool) or n < 1:
             raise ServiceError(400, "n must be a positive integer")
         return n
+
+    def parse_deadline(self, body: dict[str, Any]) -> float | None:
+        """The request's deadline budget: its own ``deadline_s`` if set,
+        else the :class:`ServicePolicy` default, else none."""
+        raw = body.get("deadline_s")
+        if raw is None:
+            return self.policy.deadline_s if self.policy is not None else None
+        if (
+            isinstance(raw, bool)
+            or not isinstance(raw, (int, float))
+            or raw <= 0
+        ):
+            raise ServiceError(400, "deadline_s must be a positive number")
+        return float(raw)
 
     @staticmethod
     def parse_machine(raw: Any):
@@ -517,6 +886,7 @@ class ReproService:
             self.parse_n(body),
             self.parse_options(body.get("options")),
             stream=bool(body.get("stream")),
+            deadline_s=self.parse_deadline(body),
         )
 
     def submission_for_sweep(self, body: dict[str, Any]) -> _Submission:
@@ -544,15 +914,55 @@ class ReproService:
             self.parse_n(body),
             self.parse_options(body.get("options")),
             stream=bool(body.get("stream")),
+            deadline_s=self.parse_deadline(body),
         )
 
     # -- submission execution ------------------------------------------------
 
     def run_submission(self, submission: _Submission) -> dict[str, Any]:
         """Enqueue, wait, and build the ``result`` payload (the
-        non-streaming path; streaming pumps the progress queue itself)."""
+        non-streaming path; streaming pumps the progress queue itself).
+
+        The wait is bounded by the submission's deadline (plus the
+        policy ``chunk_timeout`` as grace for a grid already running),
+        or by ``chunk_timeout`` alone when no deadline is set — so a
+        wedged grid turns into an honest 504 instead of a handler thread
+        parked forever.  The batcher cannot be interrupted; an abandoned
+        submission still completes (and is finalized in the ledger) on
+        the batcher thread.
+        """
         self.batcher.submit(submission)
-        submission.done.wait()
+        timeout = None
+        grace = (
+            self.policy.chunk_timeout
+            if self.policy is not None and self.policy.chunk_timeout is not None
+            else None
+        )
+        if submission.deadline is not None:
+            timeout = max(submission.deadline - time.monotonic(), 0.0)
+            if grace is not None:
+                timeout += grace
+        elif grace is not None:
+            timeout = grace
+        if not submission.done.wait(timeout):
+            waited = time.monotonic() - submission.enqueued_at
+            budget = (
+                f"deadline_s={submission.deadline_s:g}"
+                if submission.deadline_s is not None
+                else f"chunk_timeout={grace:g}"
+            )
+            self.telemetry.record_deadline()
+            raise ServiceError(
+                504,
+                f"evaluation did not finish within the request budget "
+                f"({budget}); the grid may be wedged",
+                hint={
+                    "stage": "evaluating",
+                    "waited_s": round(waited, 3),
+                    "deadline_s": submission.deadline_s,
+                    "chunk_timeout_s": grace,
+                },
+            )
         return self.result_payload(submission)
 
     def result_payload(self, submission: _Submission) -> dict[str, Any]:
@@ -744,7 +1154,11 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ------------------------------------------------------------
 
     def _send_json(
-        self, status: int, payload: dict[str, Any], cors: bool = False
+        self,
+        status: int,
+        payload: dict[str, Any],
+        cors: bool = False,
+        headers: dict[str, str] | None = None,
     ) -> None:
         self._status = status
         if self.request_id and "request_id" not in payload:
@@ -759,6 +1173,8 @@ class _Handler(BaseHTTPRequestHandler):
             # The live dashboard is a local file:// page polling this
             # loopback endpoint; read-only snapshots are safe to share.
             self.send_header("Access-Control-Allow-Origin", "*")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -774,12 +1190,20 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_body(self, err: ServiceError) -> None:
-        self._outcome, self._error = "error", str(err)
-        self._send_json(err.status, service_error(err.status, str(err), **err.extra))
+        self._outcome, self._error = _service_outcome(err.status), str(err)
+        self._send_json(
+            err.status,
+            service_error(err.status, str(err), **err.extra),
+            headers=err.headers,
+        )
 
     def _read_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_REQUEST_BYTES:
+            # The oversized body is never read, so the connection cannot
+            # be reused (the unread bytes would poison the next request
+            # line on this keep-alive socket).
+            self.close_connection = True
             raise ServiceError(
                 413,
                 f"request body of {length} bytes exceeds the "
@@ -824,7 +1248,10 @@ class _Handler(BaseHTTPRequestHandler):
                     break
                 chunk(event.as_dict())
             submission.done.wait()
-            if submission.error is not None:
+            if isinstance(submission.error, ServiceError):
+                err = submission.error
+                chunk(terminal(service_error(err.status, str(err), **err.extra)))
+            elif submission.error is not None:
                 chunk(terminal(service_error(
                     500,
                     f"{type(submission.error).__name__}: {submission.error}",
@@ -981,18 +1408,50 @@ class _Handler(BaseHTTPRequestHandler):
         sequence = self.service.count(submission.op)
         options_hash = submission.options.stable_hash()
         self._options_hash = options_hash
+        policy = self.service.policy
+        if policy is not None and policy.journal_inflight:
+            # Crash-safe journaling: the request is on disk as "inflight"
+            # before any evaluation, and finalized by the terminal record
+            # below (same request_id in argv).  A process killed between
+            # the two leaves exactly the records `serve --recover` names.
+            self.service.record_request(
+                submission.op,
+                sequence,
+                path,
+                options_hash,
+                "inflight",
+                0.0,
+                request_id=self.request_id,
+            )
         outcome, error, payload = "ok", None, None
         try:
             if submission.progress is not None:
                 self.service.batcher.submit(submission)
                 self._stream_submission(submission)
-                if submission.error is not None:
+                if isinstance(submission.error, ServiceError):
+                    outcome = _service_outcome(submission.error.status)
+                    error = str(submission.error)
+                elif submission.error is not None:
                     outcome, error = "error", (
                         f"{type(submission.error).__name__}: {submission.error}"
                     )
             else:
                 payload = self.service.run_submission(submission)
-        except ServiceError:
+        except ServiceError as err:
+            # An honest refusal (shed 429 / shutdown 503 / deadline 504)
+            # still gets its terminal ledger record before the response —
+            # "every submission answered or honestly shed" includes the
+            # ledger trail.
+            self.service.record_request(
+                submission.op,
+                sequence,
+                path,
+                options_hash,
+                _service_outcome(err.status),
+                time.perf_counter() - started,
+                error=str(err),
+                request_id=self.request_id,
+            )
             raise
         except BaseException as err:
             outcome, error = "error", f"{type(err).__name__}: {err}"
@@ -1096,15 +1555,57 @@ def serve_forever_op(
     coalesce_window: float = 0.02,
     access_log: str | None = None,
     flight_recorder: int = 256,
+    max_queue_depth: int | None = None,
+    max_inflight: int | None = None,
+    deadline_s: float | None = None,
+    chunk_timeout: float | None = None,
+    breaker_threshold: int | None = None,
+    breaker_cooldown_s: float | None = None,
+    recover: bool = False,
+    ledger_durable: bool = False,
 ) -> OpResult:
     """``repro serve``: run the service in the foreground until SIGINT.
 
     Unlike every other op this one writes to the real stderr as it goes —
     it is a long-lived foreground process, and its output (the listening
     line, the shutdown line) is operational, not a result.
+
+    Passing any resilience knob arms a :class:`ServicePolicy`; with none
+    of them the server runs exactly the pre-resilience configuration.
+    ``recover=True`` finalizes in-flight work a killed predecessor left
+    in the ledger before serving.
     """
     import sys
 
+    policy = None
+    if any(
+        value is not None
+        for value in (
+            max_queue_depth,
+            max_inflight,
+            deadline_s,
+            chunk_timeout,
+            breaker_threshold,
+            breaker_cooldown_s,
+        )
+    ):
+        defaults = ServicePolicy()
+        policy = ServicePolicy(
+            max_queue_depth=max_queue_depth,
+            max_inflight=max_inflight,
+            deadline_s=deadline_s,
+            chunk_timeout=chunk_timeout,
+            breaker_threshold=(
+                breaker_threshold
+                if breaker_threshold is not None
+                else defaults.breaker_threshold
+            ),
+            breaker_cooldown_s=(
+                breaker_cooldown_s
+                if breaker_cooldown_s is not None
+                else defaults.breaker_cooldown_s
+            ),
+        )
     service = ReproService(
         host=host,
         port=port,
@@ -1112,7 +1613,32 @@ def serve_forever_op(
         coalesce_window=coalesce_window,
         access_log=access_log,
         flight_recorder=flight_recorder,
+        policy=policy,
+        ledger_durable=ledger_durable,
     )
+    if recover:
+        lost = service.recover_inflight()
+        if service.ledger.torn_tail:
+            print(
+                "recover: the ledger's final line was torn (a process died "
+                "mid-append); skipped and counted",
+                file=sys.stderr,
+            )
+        if lost:
+            print(
+                f"recover: finalized {len(lost)} in-flight request(s) a "
+                "previous process never finished:",
+                file=sys.stderr,
+            )
+            for record in lost:
+                request_id = record.argv[-1] if record.argv else "?"
+                print(
+                    f"  lost {record.command} request_id={request_id} "
+                    f"(run {record.run_id})",
+                    file=sys.stderr,
+                )
+        else:
+            print("recover: no unfinished in-flight requests", file=sys.stderr)
     service.start()
     print(
         f"repro service v{SCHEMA_VERSION} on http://{service.host}:{service.port} "

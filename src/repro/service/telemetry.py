@@ -207,6 +207,22 @@ class ServiceTelemetry:
         with self._lock:
             self.registry.set_gauge("service.queue.depth", depth)
 
+    def record_shed(self) -> None:
+        """Count one submission refused by admission control (429)."""
+        with self._lock:
+            self.registry.count("service.request.shed")
+
+    def record_deadline(self) -> None:
+        """Count one submission abandoned past its deadline (504)."""
+        with self._lock:
+            self.registry.count("service.request.deadline")
+
+    def set_breaker_state(self, state: int) -> None:
+        """Publish the circuit breaker state as a gauge
+        (0 = closed, 1 = half-open, 2 = open)."""
+        with self._lock:
+            self.registry.set_gauge("service.breaker.state", state)
+
     def record_group(self, occupancy: int, collected: MetricsRegistry) -> None:
         """Fold one coalesced batch run in: its window occupancy and the
         per-request pipeline metrics collected on the batcher thread."""

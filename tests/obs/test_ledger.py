@@ -156,6 +156,66 @@ class TestRunLedger:
         ledger.append(_record(run_id="b" * 12))
         assert [r.run_id for r in ledger.load()] == ["a" * 12, "b" * 12]
 
+    def test_torn_tail_is_counted(self, tmp_path):
+        """A crash mid-append leaves a torn FINAL line; load() must skip
+        it, count it, and keep every whole record."""
+        from repro.obs.metrics import enable_metrics
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.append(_record(run_id="a" * 12))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "run", "run_id": "bb')  # no newline: torn
+        registry = enable_metrics()
+        loaded = ledger.load()
+        assert [r.run_id for r in loaded] == ["a" * 12]
+        assert ledger.torn_tail == 1
+        assert registry.counters["robust.ledger.torn_tail"] == 1
+
+    def test_mid_file_garbage_is_not_a_torn_tail(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.append(_record(run_id="a" * 12))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"truncated": tru\n')
+        ledger.append(_record(run_id="b" * 12))
+        loaded = ledger.load()
+        assert [r.run_id for r in loaded] == ["a" * 12, "b" * 12]
+        assert ledger.torn_tail == 0  # a later whole line means no crash tail
+
+    def test_durable_appends_load_back(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"), durable=True)
+        ledger.append(_record(run_id="a" * 12))
+        ledger.append(_record(run_id="b" * 12))
+        assert [r.run_id for r in ledger.load()] == ["a" * 12, "b" * 12]
+
+    def test_unfinished_inflight_joins_on_request_id(self, tmp_path):
+        from repro.obs.ledger import unfinished_inflight
+
+        finished = _record(
+            run_id="a" * 12,
+            command="service evaluate",
+            outcome="inflight",
+            argv=("POST", "/v1/evaluate", "#1", "req111111111"),
+        )
+        finished_terminal = _record(
+            run_id="b" * 12,
+            command="service evaluate",
+            outcome="ok",
+            argv=("POST", "/v1/evaluate", "#1", "req111111111"),
+        )
+        orphan = _record(
+            run_id="c" * 12,
+            command="service evaluate",
+            outcome="inflight",
+            argv=("POST", "/v1/evaluate", "#2", "req222222222"),
+        )
+        non_service = _record(run_id="d" * 12, command="sweep", outcome="ok")
+        lost = unfinished_inflight(
+            [finished, finished_terminal, orphan, non_service]
+        )
+        assert [r.run_id for r in lost] == ["c" * 12]
+
     def test_foreign_kinds_are_ignored(self, tmp_path):
         path = tmp_path / "ledger.jsonl"
         with open(path, "w", encoding="utf-8") as handle:

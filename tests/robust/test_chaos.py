@@ -1,0 +1,154 @@
+"""ChaosPlan: the grammar, cadences, client faults, determinism."""
+
+import pytest
+
+from repro.robust.chaos import (
+    ChaosKill,
+    ChaosPlan,
+    ClientFault,
+    CorruptCache,
+    KillGrid,
+    SlowGroup,
+)
+
+
+class TestParse:
+    def test_full_grammar(self):
+        plan = ChaosPlan.parse(
+            [
+                "kill:every=40",
+                "kill:every=1,times=3",
+                "slow:delay=0.05,every=60",
+                "corrupt:every=150,times=2",
+                "malformed:prob=0.05",
+                "oversize:prob=0.02",
+                "disconnect:prob=0.03",
+            ],
+            seed=7,
+            label="smoke",
+        )
+        assert plan
+        assert plan.seed == 7 and plan.label == "smoke"
+        assert len(plan.kills) == 2
+        assert plan.slows == (SlowGroup(delay_s=0.05, every=60),)
+        assert plan.corrupts == (CorruptCache(every=150, times=2),)
+        assert {f.kind for f in plan.client_faults} == {
+            "malformed",
+            "oversize",
+            "disconnect",
+        }
+
+    def test_empty_is_falsy(self):
+        assert not ChaosPlan()
+        assert not ChaosPlan.parse([])
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode:prob=1",  # unknown kind
+            "kill",  # missing every=
+            "kill:every=0",  # every is 1-based
+            "kill:every=2,times=0",  # times must be >= 1
+            "slow:every=3",  # missing delay=
+            "slow:delay=-1,every=3",  # negative delay
+            "malformed:prob=0",  # prob in (0, 1]
+            "malformed:prob=1.5",
+            "oversize",  # missing prob=
+            "kill:every=2,bogus=1",  # unknown argument
+            "kill:every",  # malformed key=value
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            ChaosPlan.parse([spec])
+
+    def test_errors_name_token_and_offset(self):
+        with pytest.raises(ValueError, match=r"token 'explode' at offset 0"):
+            ChaosPlan.parse(["explode:prob=1"])
+        with pytest.raises(ValueError, match=r"token 'every' at offset 5"):
+            ChaosPlan.parse(["kill:every"])
+        with pytest.raises(ValueError, match=r"token 'bogus' at offset 13"):
+            ChaosPlan.parse(["kill:every=2,bogus=1"])
+
+    def test_describe_mentions_every_spec(self):
+        plan = ChaosPlan.parse(
+            ["kill:every=5", "malformed:prob=0.1"], label="lab"
+        )
+        text = plan.describe()
+        assert "kill" in text and "malformed" in text
+
+
+class TestCadence:
+    def test_kill_every(self):
+        kill = KillGrid(every=3)
+        assert [kill.fires(s) for s in range(1, 8)] == [
+            False, False, True, False, False, True, False,
+        ]
+
+    def test_kill_times_caps_firings(self):
+        kill = KillGrid(every=1, times=3)
+        assert [kill.fires(s) for s in range(1, 6)] == [
+            True, True, True, False, False,
+        ]
+
+    def test_plan_kills_grid_any_match(self):
+        plan = ChaosPlan(kills=(KillGrid(every=1, times=2), KillGrid(every=5)))
+        assert plan.kills_grid(1) and plan.kills_grid(2)
+        assert not plan.kills_grid(3)
+        assert plan.kills_grid(5)
+
+    def test_slow_delay_sums_matches(self):
+        plan = ChaosPlan(
+            slows=(SlowGroup(delay_s=0.05, every=2), SlowGroup(delay_s=0.1, every=3))
+        )
+        assert plan.slow_delay(1) == 0.0
+        assert plan.slow_delay(2) == 0.05
+        assert plan.slow_delay(6) == pytest.approx(0.15)
+
+    def test_corrupts_cache(self):
+        plan = ChaosPlan(corrupts=(CorruptCache(every=4, times=1),))
+        assert not plan.corrupts_cache(3)
+        assert plan.corrupts_cache(4)
+        assert not plan.corrupts_cache(8)  # times exhausted
+
+    def test_chaoskill_is_a_runtime_error(self):
+        assert issubclass(ChaosKill, RuntimeError)
+
+
+class TestClientFaults:
+    def test_deterministic_in_seed_and_index(self):
+        plan = ChaosPlan.parse(["malformed:prob=0.2"], seed=7)
+        first = [plan.client_fault(i) for i in range(200)]
+        again = [plan.client_fault(i) for i in range(200)]
+        assert first == again
+        assert "malformed" in first  # prob 0.2 over 200 draws fires
+
+    def test_different_seeds_differ(self):
+        a = ChaosPlan.parse(["disconnect:prob=0.3"], seed=0)
+        b = ChaosPlan.parse(["disconnect:prob=0.3"], seed=1)
+        draws_a = [a.client_fault(i) for i in range(100)]
+        draws_b = [b.client_fault(i) for i in range(100)]
+        assert draws_a != draws_b
+
+    def test_no_faults_means_none(self):
+        plan = ChaosPlan(kills=(KillGrid(every=2),))
+        assert all(plan.client_fault(i) is None for i in range(50))
+
+    def test_first_matching_fault_wins(self):
+        plan = ChaosPlan(
+            client_faults=(
+                ClientFault("malformed", 1.0),
+                ClientFault("oversize", 1.0),
+            )
+        )
+        assert all(plan.client_fault(i) == "malformed" for i in range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientFault("bogus", 0.5)
+        with pytest.raises(ValueError):
+            ClientFault("malformed", 0.0)
+        with pytest.raises(ValueError):
+            KillGrid(every=0)
+        with pytest.raises(ValueError):
+            SlowGroup(delay_s=-0.1, every=2)

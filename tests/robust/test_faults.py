@@ -58,6 +58,19 @@ class TestParse:
         with pytest.raises(ValueError, match="at most one jitter"):
             FaultPlan.parse(["jitter:seed=1", "jitter:seed=2"])
 
+    def test_errors_name_token_and_offset(self):
+        """A bad spec must say which token broke and where — satellite 3."""
+        with pytest.raises(ValueError, match=r"token 'explode' at offset 0"):
+            FaultPlan.parse(["explode"])
+        with pytest.raises(ValueError, match=r"token 'pair' at offset 5"):
+            FaultPlan.parse(["drop:pair"])  # no '=': the token is named
+        with pytest.raises(
+            ValueError, match=r"token 'bogus' at offset 14.*unknown argument"
+        ):
+            FaultPlan.parse(["delay:extra=2,bogus=1"])
+        with pytest.raises(ValueError, match=r"token 'x'.*'extra' wants an integer"):
+            FaultPlan.parse(["delay:extra=x"])
+
 
 class TestSemantics:
     def test_empty_plan_is_falsy(self):

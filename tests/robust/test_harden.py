@@ -1,0 +1,54 @@
+"""RobustPolicy retry jitter and ServicePolicy validation."""
+
+import pytest
+
+from repro.robust.harden import RobustPolicy, ServicePolicy, retry_delay
+
+
+class TestRetryDelay:
+    def test_zero_backoff_is_exactly_zero(self):
+        """The zero-overhead guarantee: retry_backoff=0 must not sleep at
+        all, not sleep a tiny jittered amount."""
+        policy = RobustPolicy(retry_backoff=0.0)
+        assert retry_delay(policy, lane=3, attempt=2) == 0.0
+
+    def test_full_jitter_within_exponential_ceiling(self):
+        policy = RobustPolicy(retry_backoff=0.1)
+        for attempt in range(4):
+            delay = retry_delay(policy, lane=0, attempt=attempt)
+            assert 0.0 <= delay <= 0.1 * 2**attempt
+
+    def test_deterministic_in_seed_lane_attempt(self):
+        policy = RobustPolicy(retry_backoff=0.1, retry_jitter_seed=7)
+        assert retry_delay(policy, 2, 1) == retry_delay(policy, 2, 1)
+        reseeded = RobustPolicy(retry_backoff=0.1, retry_jitter_seed=8)
+        assert retry_delay(policy, 2, 1) != retry_delay(reseeded, 2, 1)
+
+    def test_lanes_decorrelated(self):
+        """Workers retrying the same attempt must not stampede in step."""
+        policy = RobustPolicy(retry_backoff=0.1)
+        delays = {retry_delay(policy, lane, 1) for lane in range(8)}
+        assert len(delays) == 8
+
+
+class TestServicePolicy:
+    def test_defaults(self):
+        policy = ServicePolicy()
+        assert policy.max_queue_depth is None
+        assert policy.breaker_threshold == 5
+        assert policy.journal_inflight is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue_depth": -1},
+            {"max_inflight": -1},
+            {"deadline_s": 0.0},
+            {"chunk_timeout": -2.0},
+            {"breaker_threshold": 0},
+            {"breaker_cooldown_s": -0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServicePolicy(**kwargs)
