@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench bench-batch bench-check bench-perf bench-service fuzz-smoke serve-smoke chaos-smoke sweep dash
+.PHONY: test lint check bench bench-batch bench-check bench-perf bench-service fuzz-smoke serve-smoke chaos-smoke prof-smoke sweep dash
 
 BENCH_BASELINE ?= benchmarks/baselines/bench_history.jsonl
 
@@ -64,6 +64,15 @@ chaos-smoke:
 		--chaos malformed:prob=0.05 --chaos oversize:prob=0.02 \
 		--chaos disconnect:prob=0.03 --chaos-seed $(CHAOS_SEED)
 
+# Profiler smoke (docs/observability.md, "Continuous profiling"):
+# record two sampled CPU profiles of the fig suite into a scratch
+# store, assert samples landed and pipeline stages were attributed,
+# diff them (must name a top regressed frame) and render the flame
+# graph SVG.  Structural assertions only — sample counts are
+# wall-clock driven and non-deterministic.  Part of `make check`.
+prof-smoke:
+	$(PYTHON) scripts/prof_smoke.py
+
 # Build the self-contained HTML dashboard (run ledger + bench history).
 # Works with an empty/missing ledger: the walkthrough timelines and the
 # committed bench baseline still give it something to show.
@@ -72,9 +81,9 @@ dash:
 	$(PYTHON) -m repro dash --out $(DASH_OUT) --history $(BENCH_BASELINE)
 
 # Everything CI would run: lint + tier-1 tests + fuzz + batch-engine
-# identity smoke + bench gate + service smoke + chaos smoke + a
-# dashboard-build smoke.
-check: lint test fuzz-smoke bench-batch bench-check serve-smoke chaos-smoke dash
+# identity smoke + bench gate + service smoke + chaos smoke + profiler
+# smoke + a dashboard-build smoke.
+check: lint test fuzz-smoke bench-batch bench-check serve-smoke chaos-smoke prof-smoke dash
 
 # Regenerate every paper table/figure under benchmarks/results/
 # (perf-marked timing benches stay skipped).

@@ -251,3 +251,76 @@ def test_perf_layer_speedups():
         f"warm batch sweep only {batch_warm_speedup:.2f}x faster than cold "
         f"({batch_warm_s:.4f}s vs {cold_s:.4f}s)"
     )
+
+
+def test_profiler_overhead_under_five_percent():
+    """Arming the continuous sampler must cost < 5% on a serial sweep.
+
+    Off/armed timings are interleaved pair-by-pair (arm, time, disarm)
+    so a slow scheduling window hits both sides instead of biasing one,
+    and each side is summarised by its minimum — the usual best-case
+    estimator, since timing noise on a busy host is one-sided.  A rare
+    machine-wide stall can still poison a whole trial, so the check
+    retries up to three trials and reports the best; like the rest of
+    this module the assertion is timing-sensitive and non-gating in CI.
+    """
+    from repro.obs.prof import start_sampler, stop_sampler
+
+    suite = perfect_suite()
+    jobs = [
+        (name, suite[name], paper_machine(*case))
+        for name in BENCHMARKS
+        for case in PAPER_CASES
+    ]
+    cache = CompileCache()
+    _sweep_serial(jobs, cache=cache)  # warm the cache out of the timings
+
+    def timed() -> float:
+        start = time.perf_counter()
+        _sweep_serial(jobs, cache=cache)
+        return time.perf_counter() - start
+
+    pairs = 11
+
+    def trial():
+        off, armed = [], []
+        samples, hz = 0, 0.0
+        for _ in range(pairs):
+            off.append(timed())
+            # DEFAULT_HZ, the rate `repro serve --profile-hz` suggests
+            start_sampler()
+            try:
+                armed.append(timed())
+            finally:
+                profile = stop_sampler()
+            assert profile is not None
+            samples += profile.samples
+            hz = profile.hz
+        baseline_s, armed_s = min(off), min(armed)
+        ratio = armed_s / baseline_s - 1.0 if baseline_s else 0.0
+        return ratio, baseline_s, armed_s, samples, hz
+
+    trials = []
+    for _ in range(3):
+        trials.append(trial())
+        if trials[-1][0] < 0.05:
+            break
+    overhead, baseline, armed, samples, hz = min(trials)
+
+    emit(
+        "profiler_overhead",
+        "\n".join(
+            [
+                f"warm serial sweep, min of {pairs} interleaved pairs, "
+                f"best of {len(trials)} trial(s)",
+                f"{'sampler off':<14} {baseline:>9.4f}s",
+                f"{'sampler armed':<14} {armed:>9.4f}s",
+                f"overhead: {100.0 * overhead:+.2f}% "
+                f"({samples} samples at {hz:g} hz)",
+            ]
+        ),
+    )
+    assert overhead < 0.05, (
+        f"armed sampler cost {100.0 * overhead:.2f}% "
+        f"({baseline:.4f}s -> {armed:.4f}s)"
+    )

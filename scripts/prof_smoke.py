@@ -1,0 +1,105 @@
+"""Profiler smoke: record, diff, render — end to end, in-process.
+
+Part of ``make check`` (as ``make prof-smoke``): records two sampled CPU
+profiles of the ``fig`` bench suite into a scratch store via the same
+op the CLI runs (``repro prof record``), then asserts that
+
+* both profiles carry samples (the sampler thread actually fired) and
+  schema-stamped ``profile`` records land in the store,
+* stage attribution via the span seam named at least one pipeline stage
+  (``parse`` / ``deps`` / ``schedule.*`` — not everything may be
+  ``(unattributed)``),
+* ``repro prof diff`` between the two names a frame (either a "top
+  regressed frame: <frame>" line or the explicit none-regressed note),
+* the flame-graph renderer produces a self-contained SVG document that
+  embeds the profile id, and
+* profiles byte-round-trip through the canonical JSONL writer
+  (``dump_line`` → ``parse_line`` → ``Profile.from_dict``).
+
+The sampler is wall-clock driven, so sample *counts* are
+non-deterministic; the assertions here are structural only.  Exits 0 on
+success, 1 with a message on any failure.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.prof import Profile, ProfileStore, UNATTRIBUTED_STAGE, flamegraph_svg
+from repro.schema import dump_line, parse_line
+from repro.service.ops import prof_diff_op, prof_record_op
+
+MIN_SECONDS = 0.5  # long enough for dozens of samples at the default hz
+
+
+def fail(message: str) -> int:
+    print(f"prof-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-prof-smoke-") as tmp:
+        store_path = str(Path(tmp) / "profiles.jsonl")
+        svg_path = str(Path(tmp) / "flame.svg")
+
+        for label in ("smoke-a", "smoke-b"):
+            result = prof_record_op(
+                store_path,
+                suite="fig",
+                n=50,
+                min_seconds=MIN_SECONDS,
+                svg=svg_path if label == "smoke-b" else None,
+                label=label,
+            )
+            if result.exit_code != 0:
+                return fail(f"prof record ({label}) exited {result.exit_code}")
+
+        store = ProfileStore(store_path)
+        profiles = store.load()
+        if len(profiles) != 2:
+            return fail(f"expected 2 stored profiles, found {len(profiles)}")
+        for profile in profiles:
+            if profile.samples <= 0:
+                return fail(f"profile {profile.profile_id} recorded no samples")
+            attributed = {
+                stage for stage in profile.stages if stage != UNATTRIBUTED_STAGE
+            }
+            if not attributed:
+                return fail(
+                    f"profile {profile.profile_id} attributed no pipeline stage"
+                )
+            # canonical JSONL round-trip
+            line = dump_line(profile.as_dict())
+            again = Profile.from_dict(parse_line(line))
+            if dump_line(again.as_dict()) != line:
+                return fail(f"profile {profile.profile_id} does not round-trip")
+
+        diff = prof_diff_op(
+            store_path, profiles[0].profile_id, profiles[1].profile_id
+        )
+        if diff.exit_code != 0:
+            return fail(f"prof diff exited {diff.exit_code}")
+        if "top regressed frame:" not in diff.stdout:
+            return fail("prof diff named no top regressed frame")
+
+        svg = Path(svg_path).read_text(encoding="utf-8")
+        if not svg.startswith("<svg") or profiles[1].profile_id not in svg:
+            return fail("flame-graph SVG is malformed or missing the profile id")
+        direct = flamegraph_svg(profiles[0])
+        if "<svg" not in direct or "</svg>" not in direct:
+            return fail("flamegraph_svg returned a malformed document")
+
+    print(
+        "prof-smoke: PASS: 2 profiles recorded "
+        f"({profiles[0].samples} + {profiles[1].samples} samples), "
+        "stages attributed, diff named a frame, SVG rendered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

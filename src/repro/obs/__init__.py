@@ -43,6 +43,11 @@ Two sibling subsystems build on this foundation:
   failures, final metrics snapshot, artifacts).
 * :mod:`repro.obs.dash` — ``repro dash``: the ledger plus the bench
   history rendered as one self-contained HTML dashboard.
+* :mod:`repro.obs.prof` — the continuous sampling profiler behind
+  ``repro prof record / top / diff`` and ``repro serve --profile-hz``:
+  a daemon thread samples every thread's stack, aggregates collapsed
+  stacks into schema-stamped profiles, attributes samples to pipeline
+  stages via the span seam, and renders inline SVG flame graphs.
 
 Live progress rides the same module-global seam as tracing: the
 pipeline calls :func:`emit_progress`, and an installed
@@ -81,6 +86,23 @@ from repro.obs.ledger import (
     diff_run_metrics,
     format_run_diff,
     record_run,
+)
+from repro.obs.prof import (
+    FrameDelta,
+    FrameStat,
+    Profile,
+    ProfileStore,
+    Profiler,
+    active_sampler,
+    busy_samples,
+    diff_profiles,
+    flamegraph_svg,
+    folded_lines,
+    format_profile_diff,
+    frame_stats,
+    profile_top_table,
+    start_sampler,
+    stop_sampler,
 )
 from repro.obs.regress import (
     BenchHistory,
@@ -141,10 +163,15 @@ __all__ = [
     "DETERMINISTIC_NAMESPACES",
     "Decision",
     "DecisionJournal",
+    "FrameDelta",
+    "FrameStat",
     "Gauge",
     "Histogram",
     "LogProgressSink",
     "MetricsRegistry",
+    "Profile",
+    "ProfileStore",
+    "Profiler",
     "ProgressEvent",
     "ProgressSink",
     "RecordingProgressSink",
@@ -160,17 +187,20 @@ __all__ = [
     "active_metrics",
     "active_progress_sinks",
     "active_recorder",
+    "active_sampler",
     "active_tracers",
     "add_progress_sink",
     "add_tracer",
     "build_dashboard",
     "build_live_dashboard",
+    "busy_samples",
     "check_run",
     "chrome_trace",
     "collect_run",
     "context_metrics",
     "context_tracers",
     "count",
+    "diff_profiles",
     "diff_run_metrics",
     "diff_runs",
     "disable_journal",
@@ -183,7 +213,11 @@ __all__ = [
     "explain_op",
     "explain_pair",
     "explain_summary",
+    "flamegraph_svg",
+    "folded_lines",
+    "format_profile_diff",
     "format_run_diff",
+    "frame_stats",
     "ingest_events",
     "journal_lines",
     "journal_scope",
@@ -192,6 +226,7 @@ __all__ = [
     "observe",
     "pair_span_bound",
     "percentile",
+    "profile_top_table",
     "progress_sink_for",
     "prometheus_text",
     "record_run",
@@ -200,6 +235,8 @@ __all__ = [
     "remove_tracer",
     "set_gauge",
     "span",
+    "start_sampler",
+    "stop_sampler",
     "tracer_scope",
     "walkthrough_timelines",
     "write_chrome_trace",

@@ -40,6 +40,7 @@ import time
 from typing import Any, Iterable, Sequence
 
 from repro.obs.ledger import RunRecord
+from repro.obs.prof import Profile, flamegraph_svg
 from repro.obs.regress import BenchRun, diff_runs
 
 __all__ = ["build_dashboard", "build_live_dashboard", "walkthrough_timelines"]
@@ -479,11 +480,41 @@ def _walkthrough_section(timelines: dict[str, str] | None) -> str:
     return "".join(parts)
 
 
+def _profile_section(profiles: Sequence[Profile]) -> str:
+    """The latest recorded CPU profile as an inline flame graph, plus
+    its stage attribution; empty string when no profile was recorded."""
+    if not profiles:
+        return ""
+    latest = max(profiles, key=lambda p: p.timestamp)
+    stage_rows = "".join(
+        f'<tr><td>{_esc(stage)}</td><td class="mono">{count}</td>'
+        f'<td class="mono">{100.0 * count / max(latest.samples, 1):.1f}%</td></tr>'
+        for stage, count in sorted(
+            latest.stages.items(), key=lambda item: -item[1]
+        )
+    )
+    stage_table = (
+        '<table class="runs"><tr><th>stage</th><th>samples</th><th>share</th>'
+        "</tr>" + stage_rows + "</table>"
+        if stage_rows
+        else '<p class="empty">no stage attribution recorded</p>'
+    )
+    return (
+        "<h2>CPU profile (latest recorded)</h2>"
+        f'<p class="sub">profile <code>{_esc(latest.profile_id)}</code>'
+        f" &middot; suite {_esc(latest.suite or '-')}"
+        f" &middot; {latest.samples} sample(s) at {latest.hz:g} hz</p>"
+        f'<div class="chart">{flamegraph_svg(latest)}</div>'
+        "<h3>Stage attribution</h3>" + stage_table
+    )
+
+
 def build_dashboard(
     runs: Iterable[RunRecord],
     bench_runs: Iterable[BenchRun] = (),
     walkthrough: dict[str, str] | None = None,
     title: str = "repro dashboard",
+    profiles: Sequence[Profile] = (),
 ) -> str:
     """Render the dashboard; returns the complete HTML document."""
     runs = list(runs)
@@ -507,6 +538,7 @@ def build_dashboard(
 {_run_table(runs)}
 <h2>Run details</h2>
 {_run_details(runs) or '<p class="empty">no runs recorded</p>'}
+{_profile_section(profiles)}
 {_walkthrough_section(walkthrough)}
 <script>{_JS}</script>
 </body></html>
@@ -608,6 +640,17 @@ function render(s) {
   document.getElementById('flight-table').innerHTML = flightRows(s.flight);
 }
 
+async function pollFlame() {
+  try {
+    const response = await fetch(SOURCE + '/v1/profile?format=svg');
+    if (response.ok) {
+      document.getElementById('flame').innerHTML = await response.text();
+    }
+  } catch (err) {
+    /* profiling off or service unreachable: keep the static render */
+  }
+}
+
 async function poll() {
   const status = document.getElementById('live-status');
   try {
@@ -616,6 +659,7 @@ async function poll() {
     status.textContent = 'live \\u00b7 polling every ' +
       (REFRESH_MS / 1000) + 's';
     status.className = 'outcome ok';
+    pollFlame();
   } catch (err) {
     status.textContent = 'offline: ' + err;
     status.className = 'outcome notok';
@@ -679,6 +723,7 @@ def build_live_dashboard(
     source: str = "",
     refresh_s: float = 2.0,
     title: str = "repro live service",
+    profile_svg: str | None = None,
 ) -> str:
     """Render the live-service dashboard from one ``/v1/metrics`` snapshot.
 
@@ -739,6 +784,10 @@ polls <code>/v1/metrics</code> every {refresh_s:g}s when served live</p>
 <div id="coalesce-hist">{_live_hist_table(dists.get("service.batch.coalesce_window_occupancy"))}</div>
 <h2>Flight recorder (most recent requests)</h2>
 <div id="flight-table">{_live_flight_table(snapshot.get("flight"))}</div>
+<h2>CPU flame graph</h2>
+<div class="chart" id="flame">{profile_svg if profile_svg else
+    '<p class="empty">profiling off &mdash; start the service with '
+    '<code>repro serve --profile-hz 97</code> to light this up</p>'}</div>
 <script>{config}{_LIVE_JS}</script>
 </body></html>
 """

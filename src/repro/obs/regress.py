@@ -26,6 +26,7 @@ import hashlib
 import json
 import os
 import platform
+import statistics
 import subprocess
 import time
 from dataclasses import dataclass, field
@@ -147,6 +148,9 @@ class BenchRun:
     machine: dict[str, str]
     points: tuple[BenchPoint, ...]
     wall_s: float
+    #: How many timed repeats ``wall_s`` is the median of (v10; 1 for
+    #: records written before the median gate existed).
+    wall_repeats: int = 1
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -161,6 +165,7 @@ class BenchRun:
             "machine": self.machine,
             "points": [p.as_dict() for p in self.points],
             "wall_s": self.wall_s,
+            "wall_repeats": self.wall_repeats,
         }
 
     @classmethod
@@ -175,6 +180,7 @@ class BenchRun:
             machine=dict(data["machine"]),
             points=tuple(BenchPoint.from_dict(p) for p in data["points"]),
             wall_s=data["wall_s"],
+            wall_repeats=int(data.get("wall_repeats", 1)),
         )
 
     def summary(self) -> str:
@@ -200,30 +206,11 @@ def _spans(evaluation) -> tuple[tuple[int, ...], tuple[int, ...]]:
     )
 
 
-def collect_run(
-    suite: str = "fig",
-    n: int = 100,
-    options=None,
-    now: float | None = None,
-) -> BenchRun:
-    """Run one suite and package the results as a :class:`BenchRun`.
-
-    ``"fig"`` evaluates the paper's Fig. 1(a) walkthrough loop on the
-    Fig. 4 machine (fast; the CI smoke gate).  ``"perfect"`` evaluates
-    the five Perfect-club corpora on the four Section 4 machines — the
-    Table 2 grid, one point per cell.  ``"batch"`` answers the same grid
-    through the vectorized :class:`~repro.perf.batch.BatchEvaluator` —
-    its points carry the same names and must carry the same values as
-    ``"perfect"``'s, so the history doubles as a cross-engine gate.
-    """
-    from repro.options import EvalOptions
+def _suite_points(suite: str, n: int, options) -> list[BenchPoint]:
+    """One timed execution of a suite, as its benchmark points."""
     from repro.pipeline import compile_loop, evaluate_corpus, evaluate_loop
     from repro.sched import figure4_machine, paper_machine
 
-    if suite not in _SUITES:
-        raise ValueError(f"unknown suite {suite!r}; use one of {_SUITES}")
-    options = options if options is not None else EvalOptions()
-    started = time.perf_counter()
     points: list[BenchPoint] = []
     if suite == "fig":
         compiled = compile_loop(_FIG1A_SOURCE, options)
@@ -274,7 +261,49 @@ def collect_run(
                     ),
                 )
             )
-    wall = time.perf_counter() - started
+    return points
+
+
+def collect_run(
+    suite: str = "fig",
+    n: int = 100,
+    options=None,
+    now: float | None = None,
+    repeats: int = 1,
+) -> BenchRun:
+    """Run one suite and package the results as a :class:`BenchRun`.
+
+    ``"fig"`` evaluates the paper's Fig. 1(a) walkthrough loop on the
+    Fig. 4 machine (fast; the CI smoke gate).  ``"perfect"`` evaluates
+    the five Perfect-club corpora on the four Section 4 machines — the
+    Table 2 grid, one point per cell.  ``"batch"`` answers the same grid
+    through the vectorized :class:`~repro.perf.batch.BatchEvaluator` —
+    its points carry the same names and must carry the same values as
+    ``"perfect"``'s, so the history doubles as a cross-engine gate.
+
+    ``repeats`` times the suite that many times and records the **median**
+    wall clock (``wall_s``; ``wall_repeats`` says how many) — the
+    wall-clock gate in :func:`check_run` is noise-sensitive, and a median
+    of 3 cuts one-off scheduler hiccups out of CI.  The points always
+    come from the first execution (they are cycle-exact and identical
+    across repeats by construction).
+    """
+    from repro.options import EvalOptions
+
+    if suite not in _SUITES:
+        raise ValueError(f"unknown suite {suite!r}; use one of {_SUITES}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    options = options if options is not None else EvalOptions()
+    walls: list[float] = []
+    points: list[BenchPoint] = []
+    for repeat in range(repeats):
+        started = time.perf_counter()
+        result = _suite_points(suite, n, options)
+        walls.append(time.perf_counter() - started)
+        if repeat == 0:
+            points = result
+    wall = statistics.median(walls)
     timestamp = time.time() if now is None else now
     payload = {
         "suite": suite,
@@ -292,6 +321,7 @@ def collect_run(
         machine=machine_fingerprint(),
         points=tuple(points),
         wall_s=wall,
+        wall_repeats=repeats,
     )
 
 

@@ -67,6 +67,12 @@ from repro.obs.trace import (
 from repro.options import EvalOptions, observation_scope
 from repro.perf.cache import CacheStats, CompileCache
 from repro.robust.harden import FailureRecord, RobustPolicy, retry_delay
+from repro.obs.prof import (
+    Profile,
+    Profiler,
+    active_sampler,
+    reset_after_fork,
+)
 from repro.perf.profile import (
     StageProfiler,
     active_profiler,
@@ -135,10 +141,13 @@ CorpusJob = "tuple[str, list[Loop], MachineConfig]"
 # (program source or Program, machine) — one evaluate_program call.
 ProgramJob = "tuple[object, MachineConfig]"
 
-# (profile, metrics, trace): which collectors a worker should run for the
-# parent.  All-off in the serial path, where the parent's own collectors
-# see the events directly.
-_COLLECT_NONE = (False, False, False)
+# (profile, metrics, trace, sample_hz): which collectors a worker should
+# run for the parent.  All-off in the serial path, where the parent's own
+# collectors see the events directly.  ``sample_hz`` > 0 arms a
+# worker-side sampling :class:`~repro.obs.prof.Profiler` whose folded
+# stacks merge into the parent's sampler (non-deterministic counts, like
+# ``robust.*`` — see docs/observability.md, "Continuous profiling").
+_COLLECT_NONE = (False, False, False, 0.0)
 
 
 def chunked(items: Sequence, size: int) -> list[list]:
@@ -209,43 +218,56 @@ def _quiet_observation():
             enable_metrics(registry)
 
 
-def _worker_collectors(collect: tuple[bool, bool, bool]):
+def _worker_collectors(collect: tuple[bool, bool, bool, float]):
     """Enable fresh per-worker collectors per the parent's request."""
-    collect_profile, collect_metrics, collect_trace = collect
+    collect_profile, collect_metrics, collect_trace, sample_hz = collect
     profiler = enable_profiling() if collect_profile else None
     registry = enable_metrics() if collect_metrics else None
     tracer = RecordingTracer() if collect_trace else None
     if tracer is not None:
         add_tracer(tracer)
-    return profiler, registry, tracer
+    sampler = None
+    if sample_hz > 0:
+        # Fork start method: the parent's sampler object was inherited but
+        # its daemon thread was not — detach it and arm a fresh one.
+        reset_after_fork()
+        sampler = Profiler(sample_hz)
+        add_tracer(sampler)
+        sampler.start_sampling()
+    return profiler, registry, tracer, sampler
 
 
-def _worker_teardown(collect, profiler, registry, tracer) -> None:
+def _worker_teardown(collect, profiler, registry, tracer, sampler) -> Profile | None:
     if collect[0]:
         disable_profiling()
     if collect[1]:
         disable_metrics()
     if tracer is not None:
         remove_tracer(tracer)
+    if sampler is None:
+        return None
+    remove_tracer(sampler)
+    return sampler.stop_sampling()
 
 
 def _run_corpus_chunk(
     chunk: list,
     n: int | None,
     options: EvalOptions,
-    collect: tuple[bool, bool, bool] = _COLLECT_NONE,
+    collect: tuple[bool, bool, bool, float] = _COLLECT_NONE,
 ) -> tuple[
     list,
     StageProfiler | None,
     MetricsRegistry | None,
     list[TraceEvent] | None,
+    Profile | None,
     tuple[int, CacheStats],
 ]:
     from repro.pipeline import evaluate_corpus
 
     if _worker_fault_hook is not None:
         _worker_fault_hook(chunk)
-    profiler, registry, tracer = _worker_collectors(collect)
+    profiler, registry, tracer, sampler = _worker_collectors(collect)
     cache = _worker_cache()
     before = dataclasses.replace(cache.stats)
     try:
@@ -255,28 +277,30 @@ def _run_corpus_chunk(
             for name, loops, machine in chunk
         ]
     finally:
-        _worker_teardown(collect, profiler, registry, tracer)
+        samples = _worker_teardown(collect, profiler, registry, tracer, sampler)
     cache_info = (os.getpid(), _cache_delta(before, cache.stats))
-    return results, profiler, registry, tracer.events if tracer else None, cache_info
+    events = tracer.events if tracer else None
+    return results, profiler, registry, events, samples, cache_info
 
 
 def _run_program_chunk(
     chunk: list,
     n: int | None,
     options: EvalOptions,
-    collect: tuple[bool, bool, bool] = _COLLECT_NONE,
+    collect: tuple[bool, bool, bool, float] = _COLLECT_NONE,
 ) -> tuple[
     list,
     StageProfiler | None,
     MetricsRegistry | None,
     list[TraceEvent] | None,
+    Profile | None,
     tuple[int, CacheStats],
 ]:
     from repro.pipeline import evaluate_program
 
     if _worker_fault_hook is not None:
         _worker_fault_hook(chunk)
-    profiler, registry, tracer = _worker_collectors(collect)
+    profiler, registry, tracer, sampler = _worker_collectors(collect)
     cache = _worker_cache()
     before = dataclasses.replace(cache.stats)
     try:
@@ -286,9 +310,10 @@ def _run_program_chunk(
             for program, machine in chunk
         ]
     finally:
-        _worker_teardown(collect, profiler, registry, tracer)
+        samples = _worker_teardown(collect, profiler, registry, tracer, sampler)
     cache_info = (os.getpid(), _cache_delta(before, cache.stats))
-    return results, profiler, registry, tracer.events if tracer else None, cache_info
+    events = tracer.events if tracer else None
+    return results, profiler, registry, events, samples, cache_info
 
 
 def _failed_corpus_job(job, index: int, error: BaseException):
@@ -733,7 +758,7 @@ class ParallelEvaluator:
             )
         # In-process: collectors landed on the parent directly, so there is
         # nothing to merge (same shape as a pooled chunk result).
-        return (results, None, None, None, None)
+        return (results, None, None, None, None, None)
 
     def _absorb_cache_info(self, cache_info) -> None:
         """Fold one chunk's worker cache delta into this run's total."""
@@ -748,7 +773,9 @@ class ParallelEvaluator:
 
     def _serial_run(self, worker, jobs, n, options) -> list:
         """In-process execution of the whole run (the serial fallback)."""
-        results, _profiler, _metrics, _events, cache_info = worker(jobs, n, options)
+        results, _profiler, _metrics, _events, _samples, cache_info = worker(
+            jobs, n, options
+        )
         self._absorb_cache_info(cache_info)
         return results
 
@@ -809,10 +836,12 @@ class ParallelEvaluator:
             chunks = chunked(jobs, self._resolve_chunk_size(len(jobs)))
             profiler = active_profiler()
             registry = active_metrics()
+            sampler = active_sampler()
             collect = (
                 profiler is not None,
                 registry is not None,
                 any(isinstance(t, RecordingTracer) for t in active_tracers()),
+                sampler.hz if sampler is not None else 0.0,
             )
             owns_pool = self.pool is None
             try:
@@ -865,7 +894,14 @@ class ParallelEvaluator:
                 min_pool_work,
             )
             results = []
-            for chunk_results, worker_profiler, worker_metrics, worker_events, cache_info in per_chunk:
+            for (
+                chunk_results,
+                worker_profiler,
+                worker_metrics,
+                worker_events,
+                worker_samples,
+                cache_info,
+            ) in per_chunk:
                 results.extend(chunk_results)
                 if profiler is not None and worker_profiler is not None:
                     profiler.merge(worker_profiler)
@@ -873,6 +909,8 @@ class ParallelEvaluator:
                     registry.merge(worker_metrics)
                 if worker_events:
                     ingest_events(worker_events)
+                if sampler is not None and worker_samples is not None:
+                    sampler.merge_profile(worker_samples)
                 self._absorb_cache_info(cache_info)
             return results
 

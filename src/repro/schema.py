@@ -77,6 +77,17 @@ Version history — the documented contract lives in ``docs/api.md``:
   ``command: "service breaker"`` run records and drive the
   ``service.breaker.state`` gauge on ``GET /v1/metrics``.  Additive
   throughout: v8 consumers keep working.
+* **v10** — continuous CPU profiling (see ``docs/observability.md``,
+  "Continuous profiling"): the ``profile`` record kind of
+  :mod:`repro.obs.prof` (collapsed sample stacks with per-stage
+  attribution, appended to ``.repro/profiles.jsonl`` and served by
+  ``GET /v1/profile``); ``bench_run`` records gain ``wall_repeats``
+  (how many timed repeats the recorded wall clock is the median of);
+  service flight-recorder traces and ``GET /v1/metrics`` may carry
+  per-op CPU sample counters (``cpu_samples`` /
+  ``service.cpu.samples.<op>``) when profiling is armed.  Additive
+  throughout: v9 consumers keep working; v9 cache files are rejected
+  and recompiled, as every bump does by construction.
 """
 
 from __future__ import annotations
@@ -85,7 +96,7 @@ import json
 from typing import Any
 
 #: Record format version; bump when any record's shape changes (docs/api.md).
-SCHEMA_VERSION = 9
+SCHEMA_VERSION = 10
 
 #: Every ``kind`` that may appear as a top-level JSONL line.  Nested
 #: records (``schedule``/``evaluation``/``corpus`` report blocks) are
@@ -94,7 +105,8 @@ SCHEMA_VERSION = 9
 #: response bodies and ndjson stream lines (:mod:`repro.service.server`);
 #: ``access`` is its per-request access-log line (``--access-log``).
 JSONL_KINDS = (
-    "span", "metrics", "progress", "bench_run", "run", "result", "error", "access",
+    "span", "metrics", "progress", "bench_run", "run", "result", "error",
+    "access", "profile",
 )
 
 __all__ = [

@@ -66,6 +66,9 @@ __all__ = [
     "metrics_op",
     "modulo_op",
     "op_epilog",
+    "prof_diff_op",
+    "prof_record_op",
+    "prof_top_op",
     "read_source",
     "runs_diff_op",
     "runs_list_op",
@@ -630,13 +633,29 @@ def bench_diff_op(history: str, run_a: str, run_b: str) -> OpResult:
     return b.result(exit_code=1 if diff.cycle_drift else 0)
 
 
+#: Timed repeats per suite in ``repro bench check`` — the wall gate takes
+#: the median, so one scheduler hiccup on a loaded CI host is not a
+#: regression (the repeat count lands on the candidate's bench record).
+DEFAULT_CHECK_REPEATS = 3
+
+
 def bench_check_op(
     history: str,
     suite: str = "all",
     baseline: str | None = None,
     wall_tolerance: float | None = None,
+    repeats: int = DEFAULT_CHECK_REPEATS,
+    profiles: str | None = None,
 ) -> OpResult:
-    """Re-run bench suites and fail on drift vs the recorded baseline."""
+    """Re-run bench suites and fail on drift vs the recorded baseline.
+
+    The candidate's wall clock is the **median of** ``repeats`` timed
+    executions.  When the wall-clock gate trips, the regressed suite is
+    re-run once more under the sampling profiler and diffed against the
+    most recent profile recorded for that suite (``profiles`` store, see
+    ``repro prof``), so the report names the regressed frame, not just
+    the regressed second.
+    """
     from repro.obs.regress import (
         DEFAULT_WALL_TOLERANCE,
         BenchHistory,
@@ -660,7 +679,7 @@ def bench_check_op(
             )
             failed = True
             continue
-        candidate = collect_run(name, n=base.n)
+        candidate = collect_run(name, n=base.n, repeats=repeats)
         violations = check_run(base, candidate, wall_tolerance=wall_tolerance)
         checked += 1
         if violations:
@@ -668,12 +687,193 @@ def bench_check_op(
             b.out(f"{name}: REGRESSION vs baseline {base.run_id}:")
             for violation in violations:
                 b.out(f"  {violation}")
+            if any(v.startswith("wall-clock regressed") for v in violations):
+                b.out(
+                    f"  profile attribution (median of {repeats} repeat(s) "
+                    "regressed; re-running under the sampler):"
+                )
+                for line in _bench_wall_attribution(name, base.n, profiles):
+                    b.out(f"    {line}")
         else:
             b.out(
                 f"{name}: OK — {len(candidate.points)} point(s) match baseline "
                 f"{base.run_id} exactly"
             )
     return b.result(exit_code=1 if failed or checked == 0 else 0)
+
+
+def _profile_suite(
+    suite: str,
+    n: int,
+    hz: float,
+    min_seconds: float,
+    label: str = "",
+) -> tuple["Any", int]:
+    """Run a bench suite under a local sampling profiler.
+
+    Loops the suite until ``min_seconds`` of wall clock have accrued so
+    even a millisecond-fast suite yields a meaningful sample count.
+    Returns ``(profile, rounds)``.
+    """
+    from repro.obs.prof import Profiler
+    from repro.obs.regress import _suite_points
+    from repro.obs.trace import add_tracer, remove_tracer
+    from repro.options import EvalOptions
+
+    options = EvalOptions()
+    profiler = Profiler(hz)
+    add_tracer(profiler)  # stage attribution via the span seam
+    profiler.start_sampling()
+    rounds = 0
+    started = time.perf_counter()
+    try:
+        # Loop the suite body itself (not collect_run, whose per-call git
+        # fingerprint subprocess would drown a fast suite in spawn frames).
+        while True:
+            _suite_points(suite, n, options)
+            rounds += 1
+            if time.perf_counter() - started >= min_seconds:
+                break
+    finally:
+        remove_tracer(profiler)
+        profiler.stop_sampling()
+    return profiler.snapshot(label=label, suite=suite), rounds
+
+
+def _bench_wall_attribution(
+    suite: str, n: int, profiles: str | None
+) -> list[str]:
+    """Differential-profile lines for one wall-regressed suite.
+
+    Profiles a fresh run, appends it to the profile store, and diffs it
+    against the store's previous profile for the suite.  Attribution is
+    best-effort: a sampling failure reports itself instead of masking
+    the wall-clock violation it annotates.
+    """
+    from repro.obs.prof import (
+        DEFAULT_HZ,
+        DEFAULT_PROFILES,
+        ProfileStore,
+        format_profile_diff,
+        frame_stats,
+    )
+
+    try:
+        store = ProfileStore(profiles or DEFAULT_PROFILES)
+        previous = store.latest(suite)
+        profile, _rounds = _profile_suite(
+            suite, n, hz=DEFAULT_HZ, min_seconds=1.0, label="bench-check"
+        )
+        store.append(profile)
+        if previous is None:
+            lines = [
+                f"no earlier profile for suite {suite!r} in {store.path}; "
+                "hottest frames of the regressed run:"
+            ]
+            stats = sorted(
+                frame_stats(profile).values(),
+                key=lambda s: (-s.self_samples, s.name),
+            )[:5]
+            total = max(profile.samples, 1)
+            lines.extend(
+                f"{stat.name}: {stat.self_samples} self sample(s) "
+                f"({100.0 * stat.self_samples / total:.1f}%)"
+                for stat in stats
+            )
+        else:
+            lines = format_profile_diff(previous, profile, limit=5)
+        lines.append(f"recorded profile {profile.profile_id} in {store.path}")
+        return lines
+    except Exception as err:  # noqa: BLE001 — annotate, never mask
+        return [f"profile attribution unavailable: {type(err).__name__}: {err}"]
+
+
+def prof_record_op(
+    profiles: str,
+    suite: str = "fig",
+    n: int = 100,
+    hz: float | None = None,
+    min_seconds: float = 1.0,
+    svg: str | None = None,
+    label: str = "",
+) -> OpResult:
+    """``repro prof record``: profile a bench suite, append the record."""
+    from repro.obs.ledger import active_recorder
+    from repro.obs.prof import (
+        DEFAULT_HZ,
+        ProfileStore,
+        flamegraph_svg,
+        profile_top_table,
+    )
+
+    b = _Buffers()
+    store = ProfileStore(profiles)
+    profile, rounds = _profile_suite(
+        suite, n, hz=hz or DEFAULT_HZ, min_seconds=min_seconds, label=label
+    )
+    store.append(profile)
+    b.out(
+        f"recorded profile {profile.profile_id} suite={suite} "
+        f"samples={profile.samples} rounds={rounds} "
+        f"wall={profile.duration_s:.2f}s hz={profile.hz:g}"
+    )
+    b.out(profile_top_table(profile, limit=5))
+    run_recorder = active_recorder()
+    if run_recorder is not None:
+        run_recorder.add_artifact(store.path)
+    if svg:
+        with open(svg, "w", encoding="utf-8") as handle:
+            handle.write(flamegraph_svg(profile))
+        b.err(f"wrote flame graph to {svg}")
+        if run_recorder is not None:
+            run_recorder.add_artifact(svg)
+    b.err(f"profiles: {store.path}")
+    return b.result(data=profile.as_dict())
+
+
+def prof_top_op(
+    profiles: str, profile_id: str | None = None, limit: int = 15
+) -> OpResult:
+    """``repro prof top``: hottest frames of one recorded profile."""
+    from repro.obs.prof import ProfileStore, profile_top_table
+
+    b = _Buffers()
+    store = ProfileStore(profiles)
+    try:
+        if profile_id is None:
+            profile = store.latest()
+            if profile is None:
+                raise KeyError(
+                    f"no profiles recorded in {store.path} "
+                    "(run `repro prof record` first)"
+                )
+        else:
+            profile = store.get(profile_id)
+    except KeyError as err:
+        b.err(str(err.args[0]) if err.args else str(err))
+        return b.result(exit_code=1)
+    b.out(profile_top_table(profile, limit=limit))
+    return b.result()
+
+
+def prof_diff_op(
+    profiles: str, profile_a: str, profile_b: str, limit: int = 10
+) -> OpResult:
+    """``repro prof diff``: per-frame deltas between two profiles,
+    naming the top regressed frames."""
+    from repro.obs.prof import ProfileStore, format_profile_diff
+
+    b = _Buffers()
+    store = ProfileStore(profiles)
+    try:
+        old = store.get(profile_a)
+        new = store.get(profile_b)
+    except KeyError as err:
+        b.err(str(err.args[0]) if err.args else str(err))
+        return b.result(exit_code=1)
+    for line in format_profile_diff(old, new, limit=limit):
+        b.out(line)
+    return b.result()
 
 
 def dot_op(source: str, title: str | None = None) -> OpResult:
@@ -765,6 +965,7 @@ def dash_op(
     ledger: str | None = None,
     live: str | None = None,
     refresh: float = 2.0,
+    profiles: str | None = None,
 ) -> OpResult:
     """Build the self-contained HTML dashboard.
 
@@ -772,8 +973,14 @@ def dash_op(
     snapshot of a running service instead of the ledger/history stores,
     and carries a polling script that repaints itself every ``refresh``
     seconds (stat tiles, latency sparkline, flight-recorder table).
+
+    Either way the dashboard embeds a CPU flame graph when one is
+    available: the latest record of the ``profiles`` store (static), or
+    a ``GET /v1/profile?format=svg`` snapshot when the live service has
+    profiling armed.
     """
     from repro.obs.ledger import DEFAULT_LEDGER, RunLedger, active_recorder
+    from repro.obs.prof import DEFAULT_PROFILES, ProfileStore
     from repro.obs.regress import DEFAULT_HISTORY, BenchHistory
 
     b = _Buffers()
@@ -781,7 +988,13 @@ def dash_op(
         from repro.obs.dash import build_live_dashboard
 
         snapshot = _service_snapshot(live, "/v1/metrics")
-        html = build_live_dashboard(snapshot, source=live, refresh_s=refresh)
+        try:
+            profile_svg = _service_text(live, "/v1/profile?format=svg")
+        except (OSError, RuntimeError, ValueError):
+            profile_svg = None  # profiling off: the section says so
+        html = build_live_dashboard(
+            snapshot, source=live, refresh_s=refresh, profile_svg=profile_svg
+        )
         detail = (
             f"live dashboard ({snapshot.get('latency', {}).get('count', 0)} "
             f"workload request(s) observed at {live})"
@@ -793,8 +1006,13 @@ def dash_op(
         bench_runs = BenchHistory(
             history if history is not None else DEFAULT_HISTORY
         ).load()
+        profile_records = ProfileStore(
+            profiles if profiles is not None else DEFAULT_PROFILES
+        ).load()
         walkthrough = None if no_walkthrough else walkthrough_timelines()
-        html = build_dashboard(runs, bench_runs, walkthrough=walkthrough)
+        html = build_dashboard(
+            runs, bench_runs, walkthrough=walkthrough, profiles=profile_records
+        )
         detail = (
             f"dashboard ({len(runs)} ledger run(s), {len(bench_runs)} bench "
             "run(s))"
@@ -806,6 +1024,27 @@ def dash_op(
         run_recorder.add_artifact(out)
     b.err(f"wrote {detail} to {out}")
     return b.result()
+
+
+def _service_text(url: str, path: str) -> str:
+    """One GET against a running service, returned as raw text (the SVG
+    flame graph of ``/v1/profile?format=svg``).  Raises on non-200."""
+    from http.client import HTTPConnection
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    connection = HTTPConnection(
+        parts.hostname or "127.0.0.1", parts.port or 8757, timeout=10
+    )
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        body = response.read().decode("utf-8")
+    finally:
+        connection.close()
+    if response.status != 200:
+        raise RuntimeError(f"GET {url}{path} returned {response.status}")
+    return body
 
 
 def _service_snapshot(url: str, path: str) -> dict[str, Any]:
@@ -842,16 +1081,46 @@ def top_op(url: str, interval: float = 2.0, count: int = 0) -> OpResult:
     """
     import sys
 
+    from repro.obs.prof import busy_samples
+
     stream = sys.stderr
     is_tty = getattr(stream, "isatty", lambda: False)()
     polls = 0
+    # CPU% comes from GET /v1/profile when the server has profiling
+    # armed (`repro serve --profile-hz N`): the *busy* sample-count
+    # delta between two polls divided by hz x elapsed.  The sampler is
+    # wall-clock — it sees parked handler threads too — so samples whose
+    # leaf is a blocking primitive (IDLE_LEAVES) are excluded here; an
+    # idle service reads ~0%, not thread-count x 100%.  A dash when
+    # profiling is off, unreachable, or on the first poll (no delta).
+    prev_cpu: tuple[int, float] | None = None
     try:
         while True:
+            cpu = "-"
             try:
                 snapshot = _service_snapshot(url, "/v1/metrics")
             except (OSError, RuntimeError, ValueError) as err:
                 line = f"repro top: {url} unreachable ({err})"
             else:
+                try:
+                    prof = _service_snapshot(url, "/v1/profile")
+                except (OSError, RuntimeError, ValueError):
+                    prev_cpu = None
+                else:
+                    record = prof.get("profile", {})
+                    folded = record.get("folded")
+                    samples = (
+                        busy_samples(folded)
+                        if folded is not None
+                        else record.get("samples", 0)
+                    )
+                    hz = prof.get("hz", 0) or 0
+                    now = time.monotonic()
+                    if prev_cpu is not None and hz > 0:
+                        delta_s, delta_t = samples - prev_cpu[0], now - prev_cpu[1]
+                        if delta_t > 0:
+                            cpu = f"{100.0 * delta_s / (hz * delta_t):.0f}%"
+                    prev_cpu = (samples, now)
                 counters = snapshot.get("metrics", {}).get("counters", {})
                 gauges = snapshot.get("metrics", {}).get("gauges", {})
                 latency = snapshot.get("latency", {})
@@ -871,7 +1140,8 @@ def top_op(url: str, interval: float = 2.0, count: int = 0) -> OpResult:
                     f"p99 {latency.get('p99', 0.0) * 1e3:.1f}ms · "
                     f"inflight {snapshot.get('inflight', 0)} · "
                     f"queue {gauges.get('service.queue.depth', {}).get('value', 0)} · "
-                    f"coalesce≤{occupancy.get('max', 0) or 0:g}"
+                    f"coalesce≤{occupancy.get('max', 0) or 0:g} · "
+                    f"cpu {cpu}"
                 )
             if is_tty:
                 stream.write("\r\x1b[2K" + line)
@@ -1184,9 +1454,95 @@ def _cfg_bench(sub, ledger_flag) -> None:
         default=DEFAULT_WALL_TOLERANCE,
         help="allowed relative wall-clock slowdown on the same machine",
     )
+    p_check.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_CHECK_REPEATS,
+        metavar="N",
+        help="timed repeats per suite; the wall gate takes the median "
+        f"(default: {DEFAULT_CHECK_REPEATS})",
+    )
+    p_check.add_argument(
+        "--profiles",
+        metavar="FILE",
+        default=None,
+        help="profile store for the differential attribution a tripped "
+        "wall gate records (default: .repro/profiles.jsonl)",
+    )
     _bench_common(p_check)
     ledger_flag(p_check)
     p_check.set_defaults(spec=OP_REGISTRY["bench"], bench_command="check")
+
+
+def _cfg_prof(sub, ledger_flag) -> None:
+    from repro.obs.prof import DEFAULT_HZ, DEFAULT_PROFILES
+
+    p = sub.add_parser(
+        "prof", help="record / compare sampled CPU profiles of bench suites"
+    )
+    prof_sub = p.add_subparsers(dest="prof_command", required=True)
+
+    def _prof_common(q) -> None:
+        q.add_argument(
+            "--profiles",
+            metavar="FILE",
+            default=DEFAULT_PROFILES,
+            help=f"JSONL profile store (default: {DEFAULT_PROFILES})",
+        )
+
+    p_record = prof_sub.add_parser(
+        "record", help="profile a bench suite and append to the store"
+    )
+    p_record.add_argument(
+        "--suite", choices=["fig", "perfect", "batch"], default="fig"
+    )
+    p_record.add_argument("--n", type=int, default=100)
+    p_record.add_argument(
+        "--hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help=f"sampling rate (default: {DEFAULT_HZ:g})",
+    )
+    p_record.add_argument(
+        "--min-seconds",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="loop the suite until this much wall clock accrued (default: 1.0)",
+    )
+    p_record.add_argument(
+        "--svg",
+        metavar="FILE",
+        default=None,
+        help="also write a self-contained SVG flame graph",
+    )
+    p_record.add_argument(
+        "--label", default="", help="free-form label on the profile record"
+    )
+    _prof_common(p_record)
+    ledger_flag(p_record)
+    p_record.set_defaults(spec=OP_REGISTRY["prof"], prof_command="record")
+
+    p_top = prof_sub.add_parser("top", help="hottest frames of one profile")
+    p_top.add_argument(
+        "profile_id",
+        nargs="?",
+        default=None,
+        help="profile id (prefix ok; default: latest recorded)",
+    )
+    p_top.add_argument("--limit", type=int, default=15)
+    _prof_common(p_top)
+    p_top.set_defaults(spec=OP_REGISTRY["prof"], prof_command="top")
+
+    p_diff = prof_sub.add_parser(
+        "diff", help="per-frame deltas between two profiles"
+    )
+    p_diff.add_argument("profile_a", help="old profile id (prefix ok)")
+    p_diff.add_argument("profile_b", help="new profile id (prefix ok)")
+    p_diff.add_argument("--limit", type=int, default=10)
+    _prof_common(p_diff)
+    p_diff.set_defaults(spec=OP_REGISTRY["prof"], prof_command="diff")
 
 
 def _cfg_dot(sub, ledger_flag) -> None:
@@ -1283,6 +1639,13 @@ def _cfg_dash(sub, ledger_flag) -> None:
         default=2.0,
         metavar="SECONDS",
         help="poll cadence of the live dashboard (default: 2.0)",
+    )
+    p.add_argument(
+        "--profiles",
+        metavar="FILE",
+        default=None,
+        help="profile store whose latest flame graph the dashboard embeds "
+        "(default: .repro/profiles.jsonl)",
     )
     p.set_defaults(spec=OP_REGISTRY["dash"])
 
@@ -1391,6 +1754,14 @@ def _cfg_serve(sub, ledger_flag) -> None:
         action="store_true",
         help="fsync the ledger on every append (crash-safe at the cost of "
         "a disk flush per record)",
+    )
+    p.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="arm the continuous sampling profiler at HZ samples/s and "
+        "serve GET /v1/profile (off by default; ~97 is a good rate)",
     )
     p.set_defaults(spec=OP_REGISTRY["serve"])
 
@@ -1566,7 +1937,26 @@ def _run_bench(args) -> OpResult:
         suite=args.suite,
         baseline=args.baseline,
         wall_tolerance=args.wall_tolerance,
+        repeats=args.repeats,
+        profiles=args.profiles,
     )
+
+
+def _run_prof(args) -> OpResult:
+    command = args.prof_command
+    if command == "record":
+        return prof_record_op(
+            args.profiles,
+            suite=args.suite,
+            n=args.n,
+            hz=args.hz,
+            min_seconds=args.min_seconds,
+            svg=args.svg,
+            label=args.label,
+        )
+    if command == "top":
+        return prof_top_op(args.profiles, args.profile_id, limit=args.limit)
+    return prof_diff_op(args.profiles, args.profile_a, args.profile_b, limit=args.limit)
 
 
 def _run_dot(args) -> OpResult:
@@ -1590,6 +1980,7 @@ def _run_dash(args) -> OpResult:
         ledger=args.ledger,
         live=args.live,
         refresh=args.refresh,
+        profiles=args.profiles,
     )
 
 
@@ -1611,6 +2002,7 @@ def _run_serve(args) -> OpResult:
         breaker_cooldown_s=args.breaker_cooldown,
         recover=args.recover,
         ledger_durable=args.ledger_durable,
+        profile_hz=args.profile_hz,
     )
 
 
@@ -1662,6 +2054,8 @@ _register(OpSpec("explain", "why is op X at cycle c / why is pair S's span k",
                  _cfg_explain, _run_explain, call=explain_op))
 _register(OpSpec("bench", "record / diff / check benchmark-regression history",
                  _cfg_bench, _run_bench))
+_register(OpSpec("prof", "record / compare sampled CPU profiles (flame graphs)",
+                 _cfg_prof, _run_prof))
 _register(OpSpec("dot", "emit the DFG as Graphviz DOT",
                  _cfg_dot, _run_dot, call=dot_op))
 _register(OpSpec("runs", "list / show / diff runs recorded in the ledger",

@@ -73,6 +73,13 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.ledger import DEFAULT_LEDGER, RunLedger, RunRecord, unfinished_inflight
 from repro.obs.metrics import MetricsRegistry, metrics_scope
+from repro.obs.prof import (
+    active_sampler,
+    flamegraph_svg,
+    folded_lines,
+    start_sampler,
+    stop_sampler,
+)
 from repro.obs.regress import git_sha, machine_fingerprint
 from repro.obs.trace import (
     ProgressSink,
@@ -597,9 +604,15 @@ class ReproService:
         policy: ServicePolicy | None = None,
         chaos: ChaosPlan | None = None,
         ledger_durable: bool = False,
+        profile_hz: float | None = None,
     ) -> None:
         self.engine = BatchEvaluator()
         self.telemetry = ServiceTelemetry(flight_capacity=flight_recorder)
+        # Continuous profiling (docs/observability.md): arm the process
+        # sampler for the service's lifetime.  The sampler rides the span
+        # seam for stage attribution and its worker-lane profiles merge in
+        # through ParallelEvaluator; GET /v1/profile serves snapshots.
+        self.profiler = start_sampler(profile_hz) if profile_hz else None
         self.access_log = AccessLog(access_log) if access_log else None
         self.policy = policy
         self.chaos = chaos if chaos else None  # an empty plan is no plan
@@ -677,6 +690,9 @@ class ReproService:
             self._serve_thread.join()
         if self.access_log is not None:
             self.access_log.close()
+        if self.profiler is not None and self.profiler is active_sampler():
+            stop_sampler()
+            self.profiler = None
 
     def _begin_request(self) -> None:
         with self._busy_cond:
@@ -1026,6 +1042,19 @@ class ReproService:
             },
         )
 
+    def profile_payload(self) -> dict[str, Any]:
+        """The ``GET /v1/profile`` JSON body: a live sampler snapshot
+        (the stamped ``profile`` record inside a ``result`` envelope)."""
+        assert self.profiler is not None
+        return service_result(
+            "profile",
+            {
+                "armed": True,
+                "hz": self.profiler.hz,
+                "profile": self.profiler.snapshot(label="service").as_dict(),
+            },
+        )
+
 
 class _Server(ThreadingHTTPServer):
     # Handler threads are joined on server_close so shutdown can prove
@@ -1052,6 +1081,7 @@ class _Handler(BaseHTTPRequestHandler):
     _options_hash: str | None = None
     _coalesced = 0
     _flight_spans: tuple = ()
+    _cpu_mark = 0
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # stderr stays quiet; --access-log writes structured JSONL
@@ -1094,6 +1124,10 @@ class _Handler(BaseHTTPRequestHandler):
         self._options_hash = None
         self._coalesced = 0
         self._flight_spans = ()
+        profiler = self.service.profiler
+        self._cpu_mark = (
+            profiler.thread_samples(threading.get_ident()) if profiler else 0
+        )
         self.service.telemetry.request_started()
         return time.perf_counter_ns()
 
@@ -1104,6 +1138,17 @@ class _Handler(BaseHTTPRequestHandler):
         wall_s = (time.perf_counter_ns() - started_ns) / 1e9
         op = self._op or "unrouted"
         workload = self.command == "POST" and self._op is not None
+        profiler = self.service.profiler
+        cpu_samples = 0
+        if profiler is not None:
+            # Samples landed on this handler thread while the request ran.
+            # Coalesced batch work executes on the batcher thread, so this
+            # is handler-side attribution — non-deterministic, like every
+            # service.* number.
+            cpu_samples = (
+                profiler.thread_samples(threading.get_ident()) - self._cpu_mark
+            )
+            self.service.telemetry.record_cpu(op, cpu_samples)
         self.service.telemetry.request_finished(
             op, self._status, wall_s, workload
         )
@@ -1148,6 +1193,7 @@ class _Handler(BaseHTTPRequestHandler):
                     options_hash=self._options_hash,
                     error=self._error,
                     spans=(root,) + nested,
+                    cpu_samples=cpu_samples,
                 )
             )
 
@@ -1321,6 +1367,39 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     200, service_result("trace", doc), cors=True
                 )
+        elif path == "/v1/profile":
+            self._op = "profile"
+            self.service.count("profile")
+            profiler = self.service.profiler
+            if profiler is None:
+                self._send_json(
+                    404,
+                    service_error(
+                        404,
+                        "profiling is not armed on this server",
+                        hint="start the server with repro serve --profile-hz N",
+                    ),
+                    cors=True,
+                )
+            else:
+                query = parse_qs(urlsplit(self.path).query)
+                fmt = query.get("format", ["json"])[0]
+                if fmt == "folded":
+                    profile = profiler.snapshot(label="service")
+                    self._send_text(
+                        200,
+                        "\n".join(folded_lines(profile)) + "\n",
+                        "text/plain; charset=utf-8",
+                    )
+                elif fmt == "svg":
+                    profile = profiler.snapshot(label="service")
+                    self._send_text(
+                        200,
+                        flamegraph_svg(profile, title="repro service CPU profile"),
+                        "image/svg+xml; charset=utf-8",
+                    )
+                else:
+                    self._send_json(200, self.service.profile_payload(), cors=True)
         elif path == "/v1/runs":
             self._op = "runs"
             self.service.count("runs")
@@ -1348,6 +1427,7 @@ class _Handler(BaseHTTPRequestHandler):
                     endpoints=[
                         "GET /v1/healthz",
                         "GET /v1/metrics",
+                        "GET /v1/profile?format=folded|svg",
                         "GET /v1/runs",
                         "GET /v1/trace/<request_id>",
                         "POST /v1/evaluate",
@@ -1563,6 +1643,7 @@ def serve_forever_op(
     breaker_cooldown_s: float | None = None,
     recover: bool = False,
     ledger_durable: bool = False,
+    profile_hz: float | None = None,
 ) -> OpResult:
     """``repro serve``: run the service in the foreground until SIGINT.
 
@@ -1615,6 +1696,7 @@ def serve_forever_op(
         flight_recorder=flight_recorder,
         policy=policy,
         ledger_durable=ledger_durable,
+        profile_hz=profile_hz,
     )
     if recover:
         lost = service.recover_inflight()
@@ -1647,6 +1729,13 @@ def serve_forever_op(
         file=sys.stderr,
         flush=True,
     )
+    if profile_hz:
+        print(
+            f"profiling armed at {profile_hz:g} hz "
+            "(GET /v1/profile?format=folded|svg)",
+            file=sys.stderr,
+            flush=True,
+        )
     try:
         threading.Event().wait()
     except KeyboardInterrupt:

@@ -81,6 +81,10 @@ class RequestTrace:
     options_hash: str | None = None
     error: str | None = None
     spans: tuple[dict[str, Any], ...] = ()
+    #: Profiler samples attributed to this request's handler thread
+    #: (v10; 0 unless ``repro serve --profile-hz`` armed the sampler —
+    #: links the trace to its slice of ``GET /v1/profile``).
+    cpu_samples: int = 0
 
     @property
     def failed(self) -> bool:
@@ -102,6 +106,7 @@ class RequestTrace:
                 "coalesced": self.coalesced,
                 "options_hash": self.options_hash,
                 "error": self.error,
+                "cpu_samples": self.cpu_samples,
                 "spans": [dict(span) for span in self.spans],
             },
         )
@@ -216,6 +221,19 @@ class ServiceTelemetry:
         """Count one submission abandoned past its deadline (504)."""
         with self._lock:
             self.registry.count("service.request.deadline")
+
+    def record_cpu(self, op: str, samples: int) -> None:
+        """Attribute profiler samples to one op (``--profile-hz`` only).
+
+        Sample counts are wall-clock draws and therefore non-deterministic
+        (like every ``service.*`` metric) — dashboards divide them by the
+        sampling rate for CPU seconds; never gate on them.
+        """
+        if samples <= 0:
+            return
+        with self._lock:
+            self.registry.count("service.cpu.samples", samples)
+            self.registry.count(f"service.cpu.samples.{op}", samples)
 
     def set_breaker_state(self, state: int) -> None:
         """Publish the circuit breaker state as a gauge

@@ -187,3 +187,39 @@ class TestLiveDashboard:
         html = build_live_dashboard({})
         assert html.startswith("<!DOCTYPE html>")
         assert 'id="t-requests">0<' in html
+
+
+class TestProfileSection:
+    def _profile(self, timestamp=1.0, **overrides):
+        from repro.obs.prof import Profile
+
+        base = dict(
+            timestamp=timestamp,
+            hz=97.0,
+            duration_s=2.0,
+            samples=42,
+            folded={"repro.sched:run;repro.sim:walk": 30, "repro.sched:run": 12},
+            stages={"schedule.list": 30, "(unattributed)": 12},
+        )
+        base.update(overrides)
+        return Profile(**base)
+
+    def test_static_dashboard_embeds_latest_flame_graph(self, bench_runs):
+        old = self._profile(timestamp=1.0, label="old")
+        new = self._profile(timestamp=2.0, label="new")
+        html = build_dashboard(
+            [], bench_runs, walkthrough=None, profiles=[old, new]
+        )
+        assert "<svg" in html and new.profile_id in html
+        assert "schedule.list" in html  # the stage table
+
+    def test_no_profiles_no_section(self, bench_runs):
+        html = build_dashboard([], bench_runs, walkthrough=None)
+        assert "CPU profile" not in html
+
+    def test_live_dashboard_flame_panel(self):
+        armed = build_live_dashboard(_snapshot(), profile_svg="<svg >x</svg>")
+        assert 'id="flame"' in armed and "<svg >x</svg>" in armed
+        assert "/v1/profile" in armed  # the poller repaints the panel
+        off = build_live_dashboard(_snapshot())
+        assert 'id="flame"' in off and "--profile-hz" in off

@@ -233,7 +233,9 @@ class TestHistogram:
         assert ab.summary()["count"] == 3
 
     def test_merge_rejects_mismatched_bounds(self):
-        with pytest.raises(ValueError, match="different bounds"):
+        # the message must name BOTH bounds tuples, so a fan-in bug is
+        # diagnosable from the error alone
+        with pytest.raises(ValueError, match=r"different bounds.*1\.0.*vs.*2\.0"):
             Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
 
     def test_needs_at_least_one_bound(self):

@@ -192,3 +192,29 @@ class TestCollectRun:
         assert tuple(suites("batch")) == ("batch",)
         with pytest.raises(ValueError, match="unknown suite"):
             list(suites("nope"))
+
+
+class TestWallRepeats:
+    def test_default_is_one_repeat(self):
+        run = collect_run("fig", n=100)
+        assert run.wall_repeats == 1
+
+    def test_repeats_recorded_and_points_identical(self):
+        run = collect_run("fig", n=100, repeats=3)
+        assert run.wall_repeats == 3
+        # repeats change only the wall measurement, never the points
+        assert run.points == collect_run("fig", n=100).points
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError, match="repeats"):
+            collect_run("fig", n=100, repeats=0)
+
+    def test_round_trips_and_defaults_for_old_records(self):
+        run = _run(wall_repeats=3)
+        record = run.as_dict()
+        assert record["wall_repeats"] == 3
+        assert BenchRun.from_dict(record) == run
+        # v9 records have no wall_repeats field: default to a single repeat
+        legacy = dict(_run().as_dict())
+        del legacy["wall_repeats"]
+        assert BenchRun.from_dict(legacy).wall_repeats == 1

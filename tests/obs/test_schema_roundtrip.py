@@ -131,6 +131,21 @@ def _access_record():
         return json.loads(handle.readline())
 
 
+def _profile_record():
+    from repro.obs.prof import Profile
+
+    return Profile(
+        timestamp=1700000000.0,
+        hz=97.0,
+        duration_s=1.5,
+        samples=42,
+        folded={"a:main;b:inner": 30, "a:main": 12},
+        stages={"schedule.list": 30, "(unattributed)": 12},
+        label="unit",
+        suite="fig",
+    ).as_dict()
+
+
 BUILDERS = {
     "span": _span_record,
     "metrics": _metrics_record,
@@ -140,6 +155,7 @@ BUILDERS = {
     "result": _result_record,
     "error": _error_record,
     "access": _access_record,
+    "profile": _profile_record,
 }
 
 

@@ -1,0 +1,262 @@
+"""The profiling surface: ``/v1/profile``, prof ops, gate attribution.
+
+Boots real servers (with and without ``profile_hz``) over actual
+sockets, runs the ``repro prof`` ops against scratch stores, and trips
+the ``repro bench check`` wall gate deterministically (a negative
+tolerance makes any candidate wall a violation) to pin the automatic
+differential-profile attribution.  Sample counts stay unasserted —
+they are wall-clock draws.
+"""
+
+import json
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+import repro.service.ops as ops_module
+from repro.obs.prof import ProfileStore, active_sampler
+from repro.obs.regress import collect_run
+from repro.schema import SCHEMA_VERSION
+from repro.service.ops import (
+    bench_check_op,
+    prof_diff_op,
+    prof_record_op,
+    prof_top_op,
+    top_op,
+)
+from repro.service.server import ReproService
+
+FIG1 = """
+DO I = 1, 100
+  S1: B(I) = A(I-2) + E(I+1)
+  S2: G(I-3) = A(I-1) * E(I+2)
+  S3: A(I) = B(I) + C(I+3)
+ENDDO
+"""
+
+
+def _get(service, path):
+    connection = HTTPConnection(service.host, service.port, timeout=60)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.getheader("Content-Type"), response.read()
+    finally:
+        connection.close()
+
+
+def _post_evaluate(service, name="prof-loop"):
+    connection = HTTPConnection(service.host, service.port, timeout=60)
+    try:
+        body = json.dumps(
+            {
+                "source": FIG1,
+                "machine": {"issue": 4, "fu": 1},
+                "n": 50,
+                "name": name,
+            }
+        )
+        connection.request("POST", "/v1/evaluate", body=body)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+class TestProfileEndpoint:
+    def test_404_with_hint_when_profiling_off(self, tmp_path):
+        with ReproService(port=0, ledger=str(tmp_path / "l.jsonl")) as service:
+            status, _ctype, payload = _get(service, "/v1/profile")
+            assert status == 404
+            body = json.loads(payload)
+            assert "--profile-hz" in body["hint"]
+
+    def test_armed_server_serves_json_folded_and_svg(self, tmp_path):
+        with ReproService(
+            port=0, ledger=str(tmp_path / "l.jsonl"), profile_hz=200.0
+        ) as service:
+            assert active_sampler() is service.profiler
+            status, body = _post_evaluate(service)
+            assert status == 200
+
+            status, _ctype, payload = _get(service, "/v1/profile")
+            assert status == 200
+            record = json.loads(payload)
+            assert record["schema_version"] == SCHEMA_VERSION
+            assert record["armed"] is True
+            assert record["hz"] == 200.0
+            assert record["profile"]["kind"] == "profile"
+
+            status, ctype, payload = _get(service, "/v1/profile?format=folded")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+
+            status, ctype, payload = _get(service, "/v1/profile?format=svg")
+            assert status == 200
+            assert ctype.startswith("image/svg+xml")
+            assert payload.startswith(b"<svg")
+        # shutdown disarms the global slot
+        assert active_sampler() is None
+
+    def test_request_traces_carry_cpu_sample_field(self, tmp_path):
+        with ReproService(
+            port=0, ledger=str(tmp_path / "l.jsonl"), profile_hz=200.0
+        ) as service:
+            status, body = _post_evaluate(service, "cpu-trace")
+            assert status == 200
+            # telemetry lands after the response flush, so poll bounded
+            # for the flight-recorder entry instead of racing it
+            deadline = time.monotonic() + 5.0
+            while True:
+                status, _ctype, payload = _get(
+                    service, f"/v1/trace/{body['request_id']}"
+                )
+                if status == 200 or time.monotonic() >= deadline:
+                    break
+                time.sleep(0.02)
+            assert status == 200
+            trace = json.loads(payload)
+            # field present and non-negative; the count itself is wall-clock
+            assert trace["cpu_samples"] >= 0
+
+
+class TestProfOps:
+    def test_record_top_diff_round_trip(self, tmp_path):
+        store_path = str(tmp_path / "profiles.jsonl")
+        svg_path = str(tmp_path / "flame.svg")
+        for _ in range(2):
+            result = prof_record_op(
+                store_path, suite="fig", n=50, min_seconds=0.2, svg=svg_path
+            )
+            assert result.exit_code == 0
+            assert "recorded profile" in result.stdout
+        profiles = ProfileStore(store_path).load()
+        assert len(profiles) == 2
+        assert all(p.samples > 0 for p in profiles)
+
+        top = prof_top_op(store_path)
+        assert top.exit_code == 0
+        assert profiles[-1].profile_id in top.stdout
+
+        diff = prof_diff_op(
+            store_path, profiles[0].profile_id, profiles[1].profile_id
+        )
+        assert diff.exit_code == 0
+        assert "top regressed frame:" in diff.stdout
+
+    def test_top_and_diff_reject_unknown_ids(self, tmp_path):
+        store_path = str(tmp_path / "empty.jsonl")
+        assert prof_top_op(store_path).exit_code == 1
+        assert prof_diff_op(store_path, "aaaa", "bbbb").exit_code == 1
+
+    def test_record_leaves_the_global_sampler_alone(self, tmp_path):
+        # CLI profiling must not clobber a service's armed sampler.
+        assert active_sampler() is None
+        prof_record_op(str(tmp_path / "p.jsonl"), suite="fig", min_seconds=0.1)
+        assert active_sampler() is None
+
+
+class TestBenchCheckAttribution:
+    def test_tripped_wall_gate_names_a_frame(self, tmp_path):
+        from repro.obs.regress import BenchHistory
+
+        history = str(tmp_path / "hist.jsonl")
+        BenchHistory(history).append(collect_run("fig", n=50))
+        # A negative tolerance makes any candidate wall a violation, so
+        # the attribution path runs deterministically.
+        result = bench_check_op(
+            history,
+            suite="fig",
+            wall_tolerance=-0.99,
+            repeats=2,
+            profiles=str(tmp_path / "profiles.jsonl"),
+        )
+        assert result.exit_code == 1
+        assert "wall-clock regressed" in result.stdout
+        assert "profile attribution" in result.stdout
+        assert "median of 2 repeat(s)" in result.stdout
+        # first trip: no earlier profile, so the hottest frames are listed
+        assert "hottest frames of the regressed run" in result.stdout
+        assert "recorded profile" in result.stdout
+        assert len(ProfileStore(str(tmp_path / "profiles.jsonl")).load()) == 1
+
+        # second trip: the stored profile becomes the diff base
+        again = bench_check_op(
+            history,
+            suite="fig",
+            wall_tolerance=-0.99,
+            repeats=1,
+            profiles=str(tmp_path / "profiles.jsonl"),
+        )
+        assert again.exit_code == 1
+        assert "profile diff" in again.stdout
+        assert "top regressed frame:" in again.stdout
+
+    def test_clean_gate_records_no_profile(self, tmp_path):
+        from repro.obs.regress import BenchHistory
+
+        history = str(tmp_path / "hist.jsonl")
+        BenchHistory(history).append(collect_run("fig", n=50))
+        result = bench_check_op(
+            history,
+            suite="fig",
+            wall_tolerance=1e9,  # never trips on wall
+            repeats=1,
+            profiles=str(tmp_path / "profiles.jsonl"),
+        )
+        assert result.exit_code == 0
+        assert "profile attribution" not in result.stdout
+        assert not (tmp_path / "profiles.jsonl").exists()
+
+
+class TestTopCpuColumn:
+    def _metrics_snapshot(self):
+        return {
+            "uptime_s": 10.0,
+            "inflight": 0,
+            "latency": {"p50": 0.001, "p95": 0.002, "p99": 0.003},
+            "metrics": {"counters": {}, "gauges": {}, "distributions": {}},
+        }
+
+    def test_cpu_percent_appears_after_two_polls(self, monkeypatch, capsys):
+        # busy counts grow 100 -> 300 -> 500; the parked handler stacks
+        # (leaf threading:wait / selectors:select) grow too but must NOT
+        # count toward cpu — the sampler is wall-clock and sees them all
+        folded_polls = iter(
+            [
+                {"repro.sim:walk": 100, "a:run;threading:wait": 900},
+                {"repro.sim:walk": 300, "a:run;threading:wait": 1800},
+                {"repro.sim:walk": 500, "b:serve;selectors:select": 2700},
+            ]
+        )
+
+        def fake_snapshot(url, path):
+            if path == "/v1/profile":
+                folded = next(folded_polls)
+                return {
+                    "hz": 100.0,
+                    "profile": {
+                        "samples": sum(folded.values()),
+                        "folded": folded,
+                    },
+                }
+            return self._metrics_snapshot()
+
+        monkeypatch.setattr(ops_module, "_service_snapshot", fake_snapshot)
+        top_op("http://x", interval=0.01, count=3)
+        lines = capsys.readouterr().err.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].endswith("cpu -")  # first poll has no delta yet
+        assert "cpu " in lines[1] and "%" in lines[1].rsplit("cpu ", 1)[1]
+
+    def test_dash_when_profiling_off(self, monkeypatch, capsys):
+        def fake_snapshot(url, path):
+            if path == "/v1/profile":
+                raise RuntimeError("GET /v1/profile -> 404")
+            return self._metrics_snapshot()
+
+        monkeypatch.setattr(ops_module, "_service_snapshot", fake_snapshot)
+        top_op("http://x", interval=0.01, count=2)
+        lines = capsys.readouterr().err.strip().splitlines()
+        assert all(line.endswith("cpu -") for line in lines)
